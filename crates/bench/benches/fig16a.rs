@@ -1,0 +1,39 @@
+//! Criterion wrapper for Fig. 16(a): end-to-end forward time per workload ×
+//! device × system, at reduced shapes.
+//!
+//! Wall-clock caveat: FreeTensor variants run on the instrumented
+//! interpreter while the operator baseline runs native kernels; compare
+//! within a system across schedules, and use `cargo run -p bench --bin
+//! fig16` for the cross-system (counter/modeled-time) comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench_fig16a(c: &mut Criterion) {
+    for w in bench::Workload::ALL {
+        let prep = bench::prepare(w, bench::Scale::Small);
+        let mut group = c.benchmark_group(format!("fig16a/{}", w.name()));
+        group.sample_size(10);
+        group.warm_up_time(Duration::from_millis(300));
+        group.measurement_time(Duration::from_secs(1));
+        for dev in [ft_ir::Device::Cpu, ft_ir::Device::Gpu] {
+            for sys in [
+                bench::System::OpBase,
+                bench::System::FtNaive,
+                bench::System::FtOptimized,
+            ] {
+                group.bench_function(format!("{}/{:?}", dev, sys), |b| {
+                    b.iter(|| {
+                        let r = bench::run_forward(&prep, sys, dev);
+                        assert!(r.failure.is_none());
+                        r.cycles
+                    })
+                });
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_fig16a);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion wrapper for Fig. 16(b): forward+backward time (AD), reduced
+//! shapes, GAT excluded as in the paper.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use ft_autodiff::TapePolicy;
+
+fn bench_fig16b(c: &mut Criterion) {
+    for w in [
+        bench::Workload::SubdivNet,
+        bench::Workload::Longformer,
+        bench::Workload::SoftRas,
+    ] {
+        let prep = bench::prepare(w, bench::Scale::Small);
+        let mut group = c.benchmark_group(format!("fig16b/{}", w.name()));
+        group.sample_size(10);
+        group.warm_up_time(Duration::from_millis(300));
+        group.measurement_time(Duration::from_secs(1));
+        for sys in [bench::System::OpBase, bench::System::FtOptimized] {
+            group.bench_function(format!("cpu/{sys:?}"), |b| {
+                b.iter(|| {
+                    let r = bench::run_grad(&prep, sys, ft_ir::Device::Cpu, TapePolicy::Selective);
+                    assert!(r.failure.is_none(), "{:?}", r.failure);
+                    r.cycles
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_fig16b);
+criterion_main!(benches);

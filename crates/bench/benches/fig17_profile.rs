@@ -1,0 +1,27 @@
+//! Criterion wrapper for Fig. 17: time to produce the SubdivNet GPU profile
+//! (the counters themselves are printed by `--bin fig17`; this bench tracks
+//! the instrumented-run cost and asserts the headline counter shape).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench_fig17(c: &mut Criterion) {
+    let prep = bench::prepare(bench::Workload::SubdivNet, bench::Scale::Small);
+    let mut group = c.benchmark_group("fig17");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    group.bench_function("subdivnet_gpu_profile", |b| {
+        b.iter(|| {
+            let ft = bench::run_forward(&prep, bench::System::FtOptimized, ft_ir::Device::Gpu);
+            let ob = bench::run_forward(&prep, bench::System::OpBase, ft_ir::Device::Gpu);
+            assert!(ft.counters.kernel_launches < ob.counters.kernel_launches);
+            assert!(ft.counters.dram_bytes < ob.counters.dram_bytes);
+            (ft.counters.dram_bytes, ob.counters.dram_bytes)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig17);
+criterion_main!(benches);

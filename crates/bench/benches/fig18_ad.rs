@@ -1,0 +1,39 @@
+//! Criterion wrapper for Fig. 18: gradient execution under FT(-)
+//! (materialize-all) vs FT(+) (selective), reduced shapes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use ft_autodiff::TapePolicy;
+
+fn bench_fig18(c: &mut Criterion) {
+    for w in [
+        bench::Workload::SubdivNet,
+        bench::Workload::Longformer,
+        bench::Workload::SoftRas,
+    ] {
+        let prep = bench::prepare(w, bench::Scale::Small);
+        let mut group = c.benchmark_group(format!("fig18/{}", w.name()));
+        group.sample_size(10);
+        group.warm_up_time(Duration::from_millis(300));
+        group.measurement_time(Duration::from_secs(1));
+        for (label, policy) in [("FT-minus", TapePolicy::All), ("FT-plus", TapePolicy::Selective)]
+        {
+            group.bench_function(label, |b| {
+                b.iter(|| {
+                    let r = bench::run_grad(
+                        &prep,
+                        bench::System::FtOptimized,
+                        ft_ir::Device::Cpu,
+                        policy,
+                    );
+                    assert!(r.failure.is_none());
+                    r.cycles
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_fig18);
+criterion_main!(benches);

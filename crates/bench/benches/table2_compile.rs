@@ -1,0 +1,23 @@
+//! Criterion wrapper for Table 2: compiling time of the rule-based pipeline
+//! (parse + inline + partial-evaluate + auto-schedule) per workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use ft_autoschedule::Target;
+
+fn bench_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2/compile");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    for w in bench::Workload::ALL {
+        let prep = bench::prepare(w, bench::Scale::Small);
+        group.bench_function(format!("{}/rule_based", w.name()), |b| {
+            b.iter(|| prep.naive.optimize(&Target::cpu()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Regenerates paper Fig. 16: end-to-end time per workload × device ×
+//! system. Default is Fig. 16(a) (no differentiation); `--grad` produces
+//! Fig. 16(b) (forward + backward, GAT excluded, OOM reported as in the
+//! paper). `--small` uses the reduced Criterion shapes.
+
+use bench::{fmt_cycles, prepare, run_forward_capped, run_grad_capped, Scale, System, Workload};
+use ft_autodiff::TapePolicy;
+use ft_ir::Device;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let grad = args.iter().any(|a| a == "--grad");
+    let scale = if args.iter().any(|a| a == "--small") {
+        Scale::Small
+    } else {
+        Scale::Full
+    };
+    // Optional GPU capacity cap in MiB (reproduces the OOM columns).
+    let capacity: Option<usize> = args
+        .iter()
+        .position(|a| a == "--capacity")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .map(|mib| mib << 20);
+    let systems = [System::OpBase, System::FtNaive, System::FtOptimized];
+    println!(
+        "# Fig. 16({}) — end-to-end {}  (modeled cycles; wall ms in parens)",
+        if grad { "b" } else { "a" },
+        if grad {
+            "with differentiation (fwd + bwd)"
+        } else {
+            "without differentiation"
+        }
+    );
+    println!(
+        "{:<12} {:<5} {:>24} {:>24} {:>24}",
+        "workload",
+        "dev",
+        systems[0].label(),
+        systems[1].label(),
+        systems[2].label()
+    );
+    let workloads: Vec<Workload> = if grad {
+        vec![Workload::SubdivNet, Workload::Longformer, Workload::SoftRas]
+    } else {
+        Workload::ALL.to_vec()
+    };
+    for w in workloads {
+        let prep = prepare(w, scale);
+        for dev in [Device::Cpu, Device::Gpu] {
+            let mut cells = Vec::new();
+            let mut best_baseline = f64::INFINITY;
+            let mut ft_cycles = f64::NAN;
+            for sys in systems {
+                let r = if grad {
+                    run_grad_capped(&prep, sys, dev, TapePolicy::Selective, capacity)
+                } else {
+                    run_forward_capped(&prep, sys, dev, capacity)
+                };
+                let cell = match &r.failure {
+                    Some(f) => f.clone(),
+                    None => format!("{} ({:.1}ms)", fmt_cycles(r.cycles), r.wall_ms),
+                };
+                if r.failure.is_none() {
+                    match sys {
+                        System::FtOptimized => ft_cycles = r.cycles,
+                        _ => best_baseline = best_baseline.min(r.cycles),
+                    }
+                }
+                cells.push(cell);
+            }
+            let speedup = if ft_cycles.is_nan() || best_baseline.is_infinite() {
+                "-".to_string()
+            } else {
+                format!("{:.2}x", best_baseline / ft_cycles)
+            };
+            println!(
+                "{:<12} {:<5} {:>24} {:>24} {:>24}   speedup vs best other: {}",
+                w.name(),
+                dev.to_string(),
+                cells[0],
+                cells[1],
+                cells[2],
+                speedup
+            );
+        }
+    }
+}

@@ -1,0 +1,557 @@
+//! # bench — harnesses regenerating every figure and table of the paper
+//!
+//! Binaries (each prints the rows/series of one exhibit; see EXPERIMENTS.md
+//! for recorded paper-vs-measured comparisons):
+//!
+//! | binary | paper exhibit |
+//! |---|---|
+//! | `fig16` | Fig. 16(a) end-to-end w/o differentiation; `--grad` for 16(b) |
+//! | `fig17` | Fig. 17 speedup analysis (kernels / DRAM / L2 / FLOPs) |
+//! | `fig18` | Fig. 18 selective-materialization ablation (FT(-) vs FT(+)) |
+//! | `table2` | Table 2 compile time: rule-based vs search-based tuning |
+//!
+//! Criterion benches (`cargo bench`) wrap the same runners at reduced sizes.
+//!
+//! Measurement note (documented substitution): FreeTensor programs execute
+//! on the instrumented interpreter while baseline operators execute native
+//! Rust kernels, so *wall-clock* across systems is not meaningful; the
+//! primary reproduced quantities are the hardware-independent counters and
+//! the modeled cycle time, which both systems charge identically.
+
+use ft_autodiff::{GradOptions, TapePolicy};
+use ft_autoschedule::Target;
+use ft_ir::Device;
+use ft_opbase::Session;
+use ft_runtime::{DeviceConfig, PerfCounters, Runtime, TensorVal};
+use ft_workloads::{gat, input_pairs, longformer, softras, subdivnet, Inputs};
+use std::time::Instant;
+
+/// Which system executes a workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum System {
+    /// Operator-based baseline (PyTorch/JAX/DGL stand-in).
+    OpBase,
+    /// FreeTensor program, unscheduled (the fine-grained "Julia-style" run).
+    FtNaive,
+    /// FreeTensor program after rule-based auto-scheduling.
+    FtOptimized,
+}
+
+impl System {
+    /// Display label used in the printed tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            System::OpBase => "operator-based",
+            System::FtNaive => "fine-grained (naive)",
+            System::FtOptimized => "FreeTensor",
+        }
+    }
+}
+
+/// The four workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// SubdivNet mesh convolution.
+    SubdivNet,
+    /// Longformer sliding-window attention.
+    Longformer,
+    /// SoftRas differentiable rasterizer.
+    SoftRas,
+    /// Graph attention network layer.
+    Gat,
+}
+
+impl Workload {
+    /// All workloads, in the paper's order.
+    pub const ALL: [Workload; 4] = [
+        Workload::SubdivNet,
+        Workload::Longformer,
+        Workload::SoftRas,
+        Workload::Gat,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::SubdivNet => "SubdivNet",
+            Workload::Longformer => "Longformer",
+            Workload::SoftRas => "SoftRas",
+            Workload::Gat => "GAT",
+        }
+    }
+}
+
+/// Benchmark problem scale.
+#[derive(Debug, Clone, Copy)]
+pub enum Scale {
+    /// Paper-like shapes (scaled to the simulator).
+    Full,
+    /// Reduced shapes for Criterion wall-clock sampling.
+    Small,
+}
+
+/// Outcome of one measured case.
+#[derive(Debug, Clone)]
+pub struct CaseResult {
+    /// Wall-clock milliseconds (see the crate-level measurement note).
+    pub wall_ms: f64,
+    /// Modeled execution time in cycle units.
+    pub cycles: f64,
+    /// Full counter set.
+    pub counters: PerfCounters,
+    /// `None` = ran; `Some(reason)` = failed (e.g. "OOM").
+    pub failure: Option<String>,
+}
+
+/// Workload inputs + compiled programs for one (workload, scale) pair.
+pub struct Prepared {
+    /// The workload.
+    pub workload: Workload,
+    /// Inputs by name.
+    pub inputs: Inputs,
+    /// Unscheduled FreeTensor program.
+    pub naive: freetensor_core::Program,
+    /// Name of the output tensor.
+    pub output: &'static str,
+    sub_p: Option<subdivnet::Params>,
+    lf_p: Option<longformer::Params>,
+    sr_p: Option<softras::Params>,
+    gat_p: Option<gat::Params>,
+}
+
+/// Build inputs and the base program for a workload at a scale.
+pub fn prepare(workload: Workload, scale: Scale) -> Prepared {
+    let seed = 2022;
+    match workload {
+        Workload::SubdivNet => {
+            let p = match scale {
+                Scale::Full => subdivnet::Params {
+                    n_faces: 1024,
+                    in_feats: 32,
+                },
+                Scale::Small => subdivnet::Params {
+                    n_faces: 128,
+                    in_feats: 8,
+                },
+            };
+            Prepared {
+                workload,
+                inputs: subdivnet::inputs(&p, seed),
+                naive: subdivnet::program(&p),
+                output: "y",
+                sub_p: Some(p),
+                lf_p: None,
+                sr_p: None,
+                gat_p: None,
+            }
+        }
+        Workload::Longformer => {
+            let p = match scale {
+                Scale::Full => longformer::Params {
+                    seq_len: 512,
+                    w: 32,
+                    feat_len: 64,
+                },
+                Scale::Small => longformer::Params {
+                    seq_len: 96,
+                    w: 8,
+                    feat_len: 16,
+                },
+            };
+            Prepared {
+                workload,
+                inputs: longformer::inputs(&p, seed),
+                naive: longformer::program(&p),
+                output: "y",
+                sub_p: None,
+                lf_p: Some(p),
+                sr_p: None,
+                gat_p: None,
+            }
+        }
+        Workload::SoftRas => {
+            let p = match scale {
+                Scale::Full => softras::Params::default(),
+                Scale::Small => softras::Params {
+                    h: 12,
+                    w: 12,
+                    n_faces: 12,
+                    channels: 3,
+                    ..softras::Params::default()
+                },
+            };
+            Prepared {
+                workload,
+                inputs: softras::inputs(&p, seed),
+                naive: softras::program(&p),
+                output: "img",
+                sub_p: None,
+                lf_p: None,
+                sr_p: Some(p),
+                gat_p: None,
+            }
+        }
+        Workload::Gat => {
+            let p = match scale {
+                Scale::Full => gat::Params::default(),
+                Scale::Small => gat::Params {
+                    n_nodes: 64,
+                    degree: 4,
+                    feat_len: 8,
+                },
+            };
+            Prepared {
+                workload,
+                inputs: gat::inputs(&p, seed),
+                naive: gat::program(&p),
+                output: "y",
+                sub_p: None,
+                lf_p: None,
+                sr_p: None,
+                gat_p: Some(p),
+            }
+        }
+    }
+}
+
+fn target_for(device: Device) -> Target {
+    match device {
+        Device::Cpu => Target::cpu(),
+        Device::Gpu => Target::gpu(),
+    }
+}
+
+/// Run the forward pass of one (workload, system, device) case.
+pub fn run_forward(prep: &Prepared, system: System, device: Device) -> CaseResult {
+    run_forward_capped(prep, system, device, None)
+}
+
+/// Like [`run_forward`], with an optional GPU memory capacity override
+/// (reproduces the OOM columns of the paper's Fig. 16(b)).
+pub fn run_forward_capped(
+    prep: &Prepared,
+    system: System,
+    device: Device,
+    gpu_capacity: Option<usize>,
+) -> CaseResult {
+    let mut config = DeviceConfig::default();
+    if let Some(cap) = gpu_capacity {
+        config.gpu_mem_capacity = cap;
+    }
+    match system {
+        System::OpBase => run_opbase_forward(prep, device, config),
+        System::FtNaive | System::FtOptimized => {
+            let prog = if system == System::FtOptimized {
+                prep.naive.optimize(&target_for(device))
+            } else if device == Device::Gpu {
+                // A naive program still has to live in GPU memory; keep it
+                // as-is (CPU-memory naive run stands in for Julia).
+                prep.naive.clone()
+            } else {
+                prep.naive.clone()
+            };
+            let rt = Runtime::with_config(config);
+            let start = Instant::now();
+            let result = prog.run(&rt, &input_pairs(&prep.inputs), &[]);
+            let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+            match result {
+                Ok(r) => CaseResult {
+                    wall_ms,
+                    cycles: r.counters.modeled_cycles,
+                    counters: r.counters,
+                    failure: None,
+                },
+                Err(e) => CaseResult {
+                    wall_ms,
+                    cycles: f64::NAN,
+                    counters: PerfCounters::default(),
+                    failure: Some(short_error(&e.to_string())),
+                },
+            }
+        }
+    }
+}
+
+fn run_opbase_forward(prep: &Prepared, device: Device, config: DeviceConfig) -> CaseResult {
+    let s = Session::new(device, config);
+    let start = Instant::now();
+    let result: Result<(), String> = (|| {
+        match prep.workload {
+            Workload::SubdivNet => {
+                subdivnet::opbase(&s, &prep.sub_p.expect("params"), &prep.inputs)
+                    .map_err(|e| e.to_string())?;
+            }
+            Workload::Longformer => {
+                longformer::opbase(&s, &prep.lf_p.expect("params"), &prep.inputs)
+                    .map_err(|e| e.to_string())?;
+            }
+            Workload::SoftRas => {
+                softras::opbase(&s, &prep.sr_p.expect("params"), &prep.inputs)
+                    .map_err(|e| e.to_string())?;
+            }
+            Workload::Gat => {
+                gat::opbase(&s, &prep.gat_p.expect("params"), &prep.inputs)
+                    .map_err(|e| e.to_string())?;
+            }
+        }
+        Ok(())
+    })();
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let counters = s.counters();
+    CaseResult {
+        wall_ms,
+        cycles: counters.modeled_cycles,
+        counters,
+        failure: result.err().map(|e| short_error(&e)),
+    }
+}
+
+/// Run forward+backward of one case (GAT excluded, as in the paper).
+pub fn run_grad(
+    prep: &Prepared,
+    system: System,
+    device: Device,
+    policy: TapePolicy,
+) -> CaseResult {
+    run_grad_capped(prep, system, device, policy, None)
+}
+
+/// Like [`run_grad`], with an optional GPU memory capacity override.
+pub fn run_grad_capped(
+    prep: &Prepared,
+    system: System,
+    device: Device,
+    policy: TapePolicy,
+    gpu_capacity: Option<usize>,
+) -> CaseResult {
+    let mut config = DeviceConfig::default();
+    if let Some(cap) = gpu_capacity {
+        config.gpu_mem_capacity = cap;
+    }
+    let seed_shape: Vec<usize> = {
+        let out = match prep.workload {
+            Workload::SubdivNet => {
+                let p = prep.sub_p.expect("params");
+                vec![p.n_faces, p.in_feats]
+            }
+            Workload::Longformer => {
+                let p = prep.lf_p.expect("params");
+                vec![p.seq_len, p.feat_len]
+            }
+            Workload::SoftRas => {
+                let p = prep.sr_p.expect("params");
+                vec![p.pixels(), p.channels]
+            }
+            Workload::Gat => panic!("GAT gradients are excluded (paper §6.2)"),
+        };
+        out
+    };
+    let seed = TensorVal::from_f32(
+        &seed_shape,
+        vec![1.0; seed_shape.iter().product::<usize>()],
+    );
+    match system {
+        System::OpBase => {
+            let s = Session::new(device, config);
+            s.set_grad_mode(true);
+            let start = Instant::now();
+            let result: Result<(), String> = (|| {
+                match prep.workload {
+                    Workload::SubdivNet => {
+                        let y = subdivnet::opbase(&s, &prep.sub_p.expect("params"), &prep.inputs)
+                            .map_err(|e| e.to_string())?;
+                        s.backward(&y, seed.clone()).map_err(|e| e.to_string())?;
+                    }
+                    Workload::Longformer => {
+                        let h =
+                            longformer::opbase(&s, &prep.lf_p.expect("params"), &prep.inputs)
+                                .map_err(|e| e.to_string())?;
+                        s.backward(&h.y, seed.clone()).map_err(|e| e.to_string())?;
+                    }
+                    Workload::SoftRas => {
+                        let h = softras::opbase(&s, &prep.sr_p.expect("params"), &prep.inputs)
+                            .map_err(|e| e.to_string())?;
+                        s.backward(&h.img, seed.clone()).map_err(|e| e.to_string())?;
+                    }
+                    Workload::Gat => unreachable!(),
+                }
+                Ok(())
+            })();
+            let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+            let counters = s.counters();
+            CaseResult {
+                wall_ms,
+                cycles: counters.modeled_cycles,
+                counters,
+                failure: result.err().map(|e| short_error(&e)),
+            }
+        }
+        System::FtNaive | System::FtOptimized => {
+            let opts = GradOptions {
+                policy,
+                ..Default::default()
+            };
+            let grad = match prep.naive.grad(&opts) {
+                Ok(g) => g,
+                Err(e) => {
+                    return CaseResult {
+                        wall_ms: 0.0,
+                        cycles: f64::NAN,
+                        counters: PerfCounters::default(),
+                        failure: Some(short_error(&e.to_string())),
+                    }
+                }
+            };
+            let prog = if system == System::FtOptimized {
+                grad.optimize(&target_for(device))
+            } else {
+                grad
+            };
+            let grad_seed_name = format!("{}.grad", prep.output);
+            let mut pairs = input_pairs(&prep.inputs);
+            pairs.push((&grad_seed_name, seed.clone()));
+            let rt = Runtime::with_config(config);
+            let start = Instant::now();
+            let result = prog.run(&rt, &pairs, &[]);
+            let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+            match result {
+                Ok(r) => CaseResult {
+                    wall_ms,
+                    cycles: r.counters.modeled_cycles,
+                    counters: r.counters,
+                    failure: None,
+                },
+                Err(e) => CaseResult {
+                    wall_ms,
+                    cycles: f64::NAN,
+                    counters: PerfCounters::default(),
+                    failure: Some(short_error(&e.to_string())),
+                },
+            }
+        }
+    }
+}
+
+fn short_error(e: &str) -> String {
+    if e.contains("out of memory") {
+        "OOM".to_string()
+    } else {
+        e.chars().take(40).collect()
+    }
+}
+
+/// Format a cycle count compactly.
+pub fn fmt_cycles(c: f64) -> String {
+    if c.is_nan() {
+        return "-".to_string();
+    }
+    if c >= 1e9 {
+        format!("{:.2}G", c / 1e9)
+    } else if c >= 1e6 {
+        format!("{:.2}M", c / 1e6)
+    } else if c >= 1e3 {
+        format!("{:.1}k", c / 1e3)
+    } else {
+        format!("{c:.0}")
+    }
+}
+
+/// Format a byte count compactly.
+pub fn fmt_bytes(b: u64) -> String {
+    if b >= 1 << 30 {
+        format!("{:.2}GiB", b as f64 / (1u64 << 30) as f64)
+    } else if b >= 1 << 20 {
+        format!("{:.2}MiB", b as f64 / (1u64 << 20) as f64)
+    } else if b >= 1 << 10 {
+        format!("{:.1}KiB", b as f64 / 1024.0)
+    } else {
+        format!("{b}B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_ooms_on_capped_gpu_but_freetensor_fits() {
+        // Fig. 16(b)'s OOM column: on a memory-capped GPU the baseline's
+        // retained, window-materialized intermediates exhaust memory while
+        // FreeTensor's selective tapes fit.
+        let prep = prepare(Workload::Longformer, Scale::Small);
+        let cap = Some(128 << 10); // 128 KiB: between the two systems' peaks
+        let ob = run_grad_capped(
+            &prep,
+            System::OpBase,
+            Device::Gpu,
+            ft_autodiff::TapePolicy::Selective,
+            cap,
+        );
+        assert_eq!(ob.failure.as_deref(), Some("OOM"), "{:?}", ob.failure);
+        let ft = run_grad_capped(
+            &prep,
+            System::FtOptimized,
+            Device::Gpu,
+            ft_autodiff::TapePolicy::Selective,
+            cap,
+        );
+        assert!(ft.failure.is_none(), "{:?}", ft.failure);
+    }
+
+    #[test]
+    fn forward_cases_run_at_small_scale() {
+        for w in Workload::ALL {
+            let prep = prepare(w, Scale::Small);
+            for sys in [System::OpBase, System::FtNaive, System::FtOptimized] {
+                for dev in [Device::Cpu, Device::Gpu] {
+                    let r = run_forward(&prep, sys, dev);
+                    assert!(
+                        r.failure.is_none(),
+                        "{} / {:?} / {dev} failed: {:?}",
+                        w.name(),
+                        sys,
+                        r.failure
+                    );
+                    assert!(r.cycles > 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grad_cases_run_at_small_scale() {
+        for w in [Workload::SubdivNet, Workload::Longformer, Workload::SoftRas] {
+            let prep = prepare(w, Scale::Small);
+            for sys in [System::OpBase, System::FtOptimized] {
+                let r = run_grad(&prep, sys, Device::Cpu, TapePolicy::Selective);
+                assert!(
+                    r.failure.is_none(),
+                    "{} / {:?} grad failed: {:?}",
+                    w.name(),
+                    sys,
+                    r.failure
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn freetensor_wins_on_modeled_time_forward() {
+        // The headline Fig. 16(a) shape at small scale: optimized FreeTensor
+        // beats the operator baseline on modeled cycles for every workload.
+        for w in Workload::ALL {
+            let prep = prepare(w, Scale::Small);
+            for dev in [Device::Cpu, Device::Gpu] {
+                let ft = run_forward(&prep, System::FtOptimized, dev);
+                let ob = run_forward(&prep, System::OpBase, dev);
+                assert!(
+                    ft.cycles < ob.cycles,
+                    "{} on {dev}: FreeTensor {} !< baseline {}",
+                    w.name(),
+                    fmt_cycles(ft.cycles),
+                    fmt_cycles(ob.cycles)
+                );
+            }
+        }
+    }
+}

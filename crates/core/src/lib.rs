@@ -1,0 +1,208 @@
+//! # freetensor-core — the compile-pipeline facade
+//!
+//! One type, [`Program`], strings the whole FreeTensor stack together:
+//!
+//! ```text
+//! DSL source ──parse/inline/partial-eval──▶ IR ──simplify──▶ Program
+//!     Program::optimize(target)   rule-based auto-scheduling (§4.3)
+//!     Program::grad(options)      reverse-mode AD (§5)
+//!     Program::schedule()         manual Table-1 transformations
+//!     Program::run(runtime, …)    instrumented execution
+//!     Program::emit_c() / emit_cuda()   backend source
+//! ```
+//!
+//! ```
+//! use freetensor_core::Program;
+//! use ft_autoschedule::Target;
+//!
+//! let p = Program::compile(
+//!     "def scale(x: f32[8] in, y: f32[8] out):\n  for i in range(8):\n    y[i] = x[i] * 2 + 1\n",
+//!     "scale",
+//! )?;
+//! let fast = p.optimize(&Target::cpu());
+//! let rt = ft_runtime::Runtime::new();
+//! let x = ft_runtime::TensorVal::from_f32(&[8], vec![1.0; 8]);
+//! let out = fast.run(&rt, &[("x", x)], &[])?;
+//! assert_eq!(out.output("y").to_f64_vec(), vec![3.0; 8]);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use ft_autodiff::{AdError, GradOptions};
+use ft_autoschedule::Target;
+use ft_ir::Func;
+use ft_runtime::{RunResult, Runtime, RuntimeError, TensorVal};
+use std::collections::HashMap;
+
+/// A compiled FreeTensor program (an IR function plus pipeline operations).
+#[derive(Debug, Clone)]
+pub struct Program {
+    func: Func,
+}
+
+impl Program {
+    /// Compile DSL source (entry function `entry`), with the `libop`
+    /// operator library in scope; inlines all calls, partially evaluates
+    /// metadata, and simplifies.
+    ///
+    /// # Errors
+    ///
+    /// Returns parse/lowering errors as display-ready strings.
+    pub fn compile(src: &str, entry: &str) -> Result<Program, String> {
+        let func = ft_libop::compile_with_libop(src, entry)?;
+        Ok(Program::from_func(func))
+    }
+
+    /// Wrap an already-built IR function (normalizing definition names and
+    /// simplifying).
+    pub fn from_func(func: Func) -> Program {
+        let func = ft_passes::uniquify_defs(&func);
+        let func = ft_passes::simplify(&func);
+        Program { func }
+    }
+
+    /// The underlying IR function.
+    pub fn func(&self) -> &Func {
+        &self.func
+    }
+
+    /// Apply the rule-based auto-scheduling passes for a target (§4.3),
+    /// followed by cleanup simplification. Parameters are placed in the
+    /// target device's default memory space (GPU global for GPU targets).
+    pub fn optimize(&self, target: &Target) -> Program {
+        let mut func = self.func.clone();
+        for p in &mut func.params {
+            p.mtype = ft_ir::MemType::default_for(target.device);
+        }
+        let tuned = ft_autoschedule::auto_schedule(&func, target);
+        Program {
+            func: ft_passes::simplify(&tuned),
+        }
+    }
+
+    /// Start manual scheduling (Table 1 transformations).
+    pub fn schedule(&self) -> ft_schedule::Schedule {
+        ft_schedule::Schedule::new(self.func.clone())
+    }
+
+    /// Finish manual scheduling.
+    pub fn from_schedule(sched: ft_schedule::Schedule) -> Program {
+        Program {
+            func: sched.into_func(),
+        }
+    }
+
+    /// Differentiate (reverse mode, §5). The result computes the original
+    /// outputs plus `x.grad` for every float input, given `y.grad` seeds.
+    ///
+    /// # Errors
+    ///
+    /// See [`ft_autodiff::grad_with`].
+    pub fn grad(&self, opts: &GradOptions) -> Result<Program, AdError> {
+        let g = ft_autodiff::grad_with(&self.func, opts)?;
+        Ok(Program::from_func(g))
+    }
+
+    /// Execute on an instrumented runtime.
+    ///
+    /// # Errors
+    ///
+    /// See [`ft_runtime::Runtime::run`].
+    pub fn run(
+        &self,
+        runtime: &Runtime,
+        inputs: &[(&str, TensorVal)],
+        sizes: &[(&str, i64)],
+    ) -> Result<RunResult, RuntimeError> {
+        let inputs: HashMap<String, TensorVal> = inputs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect();
+        let sizes: HashMap<String, i64> = sizes.iter().map(|(k, v)| (k.to_string(), *v)).collect();
+        runtime.run(&self.func, &inputs, &sizes)
+    }
+
+    /// Emit C99 + OpenMP source for the current schedule.
+    pub fn emit_c(&self) -> String {
+        ft_codegen::emit_c(&self.func)
+    }
+
+    /// Emit CUDA-flavoured source for the current schedule.
+    pub fn emit_cuda(&self) -> String {
+        ft_codegen::emit_cuda(&self.func)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn end_to_end_compile_optimize_run() {
+        let p = Program::compile(
+            "def f(x: f32[16] in, y: f32[16] out):\n  for i in range(16):\n    y[i] = x[i] * x[i]\n",
+            "f",
+        )
+        .unwrap();
+        let rt = Runtime::new();
+        let x = TensorVal::from_f32(&[16], (0..16).map(|v| v as f32).collect());
+        let plain = p.run(&rt, &[("x", x.clone())], &[]).unwrap();
+        for target in [Target::cpu(), Target::gpu()] {
+            let fast = p.optimize(&target);
+            let out = fast.run(&rt, &[("x", x.clone())], &[]).unwrap();
+            assert!(plain.output("y").allclose(out.output("y"), 1e-6));
+        }
+    }
+
+    #[test]
+    fn libop_calls_are_inlined_and_co_optimized() {
+        let p = Program::compile(
+            "def f(x: f32[8, 4] in, y: f32[8, 4] out):\n  t = create_var((8, 4), \"f32\", \"cpu\")\n  relu(x, t)\n  scale(t, 3, y)\n",
+            "f",
+        )
+        .unwrap();
+        // After inlining + auto_fuse, a single fused nest should survive.
+        let tuned = p.optimize(&Target::cpu());
+        let rt = Runtime::new();
+        let x = TensorVal::from_f32(&[8, 4], (0..32).map(|v| v as f32 - 16.0).collect());
+        let out = tuned.run(&rt, &[("x", x.clone())], &[]).unwrap();
+        let expect: Vec<f64> = x
+            .to_f64_vec()
+            .into_iter()
+            .map(|v| v.max(0.0) * 3.0)
+            .collect();
+        assert_eq!(out.output("y").to_f64_vec(), expect);
+    }
+
+    #[test]
+    fn grad_pipeline() {
+        let p = Program::compile(
+            "def f(x: f64[4] in, y: f64[4] out):\n  for i in range(4):\n    y[i] = x[i] * x[i] * x[i]\n",
+            "f",
+        )
+        .unwrap();
+        let g = p.grad(&GradOptions::default()).unwrap();
+        let rt = Runtime::new();
+        let x = TensorVal::from_f64(&[4], vec![1.0, 2.0, 3.0, 4.0]);
+        let seed = TensorVal::from_f64(&[4], vec![1.0; 4]);
+        let out = g
+            .run(&rt, &[("x", x), ("y.grad", seed)], &[])
+            .unwrap();
+        let gx = out.output("x.grad").to_f64_vec();
+        let expect: Vec<f64> = [1.0f64, 2.0, 3.0, 4.0].iter().map(|v| 3.0 * v * v).collect();
+        for (a, b) in gx.iter().zip(expect) {
+            assert!((a - b).abs() < 1e-9, "{gx:?}");
+        }
+    }
+
+    #[test]
+    fn emits_both_backends() {
+        let p = Program::compile(
+            "def f(x: f32[8] in, y: f32[8] out):\n  for i in range(8):\n    y[i] = x[i] + 1\n",
+            "f",
+        )
+        .unwrap();
+        assert!(p.emit_c().contains("void f("));
+        let gpu = p.optimize(&Target::gpu());
+        assert!(gpu.emit_cuda().contains("__global__"));
+    }
+}

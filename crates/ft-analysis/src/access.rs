@@ -1,0 +1,336 @@
+//! Collection of tensor accesses with their full static context.
+
+use ft_ir::{Expr, Func, ReduceOp, Stmt, StmtId, StmtKind, Visitor};
+use std::collections::HashMap;
+
+/// How an access touches its tensor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// A read (`Load`).
+    Read,
+    /// A plain write (`Store`).
+    Write,
+    /// A read-modify-write with a commutative-associative operator.
+    Reduce(ReduceOp),
+}
+
+impl AccessKind {
+    /// Whether the access writes its tensor.
+    pub fn writes(self) -> bool {
+        !matches!(self, AccessKind::Read)
+    }
+
+    /// Whether the access reads its tensor.
+    pub fn reads(self) -> bool {
+        !matches!(self, AccessKind::Write)
+    }
+}
+
+/// One enclosing loop of an access.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoopCtx {
+    /// Id of the `For` statement.
+    pub id: StmtId,
+    /// Iterator name.
+    pub iter: String,
+    /// Inclusive lower bound.
+    pub begin: Expr,
+    /// Exclusive upper bound.
+    pub end: Expr,
+}
+
+/// A single tensor access inside a function.
+#[derive(Debug, Clone)]
+pub struct Access {
+    /// Id of the statement containing the access.
+    pub stmt: StmtId,
+    /// Tensor name.
+    pub var: String,
+    /// Subscript expressions (empty for scalars).
+    pub indices: Vec<Expr>,
+    /// Read / write / reduce.
+    pub kind: AccessKind,
+    /// Enclosing loops, outermost first.
+    pub loops: Vec<LoopCtx>,
+    /// Enclosing branch conditions; `(cond, taken)` where `taken == false`
+    /// means the access is in the `else` arm.
+    pub conds: Vec<(Expr, bool)>,
+    /// Pre-order position of the containing statement, for syntactic
+    /// ordering of instances with equal loop iterations.
+    pub pos: usize,
+}
+
+/// All accesses of a function plus per-tensor scope information.
+#[derive(Debug, Clone, Default)]
+pub struct AccessInfo {
+    /// Every access, in pre-order.
+    pub accesses: Vec<Access>,
+    /// For each locally defined tensor: the ids of the loops *containing* its
+    /// `VarDef` (dependences on the tensor cannot be carried by these loops —
+    /// each iteration sees a fresh incarnation; paper Fig. 12(d)).
+    pub def_inside_loops: HashMap<String, Vec<StmtId>>,
+}
+
+struct Collector {
+    loops: Vec<LoopCtx>,
+    conds: Vec<(Expr, bool)>,
+    pos: usize,
+    info: AccessInfo,
+}
+
+impl Collector {
+    fn record(&mut self, stmt: StmtId, var: &str, indices: &[Expr], kind: AccessKind) {
+        self.info.accesses.push(Access {
+            stmt,
+            var: var.to_string(),
+            indices: indices.to_vec(),
+            kind,
+            loops: self.loops.clone(),
+            conds: self.conds.clone(),
+            pos: self.pos,
+        });
+    }
+
+    fn record_expr_reads(&mut self, stmt: StmtId, e: &Expr) {
+        match e {
+            Expr::Load { var, indices } => {
+                self.record(stmt, var, indices, AccessKind::Read);
+                for i in indices {
+                    self.record_expr_reads(stmt, i);
+                }
+            }
+            Expr::Unary { a, .. } | Expr::Cast { a, .. } => self.record_expr_reads(stmt, a),
+            Expr::Binary { a, b, .. } => {
+                self.record_expr_reads(stmt, a);
+                self.record_expr_reads(stmt, b);
+            }
+            Expr::Select {
+                cond,
+                then,
+                otherwise,
+            } => {
+                self.record_expr_reads(stmt, cond);
+                self.record_expr_reads(stmt, then);
+                self.record_expr_reads(stmt, otherwise);
+            }
+            _ => {}
+        }
+    }
+
+    fn walk(&mut self, s: &Stmt) {
+        self.pos += 1;
+        let my_pos = self.pos;
+        match &s.kind {
+            StmtKind::Block(stmts) => {
+                for st in stmts {
+                    self.walk(st);
+                }
+            }
+            StmtKind::VarDef { name, body, .. } => {
+                self.info.def_inside_loops.insert(
+                    name.clone(),
+                    self.loops.iter().map(|l| l.id).collect(),
+                );
+                self.walk(body);
+            }
+            StmtKind::For {
+                iter,
+                begin,
+                end,
+                body,
+                ..
+            } => {
+                self.record_expr_reads(s.id, begin);
+                self.record_expr_reads(s.id, end);
+                self.loops.push(LoopCtx {
+                    id: s.id,
+                    iter: iter.clone(),
+                    begin: begin.clone(),
+                    end: end.clone(),
+                });
+                self.walk(body);
+                self.loops.pop();
+            }
+            StmtKind::If {
+                cond,
+                then,
+                otherwise,
+            } => {
+                self.record_expr_reads(s.id, cond);
+                self.conds.push((cond.clone(), true));
+                self.walk(then);
+                self.conds.pop();
+                if let Some(o) = otherwise {
+                    self.conds.push((cond.clone(), false));
+                    self.walk(o);
+                    self.conds.pop();
+                }
+            }
+            StmtKind::Store {
+                var,
+                indices,
+                value,
+            } => {
+                self.pos = my_pos;
+                for i in indices {
+                    self.record_expr_reads(s.id, i);
+                }
+                self.record_expr_reads(s.id, value);
+                self.record(s.id, var, indices, AccessKind::Write);
+            }
+            StmtKind::ReduceTo {
+                var,
+                indices,
+                op,
+                value,
+                ..
+            } => {
+                for i in indices {
+                    self.record_expr_reads(s.id, i);
+                }
+                self.record_expr_reads(s.id, value);
+                self.record(s.id, var, indices, AccessKind::Reduce(*op));
+            }
+            StmtKind::LibCall {
+                inputs, outputs, ..
+            } => {
+                // A library call touches whole tensors with unknown (non-affine)
+                // subscripts: model each as a 0-subscript access which the
+                // dependence engine treats as "may alias any element".
+                for i in inputs {
+                    self.record(s.id, i, &[], AccessKind::Read);
+                }
+                for o in outputs {
+                    self.record(s.id, o, &[], AccessKind::Write);
+                }
+            }
+            StmtKind::Empty => {}
+        }
+    }
+}
+
+/// Collect every access of the function body with its static context.
+pub fn collect_accesses(func: &Func) -> AccessInfo {
+    let mut c = Collector {
+        loops: Vec::new(),
+        conds: Vec::new(),
+        pos: 0,
+        info: AccessInfo::default(),
+    };
+    c.walk(&func.body);
+    c.info
+}
+
+/// Check that all `VarDef` names in a function are unique (the dependence
+/// engine keys tensors by name). Returns the first duplicate, if any.
+pub fn find_duplicate_def(func: &Func) -> Option<String> {
+    struct Dup {
+        seen: std::collections::HashSet<String>,
+        dup: Option<String>,
+    }
+    impl Visitor for Dup {
+        fn visit_stmt(&mut self, s: &Stmt) {
+            if let StmtKind::VarDef { name, .. } = &s.kind {
+                if !self.seen.insert(name.clone()) && self.dup.is_none() {
+                    self.dup = Some(name.clone());
+                }
+            }
+            ft_ir::visit::walk_stmt(self, s);
+        }
+    }
+    let mut d = Dup {
+        seen: func.params.iter().map(|p| p.name.clone()).collect(),
+        dup: None,
+    };
+    d.visit_stmt(&func.body);
+    d.dup
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_ir::prelude::*;
+    use ft_ir::DataType;
+
+    fn example() -> Func {
+        // for i in 0..n:
+        //   t = create_var((), f32)
+        //   if i < m:
+        //     t[] = x[i]
+        //     y[i] += t[]
+        Func::new("f")
+            .param("x", [var("n")], DataType::F32, AccessType::Input)
+            .param("y", [var("n")], DataType::F32, AccessType::Output)
+            .size_param("n")
+            .size_param("m")
+            .body(for_(
+                "i",
+                0,
+                var("n"),
+                var_def(
+                    "t",
+                    ft_ir::builder::scalar(),
+                    DataType::F32,
+                    MemType::CpuStack,
+                    if_(
+                        var("i").lt(var("m")),
+                        block([
+                            store("t", scalar(), load("x", [var("i")])),
+                            reduce("y", [var("i")], ReduceOp::Add, load("t", scalar())),
+                        ]),
+                    ),
+                ),
+            ))
+    }
+
+    #[test]
+    fn collects_all_accesses_with_context() {
+        let info = collect_accesses(&example());
+        // x read, t write, t read, y reduce, plus loop-bound read of n? (n is
+        // a scalar var, not a Load) => 4 accesses.
+        assert_eq!(info.accesses.len(), 4);
+        let y = info
+            .accesses
+            .iter()
+            .find(|a| a.var == "y")
+            .expect("y access");
+        assert!(matches!(y.kind, AccessKind::Reduce(ReduceOp::Add)));
+        assert_eq!(y.loops.len(), 1);
+        assert_eq!(y.loops[0].iter, "i");
+        assert_eq!(y.conds.len(), 1);
+        assert!(y.conds[0].1);
+    }
+
+    #[test]
+    fn def_scope_is_recorded() {
+        let info = collect_accesses(&example());
+        let loops = &info.def_inside_loops["t"];
+        assert_eq!(loops.len(), 1); // t's def sits inside the i loop
+    }
+
+    #[test]
+    fn pos_orders_statements() {
+        let info = collect_accesses(&example());
+        let t_write = info
+            .accesses
+            .iter()
+            .find(|a| a.var == "t" && a.kind.writes())
+            .unwrap();
+        let t_read = info
+            .accesses
+            .iter()
+            .find(|a| a.var == "t" && a.kind == AccessKind::Read)
+            .unwrap();
+        assert!(t_write.pos < t_read.pos);
+    }
+
+    #[test]
+    fn duplicate_defs_are_found() {
+        let f = Func::new("g").body(block([
+            var_def("t", [1], DataType::F32, MemType::CpuHeap, empty()),
+            var_def("t", [1], DataType::F32, MemType::CpuHeap, empty()),
+        ]));
+        assert_eq!(find_duplicate_def(&f), Some("t".to_string()));
+        assert_eq!(find_duplicate_def(&example()), None);
+    }
+}

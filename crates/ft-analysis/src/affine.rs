@@ -1,0 +1,258 @@
+//! Extraction of affine forms from IR expressions.
+//!
+//! Subscripts and loop bounds that are affine in the surrounding iterators
+//! and size parameters become [`LinExpr`]s, enabling exact polyhedral
+//! reasoning. Anything else (indirect loads like `adj[i, j]`, `%`, `/`,
+//! products of variables) yields `None` and is treated conservatively by the
+//! dependence engine.
+
+use ft_ir::{BinaryOp, Expr, UnaryOp};
+use ft_poly::{Constraint, LinExpr, System};
+use std::collections::HashMap;
+
+/// A renaming of scalar variables applied during extraction (used to give
+/// the two instances of a dependence query distinct variable names).
+pub type VarMap = HashMap<String, String>;
+
+/// Convert an expression to an affine form over scalar variables, renaming
+/// variables through `map` (variables absent from the map keep their name).
+///
+/// Returns `None` when the expression is not affine.
+pub fn to_linexpr_mapped(e: &Expr, map: &VarMap) -> Option<LinExpr> {
+    match e {
+        Expr::IntConst(v) => Some(LinExpr::constant(*v)),
+        Expr::Var(n) => {
+            let name = map.get(n).cloned().unwrap_or_else(|| n.clone());
+            Some(LinExpr::var(name))
+        }
+        Expr::Unary {
+            op: UnaryOp::Neg,
+            a,
+        } => Some(-to_linexpr_mapped(a, map)?),
+        Expr::Binary { op, a, b } => {
+            let la = to_linexpr_mapped(a, map);
+            let lb = to_linexpr_mapped(b, map);
+            match op {
+                BinaryOp::Add => Some(la? + lb?),
+                BinaryOp::Sub => Some(la? - lb?),
+                BinaryOp::Mul => {
+                    // Affine only when one side is constant.
+                    let (la, lb) = (la?, lb?);
+                    if la.is_constant() {
+                        Some(lb.scaled(la.constant_term()))
+                    } else if lb.is_constant() {
+                        Some(la.scaled(lb.constant_term()))
+                    } else {
+                        None
+                    }
+                }
+                BinaryOp::Div => {
+                    // Exact constant division only.
+                    let (la, lb) = (la?, lb?);
+                    let d = lb.is_constant().then(|| lb.constant_term())?;
+                    if d != 0
+                        && la.constant_term() % d == 0
+                        && la.iter_terms().all(|(_, c)| c % d == 0)
+                    {
+                        Some(la.exact_div(d))
+                    } else {
+                        None
+                    }
+                }
+                _ => None,
+            }
+        }
+        Expr::Cast { a, .. } => to_linexpr_mapped(a, map),
+        _ => None,
+    }
+}
+
+/// Convert an expression to an affine form without renaming.
+pub fn to_linexpr(e: &Expr) -> Option<LinExpr> {
+    to_linexpr_mapped(e, &VarMap::new())
+}
+
+/// Translate a branch condition into constraints conjoined onto `sys`.
+///
+/// Returns `true` when the condition was captured exactly; `false` when it
+/// was (partially) dropped, leaving `sys` an over-approximation of the
+/// condition's domain — which is the conservative direction for dependence
+/// testing.
+pub fn cond_to_constraints(cond: &Expr, map: &VarMap, sys: &mut System) -> bool {
+    match cond {
+        Expr::Binary {
+            op: BinaryOp::And,
+            a,
+            b,
+        } => {
+            // Both conjuncts add constraints; exact iff both exact.
+            let ea = cond_to_constraints(a, map, sys);
+            let eb = cond_to_constraints(b, map, sys);
+            ea && eb
+        }
+        Expr::Binary { op, a, b } => {
+            let (Some(la), Some(lb)) = (to_linexpr_mapped(a, map), to_linexpr_mapped(b, map))
+            else {
+                return false;
+            };
+            match op {
+                BinaryOp::Lt => {
+                    sys.push(Constraint::lt(la, lb));
+                    true
+                }
+                BinaryOp::Le => {
+                    sys.push(Constraint::le(la, lb));
+                    true
+                }
+                BinaryOp::Gt => {
+                    sys.push(Constraint::gt(la, lb));
+                    true
+                }
+                BinaryOp::Ge => {
+                    sys.push(Constraint::ge(la, lb));
+                    true
+                }
+                BinaryOp::Eq => {
+                    sys.push(Constraint::eq(la, lb));
+                    true
+                }
+                _ => false,
+            }
+        }
+        Expr::BoolConst(true) => true,
+        _ => false,
+    }
+}
+
+/// Translate the *negation* of a branch condition (for `else` arms).
+///
+/// Only single comparisons negate exactly into a conjunction; anything else
+/// is dropped (over-approximation).
+pub fn negated_cond_to_constraints(cond: &Expr, map: &VarMap, sys: &mut System) -> bool {
+    if let Expr::Binary { op, a, b } = cond {
+        let (Some(la), Some(lb)) = (to_linexpr_mapped(a, map), to_linexpr_mapped(b, map)) else {
+            return false;
+        };
+        match op {
+            BinaryOp::Lt => {
+                sys.push(Constraint::ge(la, lb));
+                return true;
+            }
+            BinaryOp::Le => {
+                sys.push(Constraint::gt(la, lb));
+                return true;
+            }
+            BinaryOp::Gt => {
+                sys.push(Constraint::le(la, lb));
+                return true;
+            }
+            BinaryOp::Ge => {
+                sys.push(Constraint::lt(la, lb));
+                return true;
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+
+/// Convert an affine form back into an IR expression (normal form: terms in
+/// name order, constant last).
+pub fn linexpr_to_expr(l: &LinExpr) -> Expr {
+    let mut e: Option<Expr> = None;
+    for (name, coeff) in l.iter_terms() {
+        let term = if coeff == 1 {
+            Expr::Var(name.to_string())
+        } else {
+            Expr::Var(name.to_string()) * coeff
+        };
+        e = Some(match e {
+            None => term,
+            Some(acc) => acc + term,
+        });
+    }
+    let c = l.constant_term();
+    match e {
+        None => Expr::IntConst(c),
+        Some(acc) if c == 0 => acc,
+        Some(acc) => acc + c,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_ir::prelude::*;
+    use ft_poly::Sat;
+
+    #[test]
+    fn affine_extraction() {
+        let e = var("i") * 2 + var("j") - 3;
+        let l = to_linexpr(&e).unwrap();
+        assert_eq!(l.coeff("i"), 2);
+        assert_eq!(l.coeff("j"), 1);
+        assert_eq!(l.constant_term(), -3);
+    }
+
+    #[test]
+    fn non_affine_yields_none() {
+        assert!(to_linexpr(&(var("i") * var("j"))).is_none());
+        assert!(to_linexpr(&load("adj", [var("i")])).is_none());
+        assert!(to_linexpr(&var("i").rem(4)).is_none());
+        // Division only when exact.
+        assert!(to_linexpr(&(var("i") * 4 / 2)).is_some());
+        assert!(to_linexpr(&(var("i") / 2)).is_none());
+    }
+
+    #[test]
+    fn renaming_applies() {
+        let mut map = VarMap::new();
+        map.insert("i".to_string(), "i@src".to_string());
+        let l = to_linexpr_mapped(&(var("i") + 1), &map).unwrap();
+        assert_eq!(l.coeff("i@src"), 1);
+        assert_eq!(l.coeff("i"), 0);
+    }
+
+    #[test]
+    fn conditions_become_constraints() {
+        // i + k >= 0 and i + k < n
+        let cond = (var("i") + var("k"))
+            .ge(0)
+            .and((var("i") + var("k")).lt(var("n")));
+        let mut sys = System::new();
+        assert!(cond_to_constraints(&cond, &VarMap::new(), &mut sys));
+        assert_eq!(sys.constraints.len(), 2);
+        // Adding i + k = n makes it empty.
+        sys.push(ft_poly::Constraint::eq(
+            ft_poly::LinExpr::var("i") + ft_poly::LinExpr::var("k"),
+            ft_poly::LinExpr::var("n"),
+        ));
+        assert_eq!(sys.satisfiable(), Sat::Empty);
+    }
+
+    #[test]
+    fn negated_conditions() {
+        let mut sys = System::new();
+        assert!(negated_cond_to_constraints(
+            &var("i").lt(var("n")),
+            &VarMap::new(),
+            &mut sys
+        ));
+        // not(i < n)  =>  i >= n; with i < n it must be empty.
+        assert!(cond_to_constraints(
+            &var("i").lt(var("n")),
+            &VarMap::new(),
+            &mut sys
+        ));
+        assert_eq!(sys.satisfiable(), Sat::Empty);
+        // Negating a conjunction is a disjunction: dropped, reported inexact.
+        let mut sys2 = System::new();
+        assert!(!negated_cond_to_constraints(
+            &var("i").lt(5).and(var("j").lt(5)),
+            &VarMap::new(),
+            &mut sys2
+        ));
+        assert!(sys2.constraints.is_empty());
+    }
+}

@@ -1,0 +1,1015 @@
+//! The dependence engine: instance-precision RAW/WAR/WAW analysis and the
+//! order-violation queries behind every schedule legality check.
+//!
+//! A dependence query between two accesses is compiled to an integer linear
+//! system (see `ft-poly`):
+//!
+//! * the iteration domains of both instances (loop bounds + branch
+//!   conditions), with iterators renamed apart,
+//! * subscript equality per affine dimension (non-affine dimensions are
+//!   skipped — "may alias anything"),
+//! * an execution-order constraint (loop-carried at a given carrier loop, or
+//!   loop-independent with syntactic position as tie-breaker).
+//!
+//! Three FreeTensor-specific refinements (paper Fig. 12) are implemented:
+//!
+//! * **stack-scope projection**: a dependence on a tensor cannot be carried
+//!   by a loop that encloses the tensor's `VarDef` — each iteration owns a
+//!   fresh incarnation (Fig. 12(d));
+//! * **commutative reductions**: two `ReduceTo`s with the same operator on
+//!   the same tensor never constrain each other (Fig. 12(c));
+//! * **`no_deps` assertions**: loops may declare tensors free of carried
+//!   dependences (the escape hatch for indirect subscripts the polyhedral
+//!   model cannot see through).
+
+use crate::access::{collect_accesses, Access, AccessInfo, AccessKind, LoopCtx};
+use crate::affine::{
+    cond_to_constraints, negated_cond_to_constraints, to_linexpr_mapped, VarMap,
+};
+use ft_ir::{find, Func, Stmt, StmtId, StmtKind};
+use ft_poly::{Constraint, LinExpr, Sat, System};
+use std::collections::HashSet;
+
+/// Classification of a dependence by the kinds of its endpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DepKind {
+    /// Read-after-write (true dependence).
+    Raw,
+    /// Write-after-read (anti dependence).
+    War,
+    /// Write-after-write (output dependence).
+    Waw,
+}
+
+/// What carries a dependence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Carrier {
+    /// Carried by the loop with this id (the instances differ in this loop's
+    /// iteration, with all outer common iterations equal).
+    Loop(StmtId),
+    /// Loop-independent (same iteration of every common loop; the sink is
+    /// syntactically after the source).
+    Independent,
+}
+
+/// A dependence found by the engine.
+#[derive(Debug, Clone)]
+pub struct FoundDep {
+    /// RAW / WAR / WAW.
+    pub kind: DepKind,
+    /// The tensor involved.
+    pub var: String,
+    /// Statement containing the earlier (source) access.
+    pub source: StmtId,
+    /// Statement containing the later (sink) access.
+    pub sink: StmtId,
+    /// Carrier loop or loop-independent.
+    pub carrier: Carrier,
+    /// `true` when the solver certified the dependence exists; `false` when
+    /// it could not rule it out (conservative).
+    pub certain: bool,
+}
+
+fn side_map(loops: &[LoopCtx], tag: &str) -> VarMap {
+    // Innermost binding wins for shadowed names (map is overwritten in order).
+    let mut m = VarMap::new();
+    for l in loops {
+        m.insert(l.iter.clone(), format!("{}.{}{}", l.iter, l.id.0, tag));
+    }
+    m
+}
+
+fn renamed(l: &LoopCtx, tag: &str) -> String {
+    format!("{}.{}{}", l.iter, l.id.0, tag)
+}
+
+/// Add the iteration-domain constraints of one access side.
+fn domain_constraints(acc: &Access, tag: &str, sys: &mut System) {
+    // Build the rename map incrementally so a loop's bounds are translated
+    // with only *outer* iterators renamed.
+    let mut map = VarMap::new();
+    for l in &acc.loops {
+        let v = LinExpr::var(renamed(l, tag));
+        if let Some(lo) = to_linexpr_mapped(&l.begin, &map) {
+            sys.push(Constraint::ge(v.clone(), lo));
+        }
+        if let Some(hi) = to_linexpr_mapped(&l.end, &map) {
+            sys.push(Constraint::lt(v, hi));
+        }
+        map.insert(l.iter.clone(), renamed(l, tag));
+    }
+    for (cond, taken) in &acc.conds {
+        if *taken {
+            cond_to_constraints(cond, &map, sys);
+        } else {
+            negated_cond_to_constraints(cond, &map, sys);
+        }
+    }
+}
+
+/// Add subscript-equality constraints for the affine dimensions.
+fn subscript_constraints(a: &Access, b: &Access, sys: &mut System) {
+    let ma = side_map(&a.loops, "s");
+    let mb = side_map(&b.loops, "t");
+    // A LibCall access has no subscripts and aliases the whole tensor:
+    // mismatched arity also means "may alias" — skip equality entirely.
+    if a.indices.len() != b.indices.len() {
+        return;
+    }
+    for (ia, ib) in a.indices.iter().zip(&b.indices) {
+        if let (Some(la), Some(lb)) = (to_linexpr_mapped(ia, &ma), to_linexpr_mapped(ib, &mb)) {
+            sys.push(Constraint::eq(la, lb));
+        }
+        // Non-affine dimension: may alias anything — no constraint.
+    }
+}
+
+/// Stack-scope incarnation constraint (Fig. 12(d)): two instances can only
+/// touch the *same* incarnation of a locally defined tensor when they agree
+/// on every loop enclosing its `VarDef`, because each iteration of such a
+/// loop allocates a fresh tensor.
+fn incarnation_constraints(info: &AccessInfo, a: &Access, b: &Access, sys: &mut System) {
+    let Some(containing) = info.def_inside_loops.get(&a.var) else {
+        return; // function parameter: one incarnation for the whole call
+    };
+    for c in common_loops(a, b) {
+        if containing.contains(&c.id) {
+            sys.push(Constraint::eq(
+                LinExpr::var(renamed(c, "s")),
+                LinExpr::var(renamed(c, "t")),
+            ));
+        }
+    }
+}
+
+/// The loops common to both accesses (shared prefix of enclosing loops).
+fn common_loops<'a>(a: &'a Access, b: &Access) -> Vec<&'a LoopCtx> {
+    a.loops
+        .iter()
+        .zip(&b.loops)
+        .take_while(|(x, y)| x.id == y.id)
+        .map(|(x, _)| x)
+        .collect()
+}
+
+/// Does a dependence with `a` as source (earlier) and `b` as sink (later)
+/// exist under the given carrier?
+///
+/// `Sat::Empty` means certainly not; `NonEmpty` certainly yes; `Unknown` is
+/// treated by callers as "maybe" (conservative).
+pub fn dep_exists(info: &AccessInfo, a: &Access, b: &Access, carrier: Carrier) -> Sat {
+    let common = common_loops(a, b);
+    let mut sys = System::new();
+    domain_constraints(a, "s", &mut sys);
+    domain_constraints(b, "t", &mut sys);
+    subscript_constraints(a, b, &mut sys);
+            incarnation_constraints(info, a, b, &mut sys);
+    match carrier {
+        Carrier::Loop(l) => {
+            let Some(d) = common.iter().position(|c| c.id == l) else {
+                return Sat::Empty; // not a common loop: cannot carry
+            };
+            // Stack-scope projection (Fig. 12(d)): the carrier must not
+            // enclose the tensor's VarDef.
+            if let Some(containing) = info.def_inside_loops.get(&a.var) {
+                if containing.contains(&l) {
+                    return Sat::Empty;
+                }
+            }
+            for c in &common[..d] {
+                sys.push(Constraint::eq(
+                    LinExpr::var(renamed(c, "s")),
+                    LinExpr::var(renamed(c, "t")),
+                ));
+            }
+            sys.push(Constraint::lt(
+                LinExpr::var(renamed(common[d], "s")),
+                LinExpr::var(renamed(common[d], "t")),
+            ));
+        }
+        Carrier::Independent => {
+            if a.pos >= b.pos {
+                return Sat::Empty; // source must be syntactically earlier
+            }
+            for c in &common {
+                sys.push(Constraint::eq(
+                    LinExpr::var(renamed(c, "s")),
+                    LinExpr::var(renamed(c, "t")),
+                ));
+            }
+        }
+    }
+    sys.satisfiable()
+}
+
+fn classify(a: AccessKind, b: AccessKind) -> DepKind {
+    match (a.writes(), b.writes()) {
+        (true, true) => DepKind::Waw,
+        (true, false) => DepKind::Raw,
+        (false, true) => DepKind::War,
+        (false, false) => unreachable!("read-read pairs are filtered out"),
+    }
+}
+
+/// Whether a pair of accesses can be ignored entirely: read-read pairs,
+/// different tensors, and same-operator reduce-reduce pairs (Fig. 12(c)).
+fn ignorable(a: &Access, b: &Access) -> bool {
+    if a.var != b.var || (!a.kind.writes() && !b.kind.writes()) {
+        return true;
+    }
+    matches!(
+        (a.kind, b.kind),
+        (AccessKind::Reduce(x), AccessKind::Reduce(y)) if x == y
+    )
+}
+
+/// Whether the carrier loop asserts `no_deps` for this tensor.
+fn no_deps_asserted(func: &Func, carrier: StmtId, var: &str) -> bool {
+    match find::find_by_id(&func.body, carrier) {
+        Some(Stmt {
+            kind: StmtKind::For { property, .. },
+            ..
+        }) => property.no_deps.iter().any(|n| n == var),
+        _ => false,
+    }
+}
+
+/// Compute every dependence in the function: for each conflicting access
+/// pair, each possible carrier loop plus the loop-independent case.
+pub fn all_deps(func: &Func) -> Vec<FoundDep> {
+    let info = collect_accesses(func);
+    let mut out = Vec::new();
+    for a in &info.accesses {
+        for b in &info.accesses {
+            if ignorable(a, b) {
+                continue;
+            }
+            for c in common_loops(a, b) {
+                if no_deps_asserted(func, c.id, &a.var) {
+                    continue;
+                }
+                match dep_exists(&info, a, b, Carrier::Loop(c.id)) {
+                    Sat::Empty => {}
+                    sat => out.push(FoundDep {
+                        kind: classify(a.kind, b.kind),
+                        var: a.var.clone(),
+                        source: a.stmt,
+                        sink: b.stmt,
+                        carrier: Carrier::Loop(c.id),
+                        certain: sat == Sat::NonEmpty,
+                    }),
+                }
+            }
+            match dep_exists(&info, a, b, Carrier::Independent) {
+                Sat::Empty => {}
+                sat => out.push(FoundDep {
+                    kind: classify(a.kind, b.kind),
+                    var: a.var.clone(),
+                    source: a.stmt,
+                    sink: b.stmt,
+                    carrier: Carrier::Independent,
+                    certain: sat == Sat::NonEmpty,
+                }),
+            }
+        }
+    }
+    out
+}
+
+/// Dependences carried by a specific loop.
+pub fn loop_carried_deps(func: &Func, loop_id: StmtId) -> Vec<FoundDep> {
+    let info = collect_accesses(func);
+    let mut out = Vec::new();
+    for a in &info.accesses {
+        for b in &info.accesses {
+            if ignorable(a, b) || no_deps_asserted(func, loop_id, &a.var) {
+                continue;
+            }
+            match dep_exists(&info, a, b, Carrier::Loop(loop_id)) {
+                Sat::Empty => {}
+                sat => out.push(FoundDep {
+                    kind: classify(a.kind, b.kind),
+                    var: a.var.clone(),
+                    source: a.stmt,
+                    sink: b.stmt,
+                    carrier: Carrier::Loop(loop_id),
+                    certain: sat == Sat::NonEmpty,
+                }),
+            }
+        }
+    }
+    out
+}
+
+/// Dependences that block parallelizing `loop_id` (paper Fig. 13).
+///
+/// Same-operator reduce pairs are already exempt (they lower to atomics or
+/// parallel reductions); everything else carried by the loop blocks it.
+pub fn parallelize_blockers(func: &Func, loop_id: StmtId) -> Vec<FoundDep> {
+    loop_carried_deps(func, loop_id)
+}
+
+/// Reduce statements under `loop_id` whose target element may be updated by
+/// more than one iteration of the loop — these must become atomic updates or
+/// parallel reductions when the loop is parallelized (Fig. 13(d)/(e)).
+pub fn carried_reductions(func: &Func, loop_id: StmtId) -> Vec<StmtId> {
+    let info = collect_accesses(func);
+    let mut out = Vec::new();
+    for a in &info.accesses {
+        let AccessKind::Reduce(op_a) = a.kind else {
+            continue;
+        };
+        for b in &info.accesses {
+            let AccessKind::Reduce(op_b) = b.kind else {
+                continue;
+            };
+            if a.var != b.var || op_a != op_b {
+                continue;
+            }
+            if dep_exists(&info, a, b, Carrier::Loop(loop_id)) != Sat::Empty {
+                if !out.contains(&a.stmt) {
+                    out.push(a.stmt);
+                }
+                if !out.contains(&b.stmt) {
+                    out.push(b.stmt);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Ids of all statements in the subtree rooted at `root`.
+pub fn subtree_ids(root: &Stmt) -> HashSet<StmtId> {
+    let mut set = HashSet::new();
+    root.walk(&mut |s| {
+        set.insert(s.id);
+    });
+    set
+}
+
+/// Legality of fusing consecutive loops `l1` (first) and `l2` (second).
+///
+/// After fusion, `l2`'s body at normalized iteration `j` runs *before*
+/// `l1`'s body at any normalized iteration `i > j`; fusion is illegal iff a
+/// conflict exists between such instances (paper's `dot_max` example,
+/// Fig. 8→10). Returns a human-readable reason when illegal.
+pub fn fuse_illegal(func: &Func, l1: StmtId, l2: StmtId) -> Option<String> {
+    let info = collect_accesses(func);
+    let (Some(loop1), Some(loop2)) = (
+        find::find_by_id(&func.body, l1),
+        find::find_by_id(&func.body, l2),
+    ) else {
+        return Some("loop not found".to_string());
+    };
+    let ids1 = subtree_ids(loop1);
+    let ids2 = subtree_ids(loop2);
+    let (StmtKind::For { begin: b1, .. }, StmtKind::For { begin: b2, .. }) =
+        (&loop1.kind, &loop2.kind)
+    else {
+        return Some("not loops".to_string());
+    };
+    for a in info.accesses.iter().filter(|x| ids1.contains(&x.stmt)) {
+        for b in info.accesses.iter().filter(|x| ids2.contains(&x.stmt)) {
+            if ignorable(a, b) {
+                continue;
+            }
+            let mut sys = System::new();
+            domain_constraints(a, "s", &mut sys);
+            domain_constraints(b, "t", &mut sys);
+            subscript_constraints(a, b, &mut sys);
+            incarnation_constraints(&info, a, b, &mut sys);
+            // Common outer loops (everything above l1/l2) run in lockstep.
+            for c in common_loops(a, b) {
+                sys.push(Constraint::eq(
+                    LinExpr::var(renamed(c, "s")),
+                    LinExpr::var(renamed(c, "t")),
+                ));
+            }
+            // Normalized iterations: (i - begin1) vs (j - begin2).
+            let la = a.loops.iter().find(|l| l.id == l1).map(|l| renamed(l, "s"));
+            let lb = b.loops.iter().find(|l| l.id == l2).map(|l| renamed(l, "t"));
+            let (Some(ia), Some(jb)) = (la, lb) else {
+                continue;
+            };
+            let (Some(lb1), Some(lb2)) = (
+                to_linexpr_mapped(b1, &side_map(&a.loops, "s")),
+                to_linexpr_mapped(b2, &side_map(&b.loops, "t")),
+            ) else {
+                return Some("non-affine loop begin".to_string());
+            };
+            // j_norm < i_norm would be reversed by fusion.
+            sys.push(Constraint::lt(
+                LinExpr::var(jb) - lb2,
+                LinExpr::var(ia) - lb1,
+            ));
+            if sys.satisfiable() != Sat::Empty {
+                return Some(format!(
+                    "fusing would reverse a dependence on `{}` ({} -> {})",
+                    a.var, a.stmt, b.stmt
+                ));
+            }
+        }
+    }
+    None
+}
+
+/// Legality of fissioning loop `loop_id` into the statements selected by
+/// `in_first` followed by the rest.
+///
+/// After fission every first-part iteration runs before any second-part
+/// iteration; illegal iff a second-part instance at iteration `i` conflicts
+/// with a first-part instance at iteration `j > i`.
+pub fn fission_illegal(
+    func: &Func,
+    loop_id: StmtId,
+    in_first: &dyn Fn(StmtId) -> bool,
+) -> Option<String> {
+    let info = collect_accesses(func);
+    let Some(the_loop) = find::find_by_id(&func.body, loop_id) else {
+        return Some("loop not found".to_string());
+    };
+    let ids = subtree_ids(the_loop);
+    for a in info.accesses.iter().filter(|x| ids.contains(&x.stmt)) {
+        for b in info.accesses.iter().filter(|x| ids.contains(&x.stmt)) {
+            // a in the second part (earlier in original), b in the first part.
+            if in_first(a.stmt) || !in_first(b.stmt) || ignorable(a, b) {
+                continue;
+            }
+            let mut sys = System::new();
+            domain_constraints(a, "s", &mut sys);
+            domain_constraints(b, "t", &mut sys);
+            subscript_constraints(a, b, &mut sys);
+            incarnation_constraints(&info, a, b, &mut sys);
+            let common = common_loops(a, b);
+            let Some(d) = common.iter().position(|c| c.id == loop_id) else {
+                continue;
+            };
+            for c in &common[..d] {
+                sys.push(Constraint::eq(
+                    LinExpr::var(renamed(c, "s")),
+                    LinExpr::var(renamed(c, "t")),
+                ));
+            }
+            // second-part at i strictly before first-part at j (i < j) in the
+            // original order — reversed after fission.
+            sys.push(Constraint::lt(
+                LinExpr::var(renamed(common[d], "s")),
+                LinExpr::var(renamed(common[d], "t")),
+            ));
+            if sys.satisfiable() != Sat::Empty {
+                return Some(format!(
+                    "fission would reverse a dependence on `{}` ({} -> {})",
+                    a.var, a.stmt, b.stmt
+                ));
+            }
+        }
+    }
+    None
+}
+
+/// Legality of swapping two consecutive statements `s1` (first) and `s2`.
+///
+/// Swapping only permutes the two bodies *within* one iteration of the
+/// common loops, so it is illegal iff they conflict at equal iterations.
+pub fn swap_illegal(func: &Func, s1: StmtId, s2: StmtId) -> Option<String> {
+    let info = collect_accesses(func);
+    let (Some(st1), Some(st2)) = (
+        find::find_by_id(&func.body, s1),
+        find::find_by_id(&func.body, s2),
+    ) else {
+        return Some("statement not found".to_string());
+    };
+    let ids1 = subtree_ids(st1);
+    let ids2 = subtree_ids(st2);
+    for a in info.accesses.iter().filter(|x| ids1.contains(&x.stmt)) {
+        for b in info.accesses.iter().filter(|x| ids2.contains(&x.stmt)) {
+            if ignorable(a, b) {
+                continue;
+            }
+            let mut sys = System::new();
+            domain_constraints(a, "s", &mut sys);
+            domain_constraints(b, "t", &mut sys);
+            subscript_constraints(a, b, &mut sys);
+            incarnation_constraints(&info, a, b, &mut sys);
+            for c in common_loops(a, b) {
+                sys.push(Constraint::eq(
+                    LinExpr::var(renamed(c, "s")),
+                    LinExpr::var(renamed(c, "t")),
+                ));
+            }
+            if sys.satisfiable() != Sat::Empty {
+                return Some(format!(
+                    "statements conflict on `{}` within one iteration",
+                    a.var
+                ));
+            }
+        }
+    }
+    None
+}
+
+/// Legality of permuting a perfect loop nest.
+///
+/// `old_order` lists the nest's loop ids outermost-first as written;
+/// `new_order` is the desired nesting. Illegal iff some conflicting pair of
+/// instances executes in one order under the old nesting and the opposite
+/// order under the new nesting.
+pub fn reorder_illegal(
+    func: &Func,
+    old_order: &[StmtId],
+    new_order: &[StmtId],
+) -> Option<String> {
+    let info = collect_accesses(func);
+    for a in &info.accesses {
+        for b in &info.accesses {
+            if ignorable(a, b) {
+                continue;
+            }
+            // Both accesses must be inside the whole nest.
+            let pos_of = |acc: &Access, id: StmtId| acc.loops.iter().position(|l| l.id == id);
+            if old_order.iter().any(|id| pos_of(a, *id).is_none())
+                || old_order.iter().any(|id| pos_of(b, *id).is_none())
+            {
+                continue;
+            }
+            let common = common_loops(a, b);
+            // Execution-order comparison sequences: the common loops, in old
+            // and in new nesting order.
+            let old_seq: Vec<&LoopCtx> = common.clone();
+            let mut new_seq: Vec<&LoopCtx> = Vec::new();
+            for c in &common {
+                if !old_order.contains(&c.id) {
+                    new_seq.push(c);
+                }
+            }
+            // Insert the permuted nest loops at the position of the first
+            // nest loop in the common order.
+            let first_nest_pos = common
+                .iter()
+                .position(|c| old_order.contains(&c.id))
+                .unwrap_or(common.len());
+            let mut new_seq2: Vec<&LoopCtx> = common
+                .iter()
+                .filter(|c| !old_order.contains(&c.id))
+                .copied()
+                .collect();
+            let nest_loops: Vec<&LoopCtx> = new_order
+                .iter()
+                .filter_map(|id| common.iter().find(|c| c.id == *id).copied())
+                .collect();
+            for (k, l) in nest_loops.into_iter().enumerate() {
+                new_seq2.insert(first_nest_pos + k, l);
+            }
+            new_seq = new_seq2;
+
+            // Violation: a before b under old_seq at depth d, while b
+            // strictly before a under new_seq at depth e.
+            for d in 0..=old_seq.len() {
+                for e in 0..new_seq.len() {
+                    if d == old_seq.len() && a.pos >= b.pos {
+                        continue; // "a before b at equal iters" needs pos order
+                    }
+                    let mut sys = System::new();
+                    domain_constraints(a, "s", &mut sys);
+                    domain_constraints(b, "t", &mut sys);
+                    subscript_constraints(a, b, &mut sys);
+            incarnation_constraints(&info, a, b, &mut sys);
+                    for c in &old_seq[..d.min(old_seq.len())] {
+                        sys.push(Constraint::eq(
+                            LinExpr::var(renamed(c, "s")),
+                            LinExpr::var(renamed(c, "t")),
+                        ));
+                    }
+                    if d < old_seq.len() {
+                        sys.push(Constraint::lt(
+                            LinExpr::var(renamed(old_seq[d], "s")),
+                            LinExpr::var(renamed(old_seq[d], "t")),
+                        ));
+                    }
+                    for c in &new_seq[..e] {
+                        sys.push(Constraint::eq(
+                            LinExpr::var(renamed(c, "s")),
+                            LinExpr::var(renamed(c, "t")),
+                        ));
+                    }
+                    // b strictly before a in the new order.
+                    sys.push(Constraint::lt(
+                        LinExpr::var(renamed(new_seq[e], "t")),
+                        LinExpr::var(renamed(new_seq[e], "s")),
+                    ));
+                    if sys.satisfiable() != Sat::Empty {
+                        return Some(format!(
+                            "reorder would reverse a dependence on `{}` ({} -> {})",
+                            a.var, a.stmt, b.stmt
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_ir::prelude::*;
+    use ft_ir::idx;
+    use ft_ir::DataType;
+
+    fn fnc(body: Stmt) -> Func {
+        Func::new("f")
+            .param("a", [var("N"), var("M")], DataType::F32, AccessType::InOut)
+            .param("b", [var("N"), var("M")], DataType::F32, AccessType::InOut)
+            .param("idx", [var("N")], DataType::I32, AccessType::Input)
+            .size_param("N")
+            .size_param("M")
+            .size_param("K")
+            .body(body)
+    }
+
+    fn i() -> Expr {
+        var("i")
+    }
+    fn j() -> Expr {
+        var("j")
+    }
+
+    #[test]
+    fn fig12a_reorder_legal() {
+        // for i: for j: a[i, j] = b[i, j] + 1  — no deps at all.
+        let body = for_(
+            "i",
+            0,
+            var("N"),
+            for_("j", 0, var("M"), store("a", [i(), j()], load("b", [i(), j()]) + 1.0f64)),
+        );
+        let f = fnc(body);
+        let li = find::find_loop(&f.body, "i").unwrap().id;
+        let lj = find::find_loop(&f.body, "j").unwrap().id;
+        assert!(reorder_illegal(&f, &[li, lj], &[lj, li]).is_none());
+        assert!(all_deps(&f).is_empty());
+    }
+
+    #[test]
+    fn fig12b_reorder_illegal() {
+        // for i: for j: a = a * b[i, j] + 1 on a scalar (as Store, not reduce).
+        let f = Func::new("f")
+            .param("a", Vec::<Expr>::new(), DataType::F32, AccessType::InOut)
+            .param("b", [var("N"), var("M")], DataType::F32, AccessType::Input)
+            .size_param("N")
+            .size_param("M")
+            .body(for_(
+                "i",
+                0,
+                var("N"),
+                for_(
+                    "j",
+                    0,
+                    var("M"),
+                    store(
+                        "a",
+                        scalar(),
+                        load("a", scalar()) * load("b", [i(), j()]) + 1.0f64,
+                    ),
+                ),
+            ));
+        let li = find::find_loop(&f.body, "i").unwrap().id;
+        let lj = find::find_loop(&f.body, "j").unwrap().id;
+        assert!(reorder_illegal(&f, &[li, lj], &[lj, li]).is_some());
+    }
+
+    #[test]
+    fn fig12c_reduction_can_reorder() {
+        // for i: for j: a += b[i, j]  (ReduceTo: WAW exempt).
+        let f = Func::new("f")
+            .param("a", Vec::<Expr>::new(), DataType::F32, AccessType::InOut)
+            .param("b", [var("N"), var("M")], DataType::F32, AccessType::Input)
+            .size_param("N")
+            .size_param("M")
+            .body(for_(
+                "i",
+                0,
+                var("N"),
+                for_(
+                    "j",
+                    0,
+                    var("M"),
+                    reduce("a", scalar(), ReduceOp::Add, load("b", [i(), j()])),
+                ),
+            ));
+        let li = find::find_loop(&f.body, "i").unwrap().id;
+        let lj = find::find_loop(&f.body, "j").unwrap().id;
+        assert!(reorder_illegal(&f, &[li, lj], &[lj, li]).is_none());
+    }
+
+    #[test]
+    fn fig12d_stack_scoped_temp_can_reorder() {
+        // for i: for j: t = var(K); for k: t[k] = a[i,j,k]; b[i,j,k] = t[k]
+        let f = Func::new("f")
+            .param(
+                "a",
+                [var("N"), var("M"), var("K")],
+                DataType::F32,
+                AccessType::Input,
+            )
+            .param(
+                "b",
+                [var("N"), var("M"), var("K")],
+                DataType::F32,
+                AccessType::Output,
+            )
+            .size_param("N")
+            .size_param("M")
+            .size_param("K")
+            .body(for_(
+                "i",
+                0,
+                var("N"),
+                for_(
+                    "j",
+                    0,
+                    var("M"),
+                    var_def(
+                        "t",
+                        [var("K")],
+                        DataType::F32,
+                        MemType::CpuStack,
+                        for_(
+                            "k",
+                            0,
+                            var("K"),
+                            block([
+                                store("t", [var("k")], load("a", [i(), j(), var("k")])),
+                                store("b", [i(), j(), var("k")], load("t", [var("k")])),
+                            ]),
+                        ),
+                    ),
+                ),
+            ));
+        let li = find::find_loop(&f.body, "i").unwrap().id;
+        let lj = find::find_loop(&f.body, "j").unwrap().id;
+        // WAW on t across i/j iterations is projected away by stack scoping.
+        assert!(reorder_illegal(&f, &[li, lj], &[lj, li]).is_none());
+        // And neither loop carries a dependence (so both parallelize).
+        assert!(parallelize_blockers(&f, li).is_empty());
+        assert!(parallelize_blockers(&f, lj).is_empty());
+    }
+
+    #[test]
+    fn fig13a_parallelizable() {
+        let f = fnc(for_(
+            "i",
+            0,
+            var("N"),
+            store("a", idx![i(), 0], load("b", idx![i(), 0]) + 1.0f64),
+        ));
+        let li = find::find_loop(&f.body, "i").unwrap().id;
+        assert!(parallelize_blockers(&f, li).is_empty());
+    }
+
+    #[test]
+    fn fig13b_cross_iteration_dep_blocks() {
+        // for i: a[0,0] = a[0,0] * 2 + b[i,0]
+        let f = fnc(for_(
+            "i",
+            0,
+            var("N"),
+            store(
+                "a",
+                idx![0, 0],
+                load("a", idx![0, 0]) * 2.0f64 + load("b", idx![i(), 0]),
+            ),
+        ));
+        let li = find::find_loop(&f.body, "i").unwrap().id;
+        assert!(!parallelize_blockers(&f, li).is_empty());
+    }
+
+    #[test]
+    fn fig13d_same_index_reduction_detected() {
+        // for i: acc[] += b[i, 0]
+        let f = fnc(for_(
+            "i",
+            0,
+            var("N"),
+            reduce("a", idx![0, 0], ReduceOp::Add, load("b", idx![i(), 0])),
+        ));
+        let li = find::find_loop(&f.body, "i").unwrap().id;
+        assert!(parallelize_blockers(&f, li).is_empty()); // exempt...
+        assert_eq!(carried_reductions(&f, li).len(), 1); // ...but must combine
+    }
+
+    #[test]
+    fn fig13e_random_access_reduction_detected() {
+        // for i: a[idx[i], 0] += b[i, 0]  — indirect subscript.
+        let f = fnc(for_(
+            "i",
+            0,
+            var("N"),
+            reduce(
+                "a",
+                [Expr::cast(DataType::I64, load("idx", [i()])), 0.into()],
+                ReduceOp::Add,
+                load("b", idx![i(), 0]),
+            ),
+        ));
+        let li = find::find_loop(&f.body, "i").unwrap().id;
+        assert!(parallelize_blockers(&f, li).is_empty());
+        assert_eq!(carried_reductions(&f, li).len(), 1);
+    }
+
+    #[test]
+    fn disjoint_writes_by_index_do_not_conflict() {
+        // for i: a[i,0] = 1; a[i,1] = 2 — distinct columns, no dep at all.
+        let f = fnc(for_(
+            "i",
+            0,
+            var("N"),
+            block([
+                store("a", idx![i(), 0], 1.0f64),
+                store("a", idx![i(), 1], 2.0f64),
+            ]),
+        ));
+        assert!(all_deps(&f).is_empty());
+    }
+
+    #[test]
+    fn loop_independent_raw_found() {
+        // for i: a[i,0] = b[i,0]; b2 reads a[i,0] later in same iteration.
+        let f = fnc(for_(
+            "i",
+            0,
+            var("N"),
+            block([
+                store("a", idx![i(), 0], load("b", idx![i(), 0])),
+                store("b", idx![i(), 1], load("a", idx![i(), 0])),
+            ]),
+        ));
+        let deps = all_deps(&f);
+        assert!(deps
+            .iter()
+            .any(|d| d.kind == DepKind::Raw && d.carrier == Carrier::Independent && d.var == "a"));
+        // No loop-carried deps: i iterations are independent.
+        let li = find::find_loop(&f.body, "i").unwrap().id;
+        assert!(parallelize_blockers(&f, li).is_empty());
+    }
+
+    #[test]
+    fn carried_raw_found_with_distance_one() {
+        // for i in 1..N: a[i,0] = a[i-1,0] — carried by i.
+        let f = fnc(for_(
+            "i",
+            1,
+            var("N"),
+            store("a", idx![i(), 0], load("a", idx![i() - 1, 0])),
+        ));
+        let li = find::find_loop(&f.body, "i").unwrap().id;
+        let blockers = parallelize_blockers(&f, li);
+        assert!(blockers.iter().any(|d| d.kind == DepKind::Raw));
+    }
+
+    #[test]
+    fn guards_refine_dependence() {
+        // for i in 0..N: if i < 1: a[0,0] = ...; only iteration 0 writes, so
+        // no carried WAW.
+        let f = fnc(for_(
+            "i",
+            0,
+            var("N"),
+            if_(i().lt(1), store("a", idx![0, 0], 1.0f64)),
+        ));
+        let li = find::find_loop(&f.body, "i").unwrap().id;
+        assert!(parallelize_blockers(&f, li).is_empty());
+    }
+
+    #[test]
+    fn paper_fuse_example_dot_max() {
+        // Paper Fig. 8: loop k1 writes dot[k+w] and updates dot_max (reduce);
+        // loop k2 reads dot_max. Fusing k2 into k1 is illegal (dot_max is
+        // read before all updates are in).
+        let f = Func::new("f")
+            .param("dot", [var("W")], DataType::F32, AccessType::InOut)
+            .param("dot_max", Vec::<Expr>::new(), DataType::F32, AccessType::InOut)
+            .param("dot_norm", [var("W")], DataType::F32, AccessType::Output)
+            .size_param("W")
+            .body(block([
+                for_(
+                    "k1",
+                    0,
+                    var("W"),
+                    reduce(
+                        "dot_max",
+                        scalar(),
+                        ReduceOp::Max,
+                        load("dot", [var("k1")]),
+                    ),
+                ),
+                for_(
+                    "k2",
+                    0,
+                    var("W"),
+                    store(
+                        "dot_norm",
+                        [var("k2")],
+                        load("dot", [var("k2")]) - load("dot_max", scalar()),
+                    ),
+                ),
+            ]));
+        let l1 = find::find_loop(&f.body, "k1").unwrap().id;
+        let l2 = find::find_loop(&f.body, "k2").unwrap().id;
+        assert!(fuse_illegal(&f, l1, l2).is_some());
+    }
+
+    #[test]
+    fn fuse_legal_when_elementwise() {
+        // for k1: a[k1,0] = b[k1,0]; for k2: b[k2,1] = a[k2,0] * 2
+        // Dependence a[k1] -> a[k2] only at k2 == k1: fusion preserves it.
+        let f = fnc(block([
+            for_("k1", 0, var("N"), store("a", idx![var("k1"), 0], load("b", idx![var("k1"), 0]))),
+            for_(
+                "k2",
+                0,
+                var("N"),
+                store("b", idx![var("k2"), 1], load("a", idx![var("k2"), 0]) * 2.0f64),
+            ),
+        ]));
+        let l1 = find::find_loop(&f.body, "k1").unwrap().id;
+        let l2 = find::find_loop(&f.body, "k2").unwrap().id;
+        assert!(fuse_illegal(&f, l1, l2).is_none());
+    }
+
+    #[test]
+    fn fuse_illegal_on_backward_read() {
+        // for k1: a[k1,0] = ...; for k2: reads a[k2+1,0]: after fusion the
+        // read at iteration k happens before the write at k+1. Illegal.
+        let f = fnc(block([
+            for_("k1", 0, var("N"), store("a", idx![var("k1"), 0], 1.0f64)),
+            for_(
+                "k2",
+                0,
+                var("N") - 1,
+                store("b", idx![var("k2"), 0], load("a", idx![var("k2") + 1, 0])),
+            ),
+        ]));
+        let l1 = find::find_loop(&f.body, "k1").unwrap().id;
+        let l2 = find::find_loop(&f.body, "k2").unwrap().id;
+        assert!(fuse_illegal(&f, l1, l2).is_some());
+    }
+
+    #[test]
+    fn swap_legality() {
+        // s1: a[i,0] = b[i,0]; s2: b[i,1] = 1 — disjoint; swap ok.
+        let s1 = store("a", idx![i(), 0], load("b", idx![i(), 0]));
+        let s2 = store("b", idx![i(), 1], 1.0f64);
+        let (id1, id2) = (s1.id, s2.id);
+        let f = fnc(for_("i", 0, var("N"), block([s1, s2])));
+        assert!(swap_illegal(&f, id1, id2).is_none());
+        // s1 writes a[i,0], s2 reads a[i,0]: conflict at same iteration.
+        let s1 = store("a", idx![i(), 0], 1.0f64);
+        let s2 = store("b", idx![i(), 0], load("a", idx![i(), 0]));
+        let (id1, id2) = (s1.id, s2.id);
+        let f = fnc(for_("i", 0, var("N"), block([s1, s2])));
+        assert!(swap_illegal(&f, id1, id2).is_some());
+    }
+
+    #[test]
+    fn fission_legality() {
+        // for i { S1: t1[i,0] = b[i,0]; S2: a[i,0] = t1[i,0] } — fission legal
+        // (dep is loop-independent, same iteration).
+        let s1 = store("a", idx![i(), 0], load("b", idx![i(), 0]));
+        let s2 = store("b", idx![i(), 1], load("a", idx![i(), 0]));
+        let id1 = s1.id;
+        let f = fnc(for_("i", 0, var("N"), block([s1, s2])));
+        let li = find::find_loop(&f.body, "i").unwrap().id;
+        assert!(fission_illegal(&f, li, &|id| id == id1).is_none());
+        // for i { S1: a[i,0] = b[i-1,1]; S2: b[i,1] = 1 } — S1 at iter j reads
+        // what S2 wrote at iter j-1: after fission all S1 run first and read
+        // stale data. Illegal.
+        let s1 = store("a", idx![i(), 0], load("b", idx![i() - 1, 1]));
+        let s2 = store("b", idx![i(), 1], 1.0f64);
+        let id1 = s1.id;
+        let f = fnc(for_("i", 1, var("N"), block([s1, s2])));
+        let li = find::find_loop(&f.body, "i").unwrap().id;
+        assert!(fission_illegal(&f, li, &|id| id == id1).is_some());
+    }
+
+    #[test]
+    fn no_deps_assertion_suppresses() {
+        // Indirect store a[idx[i],0] = 1 normally blocks parallelization
+        // (unknown subscripts may collide); a no_deps assertion lifts it.
+        let body = store(
+            "a",
+            [Expr::cast(DataType::I64, load("idx", [i()])), 0.into()],
+            1.0f64,
+        );
+        let f = fnc(for_("i", 0, var("N"), body.clone()));
+        let li = find::find_loop(&f.body, "i").unwrap().id;
+        assert!(!parallelize_blockers(&f, li).is_empty());
+        let mut prop = ForProperty::serial();
+        prop.no_deps.push("a".to_string());
+        let f2 = fnc(for_with("i", 0, var("N"), prop, body));
+        let li2 = find::find_loop(&f2.body, "i").unwrap().id;
+        assert!(parallelize_blockers(&f2, li2).is_empty());
+    }
+}

@@ -1,0 +1,712 @@
+//! The gradient transformation: forward instrumentation + reversed pass.
+
+use crate::analyze::{decide, tensor_facts, MaterializeDecision, TapePolicy};
+use crate::deriv::{pullback, DerivError};
+use ft_ir::mutate::{rename_var_stmt, subst_var_stmt};
+use ft_ir::{
+    builder, AccessType, DataType, Expr, Func, MemType, Param, ReduceOp, Stmt, StmtKind,
+};
+use ft_passes::const_fold_expr;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Options controlling the gradient transformation.
+#[derive(Debug, Clone)]
+pub struct GradOptions {
+    /// Store-vs-recompute strategy (paper §5.2).
+    pub policy: TapePolicy,
+    /// Definition-cost threshold below which `Selective` recomputes.
+    pub recompute_threshold: usize,
+    /// Inputs to differentiate with respect to (default: every float input).
+    pub wrt: Option<Vec<String>>,
+}
+
+impl Default for GradOptions {
+    fn default() -> Self {
+        GradOptions {
+            policy: TapePolicy::Selective,
+            recompute_threshold: 16,
+            wrt: None,
+        }
+    }
+}
+
+/// Failures of the gradient transformation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdError {
+    /// An expression could not be differentiated.
+    Deriv(String),
+    /// The program shape is outside the supported fragment.
+    Unsupported(String),
+}
+
+impl fmt::Display for AdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdError::Deriv(m) => write!(f, "differentiation error: {m}"),
+            AdError::Unsupported(m) => write!(f, "autodiff unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for AdError {}
+
+impl From<DerivError> for AdError {
+    fn from(e: DerivError) -> Self {
+        AdError::Deriv(e.to_string())
+    }
+}
+
+fn grad_name(t: &str) -> String {
+    format!("{t}.grad")
+}
+
+fn tape_name(t: &str) -> String {
+    format!("{t}.tape")
+}
+
+/// Differentiate with default options. See [`grad_with`].
+///
+/// # Errors
+///
+/// See [`grad_with`].
+pub fn grad(func: &Func) -> Result<Func, AdError> {
+    grad_with(func, &GradOptions::default())
+}
+
+/// Build the gradient function of `func`: it computes the original outputs
+/// *plus* `x.grad` for every requested input, given seed gradients `y.grad`
+/// for every float output (passed in-out; they are consumed).
+///
+/// # Errors
+///
+/// [`AdError::Unsupported`] for in-out parameters, library calls, taped
+/// tensors under non-affine/iterator-dependent loop bounds, and
+/// multiplicative reductions; [`AdError::Deriv`] for non-differentiable
+/// expressions on the value path.
+pub fn grad_with(func: &Func, opts: &GradOptions) -> Result<Func, AdError> {
+    for p in &func.params {
+        if p.atype == AccessType::InOut {
+            return Err(AdError::Unsupported(format!(
+                "in-out parameter `{}` (separate inputs from outputs before AD)",
+                p.name
+            )));
+        }
+    }
+    let mut has_libcall = false;
+    func.body.walk(&mut |s| {
+        has_libcall |= matches!(s.kind, StmtKind::LibCall { .. });
+    });
+    if has_libcall {
+        return Err(AdError::Unsupported(
+            "library calls cannot be differentiated; apply as_lib after AD".to_string(),
+        ));
+    }
+
+    // Active tensors: requested inputs, float outputs, and float locals.
+    let wrt: Vec<String> = match &opts.wrt {
+        Some(w) => w.clone(),
+        None => func
+            .params
+            .iter()
+            .filter(|p| p.atype == AccessType::Input && p.dtype.is_float())
+            .map(|p| p.name.clone())
+            .collect(),
+    };
+    let mut dtypes: HashMap<String, DataType> = HashMap::new();
+    let mut mtypes: HashMap<String, MemType> = HashMap::new();
+    for p in &func.params {
+        dtypes.insert(p.name.clone(), p.dtype);
+        mtypes.insert(p.name.clone(), p.mtype);
+    }
+    func.body.walk(&mut |s| {
+        if let StmtKind::VarDef {
+            name, dtype, mtype, ..
+        } = &s.kind
+        {
+            dtypes.insert(name.clone(), *dtype);
+            mtypes.insert(name.clone(), *mtype);
+        }
+    });
+    let inputs_inactive: HashSet<String> = func
+        .params
+        .iter()
+        .filter(|p| p.atype == AccessType::Input && !wrt.contains(&p.name))
+        .map(|p| p.name.clone())
+        .collect();
+    let dtypes_for_active = dtypes.clone();
+    let active = move |name: &str| -> bool {
+        dtypes_for_active
+            .get(name)
+            .is_some_and(|d| d.is_float())
+            && !inputs_inactive.contains(name)
+    };
+
+    let facts = tensor_facts(func, &active);
+    let param_set: HashSet<String> = func.params.iter().map(|p| p.name.clone()).collect();
+    let decisions = decide(&facts, &param_set, opts.policy, opts.recompute_threshold);
+    if opts.policy == TapePolicy::None {
+        if let Some((t, _)) = decisions
+            .iter()
+            .find(|(_, d)| **d == MaterializeDecision::Store)
+        {
+            return Err(AdError::Unsupported(format!(
+                "`{t}` must be materialized but TapePolicy::None forbids it"
+            )));
+        }
+    }
+
+    let mut tx = Grad {
+        decisions: &decisions,
+        dtypes: &dtypes,
+        active: &active,
+        tapes: Vec::new(),
+        versions: HashMap::new(),
+        stack: Vec::new(),
+        tmp: 0,
+        size_params: func.size_params.iter().cloned().collect(),
+    };
+    let fwd = tx.instrument_forward(func.body.clone())?;
+    let bwd = tx.backward(&func.body)?;
+
+    // Assemble: tapes wrap [forward; backward].
+    let mut body = Stmt::new(StmtKind::Block(vec![fwd, bwd]));
+    for (name, dims, dtype) in tx.tapes.iter().rev() {
+        body = builder::var_def(name.clone(), dims.clone(), *dtype, MemType::CpuHeap, body);
+    }
+    let mut out = Func::new(format!("{}.grad", func.name));
+    out.size_params = func.size_params.clone();
+    for p in &func.params {
+        out.params.push(p.clone());
+    }
+    for p in &func.params {
+        if p.atype == AccessType::Output && p.dtype.is_float() {
+            out.params.push(Param {
+                name: grad_name(&p.name),
+                shape: p.shape.clone(),
+                dtype: p.dtype,
+                mtype: p.mtype,
+                atype: AccessType::InOut,
+            });
+        }
+    }
+    for x in &wrt {
+        let p = func
+            .find_param(x)
+            .ok_or_else(|| AdError::Unsupported(format!("unknown wrt input `{x}`")))?;
+        out.params.push(Param {
+            name: grad_name(x),
+            shape: p.shape.clone(),
+            dtype: p.dtype,
+            mtype: p.mtype,
+            atype: AccessType::Output,
+        });
+    }
+    out.body = body;
+    Ok(out)
+}
+
+struct Grad<'a> {
+    decisions: &'a HashMap<String, MaterializeDecision>,
+    dtypes: &'a HashMap<String, DataType>,
+    active: &'a dyn Fn(&str) -> bool,
+    /// Collected tape definitions: (name, dims, dtype).
+    tapes: Vec<(String, Vec<Expr>, DataType)>,
+    /// Version-dimension count per taped tensor (loops enclosing its
+    /// `VarDef` in the forward pass).
+    versions: HashMap<String, usize>,
+    /// Enclosing loops: (iter, begin, end).
+    stack: Vec<(String, Expr, Expr)>,
+    tmp: usize,
+    size_params: HashSet<String>,
+}
+
+impl Grad<'_> {
+    fn stored(&self, t: &str) -> bool {
+        self.decisions.get(t) == Some(&MaterializeDecision::Store)
+    }
+
+    fn recomputed(&self, t: &str) -> bool {
+        self.decisions.get(t) == Some(&MaterializeDecision::Recompute)
+    }
+
+    fn check_tapeable_bounds(&self, t: &str) -> Result<(), AdError> {
+        for (_, b, e) in &self.stack {
+            for expr in [b, e] {
+                for v in expr.free_vars() {
+                    if !self.size_params.contains(&v) {
+                        return Err(AdError::Unsupported(format!(
+                            "tape for `{t}` needs loop bounds over size parameters only \
+                             (found iterator `{v}`)"
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Forward pass: original statements plus end-of-scope tape snapshots
+    /// for every tensor decided `Store`.
+    fn instrument_forward(&mut self, s: Stmt) -> Result<Stmt, AdError> {
+        let Stmt { id, label, kind } = s;
+        let kind = match kind {
+            StmtKind::Block(v) => StmtKind::Block(
+                v.into_iter()
+                    .map(|st| self.instrument_forward(st))
+                    .collect::<Result<_, _>>()?,
+            ),
+            StmtKind::VarDef {
+                name,
+                shape,
+                dtype,
+                mtype,
+                atype,
+                body,
+            } => {
+                let body = self.instrument_forward(*body)?;
+                let body = if self.stored(&name) {
+                    self.check_tapeable_bounds(&name)?;
+                    // Tape dims: one per enclosing loop (symbolic versions,
+                    // §5.1) plus the tensor's own dims.
+                    let mut dims: Vec<Expr> = self
+                        .stack
+                        .iter()
+                        .map(|(_, b, e)| const_fold_expr(e.clone() - b.clone()))
+                        .collect();
+                    dims.extend(shape.iter().cloned());
+                    self.versions.insert(name.clone(), self.stack.len());
+                    self.tapes.push((tape_name(&name), dims, dtype));
+                    let snapshot = self.snapshot(&name, &shape);
+                    Stmt::new(StmtKind::Block(vec![body, snapshot]))
+                } else {
+                    body
+                };
+                StmtKind::VarDef {
+                    name,
+                    shape,
+                    dtype,
+                    mtype,
+                    atype,
+                    body: Box::new(body),
+                }
+            }
+            StmtKind::For {
+                iter,
+                begin,
+                end,
+                property,
+                body,
+            } => {
+                self.stack
+                    .push((iter.clone(), begin.clone(), end.clone()));
+                let body = self.instrument_forward(*body)?;
+                self.stack.pop();
+                StmtKind::For {
+                    iter,
+                    begin,
+                    end,
+                    property,
+                    body: Box::new(body),
+                }
+            }
+            StmtKind::If {
+                cond,
+                then,
+                otherwise,
+            } => StmtKind::If {
+                cond,
+                then: Box::new(self.instrument_forward(*then)?),
+                otherwise: match otherwise {
+                    Some(o) => Some(Box::new(self.instrument_forward(*o)?)),
+                    None => None,
+                },
+            },
+            k => k,
+        };
+        Ok(Stmt { id, label, kind })
+    }
+
+    /// Version subscripts for the current loop stack: `iter - begin` each.
+    fn version_indices(&self) -> Vec<Expr> {
+        self.stack
+            .iter()
+            .map(|(it, b, _)| const_fold_expr(builder::var(it) - b.clone()))
+            .collect()
+    }
+
+    /// `for c…: t.tape[versions…, c…] = t[c…]`.
+    fn snapshot(&mut self, t: &str, shape: &[Expr]) -> Stmt {
+        let iters: Vec<String> = (0..shape.len()).map(|d| format!("{t}.s{d}")).collect();
+        let elem: Vec<Expr> = iters.iter().map(builder::var).collect();
+        let mut idx = self.version_indices();
+        idx.extend(elem.iter().cloned());
+        let mut stmt = builder::store(
+            tape_name(t),
+            idx,
+            Expr::Load {
+                var: t.to_string(),
+                indices: elem,
+            },
+        );
+        for (it, ext) in iters.iter().zip(shape).rev() {
+            stmt = builder::for_(it, 0, ext.clone(), stmt);
+        }
+        stmt
+    }
+
+    /// Replace value-loads of `Store`-decided tensors with tape loads,
+    /// indexed by the current (mirrored) loop iterators.
+    fn tape_substitute(&self, e: &Expr) -> Expr {
+        match e {
+            Expr::Load { var, indices } if self.stored(var) => {
+                let nvers = self.versions.get(var).copied().unwrap_or(0);
+                let mut idx: Vec<Expr> = self.stack[..nvers]
+                    .iter()
+                    .map(|(it, b, _)| const_fold_expr(builder::var(it) - b.clone()))
+                    .collect();
+                idx.extend(indices.iter().map(|i| self.tape_substitute(i)));
+                Expr::Load {
+                    var: tape_name(var),
+                    indices: idx,
+                }
+            }
+            Expr::Load { var, indices } => Expr::Load {
+                var: var.clone(),
+                indices: indices.iter().map(|i| self.tape_substitute(i)).collect(),
+            },
+            Expr::Unary { op, a } => Expr::unary(*op, self.tape_substitute(a)),
+            Expr::Binary { op, a, b } => {
+                Expr::binary(*op, self.tape_substitute(a), self.tape_substitute(b))
+            }
+            Expr::Select {
+                cond,
+                then,
+                otherwise,
+            } => Expr::select(
+                self.tape_substitute(cond),
+                self.tape_substitute(then),
+                self.tape_substitute(otherwise),
+            ),
+            Expr::Cast { dtype, a } => Expr::cast(*dtype, self.tape_substitute(a)),
+            other => other.clone(),
+        }
+    }
+
+}
+
+impl Grad<'_> {
+    /// Build the reversed (backward) pass of a statement.
+    fn backward(&mut self, s: &Stmt) -> Result<Stmt, AdError> {
+        match &s.kind {
+            StmtKind::Empty | StmtKind::LibCall { .. } => Ok(builder::empty()),
+            StmtKind::Block(v) => {
+                let mut out: Vec<Stmt> = Vec::new();
+                // Re-emit recompute definitions first, in forward order
+                // (paper Fig. 15(c)): any direct child that only stores into
+                // recompute-decided tensors — a bare store or a whole loop
+                // nest — is replayed, with loads of taped tensors redirected
+                // to their tapes.
+                for st in v {
+                    let (writes, all_stores) = written_tensors(st);
+                    if !writes.is_empty()
+                        && all_stores
+                        && writes.iter().all(|t| self.recomputed(t))
+                    {
+                        let replay = self.tape_substitute_stmt(refresh_ids(st));
+                        out.push(replay);
+                    }
+                }
+                for st in v.iter().rev() {
+                    // The recompute definitions' own pullback still runs:
+                    // it routes gradients onward to the inputs.
+                    out.push(self.backward(st)?);
+                }
+                Ok(Stmt::new(StmtKind::Block(out)))
+            }
+            StmtKind::VarDef {
+                name,
+                shape,
+                dtype,
+                mtype,
+                ..
+            } => {
+                let body = {
+                    let StmtKind::VarDef { body, .. } = &s.kind else {
+                        unreachable!()
+                    };
+                    self.backward(body)?
+                };
+                // The backward incarnation of the tensor (fresh, zeroed;
+                // refilled by recomputation when needed).
+                let bwd_name = format!("{name}.b");
+                let body = rename_var_stmt(body, name, &bwd_name);
+                let with_grad = if (self.active)(name) {
+                    builder::var_def(
+                        grad_name(name),
+                        shape.clone(),
+                        *dtype,
+                        *mtype,
+                        body,
+                    )
+                } else {
+                    body
+                };
+                Ok(builder::var_def(
+                    bwd_name,
+                    shape.clone(),
+                    *dtype,
+                    *mtype,
+                    with_grad,
+                ))
+            }
+            StmtKind::For {
+                iter,
+                begin,
+                end,
+                body,
+                ..
+            } => {
+                self.stack
+                    .push((iter.clone(), begin.clone(), end.clone()));
+                let inner = self.backward(body)?;
+                self.stack.pop();
+                // Iterate in reverse: i := begin + end - 1 - i.
+                let reversed_iter = const_fold_expr(
+                    begin.clone() + end.clone() - 1 - builder::var(iter),
+                );
+                let inner = subst_var_stmt(inner, iter, &reversed_iter);
+                Ok(builder::for_(
+                    iter.clone(),
+                    begin.clone(),
+                    end.clone(),
+                    inner,
+                ))
+            }
+            StmtKind::If {
+                cond,
+                then,
+                otherwise,
+            } => {
+                let t = self.backward(then)?;
+                match otherwise {
+                    Some(o) => {
+                        let o = self.backward(o)?;
+                        Ok(builder::if_else(cond.clone(), t, o))
+                    }
+                    None => Ok(builder::if_(cond.clone(), t)),
+                }
+            }
+            StmtKind::Store {
+                var,
+                indices,
+                value,
+            } => {
+                if !(self.active)(var) {
+                    return Ok(builder::empty());
+                }
+                // g = var.grad[idx]; var.grad[idx] = 0; then contributions
+                // flow with adjoint g (handles self-referencing stores).
+                self.tmp += 1;
+                let g = format!("ad.g{}", self.tmp);
+                let dtype = self.dtypes.get(var).copied().unwrap_or(DataType::F64);
+                let mut stmts = vec![
+                    builder::store(
+                        &g,
+                        builder::scalar(),
+                        Expr::Load {
+                            var: grad_name(var),
+                            indices: indices.clone(),
+                        },
+                    ),
+                    builder::store(grad_name(var), indices.clone(), ReduceOp::Add.identity(dtype)),
+                ];
+                let adj = Expr::Load {
+                    var: g.clone(),
+                    indices: vec![],
+                };
+                for c in pullback(value, &adj, self.active)? {
+                    stmts.push(builder::reduce(
+                        grad_name(&c.target),
+                        c.indices.iter().map(|i| self.tape_substitute(i)),
+                        ReduceOp::Add,
+                        self.tape_substitute(&c.value),
+                    ));
+                }
+                Ok(builder::var_def(
+                    g,
+                    Vec::<Expr>::new(),
+                    dtype,
+                    MemType::CpuStack,
+                    Stmt::new(StmtKind::Block(stmts)),
+                ))
+            }
+            StmtKind::ReduceTo {
+                var,
+                indices,
+                op,
+                value,
+                ..
+            } => {
+                if !(self.active)(var) {
+                    return Ok(builder::empty());
+                }
+                match op {
+                    ReduceOp::Add => {
+                        let adj = Expr::Load {
+                            var: grad_name(var),
+                            indices: indices.clone(),
+                        };
+                        let mut stmts = Vec::new();
+                        for c in pullback(value, &adj, self.active)? {
+                            stmts.push(builder::reduce(
+                                grad_name(&c.target),
+                                c.indices.iter().map(|i| self.tape_substitute(i)),
+                                ReduceOp::Add,
+                                self.tape_substitute(&c.value),
+                            ));
+                        }
+                        Ok(Stmt::new(StmtKind::Block(stmts)))
+                    }
+                    // Extremum reductions (numerical-stability shifts like
+                    // softmax's running max) are treated as locally constant:
+                    // the shift's gradient contributions cancel analytically,
+                    // so the subgradient through the max is dropped.
+                    ReduceOp::Max | ReduceOp::Min => Ok(builder::empty()),
+                    ReduceOp::Mul => Err(AdError::Unsupported(
+                        "multiplicative reductions".to_string(),
+                    )),
+                }
+            }
+        }
+    }
+}
+
+/// The set of tensors written in a sub-tree, and whether every write is a
+/// plain `Store`.
+fn written_tensors(s: &Stmt) -> (HashSet<String>, bool) {
+    let mut writes = HashSet::new();
+    let mut all_stores = true;
+    s.walk(&mut |st| match &st.kind {
+        StmtKind::Store { var, .. } => {
+            writes.insert(var.clone());
+        }
+        StmtKind::ReduceTo { var, .. } => {
+            writes.insert(var.clone());
+            all_stores = false;
+        }
+        StmtKind::LibCall { outputs, .. } => {
+            writes.extend(outputs.iter().cloned());
+            all_stores = false;
+        }
+        _ => {}
+    });
+    (writes, all_stores)
+}
+
+impl Grad<'_> {
+    /// Apply [`Grad::tape_substitute`] to every expression in a statement
+    /// (used when replaying recompute definitions in the backward pass).
+    fn tape_substitute_stmt(&self, s: Stmt) -> Stmt {
+        let Stmt { id, label, kind } = s;
+        let kind = match kind {
+            StmtKind::Block(v) => StmtKind::Block(
+                v.into_iter().map(|st| self.tape_substitute_stmt(st)).collect(),
+            ),
+            StmtKind::VarDef {
+                name,
+                shape,
+                dtype,
+                mtype,
+                atype,
+                body,
+            } => StmtKind::VarDef {
+                name,
+                shape,
+                dtype,
+                mtype,
+                atype,
+                body: Box::new(self.tape_substitute_stmt(*body)),
+            },
+            StmtKind::For {
+                iter,
+                begin,
+                end,
+                property,
+                body,
+            } => StmtKind::For {
+                iter,
+                begin: self.tape_substitute(&begin),
+                end: self.tape_substitute(&end),
+                property,
+                body: Box::new(self.tape_substitute_stmt(*body)),
+            },
+            StmtKind::If {
+                cond,
+                then,
+                otherwise,
+            } => StmtKind::If {
+                cond: self.tape_substitute(&cond),
+                then: Box::new(self.tape_substitute_stmt(*then)),
+                otherwise: otherwise.map(|o| Box::new(self.tape_substitute_stmt(*o))),
+            },
+            StmtKind::Store {
+                var,
+                indices,
+                value,
+            } => StmtKind::Store {
+                var,
+                indices: indices.iter().map(|i| self.tape_substitute(i)).collect(),
+                value: self.tape_substitute(&value),
+            },
+            k => k,
+        };
+        Stmt { id, label, kind }
+    }
+}
+
+/// Deep copy with fresh statement identities.
+fn refresh_ids(s: &Stmt) -> Stmt {
+    let kind = match &s.kind {
+        StmtKind::Block(v) => StmtKind::Block(v.iter().map(refresh_ids).collect()),
+        StmtKind::VarDef {
+            name,
+            shape,
+            dtype,
+            mtype,
+            atype,
+            body,
+        } => StmtKind::VarDef {
+            name: name.clone(),
+            shape: shape.clone(),
+            dtype: *dtype,
+            mtype: *mtype,
+            atype: *atype,
+            body: Box::new(refresh_ids(body)),
+        },
+        StmtKind::For {
+            iter,
+            begin,
+            end,
+            property,
+            body,
+        } => StmtKind::For {
+            iter: iter.clone(),
+            begin: begin.clone(),
+            end: end.clone(),
+            property: property.clone(),
+            body: Box::new(refresh_ids(body)),
+        },
+        StmtKind::If {
+            cond,
+            then,
+            otherwise,
+        } => StmtKind::If {
+            cond: cond.clone(),
+            then: Box::new(refresh_ids(then)),
+            otherwise: otherwise.as_ref().map(|o| Box::new(refresh_ids(o))),
+        },
+        k => k.clone(),
+    };
+    Stmt::new(kind)
+}

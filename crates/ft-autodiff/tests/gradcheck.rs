@@ -1,0 +1,408 @@
+//! Gradient checking: analytic gradients from the AD transform vs central
+//! finite differences, across the paper's mechanism examples.
+
+use ft_autodiff::{grad, grad_with, GradOptions, TapePolicy};
+use ft_ir::idx;
+use ft_ir::prelude::*;
+use ft_runtime::{Runtime, TensorVal};
+use std::collections::HashMap;
+
+type Inputs = HashMap<String, TensorVal>;
+
+fn tensor(shape: &[usize], seed: u64) -> TensorVal {
+    // Deterministic pseudo-random values in [-1, 1].
+    let n: usize = shape.iter().product();
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    let data: Vec<f64> = (0..n)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state as f64 / u64::MAX as f64) * 2.0 - 1.0
+        })
+        .collect();
+    TensorVal::from_f64(shape, data)
+}
+
+/// Sum all elements of all float outputs (the scalar loss used for FD).
+fn loss(func: &Func, inputs: &Inputs, sizes: &HashMap<String, i64>) -> f64 {
+    let r = Runtime::new().run(func, inputs, sizes).expect("fwd runs");
+    r.outputs
+        .values()
+        .flat_map(|t| t.to_f64_vec())
+        .sum()
+}
+
+/// Compare AD gradients against central finite differences for each wrt
+/// input of `func`, using the all-ones seed (loss = sum of outputs).
+fn gradcheck(func: &Func, opts: &GradOptions, inputs: &Inputs, sizes: &[(&str, i64)], tol: f64) {
+    let sizes: HashMap<String, i64> = sizes.iter().map(|(k, v)| (k.to_string(), *v)).collect();
+    let g = grad_with(func, opts).expect("grad transform");
+    // Seeds: ones for every output gradient.
+    let mut grad_inputs = inputs.clone();
+    let fwd = Runtime::new().run(func, inputs, &sizes).expect("fwd");
+    for p in &func.params {
+        if p.atype == AccessType::Output && p.dtype.is_float() {
+            let shape = fwd.output(&p.name).shape().to_vec();
+            let ones =
+                TensorVal::from_f64(&shape, vec![1.0; shape.iter().product::<usize>().max(1)]);
+            grad_inputs.insert(format!("{}.grad", p.name), ones);
+        }
+    }
+    let res = Runtime::new().run(&g, &grad_inputs, &sizes).expect("grad runs");
+    // Finite differences per input element.
+    let eps = 1e-5;
+    for p in &func.params {
+        if p.atype != AccessType::Input || !p.dtype.is_float() {
+            continue;
+        }
+        let analytic = res.output(&format!("{}.grad", p.name));
+        let base = inputs[&p.name].clone();
+        for i in 0..base.numel() {
+            let mut plus = inputs.clone();
+            let mut t = base.clone();
+            t.set_flat(i, ft_runtime::Scalar::Float(base.get_flat(i).as_f64() + eps));
+            plus.insert(p.name.clone(), t);
+            let mut minus = inputs.clone();
+            let mut t = base.clone();
+            t.set_flat(i, ft_runtime::Scalar::Float(base.get_flat(i).as_f64() - eps));
+            minus.insert(p.name.clone(), t);
+            let fd = (loss(func, &plus, &sizes) - loss(func, &minus, &sizes)) / (2.0 * eps);
+            let an = analytic.get_flat(i).as_f64();
+            assert!(
+                (fd - an).abs() <= tol * (1.0 + fd.abs()),
+                "gradient mismatch for {}[{}]: analytic {an}, finite-diff {fd}\n{g}",
+                p.name,
+                i
+            );
+        }
+    }
+}
+
+/// The paper's Fig. 15 program.
+fn fig15(n: i64) -> Func {
+    Func::new("fig15")
+        .param("a", [n], DataType::F64, AccessType::Input)
+        .param("b", [n], DataType::F64, AccessType::Input)
+        .param("c", [n], DataType::F64, AccessType::Input)
+        .param("d", [n], DataType::F64, AccessType::Input)
+        .param("y", [n], DataType::F64, AccessType::Output)
+        .param("z", [n], DataType::F64, AccessType::Output)
+        .body(for_(
+            "i",
+            0,
+            n,
+            var_def(
+                "t",
+                scalar(),
+                DataType::F64,
+                MemType::CpuStack,
+                block([
+                    store("t", scalar(), load("a", [var("i")]) * load("b", [var("i")])),
+                    store("y", [var("i")], load("t", scalar()) * load("c", [var("i")])),
+                    store("z", [var("i")], load("t", scalar()) * load("d", [var("i")])),
+                ]),
+            ),
+        ))
+}
+
+fn fig15_inputs(n: usize) -> Inputs {
+    [
+        ("a".to_string(), tensor(&[n], 1)),
+        ("b".to_string(), tensor(&[n], 2)),
+        ("c".to_string(), tensor(&[n], 3)),
+        ("d".to_string(), tensor(&[n], 4)),
+    ]
+    .into_iter()
+    .collect()
+}
+
+#[test]
+fn fig15_gradcheck_selective() {
+    gradcheck(&fig15(6), &GradOptions::default(), &fig15_inputs(6), &[], 1e-4);
+}
+
+#[test]
+fn fig15_gradcheck_materialize_all() {
+    let opts = GradOptions {
+        policy: TapePolicy::All,
+        ..Default::default()
+    };
+    gradcheck(&fig15(6), &opts, &fig15_inputs(6), &[], 1e-4);
+}
+
+#[test]
+fn fig15_policies_agree_but_tape_differs() {
+    // FT(-) materializes t (tape present); FT(+) recomputes (no tape), with
+    // identical results — the mechanism behind the paper's Fig. 18.
+    let f = fig15(6);
+    let all = grad_with(
+        &f,
+        &GradOptions {
+            policy: TapePolicy::All,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let sel = grad_with(&f, &GradOptions::default()).unwrap();
+    assert!(all.to_string().contains("t.tape"), "{all}");
+    assert!(!sel.to_string().contains("t.tape"), "{sel}");
+    // The recomputing version re-emits the defining store, targeting the
+    // backward incarnation `t.b`, in the backward pass (Fig. 15(c)).
+    assert!(sel.to_string().contains("t.b[] = a["), "{sel}");
+}
+
+#[test]
+fn reduction_gradcheck() {
+    // y[0] = sum_i x[i]^2 (via ReduceTo): dy/dx = 2x.
+    let f = Func::new("sumsq")
+        .param("x", [5], DataType::F64, AccessType::Input)
+        .param("y", [1], DataType::F64, AccessType::Output)
+        .body(for_(
+            "i",
+            0,
+            5,
+            reduce(
+                "y",
+                [0],
+                ReduceOp::Add,
+                load("x", [var("i")]) * load("x", [var("i")]),
+            ),
+        ));
+    let inputs: Inputs = [("x".to_string(), tensor(&[5], 7))].into_iter().collect();
+    gradcheck(&f, &GradOptions::default(), &inputs, &[], 1e-4);
+}
+
+#[test]
+fn softmax_like_gradcheck() {
+    // Numerically-stabilized softmax then weighted sum — the Longformer
+    // attention inner pattern, with a max-reduction shift.
+    let n = 5i64;
+    let f = Func::new("softmax")
+        .param("x", [n], DataType::F64, AccessType::Input)
+        .param("v", [n], DataType::F64, AccessType::Input)
+        .param("y", [1], DataType::F64, AccessType::Output)
+        .body(var_def(
+            "m",
+            scalar(),
+            DataType::F64,
+            MemType::CpuStack,
+            var_def(
+                "den",
+                scalar(),
+                DataType::F64,
+                MemType::CpuStack,
+                block([
+                    store("m", scalar(), f64::NEG_INFINITY),
+                    for_(
+                        "i",
+                        0,
+                        n,
+                        reduce("m", scalar(), ReduceOp::Max, load("x", [var("i")])),
+                    ),
+                    for_(
+                        "j",
+                        0,
+                        n,
+                        reduce(
+                            "den",
+                            scalar(),
+                            ReduceOp::Add,
+                            intrin::exp(load("x", [var("j")]) - load("m", scalar())),
+                        ),
+                    ),
+                    for_(
+                        "k",
+                        0,
+                        n,
+                        reduce(
+                            "y",
+                            [0],
+                            ReduceOp::Add,
+                            intrin::exp(load("x", [var("k")]) - load("m", scalar()))
+                                / load("den", scalar())
+                                * load("v", [var("k")]),
+                        ),
+                    ),
+                ]),
+            ),
+        ));
+    let inputs: Inputs = [
+        ("x".to_string(), tensor(&[5], 11)),
+        ("v".to_string(), tensor(&[5], 12)),
+    ]
+    .into_iter()
+    .collect();
+    gradcheck(&f, &GradOptions::default(), &inputs, &[], 1e-3);
+}
+
+#[test]
+fn guarded_stencil_gradcheck() {
+    // Sliding-window access with boundary guards (Longformer shape).
+    let (n, w) = (6i64, 2i64);
+    let f = Func::new("window")
+        .param("x", [n], DataType::F64, AccessType::Input)
+        .param("y", [n], DataType::F64, AccessType::Output)
+        .body(for_(
+            "j",
+            0,
+            n,
+            for_(
+                "k",
+                -w,
+                w + 1,
+                if_(
+                    (var("j") + var("k"))
+                        .ge(0)
+                        .and((var("j") + var("k")).lt(n)),
+                    reduce(
+                        "y",
+                        [var("j")],
+                        ReduceOp::Add,
+                        load("x", idx![var("j") + var("k")]) * 0.5f64,
+                    ),
+                ),
+            ),
+        ));
+    let inputs: Inputs = [("x".to_string(), tensor(&[6], 21))].into_iter().collect();
+    gradcheck(&f, &GradOptions::default(), &inputs, &[], 1e-4);
+}
+
+#[test]
+fn unary_chain_gradcheck() {
+    // y[i] = sigmoid(exp(x[i]) * tanh(x[i]) + sqrt(abs(x[i]) + 1))
+    let f = Func::new("chain")
+        .param("x", [4], DataType::F64, AccessType::Input)
+        .param("y", [4], DataType::F64, AccessType::Output)
+        .body(for_(
+            "i",
+            0,
+            4,
+            store(
+                "y",
+                [var("i")],
+                intrin::sigmoid(
+                    intrin::exp(load("x", [var("i")])) * intrin::tanh(load("x", [var("i")]))
+                        + intrin::sqrt(intrin::abs(load("x", [var("i")])) + 1.0f64),
+                ),
+            ),
+        ));
+    let inputs: Inputs = [("x".to_string(), tensor(&[4], 31))].into_iter().collect();
+    gradcheck(&f, &GradOptions::default(), &inputs, &[], 1e-3);
+}
+
+#[test]
+fn overwritten_output_gradcheck() {
+    // y[i] written twice: the second store kills the first's gradient path.
+    let f = Func::new("overwrite")
+        .param("x", [4], DataType::F64, AccessType::Input)
+        .param("y", [4], DataType::F64, AccessType::Output)
+        .body(for_(
+            "i",
+            0,
+            4,
+            block([
+                store("y", [var("i")], load("x", [var("i")]) * 3.0f64),
+                store("y", [var("i")], load("x", [var("i")]) * load("x", [var("i")])),
+            ]),
+        ));
+    let inputs: Inputs = [("x".to_string(), tensor(&[4], 41))].into_iter().collect();
+    gradcheck(&f, &GradOptions::default(), &inputs, &[], 1e-4);
+}
+
+#[test]
+fn taped_vector_intermediate_gradcheck() {
+    // A vector intermediate with an expensive definition: must be taped
+    // under Selective, and indexed by the loop version in the backward pass.
+    let (n, m) = (3i64, 4i64);
+    let f = Func::new("taped")
+        .param("x", [n, m], DataType::F64, AccessType::Input)
+        .param("y", [n], DataType::F64, AccessType::Output)
+        .body(for_(
+            "i",
+            0,
+            n,
+            var_def(
+                "row",
+                [m],
+                DataType::F64,
+                MemType::CpuStack,
+                block([
+                    for_(
+                        "j",
+                        0,
+                        m,
+                        store(
+                            "row",
+                            [var("j")],
+                            intrin::exp(
+                                intrin::sigmoid(load("x", [var("i"), var("j")]))
+                                    * intrin::tanh(load("x", [var("i"), var("j")]))
+                                    + intrin::sqrt(
+                                        intrin::abs(load("x", [var("i"), var("j")])) + 1.0f64,
+                                    ),
+                            ),
+                        ),
+                    ),
+                    for_(
+                        "k",
+                        0,
+                        m,
+                        reduce(
+                            "y",
+                            [var("i")],
+                            ReduceOp::Add,
+                            load("row", [var("k")]) * load("row", [var("k")]),
+                        ),
+                    ),
+                ]),
+            ),
+        ));
+    // Force the store decision with a tight recompute budget.
+    let opts = GradOptions {
+        recompute_threshold: 4,
+        ..Default::default()
+    };
+    let g = grad_with(&f, &opts).unwrap();
+    assert!(g.to_string().contains("row.tape"), "{g}");
+    let inputs: Inputs = [("x".to_string(), tensor(&[3, 4], 51))].into_iter().collect();
+    gradcheck(&f, &opts, &inputs, &[], 1e-3);
+    // The default (more recompute-friendly) budget must agree too.
+    gradcheck(&f, &GradOptions::default(), &inputs, &[], 1e-3);
+    let _ = grad(&f).unwrap();
+}
+
+#[test]
+fn unsupported_cases_error_cleanly() {
+    // InOut parameter.
+    let f = Func::new("f")
+        .param("x", [2], DataType::F64, AccessType::InOut)
+        .body(store("x", [0], load("x", [1])));
+    assert!(grad(&f).is_err());
+    // Multiplicative reduction.
+    let f = Func::new("f")
+        .param("x", [2], DataType::F64, AccessType::Input)
+        .param("y", [1], DataType::F64, AccessType::Output)
+        .body(for_(
+            "i",
+            0,
+            2,
+            reduce("y", [0], ReduceOp::Mul, load("x", [var("i")])),
+        ));
+    assert!(grad(&f).is_err());
+}
+
+#[test]
+fn frontend_program_differentiates() {
+    // End-to-end: DSL source -> IR -> grad -> gradcheck.
+    let src = r#"
+def f(x: f64[6] in, y: f64[6] out):
+  for i in range(6):
+    t = create_var((), "f64", "cpu")
+    t = x[i] * x[i]
+    y[i] = t * x[i]
+"#;
+    let f = ft_frontend::compile_str(src, "f").expect("compiles");
+    let inputs: Inputs = [("x".to_string(), tensor(&[6], 61))].into_iter().collect();
+    gradcheck(&f, &GradOptions::default(), &inputs, &[], 1e-4);
+}

@@ -1,0 +1,452 @@
+//! # ft-autoschedule — the rule-based auto-transforming strategy
+//!
+//! The paper's §4.3: six heuristic passes that *try* transformations,
+//! relying on the dependence-checked primitives of `ft-schedule` to reject
+//! anything unsafe — "we can aggressively try transformations without
+//! worrying about their correctness":
+//!
+//! 1. [`auto_fuse`] — fuse adjacent equal-extent loops for locality;
+//! 2. [`auto_vectorize`] — vectorize innermost dependence-free loops;
+//! 3. [`auto_parallelize`] — bind outer loops to OpenMP threads or the CUDA
+//!    grid/block hierarchy (splitting when a single loop must feed both);
+//! 4. [`auto_mem_type`] — move small tensors toward the processor
+//!    (registers ≻ scratch-pad ≻ main memory);
+//! 5. [`auto_use_lib`] — replace compute-intensive nests with vendor-library
+//!    calls (`as_lib`);
+//! 6. [`auto_unroll`] — unroll very short loops.
+//!
+//! [`auto_schedule`] runs all six in the paper's order for a target device.
+
+use ft_ir::{Device, Func, MemType, ParallelScope, Stmt, StmtId, StmtKind};
+use ft_schedule::Schedule;
+
+/// Auto-scheduling target description.
+#[derive(Debug, Clone)]
+pub struct Target {
+    /// CPU or (simulated) GPU.
+    pub device: Device,
+    /// Elements threshold for register-class placement.
+    pub reg_elems: i64,
+    /// Elements threshold for shared-memory placement (GPU).
+    pub shared_elems: i64,
+    /// Trip-count threshold for unrolling.
+    pub unroll_trip: i64,
+    /// Split factor when one loop must feed both grid and block parallelism.
+    pub gpu_block_size: i64,
+}
+
+impl Target {
+    /// Default CPU target.
+    pub fn cpu() -> Target {
+        Target {
+            device: Device::Cpu,
+            reg_elems: 64,
+            shared_elems: 4096,
+            unroll_trip: 8,
+            gpu_block_size: 128,
+        }
+    }
+
+    /// Default (simulated) GPU target.
+    pub fn gpu() -> Target {
+        Target {
+            device: Device::Gpu,
+            ..Target::cpu()
+        }
+    }
+}
+
+fn all_loops(func: &Func) -> Vec<StmtId> {
+    ft_ir::find::find_stmts(&func.body, &|s| matches!(s.kind, StmtKind::For { .. }))
+        .into_iter()
+        .map(|s| s.id)
+        .collect()
+}
+
+fn loop_extent_const(func: &Func, id: StmtId) -> Option<i64> {
+    let s = ft_ir::find::find_by_id(&func.body, id)?;
+    let StmtKind::For { begin, end, .. } = &s.kind else {
+        return None;
+    };
+    let e = ft_passes::const_fold_expr(end.clone() - begin.clone());
+    e.as_int()
+}
+
+fn is_innermost(func: &Func, id: StmtId) -> bool {
+    let Some(s) = ft_ir::find::find_by_id(&func.body, id) else {
+        return false;
+    };
+    let mut inner = 0;
+    s.walk(&mut |st| {
+        if matches!(st.kind, StmtKind::For { .. }) {
+            inner += 1;
+        }
+    });
+    inner == 1 // only itself
+}
+
+fn loop_parallel(func: &Func, id: StmtId) -> ParallelScope {
+    match ft_ir::find::find_by_id(&func.body, id) {
+        Some(Stmt {
+            kind: StmtKind::For { property, .. },
+            ..
+        }) => property.parallel,
+        _ => ParallelScope::Serial,
+    }
+}
+
+/// Whether the loop is (transitively) inside another loop.
+fn has_loop_parent(func: &Func, id: StmtId) -> bool {
+    ft_ir::find::loop_nest_of(&func.body, id)
+        .map(|n| !n.loops.is_empty())
+        .unwrap_or(false)
+}
+
+/// Pass 1: fuse adjacent equal-extent sibling loops (locality).
+pub fn auto_fuse(sched: &mut Schedule) -> usize {
+    let mut fused = 0;
+    // Fixpoint: each successful fusion changes the sibling structure.
+    for _ in 0..16 {
+        let mut candidate: Option<(StmtId, StmtId)> = None;
+        let func = sched.func();
+        ft_ir::find::find_stmts(&func.body, &|s| {
+            matches!(s.kind, StmtKind::Block(_))
+        })
+        .iter()
+        .for_each(|blk| {
+            let StmtKind::Block(items) = &blk.kind else {
+                return;
+            };
+            for w in items.windows(2) {
+                if candidate.is_some() {
+                    return;
+                }
+                if matches!(w[0].kind, StmtKind::For { .. })
+                    && matches!(w[1].kind, StmtKind::For { .. })
+                {
+                    candidate = Some((w[0].id, w[1].id));
+                }
+            }
+        });
+        // Try every adjacent pair until one fuses.
+        let mut progressed = false;
+        let pairs = adjacent_loop_pairs(sched.func());
+        for (a, b) in pairs {
+            if sched.fuse(a, b).is_ok() {
+                fused += 1;
+                progressed = true;
+                break;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    fused
+}
+
+fn adjacent_loop_pairs(func: &Func) -> Vec<(StmtId, StmtId)> {
+    let mut out = Vec::new();
+    func.body.walk(&mut |s| {
+        if let StmtKind::Block(items) = &s.kind {
+            for w in items.windows(2) {
+                if matches!(w[0].kind, StmtKind::For { .. })
+                    && matches!(w[1].kind, StmtKind::For { .. })
+                {
+                    out.push((w[0].id, w[1].id));
+                }
+            }
+        }
+    });
+    out
+}
+
+/// Pass 2: vectorize innermost serial loops (dependence-permitting).
+pub fn auto_vectorize(sched: &mut Schedule) -> usize {
+    let mut n = 0;
+    for id in all_loops(sched.func()) {
+        if loop_parallel(sched.func(), id) == ParallelScope::Serial
+            && is_innermost(sched.func(), id)
+            && has_loop_parent(sched.func(), id)
+            && loop_extent_const(sched.func(), id).is_none_or(|e| e >= 4)
+            && sched.vectorize(id).is_ok()
+        {
+            n += 1;
+        }
+    }
+    n
+}
+
+/// Pass 3: bind outer loops to hardware parallelism.
+///
+/// CPU: parallelize every outermost loop over OpenMP threads. GPU: the
+/// outermost loop becomes `blockIdx.x`; a perfectly nested second loop
+/// becomes `threadIdx.x`; a lone loop is `split` so both levels are fed.
+pub fn auto_parallelize(sched: &mut Schedule, target: &Target) -> usize {
+    let mut n = 0;
+    let outer: Vec<StmtId> = all_loops(sched.func())
+        .into_iter()
+        .filter(|id| !has_loop_parent(sched.func(), *id))
+        .collect();
+    match target.device {
+        Device::Cpu => {
+            for id in outer {
+                if sched.parallelize(id, ParallelScope::OpenMp).is_ok() {
+                    n += 1;
+                }
+            }
+        }
+        Device::Gpu => {
+            for id in outer {
+                // Find a directly nested loop for the thread dimension.
+                let inner = ft_ir::find::find_by_id(&sched.func().body, id)
+                    .and_then(|s| match &s.kind {
+                        StmtKind::For { body, .. } => {
+                            let peeled = ft_schedule::util::peel(body);
+                            matches!(peeled.kind, StmtKind::For { .. }).then(|| peeled.id)
+                        }
+                        _ => None,
+                    });
+                match inner {
+                    Some(tid) => {
+                        let ok_b = sched.parallelize(id, ParallelScope::CudaBlockX).is_ok();
+                        let ok_t = sched.parallelize(tid, ParallelScope::CudaThreadX).is_ok();
+                        if ok_b || ok_t {
+                            n += 1;
+                        }
+                    }
+                    None => {
+                        // Lone loop: split to feed both levels.
+                        let extent = loop_extent_const(sched.func(), id).unwrap_or(i64::MAX);
+                        if extent > target.gpu_block_size {
+                            if let Ok((b, t)) = sched.split(id, target.gpu_block_size) {
+                                let ok_b = sched.parallelize(b, ParallelScope::CudaBlockX).is_ok();
+                                let ok_t =
+                                    sched.parallelize(t, ParallelScope::CudaThreadX).is_ok();
+                                if ok_b || ok_t {
+                                    n += 1;
+                                }
+                            }
+                        } else if sched.parallelize(id, ParallelScope::CudaBlockX).is_ok() {
+                            n += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    n
+}
+
+/// Pass 4: put small tensors as near to the processor as possible.
+pub fn auto_mem_type(sched: &mut Schedule, target: &Target) -> usize {
+    let mut n = 0;
+    let mut defs: Vec<(String, Option<i64>)> = Vec::new();
+    sched.func().body.walk(&mut |s| {
+        if let StmtKind::VarDef { name, shape, .. } = &s.kind {
+            let elems = shape
+                .iter()
+                .map(|e| ft_passes::const_fold_expr(e.clone()).as_int())
+                .try_fold(1i64, |acc, e| e.map(|v| acc * v));
+            defs.push((name.clone(), elems));
+        }
+    });
+    for (name, elems) in defs {
+        let Some(elems) = elems else { continue };
+        let new_mtype = match target.device {
+            Device::Cpu if elems <= target.reg_elems => Some(MemType::CpuStack),
+            Device::Gpu if elems <= target.reg_elems => Some(MemType::GpuLocal),
+            Device::Gpu if elems <= target.shared_elems => Some(MemType::GpuShared),
+            Device::Gpu => Some(MemType::GpuGlobal),
+            _ => None,
+        };
+        if let Some(mt) = new_mtype {
+            if sched.set_mtype(&name, mt).is_ok() {
+                n += 1;
+            }
+        }
+    }
+    n
+}
+
+/// Pass 5: replace matmul-shaped nests with vendor-library calls.
+pub fn auto_use_lib(sched: &mut Schedule) -> usize {
+    let mut n = 0;
+    for id in all_loops(sched.func()) {
+        if sched.as_lib(id).is_ok() {
+            n += 1;
+        }
+    }
+    n
+}
+
+/// Pass 6: unroll very short innermost loops.
+pub fn auto_unroll(sched: &mut Schedule, target: &Target) -> usize {
+    let mut n = 0;
+    for id in all_loops(sched.func()) {
+        if loop_parallel(sched.func(), id) == ParallelScope::Serial
+            && is_innermost(sched.func(), id)
+            && loop_extent_const(sched.func(), id).is_some_and(|e| e <= target.unroll_trip)
+            && sched.unroll(id).is_ok()
+        {
+            n += 1;
+        }
+    }
+    n
+}
+
+/// Run all six passes in the paper's order and return the scheduled function.
+pub fn auto_schedule(func: &Func, target: &Target) -> Func {
+    let mut sched = Schedule::new(func.clone());
+    auto_fuse(&mut sched);
+    auto_use_lib(&mut sched);
+    auto_parallelize(&mut sched, target);
+    auto_vectorize(&mut sched);
+    auto_mem_type(&mut sched, target);
+    auto_unroll(&mut sched, target);
+    sched.into_func()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_ir::prelude::*;
+    use ft_runtime::{Runtime, TensorVal};
+    use std::collections::HashMap;
+
+    fn elementwise_two_loops() -> Func {
+        Func::new("f")
+            .param("x", [64], DataType::F32, AccessType::Input)
+            .param("t", [64], DataType::F32, AccessType::Output)
+            .param("y", [64], DataType::F32, AccessType::Output)
+            .body(block([
+                for_("i", 0, 64, store("t", [var("i")], load("x", [var("i")]) * 2.0f32)),
+                for_("j", 0, 64, store("y", [var("j")], load("t", [var("j")]) + 1.0f32)),
+            ]))
+    }
+
+    #[test]
+    fn auto_fuse_merges_elementwise_pipeline() {
+        let mut s = Schedule::new(elementwise_two_loops());
+        assert_eq!(auto_fuse(&mut s), 1);
+        let loops = ft_ir::find::find_stmts(&s.func().body, &|st| {
+            matches!(st.kind, StmtKind::For { .. })
+        });
+        assert_eq!(loops.len(), 1);
+    }
+
+    #[test]
+    fn auto_parallelize_cpu_marks_outer() {
+        let mut s = Schedule::new(elementwise_two_loops());
+        assert_eq!(auto_parallelize(&mut s, &Target::cpu()), 2);
+        for l in ft_ir::find::find_stmts(&s.func().body, &|st| {
+            matches!(st.kind, StmtKind::For { .. })
+        }) {
+            let StmtKind::For { property, .. } = &l.kind else {
+                unreachable!()
+            };
+            assert_eq!(property.parallel, ParallelScope::OpenMp);
+        }
+    }
+
+    #[test]
+    fn auto_parallelize_gpu_splits_lone_loop() {
+        let f = Func::new("f")
+            .param("y", [1024], DataType::F32, AccessType::Output)
+            .body(for_("i", 0, 1024, store("y", [var("i")], 1.0f32)));
+        let mut s = Schedule::new(f);
+        assert_eq!(auto_parallelize(&mut s, &Target::gpu()), 1);
+        let mut scopes = Vec::new();
+        s.func().body.walk(&mut |st| {
+            if let StmtKind::For { property, .. } = &st.kind {
+                scopes.push(property.parallel);
+            }
+        });
+        assert!(scopes.contains(&ParallelScope::CudaBlockX));
+        assert!(scopes.contains(&ParallelScope::CudaThreadX));
+    }
+
+    #[test]
+    fn auto_mem_type_promotes_small_locals() {
+        let f = Func::new("f")
+            .param("y", [4], DataType::F32, AccessType::Output)
+            .body(var_def(
+                "t",
+                [8],
+                DataType::F32,
+                MemType::CpuHeap,
+                block([
+                    store("t", [0], 1.0f32),
+                    store("y", [0], load("t", [0])),
+                ]),
+            ));
+        let mut s = Schedule::new(f);
+        assert_eq!(auto_mem_type(&mut s, &Target::cpu()), 1);
+        let def = ft_ir::find::find_stmt(&s.func().body, &|st| {
+            matches!(st.kind, StmtKind::VarDef { .. })
+        })
+        .unwrap();
+        let StmtKind::VarDef { mtype, .. } = &def.kind else {
+            unreachable!()
+        };
+        assert_eq!(*mtype, MemType::CpuStack);
+    }
+
+    #[test]
+    fn auto_use_lib_finds_matmul() {
+        let f = ft_libop::compile_with_libop(
+            "def e(a: f32[8, 8] in, b: f32[8, 8] in, c: f32[8, 8] out):\n  matmul(a, b, c, 8, 8, 8)\n",
+            "e",
+        )
+        .unwrap();
+        let mut s = Schedule::new(f);
+        assert_eq!(auto_use_lib(&mut s), 1);
+    }
+
+    #[test]
+    fn auto_unroll_expands_short_loops() {
+        let f = Func::new("f")
+            .param("y", [32, 3], DataType::F32, AccessType::Output)
+            .body(for_(
+                "i",
+                0,
+                32,
+                for_("j", 0, 3, store("y", [var("i"), var("j")], 1.0f32)),
+            ));
+        let mut s = Schedule::new(f);
+        assert_eq!(auto_unroll(&mut s, &Target::cpu()), 1);
+        let loops = ft_ir::find::find_stmts(&s.func().body, &|st| {
+            matches!(st.kind, StmtKind::For { .. })
+        });
+        assert_eq!(loops.len(), 1); // the j loop is gone
+    }
+
+    #[test]
+    fn full_pipeline_preserves_semantics() {
+        let f = elementwise_two_loops();
+        let x = TensorVal::from_f32(&[64], (0..64).map(|v| (v as f32).cos()).collect());
+        let inputs: HashMap<String, TensorVal> =
+            [("x".to_string(), x)].into_iter().collect();
+        let before = Runtime::new().run(&f, &inputs, &HashMap::new()).unwrap();
+        for target in [Target::cpu(), Target::gpu()] {
+            let tuned = auto_schedule(&f, &target);
+            let after = Runtime::new().run(&tuned, &inputs, &HashMap::new()).unwrap();
+            assert!(
+                before.output("y").allclose(after.output("y"), 1e-6),
+                "auto-schedule changed semantics on {:?}:\n{tuned}",
+                target.device
+            );
+        }
+    }
+
+    #[test]
+    fn gpu_schedule_launches_fewer_kernels_after_fuse() {
+        let f = elementwise_two_loops();
+        let tuned = auto_schedule(&f, &Target::gpu());
+        let x = TensorVal::from_f32(&[64], vec![1.0; 64]);
+        let inputs: HashMap<String, TensorVal> =
+            [("x".to_string(), x)].into_iter().collect();
+        let r = Runtime::new().run(&tuned, &inputs, &HashMap::new()).unwrap();
+        assert_eq!(r.counters.kernel_launches, 1, "{tuned}");
+    }
+}

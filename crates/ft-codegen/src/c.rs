@@ -1,0 +1,556 @@
+//! C99 + OpenMP emission for CPU schedules.
+
+use ft_ir::{
+    AccessType, BinaryOp, DataType, Expr, Func, MemType, ReduceOp, Stmt, StmtKind, UnaryOp,
+};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Static preamble: headers and the tiny support library every generated
+/// translation unit relies on.
+pub const PREAMBLE: &str = r#"#include <stdint.h>
+#include <stdlib.h>
+#include <string.h>
+#include <stdbool.h>
+#include <math.h>
+
+static inline int64_t ft_fdiv(int64_t a, int64_t b) {
+    int64_t q = a / b, r = a % b;
+    return (r != 0 && ((r < 0) != (b < 0))) ? q - 1 : q;
+}
+static inline int64_t ft_fmod(int64_t a, int64_t b) {
+    int64_t r = a % b;
+    return (r != 0 && ((r < 0) != (b < 0))) ? r + b : r;
+}
+static inline double ft_sigmoid(double x) { return 1.0 / (1.0 + exp(-x)); }
+static inline void ft_lib_matmul(const float* A, const float* B, float* C,
+                                 int64_t m, int64_t k, int64_t n) {
+    for (int64_t i = 0; i < m; ++i)
+        for (int64_t p = 0; p < k; ++p)
+            for (int64_t j = 0; j < n; ++j)
+                C[i * n + j] += A[i * k + p] * B[p * n + j];
+}
+"#;
+
+fn ctype(dt: DataType) -> &'static str {
+    match dt {
+        DataType::F32 => "float",
+        DataType::F64 => "double",
+        DataType::I32 => "int32_t",
+        DataType::I64 => "int64_t",
+        DataType::Bool => "bool",
+    }
+}
+
+/// Coarse C-side type of an expression (for operator selection).
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum CTy {
+    Int,
+    Float,
+    Bool,
+}
+
+struct Emitter {
+    dtypes: HashMap<String, DataType>,
+    shapes: HashMap<String, Vec<Expr>>,
+    out: String,
+    indent: usize,
+    tmp: usize,
+}
+
+impl Emitter {
+    fn line(&mut self, s: &str) {
+        for _ in 0..self.indent {
+            self.out.push_str("    ");
+        }
+        self.out.push_str(s);
+        self.out.push('\n');
+    }
+
+    fn ty(&self, e: &Expr) -> CTy {
+        match e {
+            Expr::IntConst(_) | Expr::Var(_) => CTy::Int,
+            Expr::FloatConst(_) => CTy::Float,
+            Expr::BoolConst(_) => CTy::Bool,
+            Expr::Load { var, .. } => match self.dtypes.get(var) {
+                Some(d) if d.is_float() => CTy::Float,
+                Some(DataType::Bool) => CTy::Bool,
+                _ => CTy::Int,
+            },
+            Expr::Unary { op, a } => match op {
+                UnaryOp::Not => CTy::Bool,
+                UnaryOp::Neg | UnaryOp::Abs | UnaryOp::Sign => self.ty(a),
+                _ => CTy::Float,
+            },
+            Expr::Binary { op, a, b } => {
+                if op.is_comparison() {
+                    CTy::Bool
+                } else if self.ty(a) == CTy::Float || self.ty(b) == CTy::Float {
+                    CTy::Float
+                } else {
+                    CTy::Int
+                }
+            }
+            Expr::Select { then, .. } => self.ty(then),
+            Expr::Cast { dtype, .. } => {
+                if dtype.is_float() {
+                    CTy::Float
+                } else if *dtype == DataType::Bool {
+                    CTy::Bool
+                } else {
+                    CTy::Int
+                }
+            }
+        }
+    }
+
+    fn index_expr(&self, var: &str, indices: &[Expr]) -> String {
+        let shape = self.shapes.get(var).cloned().unwrap_or_default();
+        if indices.is_empty() {
+            return format!("{}[0]", sanitize(var));
+        }
+        let mut s = String::new();
+        for (d, idx) in indices.iter().enumerate() {
+            if d == 0 {
+                s = self.expr(idx);
+            } else {
+                let extent = self.expr(&shape[d]);
+                s = format!("({s}) * ({extent}) + ({})", self.expr(idx));
+            }
+        }
+        format!("{}[{s}]", sanitize(var))
+    }
+
+    fn expr(&self, e: &Expr) -> String {
+        match e {
+            Expr::IntConst(v) => format!("{v}"),
+            Expr::FloatConst(v) => {
+                if *v == f64::INFINITY {
+                    "INFINITY".to_string()
+                } else if *v == f64::NEG_INFINITY {
+                    "-INFINITY".to_string()
+                } else {
+                    format!("{v:?}")
+                }
+            }
+            Expr::BoolConst(v) => format!("{v}"),
+            Expr::Var(n) => sanitize(n),
+            Expr::Load { var, indices } => self.index_expr(var, indices),
+            Expr::Unary { op, a } => {
+                let x = self.expr(a);
+                match op {
+                    UnaryOp::Neg => format!("(-{x})"),
+                    UnaryOp::Not => format!("(!{x})"),
+                    UnaryOp::Abs => {
+                        if self.ty(a) == CTy::Float {
+                            format!("fabs({x})")
+                        } else {
+                            format!("llabs({x})")
+                        }
+                    }
+                    UnaryOp::Sqrt => format!("sqrt({x})"),
+                    UnaryOp::Exp => format!("exp({x})"),
+                    UnaryOp::Ln => format!("log({x})"),
+                    UnaryOp::Sigmoid => format!("ft_sigmoid({x})"),
+                    UnaryOp::Tanh => format!("tanh({x})"),
+                    UnaryOp::Sign => format!("(({x} > 0) - ({x} < 0))"),
+                }
+            }
+            Expr::Binary { op, a, b } => {
+                let x = self.expr(a);
+                let y = self.expr(b);
+                let float = self.ty(a) == CTy::Float || self.ty(b) == CTy::Float;
+                match op {
+                    BinaryOp::Add => format!("({x} + {y})"),
+                    BinaryOp::Sub => format!("({x} - {y})"),
+                    BinaryOp::Mul => format!("({x} * {y})"),
+                    BinaryOp::Div => {
+                        if float {
+                            format!("({x} / {y})")
+                        } else {
+                            format!("ft_fdiv({x}, {y})")
+                        }
+                    }
+                    BinaryOp::Mod => {
+                        if float {
+                            format!("fmod({x}, {y})")
+                        } else {
+                            format!("ft_fmod({x}, {y})")
+                        }
+                    }
+                    BinaryOp::Min => {
+                        if float {
+                            format!("fmin({x}, {y})")
+                        } else {
+                            format!("(({x}) < ({y}) ? ({x}) : ({y}))")
+                        }
+                    }
+                    BinaryOp::Max => {
+                        if float {
+                            format!("fmax({x}, {y})")
+                        } else {
+                            format!("(({x}) > ({y}) ? ({x}) : ({y}))")
+                        }
+                    }
+                    BinaryOp::Pow => format!("pow({x}, {y})"),
+                    BinaryOp::Eq => format!("({x} == {y})"),
+                    BinaryOp::Ne => format!("({x} != {y})"),
+                    BinaryOp::Lt => format!("({x} < {y})"),
+                    BinaryOp::Le => format!("({x} <= {y})"),
+                    BinaryOp::Gt => format!("({x} > {y})"),
+                    BinaryOp::Ge => format!("({x} >= {y})"),
+                    BinaryOp::And => format!("({x} && {y})"),
+                    BinaryOp::Or => format!("({x} || {y})"),
+                }
+            }
+            Expr::Select {
+                cond,
+                then,
+                otherwise,
+            } => format!(
+                "({} ? {} : {})",
+                self.expr(cond),
+                self.expr(then),
+                self.expr(otherwise)
+            ),
+            Expr::Cast { dtype, a } => format!("(({}){})", ctype(*dtype), self.expr(a)),
+        }
+    }
+
+    fn numel(&self, shape: &[Expr]) -> String {
+        if shape.is_empty() {
+            return "1".to_string();
+        }
+        shape
+            .iter()
+            .map(|e| format!("({})", self.expr(e)))
+            .collect::<Vec<_>>()
+            .join(" * ")
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        match &s.kind {
+            StmtKind::Empty => {}
+            StmtKind::Block(v) => {
+                for st in v {
+                    self.stmt(st);
+                }
+            }
+            StmtKind::VarDef {
+                name,
+                shape,
+                dtype,
+                mtype,
+                body,
+                ..
+            } => {
+                self.dtypes.insert(name.clone(), *dtype);
+                self.shapes.insert(name.clone(), shape.clone());
+                let ty = ctype(*dtype);
+                let n = self.numel(shape);
+                let const_n: Option<i64> = shape
+                    .iter()
+                    .map(|e| ft_passes::const_fold_expr(e.clone()).as_int())
+                    .try_fold(1i64, |a, b| b.map(|v| a * v));
+                self.line("{");
+                self.indent += 1;
+                let heap = match (mtype, const_n) {
+                    (MemType::CpuStack, Some(n)) if n <= 4096 => {
+                        self.line(&format!("{ty} {}[{n}] = {{0}};", sanitize(name)));
+                        false
+                    }
+                    _ => {
+                        self.line(&format!(
+                            "{ty}* {} = ({ty}*)calloc({n}, sizeof({ty}));",
+                            sanitize(name)
+                        ));
+                        true
+                    }
+                };
+                self.stmt(body);
+                if heap {
+                    self.line(&format!("free({});", sanitize(name)));
+                }
+                self.indent -= 1;
+                self.line("}");
+            }
+            StmtKind::For {
+                iter,
+                begin,
+                end,
+                property,
+                body,
+            } => {
+                if property.parallel.is_parallel() {
+                    self.line("#pragma omp parallel for");
+                } else if property.vectorize {
+                    self.line("#pragma omp simd");
+                }
+                let i = sanitize(iter);
+                self.line(&format!(
+                    "for (int64_t {i} = {}; {i} < {}; ++{i}) {{",
+                    self.expr(begin),
+                    self.expr(end)
+                ));
+                self.indent += 1;
+                self.stmt(body);
+                self.indent -= 1;
+                self.line("}");
+            }
+            StmtKind::If {
+                cond,
+                then,
+                otherwise,
+            } => {
+                self.line(&format!("if ({}) {{", self.expr(cond)));
+                self.indent += 1;
+                self.stmt(then);
+                self.indent -= 1;
+                if let Some(o) = otherwise {
+                    self.line("} else {");
+                    self.indent += 1;
+                    self.stmt(o);
+                    self.indent -= 1;
+                }
+                self.line("}");
+            }
+            StmtKind::Store {
+                var,
+                indices,
+                value,
+            } => {
+                let lhs = self.index_expr(var, indices);
+                let rhs = self.expr(value);
+                self.line(&format!("{lhs} = {rhs};"));
+            }
+            StmtKind::ReduceTo {
+                var,
+                indices,
+                op,
+                value,
+                atomic,
+            } => {
+                let lhs = self.index_expr(var, indices);
+                let rhs = self.expr(value);
+                match op {
+                    ReduceOp::Add | ReduceOp::Mul => {
+                        if *atomic {
+                            self.line("#pragma omp atomic");
+                        }
+                        let o = if *op == ReduceOp::Add { "+" } else { "*" };
+                        self.line(&format!("{lhs} {o}= {rhs};"));
+                    }
+                    ReduceOp::Min | ReduceOp::Max => {
+                        if *atomic {
+                            self.line("#pragma omp critical");
+                        }
+                        self.tmp += 1;
+                        let t = format!("ft_r{}", self.tmp);
+                        let f = if *op == ReduceOp::Min { "fmin" } else { "fmax" };
+                        self.line("{");
+                        self.indent += 1;
+                        self.line(&format!("double {t} = {rhs};"));
+                        self.line(&format!("{lhs} = {f}({lhs}, {t});"));
+                        self.indent -= 1;
+                        self.line("}");
+                    }
+                }
+            }
+            StmtKind::LibCall {
+                kernel,
+                inputs,
+                outputs,
+                attrs,
+            } => {
+                if kernel == "matmul" {
+                    self.line(&format!(
+                        "ft_lib_matmul({}, {}, {}, {}, {}, {});",
+                        sanitize(&inputs[0]),
+                        sanitize(&inputs[1]),
+                        sanitize(&outputs[0]),
+                        attrs[0],
+                        attrs[1],
+                        attrs[2]
+                    ));
+                } else {
+                    self.line(&format!("/* unknown library kernel: {kernel} */"));
+                }
+            }
+        }
+    }
+}
+
+/// Make a tensor/iterator name a valid C identifier.
+fn sanitize(name: &str) -> String {
+    let mut s: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    if s.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        s.insert(0, '_');
+    }
+    s
+}
+
+/// Emit a complete C translation unit (preamble + one function) for a
+/// CPU-scheduled function.
+pub fn emit_c(func: &Func) -> String {
+    let mut em = Emitter {
+        dtypes: HashMap::new(),
+        shapes: HashMap::new(),
+        out: String::new(),
+        indent: 0,
+        tmp: 0,
+    };
+    for p in &func.params {
+        em.dtypes.insert(p.name.clone(), p.dtype);
+        em.shapes.insert(p.name.clone(), p.shape.clone());
+    }
+    let mut sig: Vec<String> = Vec::new();
+    for p in &func.params {
+        let c = ctype(p.dtype);
+        let qual = if p.atype == AccessType::Input {
+            "const "
+        } else {
+            ""
+        };
+        sig.push(format!("{qual}{c}* {}", sanitize(&p.name)));
+    }
+    for sp in &func.size_params {
+        sig.push(format!("int64_t {}", sanitize(sp)));
+    }
+    let mut out = String::from(PREAMBLE);
+    let _ = writeln!(
+        out,
+        "\nvoid {}({}) {{",
+        sanitize(&func.name),
+        sig.join(", ")
+    );
+    em.indent = 1;
+    em.stmt(&func.body);
+    out.push_str(&em.out);
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_ir::prelude::*;
+    use ft_ir::ForProperty;
+
+    fn sample() -> Func {
+        Func::new("axpy")
+            .param("x", [var("n")], DataType::F32, AccessType::Input)
+            .param("y", [var("n")], DataType::F32, AccessType::InOut)
+            .size_param("n")
+            .body(for_with(
+                "i",
+                0,
+                var("n"),
+                ForProperty::parallel(ParallelScope::OpenMp),
+                store(
+                    "y",
+                    [var("i")],
+                    load("y", [var("i")]) + load("x", [var("i")]) * 2.0f32,
+                ),
+            ))
+    }
+
+    #[test]
+    fn emits_signature_and_pragma() {
+        let c = emit_c(&sample());
+        assert!(c.contains("void axpy(const float* x, float* y, int64_t n)"), "{c}");
+        assert!(c.contains("#pragma omp parallel for"), "{c}");
+        assert!(c.contains("y[i] = (y[i] + (x[i] * 2.0))"), "{c}");
+    }
+
+    #[test]
+    fn emits_locals_and_atomics() {
+        let f = Func::new("f")
+            .param("h", [4], DataType::F32, AccessType::Output)
+            .param("idx", [64], DataType::I32, AccessType::Input)
+            .body(for_with(
+                "i",
+                0,
+                64,
+                ForProperty::parallel(ParallelScope::OpenMp),
+                Stmt::new(StmtKind::ReduceTo {
+                    var: "h".to_string(),
+                    indices: vec![Expr::cast(DataType::I64, load("idx", [var("i")]))],
+                    op: ReduceOp::Add,
+                    value: Expr::FloatConst(1.0),
+                    atomic: true,
+                }),
+            ));
+        let c = emit_c(&f);
+        assert!(c.contains("#pragma omp atomic"), "{c}");
+        let f2 = Func::new("g")
+            .param("y", [8], DataType::F32, AccessType::Output)
+            .body(var_def(
+                "t",
+                [8],
+                DataType::F32,
+                MemType::CpuStack,
+                store("y", [0], load("t", [0])),
+            ));
+        let c2 = emit_c(&f2);
+        assert!(c2.contains("float t[8] = {0};"), "{c2}");
+    }
+
+    #[test]
+    fn multi_dim_indexing_linearizes() {
+        let f = Func::new("f")
+            .param("a", [var("n"), var("m")], DataType::F64, AccessType::Output)
+            .size_param("n")
+            .size_param("m")
+            .body(store("a", ft_ir::idx![var("n") - 1, 0], 1.0f64));
+        let c = emit_c(&f);
+        assert!(c.contains("a[((n - 1)) * (m) + (0)] = 1.0;"), "{c}");
+    }
+
+    #[test]
+    fn names_are_sanitized() {
+        let f = Func::new("f")
+            .param("y", [1], DataType::F32, AccessType::Output)
+            .body(var_def(
+                "t.cache",
+                [2],
+                DataType::F32,
+                MemType::CpuStack,
+                store("y", [0], load("t.cache", [0])),
+            ));
+        let c = emit_c(&f);
+        assert!(c.contains("t_cache"), "{c}");
+        assert!(!c.contains("t.cache["), "{c}");
+    }
+
+    #[test]
+    fn generated_c_compiles_if_cc_available() {
+        use std::io::Write as _;
+        use std::process::{Command, Stdio};
+        let c = emit_c(&sample());
+        let Ok(mut child) = Command::new("cc")
+            .args(["-fsyntax-only", "-fopenmp", "-xc", "-"])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::null())
+            .stderr(Stdio::piped())
+            .spawn()
+        else {
+            eprintln!("cc unavailable; skipping compile check");
+            return;
+        };
+        child
+            .stdin
+            .as_mut()
+            .expect("piped stdin")
+            .write_all(c.as_bytes())
+            .expect("write source");
+        let out = child.wait_with_output().expect("cc runs");
+        assert!(
+            out.status.success(),
+            "cc rejected the generated C:\n{}\n--- source ---\n{c}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}

@@ -1,0 +1,554 @@
+//! CUDA-flavoured source emission for GPU schedules.
+//!
+//! Each outermost GPU-parallel loop nest becomes one `__global__` kernel; a
+//! host function launches them in order. Block/thread-scope loops map to
+//! `blockIdx.*` / `threadIdx.*` with bound guards; `GpuShared` definitions
+//! become `__shared__` arrays; atomic reductions become `atomicAdd`.
+
+use ft_ir::{
+    AccessType, BinaryOp, DataType, Expr, Func, MemType, ParallelScope, ReduceOp, Stmt, StmtKind,
+    UnaryOp,
+};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+fn ctype(dt: DataType) -> &'static str {
+    match dt {
+        DataType::F32 => "float",
+        DataType::F64 => "double",
+        DataType::I32 => "int",
+        DataType::I64 => "long long",
+        DataType::Bool => "bool",
+    }
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+struct Cuda {
+    shapes: HashMap<String, Vec<Expr>>,
+    shared: std::collections::HashSet<String>,
+    in_kernel: bool,
+    out: String,
+    indent: usize,
+}
+
+impl Cuda {
+    /// Whether a sub-tree writes any `__shared__` tensor (which requires a
+    /// barrier before other threads read it — paper §4.3's "inserting
+    /// thread synchronizing statements").
+    fn writes_shared(&self, s: &Stmt) -> bool {
+        let mut hit = false;
+        s.walk(&mut |st| match &st.kind {
+            StmtKind::Store { var, .. } | StmtKind::ReduceTo { var, .. } => {
+                hit |= self.shared.contains(var);
+            }
+            _ => {}
+        });
+        hit
+    }
+}
+
+impl Cuda {
+    fn line(&mut self, s: &str) {
+        for _ in 0..self.indent {
+            self.out.push_str("    ");
+        }
+        self.out.push_str(s);
+        self.out.push('\n');
+    }
+
+    fn expr(&self, e: &Expr) -> String {
+        match e {
+            Expr::IntConst(v) => format!("{v}"),
+            Expr::FloatConst(v) => {
+                if *v == f64::INFINITY {
+                    "INFINITY".into()
+                } else if *v == f64::NEG_INFINITY {
+                    "-INFINITY".into()
+                } else {
+                    format!("{v:?}f")
+                }
+            }
+            Expr::BoolConst(v) => format!("{v}"),
+            Expr::Var(n) => sanitize(n),
+            Expr::Load { var, indices } => self.index_expr(var, indices),
+            Expr::Unary { op, a } => {
+                let x = self.expr(a);
+                match op {
+                    UnaryOp::Neg => format!("(-{x})"),
+                    UnaryOp::Not => format!("(!{x})"),
+                    UnaryOp::Abs => format!("fabsf({x})"),
+                    UnaryOp::Sqrt => format!("sqrtf({x})"),
+                    UnaryOp::Exp => format!("expf({x})"),
+                    UnaryOp::Ln => format!("logf({x})"),
+                    UnaryOp::Sigmoid => format!("(1.0f / (1.0f + expf(-({x}))))"),
+                    UnaryOp::Tanh => format!("tanhf({x})"),
+                    UnaryOp::Sign => format!("(({x} > 0) - ({x} < 0))"),
+                }
+            }
+            Expr::Binary { op, a, b } => {
+                let x = self.expr(a);
+                let y = self.expr(b);
+                match op {
+                    BinaryOp::Add => format!("({x} + {y})"),
+                    BinaryOp::Sub => format!("({x} - {y})"),
+                    BinaryOp::Mul => format!("({x} * {y})"),
+                    BinaryOp::Div => format!("({x} / {y})"),
+                    BinaryOp::Mod => format!("(((({x}) % ({y})) + ({y})) % ({y}))"),
+                    BinaryOp::Min => format!("min({x}, {y})"),
+                    BinaryOp::Max => format!("max({x}, {y})"),
+                    BinaryOp::Pow => format!("powf({x}, {y})"),
+                    BinaryOp::Eq => format!("({x} == {y})"),
+                    BinaryOp::Ne => format!("({x} != {y})"),
+                    BinaryOp::Lt => format!("({x} < {y})"),
+                    BinaryOp::Le => format!("({x} <= {y})"),
+                    BinaryOp::Gt => format!("({x} > {y})"),
+                    BinaryOp::Ge => format!("({x} >= {y})"),
+                    BinaryOp::And => format!("({x} && {y})"),
+                    BinaryOp::Or => format!("({x} || {y})"),
+                }
+            }
+            Expr::Select {
+                cond,
+                then,
+                otherwise,
+            } => format!(
+                "({} ? {} : {})",
+                self.expr(cond),
+                self.expr(then),
+                self.expr(otherwise)
+            ),
+            Expr::Cast { dtype, a } => format!("(({}){})", ctype(*dtype), self.expr(a)),
+        }
+    }
+
+    fn index_expr(&self, var: &str, indices: &[Expr]) -> String {
+        if indices.is_empty() {
+            return format!("{}[0]", sanitize(var));
+        }
+        let shape = self.shapes.get(var).cloned().unwrap_or_default();
+        let mut s = String::new();
+        for (d, idx) in indices.iter().enumerate() {
+            if d == 0 {
+                s = self.expr(idx);
+            } else {
+                s = format!("({s}) * ({}) + ({})", self.expr(&shape[d]), self.expr(idx));
+            }
+        }
+        format!("{}[{s}]", sanitize(var))
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        match &s.kind {
+            StmtKind::Empty => {}
+            StmtKind::Block(v) => {
+                let live: Vec<&Stmt> = v.iter().filter(|st| !st.is_empty()).collect();
+                for (i, st) in live.iter().enumerate() {
+                    self.stmt(st);
+                    if self.in_kernel && i + 1 < live.len() && self.writes_shared(st) {
+                        self.line("__syncthreads();");
+                    }
+                }
+            }
+            StmtKind::VarDef {
+                name,
+                shape,
+                dtype,
+                mtype,
+                body,
+                ..
+            } => {
+                self.shapes.insert(name.clone(), shape.clone());
+                if *mtype == MemType::GpuShared {
+                    self.shared.insert(name.clone());
+                }
+                let n: i64 = shape
+                    .iter()
+                    .map(|e| {
+                        ft_passes::const_fold_expr(e.clone())
+                            .as_int()
+                            .unwrap_or(1)
+                    })
+                    .product::<i64>()
+                    .max(1);
+                let prefix = match mtype {
+                    MemType::GpuShared => "__shared__ ",
+                    _ => "",
+                };
+                self.line(&format!(
+                    "{prefix}{} {}[{n}];",
+                    ctype(*dtype),
+                    sanitize(name)
+                ));
+                self.stmt(body);
+            }
+            StmtKind::For {
+                iter,
+                begin,
+                end,
+                property,
+                body,
+            } => {
+                let i = sanitize(iter);
+                match property.parallel {
+                    ParallelScope::CudaBlockX
+                    | ParallelScope::CudaBlockY
+                    | ParallelScope::CudaThreadX
+                    | ParallelScope::CudaThreadY => {
+                        let hw = match property.parallel {
+                            ParallelScope::CudaBlockX => "blockIdx.x",
+                            ParallelScope::CudaBlockY => "blockIdx.y",
+                            ParallelScope::CudaThreadX => "threadIdx.x",
+                            _ => "threadIdx.y",
+                        };
+                        self.line(&format!(
+                            "long long {i} = {} + (long long){hw};",
+                            self.expr(begin)
+                        ));
+                        self.line(&format!("if ({i} < {}) {{", self.expr(end)));
+                        self.indent += 1;
+                        self.stmt(body);
+                        self.indent -= 1;
+                        self.line("}");
+                    }
+                    _ => {
+                        self.line(&format!(
+                            "for (long long {i} = {}; {i} < {}; ++{i}) {{",
+                            self.expr(begin),
+                            self.expr(end)
+                        ));
+                        self.indent += 1;
+                        self.stmt(body);
+                        self.indent -= 1;
+                        self.line("}");
+                    }
+                }
+            }
+            StmtKind::If {
+                cond,
+                then,
+                otherwise,
+            } => {
+                self.line(&format!("if ({}) {{", self.expr(cond)));
+                self.indent += 1;
+                self.stmt(then);
+                self.indent -= 1;
+                if let Some(o) = otherwise {
+                    self.line("} else {");
+                    self.indent += 1;
+                    self.stmt(o);
+                    self.indent -= 1;
+                }
+                self.line("}");
+            }
+            StmtKind::Store {
+                var,
+                indices,
+                value,
+            } => {
+                let lhs = self.index_expr(var, indices);
+                let rhs = self.expr(value);
+                self.line(&format!("{lhs} = {rhs};"));
+            }
+            StmtKind::ReduceTo {
+                var,
+                indices,
+                op,
+                value,
+                atomic,
+            } => {
+                let lhs = self.index_expr(var, indices);
+                let rhs = self.expr(value);
+                match (op, atomic) {
+                    (ReduceOp::Add, true) => {
+                        self.line(&format!("atomicAdd(&{lhs}, {rhs});"));
+                    }
+                    (ReduceOp::Add, false) => self.line(&format!("{lhs} += {rhs};")),
+                    (ReduceOp::Mul, _) => self.line(&format!("{lhs} *= {rhs};")),
+                    (ReduceOp::Min, _) => self.line(&format!("{lhs} = min({lhs}, {rhs});")),
+                    (ReduceOp::Max, _) => self.line(&format!("{lhs} = max({lhs}, {rhs});")),
+                }
+            }
+            StmtKind::LibCall { kernel, .. } => {
+                self.line(&format!("/* library call: {kernel} (cuBLAS in deployment) */"));
+            }
+        }
+    }
+}
+
+/// Extent of a GPU-parallel loop, printed for the launch configuration.
+fn launch_extent(e: &Expr, b: &Expr, shapes: &Cuda) -> String {
+    let ext = ft_passes::const_fold_expr(e.clone() - b.clone());
+    shapes.expr(&ext)
+}
+
+/// Emit CUDA-flavoured source: one `__global__` kernel per outermost
+/// GPU-parallel region, plus a host launcher function.
+pub fn emit_cuda(func: &Func) -> String {
+    let mut shapes = HashMap::new();
+    for p in &func.params {
+        shapes.insert(p.name.clone(), p.shape.clone());
+    }
+    // Parameters of every kernel: all tensors + size params.
+    let mut params: Vec<String> = Vec::new();
+    let mut args: Vec<String> = Vec::new();
+    for p in &func.params {
+        let qual = if p.atype == AccessType::Input {
+            "const "
+        } else {
+            ""
+        };
+        params.push(format!("{qual}{}* {}", ctype(p.dtype), sanitize(&p.name)));
+        args.push(sanitize(&p.name));
+    }
+    for sp in &func.size_params {
+        params.push(format!("long long {}", sanitize(sp)));
+        args.push(sanitize(sp));
+    }
+
+    let mut kernels = String::new();
+    let mut host = String::new();
+    let mut k = 0usize;
+    // Outermost GPU-parallel loops become kernels; everything else runs on
+    // the host (sequentially, in order).
+    let mut host_emit = Cuda {
+        shapes: shapes.clone(),
+        shared: Default::default(),
+        in_kernel: false,
+        out: String::new(),
+        indent: 1,
+    };
+    #[allow(clippy::too_many_arguments)] // one-shot recursive splitter
+    fn walk(
+        s: &Stmt,
+        k: &mut usize,
+        kernels: &mut String,
+        host: &mut Cuda,
+        params: &[String],
+        args: &[String],
+        shapes: &HashMap<String, Vec<Expr>>,
+        func_name: &str,
+    ) {
+        match &s.kind {
+            StmtKind::For {
+                begin,
+                end,
+                property,
+                body,
+                ..
+            } if property.parallel.is_gpu() => {
+                let name = format!("{}_kernel{k}", sanitize(func_name));
+                *k += 1;
+                let mut em = Cuda {
+                    shapes: shapes.clone(),
+                    shared: Default::default(),
+                    in_kernel: true,
+                    out: String::new(),
+                    indent: 1,
+                };
+                // Grid/block sizes: this loop plus an inner thread loop.
+                let grid = launch_extent(end, begin, &em);
+                let mut block = "1".to_string();
+                if let StmtKind::For {
+                    begin: b2,
+                    end: e2,
+                    property: p2,
+                    ..
+                } = &ft_schedule::util::peel(body).kind
+                {
+                    if p2.parallel.is_gpu_thread() {
+                        block = launch_extent(e2, b2, &em);
+                    }
+                }
+                em.stmt(s);
+                let _ = writeln!(
+                    kernels,
+                    "__global__ void {name}({}) {{\n{}}}\n",
+                    params.join(", "),
+                    em.out
+                );
+                host.line(&format!(
+                    "{name}<<<dim3({grid}), dim3({block})>>>({});",
+                    args.join(", ")
+                ));
+                host.line("cudaDeviceSynchronize();");
+            }
+            StmtKind::Block(v) => {
+                for st in v {
+                    walk(st, k, kernels, host, params, args, shapes, func_name);
+                }
+            }
+            StmtKind::VarDef { name, shape, .. } => {
+                host.shapes.insert(name.clone(), shape.clone());
+                // Host-side buffers for locals spanning kernels.
+                host.line(&format!(
+                    "/* device buffer `{}` allocated via cudaMalloc in deployment */",
+                    sanitize(name)
+                ));
+                let StmtKind::VarDef { body, .. } = &s.kind else {
+                    unreachable!()
+                };
+                walk(body, k, kernels, host, params, args, shapes, func_name);
+            }
+            _ => {
+                host.stmt(s);
+            }
+        }
+    }
+    walk(
+        &func.body,
+        &mut k,
+        &mut kernels,
+        &mut host_emit,
+        &params,
+        &args,
+        &shapes,
+        &func.name,
+    );
+    let _ = writeln!(host, "void {}({}) {{", sanitize(&func.name), params.join(", "));
+    host.push_str(&host_emit.out);
+    host.push_str("}\n");
+    format!("#include <cuda_runtime.h>\n#include <math.h>\n\n{kernels}\n{host}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_ir::prelude::*;
+    use ft_ir::ForProperty;
+
+    fn gpu_func() -> Func {
+        Func::new("saxpy")
+            .param_on("x", [4096], DataType::F32, MemType::GpuGlobal, AccessType::Input)
+            .param_on("y", [4096], DataType::F32, MemType::GpuGlobal, AccessType::InOut)
+            .body(for_with(
+                "b",
+                0,
+                32,
+                ForProperty::parallel(ParallelScope::CudaBlockX),
+                for_with(
+                    "t",
+                    0,
+                    128,
+                    ForProperty::parallel(ParallelScope::CudaThreadX),
+                    store(
+                        "y",
+                        [var("b") * 128 + var("t")],
+                        load("y", [var("b") * 128 + var("t")])
+                            + load("x", [var("b") * 128 + var("t")]),
+                    ),
+                ),
+            ))
+    }
+
+    #[test]
+    fn emits_kernel_and_launch() {
+        let cu = emit_cuda(&gpu_func());
+        assert!(cu.contains("__global__ void saxpy_kernel0"), "{cu}");
+        assert!(cu.contains("blockIdx.x"), "{cu}");
+        assert!(cu.contains("threadIdx.x"), "{cu}");
+        assert!(cu.contains("<<<dim3(32), dim3(128)>>>"), "{cu}");
+        assert!(cu.contains("cudaDeviceSynchronize();"), "{cu}");
+    }
+
+    #[test]
+    fn shared_memory_and_atomics() {
+        let body = for_with(
+            "b",
+            0,
+            8,
+            ForProperty::parallel(ParallelScope::CudaBlockX),
+            var_def(
+                "t",
+                [32],
+                DataType::F32,
+                MemType::GpuShared,
+                Stmt::new(StmtKind::ReduceTo {
+                    var: "y".to_string(),
+                    indices: vec![Expr::IntConst(0)],
+                    op: ReduceOp::Add,
+                    value: load("t", [0]),
+                    atomic: true,
+                }),
+            ),
+        );
+        let f = Func::new("f")
+            .param_on("y", [1], DataType::F32, MemType::GpuGlobal, AccessType::Output)
+            .body(body);
+        let cu = emit_cuda(&f);
+        assert!(cu.contains("__shared__ float t[32];"), "{cu}");
+        assert!(cu.contains("atomicAdd(&y[0]"), "{cu}");
+    }
+
+    #[test]
+    fn shared_writes_get_barriers() {
+        // Fill shared memory in a thread loop, then read it: a
+        // __syncthreads() must separate the two phases.
+        let body = for_with(
+            "b",
+            0,
+            8,
+            ForProperty::parallel(ParallelScope::CudaBlockX),
+            var_def(
+                "t",
+                [32],
+                DataType::F32,
+                MemType::GpuShared,
+                block([
+                    for_with(
+                        "tx",
+                        0,
+                        32,
+                        ForProperty::parallel(ParallelScope::CudaThreadX),
+                        store("t", [var("tx")], load("x", [var("b") * 32 + var("tx")])),
+                    ),
+                    for_with(
+                        "tx2",
+                        0,
+                        32,
+                        ForProperty::parallel(ParallelScope::CudaThreadX),
+                        store("y", [var("b") * 32 + var("tx2")], load("t", ft_ir::idx![Expr::IntConst(31) - var("tx2")])),
+                    ),
+                ]),
+            ),
+        );
+        let f = Func::new("rev")
+            .param_on("x", [256], DataType::F32, MemType::GpuGlobal, AccessType::Input)
+            .param_on("y", [256], DataType::F32, MemType::GpuGlobal, AccessType::Output)
+            .body(body);
+        let cu = emit_cuda(&f);
+        assert!(cu.contains("__syncthreads();"), "{cu}");
+        // The barrier sits between the fill and the read.
+        let sync_pos = cu.find("__syncthreads();").unwrap();
+        let read_pos = cu.find("y[").unwrap();
+        assert!(sync_pos < read_pos, "{cu}");
+    }
+
+    #[test]
+    fn two_parallel_regions_two_kernels() {
+        let k1 = for_with(
+            "b",
+            0,
+            8,
+            ForProperty::parallel(ParallelScope::CudaBlockX),
+            store("y", [var("b")], 1.0f32),
+        );
+        let k2 = for_with(
+            "b2",
+            0,
+            8,
+            ForProperty::parallel(ParallelScope::CudaBlockX),
+            store("y", [var("b2")], 2.0f32),
+        );
+        let f = Func::new("f")
+            .param_on("y", [8], DataType::F32, MemType::GpuGlobal, AccessType::Output)
+            .body(block([k1, k2]));
+        let cu = emit_cuda(&f);
+        assert!(cu.contains("f_kernel0"), "{cu}");
+        assert!(cu.contains("f_kernel1"), "{cu}");
+    }
+}

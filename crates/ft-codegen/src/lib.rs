@@ -1,0 +1,22 @@
+//! # ft-codegen — source emission for native backends
+//!
+//! FreeTensor "generates OpenMP or CUDA code from the AST and invokes
+//! dedicated backend compilers like gcc or nvcc" (paper §4.3). This crate
+//! reproduces the source-emission half:
+//!
+//! * [`c::emit_c`] — C99 with OpenMP pragmas (`parallel for`, `simd`,
+//!   `atomic`) for CPU schedules; compile-checked against the host C
+//!   compiler in the test suite;
+//! * [`cuda::emit_cuda`] — CUDA-flavoured source: one `__global__` kernel per
+//!   outermost GPU-parallel nest plus a host launcher.
+//!
+//! In this repository the measured substrate is the instrumented interpreter
+//! (`ft-runtime`), per the substitution rules in `DESIGN.md`; the emitters
+//! exist to close the pipeline the way the paper describes and are validated
+//! for syntactic well-formedness.
+
+pub mod c;
+pub mod cuda;
+
+pub use c::emit_c;
+pub use cuda::emit_cuda;

@@ -1,0 +1,329 @@
+//! Indentation-aware lexer for the textual DSL.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Name(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// String literal (without quotes).
+    Str(String),
+    /// Punctuation or operator, e.g. `"+="`, `"("`.
+    Sym(&'static str),
+    /// End of a logical line.
+    Newline,
+    /// Increase of indentation.
+    Indent,
+    /// Decrease of indentation.
+    Dedent,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Name(n) => write!(f, "`{n}`"),
+            Tok::Int(v) => write!(f, "{v}"),
+            Tok::Float(v) => write!(f, "{v}"),
+            Tok::Str(s) => write!(f, "\"{s}\""),
+            Tok::Sym(s) => write!(f, "`{s}`"),
+            Tok::Newline => write!(f, "newline"),
+            Tok::Indent => write!(f, "indent"),
+            Tok::Dedent => write!(f, "dedent"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token plus its 1-based source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based line number.
+    pub line: usize,
+}
+
+/// A lexing failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// Explanation.
+    pub message: String,
+    /// 1-based line number.
+    pub line: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at line {}: {}", self.line, self.message)
+    }
+}
+
+const SYMBOLS: &[&str] = &[
+    "+=", "*=", "min=", "max=", "==", "!=", "<=", ">=", "(", ")", "[", "]", ":", ",", "+", "-",
+    "*", "/", "%", "<", ">", "=", "@", ".",
+];
+
+/// Tokenize a source string, producing INDENT/DEDENT pairs from leading
+/// whitespace (spaces only; tabs are rejected). Comments (`# …`) and blank
+/// lines are skipped; brackets suppress newline significance.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
+    let mut out: Vec<Spanned> = Vec::new();
+    let mut indents: Vec<usize> = vec![0];
+    let mut depth = 0usize; // bracket nesting
+    for (lineno, raw) in src.lines().enumerate() {
+        let line = lineno + 1;
+        let err = |m: &str| LexError {
+            message: m.to_string(),
+            line,
+        };
+        if raw.contains('\t') {
+            return Err(err("tabs are not allowed; use spaces"));
+        }
+        // Strip comments (no string literals contain '#').
+        let code = match raw.find('#') {
+            Some(pos) if !raw[..pos].contains('"') => &raw[..pos],
+            _ => raw,
+        };
+        if code.trim().is_empty() {
+            continue;
+        }
+        if depth == 0 {
+            let indent = code.len() - code.trim_start().len();
+            let current = *indents.last().expect("never empty");
+            if indent > current {
+                indents.push(indent);
+                out.push(Spanned {
+                    tok: Tok::Indent,
+                    line,
+                });
+            } else {
+                while indent < *indents.last().expect("never empty") {
+                    indents.pop();
+                    out.push(Spanned {
+                        tok: Tok::Dedent,
+                        line,
+                    });
+                }
+                if indent != *indents.last().expect("never empty") {
+                    return Err(err("inconsistent indentation"));
+                }
+            }
+        }
+        let bytes = code.as_bytes();
+        let mut i = code.len() - code.trim_start().len();
+        while i < bytes.len() {
+            let c = bytes[i] as char;
+            if c == ' ' {
+                i += 1;
+                continue;
+            }
+            if c == '"' {
+                let end = code[i + 1..]
+                    .find('"')
+                    .ok_or_else(|| err("unterminated string"))?;
+                out.push(Spanned {
+                    tok: Tok::Str(code[i + 1..i + 1 + end].to_string()),
+                    line,
+                });
+                i += end + 2;
+                continue;
+            }
+            if c.is_ascii_digit() {
+                let start = i;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i < bytes.len()
+                    && bytes[i] as char == '.'
+                    && i + 1 < bytes.len()
+                    && (bytes[i + 1] as char).is_ascii_digit()
+                {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                if i < bytes.len() && (bytes[i] as char == 'e' || bytes[i] as char == 'E') {
+                    let mut j = i + 1;
+                    if j < bytes.len() && (bytes[j] as char == '+' || bytes[j] as char == '-') {
+                        j += 1;
+                    }
+                    if j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
+                        is_float = true;
+                        i = j;
+                        while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let text = &code[start..i];
+                let tok = if is_float {
+                    Tok::Float(text.parse().map_err(|_| err("bad float literal"))?)
+                } else {
+                    Tok::Int(text.parse().map_err(|_| err("bad integer literal"))?)
+                };
+                out.push(Spanned { tok, line });
+                continue;
+            }
+            if c.is_ascii_alphabetic() || c == '_' {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] as char == '_')
+                {
+                    i += 1;
+                }
+                let name = code[start..i].to_string();
+                // `min=` / `max=` reduce operators.
+                if (name == "min" || name == "max")
+                    && i < bytes.len()
+                    && bytes[i] as char == '='
+                    && (i + 1 >= bytes.len() || bytes[i + 1] as char != '=')
+                {
+                    out.push(Spanned {
+                        tok: Tok::Sym(if name == "min" { "min=" } else { "max=" }),
+                        line,
+                    });
+                    i += 1;
+                    continue;
+                }
+                out.push(Spanned {
+                    tok: Tok::Name(name),
+                    line,
+                });
+                continue;
+            }
+            let mut matched = false;
+            for sym in SYMBOLS {
+                if sym.chars().next().map(char::is_alphabetic) == Some(true) {
+                    continue; // min=/max= handled above
+                }
+                if code[i..].starts_with(sym) {
+                    match *sym {
+                        "(" | "[" => depth += 1,
+                        ")" | "]" => depth = depth.saturating_sub(1),
+                        _ => {}
+                    }
+                    out.push(Spanned {
+                        tok: Tok::Sym(sym),
+                        line,
+                    });
+                    i += sym.len();
+                    matched = true;
+                    break;
+                }
+            }
+            if !matched {
+                return Err(err(&format!("unexpected character `{c}`")));
+            }
+        }
+        if depth == 0 {
+            out.push(Spanned {
+                tok: Tok::Newline,
+                line,
+            });
+        }
+    }
+    let last_line = src.lines().count();
+    while indents.len() > 1 {
+        indents.pop();
+        out.push(Spanned {
+            tok: Tok::Dedent,
+            line: last_line,
+        });
+    }
+    out.push(Spanned {
+        tok: Tok::Eof,
+        line: last_line,
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        let t = toks("x = a[i] + 2.5\n");
+        assert_eq!(
+            t,
+            vec![
+                Tok::Name("x".into()),
+                Tok::Sym("="),
+                Tok::Name("a".into()),
+                Tok::Sym("["),
+                Tok::Name("i".into()),
+                Tok::Sym("]"),
+                Tok::Sym("+"),
+                Tok::Float(2.5),
+                Tok::Newline,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn indentation_blocks() {
+        let t = toks("for i in range(0, n):\n  x[i] = 1\ny[0] = 2\n");
+        let indents = t.iter().filter(|t| **t == Tok::Indent).count();
+        let dedents = t.iter().filter(|t| **t == Tok::Dedent).count();
+        assert_eq!(indents, 1);
+        assert_eq!(dedents, 1);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let t = toks("# a comment\n\nx = 1  # trailing\n");
+        assert!(t.iter().all(|t| !matches!(t, Tok::Str(_))));
+        assert_eq!(t.iter().filter(|t| **t == Tok::Newline).count(), 1);
+    }
+
+    #[test]
+    fn reduce_operators() {
+        let t = toks("a[i] += 1\nb min= 2\nc max= 3\nd *= 4\n");
+        assert!(t.contains(&Tok::Sym("+=")));
+        assert!(t.contains(&Tok::Sym("min=")));
+        assert!(t.contains(&Tok::Sym("max=")));
+        assert!(t.contains(&Tok::Sym("*=")));
+    }
+
+    #[test]
+    fn brackets_suppress_newlines() {
+        let t = toks("x = create_var((2,\n  3), \"f32\", \"cpu\")\n");
+        assert_eq!(t.iter().filter(|t| **t == Tok::Newline).count(), 1);
+        assert!(t.contains(&Tok::Str("f32".into())));
+    }
+
+    #[test]
+    fn scientific_notation() {
+        assert_eq!(toks("x = 1e-3\n")[2], Tok::Float(1e-3));
+        assert_eq!(toks("x = 2.5e2\n")[2], Tok::Float(250.0));
+    }
+
+    #[test]
+    fn errors_have_lines() {
+        let e = lex("x = 1\ny = $\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(lex("\tx = 1\n").is_err());
+        assert!(lex("x = \"abc\n").is_err());
+    }
+
+    #[test]
+    fn inconsistent_indent_rejected() {
+        let e = lex("if a:\n    x = 1\n  y = 2\n").unwrap_err();
+        assert!(e.message.contains("indentation"));
+    }
+}

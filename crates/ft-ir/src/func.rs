@@ -1,0 +1,175 @@
+//! Functions: the compilation unit of FreeTensor.
+
+use crate::expr::Expr;
+use crate::stmt::{Stmt, StmtKind};
+use crate::types::{AccessType, DataType, MemType};
+use std::fmt;
+
+/// A tensor parameter of a [`Func`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Parameter name.
+    pub name: String,
+    /// Extent expressions (may reference size parameters); empty for scalars.
+    pub shape: Vec<Expr>,
+    /// Element type.
+    pub dtype: DataType,
+    /// Memory space the caller provides the tensor in.
+    pub mtype: MemType,
+    /// Input/output role.
+    pub atype: AccessType,
+}
+
+/// A FreeTensor function: tensor parameters, integer size parameters, and a
+/// stack-scoped statement body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Func {
+    /// Function name.
+    pub name: String,
+    /// Tensor parameters in declaration order.
+    pub params: Vec<Param>,
+    /// Integer size parameters (e.g. `n`, `w`) referenced by shapes/bounds.
+    pub size_params: Vec<String>,
+    /// Body statement.
+    pub body: Stmt,
+}
+
+impl Func {
+    /// Start building a function with the given name and an empty body.
+    pub fn new(name: impl Into<String>) -> Func {
+        Func {
+            name: name.into(),
+            params: Vec::new(),
+            size_params: Vec::new(),
+            body: Stmt::new(StmtKind::Empty),
+        }
+    }
+
+    /// Add a tensor parameter (builder style). Defaults to CPU heap memory;
+    /// use [`Func::param_on`] to place it elsewhere.
+    pub fn param<S>(
+        mut self,
+        name: impl Into<String>,
+        shape: S,
+        dtype: DataType,
+        atype: AccessType,
+    ) -> Func
+    where
+        S: IntoIterator,
+        S::Item: Into<Expr>,
+    {
+        self.params.push(Param {
+            name: name.into(),
+            shape: shape.into_iter().map(Into::into).collect(),
+            dtype,
+            mtype: MemType::CpuHeap,
+            atype,
+        });
+        self
+    }
+
+    /// Add a tensor parameter in an explicit memory space.
+    pub fn param_on<S>(
+        mut self,
+        name: impl Into<String>,
+        shape: S,
+        dtype: DataType,
+        mtype: MemType,
+        atype: AccessType,
+    ) -> Func
+    where
+        S: IntoIterator,
+        S::Item: Into<Expr>,
+    {
+        self.params.push(Param {
+            name: name.into(),
+            shape: shape.into_iter().map(Into::into).collect(),
+            dtype,
+            mtype,
+            atype,
+        });
+        self
+    }
+
+    /// Declare an integer size parameter.
+    pub fn size_param(mut self, name: impl Into<String>) -> Func {
+        self.size_params.push(name.into());
+        self
+    }
+
+    /// Set the body (builder style).
+    pub fn body(mut self, body: Stmt) -> Func {
+        self.body = body;
+        self
+    }
+
+    /// Replace the body, keeping everything else.
+    pub fn with_body(&self, body: Stmt) -> Func {
+        Func {
+            name: self.name.clone(),
+            params: self.params.clone(),
+            size_params: self.size_params.clone(),
+            body,
+        }
+    }
+
+    /// Look up a parameter by name.
+    pub fn find_param(&self, name: &str) -> Option<&Param> {
+        self.params.iter().find(|p| p.name == name)
+    }
+
+    /// Names of all output (or in-out) parameters.
+    pub fn output_names(&self) -> Vec<&str> {
+        self.params
+            .iter()
+            .filter(|p| matches!(p.atype, AccessType::Output | AccessType::InOut))
+            .map(|p| p.name.as_str())
+            .collect()
+    }
+
+    /// Names of all input (or in-out) parameters.
+    pub fn input_names(&self) -> Vec<&str> {
+        self.params
+            .iter()
+            .filter(|p| matches!(p.atype, AccessType::Input | AccessType::InOut))
+            .map(|p| p.name.as_str())
+            .collect()
+    }
+}
+
+impl fmt::Display for Func {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        crate::printer::print_func(f, self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+
+    #[test]
+    fn builder_collects_params() {
+        let f = Func::new("f")
+            .param("x", [var("n")], DataType::F32, AccessType::Input)
+            .param("y", [var("n")], DataType::F32, AccessType::Output)
+            .size_param("n")
+            .body(store("y", [0], 0.0f32));
+        assert_eq!(f.params.len(), 2);
+        assert_eq!(f.size_params, vec!["n".to_string()]);
+        assert_eq!(f.output_names(), vec!["y"]);
+        assert_eq!(f.input_names(), vec!["x"]);
+        assert!(f.find_param("x").is_some());
+        assert!(f.find_param("z").is_none());
+    }
+
+    #[test]
+    fn with_body_preserves_signature() {
+        let f = Func::new("f")
+            .param("y", [3], DataType::F32, AccessType::Output)
+            .body(empty());
+        let g = f.with_body(store("y", [0], 1.0f32));
+        assert_eq!(g.params, f.params);
+        assert!(matches!(g.body.kind, StmtKind::Store { .. }));
+    }
+}

@@ -1,0 +1,160 @@
+//! Dead-code elimination for locally defined tensors.
+
+use ft_ir::mutate::mutate_stmt_walk;
+use ft_ir::visit::walk_stmt;
+use ft_ir::{AccessType, Func, Mutator, Stmt, StmtKind, Visitor};
+use std::collections::HashSet;
+
+/// Collect tensors that are *read* anywhere (loads, or used by a LibCall).
+struct ReadSet(HashSet<String>);
+
+impl Visitor for ReadSet {
+    fn visit_expr(&mut self, e: &ft_ir::Expr) {
+        if let ft_ir::Expr::Load { var, .. } = e {
+            self.0.insert(var.clone());
+        }
+        ft_ir::visit::walk_expr(self, e);
+    }
+
+    fn visit_stmt(&mut self, s: &Stmt) {
+        if let StmtKind::LibCall { inputs, .. } = &s.kind {
+            for i in inputs {
+                self.0.insert(i.clone());
+            }
+        }
+        walk_stmt(self, s);
+    }
+}
+
+struct KillWrites<'a> {
+    dead: &'a HashSet<String>,
+}
+
+impl Mutator for KillWrites<'_> {
+    fn mutate_stmt(&mut self, s: Stmt) -> Stmt {
+        let s = mutate_stmt_walk(self, s);
+        match &s.kind {
+            StmtKind::Store { var, .. } | StmtKind::ReduceTo { var, .. }
+                if self.dead.contains(var) =>
+            {
+                s.same_id(StmtKind::Empty)
+            }
+            StmtKind::VarDef { name, body, .. } if self.dead.contains(name) => {
+                // Keep the body (already stripped of writes to `name`).
+                s.same_id(body.kind.clone())
+            }
+            _ => s,
+        }
+    }
+}
+
+/// Remove local (`Cache`) definitions whose tensors are never read and are
+/// not outputs, together with all stores/reductions into them.
+///
+/// One round only; [`crate::simplify()`] iterates this with control-flow
+/// cleanup to a fixpoint (removing one dead tensor can make another dead).
+pub fn remove_dead_defs(func: &Func) -> Func {
+    let mut reads = ReadSet(HashSet::new());
+    reads.visit_stmt(&func.body);
+    // Output and in-out parameters are always live.
+    for p in &func.params {
+        if matches!(p.atype, AccessType::Output | AccessType::InOut) {
+            reads.0.insert(p.name.clone());
+        }
+    }
+    // Find local defs not in the read set.
+    let mut dead: HashSet<String> = HashSet::new();
+    func.body.walk(&mut |s| {
+        if let StmtKind::VarDef { name, atype, .. } = &s.kind {
+            if *atype == AccessType::Cache && !reads.0.contains(name) {
+                dead.insert(name.clone());
+            }
+        }
+    });
+    if dead.is_empty() {
+        return func.clone();
+    }
+    let body = KillWrites { dead: &dead }.mutate_stmt(func.body.clone());
+    func.with_body(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_ir::prelude::*;
+    use ft_ir::DataType;
+
+    #[test]
+    fn removes_unread_local() {
+        let f = Func::new("f")
+            .param("y", [1], DataType::F32, AccessType::Output)
+            .body(var_def(
+                "t",
+                [1],
+                DataType::F32,
+                MemType::CpuHeap,
+                block([store("t", [0], 1.0f32), store("y", [0], 2.0f32)]),
+            ));
+        let out = remove_dead_defs(&f);
+        let mut defs = 0;
+        let mut stores = 0;
+        out.body.walk(&mut |s| match &s.kind {
+            StmtKind::VarDef { .. } => defs += 1,
+            StmtKind::Store { .. } => stores += 1,
+            _ => {}
+        });
+        assert_eq!(defs, 0);
+        assert_eq!(stores, 1); // only the store to y survives (t's is Empty'd)
+    }
+
+    #[test]
+    fn keeps_read_locals_and_outputs() {
+        let f = Func::new("f")
+            .param("y", [1], DataType::F32, AccessType::Output)
+            .body(var_def(
+                "t",
+                [1],
+                DataType::F32,
+                MemType::CpuHeap,
+                block([
+                    store("t", [0], 1.0f32),
+                    store("y", [0], load("t", [0])),
+                ]),
+            ));
+        let out = remove_dead_defs(&f);
+        assert!(out.body.same_structure(&f.body));
+    }
+
+    #[test]
+    fn chain_of_dead_defs_needs_iteration() {
+        // u reads t; y never reads u: one round kills u, the next kills t.
+        let f = Func::new("f")
+            .param("y", [1], DataType::F32, AccessType::Output)
+            .body(var_def(
+                "t",
+                [1],
+                DataType::F32,
+                MemType::CpuHeap,
+                var_def(
+                    "u",
+                    [1],
+                    DataType::F32,
+                    MemType::CpuHeap,
+                    block([
+                        store("t", [0], 1.0f32),
+                        store("u", [0], load("t", [0])),
+                        store("y", [0], 3.0f32),
+                    ]),
+                ),
+            ));
+        let once = remove_dead_defs(&f);
+        let twice = remove_dead_defs(&once);
+        let mut defs = 0;
+        twice.body.walk(&mut |s| {
+            if matches!(s.kind, StmtKind::VarDef { .. }) {
+                defs += 1;
+            }
+        });
+        assert_eq!(defs, 0);
+    }
+}

@@ -1,0 +1,236 @@
+//! Control-flow simplification: constant branches, degenerate loops,
+//! flattened blocks.
+
+use crate::dce::remove_dead_defs;
+use crate::fold::const_fold_stmt;
+use ft_ir::mutate::{mutate_stmt_walk, subst_var_stmt};
+use ft_ir::{Expr, Func, Mutator, Stmt, StmtKind};
+
+struct Simplifier;
+
+impl Mutator for Simplifier {
+    fn mutate_stmt(&mut self, s: Stmt) -> Stmt {
+        let s = mutate_stmt_walk(self, s);
+        let Stmt { id, label, kind } = s;
+        let kind = match kind {
+            StmtKind::Block(stmts) => {
+                // Flatten nested blocks and drop no-ops.
+                let mut out: Vec<Stmt> = Vec::new();
+                for st in stmts {
+                    match st.kind {
+                        StmtKind::Empty => {}
+                        StmtKind::Block(inner) => out.extend(inner),
+                        _ => out.push(st),
+                    }
+                }
+                match out.len() {
+                    0 => StmtKind::Empty,
+                    1 => return out.into_iter().next().expect("len checked"),
+                    _ => StmtKind::Block(out),
+                }
+            }
+            StmtKind::If {
+                cond,
+                then,
+                otherwise,
+            } => match cond.as_bool() {
+                Some(true) => return *then,
+                Some(false) => {
+                    return otherwise.map_or_else(
+                        || Stmt { id, label, kind: StmtKind::Empty },
+                        |o| *o,
+                    )
+                }
+                None => {
+                    let otherwise = otherwise.filter(|o| !o.is_empty());
+                    if then.is_empty() && otherwise.is_none() {
+                        StmtKind::Empty
+                    } else {
+                        StmtKind::If {
+                            cond,
+                            then,
+                            otherwise,
+                        }
+                    }
+                }
+            },
+            StmtKind::For {
+                iter,
+                begin,
+                end,
+                property,
+                body,
+            } => {
+                if body.is_empty() {
+                    StmtKind::Empty
+                } else if let (Some(b), Some(e)) = (begin.as_int(), end.as_int()) {
+                    if e <= b {
+                        StmtKind::Empty
+                    } else if e == b + 1 {
+                        // Single-trip loop: substitute the iterator.
+                        return subst_var_stmt(*body, &iter, &Expr::IntConst(b));
+                    } else {
+                        StmtKind::For {
+                            iter,
+                            begin,
+                            end,
+                            property,
+                            body,
+                        }
+                    }
+                } else {
+                    StmtKind::For {
+                        iter,
+                        begin,
+                        end,
+                        property,
+                        body,
+                    }
+                }
+            }
+            StmtKind::VarDef {
+                name,
+                shape,
+                dtype,
+                mtype,
+                atype,
+                body,
+            } => {
+                if body.is_empty() {
+                    StmtKind::Empty
+                } else {
+                    StmtKind::VarDef {
+                        name,
+                        shape,
+                        dtype,
+                        mtype,
+                        atype,
+                        body,
+                    }
+                }
+            }
+            k => k,
+        };
+        Stmt { id, label, kind }
+    }
+}
+
+/// One round of constant folding + affine normalization + control
+/// simplification.
+pub fn simplify_once(s: Stmt) -> Stmt {
+    let s = crate::normalize::normalize_affine(const_fold_stmt(s));
+    Simplifier.mutate_stmt(s)
+}
+
+/// Simplify a statement tree to a fixpoint (bounded).
+pub fn simplify_stmt(mut s: Stmt) -> Stmt {
+    for _ in 0..8 {
+        let next = simplify_once(s.clone());
+        if next.same_structure(&s) {
+            return next;
+        }
+        s = next;
+    }
+    s
+}
+
+/// Simplify a whole function: fold, simplify control flow, and remove local
+/// definitions that are never read (dead-code elimination), to a fixpoint.
+pub fn simplify(f: &Func) -> Func {
+    let mut cur = f.with_body(simplify_stmt(f.body.clone()));
+    for _ in 0..8 {
+        let next = remove_dead_defs(&cur);
+        let next = crate::normalize::remove_redundant_guards(&next);
+        let next = next.with_body(simplify_stmt(next.body.clone()));
+        if next.body.same_structure(&cur.body) {
+            return next;
+        }
+        cur = next;
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_ir::prelude::*;
+    use ft_ir::DataType;
+
+    #[test]
+    fn constant_branches_fold_away() {
+        let s = if_else(
+            Expr::IntConst(3).lt(5),
+            store("a", [0], 1.0f32),
+            store("a", [0], 2.0f32),
+        );
+        let out = simplify_stmt(s);
+        match out.kind {
+            StmtKind::Store { value, .. } => assert_eq!(value, Expr::FloatConst(1.0)),
+            other => panic!("expected store, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_and_single_trip_loops() {
+        let s = for_("i", 0, 0, store("a", [var("i")], 1.0f32));
+        assert!(simplify_stmt(s).is_empty());
+        let s = for_("i", 3, 4, store("a", [var("i")], 1.0f32));
+        let out = simplify_stmt(s);
+        match out.kind {
+            StmtKind::Store { indices, .. } => assert_eq!(indices[0], Expr::IntConst(3)),
+            other => panic!("expected store, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn blocks_flatten() {
+        let s = block([
+            block([store("a", [0], 1.0f32), empty()]),
+            empty(),
+            block([store("a", [1], 2.0f32)]),
+        ]);
+        let out = simplify_stmt(s);
+        match &out.kind {
+            StmtKind::Block(v) => {
+                assert_eq!(v.len(), 2);
+                assert!(v
+                    .iter()
+                    .all(|st| matches!(st.kind, StmtKind::Store { .. })));
+            }
+            other => panic!("expected block, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn if_without_effect_vanishes() {
+        let s = if_(var("c").gt(0), block([empty()]));
+        assert!(simplify_stmt(s).is_empty());
+    }
+
+    #[test]
+    fn simplify_func_removes_dead_locals() {
+        // t is written but never read: the whole def disappears.
+        let f = Func::new("f")
+            .param("y", [4], DataType::F32, AccessType::Output)
+            .body(block([
+                var_def(
+                    "t",
+                    [4],
+                    DataType::F32,
+                    MemType::CpuHeap,
+                    for_("i", 0, 4, store("t", [var("i")], 1.0f32)),
+                ),
+                for_("i2", 0, 4, store("y", [var("i2")], 2.0f32)),
+            ]));
+        let out = simplify(&f);
+        let mut has_t = false;
+        out.body.walk(&mut |s| {
+            if let StmtKind::VarDef { name, .. } = &s.kind {
+                if name == "t" {
+                    has_t = true;
+                }
+            }
+        });
+        assert!(!has_t, "dead definition should be removed:\n{}", out);
+    }
+}

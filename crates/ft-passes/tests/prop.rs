@@ -1,0 +1,137 @@
+//! Property tests: simplification passes preserve evaluation.
+
+use ft_ir::{BinaryOp, Expr, UnaryOp};
+use ft_passes::{const_fold_expr, normalize_affine};
+use proptest::prelude::*;
+
+/// Evaluate an integer expression under an environment (mirrors the
+/// runtime's floor-division semantics). `None` on division by zero.
+fn eval(e: &Expr, env: &dyn Fn(&str) -> i64) -> Option<i64> {
+    Some(match e {
+        Expr::IntConst(v) => *v,
+        Expr::Var(n) => env(n),
+        Expr::Unary {
+            op: UnaryOp::Neg,
+            a,
+        } => -eval(a, env)?,
+        Expr::Unary {
+            op: UnaryOp::Abs,
+            a,
+        } => eval(a, env)?.abs(),
+        Expr::Binary { op, a, b } => {
+            let (x, y) = (eval(a, env)?, eval(b, env)?);
+            match op {
+                BinaryOp::Add => x.checked_add(y)?,
+                BinaryOp::Sub => x.checked_sub(y)?,
+                BinaryOp::Mul => x.checked_mul(y)?,
+                BinaryOp::Div => {
+                    if y == 0 {
+                        return None;
+                    }
+                    x.div_euclid(y)
+                }
+                BinaryOp::Mod => {
+                    if y == 0 {
+                        return None;
+                    }
+                    x.rem_euclid(y)
+                }
+                BinaryOp::Min => x.min(y),
+                BinaryOp::Max => x.max(y),
+                _ => return None,
+            }
+        }
+        Expr::Select {
+            cond,
+            then,
+            otherwise,
+        } => {
+            if eval_bool(cond, env)? {
+                eval(then, env)?
+            } else {
+                eval(otherwise, env)?
+            }
+        }
+        _ => return None,
+    })
+}
+
+fn eval_bool(e: &Expr, env: &dyn Fn(&str) -> i64) -> Option<bool> {
+    match e {
+        Expr::BoolConst(b) => Some(*b),
+        Expr::Binary { op, a, b } => {
+            let (x, y) = (eval(a, env)?, eval(b, env)?);
+            Some(match op {
+                BinaryOp::Eq => x == y,
+                BinaryOp::Ne => x != y,
+                BinaryOp::Lt => x < y,
+                BinaryOp::Le => x <= y,
+                BinaryOp::Gt => x > y,
+                BinaryOp::Ge => x >= y,
+                _ => return None,
+            })
+        }
+        _ => None,
+    }
+}
+
+/// Random integer expressions over variables a, b, c with bounded constants.
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-20i64..=20).prop_map(Expr::IntConst),
+        prop_oneof![Just("a"), Just("b"), Just("c")]
+            .prop_map(|n| Expr::Var(n.to_string())),
+    ];
+    leaf.prop_recursive(4, 48, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a + b),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a - b),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a * b),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a / b),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.rem(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.min(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.max(b)),
+            inner.clone().prop_map(|a| -a),
+            (inner.clone(), inner.clone(), inner).prop_map(|(c, a, b)| {
+                Expr::select(c.clone().lt(a.clone()), a, b)
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Constant folding preserves the value of every expression, at every
+    /// environment probed.
+    #[test]
+    fn const_fold_preserves_evaluation(e in arb_expr(), a in -9i64..=9, b in -9i64..=9, c in -9i64..=9) {
+        let folded = const_fold_expr(e.clone());
+        let env = move |n: &str| match n { "a" => a, "b" => b, _ => c };
+        // Only compare when both sides evaluate (division by zero and
+        // overflow stay unfolded by design).
+        if let (Some(x), Some(y)) = (eval(&e, &env), eval(&folded, &env)) {
+            prop_assert_eq!(x, y, "folding changed value: {:?} -> {:?}", e, folded);
+        }
+    }
+
+    /// Affine normalization preserves the value of every expression.
+    #[test]
+    fn normalize_preserves_evaluation(e in arb_expr(), a in -9i64..=9, b in -9i64..=9, c in -9i64..=9) {
+        let s = ft_ir::builder::store("out", [e.clone()], 0.0f32);
+        let n = normalize_affine(s);
+        let ft_ir::StmtKind::Store { indices, .. } = &n.kind else { unreachable!() };
+        let env = move |n: &str| match n { "a" => a, "b" => b, _ => c };
+        if let (Some(x), Some(y)) = (eval(&e, &env), eval(&indices[0], &env)) {
+            prop_assert_eq!(x, y, "normalization changed value: {:?} -> {:?}", e, &indices[0]);
+        }
+    }
+
+    /// Folding is idempotent.
+    #[test]
+    fn const_fold_idempotent(e in arb_expr()) {
+        let once = const_fold_expr(e);
+        let twice = const_fold_expr(once.clone());
+        prop_assert_eq!(once, twice);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property tests: the Omega-style solver is sound against brute-force
+//! integer enumeration on bounded boxes.
+
+use ft_poly::{CmpOp, Constraint, LinExpr, Sat, System};
+use proptest::prelude::*;
+
+const VARS: [&str; 3] = ["x", "y", "z"];
+const BOX: i64 = 4;
+
+fn brute_force(sys: &System) -> bool {
+    let n = VARS.len();
+    let mut assign = vec![-BOX; n];
+    loop {
+        let ok = sys.constraints.iter().all(|cst| {
+            let mut val = cst.expr.constant_term();
+            for (name, coeff) in cst.expr.iter_terms() {
+                let idx = VARS.iter().position(|v| *v == name).expect("known var");
+                val += coeff * assign[idx];
+            }
+            match cst.op {
+                CmpOp::Ge0 => val >= 0,
+                CmpOp::Eq0 => val == 0,
+            }
+        });
+        if ok {
+            return true;
+        }
+        let mut i = 0;
+        loop {
+            if i == n {
+                return false;
+            }
+            assign[i] += 1;
+            if assign[i] <= BOX {
+                break;
+            }
+            assign[i] = -BOX;
+            i += 1;
+        }
+    }
+}
+
+prop_compose! {
+    fn arb_linexpr()(cx in -3i64..=3, cy in -3i64..=3, cz in -3i64..=3, c in -8i64..=8) -> LinExpr {
+        LinExpr::term("x", cx) + LinExpr::term("y", cy) + LinExpr::term("z", cz) + c
+    }
+}
+
+prop_compose! {
+    fn arb_constraint()(e in arb_linexpr(), eq in proptest::bool::weighted(0.3)) -> Constraint {
+        if eq { Constraint::eq0(e) } else { Constraint::ge0(e) }
+    }
+}
+
+fn boxed_system(extra: Vec<Constraint>) -> System {
+    let mut sys = System::new();
+    for v in VARS {
+        sys.push(Constraint::ge(LinExpr::var(v), LinExpr::constant(-BOX)));
+        sys.push(Constraint::le(LinExpr::var(v), LinExpr::constant(BOX)));
+    }
+    for c in extra {
+        sys.push(c);
+    }
+    sys
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Within a bounded box the brute force is exact ground truth, so
+    /// `Empty`/`NonEmpty` answers must agree with it (`Unknown` is always
+    /// permitted).
+    #[test]
+    fn solver_sound_on_boxed_systems(cs in proptest::collection::vec(arb_constraint(), 1..6)) {
+        let sys = boxed_system(cs);
+        let truth = brute_force(&sys);
+        match sys.satisfiable() {
+            Sat::Empty => prop_assert!(!truth, "solver says Empty, brute force found a point: {sys}"),
+            Sat::NonEmpty => prop_assert!(truth, "solver says NonEmpty, brute force found none: {sys}"),
+            Sat::Unknown => {}
+        }
+    }
+
+    /// Adding a constraint can never turn an empty system non-empty
+    /// (monotonicity of conjunction, as the legality checks rely on it).
+    #[test]
+    fn conjunction_is_monotone(cs in proptest::collection::vec(arb_constraint(), 1..5),
+                               extra in arb_constraint()) {
+        let base = boxed_system(cs.clone());
+        if base.satisfiable() == Sat::Empty {
+            let mut bigger = base;
+            bigger.push(extra);
+            prop_assert_ne!(bigger.satisfiable(), Sat::NonEmpty);
+        }
+    }
+
+    /// Substituting an equality's solution is invisible to satisfiability:
+    /// {e = 0} ∧ rest  has a solution iff brute force finds one.
+    #[test]
+    fn equalities_respected(e in arb_linexpr(), cs in proptest::collection::vec(arb_constraint(), 0..4)) {
+        let mut with_eq = vec![Constraint::eq0(e)];
+        with_eq.extend(cs);
+        let sys = boxed_system(with_eq);
+        let truth = brute_force(&sys);
+        match sys.satisfiable() {
+            Sat::Empty => prop_assert!(!truth),
+            Sat::NonEmpty => prop_assert!(truth),
+            Sat::Unknown => {}
+        }
+    }
+}

@@ -1,0 +1,653 @@
+//! Slot-indexed lowering of the IR for execution.
+//!
+//! Interpreting the IR directly would resolve tensor and iterator *names*
+//! through hash maps on every access; this module lowers a [`Func`] once
+//! into a compiled form where every scalar and tensor reference is a dense
+//! slot index, and the executor works over plain vectors. Semantics and
+//! instrumentation are identical to the specification in [`crate::interp`]
+//! (the equivalence is exercised by the whole cross-crate test suite, which
+//! runs everything through this path).
+
+use crate::counters::{CacheSim, PerfCounters, LINE};
+use crate::device::DeviceConfig;
+use crate::error::RuntimeError;
+use crate::value::{Scalar, TensorVal};
+use ft_ir::{
+    AccessType, BinaryOp, DataType, Expr, Func, MemType, ParallelScope, ReduceOp, Stmt, StmtKind,
+    UnaryOp,
+};
+use std::collections::HashMap;
+
+/// A compiled expression over slot indices.
+#[derive(Debug, Clone)]
+pub(crate) enum CExpr {
+    Int(i64),
+    Float(f64),
+    Bool(bool),
+    /// Scalar slot (loop iterator or size parameter).
+    Scalar(usize),
+    Load {
+        t: usize,
+        idx: Vec<CExpr>,
+    },
+    Unary {
+        op: UnaryOp,
+        a: Box<CExpr>,
+    },
+    Binary {
+        op: BinaryOp,
+        a: Box<CExpr>,
+        b: Box<CExpr>,
+    },
+    Select {
+        cond: Box<CExpr>,
+        then: Box<CExpr>,
+        otherwise: Box<CExpr>,
+    },
+    Cast {
+        dtype: DataType,
+        a: Box<CExpr>,
+    },
+}
+
+/// A compiled statement over slot indices.
+#[derive(Debug, Clone)]
+pub(crate) enum CStmt {
+    Seq(Vec<CStmt>),
+    VarDef {
+        t: usize,
+        shape: Vec<CExpr>,
+        dtype: DataType,
+        mtype: MemType,
+        body: Box<CStmt>,
+    },
+    For {
+        s: usize,
+        begin: CExpr,
+        end: CExpr,
+        scope: ParallelScope,
+        vectorize: bool,
+        body: Box<CStmt>,
+    },
+    If {
+        cond: CExpr,
+        then: Box<CStmt>,
+        otherwise: Option<Box<CStmt>>,
+    },
+    Store {
+        t: usize,
+        idx: Vec<CExpr>,
+        value: CExpr,
+    },
+    Reduce {
+        t: usize,
+        idx: Vec<CExpr>,
+        op: ReduceOp,
+        value: CExpr,
+    },
+    LibCall {
+        kernel: String,
+        inputs: Vec<usize>,
+        outputs: Vec<usize>,
+        attrs: Vec<i64>,
+    },
+    Nop,
+}
+
+/// A fully lowered function, ready to execute.
+#[derive(Debug, Clone)]
+pub(crate) struct Compiled {
+    pub body: CStmt,
+    /// One entry per tensor slot: diagnostic name.
+    pub tensor_names: Vec<String>,
+    /// Parameter slots in declaration order: (slot, shape, dtype, mtype, atype).
+    pub params: Vec<(usize, Vec<CExpr>, DataType, MemType, AccessType)>,
+    /// Scalar slot per size parameter, by name.
+    pub size_slots: Vec<(String, usize)>,
+    pub n_tensors: usize,
+    pub n_scalars: usize,
+}
+
+struct Lower {
+    tensor_names: Vec<String>,
+    n_scalars: usize,
+    tensor_scope: HashMap<String, Vec<usize>>,
+    scalar_scope: HashMap<String, Vec<usize>>,
+}
+
+impl Lower {
+    fn tensor_slot(&mut self, name: &str) -> Result<usize, RuntimeError> {
+        self.tensor_scope
+            .get(name)
+            .and_then(|v| v.last().copied())
+            .ok_or_else(|| RuntimeError::UndefinedName(name.to_string()))
+    }
+
+    fn new_tensor(&mut self, name: &str) -> usize {
+        let slot = self.tensor_names.len();
+        self.tensor_names.push(name.to_string());
+        self.tensor_scope
+            .entry(name.to_string())
+            .or_default()
+            .push(slot);
+        slot
+    }
+
+    fn new_scalar(&mut self, name: &str) -> usize {
+        let slot = self.n_scalars;
+        self.n_scalars += 1;
+        self.scalar_scope
+            .entry(name.to_string())
+            .or_default()
+            .push(slot);
+        slot
+    }
+
+    fn expr(&mut self, e: &Expr) -> Result<CExpr, RuntimeError> {
+        Ok(match e {
+            Expr::IntConst(v) => CExpr::Int(*v),
+            Expr::FloatConst(v) => CExpr::Float(*v),
+            Expr::BoolConst(v) => CExpr::Bool(*v),
+            Expr::Var(n) => CExpr::Scalar(
+                self.scalar_scope
+                    .get(n)
+                    .and_then(|v| v.last().copied())
+                    .ok_or_else(|| RuntimeError::UndefinedName(n.clone()))?,
+            ),
+            Expr::Load { var, indices } => CExpr::Load {
+                t: self.tensor_slot(var)?,
+                idx: indices
+                    .iter()
+                    .map(|i| self.expr(i))
+                    .collect::<Result<_, _>>()?,
+            },
+            Expr::Unary { op, a } => CExpr::Unary {
+                op: *op,
+                a: Box::new(self.expr(a)?),
+            },
+            Expr::Binary { op, a, b } => CExpr::Binary {
+                op: *op,
+                a: Box::new(self.expr(a)?),
+                b: Box::new(self.expr(b)?),
+            },
+            Expr::Select {
+                cond,
+                then,
+                otherwise,
+            } => CExpr::Select {
+                cond: Box::new(self.expr(cond)?),
+                then: Box::new(self.expr(then)?),
+                otherwise: Box::new(self.expr(otherwise)?),
+            },
+            Expr::Cast { dtype, a } => CExpr::Cast {
+                dtype: *dtype,
+                a: Box::new(self.expr(a)?),
+            },
+        })
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Result<CStmt, RuntimeError> {
+        Ok(match &s.kind {
+            StmtKind::Empty => CStmt::Nop,
+            StmtKind::Block(v) => CStmt::Seq(
+                v.iter()
+                    .map(|st| self.stmt(st))
+                    .collect::<Result<_, _>>()?,
+            ),
+            StmtKind::VarDef {
+                name,
+                shape,
+                dtype,
+                mtype,
+                body,
+                ..
+            } => {
+                let shape: Vec<CExpr> = shape
+                    .iter()
+                    .map(|e| self.expr(e))
+                    .collect::<Result<_, _>>()?;
+                let t = self.new_tensor(name);
+                let body = self.stmt(body)?;
+                self.tensor_scope
+                    .get_mut(name)
+                    .expect("just pushed")
+                    .pop();
+                CStmt::VarDef {
+                    t,
+                    shape,
+                    dtype: *dtype,
+                    mtype: *mtype,
+                    body: Box::new(body),
+                }
+            }
+            StmtKind::For {
+                iter,
+                begin,
+                end,
+                property,
+                body,
+            } => {
+                let begin = self.expr(begin)?;
+                let end = self.expr(end)?;
+                let s_slot = self.new_scalar(iter);
+                let body = self.stmt(body)?;
+                self.scalar_scope
+                    .get_mut(iter)
+                    .expect("just pushed")
+                    .pop();
+                CStmt::For {
+                    s: s_slot,
+                    begin,
+                    end,
+                    scope: property.parallel,
+                    vectorize: property.vectorize,
+                    body: Box::new(body),
+                }
+            }
+            StmtKind::If {
+                cond,
+                then,
+                otherwise,
+            } => CStmt::If {
+                cond: self.expr(cond)?,
+                then: Box::new(self.stmt(then)?),
+                otherwise: match otherwise {
+                    Some(o) => Some(Box::new(self.stmt(o)?)),
+                    None => None,
+                },
+            },
+            StmtKind::Store {
+                var,
+                indices,
+                value,
+            } => CStmt::Store {
+                t: self.tensor_slot(var)?,
+                idx: indices
+                    .iter()
+                    .map(|i| self.expr(i))
+                    .collect::<Result<_, _>>()?,
+                value: self.expr(value)?,
+            },
+            StmtKind::ReduceTo {
+                var,
+                indices,
+                op,
+                value,
+                ..
+            } => CStmt::Reduce {
+                t: self.tensor_slot(var)?,
+                idx: indices
+                    .iter()
+                    .map(|i| self.expr(i))
+                    .collect::<Result<_, _>>()?,
+                op: *op,
+                value: self.expr(value)?,
+            },
+            StmtKind::LibCall {
+                kernel,
+                inputs,
+                outputs,
+                attrs,
+            } => CStmt::LibCall {
+                kernel: kernel.clone(),
+                inputs: inputs
+                    .iter()
+                    .map(|n| self.tensor_slot(n))
+                    .collect::<Result<_, _>>()?,
+                outputs: outputs
+                    .iter()
+                    .map(|n| self.tensor_slot(n))
+                    .collect::<Result<_, _>>()?,
+                attrs: attrs.clone(),
+            },
+        })
+    }
+}
+
+/// Lower a function into slot-indexed form.
+pub(crate) fn compile(func: &Func) -> Result<Compiled, RuntimeError> {
+    let mut lw = Lower {
+        tensor_names: Vec::new(),
+        n_scalars: 0,
+        tensor_scope: HashMap::new(),
+        scalar_scope: HashMap::new(),
+    };
+    let mut size_slots = Vec::new();
+    for sp in &func.size_params {
+        size_slots.push((sp.clone(), lw.new_scalar(sp)));
+    }
+    let mut params = Vec::new();
+    for p in &func.params {
+        let shape: Vec<CExpr> = p
+            .shape
+            .iter()
+            .map(|e| lw.expr(e))
+            .collect::<Result<_, _>>()?;
+        let slot = lw.new_tensor(&p.name);
+        params.push((slot, shape, p.dtype, p.mtype, p.atype));
+    }
+    let body = lw.stmt(&func.body)?;
+    Ok(Compiled {
+        body,
+        tensor_names: lw.tensor_names,
+        params,
+        size_slots,
+        n_tensors: 0,
+        n_scalars: lw.n_scalars,
+    }
+    .finish())
+}
+
+impl Compiled {
+    fn finish(mut self) -> Compiled {
+        self.n_tensors = self.tensor_names.len();
+        self
+    }
+}
+
+pub(crate) struct TensorEntry {
+    pub val: TensorVal,
+    pub mtype: MemType,
+    pub base: u64,
+}
+
+/// Execution context over slot vectors (same instrumentation semantics as
+/// the reference interpreter).
+pub(crate) struct ExecCtx<'a> {
+    pub config: &'a DeviceConfig,
+    pub tensors: Vec<Option<TensorEntry>>,
+    pub names: &'a [String],
+    pub scalars: Vec<i64>,
+    pub counters: PerfCounters,
+    pub cache: CacheSim,
+    pub next_addr: u64,
+    pub gpu_depth: usize,
+}
+
+impl ExecCtx<'_> {
+    pub(crate) fn entry(&self, t: usize) -> Result<&TensorEntry, RuntimeError> {
+        self.tensors[t]
+            .as_ref()
+            .ok_or_else(|| RuntimeError::UndefinedName(self.names[t].clone()))
+    }
+
+    pub(crate) fn tensor(&self, t: usize) -> Result<&TensorVal, RuntimeError> {
+        Ok(&self.entry(t)?.val)
+    }
+
+    pub(crate) fn replace_tensor(&mut self, t: usize, val: TensorVal) -> Result<(), RuntimeError> {
+        let e = self.tensors[t]
+            .as_mut()
+            .ok_or_else(|| RuntimeError::UndefinedName(self.names[t].clone()))?;
+        e.val = val;
+        Ok(())
+    }
+
+    /// Charge counters in bulk for a library kernel.
+    pub(crate) fn charge_bulk(&mut self, bytes: u64, flops: u64, cycles: f64) {
+        self.counters.heap_bytes += bytes;
+        self.counters.l2_bytes += bytes;
+        self.counters.dram_bytes += bytes;
+        self.counters.flops += flops;
+        self.counters.modeled_cycles +=
+            cycles + (bytes as f64 / LINE as f64) * self.config.cost_dram / 4.0;
+    }
+
+    pub(crate) fn alloc(
+        &mut self,
+        t: usize,
+        val: TensorVal,
+        mtype: MemType,
+    ) -> Result<(), RuntimeError> {
+        let device = mtype.device();
+        let dev_name = device.to_string();
+        let bytes = val.size_bytes() as u64;
+        let live = *self.counters.live_bytes.get(&dev_name).unwrap_or(&0);
+        let capacity = self.config.capacity(device) as u64;
+        if live + bytes > capacity {
+            return Err(RuntimeError::OutOfMemory {
+                device,
+                requested: bytes,
+                live,
+                capacity,
+            });
+        }
+        self.counters.alloc(&dev_name, bytes);
+        let base = self.next_addr;
+        self.next_addr += bytes.div_ceil(LINE) * LINE;
+        self.tensors[t] = Some(TensorEntry { val, mtype, base });
+        Ok(())
+    }
+
+    fn dealloc(&mut self, t: usize) {
+        if let Some(e) = self.tensors[t].take() {
+            self.counters
+                .free(&e.mtype.device().to_string(), e.val.size_bytes() as u64);
+        }
+    }
+
+    #[inline]
+    fn record_access(&mut self, t: usize, off: usize) {
+        let entry = self.tensors[t].as_ref().expect("checked by caller");
+        let bytes = entry.val.dtype().size_bytes() as u64;
+        match entry.mtype {
+            MemType::CpuHeap | MemType::GpuGlobal => {
+                self.counters.heap_bytes += bytes;
+                self.counters.l2_bytes += bytes;
+                let addr = entry.base + off as u64 * bytes;
+                let m0 = self.cache.misses;
+                self.cache.access(addr, bytes);
+                let misses = self.cache.misses - m0;
+                self.counters.dram_bytes += misses * LINE;
+                self.counters.modeled_cycles += if misses > 0 {
+                    misses as f64 * self.config.cost_dram
+                } else {
+                    self.config.cost_l2
+                };
+            }
+            MemType::CpuStack | MemType::GpuShared | MemType::GpuLocal => {
+                self.counters.scratch_bytes += bytes;
+                self.counters.modeled_cycles += self.config.cost_scratch;
+            }
+        }
+    }
+
+    fn bounds_check(&self, t: usize, idx: &[i64]) -> Result<usize, RuntimeError> {
+        let entry = self.entry(t)?;
+        if idx.len() != entry.val.ndim()
+            || idx
+                .iter()
+                .zip(entry.val.shape())
+                .any(|(&i, &e)| i < 0 || i as usize >= e)
+        {
+            return Err(RuntimeError::IndexOutOfBounds {
+                name: self.names[t].clone(),
+                index: idx.to_vec(),
+                shape: entry.val.shape().to_vec(),
+            });
+        }
+        Ok(entry.val.flat_index(idx))
+    }
+
+    #[inline]
+    fn count_op(&mut self, float: bool) {
+        if float {
+            self.counters.flops += 1;
+        } else {
+            self.counters.int_ops += 1;
+        }
+        self.counters.modeled_cycles += self.config.cost_op;
+    }
+
+    fn eval_indices(&mut self, idx: &[CExpr]) -> Result<Vec<i64>, RuntimeError> {
+        idx.iter().map(|e| Ok(self.eval(e)?.as_i64())).collect()
+    }
+
+    pub(crate) fn eval(&mut self, e: &CExpr) -> Result<Scalar, RuntimeError> {
+        Ok(match e {
+            CExpr::Int(v) => Scalar::Int(*v),
+            CExpr::Float(v) => Scalar::Float(*v),
+            CExpr::Bool(v) => Scalar::Bool(*v),
+            CExpr::Scalar(s) => Scalar::Int(self.scalars[*s]),
+            CExpr::Load { t, idx } => {
+                let idx = self.eval_indices(idx)?;
+                let off = self.bounds_check(*t, &idx)?;
+                let v = self.tensors[*t].as_ref().expect("checked").val.get_flat(off);
+                self.record_access(*t, off);
+                v
+            }
+            CExpr::Unary { op, a } => {
+                let v = self.eval(a)?;
+                self.count_op(matches!(v, Scalar::Float(_)));
+                crate::interp::eval_unary(*op, v)?
+            }
+            CExpr::Binary { op, a, b } => {
+                let va = self.eval(a)?;
+                let vb = self.eval(b)?;
+                self.count_op(
+                    matches!(va, Scalar::Float(_)) || matches!(vb, Scalar::Float(_)),
+                );
+                crate::interp::eval_binary(*op, va, vb)?
+            }
+            CExpr::Select {
+                cond,
+                then,
+                otherwise,
+            } => {
+                if self.eval(cond)?.as_bool() {
+                    self.eval(then)?
+                } else {
+                    self.eval(otherwise)?
+                }
+            }
+            CExpr::Cast { dtype, a } => {
+                let v = self.eval(a)?;
+                match dtype {
+                    DataType::F32 => Scalar::Float(v.as_f64() as f32 as f64),
+                    DataType::F64 => Scalar::Float(v.as_f64()),
+                    DataType::I32 => Scalar::Int(v.as_i64() as i32 as i64),
+                    DataType::I64 => Scalar::Int(v.as_i64()),
+                    DataType::Bool => Scalar::Bool(v.as_bool()),
+                }
+            }
+        })
+    }
+
+    pub(crate) fn exec(&mut self, s: &CStmt) -> Result<(), RuntimeError> {
+        match s {
+            CStmt::Nop => Ok(()),
+            CStmt::Seq(v) => {
+                for st in v {
+                    self.exec(st)?;
+                }
+                Ok(())
+            }
+            CStmt::VarDef {
+                t,
+                shape,
+                dtype,
+                mtype,
+                body,
+            } => {
+                let sh: Vec<usize> = shape
+                    .iter()
+                    .map(|e| {
+                        let v = self.eval(e)?.as_i64();
+                        usize::try_from(v)
+                            .map_err(|_| RuntimeError::UnresolvedSize(self.names[*t].clone()))
+                    })
+                    .collect::<Result<_, _>>()?;
+                self.alloc(*t, TensorVal::zeros(*dtype, &sh), *mtype)?;
+                let r = self.exec(body);
+                self.dealloc(*t);
+                r
+            }
+            CStmt::For {
+                s: slot,
+                begin,
+                end,
+                scope,
+                vectorize,
+                body,
+            } => {
+                let b = self.eval(begin)?.as_i64();
+                let e = self.eval(end)?.as_i64();
+                let entering_gpu = scope.is_gpu() && self.gpu_depth == 0;
+                if entering_gpu {
+                    self.counters.kernel_launches += 1;
+                    self.counters.modeled_cycles += self.config.cost_kernel_launch;
+                }
+                if scope.is_gpu() {
+                    self.gpu_depth += 1;
+                }
+                let cycles_before = self.counters.modeled_cycles;
+                for i in b..e {
+                    self.scalars[*slot] = i;
+                    self.exec(body)?;
+                }
+                if scope.is_gpu() {
+                    self.gpu_depth -= 1;
+                }
+                let mut width = self.config.width(*scope) as f64;
+                if *vectorize {
+                    width *= 8.0;
+                }
+                if width > 1.0 && e > b {
+                    let delta = self.counters.modeled_cycles - cycles_before;
+                    let eff = width.min((e - b) as f64);
+                    self.counters.modeled_cycles = cycles_before + delta / eff;
+                }
+                Ok(())
+            }
+            CStmt::If {
+                cond,
+                then,
+                otherwise,
+            } => {
+                if self.eval(cond)?.as_bool() {
+                    self.exec(then)
+                } else if let Some(o) = otherwise {
+                    self.exec(o)
+                } else {
+                    Ok(())
+                }
+            }
+            CStmt::Store { t, idx, value } => {
+                let idx = self.eval_indices(idx)?;
+                let v = self.eval(value)?;
+                let off = self.bounds_check(*t, &idx)?;
+                self.tensors[*t]
+                    .as_mut()
+                    .expect("checked")
+                    .val
+                    .set_flat(off, v);
+                self.record_access(*t, off);
+                Ok(())
+            }
+            CStmt::Reduce { t, idx, op, value } => {
+                let idx = self.eval_indices(idx)?;
+                let v = self.eval(value)?;
+                let off = self.bounds_check(*t, &idx)?;
+                let old = self.tensors[*t].as_ref().expect("checked").val.get_flat(off);
+                self.record_access(*t, off);
+                self.count_op(
+                    matches!(old, Scalar::Float(_)) || matches!(v, Scalar::Float(_)),
+                );
+                let new = crate::interp::apply_reduce(*op, old, v);
+                self.tensors[*t]
+                    .as_mut()
+                    .expect("checked")
+                    .val
+                    .set_flat(off, new);
+                self.record_access(*t, off);
+                Ok(())
+            }
+            CStmt::LibCall {
+                kernel,
+                inputs,
+                outputs,
+                attrs,
+            } => crate::libkernel::dispatch_slots(self, kernel, inputs, outputs, attrs),
+        }
+    }
+}

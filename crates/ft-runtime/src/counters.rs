@@ -1,0 +1,200 @@
+//! Performance counters and the L2 cache simulator.
+
+use std::collections::HashMap;
+
+/// A set-associative cache simulator with LRU replacement and 64-byte lines.
+///
+/// Heap/global accesses are pushed through this model; a hit counts as L2
+/// traffic, a miss as DRAM traffic — matching the DRAM/L2 breakdown the
+/// paper profiles in Fig. 17.
+#[derive(Debug, Clone)]
+pub struct CacheSim {
+    sets: Vec<Vec<u64>>, // per set: line tags, most-recently-used last
+    ways: usize,
+    set_mask: u64,
+    /// Number of accesses that hit in the cache.
+    pub hits: u64,
+    /// Number of accesses that missed.
+    pub misses: u64,
+}
+
+/// Cache line size in bytes.
+pub const LINE: u64 = 64;
+
+impl CacheSim {
+    /// Build a simulator of `size` bytes with `ways`-way associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the derived set count is not a power of two or zero.
+    pub fn new(size: usize, ways: usize) -> CacheSim {
+        let n_sets = size / (ways * LINE as usize);
+        assert!(n_sets > 0 && n_sets.is_power_of_two(), "bad cache geometry");
+        CacheSim {
+            sets: vec![Vec::with_capacity(ways); n_sets],
+            ways,
+            set_mask: n_sets as u64 - 1,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Access `len` bytes starting at `addr`; touches every covered line.
+    pub fn access(&mut self, addr: u64, len: u64) {
+        let first = addr / LINE;
+        let last = (addr + len.max(1) - 1) / LINE;
+        for line in first..=last {
+            self.touch(line);
+        }
+    }
+
+    fn touch(&mut self, line: u64) {
+        let set = (line & self.set_mask) as usize;
+        let tags = &mut self.sets[set];
+        if let Some(pos) = tags.iter().position(|&t| t == line) {
+            tags.remove(pos);
+            tags.push(line);
+            self.hits += 1;
+        } else {
+            if tags.len() == self.ways {
+                tags.remove(0);
+            }
+            tags.push(line);
+            self.misses += 1;
+        }
+    }
+
+    /// Forget all cached lines but keep the counters.
+    pub fn flush(&mut self) {
+        for s in &mut self.sets {
+            s.clear();
+        }
+    }
+}
+
+/// Aggregated execution counters of one run.
+#[derive(Debug, Clone, Default)]
+pub struct PerfCounters {
+    /// GPU kernel launches (outermost GPU-parallel region entries).
+    pub kernel_launches: u64,
+    /// Floating-point operations executed.
+    pub flops: u64,
+    /// Integer/addressing operations executed.
+    pub int_ops: u64,
+    /// Bytes moved to/from DRAM (cache-line granularity misses).
+    pub dram_bytes: u64,
+    /// Bytes served by the simulated L2.
+    pub l2_bytes: u64,
+    /// Bytes accessed in scratch memories (stack / shared / registers).
+    pub scratch_bytes: u64,
+    /// Raw bytes requested from heap/global memory (before the cache model).
+    pub heap_bytes: u64,
+    /// Current live bytes per device name ("cpu" / "gpu").
+    pub live_bytes: HashMap<String, u64>,
+    /// Peak live bytes per device name.
+    pub peak_bytes: HashMap<String, u64>,
+    /// Modeled execution time in cycle units (parallelism-aware).
+    pub modeled_cycles: f64,
+}
+
+impl PerfCounters {
+    /// Record an allocation on a device; returns the new live size.
+    pub fn alloc(&mut self, device: &str, bytes: u64) -> u64 {
+        let live = self.live_bytes.entry(device.to_string()).or_insert(0);
+        *live += bytes;
+        let live_now = *live;
+        let peak = self.peak_bytes.entry(device.to_string()).or_insert(0);
+        if live_now > *peak {
+            *peak = live_now;
+        }
+        live_now
+    }
+
+    /// Record a deallocation on a device.
+    pub fn free(&mut self, device: &str, bytes: u64) {
+        if let Some(live) = self.live_bytes.get_mut(device) {
+            *live = live.saturating_sub(bytes);
+        }
+    }
+
+    /// Merge another counter set into this one (used by threaded execution).
+    pub fn merge(&mut self, other: &PerfCounters) {
+        self.kernel_launches += other.kernel_launches;
+        self.flops += other.flops;
+        self.int_ops += other.int_ops;
+        self.dram_bytes += other.dram_bytes;
+        self.l2_bytes += other.l2_bytes;
+        self.scratch_bytes += other.scratch_bytes;
+        self.heap_bytes += other.heap_bytes;
+        self.modeled_cycles += other.modeled_cycles;
+        for (k, v) in &other.peak_bytes {
+            let p = self.peak_bytes.entry(k.clone()).or_insert(0);
+            *p = (*p).max(*v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_hits_on_reuse() {
+        let mut c = CacheSim::new(1 << 16, 4);
+        c.access(0, 4);
+        c.access(4, 4); // same line
+        c.access(64, 4); // next line
+        assert_eq!(c.misses, 2);
+        assert_eq!(c.hits, 1);
+    }
+
+    #[test]
+    fn cache_evicts_lru() {
+        // 2 sets * 2 ways * 64B = 256B cache; lines mapping to set 0:
+        // 0, 128, 256, ... (line index even).
+        let mut c = CacheSim::new(256, 2);
+        c.access(0, 1); // set 0: [0]
+        c.access(128, 1); // set 0: [0, 2]
+        c.access(256, 1); // evicts line 0
+        c.access(0, 1); // miss again
+        assert_eq!(c.misses, 4);
+        assert_eq!(c.hits, 0);
+        // Re-touching 0 now hits (it was just brought back).
+        c.access(0, 1);
+        assert_eq!(c.hits, 1);
+    }
+
+    #[test]
+    fn multi_line_access_touches_all_lines() {
+        let mut c = CacheSim::new(1 << 16, 4);
+        c.access(60, 8); // straddles the 0..64 and 64..128 lines
+        assert_eq!(c.misses, 2);
+    }
+
+    #[test]
+    fn alloc_tracks_peak() {
+        let mut p = PerfCounters::default();
+        p.alloc("gpu", 100);
+        p.alloc("gpu", 50);
+        p.free("gpu", 120);
+        p.alloc("gpu", 10);
+        assert_eq!(p.peak_bytes["gpu"], 150);
+        assert_eq!(p.live_bytes["gpu"], 40);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = PerfCounters {
+            flops: 10,
+            ..Default::default()
+        };
+        let b = PerfCounters {
+            flops: 5,
+            dram_bytes: 64,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.flops, 15);
+        assert_eq!(a.dram_bytes, 64);
+    }
+}

@@ -1,0 +1,102 @@
+//! Runtime errors.
+
+use ft_ir::Device;
+use std::fmt;
+
+/// Errors surfaced while executing a lowered function.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeError {
+    /// A tensor allocation exceeded a device's memory capacity (the paper's
+    /// "OOM" outcomes in Figs. 16(b) and 18).
+    OutOfMemory {
+        /// Device that ran out of memory.
+        device: Device,
+        /// Bytes requested by the failing allocation.
+        requested: u64,
+        /// Live bytes at the time of the request.
+        live: u64,
+        /// Device capacity in bytes.
+        capacity: u64,
+    },
+    /// A required input tensor was not supplied.
+    MissingInput(String),
+    /// A supplied tensor's shape does not match the parameter declaration.
+    ShapeMismatch {
+        /// Parameter name.
+        name: String,
+        /// Declared shape (after size-parameter substitution).
+        expected: Vec<usize>,
+        /// Supplied shape.
+        actual: Vec<usize>,
+    },
+    /// A size parameter was not supplied or a shape was not a constant.
+    UnresolvedSize(String),
+    /// The program referenced an unknown tensor or scalar.
+    UndefinedName(String),
+    /// An unknown library kernel name in a `LibCall`.
+    UnknownKernel(String),
+    /// An index evaluated out of the tensor's bounds.
+    IndexOutOfBounds {
+        /// Tensor name.
+        name: String,
+        /// The offending multi-index.
+        index: Vec<i64>,
+        /// The tensor's shape.
+        shape: Vec<usize>,
+    },
+    /// Division (or remainder) by zero.
+    DivisionByZero,
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::OutOfMemory {
+                device,
+                requested,
+                live,
+                capacity,
+            } => write!(
+                f,
+                "out of memory on {device}: requested {requested} bytes with {live} live of {capacity} capacity"
+            ),
+            RuntimeError::MissingInput(n) => write!(f, "missing input tensor `{n}`"),
+            RuntimeError::ShapeMismatch {
+                name,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "shape mismatch for `{name}`: expected {expected:?}, got {actual:?}"
+            ),
+            RuntimeError::UnresolvedSize(n) => write!(f, "unresolved size parameter `{n}`"),
+            RuntimeError::UndefinedName(n) => write!(f, "undefined name `{n}`"),
+            RuntimeError::UnknownKernel(n) => write!(f, "unknown library kernel `{n}`"),
+            RuntimeError::IndexOutOfBounds { name, index, shape } => write!(
+                f,
+                "index {index:?} out of bounds for `{name}` of shape {shape:?}"
+            ),
+            RuntimeError::DivisionByZero => write!(f, "division by zero"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = RuntimeError::OutOfMemory {
+            device: Device::Gpu,
+            requested: 100,
+            live: 50,
+            capacity: 120,
+        };
+        let s = e.to_string();
+        assert!(s.contains("out of memory on gpu"));
+        assert!(s.contains("100"));
+    }
+}

@@ -1,0 +1,504 @@
+//! The instrumented interpreter.
+
+use crate::counters::{CacheSim, PerfCounters};
+use crate::device::DeviceConfig;
+use crate::error::RuntimeError;
+use crate::value::{Scalar, TensorVal};
+use ft_ir::{AccessType, BinaryOp, Func, ReduceOp, UnaryOp};
+use std::collections::HashMap;
+
+/// Result of executing a function.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Output and in-out tensors, by parameter name.
+    pub outputs: HashMap<String, TensorVal>,
+    /// Execution counters (traffic, FLOPs, kernels, footprint, model time).
+    pub counters: PerfCounters,
+}
+
+impl RunResult {
+    /// Take one output tensor by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the function has no such output.
+    pub fn output(&self, name: &str) -> &TensorVal {
+        self.outputs
+            .get(name)
+            .unwrap_or_else(|| panic!("no output tensor `{name}`"))
+    }
+}
+
+/// The interpreter with its device model.
+#[derive(Debug, Clone, Default)]
+pub struct Runtime {
+    /// Modeled platform parameters.
+    pub config: DeviceConfig,
+}
+
+impl Runtime {
+    /// A runtime with the default device model.
+    pub fn new() -> Runtime {
+        Runtime::default()
+    }
+
+    /// A runtime with an explicit device model.
+    pub fn with_config(config: DeviceConfig) -> Runtime {
+        Runtime { config }
+    }
+
+    /// Execute `func` with the given input tensors and size parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError`] for missing/ill-shaped inputs, out-of-bounds
+    /// accesses, unknown kernels, or device out-of-memory conditions.
+    pub fn run(
+        &self,
+        func: &Func,
+        inputs: &HashMap<String, TensorVal>,
+        sizes: &HashMap<String, i64>,
+    ) -> Result<RunResult, RuntimeError> {
+        let compiled = crate::compiled::compile(func)?;
+        let mut ctx = crate::compiled::ExecCtx {
+            config: &self.config,
+            tensors: (0..compiled.n_tensors).map(|_| None).collect(),
+            names: &compiled.tensor_names,
+            scalars: vec![0; compiled.n_scalars],
+            counters: PerfCounters::default(),
+            cache: CacheSim::new(self.config.l2_size, self.config.l2_ways),
+            next_addr: 0x1000,
+            gpu_depth: 0,
+        };
+        for (name, slot) in &compiled.size_slots {
+            let v = *sizes
+                .get(name)
+                .ok_or_else(|| RuntimeError::UnresolvedSize(name.clone()))?;
+            ctx.scalars[*slot] = v;
+        }
+        // Bind parameters.
+        for (slot, shape, dtype, mtype, atype) in &compiled.params {
+            let shape: Vec<usize> = shape
+                .iter()
+                .map(|e| {
+                    let v = ctx.eval(e)?.as_i64();
+                    usize::try_from(v).map_err(|_| {
+                        RuntimeError::UnresolvedSize(compiled.tensor_names[*slot].clone())
+                    })
+                })
+                .collect::<Result<_, _>>()?;
+            let name = &compiled.tensor_names[*slot];
+            let val = match atype {
+                AccessType::Input | AccessType::InOut => {
+                    let t = inputs
+                        .get(name)
+                        .ok_or_else(|| RuntimeError::MissingInput(name.clone()))?;
+                    if t.shape() != shape.as_slice() {
+                        return Err(RuntimeError::ShapeMismatch {
+                            name: name.clone(),
+                            expected: shape.clone(),
+                            actual: t.shape().to_vec(),
+                        });
+                    }
+                    t.clone()
+                }
+                _ => TensorVal::zeros(*dtype, &shape),
+            };
+            ctx.alloc(*slot, val, *mtype)?;
+        }
+        ctx.exec(&compiled.body)?;
+        let mut outputs = HashMap::new();
+        for (slot, _, _, _, atype) in &compiled.params {
+            if matches!(atype, AccessType::Output | AccessType::InOut) {
+                let name = compiled.tensor_names[*slot].clone();
+                let entry = ctx.tensors[*slot].take().expect("params stay live");
+                outputs.insert(name, entry.val);
+            }
+        }
+        Ok(RunResult {
+            outputs,
+            counters: ctx.counters,
+        })
+    }
+}
+/// Apply a reduction operator to `old` and `v`.
+pub fn apply_reduce(op: ReduceOp, old: Scalar, v: Scalar) -> Scalar {
+    let float = matches!(old, Scalar::Float(_)) || matches!(v, Scalar::Float(_));
+    if float {
+        let (a, b) = (old.as_f64(), v.as_f64());
+        Scalar::Float(match op {
+            ReduceOp::Add => a + b,
+            ReduceOp::Mul => a * b,
+            ReduceOp::Min => a.min(b),
+            ReduceOp::Max => a.max(b),
+        })
+    } else {
+        let (a, b) = (old.as_i64(), v.as_i64());
+        Scalar::Int(match op {
+            ReduceOp::Add => a + b,
+            ReduceOp::Mul => a * b,
+            ReduceOp::Min => a.min(b),
+            ReduceOp::Max => a.max(b),
+        })
+    }
+}
+
+pub(crate) fn eval_unary(op: UnaryOp, v: Scalar) -> Result<Scalar, RuntimeError> {
+    Ok(match (op, v) {
+        (UnaryOp::Neg, Scalar::Int(x)) => Scalar::Int(-x),
+        (UnaryOp::Neg, Scalar::Float(x)) => Scalar::Float(-x),
+        (UnaryOp::Not, x) => Scalar::Bool(!x.as_bool()),
+        (UnaryOp::Abs, Scalar::Int(x)) => Scalar::Int(x.abs()),
+        (UnaryOp::Abs, Scalar::Float(x)) => Scalar::Float(x.abs()),
+        (UnaryOp::Sign, Scalar::Int(x)) => Scalar::Int(x.signum()),
+        (UnaryOp::Sign, Scalar::Float(x)) => Scalar::Float(if x > 0.0 {
+            1.0
+        } else if x < 0.0 {
+            -1.0
+        } else {
+            0.0
+        }),
+        (UnaryOp::Sqrt, x) => Scalar::Float(x.as_f64().sqrt()),
+        (UnaryOp::Exp, x) => Scalar::Float(x.as_f64().exp()),
+        (UnaryOp::Ln, x) => Scalar::Float(x.as_f64().ln()),
+        (UnaryOp::Sigmoid, x) => Scalar::Float(1.0 / (1.0 + (-x.as_f64()).exp())),
+        (UnaryOp::Tanh, x) => Scalar::Float(x.as_f64().tanh()),
+        (op, x) => {
+            // Remaining combinations operate on the float value.
+            let _ = op;
+            x
+        }
+    })
+}
+
+pub(crate) fn eval_binary(op: BinaryOp, a: Scalar, b: Scalar) -> Result<Scalar, RuntimeError> {
+    use BinaryOp::*;
+    let float = matches!(a, Scalar::Float(_)) || matches!(b, Scalar::Float(_));
+    Ok(match op {
+        And => Scalar::Bool(a.as_bool() && b.as_bool()),
+        Or => Scalar::Bool(a.as_bool() || b.as_bool()),
+        Eq | Ne | Lt | Le | Gt | Ge => {
+            let (x, y) = (a.as_f64(), b.as_f64());
+            Scalar::Bool(match op {
+                Eq => x == y,
+                Ne => x != y,
+                Lt => x < y,
+                Le => x <= y,
+                Gt => x > y,
+                Ge => x >= y,
+                _ => unreachable!(),
+            })
+        }
+        _ if float => {
+            let (x, y) = (a.as_f64(), b.as_f64());
+            Scalar::Float(match op {
+                Add => x + y,
+                Sub => x - y,
+                Mul => x * y,
+                Div => x / y,
+                Mod => x.rem_euclid(y),
+                Min => x.min(y),
+                Max => x.max(y),
+                Pow => x.powf(y),
+                _ => unreachable!(),
+            })
+        }
+        _ => {
+            let (x, y) = (a.as_i64(), b.as_i64());
+            Scalar::Int(match op {
+                Add => x.wrapping_add(y),
+                Sub => x.wrapping_sub(y),
+                Mul => x.wrapping_mul(y),
+                Div => {
+                    if y == 0 {
+                        return Err(RuntimeError::DivisionByZero);
+                    }
+                    x.div_euclid(y)
+                }
+                Mod => {
+                    if y == 0 {
+                        return Err(RuntimeError::DivisionByZero);
+                    }
+                    x.rem_euclid(y)
+                }
+                Min => x.min(y),
+                Max => x.max(y),
+                Pow => x.pow(y.clamp(0, 62) as u32),
+                _ => unreachable!(),
+            })
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_ir::prelude::*;
+    use ft_ir::idx;
+
+    fn run(func: &Func, inputs: &[(&str, TensorVal)], sizes: &[(&str, i64)]) -> RunResult {
+        let inputs: HashMap<String, TensorVal> = inputs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect();
+        let sizes: HashMap<String, i64> = sizes.iter().map(|(k, v)| (k.to_string(), *v)).collect();
+        Runtime::new().run(func, &inputs, &sizes).expect("run ok")
+    }
+
+    #[test]
+    fn elementwise_scale() {
+        let f = Func::new("scale")
+            .param("x", [var("n")], DataType::F32, AccessType::Input)
+            .param("y", [var("n")], DataType::F32, AccessType::Output)
+            .size_param("n")
+            .body(for_(
+                "i",
+                0,
+                var("n"),
+                store("y", [var("i")], load("x", [var("i")]) * 2.0f32 + 1.0f32),
+            ));
+        let x = TensorVal::from_f32(&[4], vec![0.0, 1.0, 2.0, 3.0]);
+        let r = run(&f, &[("x", x)], &[("n", 4)]);
+        assert_eq!(r.output("y").to_f64_vec(), vec![1.0, 3.0, 5.0, 7.0]);
+        assert!(r.counters.flops >= 8);
+    }
+
+    #[test]
+    fn reduction_and_guards() {
+        // y[0] = sum of x[i] for even i
+        let f = Func::new("sum_even")
+            .param("x", [var("n")], DataType::F64, AccessType::Input)
+            .param("y", [1], DataType::F64, AccessType::Output)
+            .size_param("n")
+            .body(for_(
+                "i",
+                0,
+                var("n"),
+                if_(
+                    var("i").rem(2).eq(0),
+                    reduce("y", [0], ReduceOp::Add, load("x", [var("i")])),
+                ),
+            ));
+        let x = TensorVal::from_f64(&[5], vec![1.0, 10.0, 2.0, 10.0, 3.0]);
+        let r = run(&f, &[("x", x)], &[("n", 5)]);
+        assert_eq!(r.output("y").to_f64_vec(), vec![6.0]);
+    }
+
+    #[test]
+    fn local_var_scoping_and_footprint() {
+        // Allocates a 1KB local inside a loop; peak live must count it once.
+        let f = Func::new("f")
+            .param("y", [1], DataType::F32, AccessType::Output)
+            .body(for_(
+                "i",
+                0,
+                4,
+                var_def(
+                    "t",
+                    [256],
+                    DataType::F32,
+                    MemType::CpuHeap,
+                    block([
+                        store("t", [0], 1.0f32),
+                        reduce("y", [0], ReduceOp::Add, load("t", [0])),
+                    ]),
+                ),
+            ));
+        let r = run(&f, &[], &[]);
+        assert_eq!(r.output("y").to_f64_vec(), vec![4.0]);
+        // y (4B) + t (1024B) live at once.
+        assert_eq!(r.counters.peak_bytes["cpu"], 4 + 1024);
+    }
+
+    #[test]
+    fn gpu_kernel_launch_counting() {
+        use ft_ir::ForProperty;
+        // Two separate GPU-parallel loops = two kernels; nested gpu loops
+        // inside the first count as the same kernel.
+        let kernel1 = for_with(
+            "b",
+            0,
+            4,
+            ForProperty::parallel(ParallelScope::CudaBlockX),
+            for_with(
+                "t",
+                0,
+                8,
+                ForProperty::parallel(ParallelScope::CudaThreadX),
+                store("y", [var("b") * 8 + var("t")], 1.0f32),
+            ),
+        );
+        let kernel2 = for_with(
+            "b2",
+            0,
+            32,
+            ForProperty::parallel(ParallelScope::CudaBlockX),
+            store("y", [var("b2")], 2.0f32),
+        );
+        let f = Func::new("f")
+            .param_on("y", [32], DataType::F32, MemType::GpuGlobal, AccessType::Output)
+            .body(block([kernel1, kernel2]));
+        let r = run(&f, &[], &[]);
+        assert_eq!(r.counters.kernel_launches, 2);
+        assert_eq!(r.output("y").to_f64_vec(), vec![2.0; 32]);
+    }
+
+    #[test]
+    fn oom_is_reported() {
+        let mut config = DeviceConfig::default();
+        config.gpu_mem_capacity = 1024;
+        let f = Func::new("f")
+            .param_on("y", [1024], DataType::F32, MemType::GpuGlobal, AccessType::Output)
+            .body(store("y", [0], 1.0f32));
+        let err = Runtime::with_config(config)
+            .run(&f, &HashMap::new(), &HashMap::new())
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::OutOfMemory { .. }));
+    }
+
+    #[test]
+    fn out_of_bounds_is_reported() {
+        let f = Func::new("f")
+            .param("y", [2], DataType::F32, AccessType::Output)
+            .body(store("y", [5], 1.0f32));
+        let err = Runtime::new()
+            .run(&f, &HashMap::new(), &HashMap::new())
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::IndexOutOfBounds { .. }));
+    }
+
+    #[test]
+    fn parallel_loop_reduces_modeled_time() {
+        let body = |para: bool| {
+            let prop = if para {
+                ft_ir::ForProperty::parallel(ParallelScope::OpenMp)
+            } else {
+                ft_ir::ForProperty::serial()
+            };
+            Func::new("f")
+                .param("y", [1024], DataType::F32, AccessType::Output)
+                .body(for_with(
+                    "i",
+                    0,
+                    1024,
+                    prop,
+                    store("y", [var("i")], load("y", [var("i")]) + 1.0f32),
+                ))
+        };
+        let serial = run(&body(false), &[], &[]);
+        let parallel = run(&body(true), &[], &[]);
+        assert!(
+            parallel.counters.modeled_cycles < serial.counters.modeled_cycles / 4.0,
+            "parallel {} vs serial {}",
+            parallel.counters.modeled_cycles,
+            serial.counters.modeled_cycles
+        );
+    }
+
+    #[test]
+    fn cache_model_separates_dram_and_l2() {
+        // Streaming 64KB twice: second pass hits in the 4MB L2.
+        let f = Func::new("f")
+            .param("x", [16384], DataType::F32, AccessType::Input)
+            .param("y", [1], DataType::F32, AccessType::Output)
+            .body(block([
+                for_("i", 0, 16384, reduce("y", [0], ReduceOp::Add, load("x", [var("i")]))),
+                for_("i2", 0, 16384, reduce("y", [0], ReduceOp::Add, load("x", [var("i2")]))),
+            ]));
+        let x = TensorVal::from_f32(&[16384], vec![1.0; 16384]);
+        let r = run(&f, &[("x", x)], &[]);
+        assert_eq!(r.output("y").to_f64_vec(), vec![32768.0]);
+        assert!(r.counters.l2_bytes > 0);
+        assert!(r.counters.dram_bytes > 0);
+        // The second pass should hit: L2 traffic exceeds DRAM traffic for x.
+        assert!(r.counters.l2_bytes > r.counters.dram_bytes / 2);
+    }
+
+    #[test]
+    fn missing_inputs_and_sizes_error() {
+        let f = Func::new("f")
+            .param("x", [var("n")], DataType::F32, AccessType::Input)
+            .param("y", [var("n")], DataType::F32, AccessType::Output)
+            .size_param("n")
+            .body(empty());
+        let err = Runtime::new().run(&f, &HashMap::new(), &HashMap::new());
+        assert!(matches!(err, Err(RuntimeError::UnresolvedSize(_))));
+        let sizes: HashMap<String, i64> = [("n".to_string(), 4i64)].into_iter().collect();
+        let err = Runtime::new().run(&f, &HashMap::new(), &sizes);
+        assert!(matches!(err, Err(RuntimeError::MissingInput(_))));
+    }
+
+    #[test]
+    fn shadowed_names_resolve_lexically() {
+        // Two sibling VarDefs named `t` and a shadowed loop iterator: the
+        // slot-indexed lowering must bind each use to its nearest definition.
+        let f = Func::new("f")
+            .param("y", [4], DataType::F32, AccessType::Output)
+            .body(block([
+                var_def(
+                    "t",
+                    [1],
+                    DataType::F32,
+                    MemType::CpuStack,
+                    block([
+                        store("t", [0], 10.0f32),
+                        var_def(
+                            "t",
+                            [1],
+                            DataType::F32,
+                            MemType::CpuStack,
+                            block([
+                                store("t", [0], 20.0f32),
+                                store("y", [0], load("t", [0])), // inner t = 20
+                            ]),
+                        ),
+                        store("y", [1], load("t", [0])), // outer t = 10
+                    ]),
+                ),
+                for_(
+                    "i",
+                    0,
+                    1,
+                    for_("i", 2, 3, store("y", [2], Expr::cast(DataType::F32, var("i")))),
+                ),
+            ]));
+        let r = run(&f, &[], &[]);
+        assert_eq!(r.output("y").to_f64_vec()[..3], [20.0, 10.0, 2.0]);
+    }
+
+    #[test]
+    fn vardef_reentry_gets_fresh_zeroed_tensor() {
+        // A VarDef inside a loop is a fresh zeroed incarnation per iteration.
+        let f = Func::new("f")
+            .param("y", [3], DataType::F32, AccessType::Output)
+            .body(for_(
+                "i",
+                0,
+                3,
+                var_def(
+                    "t",
+                    ft_ir::builder::scalar(),
+                    DataType::F32,
+                    MemType::CpuStack,
+                    block([
+                        reduce("t", scalar(), ReduceOp::Add, 1.0f32),
+                        store("y", [var("i")], load("t", scalar())),
+                    ]),
+                ),
+            ));
+        let r = run(&f, &[], &[]);
+        assert_eq!(r.output("y").to_f64_vec(), vec![1.0; 3]);
+    }
+
+    #[test]
+    fn shape_validation() {
+        let f = Func::new("f")
+            .param("x", [4], DataType::F32, AccessType::Input)
+            .param("y", [4], DataType::F32, AccessType::Output)
+            .body(store("y", [0], load("x", idx![0])));
+        let x = TensorVal::from_f32(&[3], vec![1.0; 3]);
+        let inputs: HashMap<String, TensorVal> = [("x".to_string(), x)].into_iter().collect();
+        let err = Runtime::new().run(&f, &inputs, &HashMap::new());
+        assert!(matches!(err, Err(RuntimeError::ShapeMismatch { .. })));
+    }
+}

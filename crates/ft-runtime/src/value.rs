@@ -1,0 +1,317 @@
+//! Runtime tensor values.
+
+use ft_ir::DataType;
+use std::fmt;
+
+/// A dense, row-major tensor value (a scalar is a 0-D tensor with one
+/// element).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TensorVal {
+    dtype: DataType,
+    shape: Vec<usize>,
+    data: Data,
+}
+
+/// Typed backing storage.
+#[derive(Debug, Clone, PartialEq)]
+enum Data {
+    F32(Vec<f32>),
+    F64(Vec<f64>),
+    I32(Vec<i32>),
+    I64(Vec<i64>),
+    Bool(Vec<bool>),
+}
+
+/// A scalar element, used at the interpreter boundary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Scalar {
+    /// Integer value (covers I32/I64 storage).
+    Int(i64),
+    /// Floating value (covers F32/F64 storage).
+    Float(f64),
+    /// Boolean value.
+    Bool(bool),
+}
+
+impl Scalar {
+    /// Numeric value as f64 (booleans as 0/1).
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Scalar::Int(v) => v as f64,
+            Scalar::Float(v) => v,
+            Scalar::Bool(b) => b as i64 as f64,
+        }
+    }
+
+    /// Numeric value as i64 (floats truncated toward zero).
+    pub fn as_i64(self) -> i64 {
+        match self {
+            Scalar::Int(v) => v,
+            Scalar::Float(v) => v as i64,
+            Scalar::Bool(b) => b as i64,
+        }
+    }
+
+    /// Truthiness.
+    pub fn as_bool(self) -> bool {
+        match self {
+            Scalar::Int(v) => v != 0,
+            Scalar::Float(v) => v != 0.0,
+            Scalar::Bool(b) => b,
+        }
+    }
+}
+
+impl TensorVal {
+    /// An all-zeros tensor.
+    pub fn zeros(dtype: DataType, shape: &[usize]) -> TensorVal {
+        let n: usize = shape.iter().product();
+        let data = match dtype {
+            DataType::F32 => Data::F32(vec![0.0; n]),
+            DataType::F64 => Data::F64(vec![0.0; n]),
+            DataType::I32 => Data::I32(vec![0; n]),
+            DataType::I64 => Data::I64(vec![0; n]),
+            DataType::Bool => Data::Bool(vec![false; n]),
+        };
+        TensorVal {
+            dtype,
+            shape: shape.to_vec(),
+            data,
+        }
+    }
+
+    /// Build an f32 tensor from values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` differs from the product of `shape`.
+    pub fn from_f32(shape: &[usize], data: Vec<f32>) -> TensorVal {
+        assert_eq!(data.len(), shape.iter().product::<usize>());
+        TensorVal {
+            dtype: DataType::F32,
+            shape: shape.to_vec(),
+            data: Data::F32(data),
+        }
+    }
+
+    /// Build an f64 tensor from values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` differs from the product of `shape`.
+    pub fn from_f64(shape: &[usize], data: Vec<f64>) -> TensorVal {
+        assert_eq!(data.len(), shape.iter().product::<usize>());
+        TensorVal {
+            dtype: DataType::F64,
+            shape: shape.to_vec(),
+            data: Data::F64(data),
+        }
+    }
+
+    /// Build an i32 tensor from values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` differs from the product of `shape`.
+    pub fn from_i32(shape: &[usize], data: Vec<i32>) -> TensorVal {
+        assert_eq!(data.len(), shape.iter().product::<usize>());
+        TensorVal {
+            dtype: DataType::I32,
+            shape: shape.to_vec(),
+            data: Data::I32(data),
+        }
+    }
+
+    /// Build an i64 tensor from values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` differs from the product of `shape`.
+    pub fn from_i64(shape: &[usize], data: Vec<i64>) -> TensorVal {
+        assert_eq!(data.len(), shape.iter().product::<usize>());
+        TensorVal {
+            dtype: DataType::I64,
+            shape: shape.to_vec(),
+            data: Data::I64(data),
+        }
+    }
+
+    /// A 0-D f64 scalar tensor.
+    pub fn scalar_f64(v: f64) -> TensorVal {
+        TensorVal {
+            dtype: DataType::F64,
+            shape: vec![],
+            data: Data::F64(vec![v]),
+        }
+    }
+
+    /// Element type.
+    pub fn dtype(&self) -> DataType {
+        self.dtype
+    }
+
+    /// Shape (empty for scalars).
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of dimensions.
+    pub fn ndim(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.shape.iter().product()
+    }
+
+    /// Total size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.numel() * self.dtype.size_bytes()
+    }
+
+    /// Row-major flat offset of a multi-index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index rank mismatches or any index is out of bounds.
+    pub fn flat_index(&self, idx: &[i64]) -> usize {
+        assert_eq!(
+            idx.len(),
+            self.shape.len(),
+            "rank mismatch indexing tensor of shape {:?} with {:?}",
+            self.shape,
+            idx
+        );
+        let mut off = 0usize;
+        for (d, (&i, &extent)) in idx.iter().zip(&self.shape).enumerate() {
+            assert!(
+                i >= 0 && (i as usize) < extent,
+                "index {i} out of bounds for dim {d} (extent {extent})"
+            );
+            off = off * extent + i as usize;
+        }
+        off
+    }
+
+    /// Read the element at a flat offset.
+    pub fn get_flat(&self, off: usize) -> Scalar {
+        match &self.data {
+            Data::F32(v) => Scalar::Float(v[off] as f64),
+            Data::F64(v) => Scalar::Float(v[off]),
+            Data::I32(v) => Scalar::Int(v[off] as i64),
+            Data::I64(v) => Scalar::Int(v[off]),
+            Data::Bool(v) => Scalar::Bool(v[off]),
+        }
+    }
+
+    /// Write the element at a flat offset, converting to the tensor's dtype.
+    pub fn set_flat(&mut self, off: usize, v: Scalar) {
+        match &mut self.data {
+            Data::F32(d) => d[off] = v.as_f64() as f32,
+            Data::F64(d) => d[off] = v.as_f64(),
+            Data::I32(d) => d[off] = v.as_i64() as i32,
+            Data::I64(d) => d[off] = v.as_i64(),
+            Data::Bool(d) => d[off] = v.as_bool(),
+        }
+    }
+
+    /// Read by multi-index.
+    pub fn get(&self, idx: &[i64]) -> Scalar {
+        self.get_flat(self.flat_index(idx))
+    }
+
+    /// Write by multi-index.
+    pub fn set(&mut self, idx: &[i64], v: Scalar) {
+        let off = self.flat_index(idx);
+        self.set_flat(off, v);
+    }
+
+    /// All elements as f64 (for comparisons in tests and harnesses).
+    pub fn to_f64_vec(&self) -> Vec<f64> {
+        (0..self.numel()).map(|i| self.get_flat(i).as_f64()).collect()
+    }
+
+    /// Maximum absolute elementwise difference to another tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn max_abs_diff(&self, other: &TensorVal) -> f64 {
+        assert_eq!(self.shape, other.shape, "shape mismatch in comparison");
+        self.to_f64_vec()
+            .iter()
+            .zip(other.to_f64_vec())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Whether all elements are within `tol` of `other`'s.
+    pub fn allclose(&self, other: &TensorVal, tol: f64) -> bool {
+        self.shape == other.shape && self.max_abs_diff(other) <= tol
+    }
+}
+
+impl fmt::Display for TensorVal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tensor<{:?}, {}>", self.shape, self.dtype)?;
+        if self.numel() <= 8 {
+            write!(f, " {:?}", self.to_f64_vec())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexing_is_row_major() {
+        let mut t = TensorVal::zeros(DataType::F32, &[2, 3]);
+        t.set(&[1, 2], Scalar::Float(7.0));
+        assert_eq!(t.flat_index(&[1, 2]), 5);
+        assert_eq!(t.get(&[1, 2]).as_f64(), 7.0);
+        assert_eq!(t.get(&[0, 0]).as_f64(), 0.0);
+    }
+
+    #[test]
+    fn scalars_are_zero_dim() {
+        let t = TensorVal::scalar_f64(3.5);
+        assert_eq!(t.ndim(), 0);
+        assert_eq!(t.numel(), 1);
+        assert_eq!(t.get(&[]).as_f64(), 3.5);
+    }
+
+    #[test]
+    fn dtype_conversion_on_set() {
+        let mut t = TensorVal::zeros(DataType::I32, &[1]);
+        t.set(&[0], Scalar::Float(3.9));
+        assert_eq!(t.get(&[0]).as_i64(), 3);
+        let mut b = TensorVal::zeros(DataType::Bool, &[1]);
+        b.set(&[0], Scalar::Int(2));
+        assert!(b.get(&[0]).as_bool());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_panics() {
+        let t = TensorVal::zeros(DataType::F32, &[2]);
+        t.get(&[2]);
+    }
+
+    #[test]
+    fn comparison_helpers() {
+        let a = TensorVal::from_f32(&[3], vec![1.0, 2.0, 3.0]);
+        let b = TensorVal::from_f32(&[3], vec![1.0, 2.5, 3.0]);
+        assert!((a.max_abs_diff(&b) - 0.5).abs() < 1e-9);
+        assert!(a.allclose(&b, 0.6));
+        assert!(!a.allclose(&b, 0.4));
+    }
+
+    #[test]
+    fn size_accounting() {
+        let t = TensorVal::zeros(DataType::F64, &[4, 4]);
+        assert_eq!(t.size_bytes(), 128);
+    }
+}

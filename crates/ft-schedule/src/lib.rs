@@ -1,0 +1,117 @@
+//! # ft-schedule — dependence-aware schedule transformations
+//!
+//! The complete transformation set of the FreeTensor paper's Table 1,
+//! exposed as methods on [`Schedule`]:
+//!
+//! | group | primitives |
+//! |---|---|
+//! | loop | `split`, `merge`, `reorder`, `fission`, `fuse`, `swap` |
+//! | parallelizing | `parallelize`, `unroll`, `blend`, `vectorize` |
+//! | memory hierarchy | `cache`, `cache_reduce`, `set_mtype` |
+//! | memory layout | `var_split`, `var_reorder`, `var_merge` |
+//! | others | `as_lib`, `separate_tail` |
+//!
+//! Every transformation that can change execution order first consults the
+//! dependence engine (`ft-analysis`), so — exactly as the paper argues —
+//! callers (including the auto-scheduler) can *aggressively try*
+//! transformations without risking miscompilation: an illegal request fails
+//! with a [`ScheduleError`] instead of silently producing wrong code.
+//!
+//! ```
+//! use ft_ir::prelude::*;
+//! use ft_schedule::Schedule;
+//!
+//! let f = Func::new("axpy")
+//!     .param("x", [1024], DataType::F32, AccessType::Input)
+//!     .param("y", [1024], DataType::F32, AccessType::InOut)
+//!     .body(for_(
+//!         "i",
+//!         0,
+//!         1024,
+//!         store("y", [var("i")], load("y", [var("i")]) + load("x", [var("i")])),
+//!     ));
+//! let mut s = Schedule::new(f);
+//! let (outer, _inner) = s.split("i", 128)?;
+//! s.parallelize(outer, ParallelScope::OpenMp)?;
+//! # Ok::<(), ft_schedule::ScheduleError>(())
+//! ```
+
+pub mod layout;
+pub mod loops;
+pub mod mem;
+pub mod others;
+pub mod parallel;
+pub mod util;
+
+use ft_ir::find::Selector;
+use ft_ir::{Func, Stmt, StmtId};
+use std::fmt;
+
+/// Errors raised by schedule primitives.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScheduleError {
+    /// The selector did not resolve to a statement.
+    NotFound(String),
+    /// The transformation would violate a dependence.
+    Illegal(String),
+    /// The program shape is outside what the primitive supports.
+    Unsupported(String),
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::NotFound(s) => write!(f, "statement not found: {s}"),
+            ScheduleError::Illegal(s) => write!(f, "illegal transformation: {s}"),
+            ScheduleError::Unsupported(s) => write!(f, "unsupported transformation: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// A function under transformation.
+///
+/// Methods mutate the wrapped [`Func`] in place (each is all-or-nothing:
+/// on error the function is unchanged).
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    func: Func,
+}
+
+impl Schedule {
+    /// Start scheduling a function.
+    pub fn new(func: Func) -> Schedule {
+        Schedule { func }
+    }
+
+    /// The current (transformed) function.
+    pub fn func(&self) -> &Func {
+        &self.func
+    }
+
+    /// Consume the schedule, returning the transformed function.
+    pub fn into_func(self) -> Func {
+        self.func
+    }
+
+    pub(crate) fn func_mut(&mut self) -> &mut Func {
+        &mut self.func
+    }
+
+    /// Resolve a selector to a statement id.
+    pub(crate) fn resolve(&self, sel: impl Into<Selector>) -> Result<StmtId, ScheduleError> {
+        let sel = sel.into();
+        sel.resolve(&self.func)
+            .map(|s| s.id)
+            .ok_or_else(|| ScheduleError::NotFound(format!("{sel:?}")))
+    }
+
+    /// Resolve a selector to a cloned statement.
+    pub(crate) fn resolve_stmt(&self, sel: impl Into<Selector>) -> Result<Stmt, ScheduleError> {
+        let sel = sel.into();
+        sel.resolve(&self.func)
+            .cloned()
+            .ok_or_else(|| ScheduleError::NotFound(format!("{sel:?}")))
+    }
+}

@@ -1,0 +1,282 @@
+//! Parallelizing transformations: `parallelize`, `unroll`, `blend`,
+//! `vectorize` (paper Table 1, "Parallelizing Trans.").
+
+use crate::util::{as_for, peel, refresh_ids, replace_by_id};
+use crate::{Schedule, ScheduleError};
+use ft_analysis::deps::{carried_reductions, parallelize_blockers, fission_illegal, subtree_ids};
+use ft_ir::find::Selector;
+use ft_ir::mutate::subst_var_stmt;
+use ft_ir::{Expr, MemType, ParallelScope, Stmt, StmtId, StmtKind};
+
+impl Schedule {
+    /// Run a loop's iterations in parallel under the given hardware scope.
+    ///
+    /// Carried dependences block parallelization (paper Fig. 13(b)) —
+    /// except same-operator reductions, which are lowered to atomic updates
+    /// (random-access reductions, Fig. 13(e)) or parallel reductions
+    /// (same-index reductions, Fig. 13(d)). Tensors living in thread-local
+    /// memory but written across the loop (Fig. 13(c)) are also rejected.
+    ///
+    /// # Errors
+    ///
+    /// [`ScheduleError::Illegal`] on a blocking dependence.
+    pub fn parallelize(
+        &mut self,
+        loop_sel: impl Into<Selector>,
+        scope: ParallelScope,
+    ) -> Result<(), ScheduleError> {
+        let target = self.resolve_stmt(loop_sel)?;
+        let p = as_for(&target)?;
+        let blockers = parallelize_blockers(self.func(), p.id);
+        if let Some(dep) = blockers.first() {
+            return Err(ScheduleError::Illegal(format!(
+                "loop `{}` carries a {:?} dependence on `{}` ({} -> {})",
+                p.iter, dep.kind, dep.var, dep.source, dep.sink
+            )));
+        }
+        // Fig. 13(c): a tensor in thread-local storage defined outside the
+        // parallel loop is not visible to the other threads.
+        let loop_ids = subtree_ids(&target);
+        let mut violation: Option<String> = None;
+        let info = ft_analysis::collect_accesses(self.func());
+        for acc in &info.accesses {
+            if !loop_ids.contains(&acc.stmt) || !acc.kind.writes() {
+                continue;
+            }
+            let local = matches!(
+                self.local_mtype(&acc.var),
+                Some(MemType::GpuLocal) | Some(MemType::CpuStack)
+            );
+            if local {
+                // Defined outside the loop? Then other iterations (threads)
+                // cannot see the writes.
+                if let Some(containing) = info.def_inside_loops.get(&acc.var) {
+                    if !containing.contains(&p.id) {
+                        violation = Some(acc.var.clone());
+                    }
+                }
+            }
+        }
+        if let Some(v) = violation {
+            return Err(ScheduleError::Illegal(format!(
+                "tensor `{v}` is thread-local but defined outside the parallel loop (Fig. 13(c))"
+            )));
+        }
+        // Reductions updated by multiple iterations become atomic.
+        let atomics = carried_reductions(self.func(), p.id);
+        let mut body = self.func().body.clone();
+        for rid in atomics {
+            body = replace_by_id(body, rid, &mut |s| match s.kind {
+                StmtKind::ReduceTo {
+                    var,
+                    indices,
+                    op,
+                    value,
+                    ..
+                } => Stmt {
+                    id: s.id,
+                    label: s.label,
+                    kind: StmtKind::ReduceTo {
+                        var,
+                        indices,
+                        op,
+                        value,
+                        atomic: true,
+                    },
+                },
+                k => Stmt {
+                    id: s.id,
+                    label: s.label,
+                    kind: k,
+                },
+            })
+            .expect("reduction id came from this tree");
+        }
+        let body = replace_by_id(body, p.id, &mut |s| {
+            let StmtKind::For {
+                iter,
+                begin,
+                end,
+                mut property,
+                body,
+            } = s.kind
+            else {
+                unreachable!()
+            };
+            property.parallel = scope;
+            Stmt {
+                id: s.id,
+                label: s.label,
+                kind: StmtKind::For {
+                    iter,
+                    begin,
+                    end,
+                    property,
+                    body,
+                },
+            }
+        })
+        .ok_or_else(|| ScheduleError::NotFound(format!("{:?}", p.id)))?;
+        self.func_mut().body = body;
+        Ok(())
+    }
+
+    fn local_mtype(&self, var: &str) -> Option<MemType> {
+        let mut found = None;
+        self.func().body.walk(&mut |s| {
+            if let StmtKind::VarDef { name, mtype, .. } = &s.kind {
+                if name == var {
+                    found = Some(*mtype);
+                }
+            }
+        });
+        found
+    }
+
+    /// Fully unroll a constant-extent loop into a sequence of bodies.
+    ///
+    /// # Errors
+    ///
+    /// [`ScheduleError::Unsupported`] when the trip count is not a constant
+    /// or exceeds the unroll limit (64).
+    pub fn unroll(&mut self, loop_sel: impl Into<Selector>) -> Result<(), ScheduleError> {
+        let target = self.resolve_stmt(loop_sel)?;
+        let p = as_for(&target)?;
+        let (Some(b), Some(e)) = (
+            ft_passes::const_fold_expr(p.begin.clone()).as_int(),
+            ft_passes::const_fold_expr(p.end.clone()).as_int(),
+        ) else {
+            return Err(ScheduleError::Unsupported(
+                "unroll requires constant loop bounds".to_string(),
+            ));
+        };
+        if e - b > 64 {
+            return Err(ScheduleError::Unsupported(format!(
+                "unroll limit exceeded: {} iterations",
+                e - b
+            )));
+        }
+        let copies: Vec<Stmt> = (b..e)
+            .map(|i| subst_var_stmt(refresh_ids(&p.body), &p.iter, &Expr::IntConst(i)))
+            .collect();
+        let unrolled = Stmt {
+            id: p.id,
+            label: target.label.clone(),
+            kind: StmtKind::Block(copies),
+        };
+        let body = replace_by_id(self.func().body.clone(), p.id, &mut |_| unrolled.clone())
+            .ok_or_else(|| ScheduleError::NotFound(format!("{:?}", p.id)))?;
+        self.func_mut().body = body;
+        Ok(())
+    }
+
+    /// Unroll a loop and interleave the statements of its iterations:
+    /// statement `s_j` of all iterations becomes adjacent (paper `blend`).
+    ///
+    /// # Errors
+    ///
+    /// [`ScheduleError::Illegal`] when regrouping would reverse a dependence
+    /// (checked like a fission at every statement boundary), or
+    /// [`ScheduleError::Unsupported`] for non-constant bounds.
+    pub fn blend(&mut self, loop_sel: impl Into<Selector>) -> Result<(), ScheduleError> {
+        let target = self.resolve_stmt(loop_sel)?;
+        let p = as_for(&target)?;
+        let (Some(b), Some(e)) = (
+            ft_passes::const_fold_expr(p.begin.clone()).as_int(),
+            ft_passes::const_fold_expr(p.end.clone()).as_int(),
+        ) else {
+            return Err(ScheduleError::Unsupported(
+                "blend requires constant loop bounds".to_string(),
+            ));
+        };
+        if e - b > 64 {
+            return Err(ScheduleError::Unsupported(format!(
+                "blend limit exceeded: {} iterations",
+                e - b
+            )));
+        }
+        let body = peel(&p.body).clone();
+        let items: Vec<Stmt> = match &body.kind {
+            StmtKind::Block(v) => v.clone(),
+            _ => vec![body.clone()],
+        };
+        // Blending hoists statement j of iteration i+1 above statement j+1
+        // of iteration i — the same reversal a fission at each boundary
+        // would cause; verify each boundary.
+        for cut in 1..items.len() {
+            let first_ids: std::collections::HashSet<StmtId> = items[..cut]
+                .iter()
+                .flat_map(subtree_ids)
+                .collect();
+            if let Some(reason) =
+                fission_illegal(self.func(), p.id, &|id| first_ids.contains(&id))
+            {
+                return Err(ScheduleError::Illegal(reason));
+            }
+        }
+        let mut out: Vec<Stmt> = Vec::new();
+        for stmt in &items {
+            for i in b..e {
+                out.push(subst_var_stmt(
+                    refresh_ids(stmt),
+                    &p.iter,
+                    &Expr::IntConst(i),
+                ));
+            }
+        }
+        let blended = Stmt {
+            id: p.id,
+            label: target.label.clone(),
+            kind: StmtKind::Block(out),
+        };
+        let body = replace_by_id(self.func().body.clone(), p.id, &mut |_| blended.clone())
+            .ok_or_else(|| ScheduleError::NotFound(format!("{:?}", p.id)))?;
+        self.func_mut().body = body;
+        Ok(())
+    }
+
+    /// Implement a loop with vector instructions.
+    ///
+    /// # Errors
+    ///
+    /// [`ScheduleError::Illegal`] when the loop carries a dependence (vector
+    /// lanes execute concurrently).
+    pub fn vectorize(&mut self, loop_sel: impl Into<Selector>) -> Result<(), ScheduleError> {
+        let target = self.resolve_stmt(loop_sel)?;
+        let p = as_for(&target)?;
+        let blockers = parallelize_blockers(self.func(), p.id);
+        if let Some(dep) = blockers.first() {
+            return Err(ScheduleError::Illegal(format!(
+                "loop `{}` carries a {:?} dependence on `{}`",
+                p.iter, dep.kind, dep.var
+            )));
+        }
+        let body = replace_by_id(self.func().body.clone(), p.id, &mut |s| {
+            let StmtKind::For {
+                iter,
+                begin,
+                end,
+                mut property,
+                body,
+            } = s.kind
+            else {
+                unreachable!()
+            };
+            property.vectorize = true;
+            Stmt {
+                id: s.id,
+                label: s.label,
+                kind: StmtKind::For {
+                    iter,
+                    begin,
+                    end,
+                    property,
+                    body,
+                },
+            }
+        })
+        .ok_or_else(|| ScheduleError::NotFound(format!("{:?}", p.id)))?;
+        self.func_mut().body = body;
+        Ok(())
+    }
+}

@@ -1,0 +1,233 @@
+//! Tree-surgery helpers shared by the schedule primitives.
+
+use crate::ScheduleError;
+use ft_ir::{Expr, Stmt, StmtId, StmtKind};
+
+/// Rewrite the statement with id `target` through `f`, leaving the rest of
+/// the tree untouched. Returns `None` if the id is absent.
+pub fn replace_by_id(root: Stmt, target: StmtId, f: &mut dyn FnMut(Stmt) -> Stmt) -> Option<Stmt> {
+    fn rec(s: Stmt, target: StmtId, f: &mut dyn FnMut(Stmt) -> Stmt, hit: &mut bool) -> Stmt {
+        if s.id == target {
+            *hit = true;
+            return f(s);
+        }
+        let Stmt { id, label, kind } = s;
+        let kind = match kind {
+            StmtKind::Block(v) => StmtKind::Block(
+                v.into_iter()
+                    .map(|st| rec(st, target, f, hit))
+                    .collect(),
+            ),
+            StmtKind::VarDef {
+                name,
+                shape,
+                dtype,
+                mtype,
+                atype,
+                body,
+            } => StmtKind::VarDef {
+                name,
+                shape,
+                dtype,
+                mtype,
+                atype,
+                body: Box::new(rec(*body, target, f, hit)),
+            },
+            StmtKind::For {
+                iter,
+                begin,
+                end,
+                property,
+                body,
+            } => StmtKind::For {
+                iter,
+                begin,
+                end,
+                property,
+                body: Box::new(rec(*body, target, f, hit)),
+            },
+            StmtKind::If {
+                cond,
+                then,
+                otherwise,
+            } => StmtKind::If {
+                cond,
+                then: Box::new(rec(*then, target, f, hit)),
+                otherwise: otherwise.map(|o| Box::new(rec(*o, target, f, hit))),
+            },
+            k => k,
+        };
+        Stmt { id, label, kind }
+    }
+    let mut hit = false;
+    let out = rec(root, target, f, &mut hit);
+    hit.then_some(out)
+}
+
+/// Unwrap single-statement blocks: the "real" statement a body consists of.
+pub fn peel(s: &Stmt) -> &Stmt {
+    match &s.kind {
+        StmtKind::Block(v) => {
+            let non_empty: Vec<&Stmt> = v.iter().filter(|st| !st.is_empty()).collect();
+            if non_empty.len() == 1 {
+                peel(non_empty[0])
+            } else {
+                s
+            }
+        }
+        _ => s,
+    }
+}
+
+/// Destructure a `For` statement or fail.
+pub struct ForParts {
+    /// The loop's own id.
+    pub id: StmtId,
+    /// Iterator name.
+    pub iter: String,
+    /// Inclusive lower bound.
+    pub begin: Expr,
+    /// Exclusive upper bound.
+    pub end: Expr,
+    /// Scheduling attributes.
+    pub property: ft_ir::ForProperty,
+    /// Loop body (cloned).
+    pub body: Stmt,
+}
+
+/// View a statement as a loop.
+pub fn as_for(s: &Stmt) -> Result<ForParts, ScheduleError> {
+    match &s.kind {
+        StmtKind::For {
+            iter,
+            begin,
+            end,
+            property,
+            body,
+        } => Ok(ForParts {
+            id: s.id,
+            iter: iter.clone(),
+            begin: begin.clone(),
+            end: end.clone(),
+            property: property.clone(),
+            body: (**body).clone(),
+        }),
+        other => Err(ScheduleError::Unsupported(format!(
+            "expected a for-loop, found {other:?}"
+        ))),
+    }
+}
+
+/// The extent (`end - begin`) of a loop, constant-folded.
+pub fn extent(parts: &ForParts) -> Expr {
+    ft_passes::const_fold_expr(parts.end.clone() - parts.begin.clone())
+}
+
+/// Collect the iterator names of all loops strictly inside `s`.
+pub fn inner_loop_iters(s: &Stmt) -> Vec<String> {
+    let mut out = Vec::new();
+    for c in s.children() {
+        c.walk(&mut |st| {
+            if let StmtKind::For { iter, .. } = &st.kind {
+                out.push(iter.clone());
+            }
+        });
+    }
+    if let StmtKind::For { iter, .. } = &s.kind {
+        // `s` itself being a loop counts as inner when caching around it.
+        out.push(iter.clone());
+    }
+    out
+}
+
+
+/// Deep-copy a statement with fresh ids (duplicated sub-trees must not share
+/// identities, or later schedules would resolve and rewrite ambiguously).
+pub fn refresh_ids(s: &Stmt) -> Stmt {
+    let kind = match &s.kind {
+        StmtKind::Block(v) => StmtKind::Block(v.iter().map(refresh_ids).collect()),
+        StmtKind::VarDef {
+            name,
+            shape,
+            dtype,
+            mtype,
+            atype,
+            body,
+        } => StmtKind::VarDef {
+            name: name.clone(),
+            shape: shape.clone(),
+            dtype: *dtype,
+            mtype: *mtype,
+            atype: *atype,
+            body: Box::new(refresh_ids(body)),
+        },
+        StmtKind::For {
+            iter,
+            begin,
+            end,
+            property,
+            body,
+        } => StmtKind::For {
+            iter: iter.clone(),
+            begin: begin.clone(),
+            end: end.clone(),
+            property: property.clone(),
+            body: Box::new(refresh_ids(body)),
+        },
+        StmtKind::If {
+            cond,
+            then,
+            otherwise,
+        } => StmtKind::If {
+            cond: cond.clone(),
+            then: Box::new(refresh_ids(then)),
+            otherwise: otherwise.as_ref().map(|o| Box::new(refresh_ids(o))),
+        },
+        k => k.clone(),
+    };
+    Stmt::new(kind)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_ir::prelude::*;
+
+    #[test]
+    fn replace_by_id_hits_nested() {
+        let target = store("a", [0], 1.0f32);
+        let tid = target.id;
+        let tree = for_("i", 0, 4, block([target, store("b", [0], 2.0f32)]));
+        let out = replace_by_id(tree, tid, &mut |s| {
+            s.same_id(StmtKind::Empty)
+        })
+        .unwrap();
+        let mut stores = 0;
+        out.walk(&mut |s| {
+            if matches!(s.kind, StmtKind::Store { .. }) {
+                stores += 1;
+            }
+        });
+        assert_eq!(stores, 1);
+        assert!(replace_by_id(out, StmtId(u64::MAX), &mut |s| s).is_none());
+    }
+
+    #[test]
+    fn peel_unwraps_singleton_blocks() {
+        let inner = store("a", [0], 1.0f32);
+        let iid = inner.id;
+        let wrapped = block([block([inner, empty()])]);
+        assert_eq!(peel(&wrapped).id, iid);
+        let two = block([store("a", [0], 1.0f32), store("a", [1], 2.0f32)]);
+        assert_eq!(peel(&two).id, two.id);
+    }
+
+    #[test]
+    fn as_for_and_extent() {
+        let l = for_("i", 2, var("n"), empty());
+        let p = as_for(&l).unwrap();
+        assert_eq!(p.iter, "i");
+        assert_eq!(extent(&p), var("n") - 2);
+        assert!(as_for(&empty()).is_err());
+    }
+}

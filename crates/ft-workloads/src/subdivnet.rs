@@ -1,0 +1,208 @@
+//! SubdivNet's mesh convolution with circular difference (paper §2, Fig. 2).
+//!
+//! For each face `i` with neighbors `adj[i, 0..3]`, the output feature is
+//! the circular difference `Σ_j |e[adj[i,j]] - e[adj[i,(j+1)%3]]|`.
+
+use crate::{data, Inputs};
+use freetensor_core::Program;
+use ft_opbase::{OpError, Session, Tensor};
+use ft_runtime::{Scalar, TensorVal};
+
+/// Problem sizes.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    /// Number of mesh faces.
+    pub n_faces: usize,
+    /// Feature channels per face.
+    pub in_feats: usize,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            n_faces: 1024,
+            in_feats: 32,
+        }
+    }
+}
+
+impl Params {
+    /// A small instance for tests.
+    pub fn small() -> Params {
+        Params {
+            n_faces: 24,
+            in_feats: 5,
+        }
+    }
+}
+
+/// Synthetic inputs: `e[n_faces, in_feats]` features, `adj[n_faces, 3]`.
+pub fn inputs(p: &Params, seed: u64) -> Inputs {
+    let mut m = Inputs::new();
+    m.insert(
+        "e".to_string(),
+        data::features(&[p.n_faces, p.in_feats], seed),
+    );
+    m.insert("adj".to_string(), data::mesh_adjacency(p.n_faces, seed ^ 0xAD));
+    m
+}
+
+/// The FreeTensor DSL source (fine-grained, redundancy-free — paper
+/// Fig. 3(b)).
+pub fn source(p: &Params) -> String {
+    format!(
+        r#"
+def subdivnet(e: f32[{f}, {c}] in, adj: i32[{f}, 3] in, y: f32[{f}, {c}] out):
+  for i in range({f}):
+    for j in range(3):
+      for c in range({c}):
+        d = create_var((), "f32", "cpu")
+        d = e[adj[i, j], c] - e[adj[i, (j + 1) % 3], c]
+        y[i, c] += abs(d)
+"#,
+        f = p.n_faces,
+        c = p.in_feats
+    )
+}
+
+/// Compile the FreeTensor program.
+pub fn program(p: &Params) -> Program {
+    Program::compile(&source(p), "subdivnet").expect("subdivnet source compiles")
+}
+
+/// Reference implementation (plain Rust oracle).
+pub fn reference(p: &Params, inputs: &Inputs) -> TensorVal {
+    let e = &inputs["e"];
+    let adj = &inputs["adj"];
+    let mut y = TensorVal::zeros(ft_ir::DataType::F32, &[p.n_faces, p.in_feats]);
+    for i in 0..p.n_faces {
+        for j in 0..3 {
+            let a = adj.get_flat(i * 3 + j).as_i64() as usize;
+            let b = adj.get_flat(i * 3 + (j + 1) % 3).as_i64() as usize;
+            for c in 0..p.in_feats {
+                let d = (e.get_flat(a * p.in_feats + c).as_f64()
+                    - e.get_flat(b * p.in_feats + c).as_f64())
+                .abs();
+                let cur = y.get_flat(i * p.in_feats + c).as_f64();
+                y.set_flat(i * p.in_feats + c, Scalar::Float(cur + d));
+            }
+        }
+    }
+    y
+}
+
+/// Operator-based implementation (paper Fig. 2(c)):
+/// `index_select → reshape → cat(slice, slice) → sub → abs → sum_dim`.
+///
+/// # Errors
+///
+/// Propagates operator shape/memory errors.
+pub fn opbase(s: &Session, p: &Params, inputs: &Inputs) -> Result<Tensor, OpError> {
+    let e = s.tensor(inputs["e"].clone())?;
+    let adj = s.tensor(inputs["adj"].clone())?;
+    // Step 1: gather all neighbor features (the redundant 3× copy).
+    let flat = s.reshape(&adj, &[p.n_faces * 3])?;
+    let gathered = s.index_select(&e, &flat)?;
+    let adj_feat = s.reshape(&gathered, &[p.n_faces, 3, p.in_feats])?;
+    // Step 2: rotate along the neighbor dimension.
+    let tail = s.slice(&adj_feat, 1, 1, 3)?;
+    let head = s.slice(&adj_feat, 1, 0, 1)?;
+    let reordered = s.cat(&[&tail, &head], 1)?;
+    // Step 3: |a - b| summed over neighbors.
+    let diff = s.sub(&adj_feat, &reordered)?;
+    let absd = s.abs(&diff)?;
+    s.sum_dim(&absd, 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_autoschedule::Target;
+    use ft_runtime::Runtime;
+
+    #[test]
+    fn all_implementations_agree() {
+        let p = Params::small();
+        let ins = inputs(&p, 7);
+        let oracle = reference(&p, &ins);
+        // FreeTensor, unoptimized and optimized, CPU and GPU schedules.
+        let prog = program(&p);
+        let rt = Runtime::new();
+        for pr in [
+            prog.clone(),
+            prog.optimize(&Target::cpu()),
+            prog.optimize(&Target::gpu()),
+        ] {
+            let r = pr.run(&rt, &crate::input_pairs(&ins), &[]).unwrap();
+            assert!(
+                r.output("y").allclose(&oracle, 1e-4),
+                "FreeTensor output diverges:\n{}",
+                pr.func()
+            );
+        }
+        // Operator baseline.
+        let s = Session::cpu();
+        let y = opbase(&s, &p, &ins).unwrap();
+        assert!(y.val().allclose(&oracle, 1e-4));
+    }
+
+    #[test]
+    fn freetensor_uses_less_traffic_than_opbase() {
+        let p = Params::small();
+        let ins = inputs(&p, 3);
+        let rt = Runtime::new();
+        let r = program(&p)
+            .optimize(&Target::cpu())
+            .run(&rt, &crate::input_pairs(&ins), &[])
+            .unwrap();
+        let s = Session::cpu();
+        let _ = opbase(&s, &p, &ins).unwrap();
+        // The baseline materializes adj_feat (3× features) plus reorder
+        // copies: strictly more DRAM traffic.
+        assert!(
+            s.counters().dram_bytes > r.counters.dram_bytes,
+            "opbase {} vs freetensor {}",
+            s.counters().dram_bytes,
+            r.counters.dram_bytes
+        );
+    }
+
+    #[test]
+    fn gradients_flow_through_both() {
+        let p = Params::small();
+        let ins = inputs(&p, 9);
+        // FreeTensor AD.
+        let g = program(&p)
+            .grad(&ft_autodiff::GradOptions::default())
+            .unwrap();
+        let rt = Runtime::new();
+        let seed = TensorVal::from_f32(
+            &[p.n_faces, p.in_feats],
+            vec![1.0; p.n_faces * p.in_feats],
+        );
+        let mut pairs = crate::input_pairs(&ins);
+        pairs.push(("y.grad", seed.clone()));
+        let r = g.run(&rt, &pairs, &[]).unwrap();
+        let ft_grad = r.output("e.grad").clone();
+        // Baseline AD over the same chain, keeping the input handle so its
+        // gradient can be looked up.
+        let s = Session::cpu();
+        s.set_grad_mode(true);
+        let e = s.tensor(ins["e"].clone()).unwrap();
+        let adj = s.tensor(ins["adj"].clone()).unwrap();
+        let flat = s.reshape(&adj, &[p.n_faces * 3]).unwrap();
+        let gathered = s.index_select(&e, &flat).unwrap();
+        let af = s.reshape(&gathered, &[p.n_faces, 3, p.in_feats]).unwrap();
+        let tail = s.slice(&af, 1, 1, 3).unwrap();
+        let head = s.slice(&af, 1, 0, 1).unwrap();
+        let re = s.cat(&[&tail, &head], 1).unwrap();
+        let diff = s.sub(&af, &re).unwrap();
+        let absd = s.abs(&diff).unwrap();
+        let y = s.sum_dim(&absd, 1).unwrap();
+        let grads = s.backward(&y, seed).unwrap();
+        assert!(
+            grads[&e.id()].allclose(&ft_grad, 1e-3),
+            "gradient mismatch between FreeTensor AD and operator AD"
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! A tour of the Table-1 schedule transformations, applied manually with
+//! legality checking — including one that is *rejected* by the dependence
+//! analysis (the paper's `dot_max` fusion).
+//!
+//! ```sh
+//! cargo run --example schedule_tour
+//! ```
+
+use freetensor::core::Program;
+use freetensor::ir::prelude::*;
+use freetensor::ir::MemType;
+use freetensor::schedule::Schedule;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let src = r#"
+def pipeline(x: f32[4096] in, t: f32[4096] out, y: f32[4096] out):
+  for i in range(4096):
+    t[i] = x[i] * 2.0
+  for j in range(4096):
+    y[j] = t[j] + 1.0
+"#;
+    let program = Program::compile(src, "pipeline")?;
+    let mut sched = Schedule::new(program.func().clone());
+
+    // fuse: producer and consumer share iterations.
+    let fused = sched.fuse("i", "j")?;
+    println!("after fuse:\n{}", sched.func());
+
+    // split + parallelize + vectorize: map to hardware.
+    let (outer, inner) = sched.split(fused, 256)?;
+    sched.parallelize(outer, ParallelScope::OpenMp)?;
+    sched.vectorize(inner)?;
+    println!("after split/parallelize/vectorize:\n{}", sched.func());
+
+    // cache: stage the x window near the processor.
+    sched.cache(inner, "x", MemType::CpuStack)?;
+    println!("after cache:\n{}", sched.func());
+
+    // An illegal request is rejected, not miscompiled: fusing a max-reduce
+    // producer with its consumer (the paper's Fig. 8 dot_max example).
+    let bad = Program::compile(
+        r#"
+def softmax_ish(dot: f32[64] in, m: f32[] inout, out: f32[64] out):
+  for k in range(64):
+    m max= dot[k]
+  for k2 in range(64):
+    out[k2] = dot[k2] - m
+"#,
+        "softmax_ish",
+    )?;
+    let mut sched2 = Schedule::new(bad.func().clone());
+    match sched2.fuse("k", "k2") {
+        Err(e) => println!("dot_max fusion correctly rejected: {e}"),
+        Ok(_) => unreachable!("the dependence engine must reject this"),
+    }
+    Ok(())
+}

@@ -1,0 +1,17 @@
+//! # freetensor — umbrella crate
+//!
+//! Re-exports the whole FreeTensor-rs stack behind one dependency, and hosts
+//! the runnable examples (`examples/`) and cross-crate integration tests
+//! (`tests/`). See `freetensor_core` for the compile-pipeline API.
+
+pub use freetensor_core as core;
+pub use ft_autodiff as autodiff;
+pub use ft_autoschedule as autoschedule;
+pub use ft_codegen as codegen;
+pub use ft_frontend as frontend;
+pub use ft_ir as ir;
+pub use ft_libop as libop;
+pub use ft_opbase as opbase;
+pub use ft_runtime as runtime;
+pub use ft_schedule as schedule;
+pub use ft_workloads as workloads;

@@ -1,0 +1,120 @@
+//! Randomized cross-crate property: any sequence of schedule
+//! transformations that the legality checks accept must preserve program
+//! semantics under the interpreter.
+
+use freetensor::ir::{find, ParallelScope, StmtId, StmtKind};
+use freetensor::runtime::{Runtime, TensorVal};
+use freetensor::schedule::Schedule;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// A program with enough structure to make random scheduling interesting:
+/// guards, reductions, a local tensor, and a recurrence (which must block
+/// some transformations).
+fn subject() -> freetensor::ir::Func {
+    freetensor::core::Program::compile(
+        r#"
+def subject(x: f32[40] in, y: f32[40] out, acc: f32[] out):
+  for i in range(40):
+    t = create_var((), "f32", "cpu")
+    for k in range(-2, 3):
+      if i + k >= 0 and i + k < 40:
+        t += x[i + k]
+    y[i] = t * 0.2
+  for j in range(40):
+    acc += y[j] * y[j]
+"#,
+        "subject",
+    )
+    .unwrap()
+    .func()
+    .clone()
+}
+
+fn run(func: &freetensor::ir::Func) -> (Vec<f64>, Vec<f64>) {
+    let x = TensorVal::from_f32(&[40], (0..40).map(|i| (i as f32 * 0.3).cos()).collect());
+    let inputs: HashMap<String, TensorVal> = [("x".to_string(), x)].into_iter().collect();
+    let r = Runtime::new().run(func, &inputs, &HashMap::new()).unwrap();
+    (
+        r.output("y").to_f64_vec(),
+        r.output("acc").to_f64_vec(),
+    )
+}
+
+fn loops_of(func: &freetensor::ir::Func) -> Vec<StmtId> {
+    find::find_stmts(&func.body, &|s| matches!(s.kind, StmtKind::For { .. }))
+        .iter()
+        .map(|s| s.id)
+        .collect()
+}
+
+#[test]
+fn random_accepted_schedules_preserve_semantics() {
+    let base = subject();
+    let (y0, acc0) = run(&base);
+    let mut rng = StdRng::seed_from_u64(20_220_613);
+    let mut accepted_total = 0;
+    for trial in 0..40 {
+        let mut sched = Schedule::new(base.clone());
+        for _ in 0..6 {
+            let loops = loops_of(sched.func());
+            if loops.is_empty() {
+                break;
+            }
+            let target = loops[rng.gen_range(0..loops.len())];
+            let accepted = match rng.gen_range(0..7) {
+                0 => sched.split(target, [2, 3, 8][rng.gen_range(0..3)]).is_ok(),
+                1 => sched.parallelize(target, ParallelScope::OpenMp).is_ok(),
+                2 => sched.vectorize(target).is_ok(),
+                3 => sched.unroll(target).is_ok(),
+                4 => {
+                    let other = loops[rng.gen_range(0..loops.len())];
+                    sched.fuse(target, other).is_ok()
+                }
+                5 => sched
+                    .cache(target, "x", freetensor::ir::MemType::CpuStack)
+                    .is_ok(),
+                _ => sched.separate_tail(target).is_ok(),
+            };
+            accepted_total += accepted as usize;
+        }
+        let (y1, acc1) = run(sched.func());
+        for (a, b) in y0.iter().zip(&y1) {
+            assert!(
+                (a - b).abs() < 1e-4,
+                "trial {trial}: y diverged\n{}",
+                sched.func()
+            );
+        }
+        assert!(
+            (acc0[0] - acc1[0]).abs() < 1e-3 * (1.0 + acc0[0].abs()),
+            "trial {trial}: acc diverged\n{}",
+            sched.func()
+        );
+    }
+    assert!(
+        accepted_total > 30,
+        "too few transformations accepted ({accepted_total}) — the property is vacuous"
+    );
+}
+
+#[test]
+fn threaded_execution_matches_sequential() {
+    // Parallelize what the checker allows, then execute with real threads.
+    let base = subject();
+    let mut sched = Schedule::new(base.clone());
+    let loops = loops_of(sched.func());
+    for l in loops {
+        let _ = sched.parallelize(l, ParallelScope::OpenMp);
+    }
+    let func = sched.into_func();
+    let (y0, acc0) = run(&func);
+    let x = TensorVal::from_f32(&[40], (0..40).map(|i| (i as f32 * 0.3).cos()).collect());
+    let inputs: HashMap<String, TensorVal> = [("x".to_string(), x)].into_iter().collect();
+    let out = freetensor::runtime::run_threaded(&func, &inputs, &HashMap::new(), 4).unwrap();
+    for (a, b) in y0.iter().zip(out["y"].to_f64_vec()) {
+        assert!((a - b).abs() < 1e-4);
+    }
+    assert!((acc0[0] - out["acc"].to_f64_vec()[0]).abs() < 1e-3);
+}
