@@ -35,7 +35,7 @@ fn random_candidate(
         let target = loops[rng.gen_range(0..loops.len())];
         match rng.gen_range(0..5) {
             0 => {
-                let factor = [2, 4, 8, 16, 32][rng.gen_range(0..5)];
+                let factor = [2, 4, 8, 16, 32][rng.gen_range(0..5usize)];
                 let _ = sched.split(target, factor);
             }
             1 => {

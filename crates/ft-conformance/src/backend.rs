@@ -1,0 +1,79 @@
+//! The execution backends a variant is pushed through.
+
+use ft_ir::{AccessType, Func};
+use ft_runtime::{run_threaded, Runtime, TensorVal};
+use std::collections::HashMap;
+
+/// Worker threads used by the thread-parallel backend.
+pub const THREADS: usize = 4;
+
+/// One way of executing a scheduled function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Sequential instrumented interpreter ([`Runtime::run`]).
+    Interp,
+    /// Real-thread parallel runtime ([`run_threaded`]).
+    Threaded,
+    /// C codegen, compiled with the system compiler and executed.
+    Codegen,
+}
+
+impl Backend {
+    /// Stable lower-case name (used in repro files).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Backend::Interp => "interp",
+            Backend::Threaded => "threaded",
+            Backend::Codegen => "codegen",
+        }
+    }
+
+    /// Inverse of [`Backend::name`].
+    pub fn from_name(name: &str) -> Option<Backend> {
+        [Backend::Interp, Backend::Threaded, Backend::Codegen]
+            .into_iter()
+            .find(|b| b.name() == name)
+    }
+
+    /// All backends usable in this environment: the codegen backend is
+    /// included only when a C compiler is on `PATH`.
+    pub fn available() -> Vec<Backend> {
+        let mut v = vec![Backend::Interp, Backend::Threaded];
+        if crate::cjit::cc_available() {
+            v.push(Backend::Codegen);
+        }
+        v
+    }
+}
+
+/// Names of the function's output (and in-out) tensors.
+pub fn output_names(func: &Func) -> Vec<String> {
+    func.params
+        .iter()
+        .filter(|p| matches!(p.atype, AccessType::Output | AccessType::InOut))
+        .map(|p| p.name.clone())
+        .collect()
+}
+
+/// Execute `func` on `backend`, returning its output tensors by name.
+///
+/// # Errors
+///
+/// A human-readable description of whatever failed — runtime error, C
+/// compilation failure, or malformed child output. Errors are treated as
+/// divergences by the differential checker.
+pub fn run_backend(
+    backend: Backend,
+    func: &Func,
+    inputs: &HashMap<String, TensorVal>,
+) -> Result<HashMap<String, TensorVal>, String> {
+    match backend {
+        Backend::Interp => Runtime::new()
+            .run(func, inputs, &HashMap::new())
+            .map(|r| r.outputs)
+            .map_err(|e| format!("interp: {e:?}")),
+        Backend::Threaded => run_threaded(func, inputs, &HashMap::new(), THREADS)
+            .map_err(|e| format!("threaded: {e:?}")),
+        Backend::Codegen => crate::cjit::run_c(func, inputs, &HashMap::new()),
+    }
+}

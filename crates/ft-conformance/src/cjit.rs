@@ -1,0 +1,291 @@
+//! The codegen backend: wrap `ft_codegen::emit_c` output in a generated
+//! `main()`, compile it with the system C compiler, run the binary, and
+//! parse the printed outputs back into tensors.
+//!
+//! Input data is embedded in the generated translation unit as static array
+//! initializers (test-scale tensors are small), so the child process needs
+//! no I/O protocol beyond printing its outputs.
+
+use ft_ir::{AccessType, DataType, Expr, Func};
+use ft_runtime::TensorVal;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::process::Command;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Whether a C compiler (`cc`) is available on `PATH`.
+pub fn cc_available() -> bool {
+    static AVAILABLE: OnceLock<bool> = OnceLock::new();
+    *AVAILABLE.get_or_init(|| {
+        Command::new("cc")
+            .arg("--version")
+            .output()
+            .map(|o| o.status.success())
+            .unwrap_or(false)
+    })
+}
+
+/// Same identifier mangling as `ft_codegen::c`.
+fn sanitize(name: &str) -> String {
+    let mut s: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    if s.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        s.insert(0, '_');
+    }
+    s
+}
+
+fn ctype(dt: DataType) -> &'static str {
+    match dt {
+        DataType::F32 => "float",
+        DataType::F64 => "double",
+        DataType::I32 => "int32_t",
+        DataType::I64 => "int64_t",
+        DataType::Bool => "bool",
+    }
+}
+
+/// Evaluate a (constant or size-parameter) shape extent.
+fn eval_extent(e: &Expr, sizes: &HashMap<String, i64>) -> Result<i64, String> {
+    use ft_ir::BinaryOp::*;
+    match e {
+        Expr::IntConst(v) => Ok(*v),
+        Expr::Var(n) => sizes
+            .get(n)
+            .copied()
+            .ok_or_else(|| format!("unresolved size `{n}` in shape")),
+        Expr::Binary { op, a, b } => {
+            let x = eval_extent(a, sizes)?;
+            let y = eval_extent(b, sizes)?;
+            Ok(match op {
+                Add => x + y,
+                Sub => x - y,
+                Mul => x * y,
+                Div => x.div_euclid(y),
+                Mod => x.rem_euclid(y),
+                Min => x.min(y),
+                Max => x.max(y),
+                _ => return Err(format!("unsupported shape operator {op:?}")),
+            })
+        }
+        other => Err(format!("non-constant shape expression {other:?}")),
+    }
+}
+
+fn literal(dt: DataType, v: f64) -> String {
+    if dt.is_float() {
+        // `{:e}` keeps full f64 precision via the round-trip guarantee of
+        // Rust's float formatting; the C compiler rounds back to float for
+        // f32 arrays, recovering the original value exactly.
+        format!("{v:e}")
+    } else {
+        format!("{}", v as i64)
+    }
+}
+
+/// Compile and run `func`, returning its output tensors.
+///
+/// # Errors
+///
+/// Describes the failing stage: shape evaluation, C compilation, child
+/// execution, or output parsing.
+pub fn run_c(
+    func: &Func,
+    inputs: &HashMap<String, TensorVal>,
+    sizes: &HashMap<String, i64>,
+) -> Result<HashMap<String, TensorVal>, String> {
+    if !cc_available() {
+        return Err("no C compiler on PATH".to_string());
+    }
+    // Resolve every parameter's concrete shape.
+    let mut shapes: Vec<(String, Vec<usize>, DataType, AccessType)> = Vec::new();
+    for p in &func.params {
+        let sh: Vec<usize> = p
+            .shape
+            .iter()
+            .map(|e| eval_extent(e, sizes).map(|v| v.max(0) as usize))
+            .collect::<Result<_, _>>()?;
+        shapes.push((p.name.clone(), sh, p.dtype, p.atype));
+    }
+
+    // Generate the translation unit: emitted kernel + main() driver.
+    let mut src = ft_codegen::emit_c(func);
+    src.push_str("\n#include <stdio.h>\n\nint main(void) {\n");
+    for (name, shape, dtype, atype) in &shapes {
+        let n = shape.iter().product::<usize>().max(1);
+        let c = sanitize(name);
+        match atype {
+            AccessType::Input | AccessType::InOut => {
+                let t = inputs
+                    .get(name)
+                    .ok_or_else(|| format!("missing input `{name}`"))?;
+                if t.numel() != shape.iter().product::<usize>() {
+                    return Err(format!("input `{name}` has wrong element count"));
+                }
+                let vals: Vec<String> = t
+                    .to_f64_vec()
+                    .into_iter()
+                    .map(|v| literal(*dtype, v))
+                    .collect();
+                let _ = writeln!(
+                    src,
+                    "    static {} {c}[{n}] = {{{}}};",
+                    ctype(*dtype),
+                    vals.join(", ")
+                );
+            }
+            _ => {
+                let _ = writeln!(src, "    static {} {c}[{n}];", ctype(*dtype));
+            }
+        }
+    }
+    let mut args: Vec<String> = shapes.iter().map(|(n, ..)| sanitize(n)).collect();
+    for sp in &func.size_params {
+        let v = sizes
+            .get(sp)
+            .copied()
+            .ok_or_else(|| format!("unresolved size `{sp}`"))?;
+        args.push(format!("(int64_t){v}"));
+    }
+    let _ = writeln!(src, "    {}({});", sanitize(&func.name), args.join(", "));
+    for (name, shape, dtype, atype) in &shapes {
+        if !matches!(atype, AccessType::Output | AccessType::InOut) {
+            continue;
+        }
+        let n = shape.iter().product::<usize>().max(1);
+        let c = sanitize(name);
+        let _ = writeln!(src, "    printf(\"OUT %s %d\\n\", \"{name}\", {n});");
+        if dtype.is_float() {
+            let _ = writeln!(
+                src,
+                "    for (int64_t i = 0; i < {n}; ++i) printf(\"%.17g\\n\", (double){c}[i]);"
+            );
+        } else {
+            let _ = writeln!(
+                src,
+                "    for (int64_t i = 0; i < {n}; ++i) printf(\"%lld\\n\", (long long){c}[i]);"
+            );
+        }
+    }
+    src.push_str("    return 0;\n}\n");
+
+    // Unique scratch paths per (process, invocation).
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let tag = format!(
+        "ftconf-{}-{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    );
+    let dir = std::env::temp_dir();
+    let src_path: PathBuf = dir.join(format!("{tag}.c"));
+    let bin_path: PathBuf = dir.join(format!("{tag}.bin"));
+    std::fs::write(&src_path, &src).map_err(|e| format!("write {}: {e}", src_path.display()))?;
+    let cleanup = || {
+        let _ = std::fs::remove_file(&src_path);
+        let _ = std::fs::remove_file(&bin_path);
+    };
+
+    // OpenMP when the toolchain supports it; the pragmas degrade to warnings
+    // (sequential execution — still a valid semantics check) otherwise.
+    let mut compiled = false;
+    let mut last_err = String::new();
+    for extra in [&["-fopenmp"][..], &[][..]] {
+        let out = Command::new("cc")
+            .arg("-O1")
+            .args(extra)
+            .arg(&src_path)
+            .arg("-o")
+            .arg(&bin_path)
+            .arg("-lm")
+            .output()
+            .map_err(|e| {
+                cleanup();
+                format!("spawn cc: {e}")
+            })?;
+        if out.status.success() {
+            compiled = true;
+            break;
+        }
+        last_err = String::from_utf8_lossy(&out.stderr).into_owned();
+    }
+    if !compiled {
+        cleanup();
+        return Err(format!("cc failed:\n{last_err}"));
+    }
+    let out = Command::new(&bin_path).output().map_err(|e| {
+        cleanup();
+        format!("run generated binary: {e}")
+    })?;
+    cleanup();
+    if !out.status.success() {
+        return Err(format!("generated binary exited with {:?}", out.status));
+    }
+
+    // Parse the "OUT name n" / value-per-line protocol.
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let mut lines = stdout.lines();
+    let mut outputs = HashMap::new();
+    while let Some(header) = lines.next() {
+        let mut parts = header.split_whitespace();
+        if parts.next() != Some("OUT") {
+            return Err(format!("unexpected output line `{header}`"));
+        }
+        let name = parts
+            .next()
+            .ok_or_else(|| "missing output name".to_string())?;
+        let n: usize = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| "missing output count".to_string())?;
+        let mut data = Vec::with_capacity(n);
+        for _ in 0..n {
+            let line = lines
+                .next()
+                .ok_or_else(|| format!("truncated output for `{name}`"))?;
+            data.push(
+                line.trim()
+                    .parse::<f64>()
+                    .map_err(|e| format!("bad value `{line}` for `{name}`: {e}"))?,
+            );
+        }
+        let shape = shapes
+            .iter()
+            .find(|(p, ..)| p == name)
+            .map(|(_, s, ..)| s.clone())
+            .ok_or_else(|| format!("unknown output `{name}`"))?;
+        outputs.insert(name.to_string(), TensorVal::from_f64(&shape, data));
+    }
+    Ok(outputs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_ir::prelude::*;
+
+    #[test]
+    fn tiny_kernel_roundtrips_through_cc() {
+        if !cc_available() {
+            eprintln!("skipping: no C compiler");
+            return;
+        }
+        let f = Func::new("scale2")
+            .param("x", [4], DataType::F32, AccessType::Input)
+            .param("y", [4], DataType::F32, AccessType::Output)
+            .body(for_(
+                "i",
+                0,
+                4,
+                store("y", [var("i")], load("x", [var("i")]) * 2.0f32),
+            ));
+        let x = TensorVal::from_f32(&[4], vec![1.0, -2.5, 3.25, 0.0]);
+        let inputs: HashMap<String, TensorVal> =
+            [("x".to_string(), x)].into_iter().collect();
+        let out = run_c(&f, &inputs, &HashMap::new()).unwrap();
+        assert_eq!(out["y"].to_f64_vec(), vec![2.0, -5.0, 6.5, 0.0]);
+    }
+}

@@ -1,0 +1,102 @@
+//! Differential comparison of one scheduled variant across backends.
+
+use crate::backend::{output_names, run_backend, Backend};
+use crate::workload::Case;
+use ft_ir::Func;
+
+/// One observed disagreement between a backend and the oracle (or a backend
+/// failure, which counts as a disagreement).
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// The backend that disagreed.
+    pub backend: Backend,
+    /// Output tensor the disagreement was observed on (empty on a backend
+    /// execution failure).
+    pub output: String,
+    /// Maximum element-wise absolute difference (infinite on failure).
+    pub max_abs_err: f64,
+    /// Human-readable description.
+    pub message: String,
+}
+
+fn diverge(backend: Backend, output: &str, err: f64, what: &str) -> Divergence {
+    Divergence {
+        backend,
+        output: output.to_string(),
+        max_abs_err: err,
+        message: format!(
+            "backend {} disagrees on `{output}`: {what} (max_abs_err {err:.6e})",
+            backend.name()
+        ),
+    }
+}
+
+/// Run `func` through every backend in `backends` and compare:
+///
+/// * each backend's main output against the plain-Rust oracle
+///   (`case.oracle`), element-wise within `tol`;
+/// * each non-interpreter backend's *other* outputs against the
+///   interpreter's, so secondary outputs are covered too.
+///
+/// Returns the first divergence found, or `None` when all agree.
+pub fn check_variant(
+    case: &Case,
+    func: &Func,
+    backends: &[Backend],
+    tol: f64,
+) -> Option<Divergence> {
+    // The interpreter doubles as the baseline for non-oracle outputs; run it
+    // unconditionally (it is also the cheapest backend).
+    let base = match run_backend(Backend::Interp, func, &case.inputs) {
+        Ok(o) => o,
+        Err(e) => {
+            return Some(Divergence {
+                backend: Backend::Interp,
+                output: String::new(),
+                max_abs_err: f64::INFINITY,
+                message: e,
+            })
+        }
+    };
+    for b in backends {
+        let outs = if *b == Backend::Interp {
+            base.clone()
+        } else {
+            match run_backend(*b, func, &case.inputs) {
+                Ok(o) => o,
+                Err(e) => {
+                    return Some(Divergence {
+                        backend: *b,
+                        output: String::new(),
+                        max_abs_err: f64::INFINITY,
+                        message: e,
+                    })
+                }
+            }
+        };
+        for name in output_names(func) {
+            let Some(got) = outs.get(&name) else {
+                return Some(diverge(*b, &name, f64::INFINITY, "output missing"));
+            };
+            // Main output: judged against the plain-Rust oracle. Others:
+            // against the interpreter baseline.
+            let expect = if name == case.oracle_output {
+                &case.oracle
+            } else if *b == Backend::Interp {
+                continue;
+            } else {
+                &base[&name]
+            };
+            if got.shape() != expect.shape() {
+                return Some(diverge(*b, &name, f64::INFINITY, "shape mismatch"));
+            }
+            // NaN (from a NaN element on either side) must count as a
+            // divergence, hence the explicit is_nan arm.
+            let d = got.max_abs_diff(expect);
+            if d.is_nan() || d > tol {
+                return Some(diverge(*b, &name, d, "values differ from oracle"));
+            }
+        }
+    }
+    None
+}

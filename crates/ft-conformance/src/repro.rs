@@ -1,0 +1,261 @@
+//! Machine-readable divergence repros: serialization to/from JSON and
+//! replay.
+//!
+//! A repro file is self-contained: the workload name and input seed pin the
+//! program and data, the trace pins the schedule. `Repro::replay` re-applies
+//! all three and re-runs the differential check, so a CI failure can be
+//! reproduced from the artifact alone.
+
+use crate::backend::Backend;
+use crate::diff::{check_variant, Divergence};
+use crate::json::JsonVal;
+use crate::ops::{apply_trace, ScheduleOp};
+use crate::workload::Workload;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A minimized divergence, as written to `results/conformance/*.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Repro {
+    /// Workload name ([`Workload::name`]).
+    pub workload: String,
+    /// Seed the synthetic inputs were drawn with.
+    pub input_seed: u64,
+    /// Backend that diverged ([`Backend::name`]).
+    pub backend: String,
+    /// Output tensor the divergence was observed on.
+    pub output: String,
+    /// Maximum element-wise absolute error observed.
+    pub max_abs_err: f64,
+    /// Tolerance the comparison used.
+    pub tol: f64,
+    /// Minimized schedule trace.
+    pub trace: Vec<ScheduleOp>,
+}
+
+fn num(n: u64) -> JsonVal {
+    JsonVal::Num(n as f64)
+}
+
+fn op_to_json(op: &ScheduleOp) -> JsonVal {
+    let mut fields = vec![("op".to_string(), JsonVal::Str(op.op_name().to_string()))];
+    match *op {
+        ScheduleOp::Split { loop_idx, factor } => {
+            fields.push(("loop".to_string(), num(loop_idx as u64)));
+            fields.push(("factor".to_string(), num(factor as u64)));
+        }
+        ScheduleOp::Fuse {
+            first_idx,
+            second_idx,
+        } => {
+            fields.push(("first".to_string(), num(first_idx as u64)));
+            fields.push(("second".to_string(), num(second_idx as u64)));
+        }
+        ScheduleOp::Cache {
+            loop_idx,
+            param_idx,
+        } => {
+            fields.push(("loop".to_string(), num(loop_idx as u64)));
+            fields.push(("param".to_string(), num(param_idx as u64)));
+        }
+        ScheduleOp::Merge { loop_idx }
+        | ScheduleOp::Reorder { loop_idx }
+        | ScheduleOp::Parallelize { loop_idx }
+        | ScheduleOp::Vectorize { loop_idx }
+        | ScheduleOp::Unroll { loop_idx }
+        | ScheduleOp::SeparateTail { loop_idx }
+        | ScheduleOp::ParallelizeUnchecked { loop_idx } => {
+            fields.push(("loop".to_string(), num(loop_idx as u64)));
+        }
+    }
+    JsonVal::Obj(fields)
+}
+
+fn op_from_json(v: &JsonVal) -> Result<ScheduleOp, String> {
+    let name = v
+        .get("op")
+        .and_then(JsonVal::as_str)
+        .ok_or("op object missing `op` field")?;
+    let field = |key: &str| -> Result<usize, String> {
+        v.get(key)
+            .and_then(JsonVal::as_u64)
+            .map(|n| n as usize)
+            .ok_or_else(|| format!("op `{name}` missing `{key}`"))
+    };
+    Ok(match name {
+        "split" => ScheduleOp::Split {
+            loop_idx: field("loop")?,
+            factor: field("factor")? as i64,
+        },
+        "merge" => ScheduleOp::Merge {
+            loop_idx: field("loop")?,
+        },
+        "reorder" => ScheduleOp::Reorder {
+            loop_idx: field("loop")?,
+        },
+        "fuse" => ScheduleOp::Fuse {
+            first_idx: field("first")?,
+            second_idx: field("second")?,
+        },
+        "parallelize" => ScheduleOp::Parallelize {
+            loop_idx: field("loop")?,
+        },
+        "vectorize" => ScheduleOp::Vectorize {
+            loop_idx: field("loop")?,
+        },
+        "unroll" => ScheduleOp::Unroll {
+            loop_idx: field("loop")?,
+        },
+        "cache" => ScheduleOp::Cache {
+            loop_idx: field("loop")?,
+            param_idx: field("param")?,
+        },
+        "separate_tail" => ScheduleOp::SeparateTail {
+            loop_idx: field("loop")?,
+        },
+        "parallelize_unchecked" => ScheduleOp::ParallelizeUnchecked {
+            loop_idx: field("loop")?,
+        },
+        other => return Err(format!("unknown op `{other}`")),
+    })
+}
+
+impl Repro {
+    /// Serialize to a JSON document.
+    pub fn to_json(&self) -> String {
+        JsonVal::Obj(vec![
+            ("workload".to_string(), JsonVal::Str(self.workload.clone())),
+            ("input_seed".to_string(), num(self.input_seed)),
+            ("backend".to_string(), JsonVal::Str(self.backend.clone())),
+            ("output".to_string(), JsonVal::Str(self.output.clone())),
+            ("max_abs_err".to_string(), JsonVal::Num(self.max_abs_err)),
+            ("tol".to_string(), JsonVal::Num(self.tol)),
+            (
+                "schedule".to_string(),
+                JsonVal::Arr(self.trace.iter().map(op_to_json).collect()),
+            ),
+        ])
+        .to_string()
+    }
+
+    /// Parse back from [`Repro::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first malformed or missing field.
+    pub fn from_json(s: &str) -> Result<Repro, String> {
+        let v = JsonVal::parse(s)?;
+        let str_field = |key: &str| -> Result<String, String> {
+            v.get(key)
+                .and_then(JsonVal::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing string field `{key}`"))
+        };
+        let num_field = |key: &str| -> Result<f64, String> {
+            v.get(key)
+                .and_then(JsonVal::as_f64)
+                .ok_or_else(|| format!("missing numeric field `{key}`"))
+        };
+        let trace = v
+            .get("schedule")
+            .and_then(JsonVal::as_arr)
+            .ok_or("missing `schedule` array")?
+            .iter()
+            .map(op_from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Repro {
+            workload: str_field("workload")?,
+            input_seed: num_field("input_seed")? as u64,
+            backend: str_field("backend")?,
+            output: str_field("output")?,
+            max_abs_err: num_field("max_abs_err")?,
+            tol: num_field("tol")?,
+            trace,
+        })
+    }
+
+    /// Write the repro under `dir`, returning the path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation and write failures.
+    pub fn write(&self, dir: &Path) -> io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!(
+            "{}-seed{}-{}.json",
+            self.workload, self.input_seed, self.backend
+        ));
+        std::fs::write(&path, self.to_json() + "\n")?;
+        Ok(path)
+    }
+
+    /// Rebuild the case, re-apply the trace, and re-run the differential
+    /// check on the recorded backend.
+    ///
+    /// # Errors
+    ///
+    /// When the workload or backend name is unknown.
+    pub fn replay(&self) -> Result<Option<Divergence>, String> {
+        let w = Workload::from_name(&self.workload)
+            .ok_or_else(|| format!("unknown workload `{}`", self.workload))?;
+        let b = Backend::from_name(&self.backend)
+            .ok_or_else(|| format!("unknown backend `{}`", self.backend))?;
+        let case = w.build(self.input_seed);
+        let (func, _) = apply_trace(&case.func, &self.trace);
+        Ok(check_variant(&case, &func, &[b], self.tol))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Repro {
+        Repro {
+            workload: "gat".to_string(),
+            input_seed: 17,
+            backend: "threaded".to_string(),
+            output: "y".to_string(),
+            max_abs_err: 0.375,
+            tol: 5e-4,
+            trace: vec![
+                ScheduleOp::Split {
+                    loop_idx: 2,
+                    factor: 8,
+                },
+                ScheduleOp::Fuse {
+                    first_idx: 0,
+                    second_idx: 1,
+                },
+                ScheduleOp::Cache {
+                    loop_idx: 1,
+                    param_idx: 3,
+                },
+                ScheduleOp::ParallelizeUnchecked { loop_idx: 0 },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_every_op() {
+        let r = sample();
+        let back = Repro::from_json(&r.to_json()).unwrap();
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn write_and_read_back() {
+        let dir = std::env::temp_dir().join(format!("ftconf-repro-test-{}", std::process::id()));
+        let r = sample();
+        let path = r.write(&dir).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(Repro::from_json(&text).unwrap(), r);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn malformed_json_is_rejected() {
+        assert!(Repro::from_json("{}").is_err());
+        assert!(Repro::from_json("not json").is_err());
+    }
+}

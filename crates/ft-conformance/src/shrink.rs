@@ -1,0 +1,89 @@
+//! Trace minimization: reduce a failing schedule trace to a minimal failing
+//! prefix, then drop individually-unneeded ops inside it.
+
+use crate::ops::ScheduleOp;
+
+/// Shrink `trace` with respect to the failure predicate `fails`.
+///
+/// Two phases, both deterministic:
+///
+/// 1. **Minimal failing prefix** — scan prefixes shortest-first and keep the
+///    first one that fails. (A linear scan, not a binary search: failure is
+///    not monotone in prefix length, because a later op can rewrite the tree
+///    under an earlier one.)
+/// 2. **Greedy op removal** — try deleting each remaining op (last first,
+///    so positional loop indices of earlier ops stay meaningful as long as
+///    possible); keep a deletion whenever the shorter trace still fails.
+///
+/// Returns `trace` unchanged when it does not fail at all (nothing to
+/// shrink). The result is guaranteed to satisfy `fails` whenever the input
+/// did.
+pub fn minimize<F>(trace: &[ScheduleOp], fails: F) -> Vec<ScheduleOp>
+where
+    F: Fn(&[ScheduleOp]) -> bool,
+{
+    let mut cur: Option<Vec<ScheduleOp>> = None;
+    for p in 1..=trace.len() {
+        if fails(&trace[..p]) {
+            cur = Some(trace[..p].to_vec());
+            break;
+        }
+    }
+    let Some(mut cur) = cur else {
+        return trace.to_vec();
+    };
+    let mut i = 0;
+    while i < cur.len() && cur.len() > 1 {
+        let at = cur.len() - 1 - i;
+        let mut cand = cur.clone();
+        cand.remove(at);
+        if fails(&cand) {
+            cur = cand;
+        } else {
+            i += 1;
+        }
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(i: usize) -> ScheduleOp {
+        ScheduleOp::Vectorize { loop_idx: i }
+    }
+
+    #[test]
+    fn reduces_to_the_single_culprit() {
+        // "Fails" iff the trace contains loop_idx 7.
+        let trace = vec![op(1), op(2), op(7), op(3), op(4)];
+        let min = minimize(&trace, |t| t.iter().any(|o| *o == op(7)));
+        assert_eq!(min, vec![op(7)]);
+    }
+
+    #[test]
+    fn keeps_a_required_pair() {
+        // Fails iff both 2 and 4 survive, in any order.
+        let trace = vec![op(1), op(2), op(3), op(4), op(5)];
+        let min = minimize(&trace, |t| {
+            t.iter().any(|o| *o == op(2)) && t.iter().any(|o| *o == op(4))
+        });
+        assert_eq!(min, vec![op(2), op(4)]);
+    }
+
+    #[test]
+    fn non_failing_trace_is_returned_unchanged() {
+        let trace = vec![op(1), op(2)];
+        let min = minimize(&trace, |_| false);
+        assert_eq!(min, trace);
+    }
+
+    #[test]
+    fn prefix_phase_is_shortest_first() {
+        // Every prefix fails; the minimal one is length 1.
+        let trace = vec![op(9), op(1), op(2)];
+        let min = minimize(&trace, |t| !t.is_empty());
+        assert_eq!(min, vec![op(9)]);
+    }
+}

@@ -1,0 +1,150 @@
+//! The programs under differential test: the paper's four workloads, plus
+//! custom cases for fault-injection tests.
+
+use ft_ir::Func;
+use ft_runtime::TensorVal;
+use ft_workloads::{gat, longformer, softras, subdivnet, Inputs};
+
+/// One of the paper's four irregular workloads (§6.1), at test scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// Indirect adjacency + circular difference (paper Fig. 2).
+    Subdivnet,
+    /// Sliding-window attention with boundary guards (Fig. 1/5).
+    Longformer,
+    /// Per pixel–face geometric scoring.
+    Softras,
+    /// CSR neighbor softmax with data-dependent loop bounds.
+    Gat,
+}
+
+/// A fully-instantiated program under test: IR, inputs, and the plain-Rust
+/// oracle's expected value of the main output.
+#[derive(Debug, Clone)]
+pub struct Case {
+    /// Workload (or custom case) name.
+    pub name: String,
+    /// The unscheduled function; schedule traces are applied to clones.
+    pub func: Func,
+    /// Named input tensors.
+    pub inputs: Inputs,
+    /// Expected value of [`Case::oracle_output`], computed in plain Rust.
+    pub oracle: TensorVal,
+    /// Name of the output tensor the oracle predicts.
+    pub oracle_output: String,
+    /// Seed the synthetic inputs were drawn with.
+    pub input_seed: u64,
+}
+
+impl Case {
+    /// Build a case from parts — used by fault-injection tests that need a
+    /// program outside the standard workload set.
+    pub fn custom(
+        name: &str,
+        func: Func,
+        inputs: Inputs,
+        oracle: TensorVal,
+        oracle_output: &str,
+    ) -> Case {
+        Case {
+            name: name.to_string(),
+            func,
+            inputs,
+            oracle,
+            oracle_output: oracle_output.to_string(),
+            input_seed: 0,
+        }
+    }
+}
+
+impl Workload {
+    /// All four workloads.
+    pub const ALL: [Workload; 4] = [
+        Workload::Subdivnet,
+        Workload::Longformer,
+        Workload::Softras,
+        Workload::Gat,
+    ];
+
+    /// Stable lower-case name (used in repro files).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Workload::Subdivnet => "subdivnet",
+            Workload::Longformer => "longformer",
+            Workload::Softras => "softras",
+            Workload::Gat => "gat",
+        }
+    }
+
+    /// Inverse of [`Workload::name`].
+    pub fn from_name(name: &str) -> Option<Workload> {
+        Workload::ALL.iter().copied().find(|w| w.name() == name)
+    }
+
+    /// Instantiate the workload at test scale with inputs drawn from `seed`.
+    pub fn build(&self, seed: u64) -> Case {
+        let (func, inputs, oracle, out) = match self {
+            Workload::Subdivnet => {
+                let p = subdivnet::Params::small();
+                let ins = subdivnet::inputs(&p, seed);
+                let f = subdivnet::program(&p).func().clone();
+                let oracle = subdivnet::reference(&p, &ins);
+                (f, ins, oracle, "y")
+            }
+            Workload::Longformer => {
+                let p = longformer::Params::small();
+                let ins = longformer::inputs(&p, seed);
+                let f = longformer::program(&p).func().clone();
+                let oracle = longformer::reference(&p, &ins);
+                (f, ins, oracle, "y")
+            }
+            Workload::Softras => {
+                let p = softras::Params::small();
+                let ins = softras::inputs(&p, seed);
+                let f = softras::program(&p).func().clone();
+                let oracle = softras::reference(&p, &ins);
+                (f, ins, oracle, "img")
+            }
+            Workload::Gat => {
+                let p = gat::Params::small();
+                let ins = gat::inputs(&p, seed);
+                let f = gat::program(&p).func().clone();
+                let oracle = gat::reference(&p, &ins);
+                (f, ins, oracle, "y")
+            }
+        };
+        Case {
+            name: self.name().to_string(),
+            func,
+            inputs,
+            oracle,
+            oracle_output: out.to_string(),
+            input_seed: seed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_workloads_build_and_oracle_matches_interp() {
+        for w in Workload::ALL {
+            let case = w.build(7);
+            let r = ft_runtime::Runtime::new()
+                .run(&case.func, &case.inputs, &std::collections::HashMap::new())
+                .unwrap_or_else(|e| panic!("{}: {e:?}", w.name()));
+            let d = r.output(&case.oracle_output).max_abs_diff(&case.oracle);
+            assert!(d < 1e-4, "{}: oracle mismatch {d}", w.name());
+        }
+    }
+
+    #[test]
+    fn name_roundtrip() {
+        for w in Workload::ALL {
+            assert_eq!(Workload::from_name(w.name()), Some(w));
+        }
+        assert_eq!(Workload::from_name("nope"), None);
+    }
+}

@@ -238,8 +238,10 @@ mod tests {
 
     #[test]
     fn oom_on_tiny_capacity() {
-        let mut cfg = DeviceConfig::default();
-        cfg.gpu_mem_capacity = 512;
+        let cfg = DeviceConfig {
+            gpu_mem_capacity: 512,
+            ..Default::default()
+        };
         let s = Session::new(Device::Gpu, cfg);
         let r = s.tensor(TensorVal::zeros(ft_ir::DataType::F32, &[1024]));
         assert!(matches!(r, Err(OpError::OutOfMemory { .. })));

@@ -21,15 +21,35 @@ pub struct CacheSim {
 /// Cache line size in bytes.
 pub const LINE: u64 = 64;
 
+/// The reason a requested cache geometry is not exactly realizable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheGeometryError {
+    /// `ways` was zero.
+    ZeroWays,
+    /// `size` holds fewer lines than one full set (`size < ways * LINE`),
+    /// so the derived set count is zero.
+    TooSmall,
+    /// The derived set count is not a power of two, which the mask-based
+    /// indexing requires.
+    NonPowerOfTwoSets(usize),
+}
+
 impl CacheSim {
     /// Build a simulator of `size` bytes with `ways`-way associativity.
     ///
-    /// # Panics
-    ///
-    /// Panics if the derived set count is not a power of two or zero.
+    /// Geometries that are not exactly realizable are clamped to the nearest
+    /// valid one instead of panicking: `ways` is raised to at least 1, and
+    /// the set count is rounded *down* to a power of two, with a floor of
+    /// one set. Use [`CacheSim::try_new`] to reject inexact geometries
+    /// instead.
     pub fn new(size: usize, ways: usize) -> CacheSim {
-        let n_sets = size / (ways * LINE as usize);
-        assert!(n_sets > 0 && n_sets.is_power_of_two(), "bad cache geometry");
+        let ways = ways.max(1);
+        let raw_sets = size / (ways * LINE as usize);
+        let n_sets = if raw_sets == 0 {
+            1
+        } else {
+            1 << raw_sets.ilog2()
+        };
         CacheSim {
             sets: vec![Vec::with_capacity(ways); n_sets],
             ways,
@@ -37,6 +57,31 @@ impl CacheSim {
             hits: 0,
             misses: 0,
         }
+    }
+
+    /// Build a simulator only if `size` and `ways` describe an exact
+    /// geometry (a positive power-of-two set count).
+    ///
+    /// # Errors
+    ///
+    /// [`CacheGeometryError`] naming what is wrong with the request.
+    pub fn try_new(size: usize, ways: usize) -> Result<CacheSim, CacheGeometryError> {
+        if ways == 0 {
+            return Err(CacheGeometryError::ZeroWays);
+        }
+        let n_sets = size / (ways * LINE as usize);
+        if n_sets == 0 {
+            return Err(CacheGeometryError::TooSmall);
+        }
+        if !n_sets.is_power_of_two() {
+            return Err(CacheGeometryError::NonPowerOfTwoSets(n_sets));
+        }
+        Ok(CacheSim::new(size, ways))
+    }
+
+    /// Number of sets the simulator settled on.
+    pub fn n_sets(&self) -> usize {
+        self.sets.len()
     }
 
     /// Access `len` bytes starting at `addr`; touches every covered line.
@@ -162,6 +207,52 @@ mod tests {
         // Re-touching 0 now hits (it was just brought back).
         c.access(0, 1);
         assert_eq!(c.hits, 1);
+    }
+
+    #[test]
+    fn small_geometry_clamps_to_one_set() {
+        // size < ways * LINE used to derive zero sets and panic; it now
+        // clamps to a single fully-associative set.
+        let mut c = CacheSim::new(64, 4);
+        assert_eq!(c.n_sets(), 1);
+        c.access(0, 4);
+        c.access(0, 4);
+        assert_eq!((c.misses, c.hits), (1, 1));
+    }
+
+    #[test]
+    fn non_power_of_two_sets_round_down() {
+        // 3 * 64B direct-mapped → 3 raw sets → clamped down to 2.
+        let c = CacheSim::new(3 * 64, 1);
+        assert_eq!(c.n_sets(), 2);
+        // 5 raw sets → 4.
+        assert_eq!(CacheSim::new(5 * 64, 1).n_sets(), 4);
+    }
+
+    #[test]
+    fn degenerate_geometries_do_not_panic() {
+        assert_eq!(CacheSim::new(0, 4).n_sets(), 1);
+        assert_eq!(CacheSim::new(256, 0).n_sets(), 4); // ways clamped to 1
+        let mut c = CacheSim::new(1, 1);
+        c.access(1 << 40, 16); // high address in a 1-set cache, still fine
+        assert!(c.misses > 0);
+    }
+
+    #[test]
+    fn try_new_reports_the_defect() {
+        assert_eq!(
+            CacheSim::try_new(256, 0).unwrap_err(),
+            CacheGeometryError::ZeroWays
+        );
+        assert_eq!(
+            CacheSim::try_new(63, 1).unwrap_err(),
+            CacheGeometryError::TooSmall
+        );
+        assert_eq!(
+            CacheSim::try_new(3 * 64, 1).unwrap_err(),
+            CacheGeometryError::NonPowerOfTwoSets(3)
+        );
+        assert!(CacheSim::try_new(1 << 16, 4).is_ok());
     }
 
     #[test]

@@ -345,8 +345,10 @@ mod tests {
 
     #[test]
     fn oom_is_reported() {
-        let mut config = DeviceConfig::default();
-        config.gpu_mem_capacity = 1024;
+        let config = DeviceConfig {
+            gpu_mem_capacity: 1024,
+            ..Default::default()
+        };
         let f = Func::new("f")
             .param_on("y", [1024], DataType::F32, MemType::GpuGlobal, AccessType::Output)
             .body(store("y", [0], 1.0f32));

@@ -33,7 +33,7 @@ pub mod libkernel;
 pub mod threaded;
 pub mod value;
 
-pub use counters::{CacheSim, PerfCounters};
+pub use counters::{CacheGeometryError, CacheSim, PerfCounters};
 pub use device::DeviceConfig;
 pub use error::RuntimeError;
 pub use interp::{RunResult, Runtime};

@@ -12,6 +12,12 @@
 //! workloads use). Safety relies on the scheduler's dependence analysis:
 //! distinct iterations of a parallel loop touch disjoint elements except
 //! through atomic reductions, which take the tensor's lock.
+//!
+//! Under `debug_assertions` that safety argument is *checked*, not assumed:
+//! every non-atomic write inside a parallel region records its element
+//! index, and a write to an element already written by a **different**
+//! worker of the same region panics with the tensor name and offset — the
+//! exact data race the `unsafe impl Sync` below relies on never happening.
 
 use crate::error::RuntimeError;
 use crate::interp::apply_reduce;
@@ -30,6 +36,23 @@ struct Shared {
     shape: Vec<usize>,
     dtype: DataType,
     lock: Arc<Mutex<()>>,
+    /// Debug-only write log: element offset → (parallel region, worker)
+    /// of its last non-atomic write. Conflicts within one region across
+    /// workers are the races the dependence analysis must rule out.
+    #[cfg(debug_assertions)]
+    writes: Arc<Mutex<HashMap<usize, (u64, u64)>>>,
+}
+
+/// Identity of the executing worker: (parallel-region id, worker id).
+/// `(0, 0)` is the serial main thread; region ids are globally unique per
+/// `crossbeam` fork, so writes from *different* regions never conflict
+/// (regions on one thread are sequenced; see the module docs).
+type WorkerId = (u64, u64);
+
+#[cfg(debug_assertions)]
+fn next_ids() -> &'static std::sync::atomic::AtomicU64 {
+    static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+    &NEXT
 }
 
 struct SharedVec(std::cell::UnsafeCell<Vec<f64>>);
@@ -47,8 +70,36 @@ impl Shared {
             shape: shape.to_vec(),
             dtype,
             lock: Arc::new(Mutex::new(())),
+            #[cfg(debug_assertions)]
+            writes: Arc::new(Mutex::new(HashMap::new())),
         }
     }
+
+    /// Debug-only overlap checker: record a non-atomic write at `off` by
+    /// `who` and panic if another worker of the *same* parallel region
+    /// already wrote this element — a write-write race the dependence
+    /// analysis should have excluded. (Read-write races are out of scope:
+    /// only writes are logged.)
+    #[cfg(debug_assertions)]
+    fn check_overlap(&self, off: usize, who: WorkerId, name: &str) {
+        if who.0 == 0 {
+            return; // serial execution cannot race
+        }
+        if let Some(prev) = self.writes.lock().insert(off, who) {
+            assert!(
+                !(prev.0 == who.0 && prev.1 != who.1),
+                "data race: non-atomic overlapping writes to `{name}`[{off}] from \
+                 workers {} and {} of parallel region {} — a dependence check was skipped",
+                prev.1,
+                who.1,
+                who.0
+            );
+        }
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[inline(always)]
+    fn check_overlap(&self, _off: usize, _who: WorkerId, _name: &str) {}
 
     fn from_tensor(t: &TensorVal) -> Shared {
         let s = Shared::new(t.dtype(), t.shape());
@@ -116,6 +167,9 @@ struct TCtx {
     tensors: HashMap<String, Shared>,
     scalars: HashMap<String, i64>,
     threads: usize,
+    /// (region, worker) identity for the overlap checker; `(0, 0)` outside
+    /// any parallel region (and always in release builds).
+    who: WorkerId,
 }
 
 impl TCtx {
@@ -285,11 +339,17 @@ impl TCtx {
                     let workers = (self.threads as i64).min(n);
                     let chunk = (n + workers - 1) / workers;
                     let result: Mutex<Result<(), RuntimeError>> = Mutex::new(Ok(()));
+                    #[cfg(debug_assertions)]
+                    let region = next_ids().fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     crossbeam::thread::scope(|scope| {
                         for w in 0..workers {
                             let lo = b + w * chunk;
                             let hi = (lo + chunk).min(e);
                             let mut local = self.clone();
+                            #[cfg(debug_assertions)]
+                            {
+                                local.who = (region, w as u64);
+                            }
                             let result = &result;
                             scope.spawn(move |_| {
                                 for i in lo..hi {
@@ -331,6 +391,7 @@ impl TCtx {
                     .get(var)
                     .ok_or_else(|| RuntimeError::UndefinedName(var.clone()))?;
                 let off = t.offset(&idx, var)?;
+                t.check_overlap(off, self.who, var);
                 t.set(off, v);
                 Ok(())
             }
@@ -348,6 +409,9 @@ impl TCtx {
                     .get(var)
                     .ok_or_else(|| RuntimeError::UndefinedName(var.clone()))?;
                 let off = t.offset(&idx, var)?;
+                if !atomic {
+                    t.check_overlap(off, self.who, var);
+                }
                 let guard = atomic.then(|| t.lock.lock());
                 let old = t.get(off);
                 let new = apply_reduce(*op, Scalar::Float(old), Scalar::Float(v)).as_f64();
@@ -377,6 +441,7 @@ pub fn run_threaded(
         tensors: HashMap::new(),
         scalars: sizes.clone(),
         threads: threads.max(1),
+        who: (0, 0),
     };
     for sp in &func.size_params {
         if !ctx.scalars.contains_key(sp) {
@@ -478,6 +543,80 @@ mod tests {
         let sizes: HashMap<String, i64> = [("n".to_string(), n as i64)].into_iter().collect();
         let out = run_threaded(&f, &inputs, &sizes, 4).unwrap();
         assert_eq!(out["hist"].to_f64_vec(), vec![1000.0; 4]);
+    }
+
+    /// Every parallel iteration writes `y[0]` — the write-write race the
+    /// overlap checker exists to catch. Worker panics surface through the
+    /// scope join.
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "worker thread panicked")]
+    fn overlap_checker_catches_parallel_write_write_race() {
+        let f = Func::new("race")
+            .param("x", [var("n")], DataType::F32, AccessType::Input)
+            .param("y", [1], DataType::F32, AccessType::Output)
+            .size_param("n")
+            .body(for_with(
+                "i",
+                0,
+                var("n"),
+                omp(),
+                store("y", [Expr::IntConst(0)], load("x", [var("i")])),
+            ));
+        let n = 1 << 14; // large enough that the 4 chunks really overlap
+        let x = TensorVal::from_f32(&[n], vec![1.0; n]);
+        let inputs: HashMap<String, TensorVal> = [("x".to_string(), x)].into_iter().collect();
+        let sizes: HashMap<String, i64> = [("n".to_string(), n as i64)].into_iter().collect();
+        let _ = run_threaded(&f, &inputs, &sizes, 4);
+    }
+
+    #[test]
+    fn overlap_checker_accepts_disjoint_writes_and_atomics() {
+        // Disjoint stores plus an atomic reduction to one element: legal,
+        // must not trip the checker. Two parallel loops writing the same
+        // elements back-to-back are distinct regions — also legal.
+        let body = block([
+            for_with(
+                "i",
+                0,
+                var("n"),
+                omp(),
+                store("y", [var("i")], load("x", [var("i")])),
+            ),
+            for_with(
+                "i",
+                0,
+                var("n"),
+                omp(),
+                store("y", [var("i")], load("y", [var("i")]) + 1.0f32),
+            ),
+            for_with(
+                "i",
+                0,
+                var("n"),
+                omp(),
+                Stmt::new(StmtKind::ReduceTo {
+                    var: "acc".to_string(),
+                    indices: vec![],
+                    op: ReduceOp::Add,
+                    value: Expr::IntConst(1),
+                    atomic: true,
+                }),
+            ),
+        ]);
+        let f = Func::new("legal")
+            .param("x", [var("n")], DataType::F32, AccessType::Input)
+            .param("y", [var("n")], DataType::F32, AccessType::Output)
+            .param("acc", [] as [Expr; 0], DataType::F32, AccessType::Output)
+            .size_param("n")
+            .body(body);
+        let n = 4096usize;
+        let x = TensorVal::from_f32(&[n], (0..n).map(|i| i as f32).collect());
+        let inputs: HashMap<String, TensorVal> = [("x".to_string(), x)].into_iter().collect();
+        let sizes: HashMap<String, i64> = [("n".to_string(), n as i64)].into_iter().collect();
+        let out = run_threaded(&f, &inputs, &sizes, 4).unwrap();
+        assert_eq!(out["acc"].to_f64_vec(), vec![n as f64]);
+        assert_eq!(out["y"].to_f64_vec()[10], 11.0);
     }
 
     #[test]

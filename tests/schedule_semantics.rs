@@ -64,7 +64,7 @@ fn random_accepted_schedules_preserve_semantics() {
             }
             let target = loops[rng.gen_range(0..loops.len())];
             let accepted = match rng.gen_range(0..7) {
-                0 => sched.split(target, [2, 3, 8][rng.gen_range(0..3)]).is_ok(),
+                0 => sched.split(target, [2, 3, 8][rng.gen_range(0..3usize)]).is_ok(),
                 1 => sched.parallelize(target, ParallelScope::OpenMp).is_ok(),
                 2 => sched.vectorize(target).is_ok(),
                 3 => sched.unroll(target).is_ok(),

@@ -1,0 +1,197 @@
+//! Offline vendored shim of the `criterion` crate.
+//!
+//! Supports the subset the `bench` crate uses: `Criterion`,
+//! `benchmark_group` with `sample_size` / `warm_up_time` /
+//! `measurement_time` / `bench_function` / `finish`, `Bencher::iter`,
+//! [`black_box`], and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Behavior: under `cargo bench` (cargo passes `--bench`) each benchmark is
+//! warmed up briefly and timed over the configured measurement window, and
+//! a `name: median ns/iter` line is printed. Under `cargo test` (no
+//! `--bench` argument) each benchmark body runs exactly once as a smoke
+//! test, keeping the tier-1 suite fast while still type- and
+//! runtime-checking every bench.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    timed: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let timed = std::env::args().any(|a| a == "--bench");
+        Criterion { timed }
+    }
+}
+
+impl Criterion {
+    /// Forwarded configuration hook (accepted, ignored).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            timed: self.timed,
+            warm_up: Duration::from_millis(100),
+            measurement: Duration::from_millis(500),
+            sample_size: 10,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Run a single benchmark outside any group.
+    pub fn bench_function(&mut self, name: impl Into<String>, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let timed = self.timed;
+        let mut group = BenchmarkGroup {
+            name: String::new(),
+            timed,
+            warm_up: Duration::from_millis(100),
+            measurement: Duration::from_millis(500),
+            sample_size: 10,
+            _marker: std::marker::PhantomData,
+        };
+        group.bench_function(name, f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    timed: bool,
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Warm-up duration before measurement.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Measurement window.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Throughput annotation (accepted, ignored).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Register and run one benchmark.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let name = name.into();
+        let full = if self.name.is_empty() {
+            name
+        } else {
+            format!("{}/{}", self.name, name)
+        };
+        let mut b = Bencher {
+            timed: self.timed,
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            sample_size: self.sample_size,
+            median_ns: 0.0,
+        };
+        f(&mut b);
+        if self.timed {
+            println!("{full}: {:.1} ns/iter", b.median_ns);
+        }
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Throughput annotations (accepted, ignored).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Handle passed to each benchmark body.
+pub struct Bencher {
+    timed: bool,
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    median_ns: f64,
+}
+
+impl Bencher {
+    /// Measure `f` (or run it once in smoke mode).
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        if !self.timed {
+            black_box(f());
+            return;
+        }
+        // Warm-up: run until the warm-up window elapses.
+        let start = Instant::now();
+        let mut iters_per_sample = 1u64;
+        while start.elapsed() < self.warm_up {
+            black_box(f());
+            iters_per_sample += 1;
+        }
+        // Scale iterations per sample so all samples fit the window.
+        let per_iter = self.warm_up.as_secs_f64() / iters_per_sample as f64;
+        let budget = self.measurement.as_secs_f64() / self.sample_size as f64;
+        let iters = ((budget / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            samples.push(t.elapsed().as_secs_f64() / iters as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.median_ns = samples[samples.len() / 2] * 1e9;
+    }
+}
+
+/// Bundle benchmark functions under one group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

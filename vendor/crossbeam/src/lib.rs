@@ -1,0 +1,74 @@
+//! Offline vendored shim of the `crossbeam` crate.
+//!
+//! Only `crossbeam::thread::scope` / `Scope::spawn` are exposed,
+//! implemented on top of `std::thread::scope` (stable since Rust 1.63),
+//! which provides the same structured-concurrency guarantee crossbeam's
+//! scoped threads do.
+
+pub mod thread {
+    //! Scoped threads.
+
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Result of a scope: `Err` carries the payload of a panicked child.
+    pub type Result<T> = std::result::Result<T, Box<dyn std::any::Any + Send + 'static>>;
+
+    /// Scope handle passed to the closure and to spawned threads.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread. The closure receives the scope again so
+        /// it can spawn nested work, mirroring crossbeam's signature.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || {
+                let scope = Scope { inner };
+                f(&scope)
+            })
+        }
+    }
+
+    /// Run `f` with a scope; all spawned threads are joined before this
+    /// returns. A panic in any child (or in `f`) surfaces as `Err`.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| {
+                let scope = Scope { inner: s };
+                f(&scope)
+            })
+        }))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scoped_threads_join_and_borrow() {
+            let data = vec![1u64, 2, 3, 4];
+            let mut sums = vec![0u64; 4];
+            super::scope(|s| {
+                for (slot, &v) in sums.iter_mut().zip(&data) {
+                    s.spawn(move |_| *slot = v * 10);
+                }
+            })
+            .unwrap();
+            assert_eq!(sums, vec![10, 20, 30, 40]);
+        }
+
+        #[test]
+        fn child_panic_becomes_err() {
+            let r = super::scope(|s| {
+                s.spawn(|_| panic!("boom"));
+            });
+            assert!(r.is_err());
+        }
+    }
+}

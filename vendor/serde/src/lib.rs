@@ -1,0 +1,13 @@
+//! Offline vendored placeholder for `serde`.
+//!
+//! No workspace code currently derives or calls serde; the conformance
+//! harness writes its JSON repros through `ft_conformance::json`, a small
+//! hand-rolled emitter. This crate exists so the workspace dependency
+//! declaration resolves offline; if real serialization is needed later,
+//! grow this shim or vendor the real crate.
+
+/// Marker trait matching serde's `Serialize` (no-op placeholder).
+pub trait Serialize {}
+
+/// Marker trait matching serde's `Deserialize` (no-op placeholder).
+pub trait Deserialize<'de> {}
