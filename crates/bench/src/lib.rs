@@ -234,21 +234,60 @@ pub fn run_forward_capped(
     device: Device,
     gpu_capacity: Option<usize>,
 ) -> CaseResult {
+    run_forward_inner(prep, system, device, gpu_capacity, None)
+}
+
+/// Like [`run_forward`], but with provenance + profiling recorded into
+/// `sink`: for FreeTensor systems the sink is installed on the program, so
+/// auto-schedule decisions, pass spans, and the per-statement run profile
+/// all land in one trace; for the operator baseline a single runtime span
+/// wraps the session (op-base has no per-statement attribution).
+pub fn run_forward_traced(
+    prep: &Prepared,
+    system: System,
+    device: Device,
+    sink: &ft_trace::TraceSink,
+) -> CaseResult {
+    run_forward_inner(prep, system, device, None, Some(sink))
+}
+
+fn run_forward_inner(
+    prep: &Prepared,
+    system: System,
+    device: Device,
+    gpu_capacity: Option<usize>,
+    sink: Option<&ft_trace::TraceSink>,
+) -> CaseResult {
     let mut config = DeviceConfig::default();
     if let Some(cap) = gpu_capacity {
         config.gpu_mem_capacity = cap;
     }
     match system {
-        System::OpBase => run_opbase_forward(prep, device, config),
+        System::OpBase => {
+            let span = sink.map(|s| {
+                let mut sp = s.span_on(ft_trace::TRACK_RUNTIME, "runtime", "opbase forward");
+                sp.arg("workload", prep.workload.name());
+                sp.arg("device", device);
+                sp
+            });
+            let r = run_opbase_forward(prep, device, config);
+            if let Some(mut sp) = span {
+                sp.arg("modeled_cycles", format!("{:.0}", r.cycles));
+                sp.arg("flops", r.counters.flops);
+            }
+            r
+        }
         System::FtNaive | System::FtOptimized => {
+            let base = match sink {
+                Some(s) => prep.naive.clone().with_sink(s.clone()),
+                None => prep.naive.clone(),
+            };
             let prog = if system == System::FtOptimized {
-                prep.naive.optimize(&target_for(device))
-            } else if device == Device::Gpu {
+                base.optimize(&target_for(device))
+            } else {
                 // A naive program still has to live in GPU memory; keep it
                 // as-is (CPU-memory naive run stands in for Julia).
-                prep.naive.clone()
-            } else {
-                prep.naive.clone()
+                base
             };
             let rt = Runtime::with_config(config);
             let start = Instant::now();
@@ -533,6 +572,29 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn traced_forward_records_provenance_and_matching_profile() {
+        // The fig17 `--trace` path: one sink sees schedule decisions, pass
+        // spans, and a per-statement profile whose totals equal the
+        // whole-run counters; the Chrome export validates.
+        let prep = prepare(Workload::SubdivNet, Scale::Small);
+        let sink = ft_trace::TraceSink::new();
+        let ft = run_forward_traced(&prep, System::FtOptimized, Device::Gpu, &sink);
+        assert!(ft.failure.is_none(), "{:?}", ft.failure);
+        let ob = run_forward_traced(&prep, System::OpBase, Device::Gpu, &sink);
+        assert!(ob.failure.is_none(), "{:?}", ob.failure);
+        assert!(!sink.decisions().is_empty(), "no schedule decisions traced");
+        let profiles = sink.profiles();
+        assert_eq!(profiles.len(), 1, "expected exactly one run profile");
+        let totals = profiles[0].totals();
+        assert_eq!(totals.flops, ft.counters.flops);
+        assert_eq!(totals.dram_bytes, ft.counters.dram_bytes);
+        assert_eq!(totals.l2_bytes, ft.counters.l2_bytes);
+        let events = sink.events();
+        assert!(events.iter().any(|e| e.name == "opbase forward"));
+        ft_trace::validate_chrome_trace(&ft_trace::chrome_trace(&sink)).unwrap();
     }
 
     #[test]

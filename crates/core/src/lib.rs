@@ -31,12 +31,21 @@ use ft_autodiff::{AdError, GradOptions};
 use ft_autoschedule::Target;
 use ft_ir::Func;
 use ft_runtime::{RunResult, Runtime, RuntimeError, TensorVal};
+use ft_trace::TraceSink;
 use std::collections::HashMap;
 
 /// A compiled FreeTensor program (an IR function plus pipeline operations).
+///
+/// Installing a [`TraceSink`] (via [`Program::compile_traced`],
+/// [`Program::with_sink`] or [`Program::set_sink`]) turns on end-to-end
+/// provenance: every pipeline stage this program goes through — frontend
+/// lowering, simplification passes, auto-scheduling decisions, codegen, and
+/// instrumented runs — reports into the sink, and the sink carries through
+/// `optimize`/`grad` to derived programs.
 #[derive(Debug, Clone)]
 pub struct Program {
     func: Func,
+    sink: Option<TraceSink>,
 }
 
 impl Program {
@@ -48,16 +57,62 @@ impl Program {
     ///
     /// Returns parse/lowering errors as display-ready strings.
     pub fn compile(src: &str, entry: &str) -> Result<Program, String> {
-        let func = ft_libop::compile_with_libop(src, entry)?;
-        Ok(Program::from_func(func))
+        Program::compile_inner(src, entry, None)
+    }
+
+    /// [`Program::compile`] with provenance recording into `sink`.
+    ///
+    /// # Errors
+    ///
+    /// Same error surface as [`Program::compile`].
+    pub fn compile_traced(src: &str, entry: &str, sink: TraceSink) -> Result<Program, String> {
+        Program::compile_inner(src, entry, Some(sink))
+    }
+
+    fn compile_inner(src: &str, entry: &str, sink: Option<TraceSink>) -> Result<Program, String> {
+        let func = {
+            let mut span = sink.as_ref().map(|s| s.span("frontend", "compile"));
+            let func = ft_libop::compile_with_libop(src, entry)?;
+            if let Some(sp) = span.as_mut() {
+                sp.arg("entry", entry);
+                sp.arg("source_bytes", src.len());
+            }
+            func
+        };
+        Ok(Program::from_func_inner(func, sink))
     }
 
     /// Wrap an already-built IR function (normalizing definition names and
     /// simplifying).
     pub fn from_func(func: Func) -> Program {
-        let func = ft_passes::uniquify_defs(&func);
-        let func = ft_passes::simplify(&func);
-        Program { func }
+        Program::from_func_inner(func, None)
+    }
+
+    fn from_func_inner(func: Func, sink: Option<TraceSink>) -> Program {
+        let func = {
+            let _span = sink.as_ref().map(|s| s.span("pass", "uniquify_defs"));
+            ft_passes::uniquify_defs(&func)
+        };
+        let func = ft_passes::simplify_traced(&func, sink.as_ref());
+        Program { func, sink }
+    }
+
+    /// Install a trace sink on this program (builder form).
+    #[must_use]
+    pub fn with_sink(mut self, sink: TraceSink) -> Program {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Install (or remove) the trace sink all later pipeline stages report
+    /// into.
+    pub fn set_sink(&mut self, sink: Option<TraceSink>) {
+        self.sink = sink;
+    }
+
+    /// The installed trace sink, if any.
+    pub fn sink(&self) -> Option<&TraceSink> {
+        self.sink.as_ref()
     }
 
     /// The underlying IR function.
@@ -68,26 +123,36 @@ impl Program {
     /// Apply the rule-based auto-scheduling passes for a target (§4.3),
     /// followed by cleanup simplification. Parameters are placed in the
     /// target device's default memory space (GPU global for GPU targets).
+    /// With a sink installed, every primitive the passes attempt lands in
+    /// the schedule decision log.
     pub fn optimize(&self, target: &Target) -> Program {
         let mut func = self.func.clone();
         for p in &mut func.params {
             p.mtype = ft_ir::MemType::default_for(target.device);
         }
-        let tuned = ft_autoschedule::auto_schedule(&func, target);
+        let tuned = ft_autoschedule::auto_schedule_traced(&func, target, self.sink.clone());
         Program {
-            func: ft_passes::simplify(&tuned),
+            func: ft_passes::simplify_traced(&tuned, self.sink.as_ref()),
+            sink: self.sink.clone(),
         }
     }
 
-    /// Start manual scheduling (Table 1 transformations).
+    /// Start manual scheduling (Table 1 transformations). With a sink
+    /// installed, manual primitives are logged the same way automatic ones
+    /// are.
     pub fn schedule(&self) -> ft_schedule::Schedule {
-        ft_schedule::Schedule::new(self.func.clone())
+        match &self.sink {
+            Some(s) => ft_schedule::Schedule::with_sink(self.func.clone(), s.clone()),
+            None => ft_schedule::Schedule::new(self.func.clone()),
+        }
     }
 
-    /// Finish manual scheduling.
+    /// Finish manual scheduling. The schedule's sink (if any) carries over.
     pub fn from_schedule(sched: ft_schedule::Schedule) -> Program {
+        let sink = sched.sink().cloned();
         Program {
             func: sched.into_func(),
+            sink,
         }
     }
 
@@ -98,11 +163,16 @@ impl Program {
     ///
     /// See [`ft_autodiff::grad_with`].
     pub fn grad(&self, opts: &GradOptions) -> Result<Program, AdError> {
-        let g = ft_autodiff::grad_with(&self.func, opts)?;
-        Ok(Program::from_func(g))
+        let g = {
+            let _span = self.sink.as_ref().map(|s| s.span("autodiff", "grad"));
+            ft_autodiff::grad_with(&self.func, opts)?
+        };
+        Ok(Program::from_func_inner(g, self.sink.clone()))
     }
 
-    /// Execute on an instrumented runtime.
+    /// Execute on an instrumented runtime. If this program carries a trace
+    /// sink and `runtime` has none, the run is profiled into the program's
+    /// sink (runtime span + per-statement counter attribution).
     ///
     /// # Errors
     ///
@@ -118,17 +188,24 @@ impl Program {
             .map(|(k, v)| (k.to_string(), v.clone()))
             .collect();
         let sizes: HashMap<String, i64> = sizes.iter().map(|(k, v)| (k.to_string(), *v)).collect();
-        runtime.run(&self.func, &inputs, &sizes)
+        match &self.sink {
+            Some(s) if runtime.sink().is_none() => {
+                let mut rt = runtime.clone();
+                rt.set_sink(Some(s.clone()));
+                rt.run(&self.func, &inputs, &sizes)
+            }
+            _ => runtime.run(&self.func, &inputs, &sizes),
+        }
     }
 
     /// Emit C99 + OpenMP source for the current schedule.
     pub fn emit_c(&self) -> String {
-        ft_codegen::emit_c(&self.func)
+        ft_codegen::emit_c_traced(&self.func, self.sink.as_ref())
     }
 
     /// Emit CUDA-flavoured source for the current schedule.
     pub fn emit_cuda(&self) -> String {
-        ft_codegen::emit_cuda(&self.func)
+        ft_codegen::emit_cuda_traced(&self.func, self.sink.as_ref())
     }
 }
 
@@ -192,6 +269,44 @@ mod tests {
         for (a, b) in gx.iter().zip(expect) {
             assert!((a - b).abs() < 1e-9, "{gx:?}");
         }
+    }
+
+    #[test]
+    fn traced_pipeline_covers_compile_schedule_and_run() {
+        let sink = ft_trace::TraceSink::new();
+        let p = Program::compile_traced(
+            "def f(x: f32[64] in, y: f32[64] out):\n  for i in range(64):\n    y[i] = x[i] * 2\n",
+            "f",
+            sink.clone(),
+        )
+        .unwrap();
+        let fast = p.optimize(&Target::cpu());
+        let rt = Runtime::new();
+        let x = TensorVal::from_f32(&[64], vec![1.0; 64]);
+        let r = fast.run(&rt, &[("x", x)], &[]).unwrap();
+        let _ = fast.emit_c();
+
+        let events = sink.events();
+        for expected in ["compile", "uniquify_defs", "simplify", "emit_c"] {
+            assert!(
+                events.iter().any(|e| e.name == expected),
+                "missing span `{expected}` in {:?}",
+                events.iter().map(|e| &e.name).collect::<Vec<_>>()
+            );
+        }
+        assert!(events.iter().any(|e| e.name.starts_with("interp")));
+        // The auto-schedule passes logged decisions; the run left a profile
+        // whose exclusive sums equal the whole-run counters.
+        assert!(!sink.decisions().is_empty());
+        let profiles = sink.profiles();
+        assert_eq!(profiles.len(), 1);
+        let t = profiles[0].totals();
+        assert_eq!(t.flops, r.counters.flops);
+        assert_eq!(t.dram_bytes, r.counters.dram_bytes);
+        assert_eq!(t.l2_bytes, r.counters.l2_bytes);
+        // The exported Chrome trace is well-formed.
+        let json = ft_trace::chrome_trace(&sink);
+        ft_trace::validate_chrome_trace(&json).unwrap();
     }
 
     #[test]

@@ -29,6 +29,7 @@ use crate::affine::{
 use ft_ir::{find, Func, Stmt, StmtId, StmtKind};
 use ft_poly::{Constraint, LinExpr, Sat, System};
 use std::collections::HashSet;
+use std::fmt;
 
 /// Classification of a dependence by the kinds of its endpoints.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,6 +69,34 @@ pub struct FoundDep {
     /// `true` when the solver certified the dependence exists; `false` when
     /// it could not rule it out (conservative).
     pub certain: bool,
+}
+
+/// A structured legality violation: why a transformation must be rejected,
+/// carrying the blocking dependences themselves (not just a message) so
+/// callers — notably the schedule decision log — can report *which*
+/// dependence was violated.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Human-readable explanation.
+    pub reason: String,
+    /// The dependences blocking the transformation; empty for structural
+    /// failures (e.g. "loop not found") that never reached the solver.
+    pub deps: Vec<FoundDep>,
+}
+
+impl Violation {
+    fn structural(reason: impl Into<String>) -> Violation {
+        Violation {
+            reason: reason.into(),
+            deps: Vec::new(),
+        }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.reason)
+    }
 }
 
 fn side_map(loops: &[LoopCtx], tag: &str) -> VarMap {
@@ -353,21 +382,22 @@ pub fn subtree_ids(root: &Stmt) -> HashSet<StmtId> {
 /// After fusion, `l2`'s body at normalized iteration `j` runs *before*
 /// `l1`'s body at any normalized iteration `i > j`; fusion is illegal iff a
 /// conflict exists between such instances (paper's `dot_max` example,
-/// Fig. 8→10). Returns a human-readable reason when illegal.
-pub fn fuse_illegal(func: &Func, l1: StmtId, l2: StmtId) -> Option<String> {
+/// Fig. 8→10). Returns a [`Violation`] (reason + blocking dependences) when
+/// illegal.
+pub fn fuse_illegal(func: &Func, l1: StmtId, l2: StmtId) -> Option<Violation> {
     let info = collect_accesses(func);
     let (Some(loop1), Some(loop2)) = (
         find::find_by_id(&func.body, l1),
         find::find_by_id(&func.body, l2),
     ) else {
-        return Some("loop not found".to_string());
+        return Some(Violation::structural("loop not found"));
     };
     let ids1 = subtree_ids(loop1);
     let ids2 = subtree_ids(loop2);
     let (StmtKind::For { begin: b1, .. }, StmtKind::For { begin: b2, .. }) =
         (&loop1.kind, &loop2.kind)
     else {
-        return Some("not loops".to_string());
+        return Some(Violation::structural("not loops"));
     };
     for a in info.accesses.iter().filter(|x| ids1.contains(&x.stmt)) {
         for b in info.accesses.iter().filter(|x| ids2.contains(&x.stmt)) {
@@ -396,18 +426,29 @@ pub fn fuse_illegal(func: &Func, l1: StmtId, l2: StmtId) -> Option<String> {
                 to_linexpr_mapped(b1, &side_map(&a.loops, "s")),
                 to_linexpr_mapped(b2, &side_map(&b.loops, "t")),
             ) else {
-                return Some("non-affine loop begin".to_string());
+                return Some(Violation::structural("non-affine loop begin"));
             };
             // j_norm < i_norm would be reversed by fusion.
             sys.push(Constraint::lt(
                 LinExpr::var(jb) - lb2,
                 LinExpr::var(ia) - lb1,
             ));
-            if sys.satisfiable() != Sat::Empty {
-                return Some(format!(
-                    "fusing would reverse a dependence on `{}` ({} -> {})",
-                    a.var, a.stmt, b.stmt
-                ));
+            let sat = sys.satisfiable();
+            if sat != Sat::Empty {
+                return Some(Violation {
+                    reason: format!(
+                        "fusing would reverse a dependence on `{}` ({} -> {})",
+                        a.var, a.stmt, b.stmt
+                    ),
+                    deps: vec![FoundDep {
+                        kind: classify(a.kind, b.kind),
+                        var: a.var.clone(),
+                        source: a.stmt,
+                        sink: b.stmt,
+                        carrier: Carrier::Loop(l1),
+                        certain: sat == Sat::NonEmpty,
+                    }],
+                });
             }
         }
     }
@@ -424,10 +465,10 @@ pub fn fission_illegal(
     func: &Func,
     loop_id: StmtId,
     in_first: &dyn Fn(StmtId) -> bool,
-) -> Option<String> {
+) -> Option<Violation> {
     let info = collect_accesses(func);
     let Some(the_loop) = find::find_by_id(&func.body, loop_id) else {
-        return Some("loop not found".to_string());
+        return Some(Violation::structural("loop not found"));
     };
     let ids = subtree_ids(the_loop);
     for a in info.accesses.iter().filter(|x| ids.contains(&x.stmt)) {
@@ -457,11 +498,22 @@ pub fn fission_illegal(
                 LinExpr::var(renamed(common[d], "s")),
                 LinExpr::var(renamed(common[d], "t")),
             ));
-            if sys.satisfiable() != Sat::Empty {
-                return Some(format!(
-                    "fission would reverse a dependence on `{}` ({} -> {})",
-                    a.var, a.stmt, b.stmt
-                ));
+            let sat = sys.satisfiable();
+            if sat != Sat::Empty {
+                return Some(Violation {
+                    reason: format!(
+                        "fission would reverse a dependence on `{}` ({} -> {})",
+                        a.var, a.stmt, b.stmt
+                    ),
+                    deps: vec![FoundDep {
+                        kind: classify(a.kind, b.kind),
+                        var: a.var.clone(),
+                        source: a.stmt,
+                        sink: b.stmt,
+                        carrier: Carrier::Loop(loop_id),
+                        certain: sat == Sat::NonEmpty,
+                    }],
+                });
             }
         }
     }
@@ -472,13 +524,13 @@ pub fn fission_illegal(
 ///
 /// Swapping only permutes the two bodies *within* one iteration of the
 /// common loops, so it is illegal iff they conflict at equal iterations.
-pub fn swap_illegal(func: &Func, s1: StmtId, s2: StmtId) -> Option<String> {
+pub fn swap_illegal(func: &Func, s1: StmtId, s2: StmtId) -> Option<Violation> {
     let info = collect_accesses(func);
     let (Some(st1), Some(st2)) = (
         find::find_by_id(&func.body, s1),
         find::find_by_id(&func.body, s2),
     ) else {
-        return Some("statement not found".to_string());
+        return Some(Violation::structural("statement not found"));
     };
     let ids1 = subtree_ids(st1);
     let ids2 = subtree_ids(st2);
@@ -498,11 +550,22 @@ pub fn swap_illegal(func: &Func, s1: StmtId, s2: StmtId) -> Option<String> {
                     LinExpr::var(renamed(c, "t")),
                 ));
             }
-            if sys.satisfiable() != Sat::Empty {
-                return Some(format!(
-                    "statements conflict on `{}` within one iteration",
-                    a.var
-                ));
+            let sat = sys.satisfiable();
+            if sat != Sat::Empty {
+                return Some(Violation {
+                    reason: format!(
+                        "statements conflict on `{}` within one iteration",
+                        a.var
+                    ),
+                    deps: vec![FoundDep {
+                        kind: classify(a.kind, b.kind),
+                        var: a.var.clone(),
+                        source: a.stmt,
+                        sink: b.stmt,
+                        carrier: Carrier::Independent,
+                        certain: sat == Sat::NonEmpty,
+                    }],
+                });
             }
         }
     }
@@ -519,7 +582,7 @@ pub fn reorder_illegal(
     func: &Func,
     old_order: &[StmtId],
     new_order: &[StmtId],
-) -> Option<String> {
+) -> Option<Violation> {
     let info = collect_accesses(func);
     for a in &info.accesses {
         for b in &info.accesses {
@@ -598,11 +661,22 @@ pub fn reorder_illegal(
                         LinExpr::var(renamed(new_seq[e], "t")),
                         LinExpr::var(renamed(new_seq[e], "s")),
                     ));
-                    if sys.satisfiable() != Sat::Empty {
-                        return Some(format!(
-                            "reorder would reverse a dependence on `{}` ({} -> {})",
-                            a.var, a.stmt, b.stmt
-                        ));
+                    let sat = sys.satisfiable();
+                    if sat != Sat::Empty {
+                        return Some(Violation {
+                            reason: format!(
+                                "reorder would reverse a dependence on `{}` ({} -> {})",
+                                a.var, a.stmt, b.stmt
+                            ),
+                            deps: vec![FoundDep {
+                                kind: classify(a.kind, b.kind),
+                                var: a.var.clone(),
+                                source: a.stmt,
+                                sink: b.stmt,
+                                carrier: Carrier::Loop(new_seq[e].id),
+                                certain: sat == Sat::NonEmpty,
+                            }],
+                        });
                     }
                 }
             }

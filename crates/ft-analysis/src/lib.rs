@@ -31,5 +31,5 @@ pub use affine::{cond_to_constraints, linexpr_to_expr, to_linexpr};
 pub use bounds::{const_bounds, symbolic_bounds, BoundsCtx, SymBounds};
 pub use deps::{
     all_deps, carried_reductions, fission_illegal, fuse_illegal, loop_carried_deps,
-    parallelize_blockers, reorder_illegal, swap_illegal, Carrier, DepKind, FoundDep,
+    parallelize_blockers, reorder_illegal, swap_illegal, Carrier, DepKind, FoundDep, Violation,
 };

@@ -156,6 +156,7 @@ pub fn grad_with(func: &Func, opts: &GradOptions) -> Result<Func, AdError> {
         }
     }
 
+    let deep_tape = deep_tape_plan(func, &decisions)?;
     let mut tx = Grad {
         decisions: &decisions,
         dtypes: &dtypes,
@@ -163,6 +164,8 @@ pub fn grad_with(func: &Func, opts: &GradOptions) -> Result<Func, AdError> {
         tapes: Vec::new(),
         versions: HashMap::new(),
         stack: Vec::new(),
+        deep_tape,
+        shapes: HashMap::new(),
         tmp: 0,
         size_params: func.size_params.iter().cloned().collect(),
     };
@@ -213,12 +216,181 @@ struct Grad<'a> {
     /// Collected tape definitions: (name, dims, dtype).
     tapes: Vec<(String, Vec<Expr>, DataType)>,
     /// Version-dimension count per taped tensor (loops enclosing its
-    /// `VarDef` in the forward pass).
+    /// `VarDef` in the forward pass — or enclosing its defining store, for
+    /// tensors in `deep_tape`).
     versions: HashMap<String, usize>,
     /// Enclosing loops: (iter, begin, end).
     stack: Vec<(String, Expr, Expr)>,
+    /// Stored tensors snapshotted after their defining store rather than at
+    /// `VarDef`-scope exit (see [`deep_tape_plan`]).
+    deep_tape: HashSet<String>,
+    /// Declared shape of every `VarDef` seen so far (store-site snapshots
+    /// need it after the `VarDef` arm has already given `shape` away).
+    shapes: HashMap<String, Vec<Expr>>,
     tmp: usize,
     size_params: HashSet<String>,
+}
+
+/// Decide which `Store`-decided tensors need *per-store* taping.
+///
+/// The default tape snapshot runs at `VarDef`-scope exit, which records only
+/// the value a location holds when the scope ends. That is correct as long
+/// as no location is overwritten across iterations of a loop nested inside
+/// the scope — formally, for every store deeper than the `VarDef`, each of
+/// the intervening loop iterators must appear in the store's indices (each
+/// iteration then writes a distinct location, e.g. `dot[k] = …` inside
+/// `for k`). A scalar temporary reused across an inner loop (`d = …` inside
+/// `for c` with `d` declared outside) violates this: the backward pass would
+/// read the final iteration's value everywhere. Such tensors are instead
+/// snapshotted immediately after their store, with one tape dimension per
+/// loop enclosing the *store*.
+///
+/// # Errors
+///
+/// [`AdError::Unsupported`] when per-store taping is needed but unsound:
+/// several store sites, a self-referencing store, or reads outside the
+/// store's loop nest (those would need the previous iteration's value).
+fn deep_tape_plan(
+    func: &Func,
+    decisions: &HashMap<String, MaterializeDecision>,
+) -> Result<HashSet<String>, AdError> {
+    #[derive(Default)]
+    struct Info {
+        /// Per store: (iterators between `VarDef` and store, free variables
+        /// of the store indices, whether the value reads the tensor itself).
+        stores: Vec<(Vec<String>, HashSet<String>, bool)>,
+        reduces: usize,
+        /// Iterator stacks (relative to the `VarDef`) of statements that
+        /// read the tensor.
+        load_sites: Vec<Vec<String>>,
+    }
+    fn record_loads(
+        exprs: &[&Expr],
+        stack: &[String],
+        defs: &HashMap<String, usize>,
+        info: &mut HashMap<String, Info>,
+    ) {
+        for e in exprs {
+            for v in e.loaded_vars() {
+                if let Some(&d) = defs.get(&v) {
+                    info.entry(v).or_default().load_sites.push(stack[d..].to_vec());
+                }
+            }
+        }
+    }
+    fn walk(
+        s: &Stmt,
+        stack: &mut Vec<String>,
+        defs: &mut HashMap<String, usize>,
+        info: &mut HashMap<String, Info>,
+    ) {
+        match &s.kind {
+            StmtKind::VarDef { name, body, .. } => {
+                let prev = defs.insert(name.clone(), stack.len());
+                walk(body, stack, defs, info);
+                match prev {
+                    Some(d) => {
+                        defs.insert(name.clone(), d);
+                    }
+                    None => {
+                        defs.remove(name);
+                    }
+                }
+            }
+            StmtKind::For { iter, body, .. } => {
+                stack.push(iter.clone());
+                walk(body, stack, defs, info);
+                stack.pop();
+            }
+            StmtKind::Store {
+                var,
+                indices,
+                value,
+            } => {
+                if let Some(&d) = defs.get(var) {
+                    let mut idx_vars = HashSet::new();
+                    for i in indices {
+                        idx_vars.extend(i.free_vars());
+                    }
+                    let self_load = value.loaded_vars().contains(var);
+                    info.entry(var.clone()).or_default().stores.push((
+                        stack[d..].to_vec(),
+                        idx_vars,
+                        self_load,
+                    ));
+                }
+                let exprs: Vec<&Expr> =
+                    std::iter::once(value).chain(indices.iter()).collect();
+                record_loads(&exprs, stack, defs, info);
+            }
+            StmtKind::ReduceTo {
+                var,
+                indices,
+                value,
+                ..
+            } => {
+                if defs.contains_key(var) {
+                    info.entry(var.clone()).or_default().reduces += 1;
+                }
+                let exprs: Vec<&Expr> =
+                    std::iter::once(value).chain(indices.iter()).collect();
+                record_loads(&exprs, stack, defs, info);
+            }
+            _ => {
+                for c in s.children() {
+                    walk(c, stack, defs, info);
+                }
+            }
+        }
+    }
+    let mut info: HashMap<String, Info> = HashMap::new();
+    walk(
+        &func.body,
+        &mut Vec::new(),
+        &mut HashMap::new(),
+        &mut info,
+    );
+    let mut deep = HashSet::new();
+    for (t, i) in info {
+        if decisions.get(&t) != Some(&MaterializeDecision::Store) {
+            continue;
+        }
+        // Accumulators keep the end-of-scope snapshot (backward reads want
+        // the final reduced value), as do tensors whose deeper stores each
+        // cover the intervening iterators with their indices.
+        if i.reduces > 0 || i.stores.iter().all(|(rel, _, _)| rel.is_empty()) {
+            continue;
+        }
+        let covered = i
+            .stores
+            .iter()
+            .all(|(rel, idx_vars, _)| rel.iter().all(|it| idx_vars.contains(it)));
+        if covered {
+            continue;
+        }
+        if i.stores.len() != 1 {
+            return Err(AdError::Unsupported(format!(
+                "`{t}` is overwritten across an inner loop from {} store sites; \
+                 per-store taping supports exactly one",
+                i.stores.len()
+            )));
+        }
+        let (rel, _, self_load) = &i.stores[0];
+        if *self_load {
+            return Err(AdError::Unsupported(format!(
+                "`{t}` is overwritten across an inner loop by a self-referencing \
+                 store; the previous version cannot be taped"
+            )));
+        }
+        if let Some(bad) = i.load_sites.iter().find(|ls| !ls.starts_with(rel)) {
+            return Err(AdError::Unsupported(format!(
+                "`{t}` is overwritten inside loop nest {rel:?} but read under \
+                 {bad:?}; reads outside the storing nest would see a stale tape"
+            )));
+        }
+        deep.insert(t);
+    }
+    Ok(deep)
 }
 
 impl Grad<'_> {
@@ -264,8 +436,9 @@ impl Grad<'_> {
                 atype,
                 body,
             } => {
+                self.shapes.insert(name.clone(), shape.clone());
                 let body = self.instrument_forward(*body)?;
-                let body = if self.stored(&name) {
+                let body = if self.stored(&name) && !self.deep_tape.contains(&name) {
                     self.check_tapeable_bounds(&name)?;
                     // Tape dims: one per enclosing loop (symbolic versions,
                     // §5.1) plus the tensor's own dims.
@@ -322,6 +495,38 @@ impl Grad<'_> {
                     None => None,
                 },
             },
+            StmtKind::Store {
+                var,
+                indices,
+                value,
+            } if self.deep_tape.contains(&var) => {
+                // Per-store taping: snapshot right after the store, with one
+                // version dimension per loop enclosing the *store* (see
+                // `deep_tape_plan`). The tape declaration happens here too —
+                // `deep_tape_plan` guarantees a single store site.
+                self.check_tapeable_bounds(&var)?;
+                let shape = self.shapes.get(&var).cloned().unwrap_or_default();
+                let dtype = self.dtypes.get(&var).copied().unwrap_or(DataType::F64);
+                let mut dims: Vec<Expr> = self
+                    .stack
+                    .iter()
+                    .map(|(_, b, e)| const_fold_expr(e.clone() - b.clone()))
+                    .collect();
+                dims.extend(shape.iter().cloned());
+                self.versions.insert(var.clone(), self.stack.len());
+                self.tapes.push((tape_name(&var), dims, dtype));
+                let snapshot = self.snapshot(&var, &shape);
+                let store = Stmt {
+                    id,
+                    label,
+                    kind: StmtKind::Store {
+                        var,
+                        indices,
+                        value,
+                    },
+                };
+                return Ok(Stmt::new(StmtKind::Block(vec![store, snapshot])));
+            }
             k => k,
         };
         Ok(Stmt { id, label, kind })

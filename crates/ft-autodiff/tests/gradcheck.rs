@@ -406,3 +406,112 @@ def f(x: f64[6] in, y: f64[6] out):
     let inputs: Inputs = [("x".to_string(), tensor(&[6], 61))].into_iter().collect();
     gradcheck(&f, &GradOptions::default(), &inputs, &[], 1e-4);
 }
+
+#[test]
+fn scalar_reused_across_inner_loop_gradcheck_all_policy() {
+    // A scalar temporary declared outside the inner loop that overwrites it
+    // each iteration: the end-of-scope snapshot would tape only the final
+    // value, so `deep_tape_plan` switches to per-store taping with one
+    // version per (i, j).
+    let (n, m) = (4i64, 3i64);
+    let f = Func::new("reuse")
+        .param("a", [n], DataType::F64, AccessType::Input)
+        .param("b", [m], DataType::F64, AccessType::Input)
+        .param("y", [n, m], DataType::F64, AccessType::Output)
+        .body(for_(
+            "i",
+            0,
+            n,
+            var_def(
+                "t",
+                scalar(),
+                DataType::F64,
+                MemType::CpuStack,
+                for_(
+                    "j",
+                    0,
+                    m,
+                    block([
+                        store(
+                            "t",
+                            scalar(),
+                            load("a", [var("i")]) - load("b", [var("j")]),
+                        ),
+                        store(
+                            "y",
+                            [var("i"), var("j")],
+                            load("t", scalar()) * load("t", scalar()),
+                        ),
+                    ]),
+                ),
+            ),
+        ));
+    let inputs: Inputs = [
+        ("a".to_string(), tensor(&[n as usize], 7)),
+        ("b".to_string(), tensor(&[m as usize], 8)),
+    ]
+    .into_iter()
+    .collect();
+    let all = GradOptions {
+        policy: TapePolicy::All,
+        ..Default::default()
+    };
+    gradcheck(&f, &all, &inputs, &[], 1e-4);
+    // The tape must carry one version dimension per loop enclosing the
+    // *store* — (i, j) — not just the VarDef's (i).
+    let g = grad_with(&f, &all).expect("grad transform");
+    let mut tape_dims = None;
+    g.body.walk(&mut |s| {
+        if let StmtKind::VarDef { name, shape, .. } = &s.kind {
+            if name == "t.tape" {
+                tape_dims = Some(shape.len());
+            }
+        }
+    });
+    assert_eq!(tape_dims, Some(2), "expected per-store tape over (i, j)");
+}
+
+#[test]
+fn scalar_reuse_read_outside_storing_nest_is_rejected() {
+    // The same reused scalar, but read *after* the inner loop: the backward
+    // pass would need the previous iteration's value, which per-store taping
+    // cannot provide — the transform must refuse rather than miscompute.
+    let (n, m) = (4i64, 3i64);
+    let f = Func::new("stale")
+        .param("a", [n], DataType::F64, AccessType::Input)
+        .param("b", [m], DataType::F64, AccessType::Input)
+        .param("y", [n], DataType::F64, AccessType::Output)
+        .body(for_(
+            "i",
+            0,
+            n,
+            var_def(
+                "t",
+                scalar(),
+                DataType::F64,
+                MemType::CpuStack,
+                block([
+                    for_(
+                        "j",
+                        0,
+                        m,
+                        store(
+                            "t",
+                            scalar(),
+                            load("a", [var("i")]) * load("b", [var("j")]),
+                        ),
+                    ),
+                    store("y", [var("i")], load("t", scalar()) * load("t", scalar())),
+                ]),
+            ),
+        ));
+    let all = GradOptions {
+        policy: TapePolicy::All,
+        ..Default::default()
+    };
+    let err = grad_with(&f, &all).expect_err("stale read must be rejected");
+    assert!(
+        err.to_string().contains("read under"),
+        "unexpected error: {err}"
+    );
+}

@@ -19,6 +19,23 @@
 
 use ft_ir::{Device, Func, MemType, ParallelScope, Stmt, StmtId, StmtKind};
 use ft_schedule::Schedule;
+use ft_trace::{Span, TraceSink};
+
+/// Open a timed span for one `auto_*` pass and label subsequent schedule
+/// decisions with the pass name. No-op (and allocation-free) without a sink.
+fn begin_pass(sched: &mut Schedule, name: &str) -> Option<Span> {
+    let sink = sched.sink()?.clone();
+    sched.set_phase(Some(name.to_string()));
+    Some(sink.span("autoschedule", name))
+}
+
+/// Close a pass span, annotating how many transformations were applied.
+fn end_pass(sched: &mut Schedule, span: Option<Span>, applied: usize) {
+    if let Some(mut s) = span {
+        s.arg("applied", applied);
+        sched.set_phase(None);
+    }
+}
 
 /// Auto-scheduling target description.
 #[derive(Debug, Clone)]
@@ -104,6 +121,7 @@ fn has_loop_parent(func: &Func, id: StmtId) -> bool {
 
 /// Pass 1: fuse adjacent equal-extent sibling loops (locality).
 pub fn auto_fuse(sched: &mut Schedule) -> usize {
+    let span = begin_pass(sched, "auto_fuse");
     let mut fused = 0;
     // Fixpoint: each successful fusion changes the sibling structure.
     for _ in 0..16 {
@@ -142,6 +160,7 @@ pub fn auto_fuse(sched: &mut Schedule) -> usize {
             break;
         }
     }
+    end_pass(sched, span, fused);
     fused
 }
 
@@ -163,6 +182,7 @@ fn adjacent_loop_pairs(func: &Func) -> Vec<(StmtId, StmtId)> {
 
 /// Pass 2: vectorize innermost serial loops (dependence-permitting).
 pub fn auto_vectorize(sched: &mut Schedule) -> usize {
+    let span = begin_pass(sched, "auto_vectorize");
     let mut n = 0;
     for id in all_loops(sched.func()) {
         if loop_parallel(sched.func(), id) == ParallelScope::Serial
@@ -174,6 +194,7 @@ pub fn auto_vectorize(sched: &mut Schedule) -> usize {
             n += 1;
         }
     }
+    end_pass(sched, span, n);
     n
 }
 
@@ -183,6 +204,7 @@ pub fn auto_vectorize(sched: &mut Schedule) -> usize {
 /// outermost loop becomes `blockIdx.x`; a perfectly nested second loop
 /// becomes `threadIdx.x`; a lone loop is `split` so both levels are fed.
 pub fn auto_parallelize(sched: &mut Schedule, target: &Target) -> usize {
+    let span = begin_pass(sched, "auto_parallelize");
     let mut n = 0;
     let outer: Vec<StmtId> = all_loops(sched.func())
         .into_iter()
@@ -235,11 +257,13 @@ pub fn auto_parallelize(sched: &mut Schedule, target: &Target) -> usize {
             }
         }
     }
+    end_pass(sched, span, n);
     n
 }
 
 /// Pass 4: put small tensors as near to the processor as possible.
 pub fn auto_mem_type(sched: &mut Schedule, target: &Target) -> usize {
+    let span = begin_pass(sched, "auto_mem_type");
     let mut n = 0;
     let mut defs: Vec<(String, Option<i64>)> = Vec::new();
     sched.func().body.walk(&mut |s| {
@@ -266,22 +290,26 @@ pub fn auto_mem_type(sched: &mut Schedule, target: &Target) -> usize {
             }
         }
     }
+    end_pass(sched, span, n);
     n
 }
 
 /// Pass 5: replace matmul-shaped nests with vendor-library calls.
 pub fn auto_use_lib(sched: &mut Schedule) -> usize {
+    let span = begin_pass(sched, "auto_use_lib");
     let mut n = 0;
     for id in all_loops(sched.func()) {
         if sched.as_lib(id).is_ok() {
             n += 1;
         }
     }
+    end_pass(sched, span, n);
     n
 }
 
 /// Pass 6: unroll very short innermost loops.
 pub fn auto_unroll(sched: &mut Schedule, target: &Target) -> usize {
+    let span = begin_pass(sched, "auto_unroll");
     let mut n = 0;
     for id in all_loops(sched.func()) {
         if loop_parallel(sched.func(), id) == ParallelScope::Serial
@@ -292,12 +320,21 @@ pub fn auto_unroll(sched: &mut Schedule, target: &Target) -> usize {
             n += 1;
         }
     }
+    end_pass(sched, span, n);
     n
 }
 
 /// Run all six passes in the paper's order and return the scheduled function.
 pub fn auto_schedule(func: &Func, target: &Target) -> Func {
+    auto_schedule_traced(func, target, None)
+}
+
+/// [`auto_schedule`] with observability: when `sink` is `Some`, every pass
+/// reports a timed span and every primitive attempt (applied or rejected,
+/// with structured violated dependences) lands in the sink's decision log.
+pub fn auto_schedule_traced(func: &Func, target: &Target, sink: Option<TraceSink>) -> Func {
     let mut sched = Schedule::new(func.clone());
+    sched.set_sink(sink);
     auto_fuse(&mut sched);
     auto_use_lib(&mut sched);
     auto_parallelize(&mut sched, target);

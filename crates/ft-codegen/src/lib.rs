@@ -20,3 +20,31 @@ pub mod cuda;
 
 pub use c::emit_c;
 pub use cuda::emit_cuda;
+
+use ft_ir::Func;
+use ft_trace::TraceSink;
+
+/// [`emit_c`] with a provenance span on the compile track of `sink`.
+pub fn emit_c_traced(func: &Func, sink: Option<&TraceSink>) -> String {
+    emit_traced("emit_c", func, sink, emit_c)
+}
+
+/// [`emit_cuda`] with a provenance span on the compile track of `sink`.
+pub fn emit_cuda_traced(func: &Func, sink: Option<&TraceSink>) -> String {
+    emit_traced("emit_cuda", func, sink, emit_cuda)
+}
+
+fn emit_traced(
+    name: &str,
+    func: &Func,
+    sink: Option<&TraceSink>,
+    emit: fn(&Func) -> String,
+) -> String {
+    let mut span = sink.map(|s| s.span("codegen", name));
+    let src = emit(func);
+    if let Some(sp) = span.as_mut() {
+        sp.arg("func", &func.name);
+        sp.arg("bytes", src.len());
+    }
+    src
+}

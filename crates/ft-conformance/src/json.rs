@@ -1,315 +1,8 @@
-//! A minimal JSON value type with writer and parser — just enough for the
-//! repro files, with no external dependencies (this build environment has
-//! no crates.io access).
+//! Minimal JSON support for repro files.
+//!
+//! The actual value type, writer, and parser live in `ft-trace` (which also
+//! uses them for Chrome trace export/validation); this module re-exports
+//! them so existing `crate::json::JsonVal` paths keep working with a single
+//! implementation behind them.
 
-use std::fmt;
-
-/// A JSON value.
-#[derive(Debug, Clone, PartialEq)]
-pub enum JsonVal {
-    /// `null`.
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// Any number (stored as f64; integers round-trip exactly below 2^53).
-    Num(f64),
-    /// A string.
-    Str(String),
-    /// An array.
-    Arr(Vec<JsonVal>),
-    /// An object; insertion order is preserved.
-    Obj(Vec<(String, JsonVal)>),
-}
-
-impl JsonVal {
-    /// Object field lookup.
-    pub fn get(&self, key: &str) -> Option<&JsonVal> {
-        match self {
-            JsonVal::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    /// String contents, if this is a string.
-    pub fn as_str(&self) -> Option<&str> {
-        match self {
-            JsonVal::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    /// Numeric value, if this is a number.
-    pub fn as_f64(&self) -> Option<f64> {
-        match self {
-            JsonVal::Num(n) => Some(*n),
-            _ => None,
-        }
-    }
-
-    /// Numeric value as u64 (truncating), if this is a number.
-    pub fn as_u64(&self) -> Option<u64> {
-        self.as_f64().map(|n| n as u64)
-    }
-
-    /// Array elements, if this is an array.
-    pub fn as_arr(&self) -> Option<&[JsonVal]> {
-        match self {
-            JsonVal::Arr(v) => Some(v),
-            _ => None,
-        }
-    }
-
-    /// Parse a JSON document.
-    ///
-    /// # Errors
-    ///
-    /// A description with the byte offset of the first syntax error.
-    pub fn parse(s: &str) -> Result<JsonVal, String> {
-        let b = s.as_bytes();
-        let mut pos = 0usize;
-        let v = parse_value(b, &mut pos)?;
-        skip_ws(b, &mut pos);
-        if pos != b.len() {
-            return Err(format!("trailing data at byte {pos}"));
-        }
-        Ok(v)
-    }
-}
-
-fn escape(s: &str, out: &mut String) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
-impl fmt::Display for JsonVal {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            JsonVal::Null => write!(f, "null"),
-            JsonVal::Bool(b) => write!(f, "{b}"),
-            JsonVal::Num(n) => {
-                if n.fract() == 0.0 && n.abs() < 9.0e15 {
-                    write!(f, "{}", *n as i64)
-                } else {
-                    write!(f, "{n:e}")
-                }
-            }
-            JsonVal::Str(s) => {
-                let mut out = String::new();
-                escape(s, &mut out);
-                f.write_str(&out)
-            }
-            JsonVal::Arr(items) => {
-                write!(f, "[")?;
-                for (i, it) in items.iter().enumerate() {
-                    if i > 0 {
-                        write!(f, ", ")?;
-                    }
-                    write!(f, "{it}")?;
-                }
-                write!(f, "]")
-            }
-            JsonVal::Obj(fields) => {
-                write!(f, "{{")?;
-                for (i, (k, v)) in fields.iter().enumerate() {
-                    if i > 0 {
-                        write!(f, ", ")?;
-                    }
-                    let mut out = String::new();
-                    escape(k, &mut out);
-                    write!(f, "{out}: {v}")?;
-                }
-                write!(f, "}}")
-            }
-        }
-    }
-}
-
-fn skip_ws(b: &[u8], pos: &mut usize) {
-    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
-        *pos += 1;
-    }
-}
-
-fn expect(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
-    if b[*pos..].starts_with(lit.as_bytes()) {
-        *pos += lit.len();
-        Ok(())
-    } else {
-        Err(format!("expected `{lit}` at byte {pos}"))
-    }
-}
-
-fn parse_value(b: &[u8], pos: &mut usize) -> Result<JsonVal, String> {
-    skip_ws(b, pos);
-    match b.get(*pos) {
-        None => Err("unexpected end of input".to_string()),
-        Some(b'n') => expect(b, pos, "null").map(|()| JsonVal::Null),
-        Some(b't') => expect(b, pos, "true").map(|()| JsonVal::Bool(true)),
-        Some(b'f') => expect(b, pos, "false").map(|()| JsonVal::Bool(false)),
-        Some(b'"') => parse_string(b, pos).map(JsonVal::Str),
-        Some(b'[') => {
-            *pos += 1;
-            let mut items = Vec::new();
-            skip_ws(b, pos);
-            if b.get(*pos) == Some(&b']') {
-                *pos += 1;
-                return Ok(JsonVal::Arr(items));
-            }
-            loop {
-                items.push(parse_value(b, pos)?);
-                skip_ws(b, pos);
-                match b.get(*pos) {
-                    Some(b',') => *pos += 1,
-                    Some(b']') => {
-                        *pos += 1;
-                        return Ok(JsonVal::Arr(items));
-                    }
-                    _ => return Err(format!("expected `,` or `]` at byte {pos}")),
-                }
-            }
-        }
-        Some(b'{') => {
-            *pos += 1;
-            let mut fields = Vec::new();
-            skip_ws(b, pos);
-            if b.get(*pos) == Some(&b'}') {
-                *pos += 1;
-                return Ok(JsonVal::Obj(fields));
-            }
-            loop {
-                skip_ws(b, pos);
-                let key = parse_string(b, pos)?;
-                skip_ws(b, pos);
-                expect(b, pos, ":")?;
-                let val = parse_value(b, pos)?;
-                fields.push((key, val));
-                skip_ws(b, pos);
-                match b.get(*pos) {
-                    Some(b',') => *pos += 1,
-                    Some(b'}') => {
-                        *pos += 1;
-                        return Ok(JsonVal::Obj(fields));
-                    }
-                    _ => return Err(format!("expected `,` or `}}` at byte {pos}")),
-                }
-            }
-        }
-        Some(_) => parse_number(b, pos).map(JsonVal::Num),
-    }
-}
-
-fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
-    if b.get(*pos) != Some(&b'"') {
-        return Err(format!("expected string at byte {pos}"));
-    }
-    *pos += 1;
-    let mut out = String::new();
-    loop {
-        match b.get(*pos) {
-            None => return Err("unterminated string".to_string()),
-            Some(b'"') => {
-                *pos += 1;
-                return Ok(out);
-            }
-            Some(b'\\') => {
-                *pos += 1;
-                match b.get(*pos) {
-                    Some(b'"') => out.push('"'),
-                    Some(b'\\') => out.push('\\'),
-                    Some(b'/') => out.push('/'),
-                    Some(b'n') => out.push('\n'),
-                    Some(b'r') => out.push('\r'),
-                    Some(b't') => out.push('\t'),
-                    Some(b'u') => {
-                        let hex = b
-                            .get(*pos + 1..*pos + 5)
-                            .ok_or("truncated \\u escape".to_string())?;
-                        let code = u32::from_str_radix(
-                            std::str::from_utf8(hex).map_err(|e| e.to_string())?,
-                            16,
-                        )
-                        .map_err(|e| e.to_string())?;
-                        out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
-                        *pos += 4;
-                    }
-                    other => return Err(format!("bad escape {other:?}")),
-                }
-                *pos += 1;
-            }
-            Some(_) => {
-                // Consume one UTF-8 scalar.
-                let rest = std::str::from_utf8(&b[*pos..]).map_err(|e| e.to_string())?;
-                let c = rest.chars().next().unwrap();
-                out.push(c);
-                *pos += c.len_utf8();
-            }
-        }
-    }
-}
-
-fn parse_number(b: &[u8], pos: &mut usize) -> Result<f64, String> {
-    let start = *pos;
-    while *pos < b.len()
-        && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
-    {
-        *pos += 1;
-    }
-    std::str::from_utf8(&b[start..*pos])
-        .map_err(|e| e.to_string())?
-        .parse::<f64>()
-        .map_err(|_| format!("bad number at byte {start}"))
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn roundtrip() {
-        let v = JsonVal::Obj(vec![
-            ("name".to_string(), JsonVal::Str("split \"x\"\n".to_string())),
-            ("n".to_string(), JsonVal::Num(42.0)),
-            ("err".to_string(), JsonVal::Num(1.25e-3)),
-            ("flag".to_string(), JsonVal::Bool(true)),
-            (
-                "ops".to_string(),
-                JsonVal::Arr(vec![JsonVal::Num(1.0), JsonVal::Null]),
-            ),
-        ]);
-        let s = v.to_string();
-        let back = JsonVal::parse(&s).unwrap();
-        assert_eq!(v, back);
-    }
-
-    #[test]
-    fn parses_whitespace_and_nesting() {
-        let v = JsonVal::parse("  { \"a\" : [ 1 , { \"b\" : -2.5e1 } ] }  ").unwrap();
-        assert_eq!(v.get("a").unwrap().as_arr().unwrap()[0].as_f64(), Some(1.0));
-        assert_eq!(
-            v.get("a").unwrap().as_arr().unwrap()[1]
-                .get("b")
-                .unwrap()
-                .as_f64(),
-            Some(-25.0)
-        );
-    }
-
-    #[test]
-    fn rejects_garbage() {
-        assert!(JsonVal::parse("{").is_err());
-        assert!(JsonVal::parse("[1,]").is_err());
-        assert!(JsonVal::parse("\"abc").is_err());
-        assert!(JsonVal::parse("{} extra").is_err());
-    }
-}
+pub use ft_trace::JsonVal;

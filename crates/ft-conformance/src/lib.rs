@@ -170,7 +170,15 @@ pub fn run_conformance(cfg: &Config) -> Summary {
                         let (f, _) = ops::apply_trace(&case.func, t);
                         check_variant(&case, &f, &cfg.backends, cfg.tol).is_some()
                     });
-                    let (f, _) = ops::apply_trace(&case.func, &minimized);
+                    // Replay the minimized trace once more with a trace sink
+                    // so the repro can embed the schedule decision log.
+                    let sink = ft_trace::TraceSink::new();
+                    let (f, _) = ops::apply_trace_traced(&case.func, &minimized, Some(&sink));
+                    let decision_log = sink
+                        .decisions()
+                        .iter()
+                        .map(ft_trace::decision_line)
+                        .collect();
                     let d = check_variant(&case, &f, &cfg.backends, cfg.tol)
                         .expect("minimized trace must still fail");
                     let repro = Repro {
@@ -181,6 +189,7 @@ pub fn run_conformance(cfg: &Config) -> Summary {
                         max_abs_err: d.max_abs_err,
                         tol: cfg.tol,
                         trace: minimized,
+                        decision_log,
                     };
                     let path = repro.write(&cfg.out_dir).ok();
                     (Some(d), path)

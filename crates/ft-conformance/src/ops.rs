@@ -208,7 +208,9 @@ impl ScheduleOp {
                 if !set_parallel_unchecked(&mut func.body, id) {
                     return Err(structural("loop to force-parallelize vanished"));
                 }
+                let sink = sched.sink().cloned();
                 *sched = Schedule::new(func);
+                sched.set_sink(sink);
                 Ok(())
             }
         }
@@ -262,7 +264,19 @@ pub fn sample_trace(rng: &mut TestRng, max_ops: usize) -> Vec<ScheduleOp> {
 /// subsequence reproduces the identical function — this is what makes
 /// shrinking on the accepted trace sound.
 pub fn apply_trace(base: &Func, trace: &[ScheduleOp]) -> (Func, Vec<ScheduleOp>) {
+    apply_trace_traced(base, trace, None)
+}
+
+/// [`apply_trace`] with a schedule decision log: when `sink` is `Some`,
+/// every op attempt — accepted or rejected, with the rejecting dependences —
+/// is recorded, so a repro can explain *why* its trace looks the way it does.
+pub fn apply_trace_traced(
+    base: &Func,
+    trace: &[ScheduleOp],
+    sink: Option<&ft_trace::TraceSink>,
+) -> (Func, Vec<ScheduleOp>) {
     let mut sched = Schedule::new(base.clone());
+    sched.set_sink(sink.cloned());
     let mut accepted = Vec::new();
     for op in trace {
         if op.apply(&mut sched).is_ok() {

@@ -31,6 +31,10 @@ pub struct Repro {
     pub tol: f64,
     /// Minimized schedule trace.
     pub trace: Vec<ScheduleOp>,
+    /// Compact schedule decision log of the minimized trace (one line per
+    /// primitive attempt, `ft_trace::decision_line` format). Informational:
+    /// not needed for replay, defaulted to empty on older repro files.
+    pub decision_log: Vec<String>,
 }
 
 fn num(n: u64) -> JsonVal {
@@ -134,6 +138,15 @@ impl Repro {
                 "schedule".to_string(),
                 JsonVal::Arr(self.trace.iter().map(op_to_json).collect()),
             ),
+            (
+                "decision_log".to_string(),
+                JsonVal::Arr(
+                    self.decision_log
+                        .iter()
+                        .map(|l| JsonVal::Str(l.clone()))
+                        .collect(),
+                ),
+            ),
         ])
         .to_string()
     }
@@ -163,6 +176,17 @@ impl Repro {
             .iter()
             .map(op_from_json)
             .collect::<Result<Vec<_>, _>>()?;
+        // Tolerate files from before the decision log existed.
+        let decision_log = v
+            .get("decision_log")
+            .and_then(JsonVal::as_arr)
+            .map(|a| {
+                a.iter()
+                    .filter_map(JsonVal::as_str)
+                    .map(str::to_string)
+                    .collect()
+            })
+            .unwrap_or_default();
         Ok(Repro {
             workload: str_field("workload")?,
             input_seed: num_field("input_seed")? as u64,
@@ -171,6 +195,7 @@ impl Repro {
             max_abs_err: num_field("max_abs_err")?,
             tol: num_field("tol")?,
             trace,
+            decision_log,
         })
     }
 
@@ -233,6 +258,10 @@ mod tests {
                 },
                 ScheduleOp::ParallelizeUnchecked { loop_idx: 0 },
             ],
+            decision_log: vec![
+                "split((2), 8): applied".to_string(),
+                "parallelize((0), OpenMp): rejected — loop-carried dependence".to_string(),
+            ],
         }
     }
 
@@ -257,5 +286,23 @@ mod tests {
     fn malformed_json_is_rejected() {
         assert!(Repro::from_json("{}").is_err());
         assert!(Repro::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn decision_log_roundtrips_and_old_files_parse() {
+        let r = sample();
+        let back = Repro::from_json(&r.to_json()).unwrap();
+        assert_eq!(back.decision_log, r.decision_log);
+        // A pre-decision-log file (no such key) still parses, with an
+        // empty log.
+        let mut old = r.clone();
+        old.decision_log.clear();
+        let json = old.to_json().replace(
+            "\"decision_log\"",
+            "\"ignored_legacy_key\"",
+        );
+        let parsed = Repro::from_json(&json).unwrap();
+        assert!(parsed.decision_log.is_empty());
+        assert_eq!(parsed.trace, r.trace);
     }
 }

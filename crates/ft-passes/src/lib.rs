@@ -17,5 +17,5 @@ pub mod uniquify;
 pub use dce::remove_dead_defs;
 pub use normalize::{normalize_affine, remove_redundant_guards};
 pub use fold::{const_fold_expr, const_fold_func, const_fold_stmt};
-pub use simplify::{simplify, simplify_once, simplify_stmt};
+pub use simplify::{simplify, simplify_once, simplify_stmt, simplify_traced};
 pub use uniquify::uniquify_defs;

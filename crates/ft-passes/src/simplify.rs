@@ -137,15 +137,39 @@ pub fn simplify_stmt(mut s: Stmt) -> Stmt {
 /// Simplify a whole function: fold, simplify control flow, and remove local
 /// definitions that are never read (dead-code elimination), to a fixpoint.
 pub fn simplify(f: &Func) -> Func {
-    let mut cur = f.with_body(simplify_stmt(f.body.clone()));
+    simplify_traced(f, None)
+}
+
+/// [`simplify`] with provenance reporting: each sub-pass of each fixpoint
+/// round becomes a span on the compile track of `sink`, so a trace shows
+/// where simplification time went and how many rounds ran.
+pub fn simplify_traced(f: &Func, sink: Option<&ft_trace::TraceSink>) -> Func {
+    let run = |name: &str, input: &Func, pass: &dyn Fn(&Func) -> Func| -> Func {
+        let _span = sink.map(|s| s.span("pass", name));
+        pass(input)
+    };
+    let mut outer = sink.map(|s| s.span("pass", "simplify"));
+    let mut rounds = 1;
+    let mut cur = run("simplify:control", f, &|f| {
+        f.with_body(simplify_stmt(f.body.clone()))
+    });
     for _ in 0..8 {
-        let next = remove_dead_defs(&cur);
-        let next = crate::normalize::remove_redundant_guards(&next);
-        let next = next.with_body(simplify_stmt(next.body.clone()));
-        if next.body.same_structure(&cur.body) {
-            return next;
-        }
+        let next = run("simplify:dce", &cur, &|f| remove_dead_defs(f));
+        let next = run("simplify:guards", &next, &|f| {
+            crate::normalize::remove_redundant_guards(f)
+        });
+        let next = run("simplify:control", &next, &|f| {
+            f.with_body(simplify_stmt(f.body.clone()))
+        });
+        let fixed = next.body.same_structure(&cur.body);
         cur = next;
+        if fixed {
+            break;
+        }
+        rounds += 1;
+    }
+    if let Some(sp) = outer.as_mut() {
+        sp.arg("rounds", rounds);
     }
     cur
 }

@@ -16,6 +16,7 @@ use ft_ir::{
     AccessType, BinaryOp, DataType, Expr, Func, MemType, ParallelScope, ReduceOp, Stmt, StmtKind,
     UnaryOp,
 };
+use ft_trace::{ProfileNode, StmtCounters};
 use std::collections::HashMap;
 
 /// A compiled expression over slot indices.
@@ -67,6 +68,8 @@ pub(crate) enum CStmt {
         end: CExpr,
         scope: ParallelScope,
         vectorize: bool,
+        /// Profile-node index counters inside this loop are attributed to.
+        prof: usize,
         body: Box<CStmt>,
     },
     If {
@@ -90,6 +93,8 @@ pub(crate) enum CStmt {
         inputs: Vec<usize>,
         outputs: Vec<usize>,
         attrs: Vec<i64>,
+        /// Profile-node index this call's bulk charges are attributed to.
+        prof: usize,
     },
     Nop,
 }
@@ -106,6 +111,10 @@ pub(crate) struct Compiled {
     pub size_slots: Vec<(String, usize)>,
     pub n_tensors: usize,
     pub n_scalars: usize,
+    /// Profile-tree skeleton in preorder (node 0 = the function root); each
+    /// `For`/`LibCall` carries the index of its node. Counters are zeroed
+    /// here and filled per run.
+    pub prof_nodes: Vec<ProfileNode>,
 }
 
 struct Lower {
@@ -113,6 +122,8 @@ struct Lower {
     n_scalars: usize,
     tensor_scope: HashMap<String, Vec<usize>>,
     scalar_scope: HashMap<String, Vec<usize>>,
+    prof_nodes: Vec<ProfileNode>,
+    prof_cur: usize,
 }
 
 impl Lower {
@@ -141,6 +152,17 @@ impl Lower {
             .or_default()
             .push(slot);
         slot
+    }
+
+    fn new_prof_node(&mut self, stmt: ft_ir::StmtId, desc: String) -> usize {
+        let idx = self.prof_nodes.len();
+        self.prof_nodes.push(ProfileNode {
+            stmt: Some(stmt),
+            desc,
+            parent: Some(self.prof_cur),
+            counters: StmtCounters::default(),
+        });
+        idx
     }
 
     fn expr(&mut self, e: &Expr) -> Result<CExpr, RuntimeError> {
@@ -230,7 +252,11 @@ impl Lower {
                 let begin = self.expr(begin)?;
                 let end = self.expr(end)?;
                 let s_slot = self.new_scalar(iter);
+                let prof = self.new_prof_node(s.id, format!("for {iter}"));
+                let saved = self.prof_cur;
+                self.prof_cur = prof;
                 let body = self.stmt(body)?;
+                self.prof_cur = saved;
                 self.scalar_scope
                     .get_mut(iter)
                     .expect("just pushed")
@@ -241,6 +267,7 @@ impl Lower {
                     end,
                     scope: property.parallel,
                     vectorize: property.vectorize,
+                    prof,
                     body: Box::new(body),
                 }
             }
@@ -299,6 +326,7 @@ impl Lower {
                     .map(|n| self.tensor_slot(n))
                     .collect::<Result<_, _>>()?,
                 attrs: attrs.clone(),
+                prof: self.new_prof_node(s.id, kernel.clone()),
             },
         })
     }
@@ -311,6 +339,13 @@ pub(crate) fn compile(func: &Func) -> Result<Compiled, RuntimeError> {
         n_scalars: 0,
         tensor_scope: HashMap::new(),
         scalar_scope: HashMap::new(),
+        prof_nodes: vec![ProfileNode {
+            stmt: None,
+            desc: func.name.clone(),
+            parent: None,
+            counters: StmtCounters::default(),
+        }],
+        prof_cur: 0,
     };
     let mut size_slots = Vec::new();
     for sp in &func.size_params {
@@ -334,6 +369,7 @@ pub(crate) fn compile(func: &Func) -> Result<Compiled, RuntimeError> {
         size_slots,
         n_tensors: 0,
         n_scalars: lw.n_scalars,
+        prof_nodes: lw.prof_nodes,
     }
     .finish())
 }
@@ -362,6 +398,11 @@ pub(crate) struct ExecCtx<'a> {
     pub cache: CacheSim,
     pub next_addr: u64,
     pub gpu_depth: usize,
+    /// When profiling: one exclusive counter bucket per `Compiled::prof_nodes`
+    /// entry. `None` keeps the hot path attribution-free.
+    pub prof: Option<Vec<StmtCounters>>,
+    /// Index of the bucket currently being charged (node 0 = function root).
+    pub prof_cur: usize,
 }
 
 impl ExecCtx<'_> {
@@ -389,8 +430,16 @@ impl ExecCtx<'_> {
         self.counters.l2_bytes += bytes;
         self.counters.dram_bytes += bytes;
         self.counters.flops += flops;
-        self.counters.modeled_cycles +=
-            cycles + (bytes as f64 / LINE as f64) * self.config.cost_dram / 4.0;
+        let cyc = cycles + (bytes as f64 / LINE as f64) * self.config.cost_dram / 4.0;
+        self.counters.modeled_cycles += cyc;
+        if let Some(p) = self.prof.as_mut() {
+            let c = &mut p[self.prof_cur];
+            c.heap_bytes += bytes;
+            c.l2_bytes += bytes;
+            c.dram_bytes += bytes;
+            c.flops += flops;
+            c.cycles += cyc;
+        }
     }
 
     pub(crate) fn alloc(
@@ -430,24 +479,39 @@ impl ExecCtx<'_> {
     fn record_access(&mut self, t: usize, off: usize) {
         let entry = self.tensors[t].as_ref().expect("checked by caller");
         let bytes = entry.val.dtype().size_bytes() as u64;
-        match entry.mtype {
+        let mtype = entry.mtype;
+        let base = entry.base;
+        match mtype {
             MemType::CpuHeap | MemType::GpuGlobal => {
                 self.counters.heap_bytes += bytes;
                 self.counters.l2_bytes += bytes;
-                let addr = entry.base + off as u64 * bytes;
+                let addr = base + off as u64 * bytes;
                 let m0 = self.cache.misses;
                 self.cache.access(addr, bytes);
                 let misses = self.cache.misses - m0;
-                self.counters.dram_bytes += misses * LINE;
-                self.counters.modeled_cycles += if misses > 0 {
+                let cyc = if misses > 0 {
                     misses as f64 * self.config.cost_dram
                 } else {
                     self.config.cost_l2
                 };
+                self.counters.dram_bytes += misses * LINE;
+                self.counters.modeled_cycles += cyc;
+                if let Some(p) = self.prof.as_mut() {
+                    let c = &mut p[self.prof_cur];
+                    c.heap_bytes += bytes;
+                    c.l2_bytes += bytes;
+                    c.dram_bytes += misses * LINE;
+                    c.cycles += cyc;
+                }
             }
             MemType::CpuStack | MemType::GpuShared | MemType::GpuLocal => {
                 self.counters.scratch_bytes += bytes;
                 self.counters.modeled_cycles += self.config.cost_scratch;
+                if let Some(p) = self.prof.as_mut() {
+                    let c = &mut p[self.prof_cur];
+                    c.scratch_bytes += bytes;
+                    c.cycles += self.config.cost_scratch;
+                }
             }
         }
     }
@@ -477,6 +541,15 @@ impl ExecCtx<'_> {
             self.counters.int_ops += 1;
         }
         self.counters.modeled_cycles += self.config.cost_op;
+        if let Some(p) = self.prof.as_mut() {
+            let c = &mut p[self.prof_cur];
+            if float {
+                c.flops += 1;
+            } else {
+                c.int_ops += 1;
+            }
+            c.cycles += self.config.cost_op;
+        }
     }
 
     fn eval_indices(&mut self, idx: &[CExpr]) -> Result<Vec<i64>, RuntimeError> {
@@ -568,6 +641,7 @@ impl ExecCtx<'_> {
                 end,
                 scope,
                 vectorize,
+                prof,
                 body,
             } => {
                 let b = self.eval(begin)?.as_i64();
@@ -580,11 +654,17 @@ impl ExecCtx<'_> {
                 if scope.is_gpu() {
                     self.gpu_depth += 1;
                 }
+                let saved_prof = self.prof_cur;
+                if let Some(p) = self.prof.as_mut() {
+                    self.prof_cur = *prof;
+                    p[*prof].trips += (e - b).max(0) as u64;
+                }
                 let cycles_before = self.counters.modeled_cycles;
                 for i in b..e {
                     self.scalars[*slot] = i;
                     self.exec(body)?;
                 }
+                self.prof_cur = saved_prof;
                 if scope.is_gpu() {
                     self.gpu_depth -= 1;
                 }
@@ -647,7 +727,17 @@ impl ExecCtx<'_> {
                 inputs,
                 outputs,
                 attrs,
-            } => crate::libkernel::dispatch_slots(self, kernel, inputs, outputs, attrs),
+                prof,
+            } => {
+                let saved_prof = self.prof_cur;
+                if let Some(p) = self.prof.as_mut() {
+                    self.prof_cur = *prof;
+                    p[*prof].trips += 1;
+                }
+                let r = crate::libkernel::dispatch_slots(self, kernel, inputs, outputs, attrs);
+                self.prof_cur = saved_prof;
+                r
+            }
         }
     }
 }

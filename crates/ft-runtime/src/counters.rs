@@ -172,6 +172,9 @@ impl PerfCounters {
         self.scratch_bytes += other.scratch_bytes;
         self.heap_bytes += other.heap_bytes;
         self.modeled_cycles += other.modeled_cycles;
+        for (k, v) in &other.live_bytes {
+            *self.live_bytes.entry(k.clone()).or_insert(0) += v;
+        }
         for (k, v) in &other.peak_bytes {
             let p = self.peak_bytes.entry(k.clone()).or_insert(0);
             *p = (*p).max(*v);
@@ -277,15 +280,26 @@ mod tests {
     fn merge_accumulates() {
         let mut a = PerfCounters {
             flops: 10,
+            kernel_launches: 2,
             ..Default::default()
         };
-        let b = PerfCounters {
+        a.alloc("gpu", 100);
+        let mut b = PerfCounters {
             flops: 5,
             dram_bytes: 64,
+            kernel_launches: 3,
             ..Default::default()
         };
+        b.alloc("gpu", 40);
+        b.alloc("cpu", 8);
         a.merge(&b);
         assert_eq!(a.flops, 15);
         assert_eq!(a.dram_bytes, 64);
+        assert_eq!(a.kernel_launches, 5);
+        // live_bytes merges by summation (both sides still hold their
+        // allocations); peak_bytes merges by max.
+        assert_eq!(a.live_bytes["gpu"], 140);
+        assert_eq!(a.live_bytes["cpu"], 8);
+        assert_eq!(a.peak_bytes["gpu"], 100);
     }
 }

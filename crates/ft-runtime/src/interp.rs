@@ -5,6 +5,7 @@ use crate::device::DeviceConfig;
 use crate::error::RuntimeError;
 use crate::value::{Scalar, TensorVal};
 use ft_ir::{AccessType, BinaryOp, Func, ReduceOp, UnaryOp};
+use ft_trace::{RunProfile, StmtCounters, TraceSink, TRACK_RUNTIME};
 use std::collections::HashMap;
 
 /// Result of executing a function.
@@ -34,6 +35,7 @@ impl RunResult {
 pub struct Runtime {
     /// Modeled platform parameters.
     pub config: DeviceConfig,
+    sink: Option<TraceSink>,
 }
 
 impl Runtime {
@@ -44,7 +46,27 @@ impl Runtime {
 
     /// A runtime with an explicit device model.
     pub fn with_config(config: DeviceConfig) -> Runtime {
-        Runtime { config }
+        Runtime { config, sink: None }
+    }
+
+    /// A runtime that reports spans and per-statement profiles into `sink`.
+    pub fn with_sink(sink: TraceSink) -> Runtime {
+        Runtime {
+            config: DeviceConfig::default(),
+            sink: Some(sink),
+        }
+    }
+
+    /// Install (or remove) a trace sink. When a sink is present, every
+    /// [`Runtime::run`] additionally records a runtime span and a
+    /// [`RunProfile`] attributing counter deltas to loops and library calls.
+    pub fn set_sink(&mut self, sink: Option<TraceSink>) {
+        self.sink = sink;
+    }
+
+    /// The installed trace sink, if any.
+    pub fn sink(&self) -> Option<&TraceSink> {
+        self.sink.as_ref()
     }
 
     /// Execute `func` with the given input tensors and size parameters.
@@ -59,6 +81,10 @@ impl Runtime {
         inputs: &HashMap<String, TensorVal>,
         sizes: &HashMap<String, i64>,
     ) -> Result<RunResult, RuntimeError> {
+        let mut span = self
+            .sink
+            .as_ref()
+            .map(|s| s.span_on(TRACK_RUNTIME, "runtime", &format!("interp {}", func.name)));
         let compiled = crate::compiled::compile(func)?;
         let mut ctx = crate::compiled::ExecCtx {
             config: &self.config,
@@ -69,6 +95,11 @@ impl Runtime {
             cache: CacheSim::new(self.config.l2_size, self.config.l2_ways),
             next_addr: 0x1000,
             gpu_depth: 0,
+            prof: self
+                .sink
+                .is_some()
+                .then(|| vec![StmtCounters::default(); compiled.prof_nodes.len()]),
+            prof_cur: 0,
         };
         for (name, slot) in &compiled.size_slots {
             let v = *sizes
@@ -113,6 +144,20 @@ impl Runtime {
                 let name = compiled.tensor_names[*slot].clone();
                 let entry = ctx.tensors[*slot].take().expect("params stay live");
                 outputs.insert(name, entry.val);
+            }
+        }
+        if let (Some(sink), Some(buckets)) = (&self.sink, ctx.prof.take()) {
+            let mut nodes = compiled.prof_nodes.clone();
+            for (n, c) in nodes.iter_mut().zip(buckets) {
+                n.counters = c;
+            }
+            sink.profile(RunProfile {
+                func: func.name.clone(),
+                nodes,
+            });
+            if let Some(sp) = span.as_mut() {
+                sp.arg("modeled_cycles", format!("{:.0}", ctx.counters.modeled_cycles));
+                sp.arg("flops", ctx.counters.flops);
             }
         }
         Ok(RunResult {
@@ -490,6 +535,72 @@ mod tests {
             ));
         let r = run(&f, &[], &[]);
         assert_eq!(r.output("y").to_f64_vec(), vec![1.0; 3]);
+    }
+
+    #[test]
+    fn profile_sums_match_whole_run_counters() {
+        // Nested loops + straight-line code outside any loop: exclusive
+        // per-node attribution must sum exactly to the run's aggregates.
+        let f = Func::new("tiled")
+            .param("x", [64, 64], DataType::F32, AccessType::Input)
+            .param("y", [64], DataType::F32, AccessType::Output)
+            .body(block([
+                store("y", [0], 1.0f32),
+                for_(
+                    "i",
+                    0,
+                    64,
+                    for_(
+                        "j",
+                        0,
+                        64,
+                        reduce("y", [var("i")], ReduceOp::Add, load("x", [var("i"), var("j")])),
+                    ),
+                ),
+            ]));
+        let x = TensorVal::from_f32(&[64, 64], vec![1.0; 64 * 64]);
+        let inputs: HashMap<String, TensorVal> = [("x".to_string(), x)].into_iter().collect();
+        let sink = ft_trace::TraceSink::new();
+        let r = Runtime::with_sink(sink.clone())
+            .run(&f, &inputs, &HashMap::new())
+            .unwrap();
+
+        let profiles = sink.profiles();
+        assert_eq!(profiles.len(), 1);
+        let p = &profiles[0];
+        // Root + two loops, in preorder, with parents wired up.
+        assert_eq!(p.nodes.len(), 3);
+        assert!(p.nodes[0].stmt.is_none());
+        assert_eq!(p.nodes[1].desc, "for i");
+        assert_eq!(p.nodes[1].parent, Some(0));
+        assert_eq!(p.nodes[2].desc, "for j");
+        assert_eq!(p.nodes[2].parent, Some(1));
+        assert_eq!(p.nodes[1].counters.trips, 64);
+        assert_eq!(p.nodes[2].counters.trips, 64 * 64);
+
+        // Exclusive sums == whole-run counters, exactly.
+        let t = p.totals();
+        assert_eq!(t.flops, r.counters.flops);
+        assert_eq!(t.int_ops, r.counters.int_ops);
+        assert_eq!(t.dram_bytes, r.counters.dram_bytes);
+        assert_eq!(t.l2_bytes, r.counters.l2_bytes);
+        assert_eq!(t.heap_bytes, r.counters.heap_bytes);
+        assert_eq!(t.scratch_bytes, r.counters.scratch_bytes);
+        // The store outside the loops lands on the root, not a loop node.
+        assert!(p.nodes[0].counters.l2_bytes > 0);
+        // The inner loop dominates the traffic.
+        assert!(p.nodes[2].counters.l2_bytes > p.nodes[1].counters.l2_bytes);
+        // A runtime span was recorded too.
+        assert!(sink.events().iter().any(|e| e.name.starts_with("interp")));
+    }
+
+    #[test]
+    fn no_sink_records_no_profile() {
+        let f = Func::new("f")
+            .param("y", [8], DataType::F32, AccessType::Output)
+            .body(for_("i", 0, 8, store("y", [var("i")], 1.0f32)));
+        let r = Runtime::new().run(&f, &HashMap::new(), &HashMap::new()).unwrap();
+        assert_eq!(r.output("y").to_f64_vec(), vec![1.0; 8]);
     }
 
     #[test]

@@ -37,5 +37,5 @@ pub use counters::{CacheGeometryError, CacheSim, PerfCounters};
 pub use device::DeviceConfig;
 pub use error::RuntimeError;
 pub use interp::{RunResult, Runtime};
-pub use threaded::run_threaded;
+pub use threaded::{run_threaded, run_threaded_traced};
 pub use value::{Scalar, TensorVal};

@@ -25,6 +25,7 @@ use crate::value::{Scalar, TensorVal};
 use ft_ir::{
     AccessType, DataType, Expr, Func, ParallelScope, Stmt, StmtKind, UnaryOp,
 };
+use ft_trace::{TraceSink, TRACK_RUNTIME};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -170,6 +171,8 @@ struct TCtx {
     /// (region, worker) identity for the overlap checker; `(0, 0)` outside
     /// any parallel region (and always in release builds).
     who: WorkerId,
+    /// Wall-clock span reporting for fork-join regions; `None` = untraced.
+    sink: Option<TraceSink>,
 }
 
 impl TCtx {
@@ -338,6 +341,16 @@ impl TCtx {
                     let n = e - b;
                     let workers = (self.threads as i64).min(n);
                     let chunk = (n + workers - 1) / workers;
+                    let span = self.sink.as_ref().map(|s| {
+                        let mut sp = s.span_on(
+                            TRACK_RUNTIME,
+                            "threaded",
+                            &format!("parallel for {iter}"),
+                        );
+                        sp.arg("workers", workers);
+                        sp.arg("iterations", n);
+                        sp
+                    });
                     let result: Mutex<Result<(), RuntimeError>> = Mutex::new(Ok(()));
                     #[cfg(debug_assertions)]
                     let region = next_ids().fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -363,6 +376,7 @@ impl TCtx {
                         }
                     })
                     .expect("worker thread panicked");
+                    drop(span);
                     result.into_inner()
                 }
             }
@@ -437,11 +451,37 @@ pub fn run_threaded(
     sizes: &HashMap<String, i64>,
     threads: usize,
 ) -> Result<HashMap<String, TensorVal>, RuntimeError> {
+    run_threaded_traced(func, inputs, sizes, threads, None)
+}
+
+/// [`run_threaded`] with wall-clock span reporting: the whole run and every
+/// fork-join region become spans on the runtime track of `sink`.
+///
+/// # Errors
+///
+/// Same error surface as [`run_threaded`].
+pub fn run_threaded_traced(
+    func: &Func,
+    inputs: &HashMap<String, TensorVal>,
+    sizes: &HashMap<String, i64>,
+    threads: usize,
+    sink: Option<&TraceSink>,
+) -> Result<HashMap<String, TensorVal>, RuntimeError> {
+    let _span = sink.map(|s| {
+        let mut sp = s.span_on(
+            TRACK_RUNTIME,
+            "runtime",
+            &format!("threaded {}", func.name),
+        );
+        sp.arg("threads", threads.max(1));
+        sp
+    });
     let mut ctx = TCtx {
         tensors: HashMap::new(),
         scalars: sizes.clone(),
         threads: threads.max(1),
         who: (0, 0),
+        sink: sink.cloned(),
     };
     for sp in &func.size_params {
         if !ctx.scalars.contains_key(sp) {

@@ -134,6 +134,15 @@ impl Schedule {
         dim: usize,
         factor: i64,
     ) -> Result<(), ScheduleError> {
+        let args = self
+            .tracing()
+            .then(|| format!("(\"{var}\", {dim}, {factor})"));
+        let r = self.var_split_impl(var, dim, factor);
+        self.record("var_split", args, &r);
+        r
+    }
+
+    fn var_split_impl(&mut self, var: &str, dim: usize, factor: i64) -> Result<(), ScheduleError> {
         if factor <= 0 {
             return Err(ScheduleError::Unsupported(
                 "var_split factor must be positive".to_string(),
@@ -167,6 +176,13 @@ impl Schedule {
     /// [`ScheduleError::Unsupported`] when `perm` is not a permutation of
     /// the tensor's dimensions.
     pub fn var_reorder(&mut self, var: &str, perm: &[usize]) -> Result<(), ScheduleError> {
+        let args = self.tracing().then(|| format!("(\"{var}\", {perm:?})"));
+        let r = self.var_reorder_impl(var, perm);
+        self.record("var_reorder", args, &r);
+        r
+    }
+
+    fn var_reorder_impl(&mut self, var: &str, perm: &[usize]) -> Result<(), ScheduleError> {
         let (def_id, shape) = self.find_local_def(var)?;
         let mut check: Vec<usize> = perm.to_vec();
         check.sort_unstable();
@@ -191,6 +207,13 @@ impl Schedule {
     ///
     /// [`ScheduleError::Unsupported`] when `dim + 1` is out of range.
     pub fn var_merge(&mut self, var: &str, dim: usize) -> Result<(), ScheduleError> {
+        let args = self.tracing().then(|| format!("(\"{var}\", {dim})"));
+        let r = self.var_merge_impl(var, dim);
+        self.record("var_merge", args, &r);
+        r
+    }
+
+    fn var_merge_impl(&mut self, var: &str, dim: usize) -> Result<(), ScheduleError> {
         let (def_id, shape) = self.find_local_def(var)?;
         if dim + 1 >= shape.len() {
             return Err(ScheduleError::Unsupported(format!(

@@ -43,8 +43,10 @@ pub mod others;
 pub mod parallel;
 pub mod util;
 
+use ft_analysis::FoundDep;
 use ft_ir::find::Selector;
 use ft_ir::{Func, Stmt, StmtId};
+use ft_trace::{Decision, TraceSink, Verdict};
 use std::fmt;
 
 /// Errors raised by schedule primitives.
@@ -74,15 +76,54 @@ impl std::error::Error for ScheduleError {}
 ///
 /// Methods mutate the wrapped [`Func`] in place (each is all-or-nothing:
 /// on error the function is unchanged).
+///
+/// When a [`TraceSink`] is installed ([`Schedule::set_sink`]), every
+/// primitive attempt — applied or rejected — is appended to the sink's
+/// decision log, including the structured dependences
+/// ([`ft_analysis::FoundDep`]) that caused a rejection. Without a sink the
+/// bookkeeping reduces to a branch on a `None` field.
 #[derive(Debug, Clone)]
 pub struct Schedule {
     func: Func,
+    sink: Option<TraceSink>,
+    phase: Option<String>,
+    /// Dependences captured by the legality check of the primitive currently
+    /// executing; drained into its decision-log entry.
+    pending_deps: Vec<FoundDep>,
 }
 
 impl Schedule {
     /// Start scheduling a function.
     pub fn new(func: Func) -> Schedule {
-        Schedule { func }
+        Schedule {
+            func,
+            sink: None,
+            phase: None,
+            pending_deps: Vec::new(),
+        }
+    }
+
+    /// Start scheduling a function, reporting every decision into `sink`.
+    pub fn with_sink(func: Func, sink: TraceSink) -> Schedule {
+        let mut s = Schedule::new(func);
+        s.sink = Some(sink);
+        s
+    }
+
+    /// Install (or remove) the decision-log sink.
+    pub fn set_sink(&mut self, sink: Option<TraceSink>) {
+        self.sink = sink;
+    }
+
+    /// The installed sink, if any.
+    pub fn sink(&self) -> Option<&TraceSink> {
+        self.sink.as_ref()
+    }
+
+    /// Label subsequent decisions as belonging to a named pass (used by the
+    /// auto-scheduler so each entry records which `auto_*` pass tried it).
+    pub fn set_phase(&mut self, phase: Option<String>) {
+        self.phase = phase;
     }
 
     /// The current (transformed) function.
@@ -93,6 +134,45 @@ impl Schedule {
     /// Consume the schedule, returning the transformed function.
     pub fn into_func(self) -> Func {
         self.func
+    }
+
+    /// Whether a decision sink is installed (callers can skip building
+    /// argument strings when it is not).
+    pub(crate) fn tracing(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Stash the dependences a legality check just reported, to be attached
+    /// to the current primitive's decision-log entry.
+    pub(crate) fn note_deps(&mut self, deps: &[FoundDep]) {
+        if self.sink.is_some() {
+            self.pending_deps.extend_from_slice(deps);
+        }
+    }
+
+    /// Append a decision-log entry for a finished primitive attempt. `args`
+    /// is `None` when no sink was installed at call time.
+    pub(crate) fn record<T>(
+        &mut self,
+        primitive: &str,
+        args: Option<String>,
+        result: &Result<T, ScheduleError>,
+    ) {
+        let deps = std::mem::take(&mut self.pending_deps);
+        let Some(sink) = &self.sink else { return };
+        let (verdict, reason) = match result {
+            Ok(_) => (Verdict::Applied, None),
+            Err(e) => (Verdict::Rejected, Some(e.to_string())),
+        };
+        sink.decision(Decision {
+            pass: self.phase.clone(),
+            primitive: primitive.to_string(),
+            args: args.unwrap_or_default(),
+            verdict,
+            reason,
+            deps,
+            ts_us: sink.now_us(),
+        });
     }
 
     pub(crate) fn func_mut(&mut self) -> &mut Func {

@@ -25,6 +25,18 @@ impl Schedule {
         loop_sel: impl Into<Selector>,
         factor: i64,
     ) -> Result<(StmtId, StmtId), ScheduleError> {
+        let sel = loop_sel.into();
+        let args = self.tracing().then(|| format!("({sel:?}, {factor})"));
+        let r = self.split_impl(sel, factor);
+        self.record("split", args, &r);
+        r
+    }
+
+    fn split_impl(
+        &mut self,
+        loop_sel: Selector,
+        factor: i64,
+    ) -> Result<(StmtId, StmtId), ScheduleError> {
         if factor <= 0 {
             return Err(ScheduleError::Unsupported(
                 "split factor must be positive".to_string(),
@@ -80,6 +92,20 @@ impl Schedule {
         outer_sel: impl Into<Selector>,
         inner_sel: impl Into<Selector>,
     ) -> Result<StmtId, ScheduleError> {
+        let (outer_sel, inner_sel) = (outer_sel.into(), inner_sel.into());
+        let args = self
+            .tracing()
+            .then(|| format!("({outer_sel:?}, {inner_sel:?})"));
+        let r = self.merge_impl(outer_sel, inner_sel);
+        self.record("merge", args, &r);
+        r
+    }
+
+    fn merge_impl(
+        &mut self,
+        outer_sel: Selector,
+        inner_sel: Selector,
+    ) -> Result<StmtId, ScheduleError> {
         let outer = self.resolve_stmt(outer_sel)?;
         let po = as_for(&outer)?;
         let inner_peeled = peel(&po.body).clone();
@@ -132,10 +158,14 @@ impl Schedule {
     /// [`ScheduleError::Illegal`] when a dependence would be reversed
     /// (paper Fig. 12); [`ScheduleError::Unsupported`] when the loops do not
     /// form a perfect nest.
-    pub fn reorder(
-        &mut self,
-        order: &[&str],
-    ) -> Result<(), ScheduleError> {
+    pub fn reorder(&mut self, order: &[&str]) -> Result<(), ScheduleError> {
+        let args = self.tracing().then(|| format!("({order:?})"));
+        let r = self.reorder_impl(order);
+        self.record("reorder", args, &r);
+        r
+    }
+
+    fn reorder_impl(&mut self, order: &[&str]) -> Result<(), ScheduleError> {
         if order.len() < 2 {
             return Ok(());
         }
@@ -188,8 +218,9 @@ impl Schedule {
             }
         }
         // Legality.
-        if let Some(reason) = reorder_illegal(self.func(), &nest_ids, &ids) {
-            return Err(ScheduleError::Illegal(reason));
+        if let Some(v) = reorder_illegal(self.func(), &nest_ids, &ids) {
+            self.note_deps(&v.deps);
+            return Err(ScheduleError::Illegal(v.to_string()));
         }
         // Rebuild the nest in the new order.
         let mut body = innermost_body;
@@ -230,6 +261,20 @@ impl Schedule {
         loop_sel: impl Into<Selector>,
         after_sel: impl Into<Selector>,
     ) -> Result<(StmtId, StmtId), ScheduleError> {
+        let (loop_sel, after_sel) = (loop_sel.into(), after_sel.into());
+        let args = self
+            .tracing()
+            .then(|| format!("({loop_sel:?}, {after_sel:?})"));
+        let r = self.fission_impl(loop_sel, after_sel);
+        self.record("fission", args, &r);
+        r
+    }
+
+    fn fission_impl(
+        &mut self,
+        loop_sel: Selector,
+        after_sel: Selector,
+    ) -> Result<(StmtId, StmtId), ScheduleError> {
         let target = self.resolve_stmt(loop_sel)?;
         let p = as_for(&target)?;
         let after_id = self.resolve(after_sel)?;
@@ -256,8 +301,9 @@ impl Schedule {
             .iter()
             .flat_map(subtree_ids)
             .collect();
-        if let Some(reason) = fission_illegal(self.func(), p.id, &|id| first_ids.contains(&id)) {
-            return Err(ScheduleError::Illegal(reason));
+        if let Some(v) = fission_illegal(self.func(), p.id, &|id| first_ids.contains(&id)) {
+            self.note_deps(&v.deps);
+            return Err(ScheduleError::Illegal(v.to_string()));
         }
         // Tensors defined before the cut but used after it would be severed;
         // reject (hoisting them is a separate concern).
@@ -305,6 +351,20 @@ impl Schedule {
         first_sel: impl Into<Selector>,
         second_sel: impl Into<Selector>,
     ) -> Result<StmtId, ScheduleError> {
+        let (first_sel, second_sel) = (first_sel.into(), second_sel.into());
+        let args = self
+            .tracing()
+            .then(|| format!("({first_sel:?}, {second_sel:?})"));
+        let r = self.fuse_impl(first_sel, second_sel);
+        self.record("fuse", args, &r);
+        r
+    }
+
+    fn fuse_impl(
+        &mut self,
+        first_sel: Selector,
+        second_sel: Selector,
+    ) -> Result<StmtId, ScheduleError> {
         let l1 = self.resolve_stmt(first_sel)?;
         let l2 = self.resolve_stmt(second_sel)?;
         let p1 = as_for(&l1)?;
@@ -334,8 +394,9 @@ impl Schedule {
                 "loop extents differ: {e1:?} vs {e2:?}"
             )));
         }
-        if let Some(reason) = fuse_illegal(self.func(), p1.id, p2.id) {
-            return Err(ScheduleError::Illegal(reason));
+        if let Some(v) = fuse_illegal(self.func(), p1.id, p2.id) {
+            self.note_deps(&v.deps);
+            return Err(ScheduleError::Illegal(v.to_string()));
         }
         // Second body re-indexed onto the first iterator (paper's "+w" shift).
         let shifted = const_fold_expr(
@@ -391,6 +452,20 @@ impl Schedule {
         first_sel: impl Into<Selector>,
         second_sel: impl Into<Selector>,
     ) -> Result<(), ScheduleError> {
+        let (first_sel, second_sel) = (first_sel.into(), second_sel.into());
+        let args = self
+            .tracing()
+            .then(|| format!("({first_sel:?}, {second_sel:?})"));
+        let r = self.swap_impl(first_sel, second_sel);
+        self.record("swap", args, &r);
+        r
+    }
+
+    fn swap_impl(
+        &mut self,
+        first_sel: Selector,
+        second_sel: Selector,
+    ) -> Result<(), ScheduleError> {
         let id1 = self.resolve(first_sel)?;
         let id2 = self.resolve(second_sel)?;
         let parent = ft_ir::find::find_stmt(&self.func().body, &|s| {
@@ -408,8 +483,9 @@ impl Schedule {
                 "statements to swap must be adjacent".to_string(),
             ));
         }
-        if let Some(reason) = swap_illegal(self.func(), id1.min(id2), id1.max(id2)) {
-            return Err(ScheduleError::Illegal(reason));
+        if let Some(v) = swap_illegal(self.func(), id1.min(id2), id1.max(id2)) {
+            self.note_deps(&v.deps);
+            return Err(ScheduleError::Illegal(v.to_string()));
         }
         let parent_id = parent.id;
         let body = replace_by_id(self.func().body.clone(), parent_id, &mut |s| {

@@ -377,6 +377,21 @@ impl Schedule {
         var: &str,
         mtype: MemType,
     ) -> Result<String, ScheduleError> {
+        let sel = scope_sel.into();
+        let args = self
+            .tracing()
+            .then(|| format!("({sel:?}, \"{var}\", {mtype:?})"));
+        let r = self.cache_impl(sel, var, mtype);
+        self.record("cache", args, &r);
+        r
+    }
+
+    fn cache_impl(
+        &mut self,
+        scope_sel: Selector,
+        var: &str,
+        mtype: MemType,
+    ) -> Result<String, ScheduleError> {
         let scope = self.resolve_stmt(scope_sel)?;
         let uses = collect_use(&scope, var);
         let dims = self.cache_region(&scope, var, &uses)?;
@@ -463,6 +478,21 @@ impl Schedule {
         var: &str,
         mtype: MemType,
     ) -> Result<String, ScheduleError> {
+        let sel = scope_sel.into();
+        let args = self
+            .tracing()
+            .then(|| format!("({sel:?}, \"{var}\", {mtype:?})"));
+        let r = self.cache_reduce_impl(sel, var, mtype);
+        self.record("cache_reduce", args, &r);
+        r
+    }
+
+    fn cache_reduce_impl(
+        &mut self,
+        scope_sel: Selector,
+        var: &str,
+        mtype: MemType,
+    ) -> Result<String, ScheduleError> {
         let scope = self.resolve_stmt(scope_sel)?;
         let uses = collect_use(&scope, var);
         if uses.reads || uses.reduce_ops.is_empty() {
@@ -529,6 +559,15 @@ impl Schedule {
     /// [`ScheduleError::NotFound`] when no local definition of `var` exists
     /// (parameter placements belong to the caller).
     pub fn set_mtype(&mut self, var: &str, new_mtype: MemType) -> Result<(), ScheduleError> {
+        let args = self
+            .tracing()
+            .then(|| format!("(\"{var}\", {new_mtype:?})"));
+        let r = self.set_mtype_impl(var, new_mtype);
+        self.record("set_mtype", args, &r);
+        r
+    }
+
+    fn set_mtype_impl(&mut self, var: &str, new_mtype: MemType) -> Result<(), ScheduleError> {
         let mut def_id: Option<StmtId> = None;
         self.func().body.walk(&mut |s| {
             if let StmtKind::VarDef { name, .. } = &s.kind {

@@ -26,6 +26,14 @@ impl Schedule {
     ///
     /// [`ScheduleError::Unsupported`] when the nest does not match.
     pub fn as_lib(&mut self, loop_sel: impl Into<Selector>) -> Result<(), ScheduleError> {
+        let sel = loop_sel.into();
+        let args = self.tracing().then(|| format!("({sel:?})"));
+        let r = self.as_lib_impl(sel);
+        self.record("as_lib", args, &r);
+        r
+    }
+
+    fn as_lib_impl(&mut self, loop_sel: Selector) -> Result<(), ScheduleError> {
         let target = self.resolve_stmt(loop_sel)?;
         let pi = as_for(&target)?;
         let pj = as_for(peel(&pi.body))?;
@@ -161,6 +169,17 @@ impl Schedule {
     pub fn separate_tail(
         &mut self,
         loop_sel: impl Into<Selector>,
+    ) -> Result<(StmtId, StmtId), ScheduleError> {
+        let sel = loop_sel.into();
+        let args = self.tracing().then(|| format!("({sel:?})"));
+        let r = self.separate_tail_impl(sel);
+        self.record("separate_tail", args, &r);
+        r
+    }
+
+    fn separate_tail_impl(
+        &mut self,
+        loop_sel: Selector,
     ) -> Result<(StmtId, StmtId), ScheduleError> {
         let target = self.resolve_stmt(loop_sel)?;
         let p = as_for(&target)?;

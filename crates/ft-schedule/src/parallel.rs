@@ -25,14 +25,28 @@ impl Schedule {
         loop_sel: impl Into<Selector>,
         scope: ParallelScope,
     ) -> Result<(), ScheduleError> {
+        let sel = loop_sel.into();
+        let args = self.tracing().then(|| format!("({sel:?}, {scope:?})"));
+        let r = self.parallelize_impl(sel, scope);
+        self.record("parallelize", args, &r);
+        r
+    }
+
+    fn parallelize_impl(
+        &mut self,
+        loop_sel: Selector,
+        scope: ParallelScope,
+    ) -> Result<(), ScheduleError> {
         let target = self.resolve_stmt(loop_sel)?;
         let p = as_for(&target)?;
         let blockers = parallelize_blockers(self.func(), p.id);
         if let Some(dep) = blockers.first() {
-            return Err(ScheduleError::Illegal(format!(
+            let msg = format!(
                 "loop `{}` carries a {:?} dependence on `{}` ({} -> {})",
                 p.iter, dep.kind, dep.var, dep.source, dep.sink
-            )));
+            );
+            self.note_deps(&blockers);
+            return Err(ScheduleError::Illegal(msg));
         }
         // Fig. 13(c): a tensor in thread-local storage defined outside the
         // parallel loop is not visible to the other threads.
@@ -140,6 +154,14 @@ impl Schedule {
     /// [`ScheduleError::Unsupported`] when the trip count is not a constant
     /// or exceeds the unroll limit (64).
     pub fn unroll(&mut self, loop_sel: impl Into<Selector>) -> Result<(), ScheduleError> {
+        let sel = loop_sel.into();
+        let args = self.tracing().then(|| format!("({sel:?})"));
+        let r = self.unroll_impl(sel);
+        self.record("unroll", args, &r);
+        r
+    }
+
+    fn unroll_impl(&mut self, loop_sel: Selector) -> Result<(), ScheduleError> {
         let target = self.resolve_stmt(loop_sel)?;
         let p = as_for(&target)?;
         let (Some(b), Some(e)) = (
@@ -179,6 +201,14 @@ impl Schedule {
     /// (checked like a fission at every statement boundary), or
     /// [`ScheduleError::Unsupported`] for non-constant bounds.
     pub fn blend(&mut self, loop_sel: impl Into<Selector>) -> Result<(), ScheduleError> {
+        let sel = loop_sel.into();
+        let args = self.tracing().then(|| format!("({sel:?})"));
+        let r = self.blend_impl(sel);
+        self.record("blend", args, &r);
+        r
+    }
+
+    fn blend_impl(&mut self, loop_sel: Selector) -> Result<(), ScheduleError> {
         let target = self.resolve_stmt(loop_sel)?;
         let p = as_for(&target)?;
         let (Some(b), Some(e)) = (
@@ -208,10 +238,9 @@ impl Schedule {
                 .iter()
                 .flat_map(subtree_ids)
                 .collect();
-            if let Some(reason) =
-                fission_illegal(self.func(), p.id, &|id| first_ids.contains(&id))
-            {
-                return Err(ScheduleError::Illegal(reason));
+            if let Some(v) = fission_illegal(self.func(), p.id, &|id| first_ids.contains(&id)) {
+                self.note_deps(&v.deps);
+                return Err(ScheduleError::Illegal(v.to_string()));
             }
         }
         let mut out: Vec<Stmt> = Vec::new();
@@ -242,14 +271,24 @@ impl Schedule {
     /// [`ScheduleError::Illegal`] when the loop carries a dependence (vector
     /// lanes execute concurrently).
     pub fn vectorize(&mut self, loop_sel: impl Into<Selector>) -> Result<(), ScheduleError> {
+        let sel = loop_sel.into();
+        let args = self.tracing().then(|| format!("({sel:?})"));
+        let r = self.vectorize_impl(sel);
+        self.record("vectorize", args, &r);
+        r
+    }
+
+    fn vectorize_impl(&mut self, loop_sel: Selector) -> Result<(), ScheduleError> {
         let target = self.resolve_stmt(loop_sel)?;
         let p = as_for(&target)?;
         let blockers = parallelize_blockers(self.func(), p.id);
         if let Some(dep) = blockers.first() {
-            return Err(ScheduleError::Illegal(format!(
+            let msg = format!(
                 "loop `{}` carries a {:?} dependence on `{}`",
                 p.iter, dep.kind, dep.var
-            )));
+            );
+            self.note_deps(&blockers);
+            return Err(ScheduleError::Illegal(msg));
         }
         let body = replace_by_id(self.func().body.clone(), p.id, &mut |s| {
             let StmtKind::For {

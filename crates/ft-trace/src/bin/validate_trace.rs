@@ -1,0 +1,38 @@
+//! Validate Chrome trace-event JSON files produced by `ft-trace` (used in CI
+//! to check benchmark trace artifacts).
+//!
+//! Usage: `validate_trace <trace.json>...`
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: validate_trace <trace.json>...");
+        return ExitCode::from(2);
+    }
+    let mut failed = false;
+    for path in &paths {
+        match std::fs::read_to_string(path) {
+            Err(e) => {
+                eprintln!("{path}: cannot read: {e}");
+                failed = true;
+            }
+            Ok(text) => match ft_trace::validate_chrome_trace(&text) {
+                Ok(stats) => println!(
+                    "{path}: OK — {} events ({} spans on {} tracks, {} instants)",
+                    stats.events, stats.spans, stats.tracks, stats.instants
+                ),
+                Err(e) => {
+                    eprintln!("{path}: INVALID — {e}");
+                    failed = true;
+                }
+            },
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -49,14 +49,26 @@ pub fn inputs(p: &Params, seed: u64) -> Inputs {
 
 /// The FreeTensor DSL source (fine-grained, redundancy-free — paper
 /// Fig. 3(b)).
+///
+/// Written the way a careful kernel author would: the output is zeroed
+/// explicitly (no reliance on the allocator handing out zeroed memory)
+/// and the difference goes through a single scalar temporary `d` declared
+/// once per `(i, j)` and reused across channels. The shape is deliberate
+/// exercise for the auto-scheduler: the two adjacent `i`-nests are a
+/// fusion candidate, and the reused scalar carries a WAR/WAW dependence
+/// across the channel loop, so `vectorize(c)` is *rejected* by the
+/// dependence engine — the schedule decision log records both.
 pub fn source(p: &Params) -> String {
     format!(
         r#"
 def subdivnet(e: f32[{f}, {c}] in, adj: i32[{f}, 3] in, y: f32[{f}, {c}] out):
+  for i0 in range({f}):
+    for c0 in range({c}):
+      y[i0, c0] = 0.0
   for i in range({f}):
     for j in range(3):
+      d = create_var((), "f32", "cpu")
       for c in range({c}):
-        d = create_var((), "f32", "cpu")
         d = e[adj[i, j], c] - e[adj[i, (j + 1) % 3], c]
         y[i, c] += abs(d)
 "#,

@@ -14,4 +14,5 @@ pub use ft_libop as libop;
 pub use ft_opbase as opbase;
 pub use ft_runtime as runtime;
 pub use ft_schedule as schedule;
+pub use ft_trace as trace;
 pub use ft_workloads as workloads;

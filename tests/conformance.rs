@@ -119,6 +119,7 @@ fn injected_dependence_bug_is_caught_and_minimized() {
         max_abs_err: d.max_abs_err,
         tol,
         trace: minimized,
+        decision_log: Vec::new(),
     };
     let dir = std::env::temp_dir().join(format!("ftconf-injected-{}", std::process::id()));
     let path = repro.write(&dir).unwrap();
@@ -146,6 +147,7 @@ fn repro_files_replay() {
             },
             ScheduleOp::Parallelize { loop_idx: 0 },
         ],
+        decision_log: Vec::new(),
     };
     let parsed = Repro::from_json(&repro.to_json()).unwrap();
     assert_eq!(parsed.replay().unwrap().map(|d| d.message), None);
