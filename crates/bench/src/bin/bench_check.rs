@@ -1,0 +1,90 @@
+//! Non-blocking wall-clock regression check: compare a freshly generated
+//! `BENCH.json` against a committed baseline.
+//!
+//! ```text
+//! bench_check <baseline.json> <current.json> [--threshold 2.0]
+//! ```
+//!
+//! Rows are matched on (workload, system, device, kind, scale); a row
+//! regresses when `current.wall_ms > threshold * baseline.wall_ms`. Exits 1
+//! if any row regresses — CI runs this step with `continue-on-error` since
+//! absolute wall-clock varies across runner hardware.
+
+use ft_trace::JsonVal;
+use std::process::ExitCode;
+
+fn key(r: &JsonVal) -> Option<String> {
+    let f = |k: &str| r.get(k).and_then(JsonVal::as_str).map(str::to_string);
+    Some(format!(
+        "{}/{}/{}/{}/{}",
+        f("workload")?,
+        f("system")?,
+        f("device")?,
+        f("kind")?,
+        f("scale")?
+    ))
+}
+
+fn load(path: &str) -> Result<Vec<JsonVal>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let doc = JsonVal::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    Ok(doc
+        .get("records")
+        .and_then(JsonVal::as_arr)
+        .ok_or_else(|| format!("{path}: no `records` array"))?
+        .to_vec())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let positional: Vec<&String> = args[1..]
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .collect();
+    let [baseline_path, current_path] = positional[..] else {
+        eprintln!("usage: bench_check <baseline.json> <current.json> [--threshold X]");
+        return ExitCode::from(2);
+    };
+    let threshold: f64 = args
+        .iter()
+        .position(|a| a == "--threshold")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2.0);
+    let (baseline, current) = match (load(baseline_path), load(current_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            for e in [b.err(), c.err()].into_iter().flatten() {
+                eprintln!("error: {e}");
+            }
+            return ExitCode::from(2);
+        }
+    };
+    let mut regressions = 0usize;
+    let mut compared = 0usize;
+    for cur in &current {
+        let Some(k) = key(cur) else { continue };
+        let Some(base) = baseline.iter().find(|b| key(b).as_deref() == Some(&k)) else {
+            continue;
+        };
+        let (Some(bw), Some(cw)) = (
+            base.get("wall_ms").and_then(JsonVal::as_f64),
+            cur.get("wall_ms").and_then(JsonVal::as_f64),
+        ) else {
+            continue;
+        };
+        compared += 1;
+        if cw > threshold * bw {
+            regressions += 1;
+            println!("REGRESSION {k}: {cw:.2}ms vs baseline {bw:.2}ms (>{threshold}x)");
+        } else {
+            println!("ok         {k}: {cw:.2}ms vs baseline {bw:.2}ms");
+        }
+    }
+    println!("{compared} rows compared, {regressions} regressions (threshold {threshold}x)");
+    if regressions > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -2,8 +2,15 @@
 //! system. Default is Fig. 16(a) (no differentiation); `--grad` produces
 //! Fig. 16(b) (forward + backward, GAT excluded, OOM reported as in the
 //! paper). `--small` uses the reduced Criterion shapes.
+//!
+//! Each run also writes the machine-readable `results/BENCH.json`
+//! (override with `--json PATH`, suppress with `--no-json`); a plain run
+//! followed by a `--grad` run accumulates both record kinds in one file.
 
-use bench::{fmt_cycles, prepare, run_forward_capped, run_grad_capped, Scale, System, Workload};
+use bench::{
+    fmt_cycles, json_record, prepare, run_forward_capped, run_grad_capped, write_bench_json,
+    Scale, System, Workload,
+};
 use ft_autodiff::TapePolicy;
 use ft_ir::Device;
 
@@ -22,9 +29,19 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse::<usize>().ok())
         .map(|mib| mib << 20);
+    let json_path: Option<std::path::PathBuf> = if args.iter().any(|a| a == "--no-json") {
+        None
+    } else {
+        Some(
+            args.iter()
+                .position(|a| a == "--json")
+                .and_then(|i| args.get(i + 1))
+                .map_or_else(|| "results/BENCH.json".into(), |p| p.into()),
+        )
+    };
     let systems = [System::OpBase, System::FtNaive, System::FtOptimized];
     println!(
-        "# Fig. 16({}) — end-to-end {}  (modeled cycles; wall ms in parens)",
+        "# Fig. 16({}) — end-to-end {}",
         if grad { "b" } else { "a" },
         if grad {
             "with differentiation (fwd + bwd)"
@@ -32,6 +49,12 @@ fn main() {
             "without differentiation"
         }
     );
+    println!("# Cells: modeled cycles (wall ms). Modeled cycles come from the");
+    println!("# instrumented interpreter and are the paper's reproduced quantity;");
+    println!("# wall ms is measured on the fast-mode bytecode VM for FreeTensor");
+    println!("# systems and on native kernels for the operator baseline.");
+    println!("# `VM speedup` = instrumented-interpreter wall / fast-VM wall for");
+    println!("# the FreeTensor (optimized) column.");
     println!(
         "{:<12} {:<5} {:>24} {:>24} {:>24}",
         "workload",
@@ -45,12 +68,15 @@ fn main() {
     } else {
         Workload::ALL.to_vec()
     };
+    let kind = if grad { "grad" } else { "forward" };
+    let mut records = Vec::new();
     for w in workloads {
         let prep = prepare(w, scale);
         for dev in [Device::Cpu, Device::Gpu] {
             let mut cells = Vec::new();
             let mut best_baseline = f64::INFINITY;
             let mut ft_cycles = f64::NAN;
+            let mut ft_vm_speedup = None;
             for sys in systems {
                 let r = if grad {
                     run_grad_capped(&prep, sys, dev, TapePolicy::Selective, capacity)
@@ -58,15 +84,22 @@ fn main() {
                     run_forward_capped(&prep, sys, dev, capacity)
                 };
                 let cell = match &r.failure {
-                    Some(f) => f.clone(),
+                    Some(f) => match r.failed_stage {
+                        Some(stage) => format!("{f} [{stage}]"),
+                        None => f.clone(),
+                    },
                     None => format!("{} ({:.1}ms)", fmt_cycles(r.cycles), r.wall_ms),
                 };
                 if r.failure.is_none() {
                     match sys {
-                        System::FtOptimized => ft_cycles = r.cycles,
+                        System::FtOptimized => {
+                            ft_cycles = r.cycles;
+                            ft_vm_speedup = r.vm_speedup();
+                        }
                         _ => best_baseline = best_baseline.min(r.cycles),
                     }
                 }
+                records.push(json_record(w, sys, dev, kind, scale, &r));
                 cells.push(cell);
             }
             let speedup = if ft_cycles.is_nan() || best_baseline.is_infinite() {
@@ -74,15 +107,23 @@ fn main() {
             } else {
                 format!("{:.2}x", best_baseline / ft_cycles)
             };
+            let vm_col = ft_vm_speedup.map_or_else(|| "-".to_string(), |s| format!("{s:.1}x"));
             println!(
-                "{:<12} {:<5} {:>24} {:>24} {:>24}   speedup vs best other: {}",
+                "{:<12} {:<5} {:>24} {:>24} {:>24}   speedup vs best other: {:<8} VM speedup: {}",
                 w.name(),
                 dev.to_string(),
                 cells[0],
                 cells[1],
                 cells[2],
-                speedup
+                speedup,
+                vm_col
             );
+        }
+    }
+    if let Some(path) = json_path {
+        match write_bench_json(&path, kind, records) {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(e) => eprintln!("failed to write {}: {e}", path.display()),
         }
     }
 }

@@ -12,17 +12,22 @@
 //!
 //! Criterion benches (`cargo bench`) wrap the same runners at reduced sizes.
 //!
-//! Measurement note (documented substitution): FreeTensor programs execute
-//! on the instrumented interpreter while baseline operators execute native
-//! Rust kernels, so *wall-clock* across systems is not meaningful; the
-//! primary reproduced quantities are the hardware-independent counters and
-//! the modeled cycle time, which both systems charge identically.
+//! Measurement note (documented substitution): FreeTensor programs report
+//! two time axes. The hardware-independent counters and the modeled cycle
+//! time come from the *instrumented interpreter* — the semantic reference,
+//! which both systems charge identically — while the headline wall-clock
+//! (`CaseResult::wall_ms`) is measured on the *fast-mode bytecode VM*
+//! (`ft_runtime::VmRuntime`), the engine a user actually runs on. The
+//! baseline operators execute native Rust kernels, so cross-system
+//! wall-clock is still only indicative; the interp-vs-VM wall ratio
+//! ([`CaseResult::vm_speedup`]) is the within-system engine comparison.
 
 use ft_autodiff::{GradOptions, TapePolicy};
 use ft_autoschedule::Target;
 use ft_ir::Device;
 use ft_opbase::Session;
-use ft_runtime::{DeviceConfig, PerfCounters, Runtime, TensorVal};
+use ft_runtime::{DeviceConfig, PerfCounters, Runtime, TensorVal, VmRuntime};
+use ft_trace::JsonVal;
 use ft_workloads::{gat, input_pairs, longformer, softras, subdivnet, Inputs};
 use std::time::Instant;
 
@@ -44,6 +49,15 @@ impl System {
             System::OpBase => "operator-based",
             System::FtNaive => "fine-grained (naive)",
             System::FtOptimized => "FreeTensor",
+        }
+    }
+
+    /// Stable machine-readable key used in `BENCH.json`.
+    pub fn key(self) -> &'static str {
+        match self {
+            System::OpBase => "opbase",
+            System::FtNaive => "ft-naive",
+            System::FtOptimized => "ft-optimized",
         }
     }
 }
@@ -90,17 +104,48 @@ pub enum Scale {
     Small,
 }
 
+impl Scale {
+    /// Stable machine-readable key used in `BENCH.json`.
+    pub fn key(self) -> &'static str {
+        match self {
+            Scale::Full => "full",
+            Scale::Small => "small",
+        }
+    }
+}
+
 /// Outcome of one measured case.
 #[derive(Debug, Clone)]
 pub struct CaseResult {
-    /// Wall-clock milliseconds (see the crate-level measurement note).
+    /// Wall-clock milliseconds of the execution engine: the fast-mode
+    /// bytecode VM for FreeTensor systems, native kernels for the operator
+    /// baseline (see the crate-level measurement note). On failure this is
+    /// the elapsed time of the failing stage.
     pub wall_ms: f64,
+    /// Wall-clock milliseconds of the instrumented-interpreter run that
+    /// produced `counters` (`None` for the operator baseline, which has no
+    /// interpreter axis).
+    pub interp_wall_ms: Option<f64>,
     /// Modeled execution time in cycle units.
     pub cycles: f64,
     /// Full counter set.
     pub counters: PerfCounters,
     /// `None` = ran; `Some(reason)` = failed (e.g. "OOM").
     pub failure: Option<String>,
+    /// Pipeline stage a failure occurred in (`"grad"`, `"run"`, `"vm"`),
+    /// `None` when the case ran.
+    pub failed_stage: Option<&'static str>,
+}
+
+impl CaseResult {
+    /// Interpreter-vs-VM wall-clock ratio (>1 means the VM is faster),
+    /// when both engines ran to completion.
+    pub fn vm_speedup(&self) -> Option<f64> {
+        match self.interp_wall_ms {
+            Some(iw) if self.failure.is_none() && self.wall_ms > 0.0 => Some(iw / self.wall_ms),
+            _ => None,
+        }
+    }
 }
 
 /// Workload inputs + compiled programs for one (workload, scale) pair.
@@ -289,25 +334,59 @@ fn run_forward_inner(
                 // as-is (CPU-memory naive run stands in for Julia).
                 base
             };
-            let rt = Runtime::with_config(config);
+            run_ft_both_engines(&prog, &input_pairs(&prep.inputs), config)
+        }
+    }
+}
+
+/// Run a FreeTensor program on both engines: the instrumented interpreter
+/// for counters + modeled cycles, then the fast-mode bytecode VM for the
+/// headline wall-clock.
+fn run_ft_both_engines(
+    prog: &freetensor_core::Program,
+    pairs: &[(&str, TensorVal)],
+    config: DeviceConfig,
+) -> CaseResult {
+    let rt = Runtime::with_config(config.clone());
+    let start = Instant::now();
+    let result = prog.run(&rt, pairs, &[]);
+    let interp_wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    match result {
+        Ok(r) => {
+            let vm = VmRuntime::with_config(config);
             let start = Instant::now();
-            let result = prog.run(&rt, &input_pairs(&prep.inputs), &[]);
+            let vm_result = prog.run_vm(&vm, pairs, &[]);
             let wall_ms = start.elapsed().as_secs_f64() * 1e3;
-            match result {
-                Ok(r) => CaseResult {
+            match vm_result {
+                Ok(_) => CaseResult {
                     wall_ms,
+                    interp_wall_ms: Some(interp_wall_ms),
                     cycles: r.counters.modeled_cycles,
                     counters: r.counters,
                     failure: None,
+                    failed_stage: None,
                 },
+                // The VM mirrors interpreter semantics, so a run that
+                // passed on the interpreter failing here is a real engine
+                // divergence worth surfacing, not something to paper over.
                 Err(e) => CaseResult {
                     wall_ms,
-                    cycles: f64::NAN,
-                    counters: PerfCounters::default(),
+                    interp_wall_ms: Some(interp_wall_ms),
+                    cycles: r.counters.modeled_cycles,
+                    counters: r.counters,
                     failure: Some(short_error(&e.to_string())),
+                    failed_stage: Some("vm"),
                 },
             }
         }
+        Err(e) => CaseResult {
+            wall_ms: interp_wall_ms,
+            interp_wall_ms: Some(interp_wall_ms),
+            cycles: f64::NAN,
+            counters: PerfCounters::default(),
+            failure: Some(short_error(&e.to_string())),
+            failed_stage: Some("run"),
+        },
     }
 }
 
@@ -337,11 +416,15 @@ fn run_opbase_forward(prep: &Prepared, device: Device, config: DeviceConfig) -> 
     })();
     let wall_ms = start.elapsed().as_secs_f64() * 1e3;
     let counters = s.counters();
+    let failure = result.err().map(|e| short_error(&e));
+    let failed_stage = failure.is_some().then_some("run");
     CaseResult {
         wall_ms,
+        interp_wall_ms: None,
         cycles: counters.modeled_cycles,
         counters,
-        failure: result.err().map(|e| short_error(&e)),
+        failure,
+        failed_stage,
     }
 }
 
@@ -418,11 +501,15 @@ pub fn run_grad_capped(
             })();
             let wall_ms = start.elapsed().as_secs_f64() * 1e3;
             let counters = s.counters();
+            let failure = result.err().map(|e| short_error(&e));
+            let failed_stage = failure.is_some().then_some("run");
             CaseResult {
                 wall_ms,
+                interp_wall_ms: None,
                 cycles: counters.modeled_cycles,
                 counters,
-                failure: result.err().map(|e| short_error(&e)),
+                failure,
+                failed_stage,
             }
         }
         System::FtNaive | System::FtOptimized => {
@@ -430,15 +517,21 @@ pub fn run_grad_capped(
                 policy,
                 ..Default::default()
             };
+            let grad_start = Instant::now();
             let grad = match prep.naive.grad(&opts) {
                 Ok(g) => g,
                 Err(e) => {
+                    // Differentiation itself failed: report how long the
+                    // attempt took and attribute the failure to the compile
+                    // stage rather than pretending the case ran in 0 ms.
                     return CaseResult {
-                        wall_ms: 0.0,
+                        wall_ms: grad_start.elapsed().as_secs_f64() * 1e3,
+                        interp_wall_ms: None,
                         cycles: f64::NAN,
                         counters: PerfCounters::default(),
                         failure: Some(short_error(&e.to_string())),
-                    }
+                        failed_stage: Some("grad"),
+                    };
                 }
             };
             let prog = if system == System::FtOptimized {
@@ -449,24 +542,7 @@ pub fn run_grad_capped(
             let grad_seed_name = format!("{}.grad", prep.output);
             let mut pairs = input_pairs(&prep.inputs);
             pairs.push((&grad_seed_name, seed.clone()));
-            let rt = Runtime::with_config(config);
-            let start = Instant::now();
-            let result = prog.run(&rt, &pairs, &[]);
-            let wall_ms = start.elapsed().as_secs_f64() * 1e3;
-            match result {
-                Ok(r) => CaseResult {
-                    wall_ms,
-                    cycles: r.counters.modeled_cycles,
-                    counters: r.counters,
-                    failure: None,
-                },
-                Err(e) => CaseResult {
-                    wall_ms,
-                    cycles: f64::NAN,
-                    counters: PerfCounters::default(),
-                    failure: Some(short_error(&e.to_string())),
-                },
-            }
+            run_ft_both_engines(&prog, &pairs, config)
         }
     }
 }
@@ -506,6 +582,91 @@ pub fn fmt_bytes(b: u64) -> String {
     } else {
         format!("{b}B")
     }
+}
+
+/// One machine-readable benchmark record — a row of `results/BENCH.json`.
+pub fn json_record(
+    workload: Workload,
+    system: System,
+    device: Device,
+    kind: &str,
+    scale: Scale,
+    r: &CaseResult,
+) -> JsonVal {
+    let num = |v: f64| {
+        if v.is_nan() {
+            JsonVal::Null
+        } else {
+            JsonVal::Num(v)
+        }
+    };
+    JsonVal::Obj(vec![
+        ("workload".to_string(), JsonVal::Str(workload.name().to_string())),
+        ("system".to_string(), JsonVal::Str(system.key().to_string())),
+        ("device".to_string(), JsonVal::Str(device.to_string())),
+        ("kind".to_string(), JsonVal::Str(kind.to_string())),
+        ("scale".to_string(), JsonVal::Str(scale.key().to_string())),
+        ("wall_ms".to_string(), num(r.wall_ms)),
+        (
+            "interp_wall_ms".to_string(),
+            r.interp_wall_ms.map_or(JsonVal::Null, JsonVal::Num),
+        ),
+        (
+            "vm_wall_speedup".to_string(),
+            r.vm_speedup().map_or(JsonVal::Null, JsonVal::Num),
+        ),
+        ("cycles".to_string(), num(r.cycles)),
+        ("flops".to_string(), JsonVal::Num(r.counters.flops as f64)),
+        (
+            "dram_bytes".to_string(),
+            JsonVal::Num(r.counters.dram_bytes as f64),
+        ),
+        (
+            "failure".to_string(),
+            r.failure.clone().map_or(JsonVal::Null, JsonVal::Str),
+        ),
+        (
+            "failed_stage".to_string(),
+            r.failed_stage
+                .map_or(JsonVal::Null, |s| JsonVal::Str(s.to_string())),
+        ),
+    ])
+}
+
+/// Write `records` into the BENCH.json at `path`, merging with an existing
+/// file: records whose `kind` differs from `kind` are kept, so a Fig. 16(a)
+/// run followed by a `--grad` run accumulates both sets in one file.
+///
+/// # Errors
+///
+/// Propagates filesystem errors; a pre-existing file that does not parse is
+/// replaced rather than merged.
+pub fn write_bench_json(
+    path: &std::path::Path,
+    kind: &str,
+    records: Vec<JsonVal>,
+) -> std::io::Result<()> {
+    let mut kept: Vec<JsonVal> = Vec::new();
+    if let Ok(prev) = std::fs::read_to_string(path) {
+        if let Ok(doc) = JsonVal::parse(&prev) {
+            if let Some(old) = doc.get("records").and_then(JsonVal::as_arr) {
+                kept.extend(
+                    old.iter()
+                        .filter(|r| r.get("kind").and_then(JsonVal::as_str) != Some(kind))
+                        .cloned(),
+                );
+            }
+        }
+    }
+    kept.extend(records);
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let doc = JsonVal::Obj(vec![
+        ("version".to_string(), JsonVal::Num(1.0)),
+        ("records".to_string(), JsonVal::Arr(kept)),
+    ]);
+    std::fs::write(path, format!("{doc}\n"))
 }
 
 #[cfg(test)]
@@ -572,6 +733,74 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn ft_cases_report_both_time_axes() {
+        // The VM wall-clock is the headline; the instrumented interpreter's
+        // wall-clock rides along so the engine speedup is computable. The
+        // operator baseline has no interpreter axis.
+        let prep = prepare(Workload::Gat, Scale::Small);
+        let ft = run_forward(&prep, System::FtOptimized, Device::Cpu);
+        assert!(ft.failure.is_none(), "{:?}", ft.failure);
+        assert!(ft.interp_wall_ms.is_some());
+        assert!(ft.vm_speedup().is_some());
+        let ob = run_forward(&prep, System::OpBase, Device::Cpu);
+        assert!(ob.interp_wall_ms.is_none());
+        assert!(ob.vm_speedup().is_none());
+    }
+
+    #[test]
+    fn grad_oom_reports_elapsed_time_and_stage() {
+        // Regression: a failing grad case used to report wall_ms = 0.0.
+        let prep = prepare(Workload::Longformer, Scale::Small);
+        let r = run_grad_capped(
+            &prep,
+            System::FtOptimized,
+            Device::Gpu,
+            TapePolicy::All,
+            Some(16 << 10),
+        );
+        assert!(r.failure.is_some());
+        assert!(r.wall_ms > 0.0, "failure must still report elapsed time");
+        assert!(r.failed_stage.is_some());
+    }
+
+    #[test]
+    fn bench_json_merges_across_kinds() {
+        let path = std::env::temp_dir().join(format!(
+            "ft-bench-json-test-{}.json",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let prep = prepare(Workload::Gat, Scale::Small);
+        let r = run_forward(&prep, System::FtOptimized, Device::Cpu);
+        let rec = |kind: &str| {
+            json_record(
+                Workload::Gat,
+                System::FtOptimized,
+                Device::Cpu,
+                kind,
+                Scale::Small,
+                &r,
+            )
+        };
+        write_bench_json(&path, "forward", vec![rec("forward")]).unwrap();
+        write_bench_json(&path, "grad", vec![rec("grad")]).unwrap();
+        // Re-writing one kind replaces that kind only.
+        write_bench_json(&path, "forward", vec![rec("forward")]).unwrap();
+        let doc = JsonVal::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let records = doc.get("records").unwrap().as_arr().unwrap();
+        assert_eq!(records.len(), 2);
+        let kinds: Vec<_> = records
+            .iter()
+            .map(|r| r.get("kind").unwrap().as_str().unwrap().to_string())
+            .collect();
+        assert!(kinds.contains(&"forward".to_string()));
+        assert!(kinds.contains(&"grad".to_string()));
+        assert!(records[0].get("wall_ms").unwrap().as_f64().unwrap() > 0.0);
+        assert!(records[0].get("vm_wall_speedup").is_some());
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -30,7 +30,7 @@
 use ft_autodiff::{AdError, GradOptions};
 use ft_autoschedule::Target;
 use ft_ir::Func;
-use ft_runtime::{RunResult, Runtime, RuntimeError, TensorVal};
+use ft_runtime::{RunResult, Runtime, RuntimeError, TensorVal, VmRuntime};
 use ft_trace::TraceSink;
 use std::collections::HashMap;
 
@@ -198,6 +198,35 @@ impl Program {
         }
     }
 
+    /// Execute on the bytecode VM (the wall-clock engine; see
+    /// `ft_runtime::VmRuntime`). Sink propagation matches [`Program::run`]:
+    /// if this program carries a trace sink and `vm` has none, the run is
+    /// recorded into the program's sink.
+    ///
+    /// # Errors
+    ///
+    /// See [`ft_runtime::VmRuntime::run`].
+    pub fn run_vm(
+        &self,
+        vm: &VmRuntime,
+        inputs: &[(&str, TensorVal)],
+        sizes: &[(&str, i64)],
+    ) -> Result<RunResult, RuntimeError> {
+        let inputs: HashMap<String, TensorVal> = inputs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect();
+        let sizes: HashMap<String, i64> = sizes.iter().map(|(k, v)| (k.to_string(), *v)).collect();
+        match &self.sink {
+            Some(s) if vm.sink().is_none() => {
+                let mut v = vm.clone();
+                v.set_sink(Some(s.clone()));
+                v.run(&self.func, &inputs, &sizes)
+            }
+            _ => vm.run(&self.func, &inputs, &sizes),
+        }
+    }
+
     /// Emit C99 + OpenMP source for the current schedule.
     pub fn emit_c(&self) -> String {
         ft_codegen::emit_c_traced(&self.func, self.sink.as_ref())
@@ -307,6 +336,22 @@ mod tests {
         // The exported Chrome trace is well-formed.
         let json = ft_trace::chrome_trace(&sink);
         ft_trace::validate_chrome_trace(&json).unwrap();
+    }
+
+    #[test]
+    fn vm_engine_matches_interpreter_end_to_end() {
+        let p = Program::compile(
+            "def f(x: f32[32] in, y: f32[32] out):\n  for i in range(32):\n    y[i] = x[i] * x[i] + 1\n",
+            "f",
+        )
+        .unwrap();
+        let fast = p.optimize(&Target::cpu());
+        let x = TensorVal::from_f32(&[32], (0..32).map(|v| v as f32 * 0.25).collect());
+        let ri = fast.run(&Runtime::new(), &[("x", x.clone())], &[]).unwrap();
+        let rv = fast
+            .run_vm(&VmRuntime::new(), &[("x", x)], &[])
+            .unwrap();
+        assert_eq!(ri.output("y"), rv.output("y"));
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The execution backends a variant is pushed through.
 
 use ft_ir::{AccessType, Func};
-use ft_runtime::{run_threaded, Runtime, TensorVal};
+use ft_runtime::{run_threaded, run_vm, Runtime, TensorVal};
 use std::collections::HashMap;
 
 /// Worker threads used by the thread-parallel backend.
@@ -16,6 +16,9 @@ pub enum Backend {
     Threaded,
     /// C codegen, compiled with the system compiler and executed.
     Codegen,
+    /// Fast-mode bytecode VM ([`run_vm`]) — the wall-clock engine, with an
+    /// automatic interpreter fallback for statically untypable programs.
+    Vm,
 }
 
 impl Backend {
@@ -25,12 +28,13 @@ impl Backend {
             Backend::Interp => "interp",
             Backend::Threaded => "threaded",
             Backend::Codegen => "codegen",
+            Backend::Vm => "vm",
         }
     }
 
     /// Inverse of [`Backend::name`].
     pub fn from_name(name: &str) -> Option<Backend> {
-        [Backend::Interp, Backend::Threaded, Backend::Codegen]
+        [Backend::Interp, Backend::Threaded, Backend::Codegen, Backend::Vm]
             .into_iter()
             .find(|b| b.name() == name)
     }
@@ -38,7 +42,7 @@ impl Backend {
     /// All backends usable in this environment: the codegen backend is
     /// included only when a C compiler is on `PATH`.
     pub fn available() -> Vec<Backend> {
-        let mut v = vec![Backend::Interp, Backend::Threaded];
+        let mut v = vec![Backend::Interp, Backend::Threaded, Backend::Vm];
         if crate::cjit::cc_available() {
             v.push(Backend::Codegen);
         }
@@ -75,5 +79,6 @@ pub fn run_backend(
         Backend::Threaded => run_threaded(func, inputs, &HashMap::new(), THREADS)
             .map_err(|e| format!("threaded: {e:?}")),
         Backend::Codegen => crate::cjit::run_c(func, inputs, &HashMap::new()),
+        Backend::Vm => run_vm(func, inputs, &HashMap::new()).map_err(|e| format!("vm: {e:?}")),
     }
 }

@@ -1,0 +1,2929 @@
+//! A flat bytecode VM over the slot-indexed lowering in [`crate::compiled`].
+//!
+//! The tree-walking interpreter ([`crate::interp::Runtime`]) is the
+//! *specification*: deterministic, fully instrumented, and deliberately
+//! simple. It is also slow — every expression evaluation chases `Box`es,
+//! re-matches enum variants, and re-folds multi-dimensional indices. This
+//! module lowers a [`Compiled`] function once more into a linear instruction
+//! stream over a flat `u64` register file, executed by a single dispatch
+//! loop with explicit jump offsets: no recursion, no allocation per
+//! statement, no hash lookups.
+//!
+//! Two modes ([`VmMode`]):
+//!
+//! * **Fast** — the wall-clock execution path. Performance counters, the
+//!   cache simulator and per-statement profiling are compiled *out* (only
+//!   the device-capacity accounting needed to reproduce out-of-memory
+//!   errors remains), and affine tensor indices inside the innermost loop
+//!   are strength-reduced to a per-iteration induction increment
+//!   (`off += stride`) hoisted into a loop preheader.
+//! * **Instrumented** — executes the same instruction stream annotated with
+//!   counting ops in exactly the interpreter's order, reproducing
+//!   [`PerfCounters`] (including the `f64` `modeled_cycles`) and the
+//!   per-statement profile *bit-for-bit*. Strength reduction is disabled so
+//!   every access runs through the same bounds-check/cache-model sequence
+//!   as the interpreter.
+//!
+//! Programs the static compiler cannot type (currently: `Select` whose arms
+//! evaluate to different runtime scalar kinds) and runs whose supplied
+//! input dtypes differ from the declared parameter dtypes fall back
+//! transparently to the interpreter, so [`VmRuntime::run`] is a drop-in
+//! replacement for [`Runtime::run`](crate::interp::Runtime::run).
+//!
+//! ## Known, documented divergences (erroring programs only)
+//!
+//! On programs that *succeed*, outputs (all modes) and counters
+//! (instrumented mode) are bit-identical to the interpreter; the
+//! differential fuzz suite asserts this. Programs that *fail* may differ in
+//! the error payload (never in success/failure of instrumented runs on
+//! in-bounds programs):
+//!
+//! * Fast-mode strength-reduced accesses check the *flat* offset against
+//!   `numel` instead of each dimension, so a program that indexes
+//!   out-of-bounds per-dimension but in-bounds flat is caught by the
+//!   interpreter and instrumented mode but not by fast mode, and the
+//!   out-of-bounds payload carries the flat offset.
+//! * `VarDef`/parameter shapes are evaluated dimension-at-a-time by the
+//!   interpreter (erroring before later dimensions run) but
+//!   all-dims-then-convert by the VM.
+//! * Integer overflow wraps in the VM (as it does in interpreter release
+//!   builds) where a debug-build interpreter would panic.
+//! * Fast mode hoists loop-invariant index arithmetic — including loads
+//!   from tensors the loop does not write, for accesses executed
+//!   unconditionally on every iteration — into the loop preheader. The
+//!   hoisted code only runs when the loop has at least one iteration, so
+//!   every fault it can raise is one the first iteration would raise too,
+//!   but it runs *before* that iteration's other side effects, so an
+//!   erroring program may report a different (still-legitimate) error than
+//!   the interpreter.
+
+use crate::compiled::Compiled;
+use crate::counters::{CacheSim, PerfCounters, LINE};
+use crate::device::DeviceConfig;
+use crate::error::RuntimeError;
+use crate::interp::{RunResult, Runtime};
+use crate::value::{Scalar, TensorVal};
+use ft_ir::{AccessType, BinaryOp, DataType, Device, Func, MemType, ParallelScope, ReduceOp, UnaryOp};
+use ft_trace::{ProfileNode, RunProfile, StmtCounters, TraceSink, TRACK_RUNTIME};
+use std::collections::HashMap;
+
+/// Execution mode of the VM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Default)]
+pub enum VmMode {
+    /// Counters off, cache model off, strength reduction on: the wall-clock
+    /// path. [`RunResult::counters`] comes back defaulted.
+    #[default]
+    Fast,
+    /// Bit-exact [`PerfCounters`] / profile parity with the interpreter.
+    Instrumented,
+}
+
+/// Statically inferred scalar kind of a register, mirroring the
+/// interpreter's runtime [`Scalar`] variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ty {
+    /// `Scalar::Int` — stored as the `i64` bit pattern.
+    I,
+    /// `Scalar::Float` — stored via `f64::to_bits`.
+    F,
+    /// `Scalar::Bool` — stored as 0/1.
+    B,
+}
+
+fn ty_of(dtype: DataType) -> Ty {
+    match dtype {
+        DataType::F32 | DataType::F64 => Ty::F,
+        DataType::I32 | DataType::I64 => Ty::I,
+        DataType::Bool => Ty::B,
+    }
+}
+
+/// One VM instruction. Register operands are indices into a flat `u64`
+/// file; the first `n_scalars` registers are the scalar slots of the
+/// lowering (loop iterators and size parameters, always [`Ty::I`]).
+#[derive(Debug, Clone)]
+enum Instr {
+    ConstI { dst: u32, v: i64 },
+    ConstF { dst: u32, v: f64 },
+    ConstB { dst: u32, v: bool },
+    Mov { dst: u32, src: u32 },
+    /// `dst += v` (wrapping). Loop increment and preheader probe.
+    AddImmI { dst: u32, v: i64 },
+
+    AddI { dst: u32, a: u32, b: u32 },
+    SubI { dst: u32, a: u32, b: u32 },
+    MulI { dst: u32, a: u32, b: u32 },
+    DivI { dst: u32, a: u32, b: u32 },
+    ModI { dst: u32, a: u32, b: u32 },
+    MinI { dst: u32, a: u32, b: u32 },
+    MaxI { dst: u32, a: u32, b: u32 },
+    PowI { dst: u32, a: u32, b: u32 },
+
+    AddF { dst: u32, a: u32, b: u32 },
+    SubF { dst: u32, a: u32, b: u32 },
+    MulF { dst: u32, a: u32, b: u32 },
+    DivF { dst: u32, a: u32, b: u32 },
+    ModF { dst: u32, a: u32, b: u32 },
+    MinF { dst: u32, a: u32, b: u32 },
+    MaxF { dst: u32, a: u32, b: u32 },
+    PowF { dst: u32, a: u32, b: u32 },
+
+    NegI { dst: u32, a: u32 },
+    NegF { dst: u32, a: u32 },
+    AbsI { dst: u32, a: u32 },
+    AbsF { dst: u32, a: u32 },
+    SignI { dst: u32, a: u32 },
+    SignF { dst: u32, a: u32 },
+    NotB { dst: u32, a: u32 },
+    SqrtF { dst: u32, a: u32 },
+    ExpF { dst: u32, a: u32 },
+    LnF { dst: u32, a: u32 },
+    SigmoidF { dst: u32, a: u32 },
+    TanhF { dst: u32, a: u32 },
+
+    /// Comparisons over `f64` operands (the interpreter compares `as_f64`).
+    EqF { dst: u32, a: u32, b: u32 },
+    NeF { dst: u32, a: u32, b: u32 },
+    LtF { dst: u32, a: u32, b: u32 },
+    LeF { dst: u32, a: u32, b: u32 },
+    GtF { dst: u32, a: u32, b: u32 },
+    GeF { dst: u32, a: u32, b: u32 },
+    AndB { dst: u32, a: u32, b: u32 },
+    OrB { dst: u32, a: u32, b: u32 },
+
+    IToF { dst: u32, a: u32 },
+    BToF { dst: u32, a: u32 },
+    BToI { dst: u32, a: u32 },
+    FToI { dst: u32, a: u32 },
+    IToB { dst: u32, a: u32 },
+    FToB { dst: u32, a: u32 },
+    /// `x as f32 as f64` — the F32 cast.
+    RoundF32 { dst: u32, a: u32 },
+    /// `x as i32 as i64` — the I32 cast.
+    TruncI32 { dst: u32, a: u32 },
+
+    Jmp { to: u32 },
+    BrFalse { cond: u32, to: u32 },
+    /// Loop guard: jump if `regs[a] >= regs[b]` (as `i64`).
+    BrGeI { a: u32, b: u32, to: u32 },
+
+    /// Row-major fold of `ndim` index registers starting at `idx`, with
+    /// per-dimension bounds checks (the interpreter's `bounds_check`).
+    Off { t: u32, idx: u32, ndim: u8, dst: u32 },
+    /// Same fold, wrapping and unchecked — preheader stride probes only.
+    OffRaw { t: u32, idx: u32, ndim: u8, dst: u32 },
+    LoadT { t: u32, off: u32, dst: u32 },
+    /// Strength-reduced load: flat offset checked against `numel` only.
+    LoadFlat { t: u32, off: u32, dst: u32 },
+    StoreT { t: u32, off: u32, src: u32, sty: Ty },
+    StoreFlat { t: u32, off: u32, src: u32, sty: Ty },
+    ReduceT { t: u32, off: u32, src: u32, sty: Ty, op: ReduceOp },
+    ReduceFlat { t: u32, off: u32, src: u32, sty: Ty, op: ReduceOp },
+
+    Alloc { t: u32, shape: u32, ndim: u8, dtype: DataType, mtype: MemType },
+    Free { t: u32 },
+    BindParam { p: u32, shape: u32, ndim: u8 },
+    LibCall { id: u32 },
+
+    /// `count_op` in the interpreter's exact position (instrumented only).
+    CountOp { float: bool },
+    LoopEnter { b: u32, e: u32, prof: u32, scope: ParallelScope },
+    LoopExit { b: u32, e: u32, scope: ParallelScope, vectorize: bool },
+    Halt,
+}
+
+/// Marker: the program uses a construct the static compiler cannot type;
+/// the caller falls back to the interpreter.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Unsupported;
+
+/// A parameter binding site.
+#[derive(Debug, Clone)]
+struct ParamSite {
+    slot: usize,
+    dtype: DataType,
+    mtype: MemType,
+    atype: AccessType,
+}
+
+/// A `LibCall` site.
+#[derive(Debug, Clone)]
+struct LibSite {
+    kernel: String,
+    inputs: Vec<usize>,
+    outputs: Vec<usize>,
+    attrs: Vec<i64>,
+    prof: usize,
+}
+
+/// A compiled VM program.
+#[derive(Debug, Clone)]
+pub(crate) struct VmProgram {
+    code: Vec<Instr>,
+    n_regs: usize,
+    n_tensors: usize,
+    tensor_names: Vec<String>,
+    params: Vec<ParamSite>,
+    size_slots: Vec<(String, usize)>,
+    lib_sites: Vec<LibSite>,
+    prof_nodes: Vec<ProfileNode>,
+}
+
+/// Per-open-loop compile state for strength reduction.
+struct LoopCtx {
+    /// Scalar slot of the loop iterator.
+    s: usize,
+    /// `Compiler::cond_depth` at loop entry; an access compiled while the
+    /// depth is back at this value executes unconditionally every iteration.
+    cond_base: usize,
+    /// Tensor slots the loop body writes (stores, reduces, `LibCall`
+    /// outputs, and `VarDef`s) — loads from any other tensor are
+    /// loop-invariant.
+    writes: std::collections::HashSet<usize>,
+    /// Whether the preheader contains instructions that can fault (hoisted
+    /// invariant loads / integer division); if so the preheader must be
+    /// skipped for zero-trip loops.
+    faulty_preheader: bool,
+    /// Instructions to run once at loop entry (after `s = begin`).
+    preheader: Vec<Instr>,
+    /// Induction increments to run at the end of every iteration.
+    latches: Vec<Instr>,
+}
+
+impl LoopCtx {
+    fn new(s: usize, cond_base: usize, writes: std::collections::HashSet<usize>) -> LoopCtx {
+        LoopCtx {
+            s,
+            cond_base,
+            writes,
+            faulty_preheader: false,
+            preheader: Vec::new(),
+            latches: Vec::new(),
+        }
+    }
+}
+
+/// Collect every tensor slot `s` can write (or reallocate).
+fn collect_writes(s: &crate::compiled::CStmt, out: &mut std::collections::HashSet<usize>) {
+    use crate::compiled::CStmt as S;
+    match s {
+        S::Nop => {}
+        S::Seq(v) => v.iter().for_each(|st| collect_writes(st, out)),
+        S::VarDef { t, body, .. } => {
+            out.insert(*t);
+            collect_writes(body, out);
+        }
+        S::For { body, .. } => collect_writes(body, out),
+        S::If {
+            then, otherwise, ..
+        } => {
+            collect_writes(then, out);
+            if let Some(o) = otherwise {
+                collect_writes(o, out);
+            }
+        }
+        S::Store { t, .. } | S::Reduce { t, .. } => {
+            out.insert(*t);
+        }
+        S::LibCall { outputs, .. } => out.extend(outputs.iter().copied()),
+    }
+}
+
+struct Compiler {
+    buf: Vec<Instr>,
+    /// Next free register (stack-discipline temporaries).
+    next: u32,
+    /// Registers below this are permanently reserved (persists).
+    floor: u32,
+    max_regs: u32,
+    instrumented: bool,
+    loops: Vec<LoopCtx>,
+    /// Loop depth at which each tensor slot was defined (`Some(0)` for
+    /// parameters), used to prove a tensor — and hence its shape — is
+    /// invariant in the innermost loop.
+    depth_of: Vec<Option<usize>>,
+    /// Declared dtype per tensor slot (fixed by the lowering).
+    tdtype: Vec<DataType>,
+    /// Number of conditional constructs (`If` branches, `Select` arms)
+    /// currently open; compared against `LoopCtx::cond_base` to decide
+    /// whether an access executes unconditionally in its loop.
+    cond_depth: usize,
+    lib_sites: Vec<LibSite>,
+}
+
+/// Whether `e` is total (cannot fault), pure (no memory reads) and integer
+/// (never produces a `Float`/`Bool` that `as_i64` would bend nonlinearly):
+/// safe to evaluate speculatively in a preheader, even for zero-trip loops.
+fn pure_total(e: &crate::compiled::CExpr) -> bool {
+    use crate::compiled::CExpr as E;
+    use BinaryOp::*;
+    match e {
+        E::Int(_) | E::Scalar(_) => true,
+        E::Unary { op, a } => {
+            matches!(op, UnaryOp::Neg | UnaryOp::Abs | UnaryOp::Sign) && pure_total(a)
+        }
+        E::Binary { op, a, b } => {
+            matches!(op, Add | Sub | Mul | Min | Max) && pure_total(a) && pure_total(b)
+        }
+        _ => false,
+    }
+}
+
+/// Whether scalar slot `s` appears anywhere in `e`.
+fn contains_scalar(e: &crate::compiled::CExpr, s: usize) -> bool {
+    use crate::compiled::CExpr as E;
+    match e {
+        E::Int(_) | E::Float(_) | E::Bool(_) => false,
+        E::Scalar(x) => *x == s,
+        E::Load { idx, .. } => idx.iter().any(|i| contains_scalar(i, s)),
+        E::Unary { a, .. } => contains_scalar(a, s),
+        E::Binary { a, b, .. } => contains_scalar(a, s) || contains_scalar(b, s),
+        E::Select {
+            cond,
+            then,
+            otherwise,
+        } => {
+            contains_scalar(cond, s) || contains_scalar(then, s) || contains_scalar(otherwise, s)
+        }
+        E::Cast { a, .. } => contains_scalar(a, s),
+    }
+}
+
+/// Whether `e` (already known `pure_total`) is an affine function of scalar
+/// slot `s`, with everything else loop-invariant.
+fn linear_in(e: &crate::compiled::CExpr, s: usize) -> bool {
+    use crate::compiled::CExpr as E;
+    use BinaryOp::*;
+    match e {
+        E::Int(_) | E::Scalar(_) => true,
+        E::Unary { op, a } => match op {
+            UnaryOp::Neg => linear_in(a, s),
+            _ => !contains_scalar(a, s),
+        },
+        E::Binary { op, a, b } => match op {
+            Add | Sub => linear_in(a, s) && linear_in(b, s),
+            Mul => {
+                (linear_in(a, s) && !contains_scalar(b, s))
+                    || (!contains_scalar(a, s) && linear_in(b, s))
+            }
+            Min | Max => !contains_scalar(a, s) && !contains_scalar(b, s),
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+fn reloc(mut ins: Instr, base: u32) -> Instr {
+    match &mut ins {
+        Instr::Jmp { to } | Instr::BrFalse { to, .. } | Instr::BrGeI { to, .. } => *to += base,
+        _ => {}
+    }
+    ins
+}
+
+impl Compiler {
+    fn emit(&mut self, i: Instr) {
+        self.buf.push(i);
+    }
+
+    fn emit_idx(&mut self, i: Instr) -> usize {
+        self.buf.push(i);
+        self.buf.len() - 1
+    }
+
+    fn patch(&mut self, at: usize, to: u32) {
+        match &mut self.buf[at] {
+            Instr::Jmp { to: t } | Instr::BrFalse { to: t, .. } | Instr::BrGeI { to: t, .. } => {
+                *t = to
+            }
+            other => unreachable!("patch target is not a branch: {other:?}"),
+        }
+    }
+
+    fn mark(&self) -> u32 {
+        self.next
+    }
+
+    fn alloc_tmp(&mut self) -> u32 {
+        let r = self.next;
+        self.next += 1;
+        if self.next > self.max_regs {
+            self.max_regs = self.next;
+        }
+        r
+    }
+
+    /// Release temporaries back to `mark` (never below the persist floor).
+    fn free_to(&mut self, mark: u32) {
+        self.next = mark.max(self.floor);
+    }
+
+    /// Allocate a register that survives for the rest of the program.
+    ///
+    /// Persists must not collide with *any* temporary — including ones in
+    /// code emitted earlier that re-executes every loop iteration (a loop
+    /// body's early statements run again after a later statement's persist
+    /// is installed). Allocating at the high watermark puts the persist
+    /// above every register ever touched, and raising the floor keeps all
+    /// future temporaries above it too. Registers skipped in between are
+    /// leaked (8 bytes each, bounded by program size).
+    fn alloc_persist(&mut self) -> u32 {
+        let r = self.max_regs;
+        self.max_regs = r + 1;
+        self.floor = r + 1;
+        self.next = r + 1;
+        r
+    }
+
+    /// Emit a conversion between scalar kinds, mirroring the interpreter's
+    /// `as_f64`/`as_i64`/`as_bool` (which are free — no `count_op`).
+    fn conv(&mut self, r: u32, from: Ty, to: Ty) -> u32 {
+        if from == to {
+            return r;
+        }
+        let dst = self.alloc_tmp();
+        let ins = match (from, to) {
+            (Ty::I, Ty::F) => Instr::IToF { dst, a: r },
+            (Ty::B, Ty::F) => Instr::BToF { dst, a: r },
+            (Ty::B, Ty::I) => Instr::BToI { dst, a: r },
+            (Ty::F, Ty::I) => Instr::FToI { dst, a: r },
+            (Ty::I, Ty::B) => Instr::IToB { dst, a: r },
+            (Ty::F, Ty::B) => Instr::FToB { dst, a: r },
+            _ => unreachable!(),
+        };
+        self.emit(ins);
+        dst
+    }
+
+    /// Compile each index expression into a contiguous register block
+    /// (converted to `i64`, preserving the interpreter's evaluation order).
+    fn idx_block(&mut self, idx: &[crate::compiled::CExpr]) -> Result<u32, Unsupported> {
+        let blk = self.next;
+        for _ in idx {
+            self.alloc_tmp();
+        }
+        for (d, e) in idx.iter().enumerate() {
+            let mark = self.mark();
+            let (r, t) = self.expr(e)?;
+            let r = self.conv(r, t, Ty::I);
+            self.emit(Instr::Mov {
+                dst: blk + d as u32,
+                src: r,
+            });
+            self.free_to(mark);
+        }
+        Ok(blk)
+    }
+
+    /// Statically inferred scalar kind of an expression, mirroring the
+    /// typing rules `expr` compiles with.
+    fn static_ty(&self, e: &crate::compiled::CExpr) -> Ty {
+        use crate::compiled::CExpr as E;
+        use BinaryOp::*;
+        match e {
+            E::Int(_) => Ty::I,
+            E::Float(_) => Ty::F,
+            E::Bool(_) => Ty::B,
+            E::Scalar(_) => Ty::I,
+            E::Load { t, .. } => ty_of(self.tdtype[*t]),
+            E::Unary { op, a } => match op {
+                UnaryOp::Not => Ty::B,
+                UnaryOp::Sqrt
+                | UnaryOp::Exp
+                | UnaryOp::Ln
+                | UnaryOp::Sigmoid
+                | UnaryOp::Tanh => Ty::F,
+                UnaryOp::Neg | UnaryOp::Abs | UnaryOp::Sign => self.static_ty(a),
+            },
+            E::Binary { op, a, b } => match op {
+                And | Or | Eq | Ne | Lt | Le | Gt | Ge => Ty::B,
+                _ if self.static_ty(a) == Ty::F || self.static_ty(b) == Ty::F => Ty::F,
+                _ => Ty::I,
+            },
+            E::Select { then, .. } => self.static_ty(then),
+            E::Cast { dtype, .. } => ty_of(*dtype),
+        }
+    }
+
+    /// Whether `e` is invariant in scalar slot `s` *and* safe to hoist into
+    /// the loop preheader: it never references `s`, and every load it
+    /// performs reads a tensor that exists before the loop and that the
+    /// loop body does not write, so its value — and any fault it raises —
+    /// is exactly that of the access's first-iteration evaluation.
+    fn invariant_ok(
+        &self,
+        e: &crate::compiled::CExpr,
+        s: usize,
+        writes: &std::collections::HashSet<usize>,
+    ) -> bool {
+        use crate::compiled::CExpr as E;
+        match e {
+            E::Int(_) | E::Float(_) | E::Bool(_) => true,
+            E::Scalar(x) => *x != s,
+            E::Load { t, idx } => {
+                !writes.contains(t)
+                    && self.depth_of[*t].is_some_and(|d| d < self.loops.len())
+                    && idx.iter().all(|i| self.invariant_ok(i, s, writes))
+            }
+            E::Unary { a, .. } => self.invariant_ok(a, s, writes),
+            E::Binary { a, b, .. } => {
+                self.invariant_ok(a, s, writes) && self.invariant_ok(b, s, writes)
+            }
+            E::Select {
+                cond,
+                then,
+                otherwise,
+            } => {
+                self.invariant_ok(cond, s, writes)
+                    && self.invariant_ok(then, s, writes)
+                    && self.invariant_ok(otherwise, s, writes)
+            }
+            E::Cast { a, .. } => self.invariant_ok(a, s, writes),
+        }
+    }
+
+    /// Affine-in-`s` check where `s`-free subtrees may be arbitrary
+    /// hoistable invariants ([`Compiler::invariant_ok`]), as long as every
+    /// node on the `s`-path stays integer-typed — a float on the path would
+    /// round the truncated offset and break the two-point stride probe.
+    fn linear_mixed(
+        &self,
+        e: &crate::compiled::CExpr,
+        s: usize,
+        writes: &std::collections::HashSet<usize>,
+    ) -> bool {
+        use crate::compiled::CExpr as E;
+        use BinaryOp::*;
+        if self.invariant_ok(e, s, writes) {
+            return self.static_ty(e) != Ty::F;
+        }
+        match e {
+            E::Scalar(x) => *x == s,
+            E::Unary {
+                op: UnaryOp::Neg,
+                a,
+            } => self.linear_mixed(a, s, writes),
+            E::Binary { op, a, b } => match op {
+                Add | Sub => {
+                    self.linear_mixed(a, s, writes) && self.linear_mixed(b, s, writes)
+                }
+                Mul => {
+                    (self.linear_mixed(a, s, writes)
+                        && self.invariant_ok(b, s, writes)
+                        && self.static_ty(b) != Ty::F)
+                        || (self.invariant_ok(a, s, writes)
+                            && self.static_ty(a) != Ty::F
+                            && self.linear_mixed(b, s, writes))
+                }
+                _ => false,
+            },
+            _ => false,
+        }
+    }
+
+    /// Try to strength-reduce an access to tensor `t` at `idx` against the
+    /// innermost loop: returns the register holding the (incrementally
+    /// maintained) flat offset, or `None` to take the generic path.
+    ///
+    /// The stride is measured *numerically* in the preheader — the offset is
+    /// evaluated at `s` and `s + 1` and subtracted — which handles
+    /// runtime-invariant coefficients (`i * n + j` with a size parameter
+    /// `n`) that a compile-time constant folder could not. Structural
+    /// linearity is still required, so the two probes fully determine the
+    /// sequence (wrapping arithmetic keeps this exact mod 2^64).
+    fn try_reduce(
+        &mut self,
+        t: usize,
+        idx: &[crate::compiled::CExpr],
+    ) -> Result<Option<u32>, Unsupported> {
+        if self.instrumented {
+            return Ok(None);
+        }
+        let Some((s, cond_base)) = self.loops.last().map(|l| (l.s, l.cond_base)) else {
+            return Ok(None);
+        };
+        // The tensor (and hence its shape, which OffRaw reads at loop
+        // entry) must exist before the loop starts.
+        if self.depth_of[t].is_none_or(|d| d >= self.loops.len()) {
+            return Ok(None);
+        }
+        // Two eligibility tiers: `simple` probes are pure arithmetic that
+        // cannot fault, so they may run unconditionally in the preheader
+        // even for zero-trip loops; `with_loads` probes additionally hoist
+        // loop-invariant loads (gather rows, runtime strides read from
+        // memory), which is only sound for accesses executed
+        // unconditionally on every iteration — and obliges the preheader to
+        // be skipped when the loop runs zero iterations.
+        let simple = idx.iter().all(|e| pure_total(e) && linear_in(e, s));
+        let with_loads = !simple && self.cond_depth == cond_base && {
+            let lp = self.loops.last().expect("checked above");
+            idx.iter().all(|e| {
+                self.invariant_ok(e, s, &lp.writes) || self.linear_mixed(e, s, &lp.writes)
+            })
+        };
+        if !(simple || with_loads) {
+            return Ok(None);
+        }
+        if with_loads {
+            self.loops
+                .last_mut()
+                .expect("checked above")
+                .faulty_preheader = true;
+        }
+        let varying = idx.iter().any(|e| contains_scalar(e, s));
+        let r_off = self.alloc_persist();
+        let r_stride = if varying {
+            Some(self.alloc_persist())
+        } else {
+            None
+        };
+        let mut pre = Vec::new();
+        std::mem::swap(&mut self.buf, &mut pre);
+        let mark = self.mark();
+        let blk = self.idx_block(idx)?;
+        self.emit(Instr::OffRaw {
+            t: t as u32,
+            idx: blk,
+            ndim: idx.len() as u8,
+            dst: r_off,
+        });
+        if let Some(rs) = r_stride {
+            // stride = off(s + 1) - off(s), probed by nudging the iterator.
+            self.emit(Instr::AddImmI {
+                dst: s as u32,
+                v: 1,
+            });
+            let blk2 = self.idx_block(idx)?;
+            let t2 = self.alloc_tmp();
+            self.emit(Instr::OffRaw {
+                t: t as u32,
+                idx: blk2,
+                ndim: idx.len() as u8,
+                dst: t2,
+            });
+            self.emit(Instr::AddImmI {
+                dst: s as u32,
+                v: -1,
+            });
+            self.emit(Instr::SubI {
+                dst: rs,
+                a: t2,
+                b: r_off,
+            });
+        }
+        self.free_to(mark);
+        std::mem::swap(&mut self.buf, &mut pre);
+        let lp = self.loops.last_mut().expect("checked above");
+        lp.preheader.extend(pre);
+        if let Some(rs) = r_stride {
+            lp.latches.push(Instr::AddI {
+                dst: r_off,
+                a: r_off,
+                b: rs,
+            });
+        }
+        Ok(Some(r_off))
+    }
+
+    fn expr(&mut self, e: &crate::compiled::CExpr) -> Result<(u32, Ty), Unsupported> {
+        use crate::compiled::CExpr as E;
+        match e {
+            E::Int(v) => {
+                let dst = self.alloc_tmp();
+                self.emit(Instr::ConstI { dst, v: *v });
+                Ok((dst, Ty::I))
+            }
+            E::Float(v) => {
+                let dst = self.alloc_tmp();
+                self.emit(Instr::ConstF { dst, v: *v });
+                Ok((dst, Ty::F))
+            }
+            E::Bool(v) => {
+                let dst = self.alloc_tmp();
+                self.emit(Instr::ConstB { dst, v: *v });
+                Ok((dst, Ty::B))
+            }
+            // Scalar slots are read-only to expressions; return the slot
+            // register itself.
+            E::Scalar(s) => Ok((*s as u32, Ty::I)),
+            E::Load { t, idx } => {
+                let ty = ty_of(self.tdtype[*t]);
+                if let Some(off) = self.try_reduce(*t, idx)? {
+                    let dst = self.alloc_tmp();
+                    self.emit(Instr::LoadFlat {
+                        t: *t as u32,
+                        off,
+                        dst,
+                    });
+                    Ok((dst, ty))
+                } else {
+                    let mark = self.mark();
+                    let blk = self.idx_block(idx)?;
+                    let roff = self.alloc_tmp();
+                    self.emit(Instr::Off {
+                        t: *t as u32,
+                        idx: blk,
+                        ndim: idx.len() as u8,
+                        dst: roff,
+                    });
+                    self.free_to(mark);
+                    let dst = self.alloc_tmp();
+                    self.emit(Instr::LoadT {
+                        t: *t as u32,
+                        off: roff,
+                        dst,
+                    });
+                    Ok((dst, ty))
+                }
+            }
+            E::Unary { op, a } => {
+                let mark = self.mark();
+                let (ra, ta) = self.expr(a)?;
+                if self.instrumented {
+                    self.emit(Instr::CountOp { float: ta == Ty::F });
+                }
+                use UnaryOp::*;
+                match op {
+                    // The interpreter's catch-all passes Bool operands
+                    // through Neg/Abs/Sign unchanged.
+                    Neg | Abs | Sign if ta == Ty::B => Ok((ra, Ty::B)),
+                    Neg | Abs | Sign => {
+                        self.free_to(mark);
+                        let dst = self.alloc_tmp();
+                        self.emit(match (op, ta) {
+                            (Neg, Ty::F) => Instr::NegF { dst, a: ra },
+                            (Neg, _) => Instr::NegI { dst, a: ra },
+                            (Abs, Ty::F) => Instr::AbsF { dst, a: ra },
+                            (Abs, _) => Instr::AbsI { dst, a: ra },
+                            (Sign, Ty::F) => Instr::SignF { dst, a: ra },
+                            (_, _) => Instr::SignI { dst, a: ra },
+                        });
+                        Ok((dst, ta))
+                    }
+                    Not => {
+                        let ca = self.conv(ra, ta, Ty::B);
+                        self.free_to(mark);
+                        let dst = self.alloc_tmp();
+                        self.emit(Instr::NotB { dst, a: ca });
+                        Ok((dst, Ty::B))
+                    }
+                    Sqrt | Exp | Ln | Sigmoid | Tanh => {
+                        let ca = self.conv(ra, ta, Ty::F);
+                        self.free_to(mark);
+                        let dst = self.alloc_tmp();
+                        self.emit(match op {
+                            Sqrt => Instr::SqrtF { dst, a: ca },
+                            Exp => Instr::ExpF { dst, a: ca },
+                            Ln => Instr::LnF { dst, a: ca },
+                            Sigmoid => Instr::SigmoidF { dst, a: ca },
+                            _ => Instr::TanhF { dst, a: ca },
+                        });
+                        Ok((dst, Ty::F))
+                    }
+                }
+            }
+            E::Binary { op, a, b } => {
+                let mark = self.mark();
+                let (ra, ta) = self.expr(a)?;
+                let (rb, tb) = self.expr(b)?;
+                if self.instrumented {
+                    self.emit(Instr::CountOp {
+                        float: ta == Ty::F || tb == Ty::F,
+                    });
+                }
+                use BinaryOp::*;
+                match op {
+                    And | Or => {
+                        let ca = self.conv(ra, ta, Ty::B);
+                        let cb = self.conv(rb, tb, Ty::B);
+                        self.free_to(mark);
+                        let dst = self.alloc_tmp();
+                        self.emit(match op {
+                            And => Instr::AndB { dst, a: ca, b: cb },
+                            _ => Instr::OrB { dst, a: ca, b: cb },
+                        });
+                        Ok((dst, Ty::B))
+                    }
+                    Eq | Ne | Lt | Le | Gt | Ge => {
+                        let ca = self.conv(ra, ta, Ty::F);
+                        let cb = self.conv(rb, tb, Ty::F);
+                        self.free_to(mark);
+                        let dst = self.alloc_tmp();
+                        self.emit(match op {
+                            Eq => Instr::EqF { dst, a: ca, b: cb },
+                            Ne => Instr::NeF { dst, a: ca, b: cb },
+                            Lt => Instr::LtF { dst, a: ca, b: cb },
+                            Le => Instr::LeF { dst, a: ca, b: cb },
+                            Gt => Instr::GtF { dst, a: ca, b: cb },
+                            _ => Instr::GeF { dst, a: ca, b: cb },
+                        });
+                        Ok((dst, Ty::B))
+                    }
+                    _ if ta == Ty::F || tb == Ty::F => {
+                        let ca = self.conv(ra, ta, Ty::F);
+                        let cb = self.conv(rb, tb, Ty::F);
+                        self.free_to(mark);
+                        let dst = self.alloc_tmp();
+                        self.emit(match op {
+                            Add => Instr::AddF { dst, a: ca, b: cb },
+                            Sub => Instr::SubF { dst, a: ca, b: cb },
+                            Mul => Instr::MulF { dst, a: ca, b: cb },
+                            Div => Instr::DivF { dst, a: ca, b: cb },
+                            Mod => Instr::ModF { dst, a: ca, b: cb },
+                            Min => Instr::MinF { dst, a: ca, b: cb },
+                            Max => Instr::MaxF { dst, a: ca, b: cb },
+                            _ => Instr::PowF { dst, a: ca, b: cb },
+                        });
+                        Ok((dst, Ty::F))
+                    }
+                    _ => {
+                        let ca = self.conv(ra, ta, Ty::I);
+                        let cb = self.conv(rb, tb, Ty::I);
+                        self.free_to(mark);
+                        let dst = self.alloc_tmp();
+                        self.emit(match op {
+                            Add => Instr::AddI { dst, a: ca, b: cb },
+                            Sub => Instr::SubI { dst, a: ca, b: cb },
+                            Mul => Instr::MulI { dst, a: ca, b: cb },
+                            Div => Instr::DivI { dst, a: ca, b: cb },
+                            Mod => Instr::ModI { dst, a: ca, b: cb },
+                            Min => Instr::MinI { dst, a: ca, b: cb },
+                            Max => Instr::MaxI { dst, a: ca, b: cb },
+                            _ => Instr::PowI { dst, a: ca, b: cb },
+                        });
+                        Ok((dst, Ty::I))
+                    }
+                }
+            }
+            E::Select {
+                cond,
+                then,
+                otherwise,
+            } => {
+                let mark = self.mark();
+                let (rc, tc) = self.expr(cond)?;
+                let cb = self.conv(rc, tc, Ty::B);
+                self.free_to(mark);
+                let dst = self.alloc_tmp();
+                let br = self.emit_idx(Instr::BrFalse { cond: cb, to: 0 });
+                // Arms evaluate conditionally (a compile error discards the
+                // whole compiler, so the depth need not unwind on `?`).
+                self.cond_depth += 1;
+                let mark2 = self.mark();
+                let (rt, tt) = self.expr(then)?;
+                self.emit(Instr::Mov { dst, src: rt });
+                self.free_to(mark2);
+                let jend = self.emit_idx(Instr::Jmp { to: 0 });
+                let else_pc = self.buf.len() as u32;
+                self.patch(br, else_pc);
+                let (re, te) = self.expr(otherwise)?;
+                self.cond_depth -= 1;
+                if tt != te {
+                    // Arms of different runtime scalar kinds cannot be
+                    // statically typed; the whole program falls back.
+                    return Err(Unsupported);
+                }
+                self.emit(Instr::Mov { dst, src: re });
+                self.free_to(mark2);
+                let end_pc = self.buf.len() as u32;
+                self.patch(jend, end_pc);
+                Ok((dst, tt))
+            }
+            E::Cast { dtype, a } => {
+                let mark = self.mark();
+                let (ra, ta) = self.expr(a)?;
+                match dtype {
+                    DataType::F32 => {
+                        let c = self.conv(ra, ta, Ty::F);
+                        self.free_to(mark);
+                        let dst = self.alloc_tmp();
+                        self.emit(Instr::RoundF32 { dst, a: c });
+                        Ok((dst, Ty::F))
+                    }
+                    DataType::F64 => Ok((self.conv(ra, ta, Ty::F), Ty::F)),
+                    DataType::I32 => {
+                        let c = self.conv(ra, ta, Ty::I);
+                        self.free_to(mark);
+                        let dst = self.alloc_tmp();
+                        self.emit(Instr::TruncI32 { dst, a: c });
+                        Ok((dst, Ty::I))
+                    }
+                    DataType::I64 => Ok((self.conv(ra, ta, Ty::I), Ty::I)),
+                    DataType::Bool => Ok((self.conv(ra, ta, Ty::B), Ty::B)),
+                }
+            }
+        }
+    }
+
+    fn stmt(&mut self, s: &crate::compiled::CStmt) -> Result<(), Unsupported> {
+        use crate::compiled::CStmt as S;
+        match s {
+            S::Nop => {}
+            S::Seq(v) => {
+                for st in v {
+                    self.stmt(st)?;
+                }
+            }
+            S::If {
+                cond,
+                then,
+                otherwise,
+            } => {
+                let mark = self.mark();
+                let (rc, tc) = self.expr(cond)?;
+                let cb = self.conv(rc, tc, Ty::B);
+                self.free_to(mark);
+                let br = self.emit_idx(Instr::BrFalse { cond: cb, to: 0 });
+                self.cond_depth += 1;
+                self.stmt(then)?;
+                if let Some(o) = otherwise {
+                    let j = self.emit_idx(Instr::Jmp { to: 0 });
+                    let else_pc = self.buf.len() as u32;
+                    self.patch(br, else_pc);
+                    self.stmt(o)?;
+                    let end = self.buf.len() as u32;
+                    self.patch(j, end);
+                } else {
+                    let end = self.buf.len() as u32;
+                    self.patch(br, end);
+                }
+                self.cond_depth -= 1;
+            }
+            S::Store { t, idx, value } => {
+                let mark = self.mark();
+                if let Some(off) = self.try_reduce(*t, idx)? {
+                    let (rv, tv) = self.expr(value)?;
+                    self.emit(Instr::StoreFlat {
+                        t: *t as u32,
+                        off,
+                        src: rv,
+                        sty: tv,
+                    });
+                } else {
+                    let blk = self.idx_block(idx)?;
+                    let (rv, tv) = self.expr(value)?;
+                    // Bounds are checked after the value evaluates, matching
+                    // the interpreter's error order.
+                    let roff = self.alloc_tmp();
+                    self.emit(Instr::Off {
+                        t: *t as u32,
+                        idx: blk,
+                        ndim: idx.len() as u8,
+                        dst: roff,
+                    });
+                    self.emit(Instr::StoreT {
+                        t: *t as u32,
+                        off: roff,
+                        src: rv,
+                        sty: tv,
+                    });
+                }
+                self.free_to(mark);
+            }
+            S::Reduce { t, idx, op, value } => {
+                let mark = self.mark();
+                if let Some(off) = self.try_reduce(*t, idx)? {
+                    let (rv, tv) = self.expr(value)?;
+                    self.emit(Instr::ReduceFlat {
+                        t: *t as u32,
+                        off,
+                        src: rv,
+                        sty: tv,
+                        op: *op,
+                    });
+                } else {
+                    let blk = self.idx_block(idx)?;
+                    let (rv, tv) = self.expr(value)?;
+                    let roff = self.alloc_tmp();
+                    self.emit(Instr::Off {
+                        t: *t as u32,
+                        idx: blk,
+                        ndim: idx.len() as u8,
+                        dst: roff,
+                    });
+                    self.emit(Instr::ReduceT {
+                        t: *t as u32,
+                        off: roff,
+                        src: rv,
+                        sty: tv,
+                        op: *op,
+                    });
+                }
+                self.free_to(mark);
+            }
+            S::VarDef {
+                t,
+                shape,
+                dtype,
+                mtype,
+                body,
+            } => {
+                self.tdtype[*t] = *dtype;
+                let mark = self.mark();
+                let blk = self.idx_block(shape)?;
+                self.emit(Instr::Alloc {
+                    t: *t as u32,
+                    shape: blk,
+                    ndim: shape.len() as u8,
+                    dtype: *dtype,
+                    mtype: *mtype,
+                });
+                self.free_to(mark);
+                self.depth_of[*t] = Some(self.loops.len());
+                self.stmt(body)?;
+                self.emit(Instr::Free { t: *t as u32 });
+            }
+            S::LibCall {
+                kernel,
+                inputs,
+                outputs,
+                attrs,
+                prof,
+            } => {
+                let id = self.lib_sites.len() as u32;
+                self.lib_sites.push(LibSite {
+                    kernel: kernel.clone(),
+                    inputs: inputs.clone(),
+                    outputs: outputs.clone(),
+                    attrs: attrs.clone(),
+                    prof: *prof,
+                });
+                self.emit(Instr::LibCall { id });
+            }
+            S::For {
+                s,
+                begin,
+                end,
+                scope,
+                vectorize,
+                prof,
+                body,
+            } => self.compile_for(*s, begin, end, *scope, *vectorize, *prof, body)?,
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn compile_for(
+        &mut self,
+        s: usize,
+        begin: &crate::compiled::CExpr,
+        end: &crate::compiled::CExpr,
+        scope: ParallelScope,
+        vectorize: bool,
+        prof: usize,
+        body: &crate::compiled::CStmt,
+    ) -> Result<(), Unsupported> {
+        let s_reg = s as u32;
+        if self.instrumented {
+            let rb = self.alloc_persist();
+            let re = self.alloc_persist();
+            let mark = self.mark();
+            let (r0, t0) = self.expr(begin)?;
+            let c0 = self.conv(r0, t0, Ty::I);
+            self.emit(Instr::Mov { dst: rb, src: c0 });
+            self.free_to(mark);
+            let (r1, t1) = self.expr(end)?;
+            let c1 = self.conv(r1, t1, Ty::I);
+            self.emit(Instr::Mov { dst: re, src: c1 });
+            self.free_to(mark);
+            self.emit(Instr::LoopEnter {
+                b: rb,
+                e: re,
+                prof: prof as u32,
+                scope,
+            });
+            self.emit(Instr::Mov {
+                dst: s_reg,
+                src: rb,
+            });
+            let guard = self.buf.len() as u32;
+            let gi = self.emit_idx(Instr::BrGeI {
+                a: s_reg,
+                b: re,
+                to: 0,
+            });
+            // Instrumented mode never strength-reduces, so the loop context
+            // carries no write-set.
+            self.loops.push(LoopCtx::new(
+                s,
+                self.cond_depth,
+                std::collections::HashSet::new(),
+            ));
+            let r = self.stmt(body);
+            self.loops.pop();
+            r?;
+            self.emit(Instr::AddImmI { dst: s_reg, v: 1 });
+            self.emit(Instr::Jmp { to: guard });
+            let exit = self.buf.len() as u32;
+            self.patch(gi, exit);
+            self.emit(Instr::LoopExit {
+                b: rb,
+                e: re,
+                scope,
+                vectorize,
+            });
+        } else {
+            // `end` cannot reference `s` (the lowering creates the iterator
+            // slot after lowering both bounds), so `s` can take the begin
+            // value before `end` evaluates.
+            let mark = self.mark();
+            let (r0, t0) = self.expr(begin)?;
+            let c0 = self.conv(r0, t0, Ty::I);
+            self.emit(Instr::Mov {
+                dst: s_reg,
+                src: c0,
+            });
+            self.free_to(mark);
+            let re = self.alloc_persist();
+            let mark2 = self.mark();
+            let (r1, t1) = self.expr(end)?;
+            let c1 = self.conv(r1, t1, Ty::I);
+            self.emit(Instr::Mov { dst: re, src: c1 });
+            self.free_to(mark2);
+            let mut writes = std::collections::HashSet::new();
+            collect_writes(body, &mut writes);
+            self.loops.push(LoopCtx::new(s, self.cond_depth, writes));
+            let mut body_buf = Vec::new();
+            std::mem::swap(&mut self.buf, &mut body_buf);
+            let r = self.stmt(body);
+            std::mem::swap(&mut self.buf, &mut body_buf);
+            let ctx = self.loops.pop().expect("pushed above");
+            r?;
+            // Preheader (offset bases + numeric stride probes), then the
+            // guard, then the relocated body, then the induction latches.
+            // When the preheader can fault (hoisted invariant loads), a
+            // zero-trip pre-guard skips it entirely so an empty loop never
+            // touches memory it would not have touched under the
+            // interpreter.
+            let pre_gi = if ctx.faulty_preheader {
+                Some(self.emit_idx(Instr::BrGeI {
+                    a: s_reg,
+                    b: re,
+                    to: 0,
+                }))
+            } else {
+                None
+            };
+            self.buf.extend(ctx.preheader);
+            let guard = self.buf.len() as u32;
+            let gi = self.emit_idx(Instr::BrGeI {
+                a: s_reg,
+                b: re,
+                to: 0,
+            });
+            let base = self.buf.len() as u32;
+            for ins in body_buf {
+                let ins = reloc(ins, base);
+                self.buf.push(ins);
+            }
+            self.buf.extend(ctx.latches);
+            self.emit(Instr::AddImmI { dst: s_reg, v: 1 });
+            self.emit(Instr::Jmp { to: guard });
+            let exit = self.buf.len() as u32;
+            self.patch(gi, exit);
+            if let Some(pg) = pre_gi {
+                self.patch(pg, exit);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Lower a [`Compiled`] function into a VM program.
+pub(crate) fn compile_program(
+    c: &Compiled,
+    instrumented: bool,
+) -> Result<VmProgram, Unsupported> {
+    let mut cp = Compiler {
+        buf: Vec::new(),
+        next: c.n_scalars as u32,
+        floor: c.n_scalars as u32,
+        max_regs: c.n_scalars as u32,
+        instrumented,
+        loops: Vec::new(),
+        cond_depth: 0,
+        depth_of: vec![None; c.n_tensors],
+        tdtype: vec![DataType::F32; c.n_tensors],
+        lib_sites: Vec::new(),
+    };
+    for (pi, (slot, shape, dtype, _mtype, _atype)) in c.params.iter().enumerate() {
+        cp.tdtype[*slot] = *dtype;
+        cp.depth_of[*slot] = Some(0);
+        let mark = cp.mark();
+        let blk = cp.idx_block(shape)?;
+        cp.emit(Instr::BindParam {
+            p: pi as u32,
+            shape: blk,
+            ndim: shape.len() as u8,
+        });
+        cp.free_to(mark);
+    }
+    cp.stmt(&c.body)?;
+    cp.emit(Instr::Halt);
+    Ok(VmProgram {
+        code: cp.buf,
+        n_regs: cp.max_regs as usize,
+        n_tensors: c.n_tensors,
+        tensor_names: c.tensor_names.clone(),
+        params: c
+            .params
+            .iter()
+            .map(|(slot, _, dtype, mtype, atype)| ParamSite {
+                slot: *slot,
+                dtype: *dtype,
+                mtype: *mtype,
+                atype: *atype,
+            })
+            .collect(),
+        size_slots: c.size_slots.clone(),
+        lib_sites: cp.lib_sites,
+        prof_nodes: c.prof_nodes.clone(),
+    })
+}
+
+/// Typed flat storage of one live tensor.
+#[derive(Debug, Clone)]
+enum Buf {
+    F32(Vec<f32>),
+    F64(Vec<f64>),
+    I32(Vec<i32>),
+    I64(Vec<i64>),
+    B(Vec<bool>),
+}
+
+impl Buf {
+    fn of_tensor_val(v: &TensorVal) -> Buf {
+        match v.dtype() {
+            DataType::F32 => Buf::F32(v.f32_data().expect("dtype pre-checked").to_vec()),
+            DataType::F64 => Buf::F64(v.f64_data().expect("dtype pre-checked").to_vec()),
+            DataType::I32 => Buf::I32(v.i32_data().expect("dtype pre-checked").to_vec()),
+            DataType::I64 => Buf::I64(v.i64_data().expect("dtype pre-checked").to_vec()),
+            DataType::Bool => Buf::B(v.bool_data().expect("dtype pre-checked").to_vec()),
+        }
+    }
+}
+
+/// A live tensor in the VM.
+#[derive(Debug, Clone)]
+struct VTensor {
+    buf: Buf,
+    shape: Vec<usize>,
+    numel: usize,
+    dtype: DataType,
+    mtype: MemType,
+    /// Simulated base address (instrumented mode's cache model).
+    base: u64,
+    bytes: u64,
+}
+
+impl VTensor {
+    fn zeros(dtype: DataType, shape: &[usize], mtype: MemType) -> VTensor {
+        let numel: usize = shape.iter().product();
+        let buf = match dtype {
+            DataType::F32 => Buf::F32(vec![0.0; numel]),
+            DataType::F64 => Buf::F64(vec![0.0; numel]),
+            DataType::I32 => Buf::I32(vec![0; numel]),
+            DataType::I64 => Buf::I64(vec![0; numel]),
+            DataType::Bool => Buf::B(vec![false; numel]),
+        };
+        VTensor {
+            buf,
+            shape: shape.to_vec(),
+            numel,
+            dtype,
+            mtype,
+            base: 0,
+            bytes: (numel * dtype.size_bytes()) as u64,
+        }
+    }
+
+    fn from_tensor_val(v: &TensorVal, mtype: MemType) -> VTensor {
+        VTensor {
+            buf: Buf::of_tensor_val(v),
+            shape: v.shape().to_vec(),
+            numel: v.numel(),
+            dtype: v.dtype(),
+            mtype,
+            base: 0,
+            bytes: v.size_bytes() as u64,
+        }
+    }
+
+    fn tensor_val(&self) -> TensorVal {
+        match &self.buf {
+            Buf::F32(v) => TensorVal::from_f32(&self.shape, v.clone()),
+            Buf::F64(v) => TensorVal::from_f64(&self.shape, v.clone()),
+            Buf::I32(v) => TensorVal::from_i32(&self.shape, v.clone()),
+            Buf::I64(v) => TensorVal::from_i64(&self.shape, v.clone()),
+            Buf::B(v) => TensorVal::from_bool(&self.shape, v.clone()),
+        }
+    }
+
+    fn into_tensor_val(self) -> TensorVal {
+        match self.buf {
+            Buf::F32(v) => TensorVal::from_f32(&self.shape, v),
+            Buf::F64(v) => TensorVal::from_f64(&self.shape, v),
+            Buf::I32(v) => TensorVal::from_i32(&self.shape, v),
+            Buf::I64(v) => TensorVal::from_i64(&self.shape, v),
+            Buf::B(v) => TensorVal::from_bool(&self.shape, v),
+        }
+    }
+
+    /// Mirror of [`TensorVal::get_flat`].
+    #[inline]
+    fn scalar_at(&self, off: usize) -> Scalar {
+        match &self.buf {
+            Buf::F32(v) => Scalar::Float(v[off] as f64),
+            Buf::F64(v) => Scalar::Float(v[off]),
+            Buf::I32(v) => Scalar::Int(v[off] as i64),
+            Buf::I64(v) => Scalar::Int(v[off]),
+            Buf::B(v) => Scalar::Bool(v[off]),
+        }
+    }
+
+    /// Mirror of [`TensorVal::set_flat`].
+    #[inline]
+    fn store_scalar(&mut self, off: usize, v: Scalar) {
+        match &mut self.buf {
+            Buf::F32(d) => d[off] = v.as_f64() as f32,
+            Buf::F64(d) => d[off] = v.as_f64(),
+            Buf::I32(d) => d[off] = v.as_i64() as i32,
+            Buf::I64(d) => d[off] = v.as_i64(),
+            Buf::B(d) => d[off] = v.as_bool(),
+        }
+    }
+}
+
+/// Mutable machine state of one run.
+struct VmState<'a> {
+    config: &'a DeviceConfig,
+    names: &'a [String],
+    regs: Vec<u64>,
+    tensors: Vec<Option<VTensor>>,
+    instrumented: bool,
+    counters: PerfCounters,
+    cache: Option<CacheSim>,
+    next_addr: u64,
+    gpu_depth: usize,
+    prof: Option<Vec<StmtCounters>>,
+    prof_cur: usize,
+    /// `(saved prof_cur, modeled_cycles at entry)` per open loop.
+    loop_stack: Vec<(usize, f64)>,
+    /// Fast-mode live-byte accounting, `[cpu, gpu]`.
+    live: [u64; 2],
+}
+
+#[inline(always)]
+fn dev_index(device: Device) -> usize {
+    matches!(device, Device::Gpu) as usize
+}
+
+impl VmState<'_> {
+    #[inline(always)]
+    fn ri(&self, r: u32) -> i64 {
+        self.regs[r as usize] as i64
+    }
+
+    #[inline(always)]
+    fn rf(&self, r: u32) -> f64 {
+        f64::from_bits(self.regs[r as usize])
+    }
+
+    #[inline(always)]
+    fn rb(&self, r: u32) -> bool {
+        self.regs[r as usize] != 0
+    }
+
+    #[inline(always)]
+    fn wi(&mut self, r: u32, v: i64) {
+        self.regs[r as usize] = v as u64;
+    }
+
+    #[inline(always)]
+    fn wf(&mut self, r: u32, v: f64) {
+        self.regs[r as usize] = v.to_bits();
+    }
+
+    #[inline(always)]
+    fn wb(&mut self, r: u32, v: bool) {
+        self.regs[r as usize] = v as u64;
+    }
+
+    #[inline]
+    fn scalar_of(&self, r: u32, ty: Ty) -> Scalar {
+        match ty {
+            Ty::I => Scalar::Int(self.ri(r)),
+            Ty::F => Scalar::Float(self.rf(r)),
+            Ty::B => Scalar::Bool(self.rb(r)),
+        }
+    }
+
+    /// Mirror of `ExecCtx::count_op`.
+    fn count_op(&mut self, float: bool) {
+        if float {
+            self.counters.flops += 1;
+        } else {
+            self.counters.int_ops += 1;
+        }
+        self.counters.modeled_cycles += self.config.cost_op;
+        if let Some(p) = self.prof.as_mut() {
+            let c = &mut p[self.prof_cur];
+            if float {
+                c.flops += 1;
+            } else {
+                c.int_ops += 1;
+            }
+            c.cycles += self.config.cost_op;
+        }
+    }
+
+    /// Mirror of `ExecCtx::record_access`.
+    fn record_access(&mut self, t: usize, off: usize) {
+        let vt = self.tensors[t].as_ref().expect("checked by caller");
+        let bytes = vt.dtype.size_bytes() as u64;
+        let mtype = vt.mtype;
+        let base = vt.base;
+        match mtype {
+            MemType::CpuHeap | MemType::GpuGlobal => {
+                self.counters.heap_bytes += bytes;
+                self.counters.l2_bytes += bytes;
+                let cache = self.cache.as_mut().expect("instrumented");
+                let addr = base + off as u64 * bytes;
+                let m0 = cache.misses;
+                cache.access(addr, bytes);
+                let misses = cache.misses - m0;
+                let cyc = if misses > 0 {
+                    misses as f64 * self.config.cost_dram
+                } else {
+                    self.config.cost_l2
+                };
+                self.counters.dram_bytes += misses * LINE;
+                self.counters.modeled_cycles += cyc;
+                if let Some(p) = self.prof.as_mut() {
+                    let c = &mut p[self.prof_cur];
+                    c.heap_bytes += bytes;
+                    c.l2_bytes += bytes;
+                    c.dram_bytes += misses * LINE;
+                    c.cycles += cyc;
+                }
+            }
+            MemType::CpuStack | MemType::GpuShared | MemType::GpuLocal => {
+                self.counters.scratch_bytes += bytes;
+                self.counters.modeled_cycles += self.config.cost_scratch;
+                if let Some(p) = self.prof.as_mut() {
+                    let c = &mut p[self.prof_cur];
+                    c.scratch_bytes += bytes;
+                    c.cycles += self.config.cost_scratch;
+                }
+            }
+        }
+    }
+
+    /// Mirror of `ExecCtx::charge_bulk`.
+    fn charge_bulk(&mut self, bytes: u64, flops: u64, cycles: f64) {
+        self.counters.heap_bytes += bytes;
+        self.counters.l2_bytes += bytes;
+        self.counters.dram_bytes += bytes;
+        self.counters.flops += flops;
+        let cyc = cycles + (bytes as f64 / LINE as f64) * self.config.cost_dram / 4.0;
+        self.counters.modeled_cycles += cyc;
+        if let Some(p) = self.prof.as_mut() {
+            let c = &mut p[self.prof_cur];
+            c.heap_bytes += bytes;
+            c.l2_bytes += bytes;
+            c.dram_bytes += bytes;
+            c.flops += flops;
+            c.cycles += cyc;
+        }
+    }
+
+    /// Capacity check + accounting, mirroring `ExecCtx::alloc` in
+    /// instrumented mode and keeping only the OOM check in fast mode.
+    fn account_alloc(&mut self, t: usize, mut vt: VTensor) -> Result<(), RuntimeError> {
+        let device = vt.mtype.device();
+        let bytes = vt.bytes;
+        let capacity = self.config.capacity(device) as u64;
+        if self.instrumented {
+            let dev_name = device.to_string();
+            let live = *self.counters.live_bytes.get(&dev_name).unwrap_or(&0);
+            if live + bytes > capacity {
+                return Err(RuntimeError::OutOfMemory {
+                    device,
+                    requested: bytes,
+                    live,
+                    capacity,
+                });
+            }
+            self.counters.alloc(&dev_name, bytes);
+            vt.base = self.next_addr;
+            self.next_addr += bytes.div_ceil(LINE) * LINE;
+        } else {
+            let di = dev_index(device);
+            let live = self.live[di];
+            if live + bytes > capacity {
+                return Err(RuntimeError::OutOfMemory {
+                    device,
+                    requested: bytes,
+                    live,
+                    capacity,
+                });
+            }
+            self.live[di] = live + bytes;
+        }
+        self.tensors[t] = Some(vt);
+        Ok(())
+    }
+
+    fn account_free(&mut self, t: usize) {
+        if let Some(vt) = self.tensors[t].take() {
+            let device = vt.mtype.device();
+            if self.instrumented {
+                self.counters.free(&device.to_string(), vt.bytes);
+            } else {
+                let di = dev_index(device);
+                self.live[di] = self.live[di].saturating_sub(vt.bytes);
+            }
+        }
+    }
+
+    fn oob(&self, t: usize, index: Vec<i64>) -> RuntimeError {
+        let shape = self.tensors[t]
+            .as_ref()
+            .map(|vt| vt.shape.clone())
+            .unwrap_or_default();
+        RuntimeError::IndexOutOfBounds {
+            name: self.names[t].clone(),
+            index,
+            shape,
+        }
+    }
+
+    /// Dispatch a `LibCall` site (same kernels, accounting and error payloads
+    /// as `crate::libkernel::dispatch_slots`).
+    fn libcall(&mut self, prog: &VmProgram, site: &LibSite) -> Result<(), RuntimeError> {
+        match site.kernel.as_str() {
+            "matmul" => {
+                let [m, k, n] = site.attrs.as_slice() else {
+                    return Err(RuntimeError::UnknownKernel(
+                        "matmul expects attrs [m, k, n]".to_string(),
+                    ));
+                };
+                let (m, k, n) = (*m as usize, *k as usize, *n as usize);
+                let fetch = |st: &VmState<'_>, slot: usize| -> Result<TensorVal, RuntimeError> {
+                    st.tensors[slot]
+                        .as_ref()
+                        .map(VTensor::tensor_val)
+                        .ok_or_else(|| RuntimeError::UndefinedName(st.names[slot].clone()))
+                };
+                let a = fetch(self, site.inputs[0])?;
+                let b = fetch(self, site.inputs[1])?;
+                let mut c = fetch(self, site.outputs[0])?;
+                if a.numel() != m * k || b.numel() != k * n || c.numel() != m * n {
+                    return Err(RuntimeError::ShapeMismatch {
+                        name: prog.tensor_names[site.outputs[0]].clone(),
+                        expected: vec![m, n],
+                        actual: c.shape().to_vec(),
+                    });
+                }
+                crate::libkernel::matmul_blocked(&a, &b, &mut c, m, k, n);
+                let vt = self.tensors[site.outputs[0]]
+                    .as_mut()
+                    .expect("fetched above");
+                vt.buf = Buf::of_tensor_val(&c);
+                if self.instrumented {
+                    let elem = 4u64;
+                    let bytes = ((m * k + k * n + 2 * m * n) as u64) * elem;
+                    let flops = (2 * m * k * n) as u64;
+                    self.charge_bulk(
+                        bytes,
+                        flops,
+                        flops as f64 / crate::libkernel::LIB_EFFICIENCY,
+                    );
+                }
+                Ok(())
+            }
+            other => Err(RuntimeError::UnknownKernel(other.to_string())),
+        }
+    }
+
+    /// The dispatch loop.
+    fn exec(
+        &mut self,
+        prog: &VmProgram,
+        inputs: &HashMap<String, TensorVal>,
+    ) -> Result<(), RuntimeError> {
+        let code = &prog.code;
+        let mut pc = 0usize;
+        loop {
+            match &code[pc] {
+                Instr::Halt => return Ok(()),
+                Instr::Jmp { to } => {
+                    pc = *to as usize;
+                    continue;
+                }
+                Instr::BrFalse { cond, to } => {
+                    if !self.rb(*cond) {
+                        pc = *to as usize;
+                        continue;
+                    }
+                }
+                Instr::BrGeI { a, b, to } => {
+                    if self.ri(*a) >= self.ri(*b) {
+                        pc = *to as usize;
+                        continue;
+                    }
+                }
+                Instr::ConstI { dst, v } => self.wi(*dst, *v),
+                Instr::ConstF { dst, v } => self.wf(*dst, *v),
+                Instr::ConstB { dst, v } => self.wb(*dst, *v),
+                Instr::Mov { dst, src } => self.regs[*dst as usize] = self.regs[*src as usize],
+                Instr::AddImmI { dst, v } => {
+                    let x = self.ri(*dst).wrapping_add(*v);
+                    self.wi(*dst, x);
+                }
+                Instr::AddI { dst, a, b } => {
+                    let v = self.ri(*a).wrapping_add(self.ri(*b));
+                    self.wi(*dst, v);
+                }
+                Instr::SubI { dst, a, b } => {
+                    let v = self.ri(*a).wrapping_sub(self.ri(*b));
+                    self.wi(*dst, v);
+                }
+                Instr::MulI { dst, a, b } => {
+                    let v = self.ri(*a).wrapping_mul(self.ri(*b));
+                    self.wi(*dst, v);
+                }
+                Instr::DivI { dst, a, b } => {
+                    let y = self.ri(*b);
+                    if y == 0 {
+                        return Err(RuntimeError::DivisionByZero);
+                    }
+                    let v = self.ri(*a).div_euclid(y);
+                    self.wi(*dst, v);
+                }
+                Instr::ModI { dst, a, b } => {
+                    let y = self.ri(*b);
+                    if y == 0 {
+                        return Err(RuntimeError::DivisionByZero);
+                    }
+                    let v = self.ri(*a).rem_euclid(y);
+                    self.wi(*dst, v);
+                }
+                Instr::MinI { dst, a, b } => {
+                    let v = self.ri(*a).min(self.ri(*b));
+                    self.wi(*dst, v);
+                }
+                Instr::MaxI { dst, a, b } => {
+                    let v = self.ri(*a).max(self.ri(*b));
+                    self.wi(*dst, v);
+                }
+                Instr::PowI { dst, a, b } => {
+                    let e = self.ri(*b).clamp(0, 62) as u32;
+                    let v = self.ri(*a).wrapping_pow(e);
+                    self.wi(*dst, v);
+                }
+                Instr::AddF { dst, a, b } => {
+                    let v = self.rf(*a) + self.rf(*b);
+                    self.wf(*dst, v);
+                }
+                Instr::SubF { dst, a, b } => {
+                    let v = self.rf(*a) - self.rf(*b);
+                    self.wf(*dst, v);
+                }
+                Instr::MulF { dst, a, b } => {
+                    let v = self.rf(*a) * self.rf(*b);
+                    self.wf(*dst, v);
+                }
+                Instr::DivF { dst, a, b } => {
+                    let v = self.rf(*a) / self.rf(*b);
+                    self.wf(*dst, v);
+                }
+                Instr::ModF { dst, a, b } => {
+                    let v = self.rf(*a).rem_euclid(self.rf(*b));
+                    self.wf(*dst, v);
+                }
+                Instr::MinF { dst, a, b } => {
+                    let v = self.rf(*a).min(self.rf(*b));
+                    self.wf(*dst, v);
+                }
+                Instr::MaxF { dst, a, b } => {
+                    let v = self.rf(*a).max(self.rf(*b));
+                    self.wf(*dst, v);
+                }
+                Instr::PowF { dst, a, b } => {
+                    let v = self.rf(*a).powf(self.rf(*b));
+                    self.wf(*dst, v);
+                }
+                Instr::NegI { dst, a } => {
+                    let v = self.ri(*a).wrapping_neg();
+                    self.wi(*dst, v);
+                }
+                Instr::NegF { dst, a } => {
+                    let v = -self.rf(*a);
+                    self.wf(*dst, v);
+                }
+                Instr::AbsI { dst, a } => {
+                    let v = self.ri(*a).wrapping_abs();
+                    self.wi(*dst, v);
+                }
+                Instr::AbsF { dst, a } => {
+                    let v = self.rf(*a).abs();
+                    self.wf(*dst, v);
+                }
+                Instr::SignI { dst, a } => {
+                    let v = self.ri(*a).signum();
+                    self.wi(*dst, v);
+                }
+                Instr::SignF { dst, a } => {
+                    let x = self.rf(*a);
+                    let v = if x > 0.0 {
+                        1.0
+                    } else if x < 0.0 {
+                        -1.0
+                    } else {
+                        0.0
+                    };
+                    self.wf(*dst, v);
+                }
+                Instr::NotB { dst, a } => {
+                    let v = !self.rb(*a);
+                    self.wb(*dst, v);
+                }
+                Instr::SqrtF { dst, a } => {
+                    let v = self.rf(*a).sqrt();
+                    self.wf(*dst, v);
+                }
+                Instr::ExpF { dst, a } => {
+                    let v = self.rf(*a).exp();
+                    self.wf(*dst, v);
+                }
+                Instr::LnF { dst, a } => {
+                    let v = self.rf(*a).ln();
+                    self.wf(*dst, v);
+                }
+                Instr::SigmoidF { dst, a } => {
+                    let v = 1.0 / (1.0 + (-self.rf(*a)).exp());
+                    self.wf(*dst, v);
+                }
+                Instr::TanhF { dst, a } => {
+                    let v = self.rf(*a).tanh();
+                    self.wf(*dst, v);
+                }
+                Instr::EqF { dst, a, b } => {
+                    let v = self.rf(*a) == self.rf(*b);
+                    self.wb(*dst, v);
+                }
+                Instr::NeF { dst, a, b } => {
+                    let v = self.rf(*a) != self.rf(*b);
+                    self.wb(*dst, v);
+                }
+                Instr::LtF { dst, a, b } => {
+                    let v = self.rf(*a) < self.rf(*b);
+                    self.wb(*dst, v);
+                }
+                Instr::LeF { dst, a, b } => {
+                    let v = self.rf(*a) <= self.rf(*b);
+                    self.wb(*dst, v);
+                }
+                Instr::GtF { dst, a, b } => {
+                    let v = self.rf(*a) > self.rf(*b);
+                    self.wb(*dst, v);
+                }
+                Instr::GeF { dst, a, b } => {
+                    let v = self.rf(*a) >= self.rf(*b);
+                    self.wb(*dst, v);
+                }
+                Instr::AndB { dst, a, b } => {
+                    let v = self.rb(*a) && self.rb(*b);
+                    self.wb(*dst, v);
+                }
+                Instr::OrB { dst, a, b } => {
+                    let v = self.rb(*a) || self.rb(*b);
+                    self.wb(*dst, v);
+                }
+                Instr::IToF { dst, a } => {
+                    let v = self.ri(*a) as f64;
+                    self.wf(*dst, v);
+                }
+                Instr::BToF { dst, a } => {
+                    let v = self.rb(*a) as i64 as f64;
+                    self.wf(*dst, v);
+                }
+                Instr::BToI { dst, a } => {
+                    let v = self.rb(*a) as i64;
+                    self.wi(*dst, v);
+                }
+                Instr::FToI { dst, a } => {
+                    let v = self.rf(*a) as i64;
+                    self.wi(*dst, v);
+                }
+                Instr::IToB { dst, a } => {
+                    let v = self.ri(*a) != 0;
+                    self.wb(*dst, v);
+                }
+                Instr::FToB { dst, a } => {
+                    let v = self.rf(*a) != 0.0;
+                    self.wb(*dst, v);
+                }
+                Instr::RoundF32 { dst, a } => {
+                    let v = self.rf(*a) as f32 as f64;
+                    self.wf(*dst, v);
+                }
+                Instr::TruncI32 { dst, a } => {
+                    let v = self.ri(*a) as i32 as i64;
+                    self.wi(*dst, v);
+                }
+                Instr::Off { t, idx, ndim, dst } => {
+                    let ti = *t as usize;
+                    let Some(vt) = self.tensors[ti].as_ref() else {
+                        return Err(RuntimeError::UndefinedName(self.names[ti].clone()));
+                    };
+                    let nd = *ndim as usize;
+                    let base = *idx as usize;
+                    if nd != vt.shape.len() {
+                        let index: Vec<i64> =
+                            (0..nd).map(|d| self.regs[base + d] as i64).collect();
+                        return Err(self.oob(ti, index));
+                    }
+                    let mut off = 0usize;
+                    let mut ok = true;
+                    for d in 0..nd {
+                        let i = self.regs[base + d] as i64;
+                        let extent = vt.shape[d];
+                        if i < 0 || i as usize >= extent {
+                            ok = false;
+                            break;
+                        }
+                        off = off * extent + i as usize;
+                    }
+                    if !ok {
+                        let index: Vec<i64> =
+                            (0..nd).map(|d| self.regs[base + d] as i64).collect();
+                        return Err(self.oob(ti, index));
+                    }
+                    self.regs[*dst as usize] = off as u64;
+                }
+                Instr::OffRaw { t, idx, ndim, dst } => {
+                    let ti = *t as usize;
+                    let vt = self.tensors[ti].as_ref().expect("defined outside loop");
+                    let base = *idx as usize;
+                    let mut off = 0i64;
+                    for d in 0..*ndim as usize {
+                        let i = self.regs[base + d] as i64;
+                        off = off.wrapping_mul(vt.shape[d] as i64).wrapping_add(i);
+                    }
+                    self.regs[*dst as usize] = off as u64;
+                }
+                Instr::LoadT { t, off, dst } => {
+                    let ti = *t as usize;
+                    let o = self.regs[*off as usize] as usize;
+                    let vt = self.tensors[ti].as_ref().expect("Off checked");
+                    let bits = match &vt.buf {
+                        Buf::F32(v) => (v[o] as f64).to_bits(),
+                        Buf::F64(v) => v[o].to_bits(),
+                        Buf::I32(v) => (v[o] as i64) as u64,
+                        Buf::I64(v) => v[o] as u64,
+                        Buf::B(v) => v[o] as u64,
+                    };
+                    self.regs[*dst as usize] = bits;
+                    if self.instrumented {
+                        self.record_access(ti, o);
+                    }
+                }
+                Instr::LoadFlat { t, off, dst } => {
+                    let ti = *t as usize;
+                    let o = self.regs[*off as usize] as i64;
+                    let Some(vt) = self.tensors[ti].as_ref() else {
+                        return Err(RuntimeError::UndefinedName(self.names[ti].clone()));
+                    };
+                    if o < 0 || o as usize >= vt.numel {
+                        return Err(self.oob(ti, vec![o]));
+                    }
+                    let o = o as usize;
+                    let bits = match &vt.buf {
+                        Buf::F32(v) => (v[o] as f64).to_bits(),
+                        Buf::F64(v) => v[o].to_bits(),
+                        Buf::I32(v) => (v[o] as i64) as u64,
+                        Buf::I64(v) => v[o] as u64,
+                        Buf::B(v) => v[o] as u64,
+                    };
+                    self.regs[*dst as usize] = bits;
+                }
+                Instr::StoreT { t, off, src, sty } => {
+                    let ti = *t as usize;
+                    let o = self.regs[*off as usize] as usize;
+                    let v = self.scalar_of(*src, *sty);
+                    self.tensors[ti]
+                        .as_mut()
+                        .expect("Off checked")
+                        .store_scalar(o, v);
+                    if self.instrumented {
+                        self.record_access(ti, o);
+                    }
+                }
+                Instr::StoreFlat { t, off, src, sty } => {
+                    let ti = *t as usize;
+                    let o = self.regs[*off as usize] as i64;
+                    let Some(vt) = self.tensors[ti].as_mut() else {
+                        return Err(RuntimeError::UndefinedName(self.names[ti].clone()));
+                    };
+                    if o < 0 || o as usize >= vt.numel {
+                        return Err(self.oob(ti, vec![o]));
+                    }
+                    let v = match sty {
+                        Ty::I => Scalar::Int(self.regs[*src as usize] as i64),
+                        Ty::F => Scalar::Float(f64::from_bits(self.regs[*src as usize])),
+                        Ty::B => Scalar::Bool(self.regs[*src as usize] != 0),
+                    };
+                    self.tensors[ti]
+                        .as_mut()
+                        .expect("checked above")
+                        .store_scalar(o as usize, v);
+                }
+                Instr::ReduceT {
+                    t,
+                    off,
+                    src,
+                    sty,
+                    op,
+                } => {
+                    let ti = *t as usize;
+                    let o = self.regs[*off as usize] as usize;
+                    let v = self.scalar_of(*src, *sty);
+                    let old = self.tensors[ti]
+                        .as_ref()
+                        .expect("Off checked")
+                        .scalar_at(o);
+                    if self.instrumented {
+                        self.record_access(ti, o);
+                        self.count_op(
+                            matches!(old, Scalar::Float(_)) || matches!(v, Scalar::Float(_)),
+                        );
+                    }
+                    let new = crate::interp::apply_reduce(*op, old, v);
+                    self.tensors[ti]
+                        .as_mut()
+                        .expect("Off checked")
+                        .store_scalar(o, new);
+                    if self.instrumented {
+                        self.record_access(ti, o);
+                    }
+                }
+                Instr::ReduceFlat {
+                    t,
+                    off,
+                    src,
+                    sty,
+                    op,
+                } => {
+                    let ti = *t as usize;
+                    let o = self.regs[*off as usize] as i64;
+                    let Some(vt) = self.tensors[ti].as_ref() else {
+                        return Err(RuntimeError::UndefinedName(self.names[ti].clone()));
+                    };
+                    if o < 0 || o as usize >= vt.numel {
+                        return Err(self.oob(ti, vec![o]));
+                    }
+                    let o = o as usize;
+                    let v = self.scalar_of(*src, *sty);
+                    let old = vt.scalar_at(o);
+                    let new = crate::interp::apply_reduce(*op, old, v);
+                    self.tensors[ti]
+                        .as_mut()
+                        .expect("checked above")
+                        .store_scalar(o, new);
+                }
+                Instr::Alloc {
+                    t,
+                    shape,
+                    ndim,
+                    dtype,
+                    mtype,
+                } => {
+                    let ti = *t as usize;
+                    let base = *shape as usize;
+                    let mut sh = Vec::with_capacity(*ndim as usize);
+                    for d in 0..*ndim as usize {
+                        let v = self.regs[base + d] as i64;
+                        let u = usize::try_from(v).map_err(|_| {
+                            RuntimeError::UnresolvedSize(self.names[ti].clone())
+                        })?;
+                        sh.push(u);
+                    }
+                    let vt = VTensor::zeros(*dtype, &sh, *mtype);
+                    self.account_alloc(ti, vt)?;
+                }
+                Instr::Free { t } => self.account_free(*t as usize),
+                Instr::BindParam { p, shape, ndim } => {
+                    let site = &prog.params[*p as usize];
+                    let ti = site.slot;
+                    let name = &prog.tensor_names[ti];
+                    let base = *shape as usize;
+                    let mut sh = Vec::with_capacity(*ndim as usize);
+                    for d in 0..*ndim as usize {
+                        let v = self.regs[base + d] as i64;
+                        let u = usize::try_from(v)
+                            .map_err(|_| RuntimeError::UnresolvedSize(name.clone()))?;
+                        sh.push(u);
+                    }
+                    let vt = match site.atype {
+                        AccessType::Input | AccessType::InOut => {
+                            let tv = inputs
+                                .get(name)
+                                .ok_or_else(|| RuntimeError::MissingInput(name.clone()))?;
+                            if tv.shape() != sh.as_slice() {
+                                return Err(RuntimeError::ShapeMismatch {
+                                    name: name.clone(),
+                                    expected: sh,
+                                    actual: tv.shape().to_vec(),
+                                });
+                            }
+                            VTensor::from_tensor_val(tv, site.mtype)
+                        }
+                        _ => VTensor::zeros(site.dtype, &sh, site.mtype),
+                    };
+                    self.account_alloc(ti, vt)?;
+                }
+                Instr::LibCall { id } => {
+                    let site = &prog.lib_sites[*id as usize];
+                    let saved = self.prof_cur;
+                    if let Some(p) = self.prof.as_mut() {
+                        self.prof_cur = site.prof;
+                        p[site.prof].trips += 1;
+                    }
+                    let r = self.libcall(prog, site);
+                    self.prof_cur = saved;
+                    r?;
+                }
+                Instr::CountOp { float } => self.count_op(*float),
+                Instr::LoopEnter { b, e, prof, scope } => {
+                    let bv = self.ri(*b);
+                    let ev = self.ri(*e);
+                    let entering_gpu = scope.is_gpu() && self.gpu_depth == 0;
+                    if entering_gpu {
+                        self.counters.kernel_launches += 1;
+                        self.counters.modeled_cycles += self.config.cost_kernel_launch;
+                    }
+                    if scope.is_gpu() {
+                        self.gpu_depth += 1;
+                    }
+                    let saved = self.prof_cur;
+                    if let Some(p) = self.prof.as_mut() {
+                        self.prof_cur = *prof as usize;
+                        p[*prof as usize].trips += (ev - bv).max(0) as u64;
+                    }
+                    self.loop_stack.push((saved, self.counters.modeled_cycles));
+                }
+                Instr::LoopExit {
+                    b,
+                    e,
+                    scope,
+                    vectorize,
+                } => {
+                    let (saved, before) = self.loop_stack.pop().expect("balanced loops");
+                    self.prof_cur = saved;
+                    if scope.is_gpu() {
+                        self.gpu_depth -= 1;
+                    }
+                    let bv = self.ri(*b);
+                    let ev = self.ri(*e);
+                    let mut width = self.config.width(*scope) as f64;
+                    if *vectorize {
+                        width *= 8.0;
+                    }
+                    if width > 1.0 && ev > bv {
+                        let delta = self.counters.modeled_cycles - before;
+                        let eff = width.min((ev - bv) as f64);
+                        self.counters.modeled_cycles = before + delta / eff;
+                    }
+                }
+            }
+            pc += 1;
+        }
+    }
+}
+
+/// The bytecode execution engine, a drop-in replacement for
+/// [`Runtime`](crate::interp::Runtime).
+#[derive(Debug, Clone, Default)]
+pub struct VmRuntime {
+    /// Modeled platform parameters (used by instrumented mode and by the
+    /// out-of-memory checks in both modes).
+    pub config: DeviceConfig,
+    mode: VmMode,
+    sink: Option<TraceSink>,
+}
+
+
+impl VmRuntime {
+    /// A fast-mode VM with the default device model.
+    pub fn new() -> VmRuntime {
+        VmRuntime::default()
+    }
+
+    /// An instrumented-mode VM (bit-exact counter parity with the
+    /// interpreter) with the default device model.
+    pub fn instrumented() -> VmRuntime {
+        VmRuntime {
+            mode: VmMode::Instrumented,
+            ..VmRuntime::default()
+        }
+    }
+
+    /// A fast-mode VM with an explicit device model.
+    pub fn with_config(config: DeviceConfig) -> VmRuntime {
+        VmRuntime {
+            config,
+            ..VmRuntime::default()
+        }
+    }
+
+    /// Switch execution mode.
+    pub fn with_mode(mut self, mode: VmMode) -> VmRuntime {
+        self.mode = mode;
+        self
+    }
+
+    /// The current execution mode.
+    pub fn mode(&self) -> VmMode {
+        self.mode
+    }
+
+    /// Install (or remove) a trace sink. A sink records a `"vm <name>"`
+    /// runtime span per run and, in instrumented mode, the same
+    /// per-statement [`RunProfile`] the interpreter emits.
+    pub fn set_sink(&mut self, sink: Option<TraceSink>) {
+        self.sink = sink;
+    }
+
+    /// The installed trace sink, if any.
+    pub fn sink(&self) -> Option<&TraceSink> {
+        self.sink.as_ref()
+    }
+
+    /// Execute `func`, falling back to the interpreter for programs the
+    /// static compiler cannot type (or whose supplied inputs' dtypes differ
+    /// from the declarations).
+    ///
+    /// # Errors
+    ///
+    /// The same [`RuntimeError`] conditions as
+    /// [`Runtime::run`](crate::interp::Runtime::run).
+    pub fn run(
+        &self,
+        func: &Func,
+        inputs: &HashMap<String, TensorVal>,
+        sizes: &HashMap<String, i64>,
+    ) -> Result<RunResult, RuntimeError> {
+        let compiled = crate::compiled::compile(func)?;
+        // The interpreter binds inputs by clone whatever their dtype; the
+        // VM compiles loads against the declared dtype, so mismatched
+        // inputs take the interpreter path instead.
+        let dtype_mismatch = compiled.params.iter().any(|(slot, _, dtype, _, atype)| {
+            matches!(atype, AccessType::Input | AccessType::InOut)
+                && inputs
+                    .get(&compiled.tensor_names[*slot])
+                    .is_some_and(|t| t.dtype() != *dtype)
+        });
+        let instrumented = self.mode == VmMode::Instrumented;
+        let prog = if dtype_mismatch {
+            None
+        } else {
+            compile_program(&compiled, instrumented).ok()
+        };
+        let Some(prog) = prog else {
+            let mut rt = Runtime::with_config(self.config.clone());
+            rt.set_sink(self.sink.clone());
+            return rt.run(func, inputs, sizes);
+        };
+        let mut span = self
+            .sink
+            .as_ref()
+            .map(|s| s.span_on(TRACK_RUNTIME, "runtime", &format!("vm {}", func.name)));
+        let mut st = VmState {
+            config: &self.config,
+            names: &prog.tensor_names,
+            regs: vec![0; prog.n_regs],
+            tensors: (0..prog.n_tensors).map(|_| None).collect(),
+            instrumented,
+            counters: PerfCounters::default(),
+            cache: instrumented
+                .then(|| CacheSim::new(self.config.l2_size, self.config.l2_ways)),
+            next_addr: 0x1000,
+            gpu_depth: 0,
+            prof: (instrumented && self.sink.is_some())
+                .then(|| vec![StmtCounters::default(); prog.prof_nodes.len()]),
+            prof_cur: 0,
+            loop_stack: Vec::new(),
+            live: [0, 0],
+        };
+        for (name, slot) in &prog.size_slots {
+            let v = *sizes
+                .get(name)
+                .ok_or_else(|| RuntimeError::UnresolvedSize(name.clone()))?;
+            st.regs[*slot] = v as u64;
+        }
+        st.exec(&prog, inputs)?;
+        let mut outputs = HashMap::new();
+        for p in &prog.params {
+            if matches!(p.atype, AccessType::Output | AccessType::InOut) {
+                let name = prog.tensor_names[p.slot].clone();
+                let vt = st.tensors[p.slot].take().expect("params stay live");
+                outputs.insert(name, vt.into_tensor_val());
+            }
+        }
+        if instrumented {
+            if let (Some(sink), Some(buckets)) = (&self.sink, st.prof.take()) {
+                let mut nodes = prog.prof_nodes.clone();
+                for (n, c) in nodes.iter_mut().zip(buckets) {
+                    n.counters = c;
+                }
+                sink.profile(RunProfile {
+                    func: func.name.clone(),
+                    nodes,
+                });
+                if let Some(sp) = span.as_mut() {
+                    sp.arg("modeled_cycles", format!("{:.0}", st.counters.modeled_cycles));
+                    sp.arg("flops", st.counters.flops);
+                }
+            }
+        }
+        Ok(RunResult {
+            outputs,
+            counters: if instrumented {
+                st.counters
+            } else {
+                PerfCounters::default()
+            },
+        })
+    }
+}
+
+/// Execute a function on the fast-mode VM and return its outputs.
+///
+/// # Errors
+///
+/// The same [`RuntimeError`] conditions as [`VmRuntime::run`].
+pub fn run_vm(
+    func: &Func,
+    inputs: &HashMap<String, TensorVal>,
+    sizes: &HashMap<String, i64>,
+) -> Result<HashMap<String, TensorVal>, RuntimeError> {
+    VmRuntime::new().run(func, inputs, sizes).map(|r| r.outputs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_ir::prelude::*;
+    use ft_ir::ForProperty;
+
+    fn maps(
+        inputs: &[(&str, TensorVal)],
+        sizes: &[(&str, i64)],
+    ) -> (HashMap<String, TensorVal>, HashMap<String, i64>) {
+        (
+            inputs
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+            sizes.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+        )
+    }
+
+    /// Run `f` on the interpreter and on both VM modes; outputs must be
+    /// bit-identical everywhere and the instrumented VM's counters must
+    /// equal the interpreter's exactly (f64 `modeled_cycles` included).
+    fn assert_parity(
+        f: &Func,
+        inputs: &[(&str, TensorVal)],
+        sizes: &[(&str, i64)],
+    ) -> RunResult {
+        let (ins, szs) = maps(inputs, sizes);
+        let ri = Runtime::new().run(f, &ins, &szs).expect("interp ok");
+        let rf = VmRuntime::new().run(f, &ins, &szs).expect("fast vm ok");
+        let rv = VmRuntime::instrumented()
+            .run(f, &ins, &szs)
+            .expect("instrumented vm ok");
+        assert_eq!(ri.outputs, rf.outputs, "fast-mode outputs differ");
+        assert_eq!(ri.outputs, rv.outputs, "instrumented outputs differ");
+        assert_eq!(ri.counters, rv.counters, "instrumented counters differ");
+        assert_eq!(
+            rf.counters,
+            PerfCounters::default(),
+            "fast mode must not count"
+        );
+        ri
+    }
+
+    #[test]
+    fn fast_vm_matches_interp_on_affine_elementwise() {
+        let f = Func::new("scale")
+            .param("x", [var("n")], DataType::F32, AccessType::Input)
+            .param("y", [var("n")], DataType::F32, AccessType::Output)
+            .size_param("n")
+            .body(for_(
+                "i",
+                0,
+                var("n"),
+                store("y", [var("i")], load("x", [var("i")]) * 2.0f32 + 1.0f32),
+            ));
+        let x = TensorVal::from_f32(&[100], (0..100).map(|v| v as f32 * 0.25).collect());
+        let r = assert_parity(&f, &[("x", x)], &[("n", 100)]);
+        assert_eq!(r.output("y").get_flat(4).as_f64(), 3.0);
+    }
+
+    #[test]
+    fn nested_tiled_loops_with_runtime_strides() {
+        // Transposed read: the `j` stride in `x` is the runtime size `n`,
+        // so strength reduction must probe the stride numerically.
+        let f = Func::new("transpose")
+            .param("x", [var("m"), var("n")], DataType::F64, AccessType::Input)
+            .param("y", [var("n"), var("m")], DataType::F64, AccessType::Output)
+            .size_param("m")
+            .size_param("n")
+            .body(for_(
+                "i",
+                0,
+                var("m"),
+                for_(
+                    "j",
+                    0,
+                    var("n"),
+                    store(
+                        "y",
+                        [var("j"), var("i")],
+                        load("x", [var("i"), var("j")]) * 3.0f64,
+                    ),
+                ),
+            ));
+        let x = TensorVal::from_f64(&[5, 7], (0..35).map(|v| v as f64).collect());
+        let r = assert_parity(&f, &[("x", x)], &[("m", 5), ("n", 7)]);
+        // y[j, i] = 3 * x[i, j] = 3 * (i*7 + j)
+        assert_eq!(r.output("y").get(&[6, 4]).as_f64(), 3.0 * (4.0 * 7.0 + 6.0));
+    }
+
+    #[test]
+    fn gather_guards_and_select_take_generic_path() {
+        let f = Func::new("gather")
+            .param("x", [8], DataType::F32, AccessType::Input)
+            .param("idx", [4], DataType::I64, AccessType::Input)
+            .param("y", [4], DataType::F32, AccessType::Output)
+            .body(for_(
+                "i",
+                0,
+                4,
+                if_(
+                    load("idx", [var("i")]).ge(0),
+                    store(
+                        "y",
+                        [var("i")],
+                        Expr::select(
+                            load("x", [load("idx", [var("i")])]).gt(2.0f32),
+                            load("x", [load("idx", [var("i")])]),
+                            Expr::from(-1.0f32),
+                        ),
+                    ),
+                ),
+            ));
+        let x = TensorVal::from_f32(&[8], (0..8).map(|v| v as f32).collect());
+        let idx = TensorVal::from_i64(&[4], vec![7, 0, 3, 2]);
+        let r = assert_parity(&f, &[("x", x), ("idx", idx)], &[]);
+        assert_eq!(r.output("y").to_f64_vec(), vec![7.0, -1.0, 3.0, -1.0]);
+    }
+
+    /// One function exercising every instrumentation source: GPU kernel
+    /// launches, vectorized width scaling, scratch memory, float and int
+    /// reductions, casts, intrinsics, `Pow` and `Mod`.
+    fn mixed_workload() -> Func {
+        let vec_prop = ForProperty {
+            vectorize: true,
+            ..ForProperty::serial()
+        };
+        let cpu_part = block([
+            for_with(
+                "i",
+                0,
+                64,
+                ForProperty::parallel(ParallelScope::OpenMp),
+                store(
+                    "y",
+                    [var("i")],
+                    intrin::sqrt(intrin::abs(load("x", [var("i")])))
+                        + intrin::sigmoid(load("x", [var("i")]))
+                            * Expr::cast(DataType::F32, var("i").rem(7)),
+                ),
+            ),
+            for_with(
+                "v",
+                0,
+                64,
+                vec_prop,
+                reduce(
+                    "acc",
+                    [0],
+                    ReduceOp::Add,
+                    load("y", [var("v")]) * load("y", [var("v")]),
+                ),
+            ),
+            for_(
+                "j",
+                0,
+                8,
+                reduce(
+                    "zi",
+                    [0],
+                    ReduceOp::Max,
+                    Expr::binary(BinaryOp::Pow, var("j"), 2.into())
+                        - Expr::binary(BinaryOp::Mod, var("j"), 3.into()),
+                ),
+            ),
+            var_def(
+                "scratch",
+                [16],
+                DataType::F32,
+                MemType::CpuStack,
+                block([
+                    for_("s", 0, 16, store("scratch", [var("s")], var("s") * 2)),
+                    for_(
+                        "s2",
+                        0,
+                        16,
+                        reduce("acc", [0], ReduceOp::Add, load("scratch", [var("s2")])),
+                    ),
+                ]),
+            ),
+        ]);
+        let gpu_part = for_with(
+            "b",
+            0,
+            4,
+            ForProperty::parallel(ParallelScope::CudaBlockX),
+            for_with(
+                "t",
+                0,
+                8,
+                ForProperty::parallel(ParallelScope::CudaThreadX),
+                store("g", [var("b") * 8 + var("t")], var("b") + var("t")),
+            ),
+        );
+        Func::new("mix")
+            .param("x", [64], DataType::F32, AccessType::Input)
+            .param("y", [64], DataType::F32, AccessType::Output)
+            .param("acc", [1], DataType::F32, AccessType::Output)
+            .param("zi", [1], DataType::I64, AccessType::Output)
+            .param_on(
+                "g",
+                [32],
+                DataType::F32,
+                MemType::GpuGlobal,
+                AccessType::Output,
+            )
+            .body(block([cpu_part, gpu_part]))
+    }
+
+    #[test]
+    fn instrumented_counters_match_interp_exactly() {
+        let x = TensorVal::from_f32(&[64], (0..64).map(|v| (v as f32 - 31.0) * 0.5).collect());
+        let r = assert_parity(&mixed_workload(), &[("x", x)], &[]);
+        assert_eq!(r.counters.kernel_launches, 1);
+        assert!(r.counters.scratch_bytes > 0);
+        assert!(r.counters.flops > 0 && r.counters.int_ops > 0);
+    }
+
+    #[test]
+    fn profile_and_span_parity() {
+        let x = TensorVal::from_f32(&[64], (0..64).map(|v| v as f32 * 0.1).collect());
+        let (ins, szs) = maps(&[("x", x)], &[]);
+        let f = mixed_workload();
+
+        let interp_sink = TraceSink::new();
+        let mut rt = Runtime::new();
+        rt.set_sink(Some(interp_sink.clone()));
+        rt.run(&f, &ins, &szs).expect("interp ok");
+
+        let vm_sink = TraceSink::new();
+        let mut vm = VmRuntime::instrumented();
+        vm.set_sink(Some(vm_sink.clone()));
+        vm.run(&f, &ins, &szs).expect("vm ok");
+
+        let pi = interp_sink.profiles();
+        let pv = vm_sink.profiles();
+        assert_eq!(pi.len(), 1);
+        assert_eq!(pv.len(), 1);
+        assert_eq!(pi[0].func, pv[0].func);
+        assert_eq!(pi[0].nodes.len(), pv[0].nodes.len());
+        for (a, b) in pi[0].nodes.iter().zip(&pv[0].nodes) {
+            assert_eq!(a.desc, b.desc);
+            assert_eq!(a.parent, b.parent);
+            assert_eq!(a.counters, b.counters, "profile bucket for {}", a.desc);
+        }
+        let names: Vec<String> = vm_sink.events().into_iter().map(|e| e.name).collect();
+        assert!(
+            names.iter().any(|n| n == "vm mix"),
+            "expected a vm span, got {names:?}"
+        );
+    }
+
+    #[test]
+    fn mixed_type_select_falls_back_to_interp() {
+        // `select` arms of different register types are statically untypable
+        // for the VM; the program must still run (via the interpreter) and
+        // announce itself as such in the trace.
+        let f = Func::new("mixsel")
+            .param("y", [4], DataType::F64, AccessType::Output)
+            .body(for_(
+                "i",
+                0,
+                4,
+                store(
+                    "y",
+                    [var("i")],
+                    Expr::select(var("i").lt(2), var("i"), Expr::from(0.5f64)),
+                ),
+            ));
+        let (ins, szs) = maps(&[], &[]);
+        let ri = Runtime::new().run(&f, &ins, &szs).expect("interp ok");
+        let sink = TraceSink::new();
+        let mut vm = VmRuntime::new();
+        vm.set_sink(Some(sink.clone()));
+        let rv = vm.run(&f, &ins, &szs).expect("vm (fallback) ok");
+        assert_eq!(ri.outputs, rv.outputs);
+        let names: Vec<String> = sink.events().into_iter().map(|e| e.name).collect();
+        assert!(
+            names.iter().any(|n| n == "interp mixsel"),
+            "expected interpreter fallback span, got {names:?}"
+        );
+    }
+
+    #[test]
+    fn error_parity_division_by_zero() {
+        let f = Func::new("div")
+            .param("x", [8], DataType::I64, AccessType::Input)
+            .param("y", [8], DataType::I64, AccessType::Output)
+            .body(for_(
+                "i",
+                0,
+                8,
+                store("y", [var("i")], load("x", [var("i")]) / (var("i") - 2)),
+            ));
+        let x = TensorVal::from_i64(&[8], (1..9).collect());
+        let (ins, szs) = maps(&[("x", x)], &[]);
+        let ei = Runtime::new().run(&f, &ins, &szs).unwrap_err();
+        let ef = VmRuntime::new().run(&f, &ins, &szs).unwrap_err();
+        let ev = VmRuntime::instrumented().run(&f, &ins, &szs).unwrap_err();
+        assert_eq!(ei, RuntimeError::DivisionByZero);
+        assert_eq!(ei, ef);
+        assert_eq!(ei, ev);
+    }
+
+    #[test]
+    fn error_parity_out_of_bounds_and_missing_input() {
+        // A data-dependent index keeps even fast mode on the generic
+        // (per-dimension checked) path, so the error payload is identical.
+        let f = Func::new("oob")
+            .param("idx", [1], DataType::I64, AccessType::Input)
+            .param("y", [2], DataType::F32, AccessType::Output)
+            .body(store("y", [load("idx", [0])], 1.0f32));
+        let idx = TensorVal::from_i64(&[1], vec![5]);
+        let (ins, szs) = maps(&[("idx", idx)], &[]);
+        let ei = Runtime::new().run(&f, &ins, &szs).unwrap_err();
+        let ef = VmRuntime::new().run(&f, &ins, &szs).unwrap_err();
+        assert_eq!(
+            ei,
+            RuntimeError::IndexOutOfBounds {
+                name: "y".to_string(),
+                index: vec![5],
+                shape: vec![2],
+            }
+        );
+        assert_eq!(ei, ef);
+
+        let empty = HashMap::new();
+        let mi = Runtime::new().run(&f, &empty, &szs).unwrap_err();
+        let mv = VmRuntime::new().run(&f, &empty, &szs).unwrap_err();
+        assert_eq!(mi, RuntimeError::MissingInput("idx".to_string()));
+        assert_eq!(mi, mv);
+    }
+
+    #[test]
+    fn zero_trip_loops_are_safe_with_strength_reduction() {
+        // Zero-trip and negative-trip loops must not fault in the stride
+        // probe even though the body indexes `x[i*3 + 1]`.
+        let f = Func::new("zt")
+            .param("x", [4], DataType::F32, AccessType::Input)
+            .param("y", [4], DataType::F32, AccessType::Output)
+            .size_param("n")
+            .body(block([
+                for_(
+                    "i",
+                    0,
+                    var("n"),
+                    store("y", [var("i")], load("x", [var("i") * 3 + 1])),
+                ),
+                for_(
+                    "k",
+                    5,
+                    2,
+                    store("y", [var("k")], 9.0f32),
+                ),
+            ]));
+        let x = TensorVal::from_f32(&[4], vec![1.0, 2.0, 3.0, 4.0]);
+        let r = assert_parity(&f, &[("x", x.clone())], &[("n", 0)]);
+        assert_eq!(r.output("y").to_f64_vec(), vec![0.0; 4]);
+        // And a one-trip run still reads through the reduced offset.
+        let r = assert_parity(&f, &[("x", x)], &[("n", 1)]);
+        assert_eq!(r.output("y").get_flat(0).as_f64(), 2.0);
+    }
+
+    #[test]
+    fn libcall_matmul_parity() {
+        let (m, k, n) = (9usize, 5usize, 6usize);
+        let f = Func::new("mm")
+            .param("A", [m, k], DataType::F32, AccessType::Input)
+            .param("B", [k, n], DataType::F32, AccessType::Input)
+            .param("C", [m, n], DataType::F32, AccessType::Output)
+            .body(ft_ir::Stmt::new(ft_ir::StmtKind::LibCall {
+                kernel: "matmul".to_string(),
+                inputs: vec!["A".to_string(), "B".to_string()],
+                outputs: vec!["C".to_string()],
+                attrs: vec![m as i64, k as i64, n as i64],
+            }));
+        let a = TensorVal::from_f32(&[m, k], (0..m * k).map(|v| v as f32 * 0.5).collect());
+        let b = TensorVal::from_f32(&[k, n], (0..k * n).map(|v| (v as f32).sin()).collect());
+        let r = assert_parity(&f, &[("A", a), ("B", b)], &[]);
+        assert_eq!(r.counters.flops, (2 * m * k * n) as u64);
+    }
+
+    #[test]
+    fn dtype_mismatched_inputs_fall_back() {
+        // The interpreter binds inputs by clone whatever the declared dtype;
+        // the VM detects the mismatch and must take the same path.
+        let f = Func::new("dt")
+            .param("x", [3], DataType::F32, AccessType::Input)
+            .param("y", [3], DataType::F64, AccessType::Output)
+            .body(for_(
+                "i",
+                0,
+                3,
+                store("y", [var("i")], load("x", [var("i")]) + 0.5f64),
+            ));
+        let x64 = TensorVal::from_f64(&[3], vec![1.25, 2.25, 3.25]);
+        let (ins, szs) = maps(&[("x", x64)], &[]);
+        let ri = Runtime::new().run(&f, &ins, &szs).expect("interp ok");
+        let rv = VmRuntime::new().run(&f, &ins, &szs).expect("vm ok");
+        assert_eq!(ri.outputs, rv.outputs);
+        assert_eq!(ri.output("y").to_f64_vec(), vec![1.75, 2.75, 3.75]);
+    }
+
+    #[test]
+    fn oom_error_parity() {
+        // 17 Mi f32 = 68 MB > the 64 MB default GPU capacity.
+        let f = Func::new("oom")
+            .param("y", [1], DataType::F32, AccessType::Output)
+            .body(var_def(
+                "t",
+                [17 * 1024 * 1024],
+                DataType::F32,
+                MemType::GpuGlobal,
+                store("y", [0], 1.0f32),
+            ));
+        let (ins, szs) = maps(&[], &[]);
+        let ei = Runtime::new().run(&f, &ins, &szs).unwrap_err();
+        let ef = VmRuntime::new().run(&f, &ins, &szs).unwrap_err();
+        let ev = VmRuntime::instrumented().run(&f, &ins, &szs).unwrap_err();
+        assert!(matches!(ei, RuntimeError::OutOfMemory { .. }));
+        assert_eq!(ei, ef);
+        assert_eq!(ei, ev);
+    }
+
+    #[test]
+    fn strength_reduction_emits_flat_accesses() {
+        let affine = Func::new("aff")
+            .param("x", [64], DataType::F32, AccessType::Input)
+            .param("y", [64], DataType::F32, AccessType::Output)
+            .body(for_(
+                "i",
+                0,
+                64,
+                store("y", [var("i")], load("x", [var("i")])),
+            ));
+        let c = crate::compiled::compile(&affine).unwrap();
+        let prog = compile_program(&c, false).expect("typable");
+        assert!(
+            prog.code.iter().any(|i| matches!(i, Instr::LoadFlat { .. })),
+            "affine load should strength-reduce"
+        );
+        assert!(
+            prog.code.iter().any(|i| matches!(i, Instr::StoreFlat { .. })),
+            "affine store should strength-reduce"
+        );
+
+        let gather = Func::new("gat")
+            .param("x", [64], DataType::F32, AccessType::Input)
+            .param("idx", [64], DataType::I64, AccessType::Input)
+            .param("y", [64], DataType::F32, AccessType::Output)
+            .body(for_(
+                "i",
+                0,
+                64,
+                store("y", [var("i")], load("x", [load("idx", [var("i")])])),
+            ));
+        let c = crate::compiled::compile(&gather).unwrap();
+        let prog = compile_program(&c, false).expect("typable");
+        assert!(
+            prog.code.iter().any(|i| matches!(i, Instr::LoadT { .. })),
+            "gather load must stay on the generic checked path"
+        );
+
+        // Instrumented mode never strength-reduces (it must observe every
+        // access through the cache model).
+        let prog = compile_program(&c, true).expect("typable");
+        assert!(
+            !prog.code.iter().any(|i| matches!(
+                i,
+                Instr::LoadFlat { .. } | Instr::StoreFlat { .. } | Instr::ReduceFlat { .. }
+            )),
+            "instrumented mode must not emit flat accesses"
+        );
+    }
+
+    #[test]
+    fn invariant_gather_rows_strength_reduce() {
+        // SubdivNet's inner-loop shape: the gathered row index
+        // `adj[i, j]` (and its `% 3` neighbour) is invariant in the channel
+        // loop, so the channel-loop accesses strength-reduce to flat
+        // loads even though the index contains loads and a Mod.
+        let (faces, ch) = (6usize, 8usize);
+        let f = Func::new("conv")
+            .param("e", [faces, ch], DataType::F32, AccessType::Input)
+            .param("adj", [faces, 3], DataType::I64, AccessType::Input)
+            .param("y", [faces, ch], DataType::F32, AccessType::Output)
+            .body(for_(
+                "i",
+                0,
+                faces as i64,
+                for_(
+                    "j",
+                    0,
+                    3,
+                    for_(
+                        "c",
+                        0,
+                        ch as i64,
+                        reduce(
+                            "y",
+                            [var("i"), var("c")],
+                            ReduceOp::Add,
+                            load("e", [load("adj", [var("i"), var("j")]), var("c")])
+                                + load(
+                                    "e",
+                                    [
+                                        load("adj", [var("i"), (var("j") + 1) % 3]),
+                                        var("c"),
+                                    ],
+                                ),
+                        ),
+                    ),
+                ),
+            ));
+        let c = crate::compiled::compile(&f).unwrap();
+        let prog = compile_program(&c, false).expect("typable");
+        let flat_loads = prog
+            .code
+            .iter()
+            .filter(|i| matches!(i, Instr::LoadFlat { .. }))
+            .count();
+        assert!(
+            flat_loads >= 2,
+            "both invariant-row gathers should strength-reduce, got {flat_loads} flat loads"
+        );
+
+        let e = TensorVal::from_f32(
+            &[faces, ch],
+            (0..faces * ch).map(|v| v as f32 * 0.25 - 3.0).collect(),
+        );
+        let adj = TensorVal::from_i64(
+            &[faces, 3],
+            (0..faces * 3)
+                .map(|v| ((v * 7 + 2) % faces) as i64)
+                .collect(),
+        );
+        let r = assert_parity(&f, &[("e", e.clone()), ("adj", adj.clone())], &[]);
+        // Spot-check one output cell against a direct computation.
+        let mut expect = 0.0f32;
+        for j in 0..3 {
+            let r0 = adj.get_flat(2 * 3 + j).as_i64() as usize;
+            let r1 = adj.get_flat(2 * 3 + (j + 1) % 3).as_i64() as usize;
+            expect += e.get_flat(r0 * ch + 5).as_f64() as f32
+                + e.get_flat(r1 * ch + 5).as_f64() as f32;
+        }
+        assert_eq!(r.output("y").get_flat(2 * ch + 5).as_f64(), expect as f64);
+    }
+
+    #[test]
+    fn zero_trip_loop_skips_faulting_preheader() {
+        // The hoisted invariant load `idx[7]` is out of bounds, but the
+        // loop never runs an iteration — the interpreter succeeds, so the
+        // VM's preheader must be skipped by the zero-trip pre-guard.
+        let f = Func::new("ztf")
+            .param("x", [8], DataType::F32, AccessType::Input)
+            .param("idx", [4], DataType::I64, AccessType::Input)
+            .param("y", [8], DataType::F32, AccessType::Output)
+            .size_param("n")
+            .body(for_(
+                "c",
+                0,
+                var("n"),
+                store("y", [var("c")], load("x", [load("idx", [7])])),
+            ));
+        let x = TensorVal::from_f32(&[8], vec![1.0; 8]);
+        let idx = TensorVal::from_i64(&[4], vec![0; 4]);
+        let r = assert_parity(&f, &[("x", x), ("idx", idx)], &[("n", 0)]);
+        assert_eq!(r.output("y").to_f64_vec(), vec![0.0; 8]);
+    }
+
+    #[test]
+    fn guarded_gather_is_not_hoisted() {
+        // `idx[0]` is 100 — far out of bounds of `x` — but the guard is
+        // false on every iteration, so the interpreter never evaluates the
+        // load. Hoisting it into the preheader would fault; conditional
+        // accesses must stay on the generic lazily-evaluated path.
+        let f = Func::new("guard")
+            .param("x", [4], DataType::F32, AccessType::Input)
+            .param("idx", [1], DataType::I64, AccessType::Input)
+            .param("y", [8], DataType::F32, AccessType::Output)
+            .body(for_(
+                "i",
+                0,
+                8,
+                if_(
+                    var("i").lt(0),
+                    store("y", [var("i")], load("x", [load("idx", [0])])),
+                ),
+            ));
+        let x = TensorVal::from_f32(&[4], vec![1.0; 4]);
+        let idx = TensorVal::from_i64(&[1], vec![100]);
+        let r = assert_parity(&f, &[("x", x), ("idx", idx)], &[]);
+        assert_eq!(r.output("y").to_f64_vec(), vec![0.0; 8]);
+    }
+
+    #[test]
+    fn loads_from_loop_written_tensors_are_not_hoisted() {
+        // `acc[0]` has a loop-invariant index but the loop itself writes
+        // `acc`, so the load must be re-evaluated every iteration.
+        let f = Func::new("carry")
+            .param("y", [8], DataType::I64, AccessType::Output)
+            .body(var_def(
+                "acc",
+                [1usize],
+                DataType::I64,
+                MemType::CpuHeap,
+                for_(
+                    "i",
+                    0,
+                    8,
+                    block([
+                        store("acc", [0], load("acc", [0]) + var("i")),
+                        store("y", [var("i")], load("acc", [0])),
+                    ]),
+                ),
+            ));
+        let r = assert_parity(&f, &[], &[]);
+        // Running sums 0,1,3,6,... — a stale hoisted load would repeat 0.
+        assert_eq!(
+            r.output("y").to_f64_vec(),
+            vec![0.0, 1.0, 3.0, 6.0, 10.0, 15.0, 21.0, 28.0]
+        );
+    }
+
+    #[test]
+    fn int_reduction_and_wrapping_parity() {
+        // Int reduce via apply_reduce plus wrapping int arithmetic.
+        let f = Func::new("ired")
+            .param("x", [16], DataType::I32, AccessType::Input)
+            .param("s", [1], DataType::I64, AccessType::Output)
+            .body(for_(
+                "i",
+                0,
+                16,
+                reduce(
+                    "s",
+                    [0],
+                    ReduceOp::Add,
+                    load("x", [var("i")]) * load("x", [var("i")]) - var("i"),
+                ),
+            ));
+        let x = TensorVal::from_i32(&[16], (0..16).map(|v| v * 3 - 20).collect());
+        let r = assert_parity(&f, &[("x", x)], &[]);
+        let expect: i64 = (0..16i64)
+            .map(|i| {
+                let v = i * 3 - 20;
+                v * v - i
+            })
+            .sum();
+        assert_eq!(r.output("s").get_flat(0).as_i64(), expect);
+    }
+}

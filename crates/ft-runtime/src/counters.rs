@@ -118,7 +118,12 @@ impl CacheSim {
 }
 
 /// Aggregated execution counters of one run.
-#[derive(Debug, Clone, Default)]
+///
+/// `PartialEq` compares every field exactly (including `modeled_cycles`,
+/// which is an `f64`): the bytecode VM's instrumented mode is required to
+/// reproduce the interpreter's counters bit-for-bit, and the differential
+/// tests assert that with `==`.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct PerfCounters {
     /// GPU kernel launches (outermost GPU-parallel region entries).
     pub kernel_launches: u64,

@@ -17,25 +17,32 @@
 //!   bodies are divided by the mapped hardware width, so CPU/GPU schedules
 //!   can be compared on a single-core host.
 //!
-//! Two execution modes are provided: the deterministic instrumented
-//! interpreter ([`Runtime::run`]) used by all benchmarks, and a genuinely
-//! thread-parallel mode ([`run_threaded`]) that executes `OpenMp`
-//! loops on real threads (crossbeam scoped) with mutex-protected atomic
-//! reductions, demonstrating that legality-checked parallel schedules are
-//! actually data-race free.
+//! Three execution engines are provided: the deterministic instrumented
+//! interpreter ([`Runtime::run`]) — the *specification* all others are
+//! diffed against; a flat bytecode VM ([`VmRuntime`], [`bytecode`]) whose
+//! uninstrumented fast mode is the wall-clock execution path and whose
+//! instrumented mode reproduces the interpreter's counters bit-for-bit; and
+//! a genuinely thread-parallel mode ([`run_threaded`]) that executes
+//! `OpenMp` loops on real threads (the persistent [`pool`] workers) with
+//! mutex-protected atomic reductions, demonstrating that legality-checked
+//! parallel schedules are actually data-race free.
 
+pub mod bytecode;
 pub(crate) mod compiled;
 pub mod counters;
 pub mod device;
 pub mod error;
 pub mod interp;
 pub mod libkernel;
+pub mod pool;
 pub mod threaded;
 pub mod value;
 
+pub use bytecode::{run_vm, VmMode, VmRuntime};
 pub use counters::{CacheGeometryError, CacheSim, PerfCounters};
 pub use device::DeviceConfig;
 pub use error::RuntimeError;
 pub use interp::{RunResult, Runtime};
+pub use pool::WorkerPool;
 pub use threaded::{run_threaded, run_threaded_traced};
 pub use value::{Scalar, TensorVal};

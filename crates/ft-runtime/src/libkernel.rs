@@ -51,6 +51,30 @@ fn matmul(
             actual: c.shape().to_vec(),
         });
     }
+    matmul_blocked(&a, &b, &mut c, m, k, n);
+    ctx.replace_tensor(outputs[0], c)?;
+    // Bulk accounting: one streaming pass per operand, FLOPs at library
+    // efficiency for the time model.
+    let elem = 4u64; // f32-equivalent traffic
+    let bytes = ((m * k + k * n + 2 * m * n) as u64) * elem;
+    let flops = (2 * m * k * n) as u64;
+    ctx.charge_bulk(bytes, flops, flops as f64 / LIB_EFFICIENCY);
+    Ok(())
+}
+
+/// The blocked compute kernel itself, shared verbatim by the interpreter's
+/// `LibCall` dispatch and the bytecode VM so both produce bit-identical
+/// results (partial sums round through the output dtype on every update, so
+/// the iteration order and the per-update `set_flat` are semantically
+/// significant).
+pub(crate) fn matmul_blocked(
+    a: &TensorVal,
+    b: &TensorVal,
+    c: &mut TensorVal,
+    m: usize,
+    k: usize,
+    n: usize,
+) {
     const BLK: usize = 32;
     for i0 in (0..m).step_by(BLK) {
         for k0 in (0..k).step_by(BLK) {
@@ -70,14 +94,6 @@ fn matmul(
             }
         }
     }
-    ctx.replace_tensor(outputs[0], c)?;
-    // Bulk accounting: one streaming pass per operand, FLOPs at library
-    // efficiency for the time model.
-    let elem = 4u64; // f32-equivalent traffic
-    let bytes = ((m * k + k * n + 2 * m * n) as u64) * elem;
-    let flops = (2 * m * k * n) as u64;
-    ctx.charge_bulk(bytes, flops, flops as f64 / LIB_EFFICIENCY);
-    Ok(())
 }
 
 /// Reference (unblocked) matmul used by tests and the operator baseline.

@@ -3,10 +3,10 @@
 //! The instrumented interpreter ([`crate::Runtime::run`]) is deterministic
 //! and sequential; this module provides the complementary proof that a
 //! schedule marked parallel by the compiler really is data-race free: `OpenMp`
-//! loops are executed on real threads (crossbeam scoped), with `ReduceTo`
-//! statements marked `atomic` serialized through a per-tensor mutex — the
-//! same lowering a CUDA backend would do with `atomicAdd` (paper
-//! Fig. 13(e)).
+//! loops are executed on real threads (the persistent [`crate::pool`]
+//! workers, with dynamic chunking), with `ReduceTo` statements marked
+//! `atomic` serialized through a per-tensor mutex — the same lowering a CUDA
+//! backend would do with `atomicAdd` (paper Fig. 13(e)).
 //!
 //! All storage is widened to `f64` (exact for the i32 index tensors the
 //! workloads use). Safety relies on the scheduler's dependence analysis:
@@ -21,6 +21,7 @@
 
 use crate::error::RuntimeError;
 use crate::interp::apply_reduce;
+use crate::pool::WorkerPool;
 use crate::value::{Scalar, TensorVal};
 use ft_ir::{
     AccessType, DataType, Expr, Func, ParallelScope, Stmt, StmtKind, UnaryOp,
@@ -44,16 +45,29 @@ struct Shared {
     writes: Arc<Mutex<HashMap<usize, (u64, u64)>>>,
 }
 
-/// Identity of the executing worker: (parallel-region id, worker id).
+/// Identity of the executing worker: (parallel-region id, chunk id).
 /// `(0, 0)` is the serial main thread; region ids are globally unique per
-/// `crossbeam` fork, so writes from *different* regions never conflict
-/// (regions on one thread are sequenced; see the module docs).
+/// pool fork, so writes from *different* regions never conflict (regions on
+/// one thread are sequenced; see the module docs). Within one region every
+/// dynamically claimed chunk gets its own id, so overlapping writes from
+/// distinct chunks are flagged even when one pool thread ran both.
 type WorkerId = (u64, u64);
 
 #[cfg(debug_assertions)]
 fn next_ids() -> &'static std::sync::atomic::AtomicU64 {
     static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
     &NEXT
+}
+
+/// Best-effort text of a panic payload, for the re-raised message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 struct SharedVec(std::cell::UnsafeCell<Vec<f64>>);
@@ -337,10 +351,12 @@ impl TCtx {
                     }
                     Ok(())
                 } else {
-                    // Real fork-join: split the range across worker threads.
+                    // Real fork-join on the persistent pool: workers claim
+                    // `grain`-sized chunks dynamically, so irregular inner
+                    // bounds (SoftRas/GAT) stay balanced.
                     let n = e - b;
                     let workers = (self.threads as i64).min(n);
-                    let chunk = (n + workers - 1) / workers;
+                    let grain = (n / (workers * 4)).max(1);
                     let span = self.sink.as_ref().map(|s| {
                         let mut sp = s.span_on(
                             TRACK_RUNTIME,
@@ -354,28 +370,37 @@ impl TCtx {
                     let result: Mutex<Result<(), RuntimeError>> = Mutex::new(Ok(()));
                     #[cfg(debug_assertions)]
                     let region = next_ids().fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    crossbeam::thread::scope(|scope| {
-                        for w in 0..workers {
-                            let lo = b + w * chunk;
-                            let hi = (lo + chunk).min(e);
-                            let mut local = self.clone();
-                            #[cfg(debug_assertions)]
-                            {
-                                local.who = (region, w as u64);
-                            }
-                            let result = &result;
-                            scope.spawn(move |_| {
-                                for i in lo..hi {
-                                    local.scalars.insert(iter.clone(), i);
-                                    if let Err(err) = local.exec(body) {
-                                        *result.lock() = Err(err);
-                                        return;
-                                    }
-                                }
-                            });
+                    // Chunks get distinct worker ids: the overlap checker
+                    // then flags overlapping writes from different chunks of
+                    // one region deterministically, regardless of which pool
+                    // thread happens to execute them.
+                    #[cfg(debug_assertions)]
+                    let chunk_ids = std::sync::atomic::AtomicU64::new(0);
+                    let task = |lo: i64, hi: i64| {
+                        let mut local = self.clone();
+                        #[cfg(debug_assertions)]
+                        {
+                            local.who = (
+                                region,
+                                chunk_ids.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+                            );
                         }
-                    })
-                    .expect("worker thread panicked");
+                        for i in lo..hi {
+                            local.scalars.insert(iter.clone(), i);
+                            if let Err(err) = local.exec(body) {
+                                let mut r = result.lock();
+                                if r.is_ok() {
+                                    *r = Err(err);
+                                }
+                                return;
+                            }
+                        }
+                    };
+                    if let Err(payload) =
+                        WorkerPool::global().try_run(b, e, grain, workers as usize, &task)
+                    {
+                        panic!("worker thread panicked: {}", panic_message(&*payload));
+                    }
                     drop(span);
                     result.into_inner()
                 }
