@@ -1,0 +1,97 @@
+//! Microbenchmark: serialized vs privatized parallel reductions on the
+//! worker pool, plus a grain-size sweep.
+//!
+//! `serialized` models the old path — every chunk funnels its updates
+//! through one mutex-guarded accumulator. `privatized` is the runtime
+//! `cache_reduce`: each chunk accumulates into a thread-private value and
+//! the pool merges the partials in deterministic ascending chunk order
+//! after the join. The sweep shows why the grain heuristic targets a
+//! fixed per-chunk cost: too fine pays claim/lock overhead per tiny
+//! chunk, too coarse starves the helpers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ft_runtime::WorkerPool;
+use std::sync::Mutex;
+use std::time::Duration;
+
+const N: i64 = 1 << 20;
+
+/// The per-iteration body both variants share.
+#[inline]
+fn term(i: i64) -> i64 {
+    (i ^ (i >> 3)).wrapping_mul(0x9E37_79B9)
+}
+
+fn serialized_sum(pool: &WorkerPool, grain: i64) -> i64 {
+    let acc = Mutex::new(0i64);
+    let task = |lo: i64, hi: i64| {
+        for i in lo..hi {
+            // One lock per update: the contention the privatized path
+            // exists to remove.
+            let mut g = acc.lock().unwrap();
+            *g = g.wrapping_add(term(i));
+        }
+    };
+    pool.try_run(0, N, grain, usize::MAX, &task).unwrap();
+    let v = *acc.lock().unwrap();
+    v
+}
+
+fn privatized_sum(pool: &WorkerPool, grain: i64) -> i64 {
+    let mut total = 0i64;
+    pool.try_run_reduce(
+        0,
+        N,
+        grain,
+        usize::MAX,
+        &|_| 0i64,
+        &|lo, hi, acc: &mut i64| {
+            for i in lo..hi {
+                *acc = acc.wrapping_add(term(i));
+            }
+        },
+        &mut |_idx, part| total = total.wrapping_add(part),
+    )
+    .unwrap();
+    total
+}
+
+fn bench_pool_reduce(c: &mut Criterion) {
+    let pool = WorkerPool::global();
+    let grain = 1 << 14;
+
+    let mut group = c.benchmark_group("pool_reduce");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    let expect = privatized_sum(pool, grain);
+    group.bench_function("serialized", |b| {
+        b.iter(|| {
+            let v = serialized_sum(pool, grain);
+            assert_eq!(v, expect);
+            v
+        })
+    });
+    group.bench_function("privatized", |b| {
+        b.iter(|| {
+            let v = privatized_sum(pool, grain);
+            assert_eq!(v, expect);
+            v
+        })
+    });
+    group.finish();
+
+    let mut sweep = c.benchmark_group("pool_reduce/grain_sweep");
+    sweep.sample_size(10);
+    sweep.warm_up_time(Duration::from_millis(200));
+    sweep.measurement_time(Duration::from_secs(1));
+    for shift in [8u32, 10, 12, 14, 16, 18] {
+        sweep.bench_function(format!("grain_{}", 1i64 << shift), |b| {
+            b.iter(|| privatized_sum(pool, 1i64 << shift))
+        });
+    }
+    sweep.finish();
+}
+
+criterion_group!(benches, bench_pool_reduce);
+criterion_main!(benches);

@@ -8,8 +8,8 @@
 //! followed by a `--grad` run accumulates both record kinds in one file.
 
 use bench::{
-    fmt_cycles, json_record, prepare, run_forward_capped, run_grad_capped, write_bench_json,
-    Scale, System, Workload,
+    fmt_cycles, json_record, prepare, run_forward_capped, run_forward_traced, run_grad_capped,
+    write_bench_json, Scale, System, Workload,
 };
 use ft_autodiff::TapePolicy;
 use ft_ir::Device;
@@ -29,6 +29,14 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse::<usize>().ok())
         .map(|mib| mib << 20);
+    // Optional compilation-provenance trace of the optimized CPU runs
+    // (`--trace PATH`): a Chrome-format artifact whose `vm.lower` spans
+    // record every SIMD / parallel-region lowering decision.
+    let trace_path: Option<std::path::PathBuf> = args
+        .iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1))
+        .map(|p| p.into());
     let json_path: Option<std::path::PathBuf> = if args.iter().any(|a| a == "--no-json") {
         None
     } else {
@@ -70,7 +78,7 @@ fn main() {
     };
     let kind = if grad { "grad" } else { "forward" };
     let mut records = Vec::new();
-    for w in workloads {
+    for &w in &workloads {
         let prep = prepare(w, scale);
         for dev in [Device::Cpu, Device::Gpu] {
             let mut cells = Vec::new();
@@ -125,5 +133,41 @@ fn main() {
             Ok(()) => eprintln!("wrote {}", path.display()),
             Err(e) => eprintln!("failed to write {}: {e}", path.display()),
         }
+    }
+    if let Some(path) = trace_path {
+        let sink = ft_trace::TraceSink::new();
+        for &w in &workloads {
+            let prep = prepare(w, scale);
+            let r = run_forward_traced(&prep, System::FtOptimized, Device::Cpu, &sink);
+            if let Some(f) = r.failure {
+                eprintln!("trace run failed on {}: {f}", w.name());
+            }
+        }
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        ft_trace::write_chrome_trace(&sink, &path).expect("write trace");
+        let lower: Vec<_> = sink
+            .events()
+            .into_iter()
+            .filter(|e| e.cat == "vm.lower")
+            .collect();
+        let simd_accepted = lower
+            .iter()
+            .filter(|e| {
+                e.name == "vm.simd"
+                    && e.args.iter().any(|(k, v)| k == "accepted" && v == "true")
+            })
+            .count();
+        eprintln!(
+            "wrote {} ({} vm.lower spans, {} accepted vm.simd)",
+            path.display(),
+            lower.len(),
+            simd_accepted
+        );
+        assert!(
+            simd_accepted > 0,
+            "optimized CPU runs produced no accepted vm.simd spans"
+        );
     }
 }

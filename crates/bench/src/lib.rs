@@ -354,9 +354,20 @@ fn run_ft_both_engines(
     match result {
         Ok(r) => {
             let vm = VmRuntime::with_config(config);
-            let start = Instant::now();
-            let vm_result = prog.run_vm(&vm, pairs, &[]);
-            let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+            // One warm-up run, then best of two timed runs: a single cold
+            // run folds one-off noise (page faults, pool spin-up, bytecode
+            // compile jitter) into the headline number and can invert
+            // close naive/optimized pairs.
+            let mut wall_ms = f64::INFINITY;
+            let mut vm_result = prog.run_vm(&vm, pairs, &[]);
+            for _ in 0..2 {
+                let start = Instant::now();
+                let again = prog.run_vm(&vm, pairs, &[]);
+                wall_ms = wall_ms.min(start.elapsed().as_secs_f64() * 1e3);
+                if vm_result.is_ok() {
+                    vm_result = again;
+                }
+            }
             match vm_result {
                 Ok(_) => CaseResult {
                     wall_ms,

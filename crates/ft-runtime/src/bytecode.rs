@@ -62,9 +62,11 @@ use crate::counters::{CacheSim, PerfCounters, LINE};
 use crate::device::DeviceConfig;
 use crate::error::RuntimeError;
 use crate::interp::{RunResult, Runtime};
-use crate::value::{Scalar, TensorVal};
+use crate::pool::{grain_for, WorkerPool};
+use crate::value::{lanes, Scalar, TensorVal};
 use ft_ir::{AccessType, BinaryOp, DataType, Device, Func, MemType, ParallelScope, ReduceOp, UnaryOp};
 use ft_trace::{ProfileNode, RunProfile, StmtCounters, TraceSink, TRACK_RUNTIME};
+use parking_lot::Mutex;
 use std::collections::HashMap;
 
 /// Execution mode of the VM.
@@ -190,6 +192,13 @@ enum Instr {
     CountOp { float: bool },
     LoopEnter { b: u32, e: u32, prof: u32, scope: ParallelScope },
     LoopExit { b: u32, e: u32, scope: ParallelScope, vectorize: bool },
+    /// Fast mode: a whole innermost `vectorize`-marked loop fused into one
+    /// wide kernel dispatch ([`VecSite`]). Carries no jump targets, so it
+    /// relocates freely inside enclosing loop bodies.
+    VecLoop { site: u32 },
+    /// Fast mode: a whole `OpenMp` loop run as a fork-join region on the
+    /// persistent worker pool ([`ParSite`]).
+    ParRegion { site: u32 },
     Halt,
 }
 
@@ -217,6 +226,100 @@ struct LibSite {
     prof: usize,
 }
 
+/// A strength-reduced access used by a vectorized loop: the register
+/// holding the flat base offset (maintained by the loop preheader) plus the
+/// register holding the numerically probed per-iteration stride (`None` for
+/// loop-invariant accesses, i.e. stride 0).
+#[derive(Debug, Clone)]
+struct VecAccess {
+    t: u32,
+    off: u32,
+    stride: Option<u32>,
+}
+
+/// The fused inner-loop shapes the vectorizer recognizes. Float reduction
+/// kernels preserve the interpreter's serial-order combines and per-step
+/// storage rounding (see [`crate::value::lanes`]), so accepting a kernel
+/// never changes results — only dispatch cost.
+#[derive(Debug, Clone)]
+enum VecKernel {
+    /// `dst[k] = v` with `v` loop-invariant (hoisted into register `src`).
+    Fill { dst: VecAccess, src: u32, sty: Ty },
+    /// `dst[k] = x[k]` (dtype conversion through the scalar widen/narrow).
+    Copy { dst: VecAccess, x: VecAccess },
+    /// `dst[k] += a * x[k]` — elementwise float accumulate with an optional
+    /// invariant multiplier `a` (`a_lhs` records the operand order so NaN
+    /// propagation matches the serial multiply).
+    Axpy {
+        dst: VecAccess,
+        x: VecAccess,
+        a: Option<(u32, Ty)>,
+        a_lhs: bool,
+    },
+    /// `acc += x[k] * y[k]` — loop-carried dot-product reduction into one
+    /// invariant cell.
+    Dot {
+        dst: VecAccess,
+        x: VecAccess,
+        y: VecAccess,
+    },
+    /// `acc op= x[k]` — loop-carried horizontal reduction (Add/Min/Max).
+    HReduce {
+        dst: VecAccess,
+        x: VecAccess,
+        op: ReduceOp,
+    },
+}
+
+impl VecKernel {
+    fn name(&self) -> &'static str {
+        match self {
+            VecKernel::Fill { .. } => "fill",
+            VecKernel::Copy { .. } => "copy",
+            VecKernel::Axpy { .. } => "axpy",
+            VecKernel::Dot { .. } => "dot",
+            VecKernel::HReduce { .. } => "hreduce",
+        }
+    }
+}
+
+/// A vectorized-loop site: iterator register, end-bound register, kernel.
+#[derive(Debug, Clone)]
+struct VecSite {
+    s: u32,
+    end: u32,
+    kernel: VecKernel,
+}
+
+/// A parallel-region site: the loop body compiled into a standalone
+/// instruction stream workers execute once per iteration.
+#[derive(Debug, Clone)]
+struct ParSite {
+    s: u32,
+    end: u32,
+    code: Vec<Instr>,
+    /// Per tensor slot: `true` when each worker owns a private copy
+    /// (`VarDef` locals and privatized reduction targets); `false` slots
+    /// route to the parent's storage, written disjointly.
+    local_mask: Vec<bool>,
+    /// Reduction targets privatized per worker and merged in deterministic
+    /// chunk order after the join (the runtime `cache_reduce`).
+    privatized: Vec<(usize, ReduceOp)>,
+    /// Static body cost (instruction count) feeding the grain heuristic.
+    cost: u32,
+}
+
+/// One lowering decision (a `vectorize` or parallel-region attempt),
+/// surfaced as a `vm.simd` / `vm.parallel` / `vm.reduce.privatize` trace
+/// span with a structured acceptance or rejection reason.
+#[derive(Debug, Clone)]
+struct LowerDecision {
+    kind: &'static str,
+    prof: usize,
+    accepted: bool,
+    detail: String,
+}
+
 /// A compiled VM program.
 #[derive(Debug, Clone)]
 pub(crate) struct VmProgram {
@@ -228,6 +331,9 @@ pub(crate) struct VmProgram {
     size_slots: Vec<(String, usize)>,
     lib_sites: Vec<LibSite>,
     prof_nodes: Vec<ProfileNode>,
+    vec_sites: Vec<VecSite>,
+    par_sites: Vec<ParSite>,
+    decisions: Vec<LowerDecision>,
 }
 
 /// Per-open-loop compile state for strength reduction.
@@ -310,6 +416,105 @@ struct Compiler {
     /// whether an access executes unconditionally in its loop.
     cond_depth: usize,
     lib_sites: Vec<LibSite>,
+    /// Whether we are compiling the body of a parallel region (nested
+    /// `OpenMp` loops then stay serial — the pool is flat).
+    in_region: bool,
+    vec_sites: Vec<VecSite>,
+    par_sites: Vec<ParSite>,
+    decisions: Vec<LowerDecision>,
+}
+
+/// Tensor slots a region body defines locally (`VarDef`s).
+fn collect_locals(s: &crate::compiled::CStmt, out: &mut std::collections::HashSet<usize>) {
+    use crate::compiled::CStmt as S;
+    match s {
+        S::Nop | S::Store { .. } | S::Reduce { .. } | S::LibCall { .. } => {}
+        S::Seq(v) => v.iter().for_each(|st| collect_locals(st, out)),
+        S::VarDef { t, body, .. } => {
+            out.insert(*t);
+            collect_locals(body, out);
+        }
+        S::For { body, .. } => collect_locals(body, out),
+        S::If {
+            then, otherwise, ..
+        } => {
+            collect_locals(then, out);
+            if let Some(o) = otherwise {
+                collect_locals(o, out);
+            }
+        }
+    }
+}
+
+/// Record every non-local tensor `e` loads from into `loaded`.
+fn collect_loads(
+    e: &crate::compiled::CExpr,
+    locals: &std::collections::HashSet<usize>,
+    loaded: &mut std::collections::HashSet<usize>,
+) {
+    use crate::compiled::CExpr as E;
+    match e {
+        E::Int(_) | E::Float(_) | E::Bool(_) | E::Scalar(_) => {}
+        E::Load { t, idx } => {
+            if !locals.contains(t) {
+                loaded.insert(*t);
+            }
+            idx.iter().for_each(|i| collect_loads(i, locals, loaded));
+        }
+        E::Unary { a, .. } => collect_loads(a, locals, loaded),
+        E::Binary { a, b, .. } => {
+            collect_loads(a, locals, loaded);
+            collect_loads(b, locals, loaded);
+        }
+        E::Select {
+            cond,
+            then,
+            otherwise,
+        } => {
+            collect_loads(cond, locals, loaded);
+            collect_loads(then, locals, loaded);
+            collect_loads(otherwise, locals, loaded);
+        }
+        E::Cast { a, .. } => collect_loads(a, locals, loaded),
+    }
+}
+
+/// Whether a write at `idx` provably touches distinct cells on distinct
+/// iterations of the loop over scalar slot `s`: some index component must
+/// be a pure, strictly affine function of `s`. Scatter writes (`y[idx[k]]`)
+/// and divided/modded indices fail the test and serialize the region.
+fn disjoint_by(idx: &[crate::compiled::CExpr], s: usize) -> bool {
+    idx.iter()
+        .any(|e| pure_total(e) && linear_in(e, s) && contains_scalar(e, s))
+}
+
+/// What a parallel-region analysis proved about a loop body.
+struct RegionInfo {
+    locals: std::collections::HashSet<usize>,
+    privatized: Vec<(usize, ReduceOp)>,
+}
+
+/// If `e` is a load whose index varies in `s`, return its target and index.
+fn varying_load(
+    e: &crate::compiled::CExpr,
+    s: usize,
+) -> Option<(usize, &[crate::compiled::CExpr])> {
+    match e {
+        crate::compiled::CExpr::Load { t, idx }
+            if idx.iter().any(|i| contains_scalar(i, s)) =>
+        {
+            Some((*t, idx))
+        }
+        _ => None,
+    }
+}
+
+/// Strip nested single-statement `Seq` wrappers.
+fn unwrap_single(body: &crate::compiled::CStmt) -> &crate::compiled::CStmt {
+    match body {
+        crate::compiled::CStmt::Seq(v) if v.len() == 1 => unwrap_single(&v[0]),
+        other => other,
+    }
 }
 
 /// Whether `e` is total (cannot fault), pure (no memory reads) and integer
@@ -981,7 +1186,15 @@ impl Compiler {
                 }
                 self.free_to(mark);
             }
-            S::Reduce { t, idx, op, value } => {
+            // `atomic` matters only to the parallel-region analysis
+            // (privatization); the serial lowering is identical either way.
+            S::Reduce {
+                t,
+                idx,
+                op,
+                value,
+                atomic: _,
+            } => {
                 let mark = self.mark();
                 if let Some(off) = self.try_reduce(*t, idx)? {
                     let (rv, tv) = self.expr(value)?;
@@ -1142,6 +1355,19 @@ impl Compiler {
             let c1 = self.conv(r1, t1, Ty::I);
             self.emit(Instr::Mov { dst: re, src: c1 });
             self.free_to(mark2);
+            // Schedule marks, honored in priority order: an `OpenMp` loop
+            // becomes a pool region; failing that, a `vectorize` mark
+            // becomes a fused wide kernel; failing both, the plain
+            // strength-reduced serial loop below.
+            if scope == ParallelScope::OpenMp
+                && !self.in_region
+                && self.try_region(s, s_reg, re, prof, body)?
+            {
+                return Ok(());
+            }
+            if vectorize && self.try_vectorize(s, s_reg, re, prof, body)? {
+                return Ok(());
+            }
             let mut writes = std::collections::HashSet::new();
             collect_writes(body, &mut writes);
             self.loops.push(LoopCtx::new(s, self.cond_depth, writes));
@@ -1189,6 +1415,468 @@ impl Compiler {
         }
         Ok(())
     }
+
+    /// Record one lowering decision for the trace.
+    fn decide(
+        &mut self,
+        kind: &'static str,
+        prof: usize,
+        accepted: bool,
+        detail: impl Into<String>,
+    ) {
+        self.decisions.push(LowerDecision {
+            kind,
+            prof,
+            accepted,
+            detail: detail.into(),
+        });
+    }
+
+    /// Hoist a loop-invariant expression into the (speculative) innermost
+    /// loop's preheader, returning the persist register holding its value.
+    /// `None` when the expression is not provably invariant.
+    fn hoist_invariant(
+        &mut self,
+        e: &crate::compiled::CExpr,
+    ) -> Result<Option<(u32, Ty)>, Unsupported> {
+        let ok = {
+            let lp = self.loops.last().expect("vectorize ctx pushed");
+            self.invariant_ok(e, lp.s, &lp.writes)
+        };
+        if !ok {
+            return Ok(None);
+        }
+        let dst = self.alloc_persist();
+        let mut pre = Vec::new();
+        std::mem::swap(&mut self.buf, &mut pre);
+        let mark = self.mark();
+        let out = self.expr(e).map(|(src, ty)| {
+            self.emit(Instr::Mov { dst, src });
+            ty
+        });
+        self.free_to(mark);
+        std::mem::swap(&mut self.buf, &mut pre);
+        let ty = out?;
+        let lp = self.loops.last_mut().expect("vectorize ctx pushed");
+        lp.preheader.extend(pre);
+        if !pure_total(e) {
+            lp.faulty_preheader = true;
+        }
+        Ok(Some((dst, ty)))
+    }
+
+    /// Strength-reduce one access for a vectorized loop and recover the
+    /// stride register its induction latch would have advanced by.
+    fn vec_access(
+        &mut self,
+        t: usize,
+        idx: &[crate::compiled::CExpr],
+    ) -> Result<Option<VecAccess>, Unsupported> {
+        let before = self.loops.last().expect("vectorize ctx pushed").latches.len();
+        let Some(off) = self.try_reduce(t, idx)? else {
+            return Ok(None);
+        };
+        let lp = self.loops.last().expect("vectorize ctx pushed");
+        let stride = lp.latches[before..].iter().find_map(|i| match i {
+            Instr::AddI { dst, a, b } if *dst == off && *a == off => Some(*b),
+            _ => None,
+        });
+        Ok(Some(VecAccess {
+            t: t as u32,
+            off,
+            stride,
+        }))
+    }
+
+    /// Classify the single-statement body of a `vectorize`-marked loop into
+    /// a fused kernel. `Ok(Err(reason))` is a structured rejection (the
+    /// loop compiles serially); `Err(Unsupported)` aborts the program to
+    /// the interpreter as usual.
+    fn build_vec_kernel(
+        &mut self,
+        inner: &crate::compiled::CStmt,
+    ) -> Result<Result<VecKernel, &'static str>, Unsupported> {
+        use crate::compiled::{CExpr as E, CStmt as S};
+        let s = self.loops.last().expect("vectorize ctx pushed").s;
+        match inner {
+            S::Store { t, idx, value } => {
+                let Some(dst) = self.vec_access(*t, idx)? else {
+                    return Ok(Err("dst_not_stride_reducible"));
+                };
+                if dst.stride.is_none() {
+                    return Ok(Err("dst_invariant"));
+                }
+                if let Some((xt, xidx)) = varying_load(value, s) {
+                    let Some(x) = self.vec_access(xt, xidx)? else {
+                        return Ok(Err("src_not_stride_reducible"));
+                    };
+                    return Ok(Ok(VecKernel::Copy { dst, x }));
+                }
+                match self.hoist_invariant(value)? {
+                    Some((src, sty)) => Ok(Ok(VecKernel::Fill { dst, src, sty })),
+                    None => Ok(Err("unsupported_value_shape")),
+                }
+            }
+            S::Reduce {
+                t,
+                idx,
+                op,
+                value,
+                atomic: _,
+            } => {
+                if ty_of(self.tdtype[*t]) != Ty::F {
+                    return Ok(Err("unsupported_reduce_dtype"));
+                }
+                let Some(dst) = self.vec_access(*t, idx)? else {
+                    return Ok(Err("dst_not_stride_reducible"));
+                };
+                let carried = dst.stride.is_none();
+                match (op, value) {
+                    (
+                        ReduceOp::Add,
+                        E::Binary {
+                            op: BinaryOp::Mul,
+                            a,
+                            b,
+                        },
+                    ) => {
+                        let (av, bv) = (varying_load(a, s), varying_load(b, s));
+                        match (av, bv) {
+                            (Some((xt, xidx)), Some((yt, yidx))) if carried => {
+                                if xt == *t || yt == *t {
+                                    return Ok(Err("reduction_target_reused"));
+                                }
+                                if ty_of(self.tdtype[xt]) != Ty::F
+                                    || ty_of(self.tdtype[yt]) != Ty::F
+                                {
+                                    return Ok(Err("unsupported_reduce_dtype"));
+                                }
+                                let Some(x) = self.vec_access(xt, xidx)? else {
+                                    return Ok(Err("src_not_stride_reducible"));
+                                };
+                                let Some(y) = self.vec_access(yt, yidx)? else {
+                                    return Ok(Err("src_not_stride_reducible"));
+                                };
+                                Ok(Ok(VecKernel::Dot { dst, x, y }))
+                            }
+                            (Some(_), None) | (None, Some(_)) if !carried => {
+                                let (xt, xidx) = av.or(bv).expect("one side varies");
+                                // Multiplier on the left means the serial
+                                // code computed `a * x`.
+                                let a_lhs = av.is_none();
+                                let mul = if a_lhs { a } else { b };
+                                if xt == *t {
+                                    return Ok(Err("reduction_target_reused"));
+                                }
+                                if ty_of(self.tdtype[xt]) != Ty::F {
+                                    return Ok(Err("unsupported_reduce_dtype"));
+                                }
+                                let Some(x) = self.vec_access(xt, xidx)? else {
+                                    return Ok(Err("src_not_stride_reducible"));
+                                };
+                                let Some(a) = self.hoist_invariant(mul)? else {
+                                    return Ok(Err("unsupported_value_shape"));
+                                };
+                                Ok(Ok(VecKernel::Axpy {
+                                    dst,
+                                    x,
+                                    a: Some(a),
+                                    a_lhs,
+                                }))
+                            }
+                            _ => Ok(Err("unsupported_value_shape")),
+                        }
+                    }
+                    (ReduceOp::Add, _) => {
+                        let Some((xt, xidx)) = varying_load(value, s) else {
+                            return Ok(Err("unsupported_value_shape"));
+                        };
+                        if xt == *t {
+                            return Ok(Err("reduction_target_reused"));
+                        }
+                        if ty_of(self.tdtype[xt]) != Ty::F {
+                            return Ok(Err("unsupported_reduce_dtype"));
+                        }
+                        let Some(x) = self.vec_access(xt, xidx)? else {
+                            return Ok(Err("src_not_stride_reducible"));
+                        };
+                        if carried {
+                            Ok(Ok(VecKernel::HReduce {
+                                dst,
+                                x,
+                                op: ReduceOp::Add,
+                            }))
+                        } else {
+                            Ok(Ok(VecKernel::Axpy {
+                                dst,
+                                x,
+                                a: None,
+                                a_lhs: true,
+                            }))
+                        }
+                    }
+                    (ReduceOp::Min | ReduceOp::Max, _) => {
+                        if !carried {
+                            return Ok(Err("unsupported_reduce_op"));
+                        }
+                        let Some((xt, xidx)) = varying_load(value, s) else {
+                            return Ok(Err("unsupported_value_shape"));
+                        };
+                        if xt == *t {
+                            return Ok(Err("reduction_target_reused"));
+                        }
+                        if ty_of(self.tdtype[xt]) != Ty::F {
+                            return Ok(Err("unsupported_reduce_dtype"));
+                        }
+                        let Some(x) = self.vec_access(xt, xidx)? else {
+                            return Ok(Err("src_not_stride_reducible"));
+                        };
+                        Ok(Ok(VecKernel::HReduce { dst, x, op: *op }))
+                    }
+                    (ReduceOp::Mul, _) => Ok(Err("unsupported_reduce_op")),
+                }
+            }
+            S::For { .. } => Ok(Err("not_innermost")),
+            S::If { .. } => Ok(Err("conditional_body")),
+            S::VarDef { .. } => Ok(Err("vardef_body")),
+            S::LibCall { .. } => Ok(Err("libcall_body")),
+            S::Seq(_) => Ok(Err("compound_body")),
+            S::Nop => Ok(Err("empty_body")),
+        }
+    }
+
+    /// Try to lower a `vectorize`-marked innermost loop into a [`VecSite`].
+    /// On success the emitted code is `[pre-guard] preheader VecLoop`; on a
+    /// structured rejection the caller falls through to the plain serial
+    /// lowering with the reason in the decision log.
+    fn try_vectorize(
+        &mut self,
+        s: usize,
+        s_reg: u32,
+        re: u32,
+        prof: usize,
+        body: &crate::compiled::CStmt,
+    ) -> Result<bool, Unsupported> {
+        let inner = unwrap_single(body);
+        let mut writes = std::collections::HashSet::new();
+        collect_writes(body, &mut writes);
+        // A speculative loop context: accepted, its preheader feeds the
+        // site; rejected, it is discarded whole (persist registers probed
+        // into it leak, which `alloc_persist` documents as fine).
+        self.loops.push(LoopCtx::new(s, self.cond_depth, writes));
+        let built = self.build_vec_kernel(inner);
+        let ctx = self.loops.pop().expect("pushed above");
+        match built? {
+            Err(reason) => {
+                self.decide("vm.simd", prof, false, reason);
+                Ok(false)
+            }
+            Ok(kernel) => {
+                // The induction latches are dropped: the kernel dispatch
+                // computes every offset from base + k * stride directly.
+                let pre_gi = if ctx.faulty_preheader {
+                    Some(self.emit_idx(Instr::BrGeI {
+                        a: s_reg,
+                        b: re,
+                        to: 0,
+                    }))
+                } else {
+                    None
+                };
+                self.buf.extend(ctx.preheader);
+                let detail = kernel.name();
+                let site = self.vec_sites.len() as u32;
+                self.vec_sites.push(VecSite {
+                    s: s_reg,
+                    end: re,
+                    kernel,
+                });
+                self.emit(Instr::VecLoop { site });
+                let after = self.buf.len() as u32;
+                if let Some(pg) = pre_gi {
+                    self.patch(pg, after);
+                }
+                self.decide("vm.simd", prof, true, detail);
+                Ok(true)
+            }
+        }
+    }
+
+    /// Prove a loop body safe for fork-join execution: every non-local
+    /// write lands on provably iteration-disjoint cells, no tensor is both
+    /// read and written, and atomic reductions privatize bit-exactly
+    /// (integer ops only — wrapping Add/Mul and Min/Max are associative and
+    /// commutative mod 2^width; float reductions are not and serialize the
+    /// region instead).
+    fn analyze_region(
+        &self,
+        body: &crate::compiled::CStmt,
+        s: usize,
+    ) -> Result<RegionInfo, &'static str> {
+        let mut locals = std::collections::HashSet::new();
+        collect_locals(body, &mut locals);
+        let mut stored = std::collections::HashSet::new();
+        let mut loaded = std::collections::HashSet::new();
+        let mut reduced = std::collections::BTreeMap::new();
+        scan_region(body, s, &locals, &mut stored, &mut loaded, &mut reduced)?;
+        if stored.iter().any(|t| loaded.contains(t)) {
+            return Err("read_write_overlap");
+        }
+        let mut privatized = Vec::new();
+        for (&t, &op) in &reduced {
+            if stored.contains(&t) || loaded.contains(&t) {
+                return Err("reduction_target_reused");
+            }
+            match self.tdtype[t] {
+                DataType::F32 | DataType::F64 => {
+                    return Err("nonassociative_float_reduction")
+                }
+                DataType::Bool => return Err("unsupported_reduce_dtype"),
+                DataType::I32 | DataType::I64 => privatized.push((t, op)),
+            }
+        }
+        Ok(RegionInfo { locals, privatized })
+    }
+
+    /// Try to lower an `OpenMp` loop into a pool-executed [`ParSite`].
+    fn try_region(
+        &mut self,
+        s: usize,
+        s_reg: u32,
+        re: u32,
+        prof: usize,
+        body: &crate::compiled::CStmt,
+    ) -> Result<bool, Unsupported> {
+        let info = match self.analyze_region(body, s) {
+            Err(reason) => {
+                self.decide("vm.parallel", prof, false, reason);
+                return Ok(false);
+            }
+            Ok(i) => i,
+        };
+        // The body compiles into a standalone stream with a clean loop /
+        // conditional context (workers re-enter it from scratch every
+        // iteration). `depth_of` stays consistent under the reset: tensors
+        // defined outside merely stop looking loop-invariant, which only
+        // makes strength reduction and hoisting more conservative.
+        let saved_loops = std::mem::take(&mut self.loops);
+        let saved_cond = self.cond_depth;
+        self.cond_depth = 0;
+        self.in_region = true;
+        let mut code = Vec::new();
+        std::mem::swap(&mut self.buf, &mut code);
+        let r = self.stmt(body);
+        self.emit(Instr::Halt);
+        std::mem::swap(&mut self.buf, &mut code);
+        self.loops = saved_loops;
+        self.cond_depth = saved_cond;
+        self.in_region = false;
+        r?;
+        let mut local_mask = vec![false; self.tdtype.len()];
+        for &t in &info.locals {
+            local_mask[t] = true;
+        }
+        for &(t, op) in &info.privatized {
+            local_mask[t] = true;
+            self.decide("vm.reduce.privatize", prof, true, format!("{op:?}"));
+        }
+        let cost = code.len() as u32;
+        let site = self.par_sites.len() as u32;
+        self.par_sites.push(ParSite {
+            s: s_reg,
+            end: re,
+            code,
+            local_mask,
+            privatized: info.privatized,
+            cost,
+        });
+        self.emit(Instr::ParRegion { site });
+        self.decide("vm.parallel", prof, true, format!("cost={cost}"));
+        Ok(true)
+    }
+}
+
+/// Walk a region body collecting non-local reads and writes; errors are
+/// structured serialization reasons.
+fn scan_region(
+    st: &crate::compiled::CStmt,
+    s: usize,
+    locals: &std::collections::HashSet<usize>,
+    stored: &mut std::collections::HashSet<usize>,
+    loaded: &mut std::collections::HashSet<usize>,
+    reduced: &mut std::collections::BTreeMap<usize, ReduceOp>,
+) -> Result<(), &'static str> {
+    use crate::compiled::CStmt as S;
+    match st {
+        S::Nop => Ok(()),
+        S::Seq(v) => v
+            .iter()
+            .try_for_each(|x| scan_region(x, s, locals, stored, loaded, reduced)),
+        S::VarDef { shape, body, .. } => {
+            shape.iter().for_each(|e| collect_loads(e, locals, loaded));
+            scan_region(body, s, locals, stored, loaded, reduced)
+        }
+        S::For {
+            begin, end, body, ..
+        } => {
+            collect_loads(begin, locals, loaded);
+            collect_loads(end, locals, loaded);
+            scan_region(body, s, locals, stored, loaded, reduced)
+        }
+        S::If {
+            cond,
+            then,
+            otherwise,
+        } => {
+            collect_loads(cond, locals, loaded);
+            scan_region(then, s, locals, stored, loaded, reduced)?;
+            match otherwise {
+                Some(o) => scan_region(o, s, locals, stored, loaded, reduced),
+                None => Ok(()),
+            }
+        }
+        S::Store { t, idx, value } => {
+            idx.iter().for_each(|e| collect_loads(e, locals, loaded));
+            collect_loads(value, locals, loaded);
+            if !locals.contains(t) {
+                if !disjoint_by(idx, s) {
+                    return Err("unproven_disjoint_write");
+                }
+                stored.insert(*t);
+            }
+            Ok(())
+        }
+        S::Reduce {
+            t,
+            idx,
+            op,
+            value,
+            atomic,
+        } => {
+            idx.iter().for_each(|e| collect_loads(e, locals, loaded));
+            collect_loads(value, locals, loaded);
+            if !locals.contains(t) {
+                if disjoint_by(idx, s) {
+                    stored.insert(*t);
+                } else if *atomic {
+                    match reduced.entry(*t) {
+                        std::collections::btree_map::Entry::Occupied(e) => {
+                            if *e.get() != *op {
+                                return Err("mixed_reduce_ops");
+                            }
+                        }
+                        std::collections::btree_map::Entry::Vacant(v) => {
+                            v.insert(*op);
+                        }
+                    }
+                } else {
+                    return Err("unproven_disjoint_write");
+                }
+            }
+            Ok(())
+        }
+        S::LibCall { .. } => Err("libcall_in_region"),
+    }
 }
 
 /// Lower a [`Compiled`] function into a VM program.
@@ -1207,6 +1895,10 @@ pub(crate) fn compile_program(
         depth_of: vec![None; c.n_tensors],
         tdtype: vec![DataType::F32; c.n_tensors],
         lib_sites: Vec::new(),
+        in_region: false,
+        vec_sites: Vec::new(),
+        par_sites: Vec::new(),
+        decisions: Vec::new(),
     };
     for (pi, (slot, shape, dtype, _mtype, _atype)) in c.params.iter().enumerate() {
         cp.tdtype[*slot] = *dtype;
@@ -1240,6 +1932,9 @@ pub(crate) fn compile_program(
         size_slots: c.size_slots.clone(),
         lib_sites: cp.lib_sites,
         prof_nodes: c.prof_nodes.clone(),
+        vec_sites: cp.vec_sites,
+        par_sites: cp.par_sites,
+        decisions: cp.decisions,
     })
 }
 
@@ -1356,6 +2051,52 @@ impl VTensor {
     }
 }
 
+/// Raw shared view of the coordinator's tensor slots for fork-join regions.
+///
+/// SAFETY: region compilation proves every concurrent non-local write lands
+/// on iteration-disjoint cells, so element writes never race; the `Option`
+/// shells of shared slots are never inserted or removed while the region
+/// runs (region code contains no `Alloc`/`Free`/`BindParam` for non-local
+/// tensors, and privatized slots are masked worker-local). Transient `&mut`
+/// views of one shared slot may coexist across workers only under that
+/// disjoint-write proof — the same contract the threaded backend's shared
+/// buffers rely on.
+struct SharedSlots(*mut Option<VTensor>);
+unsafe impl Send for SharedSlots {}
+unsafe impl Sync for SharedSlots {}
+
+/// The identity element of `op`, in the shape and dtype of `like`.
+fn identity_tensor(like: &VTensor, op: ReduceOp) -> VTensor {
+    let mut vt = VTensor::zeros(like.dtype, &like.shape, like.mtype);
+    match (op, &mut vt.buf) {
+        (ReduceOp::Add, _) => {}
+        (ReduceOp::Mul, Buf::I32(v)) => v.fill(1),
+        (ReduceOp::Mul, Buf::I64(v)) => v.fill(1),
+        (ReduceOp::Min, Buf::I32(v)) => v.fill(i32::MAX),
+        (ReduceOp::Min, Buf::I64(v)) => v.fill(i64::MAX),
+        (ReduceOp::Max, Buf::I32(v)) => v.fill(i32::MIN),
+        (ReduceOp::Max, Buf::I64(v)) => v.fill(i64::MIN),
+        // The region analysis only privatizes integer reductions.
+        _ => unreachable!("privatized reductions are integer-only"),
+    }
+    vt
+}
+
+/// Fold one chunk's private accumulator into the shared target, cell by
+/// cell, with the interpreter's reduce semantics. Wrapping integer Add/Mul
+/// and Min/Max are associative and commutative (i32 truncation commutes
+/// with i64 arithmetic), so accumulate-then-merge equals the serial order.
+fn merge_reduce(dst: &mut VTensor, part: &VTensor, op: ReduceOp) {
+    for o in 0..dst.numel {
+        let new = crate::interp::apply_reduce(op, dst.scalar_at(o), part.scalar_at(o));
+        dst.store_scalar(o, new);
+    }
+}
+
+/// Minimum `trip * body_cost` before a parallel region pays for the
+/// fork-join handshake; below it the region runs serially in place.
+const PAR_THRESHOLD: u64 = 32_768;
+
 /// Mutable machine state of one run.
 struct VmState<'a> {
     config: &'a DeviceConfig,
@@ -1373,6 +2114,10 @@ struct VmState<'a> {
     loop_stack: Vec<(usize, f64)>,
     /// Fast-mode live-byte accounting, `[cpu, gpu]`.
     live: [u64; 2],
+    /// Inside a fork-join region: the coordinator's slots plus the mask of
+    /// slots that stay worker-private (region locals and privatized
+    /// reduction targets).
+    shared: Option<(&'a SharedSlots, &'a [bool])>,
 }
 
 #[inline(always)]
@@ -1420,6 +2165,81 @@ impl VmState<'_> {
         }
     }
 
+    /// The tensor slot `t` resolves to: the local vector, or the
+    /// coordinator's slot when running inside a fork-join region and `t`
+    /// is not worker-private.
+    #[inline(always)]
+    fn slot(&self, t: usize) -> &Option<VTensor> {
+        match self.shared {
+            // SAFETY: see [`SharedSlots`].
+            Some((sh, mask)) if !mask[t] => unsafe { &*sh.0.add(t) },
+            _ => &self.tensors[t],
+        }
+    }
+
+    #[inline(always)]
+    fn slot_mut(&mut self, t: usize) -> &mut Option<VTensor> {
+        match self.shared {
+            // SAFETY: see [`SharedSlots`].
+            Some((sh, mask)) if !mask[t] => unsafe { &mut *sh.0.add(t) },
+            _ => &mut self.tensors[t],
+        }
+    }
+
+    /// `numel` of a live slot, or the load/store error payload.
+    #[inline]
+    fn numel_of(&self, t: usize) -> Result<usize, RuntimeError> {
+        self.slot(t)
+            .as_ref()
+            .map(|vt| vt.numel)
+            .ok_or_else(|| RuntimeError::UndefinedName(self.names[t].clone()))
+    }
+
+    /// One `LoadFlat` worth of semantics (checks and error payloads
+    /// included) as a plain call, for the vector kernels' scalar tails.
+    #[inline]
+    fn load_flat_val(&self, t: usize, o: i64) -> Result<Scalar, RuntimeError> {
+        let Some(vt) = self.slot(t).as_ref() else {
+            return Err(RuntimeError::UndefinedName(self.names[t].clone()));
+        };
+        if o < 0 || o as usize >= vt.numel {
+            return Err(self.oob(t, vec![o]));
+        }
+        Ok(vt.scalar_at(o as usize))
+    }
+
+    /// One `StoreFlat` worth of semantics as a plain call.
+    #[inline]
+    fn store_flat_val(&mut self, t: usize, o: i64, v: Scalar) -> Result<(), RuntimeError> {
+        let numel = self.numel_of(t)?;
+        if o < 0 || o as usize >= numel {
+            return Err(self.oob(t, vec![o]));
+        }
+        self.slot_mut(t)
+            .as_mut()
+            .expect("checked above")
+            .store_scalar(o as usize, v);
+        Ok(())
+    }
+
+    /// One `ReduceFlat` worth of semantics as a plain call.
+    #[inline]
+    fn reduce_flat_val(
+        &mut self,
+        t: usize,
+        o: i64,
+        op: ReduceOp,
+        v: Scalar,
+    ) -> Result<(), RuntimeError> {
+        let old = self.load_flat_val(t, o)?;
+        let new = crate::interp::apply_reduce(op, old, v);
+        self.slot_mut(t)
+            .as_mut()
+            .expect("checked above")
+            .store_scalar(o as usize, new);
+        Ok(())
+    }
+
     /// Mirror of `ExecCtx::count_op`.
     fn count_op(&mut self, float: bool) {
         if float {
@@ -1441,7 +2261,7 @@ impl VmState<'_> {
 
     /// Mirror of `ExecCtx::record_access`.
     fn record_access(&mut self, t: usize, off: usize) {
-        let vt = self.tensors[t].as_ref().expect("checked by caller");
+        let vt = self.slot(t).as_ref().expect("checked by caller");
         let bytes = vt.dtype.size_bytes() as u64;
         let mtype = vt.mtype;
         let base = vt.base;
@@ -1532,12 +2352,12 @@ impl VmState<'_> {
             }
             self.live[di] = live + bytes;
         }
-        self.tensors[t] = Some(vt);
+        *self.slot_mut(t) = Some(vt);
         Ok(())
     }
 
     fn account_free(&mut self, t: usize) {
-        if let Some(vt) = self.tensors[t].take() {
+        if let Some(vt) = self.slot_mut(t).take() {
             let device = vt.mtype.device();
             if self.instrumented {
                 self.counters.free(&device.to_string(), vt.bytes);
@@ -1549,7 +2369,7 @@ impl VmState<'_> {
     }
 
     fn oob(&self, t: usize, index: Vec<i64>) -> RuntimeError {
-        let shape = self.tensors[t]
+        let shape = self.slot(t)
             .as_ref()
             .map(|vt| vt.shape.clone())
             .unwrap_or_default();
@@ -1572,7 +2392,7 @@ impl VmState<'_> {
                 };
                 let (m, k, n) = (*m as usize, *k as usize, *n as usize);
                 let fetch = |st: &VmState<'_>, slot: usize| -> Result<TensorVal, RuntimeError> {
-                    st.tensors[slot]
+                    st.slot(slot)
                         .as_ref()
                         .map(VTensor::tensor_val)
                         .ok_or_else(|| RuntimeError::UndefinedName(st.names[slot].clone()))
@@ -1588,7 +2408,8 @@ impl VmState<'_> {
                     });
                 }
                 crate::libkernel::matmul_blocked(&a, &b, &mut c, m, k, n);
-                let vt = self.tensors[site.outputs[0]]
+                let vt = self
+                    .slot_mut(site.outputs[0])
                     .as_mut()
                     .expect("fetched above");
                 vt.buf = Buf::of_tensor_val(&c);
@@ -1608,13 +2429,23 @@ impl VmState<'_> {
         }
     }
 
-    /// The dispatch loop.
+    /// The dispatch loop over the program's top-level stream.
     fn exec(
         &mut self,
         prog: &VmProgram,
         inputs: &HashMap<String, TensorVal>,
     ) -> Result<(), RuntimeError> {
-        let code = &prog.code;
+        self.exec_code(&prog.code, prog, inputs)
+    }
+
+    /// The dispatch loop over one instruction stream (the top-level code or
+    /// a fork-join region body).
+    fn exec_code(
+        &mut self,
+        code: &[Instr],
+        prog: &VmProgram,
+        inputs: &HashMap<String, TensorVal>,
+    ) -> Result<(), RuntimeError> {
         let mut pc = 0usize;
         loop {
             match &code[pc] {
@@ -1837,7 +2668,7 @@ impl VmState<'_> {
                 }
                 Instr::Off { t, idx, ndim, dst } => {
                     let ti = *t as usize;
-                    let Some(vt) = self.tensors[ti].as_ref() else {
+                    let Some(vt) = self.slot(ti).as_ref() else {
                         return Err(RuntimeError::UndefinedName(self.names[ti].clone()));
                     };
                     let nd = *ndim as usize;
@@ -1867,7 +2698,7 @@ impl VmState<'_> {
                 }
                 Instr::OffRaw { t, idx, ndim, dst } => {
                     let ti = *t as usize;
-                    let vt = self.tensors[ti].as_ref().expect("defined outside loop");
+                    let vt = self.slot(ti).as_ref().expect("defined outside loop");
                     let base = *idx as usize;
                     let mut off = 0i64;
                     for d in 0..*ndim as usize {
@@ -1879,7 +2710,7 @@ impl VmState<'_> {
                 Instr::LoadT { t, off, dst } => {
                     let ti = *t as usize;
                     let o = self.regs[*off as usize] as usize;
-                    let vt = self.tensors[ti].as_ref().expect("Off checked");
+                    let vt = self.slot(ti).as_ref().expect("Off checked");
                     let bits = match &vt.buf {
                         Buf::F32(v) => (v[o] as f64).to_bits(),
                         Buf::F64(v) => v[o].to_bits(),
@@ -1895,19 +2726,11 @@ impl VmState<'_> {
                 Instr::LoadFlat { t, off, dst } => {
                     let ti = *t as usize;
                     let o = self.regs[*off as usize] as i64;
-                    let Some(vt) = self.tensors[ti].as_ref() else {
-                        return Err(RuntimeError::UndefinedName(self.names[ti].clone()));
-                    };
-                    if o < 0 || o as usize >= vt.numel {
-                        return Err(self.oob(ti, vec![o]));
-                    }
-                    let o = o as usize;
-                    let bits = match &vt.buf {
-                        Buf::F32(v) => (v[o] as f64).to_bits(),
-                        Buf::F64(v) => v[o].to_bits(),
-                        Buf::I32(v) => (v[o] as i64) as u64,
-                        Buf::I64(v) => v[o] as u64,
-                        Buf::B(v) => v[o] as u64,
+                    // `Scalar` widens exactly like the register file does.
+                    let bits = match self.load_flat_val(ti, o)? {
+                        Scalar::Float(x) => x.to_bits(),
+                        Scalar::Int(x) => x as u64,
+                        Scalar::Bool(x) => x as u64,
                     };
                     self.regs[*dst as usize] = bits;
                 }
@@ -1915,7 +2738,7 @@ impl VmState<'_> {
                     let ti = *t as usize;
                     let o = self.regs[*off as usize] as usize;
                     let v = self.scalar_of(*src, *sty);
-                    self.tensors[ti]
+                    self.slot_mut(ti)
                         .as_mut()
                         .expect("Off checked")
                         .store_scalar(o, v);
@@ -1926,21 +2749,8 @@ impl VmState<'_> {
                 Instr::StoreFlat { t, off, src, sty } => {
                     let ti = *t as usize;
                     let o = self.regs[*off as usize] as i64;
-                    let Some(vt) = self.tensors[ti].as_mut() else {
-                        return Err(RuntimeError::UndefinedName(self.names[ti].clone()));
-                    };
-                    if o < 0 || o as usize >= vt.numel {
-                        return Err(self.oob(ti, vec![o]));
-                    }
-                    let v = match sty {
-                        Ty::I => Scalar::Int(self.regs[*src as usize] as i64),
-                        Ty::F => Scalar::Float(f64::from_bits(self.regs[*src as usize])),
-                        Ty::B => Scalar::Bool(self.regs[*src as usize] != 0),
-                    };
-                    self.tensors[ti]
-                        .as_mut()
-                        .expect("checked above")
-                        .store_scalar(o as usize, v);
+                    let v = self.scalar_of(*src, *sty);
+                    self.store_flat_val(ti, o, v)?;
                 }
                 Instr::ReduceT {
                     t,
@@ -1952,10 +2762,7 @@ impl VmState<'_> {
                     let ti = *t as usize;
                     let o = self.regs[*off as usize] as usize;
                     let v = self.scalar_of(*src, *sty);
-                    let old = self.tensors[ti]
-                        .as_ref()
-                        .expect("Off checked")
-                        .scalar_at(o);
+                    let old = self.slot(ti).as_ref().expect("Off checked").scalar_at(o);
                     if self.instrumented {
                         self.record_access(ti, o);
                         self.count_op(
@@ -1963,7 +2770,7 @@ impl VmState<'_> {
                         );
                     }
                     let new = crate::interp::apply_reduce(*op, old, v);
-                    self.tensors[ti]
+                    self.slot_mut(ti)
                         .as_mut()
                         .expect("Off checked")
                         .store_scalar(o, new);
@@ -1980,20 +2787,8 @@ impl VmState<'_> {
                 } => {
                     let ti = *t as usize;
                     let o = self.regs[*off as usize] as i64;
-                    let Some(vt) = self.tensors[ti].as_ref() else {
-                        return Err(RuntimeError::UndefinedName(self.names[ti].clone()));
-                    };
-                    if o < 0 || o as usize >= vt.numel {
-                        return Err(self.oob(ti, vec![o]));
-                    }
-                    let o = o as usize;
                     let v = self.scalar_of(*src, *sty);
-                    let old = vt.scalar_at(o);
-                    let new = crate::interp::apply_reduce(*op, old, v);
-                    self.tensors[ti]
-                        .as_mut()
-                        .expect("checked above")
-                        .store_scalar(o, new);
+                    self.reduce_flat_val(ti, o, *op, v)?;
                 }
                 Instr::Alloc {
                     t,
@@ -2099,9 +2894,481 @@ impl VmState<'_> {
                         self.counters.modeled_cycles = before + delta / eff;
                     }
                 }
+                Instr::VecLoop { site } => {
+                    self.exec_vec(&prog.vec_sites[*site as usize])?;
+                }
+                Instr::ParRegion { site } => {
+                    self.exec_region(prog, &prog.par_sites[*site as usize], inputs)?;
+                }
             }
             pc += 1;
         }
+    }
+
+    /// Resolve one vectorized access to `(slot, base offset, stride)`.
+    #[inline]
+    fn acc(&self, a: &VecAccess) -> (usize, i64, i64) {
+        (
+            a.t as usize,
+            self.ri(a.off),
+            a.stride.map_or(0, |r| self.ri(r)),
+        )
+    }
+
+    /// Dispatch one fused vectorized loop. Every kernel has a wide lane
+    /// path gated on stride-1 in-bounds non-aliasing accesses, and a scalar
+    /// tail/fallback that replays the exact serial per-iteration semantics
+    /// (same op order, same error payloads, same wrapping offset math).
+    fn exec_vec(&mut self, site: &VecSite) -> Result<(), RuntimeError> {
+        let b = self.ri(site.s);
+        let e = self.ri(site.end);
+        if b < e {
+            let trip = (e - b) as usize;
+            match &site.kernel {
+                VecKernel::Fill { dst, src, sty } => self.vec_fill(trip, dst, *src, *sty)?,
+                VecKernel::Copy { dst, x } => self.vec_copy(trip, dst, x)?,
+                VecKernel::Axpy { dst, x, a, a_lhs } => {
+                    self.vec_axpy(trip, dst, x, *a, *a_lhs)?;
+                }
+                VecKernel::Dot { dst, x, y } => self.vec_dot(trip, dst, x, y)?,
+                VecKernel::HReduce { dst, x, op } => self.vec_hreduce(trip, dst, x, *op)?,
+            }
+        }
+        // The loop counter lands on `end`, exactly as the serial loop
+        // leaves it.
+        self.wi(site.s, e);
+        Ok(())
+    }
+
+    /// `for i { dst[f(i)] = c }` with a loop-invariant `c`.
+    fn vec_fill(
+        &mut self,
+        trip: usize,
+        dst: &VecAccess,
+        src: u32,
+        sty: Ty,
+    ) -> Result<(), RuntimeError> {
+        let (dt, db, ds) = self.acc(dst);
+        let v = self.scalar_of(src, sty);
+        let numel = self.numel_of(dt)?;
+        if ds == 1 && db >= 0 && (db as u64).saturating_add(trip as u64) <= numel as u64 {
+            let o = db as usize;
+            match &mut self.slot_mut(dt).as_mut().expect("checked above").buf {
+                Buf::F32(d) => d[o..o + trip].fill(v.as_f64() as f32),
+                Buf::F64(d) => d[o..o + trip].fill(v.as_f64()),
+                Buf::I32(d) => d[o..o + trip].fill(v.as_i64() as i32),
+                Buf::I64(d) => d[o..o + trip].fill(v.as_i64()),
+                Buf::B(d) => d[o..o + trip].fill(v.as_bool()),
+            }
+            return Ok(());
+        }
+        let mut od = db;
+        for _ in 0..trip {
+            self.store_flat_val(dt, od, v)?;
+            od = od.wrapping_add(ds);
+        }
+        Ok(())
+    }
+
+    /// `for i { dst[f(i)] = x[g(i)] }`.
+    fn vec_copy(&mut self, trip: usize, dst: &VecAccess, x: &VecAccess) -> Result<(), RuntimeError> {
+        let (dt, db, ds) = self.acc(dst);
+        let (xt, xb, xs) = self.acc(x);
+        // Serial order faults on the source load before the dest store.
+        let xn = self.numel_of(xt)?;
+        let dn = self.numel_of(dt)?;
+        let lane = xs == 1
+            && ds == 1
+            && xb >= 0
+            && (xb as u64).saturating_add(trip as u64) <= xn as u64
+            && db >= 0
+            && (db as u64).saturating_add(trip as u64) <= dn as u64
+            && dt != xt;
+        if lane {
+            let (xo, do_) = (xb as usize, db as usize);
+            let sp: *const Option<VTensor> = self.slot(xt);
+            let dp: *mut Option<VTensor> = self.slot_mut(dt);
+            // SAFETY: distinct live slots (checked above); ranges in bounds.
+            let xv = unsafe { (*sp).as_ref().expect("checked above") };
+            let dv = unsafe { (*dp).as_mut().expect("checked above") };
+            match (&mut dv.buf, &xv.buf) {
+                (Buf::F32(d), Buf::F32(s)) => {
+                    // Keep the serial f32→f64→f32 round-trip for NaN-bit
+                    // fidelity.
+                    for (dd, ss) in d[do_..do_ + trip].iter_mut().zip(&s[xo..xo + trip]) {
+                        *dd = (*ss as f64) as f32;
+                    }
+                }
+                (Buf::F64(d), Buf::F64(s)) => {
+                    d[do_..do_ + trip].copy_from_slice(&s[xo..xo + trip]);
+                }
+                (Buf::I32(d), Buf::I32(s)) => {
+                    d[do_..do_ + trip].copy_from_slice(&s[xo..xo + trip]);
+                }
+                (Buf::I64(d), Buf::I64(s)) => {
+                    d[do_..do_ + trip].copy_from_slice(&s[xo..xo + trip]);
+                }
+                (Buf::B(d), Buf::B(s)) => {
+                    d[do_..do_ + trip].copy_from_slice(&s[xo..xo + trip]);
+                }
+                _ => {
+                    // Mixed dtypes: the exact scalar conversion per cell.
+                    for k in 0..trip {
+                        let v = xv.scalar_at(xo + k);
+                        dv.store_scalar(do_ + k, v);
+                    }
+                }
+            }
+            return Ok(());
+        }
+        let (mut ox, mut od) = (xb, db);
+        for _ in 0..trip {
+            let v = self.load_flat_val(xt, ox)?;
+            self.store_flat_val(dt, od, v)?;
+            ox = ox.wrapping_add(xs);
+            od = od.wrapping_add(ds);
+        }
+        Ok(())
+    }
+
+    /// `for i { dst[f(i)] += a * x[g(i)] }` (or `x[g(i)] * a`, or plain
+    /// `x[g(i)]` when `a` is absent).
+    fn vec_axpy(
+        &mut self,
+        trip: usize,
+        dst: &VecAccess,
+        x: &VecAccess,
+        a: Option<(u32, Ty)>,
+        a_lhs: bool,
+    ) -> Result<(), RuntimeError> {
+        let (dt, db, ds) = self.acc(dst);
+        let (xt, xb, xs) = self.acc(x);
+        let av = a.map(|(r, ty)| self.scalar_of(r, ty).as_f64());
+        let xn = self.numel_of(xt)?;
+        let dn = self.numel_of(dt)?;
+        let lane = xs == 1
+            && ds == 1
+            && xb >= 0
+            && (xb as u64).saturating_add(trip as u64) <= xn as u64
+            && db >= 0
+            && (db as u64).saturating_add(trip as u64) <= dn as u64
+            && dt != xt;
+        if lane {
+            let (xo, do_) = (xb as usize, db as usize);
+            let sp: *const Option<VTensor> = self.slot(xt);
+            let dp: *mut Option<VTensor> = self.slot_mut(dt);
+            // SAFETY: distinct live slots (checked above); ranges in bounds.
+            let xv = unsafe { (*sp).as_ref().expect("checked above") };
+            let dv = unsafe { (*dp).as_mut().expect("checked above") };
+            match (&mut dv.buf, &xv.buf) {
+                (Buf::F32(d), Buf::F32(s)) => {
+                    let (d, s) = (&mut d[do_..do_ + trip], &s[xo..xo + trip]);
+                    match (av, a_lhs) {
+                        (Some(a), true) => lanes::axpy_f32(d, a, s),
+                        (Some(a), false) => {
+                            for (y, x) in d.iter_mut().zip(s) {
+                                *y = (*y as f64 + *x as f64 * a) as f32;
+                            }
+                        }
+                        (None, _) => {
+                            for (y, x) in d.iter_mut().zip(s) {
+                                *y = (*y as f64 + *x as f64) as f32;
+                            }
+                        }
+                    }
+                }
+                (Buf::F64(d), Buf::F64(s)) => {
+                    let (d, s) = (&mut d[do_..do_ + trip], &s[xo..xo + trip]);
+                    match (av, a_lhs) {
+                        (Some(a), true) => lanes::axpy_f64(d, a, s),
+                        (Some(a), false) => {
+                            for (y, x) in d.iter_mut().zip(s) {
+                                *y += *x * a;
+                            }
+                        }
+                        (None, _) => {
+                            for (y, x) in d.iter_mut().zip(s) {
+                                *y += *x;
+                            }
+                        }
+                    }
+                }
+                _ => {
+                    // Mixed float widths: exact f64 math per cell.
+                    for k in 0..trip {
+                        let xvv = xv.scalar_at(xo + k).as_f64();
+                        let prod = match (av, a_lhs) {
+                            (Some(a), true) => a * xvv,
+                            (Some(a), false) => xvv * a,
+                            (None, _) => xvv,
+                        };
+                        let old = dv.scalar_at(do_ + k).as_f64();
+                        dv.store_scalar(do_ + k, Scalar::Float(old + prod));
+                    }
+                }
+            }
+            return Ok(());
+        }
+        let (mut ox, mut od) = (xb, db);
+        for _ in 0..trip {
+            let xvv = self.load_flat_val(xt, ox)?.as_f64();
+            let prod = match (av, a_lhs) {
+                (Some(a), true) => a * xvv,
+                (Some(a), false) => xvv * a,
+                (None, _) => xvv,
+            };
+            self.reduce_flat_val(dt, od, ReduceOp::Add, Scalar::Float(prod))?;
+            ox = ox.wrapping_add(xs);
+            od = od.wrapping_add(ds);
+        }
+        Ok(())
+    }
+
+    /// `for i { dst[c] += x[f(i)] * y[g(i)] }` — the loop-carried dot.
+    fn vec_dot(
+        &mut self,
+        trip: usize,
+        dst: &VecAccess,
+        x: &VecAccess,
+        y: &VecAccess,
+    ) -> Result<(), RuntimeError> {
+        let (dt, db, _) = self.acc(dst);
+        let (xt, xb, xs) = self.acc(x);
+        let (yt, yb, ys) = self.acc(y);
+        let xn = self.numel_of(xt)?;
+        let yn = self.numel_of(yt)?;
+        let dn = self.numel_of(dt)?;
+        let lane = xs == 1
+            && ys == 1
+            && xb >= 0
+            && (xb as u64).saturating_add(trip as u64) <= xn as u64
+            && yb >= 0
+            && (yb as u64).saturating_add(trip as u64) <= yn as u64
+            && db >= 0
+            && (db as usize) < dn
+            && dt != xt
+            && dt != yt;
+        if lane {
+            let (xo, yo, do_) = (xb as usize, yb as usize, db as usize);
+            let xp: *const Option<VTensor> = self.slot(xt);
+            let yp: *const Option<VTensor> = self.slot(yt);
+            let dp: *mut Option<VTensor> = self.slot_mut(dt);
+            // SAFETY: dst is distinct from both sources (checked above);
+            // x and y may alias each other, both views are shared.
+            let xv = unsafe { (*xp).as_ref().expect("checked above") };
+            let yv = unsafe { (*yp).as_ref().expect("checked above") };
+            let dv = unsafe { (*dp).as_mut().expect("checked above") };
+            match (&mut dv.buf, &xv.buf, &yv.buf) {
+                (Buf::F32(d), Buf::F32(sx), Buf::F32(sy)) => {
+                    d[do_] = lanes::dot_f32(d[do_], &sx[xo..xo + trip], &sy[yo..yo + trip]);
+                }
+                (Buf::F64(d), Buf::F64(sx), Buf::F64(sy)) => {
+                    d[do_] = lanes::dot_f64(d[do_], &sx[xo..xo + trip], &sy[yo..yo + trip]);
+                }
+                _ => {
+                    // Mixed float widths: exact f64 math per cell.
+                    for k in 0..trip {
+                        let p = xv.scalar_at(xo + k).as_f64() * yv.scalar_at(yo + k).as_f64();
+                        let old = dv.scalar_at(do_).as_f64();
+                        dv.store_scalar(do_, Scalar::Float(old + p));
+                    }
+                }
+            }
+            return Ok(());
+        }
+        let (mut ox, mut oy) = (xb, yb);
+        for _ in 0..trip {
+            let xvv = self.load_flat_val(xt, ox)?.as_f64();
+            let yvv = self.load_flat_val(yt, oy)?.as_f64();
+            self.reduce_flat_val(dt, db, ReduceOp::Add, Scalar::Float(xvv * yvv))?;
+            ox = ox.wrapping_add(xs);
+            oy = oy.wrapping_add(ys);
+        }
+        Ok(())
+    }
+
+    /// `for i { dst[c] op= x[f(i)] }` — the loop-carried horizontal reduce.
+    fn vec_hreduce(
+        &mut self,
+        trip: usize,
+        dst: &VecAccess,
+        x: &VecAccess,
+        op: ReduceOp,
+    ) -> Result<(), RuntimeError> {
+        let (dt, db, _) = self.acc(dst);
+        let (xt, xb, xs) = self.acc(x);
+        let xn = self.numel_of(xt)?;
+        let dn = self.numel_of(dt)?;
+        let lane = xs == 1
+            && xb >= 0
+            && (xb as u64).saturating_add(trip as u64) <= xn as u64
+            && db >= 0
+            && (db as usize) < dn
+            && dt != xt;
+        if lane {
+            let (xo, do_) = (xb as usize, db as usize);
+            let xp: *const Option<VTensor> = self.slot(xt);
+            let dp: *mut Option<VTensor> = self.slot_mut(dt);
+            // SAFETY: distinct live slots (checked above); ranges in bounds.
+            let xv = unsafe { (*xp).as_ref().expect("checked above") };
+            let dv = unsafe { (*dp).as_mut().expect("checked above") };
+            match (&mut dv.buf, &xv.buf) {
+                (Buf::F32(d), Buf::F32(s)) => {
+                    let s = &s[xo..xo + trip];
+                    d[do_] = match op {
+                        ReduceOp::Add => lanes::sum_f32(d[do_], s),
+                        ReduceOp::Min => lanes::min_f32(d[do_], s),
+                        ReduceOp::Max => lanes::max_f32(d[do_], s),
+                        ReduceOp::Mul => unreachable!("rejected at compile time"),
+                    };
+                }
+                (Buf::F64(d), Buf::F64(s)) => {
+                    let s = &s[xo..xo + trip];
+                    d[do_] = match op {
+                        ReduceOp::Add => lanes::sum_f64(d[do_], s),
+                        ReduceOp::Min => lanes::min_f64(d[do_], s),
+                        ReduceOp::Max => lanes::max_f64(d[do_], s),
+                        ReduceOp::Mul => unreachable!("rejected at compile time"),
+                    };
+                }
+                _ => {
+                    // Mixed float widths: exact scalar reduce per cell.
+                    for k in 0..trip {
+                        let v = xv.scalar_at(xo + k);
+                        let old = dv.scalar_at(do_);
+                        let new = crate::interp::apply_reduce(op, old, v);
+                        dv.store_scalar(do_, new);
+                    }
+                }
+            }
+            return Ok(());
+        }
+        let mut ox = xb;
+        for _ in 0..trip {
+            let v = self.load_flat_val(xt, ox)?;
+            self.reduce_flat_val(dt, db, op, v)?;
+            ox = ox.wrapping_add(xs);
+        }
+        Ok(())
+    }
+
+    /// Run one fork-join region on the worker pool, or serially in place
+    /// when the work would not pay for the handshake.
+    fn exec_region(
+        &mut self,
+        prog: &VmProgram,
+        site: &ParSite,
+        inputs: &HashMap<String, TensorVal>,
+    ) -> Result<(), RuntimeError> {
+        let b = self.ri(site.s);
+        let e = self.ri(site.end);
+        if b >= e {
+            self.wi(site.s, e);
+            return Ok(());
+        }
+        let trip = (e - b) as usize;
+        let pool = WorkerPool::global();
+        let workers = (pool.background_workers() + 1).min(trip);
+        let work = (trip as u64).saturating_mul(u64::from(site.cost.max(1)));
+        let priv_ok = site.privatized.iter().all(|&(t, _)| self.tensors[t].is_some());
+        if workers <= 1 || work < PAR_THRESHOLD || !priv_ok || self.shared.is_some() {
+            for i in b..e {
+                self.wi(site.s, i);
+                self.exec_code(&site.code, prog, inputs)?;
+            }
+            self.wi(site.s, e);
+            return Ok(());
+        }
+        let grain = grain_for(trip as i64, workers, u64::from(site.cost.max(1)));
+        // Per-chunk private accumulators start from the identity, cloned
+        // from templates built before any worker can touch the slots.
+        let templates: Vec<(usize, ReduceOp, VTensor)> = site
+            .privatized
+            .iter()
+            .map(|&(t, op)| {
+                let src = self.tensors[t].as_ref().expect("priv_ok checked");
+                (t, op, identity_tensor(src, op))
+            })
+            .collect();
+        let base_regs = self.regs.clone();
+        let shared = SharedSlots(self.tensors.as_mut_ptr());
+        let config = self.config;
+        let names = self.names;
+        let live = self.live;
+        let mask = site.local_mask.as_slice();
+        let n_tensors = prog.n_tensors;
+        // First error in deterministic (chunk, not thread) order. Region
+        // analysis rejects loads of anything the region writes, so whether
+        // each iteration faults is independent of the others and the
+        // minimum faulting chunk matches the serial first fault.
+        let err: Mutex<Option<(usize, RuntimeError)>> = Mutex::new(None);
+        let init = |_chunk: usize| -> (Vec<u64>, Vec<Option<VTensor>>) {
+            let mut tensors: Vec<Option<VTensor>> = (0..n_tensors).map(|_| None).collect();
+            for (t, _, ident) in &templates {
+                tensors[*t] = Some(ident.clone());
+            }
+            (base_regs.clone(), tensors)
+        };
+        let body = |lo: i64, hi: i64, acc: &mut (Vec<u64>, Vec<Option<VTensor>>)| {
+            let chunk = ((lo - b) / grain) as usize;
+            if err.lock().as_ref().is_some_and(|(c, _)| *c < chunk) {
+                return;
+            }
+            let mut ws = VmState {
+                config,
+                names,
+                regs: std::mem::take(&mut acc.0),
+                tensors: std::mem::take(&mut acc.1),
+                instrumented: false,
+                counters: PerfCounters::default(),
+                cache: None,
+                next_addr: 0,
+                gpu_depth: 0,
+                prof: None,
+                prof_cur: 0,
+                loop_stack: Vec::new(),
+                live,
+                shared: Some((&shared, mask)),
+            };
+            for i in lo..hi {
+                ws.wi(site.s, i);
+                if let Err(er) = ws.exec_code(&site.code, prog, inputs) {
+                    let mut g = err.lock();
+                    if g.as_ref().is_none_or(|(c, _)| chunk < *c) {
+                        *g = Some((chunk, er));
+                    }
+                    break;
+                }
+            }
+            acc.0 = ws.regs;
+            acc.1 = ws.tensors;
+        };
+        // Merge runs on this thread, in ascending chunk order, strictly
+        // after every worker has left the region.
+        let mut merge = |_chunk: usize, mut acc: (Vec<u64>, Vec<Option<VTensor>>)| {
+            if err.lock().is_some() {
+                return;
+            }
+            for (t, op, _) in &templates {
+                let Some(part) = acc.1[*t].take() else {
+                    continue;
+                };
+                // SAFETY: workers never touch privatized slots through the
+                // shared view (they are masked local), and all workers have
+                // finished by the time merge runs.
+                let dst = unsafe { (*shared.0.add(*t)).as_mut().expect("priv_ok checked") };
+                merge_reduce(dst, &part, *op);
+            }
+        };
+        if let Err(payload) = pool.try_run_reduce(b, e, grain, workers, &init, &body, &mut merge)
+        {
+            std::panic::resume_unwind(payload);
+        }
+        if let Some((_, er)) = err.into_inner() {
+            return Err(er);
+        }
+        self.wi(site.s, e);
+        Ok(())
     }
 }
 
@@ -2202,6 +3469,17 @@ impl VmRuntime {
             .sink
             .as_ref()
             .map(|s| s.span_on(TRACK_RUNTIME, "runtime", &format!("vm {}", func.name)));
+        // One span per lowering decision (fast mode only — instrumented
+        // compilation takes none), so a trace explains which loops became
+        // wide kernels or pool regions and why the rest did not.
+        if let Some(sink) = &self.sink {
+            for d in &prog.decisions {
+                let mut sp = sink.span_on(TRACK_RUNTIME, "vm.lower", d.kind);
+                sp.arg("target", &prog.prof_nodes[d.prof].desc);
+                sp.arg("accepted", d.accepted);
+                sp.arg(if d.accepted { "how" } else { "reason" }, &d.detail);
+            }
+        }
         let mut st = VmState {
             config: &self.config,
             names: &prog.tensor_names,
@@ -2218,6 +3496,7 @@ impl VmRuntime {
             prof_cur: 0,
             loop_stack: Vec::new(),
             live: [0, 0],
+            shared: None,
         };
         for (name, slot) in &prog.size_slots {
             let v = *sizes
@@ -2925,5 +4204,439 @@ mod tests {
             })
             .sum();
         assert_eq!(r.output("s").get_flat(0).as_i64(), expect);
+    }
+
+    /// Filter the lowering decision log by span kind, as (accepted, detail).
+    fn decisions_of(f: &Func, kind: &str) -> Vec<(bool, String)> {
+        let c = crate::compiled::compile(f).unwrap();
+        let prog = compile_program(&c, false).expect("typable");
+        prog.decisions
+            .iter()
+            .filter(|d| d.kind == kind)
+            .map(|d| (d.accepted, d.detail.clone()))
+            .collect()
+    }
+
+    /// One loop per fused kernel shape, every loop `vectorize`-marked with
+    /// a runtime trip count.
+    fn all_kernels_func() -> Func {
+        let vec = ForProperty {
+            vectorize: true,
+            ..ForProperty::serial()
+        };
+        Func::new("kernels")
+            .param("x", [16], DataType::F32, AccessType::Input)
+            .param("w", [16], DataType::F32, AccessType::Input)
+            .param("yf", [16], DataType::F32, AccessType::Output)
+            .param("yc", [16], DataType::F32, AccessType::Output)
+            .param("ya", [16], DataType::F32, AccessType::Output)
+            .param("yb", [16], DataType::F32, AccessType::Output)
+            .param("d", [1], DataType::F32, AccessType::Output)
+            .param("hs", [1], DataType::F32, AccessType::Output)
+            .param("hmin", [1], DataType::F32, AccessType::Output)
+            .param("hmax", [1], DataType::F32, AccessType::Output)
+            .size_param("n")
+            .body(block([
+                // Fill: invariant store.
+                for_with("i", 0, var("n"), vec.clone(), store("yf", [var("i")], 1.25f32)),
+                // Copy: stride-1 load to stride-1 store.
+                for_with(
+                    "i",
+                    0,
+                    var("n"),
+                    vec.clone(),
+                    store("yc", [var("i")], load("x", [var("i")])),
+                ),
+                // Axpy with a hoisted multiplier.
+                for_with(
+                    "i",
+                    0,
+                    var("n"),
+                    vec.clone(),
+                    reduce(
+                        "ya",
+                        [var("i")],
+                        ReduceOp::Add,
+                        load("x", [var("i")]) * 2.5f32,
+                    ),
+                ),
+                // Elementwise accumulate (Axpy with no multiplier).
+                for_with(
+                    "i",
+                    0,
+                    var("n"),
+                    vec.clone(),
+                    reduce("yb", [var("i")], ReduceOp::Add, load("x", [var("i")])),
+                ),
+                // Dot: carried add of a two-stream product.
+                for_with(
+                    "i",
+                    0,
+                    var("n"),
+                    vec.clone(),
+                    reduce(
+                        "d",
+                        [0],
+                        ReduceOp::Add,
+                        load("x", [var("i")]) * load("w", [var("i")]),
+                    ),
+                ),
+                // Horizontal reductions: Add, Min, Max.
+                for_with(
+                    "i",
+                    0,
+                    var("n"),
+                    vec.clone(),
+                    reduce("hs", [0], ReduceOp::Add, load("x", [var("i")])),
+                ),
+                for_with(
+                    "i",
+                    0,
+                    var("n"),
+                    vec.clone(),
+                    reduce("hmin", [0], ReduceOp::Min, load("x", [var("i")])),
+                ),
+                for_with(
+                    "i",
+                    0,
+                    var("n"),
+                    vec,
+                    reduce("hmax", [0], ReduceOp::Max, load("x", [var("i")])),
+                ),
+            ]))
+    }
+
+    #[test]
+    fn every_vectorize_kernel_shape_lowers() {
+        let f = all_kernels_func();
+        let c = crate::compiled::compile(&f).unwrap();
+        let prog = compile_program(&c, false).expect("typable");
+        let veclooops = prog
+            .code
+            .iter()
+            .filter(|i| matches!(i, Instr::VecLoop { .. }))
+            .count();
+        assert_eq!(veclooops, 8, "all eight marked loops must lower");
+        assert_eq!(prog.vec_sites.len(), 8);
+        let mut accepted: Vec<String> = prog
+            .decisions
+            .iter()
+            .filter(|d| d.kind == "vm.simd")
+            .map(|d| {
+                assert!(d.accepted, "unexpected rejection: {}", d.detail);
+                d.detail.clone()
+            })
+            .collect();
+        accepted.sort();
+        assert_eq!(
+            accepted,
+            ["axpy", "axpy", "copy", "dot", "fill", "hreduce", "hreduce", "hreduce"]
+        );
+        // The instrumented VM must observe every scalar access: no fused
+        // kernels there, ever.
+        let prog = compile_program(&c, true).expect("typable");
+        assert!(
+            !prog.code.iter().any(|i| matches!(i, Instr::VecLoop { .. })),
+            "instrumented mode must not vectorize"
+        );
+    }
+
+    #[test]
+    fn scalar_tail_parity_across_trip_counts() {
+        // Trip counts 0..=9 cover the zero-trip guard, pure-tail loops
+        // (n < 4), exactly-one-lane-group (n = 4,8), and every lane+tail
+        // split in between; 13 and 16 add multi-group cases. f32 data with
+        // irrational-ish mantissas makes any reassociation or skipped
+        // per-step rounding visible in the bit pattern.
+        let f = all_kernels_func();
+        let x = TensorVal::from_f32(&[16], (0..16).map(|v| v as f32 * 0.37 - 2.21).collect());
+        let w = TensorVal::from_f32(&[16], (0..16).map(|v| 1.0 / (v as f32 + 1.5)).collect());
+        for n in (0..=9).chain([13, 16]) {
+            assert_parity(&f, &[("x", x.clone()), ("w", w.clone())], &[("n", n)]);
+        }
+    }
+
+    #[test]
+    fn every_vectorize_rejection_reason_fires() {
+        // One loop per structured rejection; each must fall back to the
+        // serial lowering (parity below) with the right reason logged.
+        let vec = ForProperty {
+            vectorize: true,
+            ..ForProperty::serial()
+        };
+        let f = Func::new("rej")
+            .param("x", [16], DataType::F32, AccessType::Input)
+            .param("xi", [16], DataType::I32, AccessType::Input)
+            .param("idx", [16], DataType::I64, AccessType::Input)
+            .param("a", [64], DataType::F32, AccessType::Output)
+            .param("b", [16], DataType::F32, AccessType::Output)
+            .param("c", [16], DataType::F32, AccessType::Output)
+            .param("d", [16], DataType::F32, AccessType::Output)
+            .param("e", [1], DataType::F32, AccessType::Output)
+            .param("g", [16], DataType::F32, AccessType::Output)
+            .param("g1", [1], DataType::F32, AccessType::Output)
+            .param("h", [16], DataType::F32, AccessType::Output)
+            .param("k", [16], DataType::F32, AccessType::Output)
+            .param("si", [1], DataType::I64, AccessType::Output)
+            .param("p", [1], DataType::F32, AccessType::Output)
+            .param("q", [16], DataType::F32, AccessType::Output)
+            .body(block([
+                // not_innermost
+                for_with(
+                    "i",
+                    0,
+                    16,
+                    vec.clone(),
+                    for_(
+                        "j",
+                        0,
+                        4,
+                        store("a", [var("i") * 4 + var("j")], 1.0f32),
+                    ),
+                ),
+                // conditional_body
+                for_with(
+                    "i",
+                    0,
+                    16,
+                    vec.clone(),
+                    if_(var("i").lt(8), store("b", [var("i")], load("x", [var("i")]))),
+                ),
+                // vardef_body
+                for_with(
+                    "i",
+                    0,
+                    16,
+                    vec.clone(),
+                    var_def(
+                        "t",
+                        [1usize],
+                        DataType::F32,
+                        MemType::CpuHeap,
+                        block([
+                            store("t", [0], load("x", [var("i")])),
+                            store("c", [var("i")], load("t", [0]) * 2.0f32),
+                        ]),
+                    ),
+                ),
+                // compound_body
+                for_with(
+                    "i",
+                    0,
+                    16,
+                    vec.clone(),
+                    block([
+                        store("d", [var("i")], load("x", [var("i")])),
+                        reduce("e", [0], ReduceOp::Add, load("x", [var("i")])),
+                    ]),
+                ),
+                // empty_body
+                for_with("i", 0, 16, vec.clone(), Stmt::new(StmtKind::Empty)),
+                // dst_not_stride_reducible (scatter store)
+                for_with(
+                    "i",
+                    0,
+                    16,
+                    vec.clone(),
+                    store("g", [load("idx", [var("i")])], 1.0f32),
+                ),
+                // dst_invariant
+                for_with("i", 0, 16, vec.clone(), store("g1", [0], 3.5f32)),
+                // src_not_stride_reducible (gather load)
+                for_with(
+                    "i",
+                    0,
+                    16,
+                    vec.clone(),
+                    store("h", [var("i")], load("x", [load("idx", [var("i")])])),
+                ),
+                // unsupported_value_shape (not a plain load or invariant)
+                for_with(
+                    "i",
+                    0,
+                    16,
+                    vec.clone(),
+                    store("k", [var("i")], load("x", [var("i")]) + 1.0f32),
+                ),
+                // unsupported_reduce_dtype (integer target)
+                for_with(
+                    "i",
+                    0,
+                    16,
+                    vec.clone(),
+                    reduce("si", [0], ReduceOp::Add, load("xi", [var("i")])),
+                ),
+                // unsupported_reduce_op (carried product)
+                for_with(
+                    "i",
+                    0,
+                    16,
+                    vec.clone(),
+                    reduce("p", [0], ReduceOp::Mul, load("x", [var("i")])),
+                ),
+                // reduction_target_reused
+                for_with(
+                    "i",
+                    0,
+                    16,
+                    vec,
+                    reduce("q", [var("i")], ReduceOp::Add, load("q", [var("i")])),
+                ),
+            ]));
+        let mut reasons: Vec<String> = decisions_of(&f, "vm.simd")
+            .into_iter()
+            .map(|(accepted, detail)| {
+                assert!(!accepted, "loop unexpectedly vectorized: {detail}");
+                detail
+            })
+            .collect();
+        reasons.sort();
+        let mut expect = vec![
+            "not_innermost",
+            "conditional_body",
+            "vardef_body",
+            "compound_body",
+            "empty_body",
+            "dst_not_stride_reducible",
+            "dst_invariant",
+            "src_not_stride_reducible",
+            "unsupported_value_shape",
+            "unsupported_reduce_dtype",
+            "unsupported_reduce_op",
+            "reduction_target_reused",
+        ];
+        expect.sort_unstable();
+        assert_eq!(reasons, expect);
+        // Every rejected loop runs the plain serial lowering; outputs must
+        // still match the interpreter bit-for-bit.
+        let x = TensorVal::from_f32(&[16], (0..16).map(|v| v as f32 * 0.11 - 0.8).collect());
+        let xi = TensorVal::from_i32(&[16], (0..16).map(|v| v * 5 - 17).collect());
+        let idx = TensorVal::from_i64(&[16], (0..16).map(|v| (v * 7 + 3) % 16).collect());
+        assert_parity(&f, &[("x", x), ("xi", xi), ("idx", idx)], &[]);
+    }
+
+    #[test]
+    fn parallel_region_privatizes_int_reductions() {
+        // A histogram (random-access atomic Add) plus a carried Max: both
+        // integer, so both privatize bit-exactly; the decision log must say
+        // so and the pooled execution must match the interpreter exactly.
+        let body = block([
+            Stmt::new(StmtKind::ReduceTo {
+                var: "hist".to_string(),
+                indices: vec![Expr::cast(DataType::I64, load("x", [var("i")]).rem(8))],
+                op: ReduceOp::Add,
+                value: Expr::IntConst(1),
+                atomic: true,
+            }),
+            Stmt::new(StmtKind::ReduceTo {
+                var: "top".to_string(),
+                indices: vec![Expr::IntConst(0)],
+                op: ReduceOp::Max,
+                value: load("x", [var("i")]),
+                atomic: true,
+            }),
+        ]);
+        let f = Func::new("ppriv")
+            .param("x", [256], DataType::I32, AccessType::Input)
+            .param("hist", [8], DataType::I64, AccessType::Output)
+            .param("top", [1], DataType::I64, AccessType::Output)
+            .body(for_with(
+                "i",
+                0,
+                256,
+                ForProperty::parallel(ParallelScope::OpenMp),
+                body,
+            ));
+        let priv_log = decisions_of(&f, "vm.reduce.privatize");
+        assert_eq!(
+            priv_log,
+            vec![(true, "Add".to_string()), (true, "Max".to_string())]
+        );
+        let par_log = decisions_of(&f, "vm.parallel");
+        assert_eq!(par_log.len(), 1);
+        assert!(par_log[0].0, "region must parallelize");
+        assert!(
+            par_log[0].1.starts_with("cost="),
+            "accepted detail carries the grain cost: {}",
+            par_log[0].1
+        );
+        let x = TensorVal::from_i32(&[256], (0..256).map(|v| (v * 13 + 5) % 97).collect());
+        let r = assert_parity(&f, &[("x", x)], &[]);
+        assert_eq!(r.output("top").get_flat(0).as_i64(), 96);
+        let total: f64 = r.output("hist").to_f64_vec().iter().sum();
+        assert_eq!(total, 256.0);
+    }
+
+    #[test]
+    fn parallel_region_serializes_float_reductions() {
+        // A carried f32 Add is not associative under per-step rounding, so
+        // the region must refuse to privatize and run serially — and the
+        // serial run must stay bit-identical to the interpreter.
+        let f = Func::new("fser")
+            .param("x", [64], DataType::F32, AccessType::Input)
+            .param("acc", [1], DataType::F32, AccessType::Output)
+            .body(for_with(
+                "i",
+                0,
+                64,
+                ForProperty::parallel(ParallelScope::OpenMp),
+                Stmt::new(StmtKind::ReduceTo {
+                    var: "acc".to_string(),
+                    indices: vec![Expr::IntConst(0)],
+                    op: ReduceOp::Add,
+                    value: load("x", [var("i")]),
+                    atomic: true,
+                }),
+            ));
+        assert_eq!(
+            decisions_of(&f, "vm.parallel"),
+            vec![(false, "nonassociative_float_reduction".to_string())]
+        );
+        assert!(decisions_of(&f, "vm.reduce.privatize").is_empty());
+        let x = TensorVal::from_f32(&[64], (0..64).map(|v| v as f32 * 0.093 - 1.7).collect());
+        assert_parity(&f, &[("x", x)], &[]);
+    }
+
+    #[test]
+    fn parallel_region_rejects_overlap_and_unproven_writes() {
+        // Reading a tensor the region also writes is a cross-iteration
+        // hazard the analysis cannot rule out.
+        let f = Func::new("overlap")
+            .param("x", [32], DataType::F32, AccessType::Input)
+            .param("y", [32], DataType::F32, AccessType::Output)
+            .param("z", [32], DataType::F32, AccessType::Output)
+            .body(for_with(
+                "i",
+                0,
+                32,
+                ForProperty::parallel(ParallelScope::OpenMp),
+                block([
+                    store("y", [var("i")], load("x", [var("i")]) * 2.0f32),
+                    store("z", [var("i")], load("y", [var("i")]) + 1.0f32),
+                ]),
+            ));
+        assert_eq!(
+            decisions_of(&f, "vm.parallel"),
+            vec![(false, "read_write_overlap".to_string())]
+        );
+        let x = TensorVal::from_f32(&[32], (0..32).map(|v| v as f32 * 0.5).collect());
+        assert_parity(&f, &[("x", x)], &[]);
+
+        // A non-atomic store whose cell does not depend on the parallel
+        // iterator could land anywhere; the region must serialize.
+        let g = Func::new("unproven")
+            .param("y", [1], DataType::I64, AccessType::Output)
+            .body(for_with(
+                "i",
+                0,
+                32,
+                ForProperty::parallel(ParallelScope::OpenMp),
+                store("y", [0], var("i")),
+            ));
+        assert_eq!(
+            decisions_of(&g, "vm.parallel"),
+            vec![(false, "unproven_disjoint_write".to_string())]
+        );
+        assert_parity(&g, &[], &[]);
     }
 }

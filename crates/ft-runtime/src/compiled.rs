@@ -87,6 +87,11 @@ pub(crate) enum CStmt {
         idx: Vec<CExpr>,
         op: ReduceOp,
         value: CExpr,
+        /// Carried over from `StmtKind::ReduceTo`: the schedule marked this
+        /// reduction as crossing iterations of an enclosing parallel loop
+        /// (paper Fig. 13(d)/(e)). Parallel backends must privatize or
+        /// serialize it; sequential execution ignores the flag.
+        atomic: bool,
     },
     LibCall {
         kernel: String,
@@ -300,7 +305,7 @@ impl Lower {
                 indices,
                 op,
                 value,
-                ..
+                atomic,
             } => CStmt::Reduce {
                 t: self.tensor_slot(var)?,
                 idx: indices
@@ -309,6 +314,7 @@ impl Lower {
                     .collect::<Result<_, _>>()?,
                 op: *op,
                 value: self.expr(value)?,
+                atomic: *atomic,
             },
             StmtKind::LibCall {
                 kernel,
@@ -704,7 +710,13 @@ impl ExecCtx<'_> {
                 self.record_access(*t, off);
                 Ok(())
             }
-            CStmt::Reduce { t, idx, op, value } => {
+            CStmt::Reduce {
+                t,
+                idx,
+                op,
+                value,
+                atomic: _,
+            } => {
                 let idx = self.eval_indices(idx)?;
                 let v = self.eval(value)?;
                 let off = self.bounds_check(*t, &idx)?;

@@ -29,7 +29,6 @@
 //! outlives the caller's frame.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 /// A chunk-range task: invoked as `task(lo, hi)` for each claimed chunk.
@@ -41,10 +40,16 @@ type Task = dyn Fn(i64, i64) + Sync;
 
 /// One parallel region in flight.
 struct Job {
-    /// Next unclaimed iteration; claimed in `grain`-sized chunks.
-    next: AtomicI64,
-    /// One past the last iteration.
-    end: i64,
+    /// First iteration of the region (the chunk grid's origin).
+    begin: i64,
+    /// Unclaimed `[front, back)` range. Background helpers claim
+    /// grid-aligned chunks ascending from the front; the submitting thread
+    /// claims descending from the back. For a legal region chunk order is
+    /// semantically free; for an *illegal* one (an unchecked parallelize of
+    /// a loop-carried dependence) the two-ended order makes the divergence
+    /// deterministic — it shows even when the OS never actually interleaves
+    /// the workers, e.g. on a single-core host.
+    range: Mutex<(i64, i64)>,
     /// Chunk size for dynamic scheduling.
     grain: i64,
     /// The region body, lifetime-erased (see module docs for why this is
@@ -59,25 +64,54 @@ struct Job {
 }
 
 impl Job {
+    /// Claim the next grid-aligned chunk from the chosen end, or `None`
+    /// when the range is drained. Both ends stay on the same chunk grid
+    /// (`begin + k * grain`), so chunk indices — and everything built on
+    /// them, like [`WorkerPool::try_run_reduce`]'s merge order — are
+    /// independent of who claimed what.
+    fn claim(&self, from_back: bool) -> Option<(i64, i64)> {
+        let mut r = self.range.lock().unwrap_or_else(|e| e.into_inner());
+        let (front, back) = *r;
+        if front >= back {
+            return None;
+        }
+        if from_back {
+            // Grid-aligned start of the chunk containing `back - 1`.
+            let lo = (self.begin + (back - 1 - self.begin) / self.grain * self.grain).max(front);
+            *r = (front, lo);
+            Some((lo, back))
+        } else {
+            let hi = (front + self.grain).min(back);
+            *r = (hi, back);
+            Some((front, hi))
+        }
+    }
+
+    /// Claim and run one chunk from the chosen end. Returns `false` when
+    /// the range is drained, or after recording a panic and cancelling the
+    /// region.
+    fn work_one(&self, from_back: bool) -> bool {
+        let Some((lo, hi)) = self.claim(from_back) else {
+            return false;
+        };
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| (self.task)(lo, hi))) {
+            // Cancel: no worker claims further chunks of this region.
+            let mut r = self.range.lock().unwrap_or_else(|e| e.into_inner());
+            r.0 = r.1;
+            drop(r);
+            let mut slot = self.panic.lock().unwrap_or_else(|e| e.into_inner());
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
+            return false;
+        }
+        true
+    }
+
     /// Claim and run chunks until the range is drained; record a panic and
     /// cancel the region if one occurs.
-    fn work(&self) {
-        loop {
-            let lo = self.next.fetch_add(self.grain, Ordering::Relaxed);
-            if lo >= self.end {
-                break;
-            }
-            let hi = (lo + self.grain).min(self.end);
-            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| (self.task)(lo, hi))) {
-                // Cancel: no worker claims further chunks of this region.
-                self.next.store(self.end, Ordering::Relaxed);
-                let mut slot = self.panic.lock().unwrap_or_else(|e| e.into_inner());
-                if slot.is_none() {
-                    *slot = Some(payload);
-                }
-                break;
-            }
-        }
+    fn work(&self, from_back: bool) {
+        while self.work_one(from_back) {}
     }
 
     fn leave(&self) {
@@ -181,8 +215,8 @@ impl WorkerPool {
             return catch_unwind(AssertUnwindSafe(|| task(begin, end)));
         }
         let job = Arc::new(Job {
-            next: AtomicI64::new(begin),
-            end,
+            begin,
+            range: Mutex::new((begin, end)),
             grain,
             // SAFETY: the reference is only used by workers that `leave()`
             // the job before `pending` reaches zero, and we block below
@@ -194,31 +228,112 @@ impl WorkerPool {
             done: Condvar::new(),
             panic: Mutex::new(None),
         });
-        {
-            let mut q = self.shared.queue.lock().expect("pool queue poisoned");
-            for _ in 0..helpers {
-                q.push(Arc::clone(&job));
-            }
-        }
-        self.shared.available.notify_all();
-        // The submitting thread works too.
+        // The submitting thread runs its *first* chunk — the one at the back
+        // of the range (see [`Job::range`]) — before the job is published to
+        // helpers at all. For a legal region this is semantically free; for
+        // an illegal one it makes the out-of-order execution observable on
+        // every run: a parked helper can otherwise win the wake-up race and
+        // drain the whole range in ascending order, hiding the bug on hosts
+        // where the OS never interleaves the threads.
         IN_REGION.with(|f| f.set(true));
-        job.work();
-        IN_REGION.with(|f| f.set(false));
-        // Block until every background worker has left the region; this is
-        // what makes the lifetime erasure above sound.
-        let mut pending = job.pending.lock().unwrap_or_else(|e| e.into_inner());
-        while *pending > 0 {
-            pending = job
-                .done
-                .wait(pending)
-                .unwrap_or_else(|e| e.into_inner());
+        let published = job.work_one(true);
+        if published {
+            {
+                let mut q = self.shared.queue.lock().expect("pool queue poisoned");
+                for _ in 0..helpers {
+                    q.push(Arc::clone(&job));
+                }
+            }
+            self.shared.available.notify_all();
+            job.work(true);
         }
-        drop(pending);
+        IN_REGION.with(|f| f.set(false));
+        if published {
+            // Block until every background worker has left the region; this
+            // is what makes the lifetime erasure above sound.
+            let mut pending = job.pending.lock().unwrap_or_else(|e| e.into_inner());
+            while *pending > 0 {
+                pending = job
+                    .done
+                    .wait(pending)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+            drop(pending);
+        }
         let payload = job.panic.lock().unwrap_or_else(|e| e.into_inner()).take();
         match payload {
             Some(payload) => Err(payload),
             None => Ok(()),
+        }
+    }
+
+    /// A runtime `cache_reduce`: run `body` over `[begin, end)` in
+    /// `grain`-sized chunks, giving every *chunk* its own private
+    /// accumulator (`init(chunk_idx)`), then combine the accumulators on
+    /// the calling thread in **ascending chunk order** via `merge`.
+    ///
+    /// Chunk index `(lo - begin) / grain` is a pure function of the range,
+    /// not of which worker claimed the chunk, so for a fixed `grain` the
+    /// sequence of `merge` calls — and therefore the result, even for
+    /// non-associative combines — is independent of thread scheduling.
+    /// This is what lets the fast VM and the threaded interpreter privatize
+    /// reductions while staying bit-identical run to run.
+    ///
+    /// Chunks that were never claimed because an earlier chunk panicked (or
+    /// that panicked themselves) contribute no accumulator; on panic the
+    /// payload is returned and no `merge` calls are made.
+    ///
+    /// # Errors
+    ///
+    /// The payload of the first panicking chunk.
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_run_reduce<T: Send>(
+        &self,
+        begin: i64,
+        end: i64,
+        grain: i64,
+        max_workers: usize,
+        init: &(dyn Fn(usize) -> T + Sync),
+        body: &(dyn Fn(i64, i64, &mut T) + Sync),
+        merge: &mut dyn FnMut(usize, T),
+    ) -> Result<(), Box<dyn std::any::Any + Send>> {
+        if begin >= end {
+            return Ok(());
+        }
+        let grain = grain.max(1);
+        let n_chunks = ((end - begin + grain - 1) / grain) as usize;
+        let partials: Vec<Mutex<Option<T>>> = (0..n_chunks).map(|_| Mutex::new(None)).collect();
+        let result = self.try_run(begin, end, grain, max_workers, &|lo, hi| {
+            let idx = ((lo - begin) / grain) as usize;
+            let mut acc = init(idx);
+            body(lo, hi, &mut acc);
+            *partials[idx].lock().unwrap_or_else(|e| e.into_inner()) = Some(acc);
+        });
+        result?;
+        for (idx, slot) in partials.into_iter().enumerate() {
+            if let Some(acc) = slot.into_inner().unwrap_or_else(|e| e.into_inner()) {
+                merge(idx, acc);
+            }
+        }
+        Ok(())
+    }
+
+    /// [`WorkerPool::try_run_reduce`] that re-raises a worker panic on the
+    /// calling thread.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_reduce<T: Send>(
+        &self,
+        begin: i64,
+        end: i64,
+        grain: i64,
+        max_workers: usize,
+        init: &(dyn Fn(usize) -> T + Sync),
+        body: &(dyn Fn(i64, i64, &mut T) + Sync),
+        merge: &mut dyn FnMut(usize, T),
+    ) {
+        if let Err(payload) = self.try_run_reduce(begin, end, grain, max_workers, init, body, merge)
+        {
+            std::panic::resume_unwind(payload);
         }
     }
 
@@ -238,6 +353,28 @@ impl WorkerPool {
     }
 }
 
+/// Pick a dynamic-scheduling chunk size for a region of `trip` iterations
+/// whose body costs roughly `body_cost` abstract units (e.g. bytecode
+/// instructions) per iteration.
+///
+/// Two pressures: chunks must be *large* enough that the per-chunk claim
+/// (one `fetch_add` plus, for reductions, one accumulator init + merge)
+/// amortizes against `TARGET_CHUNK_COST` units of real work, and *small*
+/// enough that `workers` threads each see several chunks for load balancing.
+/// The result is a pure function of its arguments, so chunk boundaries —
+/// and hence deterministic-merge-order reductions — are reproducible.
+pub fn grain_for(trip: i64, workers: usize, body_cost: u64) -> i64 {
+    const TARGET_CHUNK_COST: u64 = 16_384;
+    if trip <= 0 {
+        return 1;
+    }
+    let by_cost = (TARGET_CHUNK_COST / body_cost.max(1)).max(1) as i64;
+    let workers = workers.max(1) as i64;
+    // At least 4 chunks per worker when the range allows it.
+    let by_balance = (trip / (workers * 4)).max(1);
+    by_cost.min(by_balance).max(1)
+}
+
 fn worker_loop(shared: &PoolShared) {
     loop {
         let job = {
@@ -250,7 +387,7 @@ fn worker_loop(shared: &PoolShared) {
             }
         };
         IN_REGION.with(|f| f.set(true));
-        job.work();
+        job.work(false);
         IN_REGION.with(|f| f.set(false));
         job.leave();
     }
@@ -356,6 +493,89 @@ mod tests {
         pool.run(0, 100, 1, 1, &|_, _| {
             assert_eq!(std::thread::current().id(), main);
         });
+    }
+
+    #[test]
+    fn run_reduce_merges_in_ascending_chunk_order() {
+        let pool = WorkerPool::new(3);
+        for _ in 0..8 {
+            // Non-associative combine: string concatenation of chunk sums.
+            // Deterministic merge order means every run builds the same
+            // string regardless of which worker ran which chunk.
+            let mut log = String::new();
+            let mut total = 0i64;
+            pool.run_reduce(
+                0,
+                100,
+                7,
+                4,
+                &|_| 0i64,
+                &|lo, hi, acc| {
+                    for i in lo..hi {
+                        *acc += i;
+                    }
+                },
+                &mut |idx, acc| {
+                    log.push_str(&format!("{idx}:{acc};"));
+                    total += acc;
+                },
+            );
+            assert_eq!(total, 100 * 99 / 2);
+            assert_eq!(
+                log,
+                "0:21;1:70;2:119;3:168;4:217;5:266;6:315;7:364;8:413;9:462;\
+                 10:511;11:560;12:609;13:658;14:197;"
+            );
+        }
+    }
+
+    #[test]
+    fn run_reduce_zero_range_and_panic() {
+        let pool = WorkerPool::new(2);
+        let mut merges = 0usize;
+        pool.run_reduce(5, 5, 1, 4, &|_| 0i64, &|_, _, _| {}, &mut |_, _| {
+            merges += 1;
+        });
+        assert_eq!(merges, 0);
+        let err = pool
+            .try_run_reduce(
+                0,
+                100,
+                4,
+                4,
+                &|_| 0i64,
+                &|lo, hi, acc| {
+                    for i in lo..hi {
+                        assert!(i != 50, "reduce boom");
+                        *acc += i;
+                    }
+                },
+                &mut |_, _| panic!("merge must not run after a chunk panic"),
+            )
+            .unwrap_err();
+        let msg = err
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| err.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("reduce boom"), "unexpected payload: {msg}");
+        // Pool still usable.
+        assert_eq!(sum_region(&pool, 100, 8, 3), 100 * 99 / 2);
+    }
+
+    #[test]
+    fn grain_heuristic_bounds() {
+        // Cheap bodies get big chunks, capped by the cost target.
+        assert_eq!(grain_for(1 << 20, 4, 1), 16_384);
+        // Short ranges are capped by load balancing instead.
+        assert_eq!(grain_for(64, 4, 1), 4);
+        // Expensive bodies get small chunks, never below 1.
+        assert_eq!(grain_for(1 << 20, 4, 1 << 30), 1);
+        // Tiny trip counts stay valid.
+        assert_eq!(grain_for(1, 8, 10), 1);
+        assert_eq!(grain_for(0, 8, 10), 1);
+        // Deterministic: same inputs, same grain.
+        assert_eq!(grain_for(12345, 7, 99), grain_for(12345, 7, 99));
     }
 
     #[test]

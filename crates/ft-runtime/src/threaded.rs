@@ -24,11 +24,11 @@ use crate::interp::apply_reduce;
 use crate::pool::WorkerPool;
 use crate::value::{Scalar, TensorVal};
 use ft_ir::{
-    AccessType, DataType, Expr, Func, ParallelScope, Stmt, StmtKind, UnaryOp,
+    AccessType, DataType, Expr, Func, ParallelScope, ReduceOp, Stmt, StmtKind, UnaryOp,
 };
 use ft_trace::{TraceSink, TRACK_RUNTIME};
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
 
 /// A tensor shared across worker threads.
@@ -161,6 +161,18 @@ impl Shared {
         Ok(off)
     }
 
+    /// A fresh tensor of the same shape/dtype filled with `fill` verbatim
+    /// (no dtype rounding — used for reduction identities like `-inf`).
+    fn with_fill(dtype: DataType, shape: &[usize], fill: f64) -> Shared {
+        let s = Shared::new(dtype, shape);
+        unsafe { (*s.data.0.get()).fill(fill) };
+        s
+    }
+
+    fn numel(&self) -> usize {
+        self.shape.iter().product()
+    }
+
     fn get(&self, off: usize) -> f64 {
         unsafe { (&*self.data.0.get())[off] }
     }
@@ -175,6 +187,96 @@ impl Shared {
             (&mut *self.data.0.get())[off] = stored;
         }
     }
+}
+
+/// Largest reduction target (elements) worth privatizing: above this the
+/// per-chunk identity fill + merge sweep costs more than mutex contention
+/// saves.
+const PRIVATIZE_NUMEL_CAP: usize = 16_384;
+
+/// Identity element of `op` over the threaded backend's f64 storage.
+fn reduce_identity(op: ReduceOp, dtype: DataType) -> f64 {
+    match (op, dtype.is_float()) {
+        (ReduceOp::Add, _) => 0.0,
+        (ReduceOp::Mul, _) => 1.0,
+        (ReduceOp::Min, true) => f64::INFINITY,
+        (ReduceOp::Min, false) => i64::MAX as f64,
+        (ReduceOp::Max, true) => f64::NEG_INFINITY,
+        (ReduceOp::Max, false) => i64::MIN as f64,
+    }
+}
+
+/// Atomic-reduction targets of a parallel body that can take per-chunk
+/// private accumulators: every atomic `ReduceTo` to the tensor uses a single
+/// operator, and the body never reads or plain-stores the tensor — so
+/// iterations only fold values in, and the deterministic ascending-chunk
+/// merge restores serial semantics up to reassociation. Loop-local
+/// `VarDef`s are excluded (each chunk clones those anyway), as is every
+/// body containing an opaque `LibCall`.
+fn privatizable_reductions(body: &Stmt) -> Vec<(String, ReduceOp)> {
+    #[derive(Default)]
+    struct Scan {
+        locals: HashSet<String>,
+        loaded: HashSet<String>,
+        stored: HashSet<String>,
+        reduced: BTreeMap<String, Option<ReduceOp>>,
+        libcall: bool,
+    }
+    impl ft_ir::visit::Visitor for Scan {
+        fn visit_stmt(&mut self, s: &Stmt) {
+            match &s.kind {
+                StmtKind::VarDef { name, .. } => {
+                    self.locals.insert(name.clone());
+                }
+                StmtKind::Store { var, .. } => {
+                    self.stored.insert(var.clone());
+                }
+                StmtKind::ReduceTo {
+                    var, op, atomic, ..
+                } => {
+                    if *atomic {
+                        let slot = self.reduced.entry(var.clone()).or_insert(Some(*op));
+                        if *slot != Some(*op) {
+                            *slot = None;
+                        }
+                    } else {
+                        // Non-atomic reduces write provably disjoint
+                        // elements; leave them on the direct path.
+                        self.stored.insert(var.clone());
+                    }
+                }
+                StmtKind::LibCall { .. } => self.libcall = true,
+                _ => {}
+            }
+            ft_ir::visit::walk_stmt(self, s);
+        }
+        fn visit_expr(&mut self, e: &Expr) {
+            if let Expr::Load { var, .. } = e {
+                self.loaded.insert(var.clone());
+            }
+            ft_ir::visit::walk_expr(self, e);
+        }
+    }
+    let mut sc = Scan::default();
+    use ft_ir::visit::Visitor as _;
+    sc.visit_stmt(body);
+    if sc.libcall {
+        return Vec::new();
+    }
+    let Scan {
+        locals,
+        loaded,
+        stored,
+        reduced,
+        ..
+    } = sc;
+    reduced
+        .into_iter()
+        .filter(|(var, _)| {
+            !locals.contains(var) && !loaded.contains(var) && !stored.contains(var)
+        })
+        .filter_map(|(var, op)| Some((var, op?)))
+        .collect()
 }
 
 #[derive(Clone)]
@@ -357,6 +459,23 @@ impl TCtx {
                     let n = e - b;
                     let workers = (self.threads as i64).min(n);
                     let grain = (n / (workers * 4)).max(1);
+                    // A runtime `cache_reduce`: single-op atomic reduction
+                    // targets never otherwise touched by the body fold into
+                    // per-chunk private accumulators merged in ascending
+                    // chunk order, instead of serializing every update
+                    // through the tensor mutex.
+                    let privatized: Vec<(String, ReduceOp, f64)> = privatizable_reductions(body)
+                        .into_iter()
+                        .filter(|(name, _)| {
+                            self.tensors
+                                .get(name)
+                                .is_some_and(|t| t.numel() <= PRIVATIZE_NUMEL_CAP)
+                        })
+                        .map(|(name, op)| {
+                            let id = reduce_identity(op, self.tensors[&name].dtype);
+                            (name, op, id)
+                        })
+                        .collect();
                     let span = self.sink.as_ref().map(|s| {
                         let mut sp = s.span_on(
                             TRACK_RUNTIME,
@@ -365,6 +484,11 @@ impl TCtx {
                         );
                         sp.arg("workers", workers);
                         sp.arg("iterations", n);
+                        if !privatized.is_empty() {
+                            let names: Vec<&str> =
+                                privatized.iter().map(|(n, _, _)| n.as_str()).collect();
+                            sp.arg("privatized", names.join(","));
+                        }
                         sp
                     });
                     let result: Mutex<Result<(), RuntimeError>> = Mutex::new(Ok(()));
@@ -376,8 +500,7 @@ impl TCtx {
                     // thread happens to execute them.
                     #[cfg(debug_assertions)]
                     let chunk_ids = std::sync::atomic::AtomicU64::new(0);
-                    let task = |lo: i64, hi: i64| {
-                        let mut local = self.clone();
+                    let run_chunk = |mut local: TCtx, lo: i64, hi: i64| {
                         #[cfg(debug_assertions)]
                         {
                             local.who = (
@@ -396,9 +519,51 @@ impl TCtx {
                             }
                         }
                     };
-                    if let Err(payload) =
+                    let pool_result = if privatized.is_empty() {
+                        let task = |lo: i64, hi: i64| run_chunk(self.clone(), lo, hi);
                         WorkerPool::global().try_run(b, e, grain, workers as usize, &task)
-                    {
+                    } else {
+                        let init = |_idx: usize| -> Vec<Shared> {
+                            privatized
+                                .iter()
+                                .map(|(name, _, id)| {
+                                    let t = &self.tensors[name];
+                                    Shared::with_fill(t.dtype, &t.shape, *id)
+                                })
+                                .collect()
+                        };
+                        let chunk_body = |lo: i64, hi: i64, acc: &mut Vec<Shared>| {
+                            let mut local = self.clone();
+                            for ((name, _, _), sh) in privatized.iter().zip(acc.iter()) {
+                                local.tensors.insert(name.clone(), sh.clone());
+                            }
+                            run_chunk(local, lo, hi);
+                        };
+                        let mut merge = |_idx: usize, acc: Vec<Shared>| {
+                            for ((name, op, _), part) in privatized.iter().zip(acc) {
+                                let t = &self.tensors[name];
+                                for off in 0..t.numel() {
+                                    let new = apply_reduce(
+                                        *op,
+                                        Scalar::Float(t.get(off)),
+                                        Scalar::Float(part.get(off)),
+                                    )
+                                    .as_f64();
+                                    t.set(off, new);
+                                }
+                            }
+                        };
+                        WorkerPool::global().try_run_reduce(
+                            b,
+                            e,
+                            grain,
+                            workers as usize,
+                            &init,
+                            &chunk_body,
+                            &mut merge,
+                        )
+                    };
+                    if let Err(payload) = pool_result {
                         panic!("worker thread panicked: {}", panic_message(&*payload));
                     }
                     drop(span);

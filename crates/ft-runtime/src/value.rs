@@ -316,6 +316,147 @@ impl fmt::Display for TensorVal {
     }
 }
 
+/// Portable 4-lane inner-loop kernels for the vectorized bytecode
+/// superinstructions (`std::simd` is unstable and external SIMD crates are
+/// off the table, so these are manual 4-wide unrolls the optimizer can turn
+/// into real vector code).
+///
+/// Bit-exactness contract: every kernel reproduces the scalar engines'
+/// per-element semantics *exactly* — loads widen to `f64`, reductions round
+/// back through the tensor's storage dtype after **every** combine, and
+/// loop-carried accumulations keep their serial association (the 4-lane
+/// unroll applies only to the independent loads/multiplies). This is what
+/// lets the fast VM stay bit-identical to the interpreter while still
+/// shedding per-element dispatch.
+pub mod lanes {
+    /// `y[i] = ((y[i] as f64) + a * (x[i] as f64)) as f32` for every `i` —
+    /// the axpy shape. Elements are independent, so all four lanes of each
+    /// unrolled chunk vectorize cleanly.
+    pub fn axpy_f32(y: &mut [f32], a: f64, x: &[f32]) {
+        debug_assert_eq!(y.len(), x.len());
+        let (yc, yt) = y.split_at_mut(y.len() - y.len() % 4);
+        let (xc, xt) = x.split_at(x.len() - x.len() % 4);
+        for (yw, xw) in yc.chunks_exact_mut(4).zip(xc.chunks_exact(4)) {
+            yw[0] = (yw[0] as f64 + a * xw[0] as f64) as f32;
+            yw[1] = (yw[1] as f64 + a * xw[1] as f64) as f32;
+            yw[2] = (yw[2] as f64 + a * xw[2] as f64) as f32;
+            yw[3] = (yw[3] as f64 + a * xw[3] as f64) as f32;
+        }
+        for (yv, xv) in yt.iter_mut().zip(xt) {
+            *yv = (*yv as f64 + a * *xv as f64) as f32;
+        }
+    }
+
+    /// `f64` variant of [`axpy_f32`] (no narrowing round-trip).
+    pub fn axpy_f64(y: &mut [f64], a: f64, x: &[f64]) {
+        debug_assert_eq!(y.len(), x.len());
+        for (yv, xv) in y.iter_mut().zip(x) {
+            *yv += a * *xv;
+        }
+    }
+
+    /// Fused load-mul-reduce for the dot-product shape: returns the final
+    /// accumulator after `acc = ((acc as f64) + (x[i] as f64) * (y[i] as
+    /// f64)) as f32` over every `i`, in serial order. The multiplies are
+    /// unrolled 4 wide (independent); the adds stay serial because float
+    /// addition is non-associative and the interpreter is the spec.
+    pub fn dot_f32(acc0: f32, x: &[f32], y: &[f32]) -> f32 {
+        debug_assert_eq!(x.len(), y.len());
+        let mut acc = acc0;
+        let split = x.len() - x.len() % 4;
+        for (xw, yw) in x[..split].chunks_exact(4).zip(y[..split].chunks_exact(4)) {
+            let p = [
+                xw[0] as f64 * yw[0] as f64,
+                xw[1] as f64 * yw[1] as f64,
+                xw[2] as f64 * yw[2] as f64,
+                xw[3] as f64 * yw[3] as f64,
+            ];
+            acc = (acc as f64 + p[0]) as f32;
+            acc = (acc as f64 + p[1]) as f32;
+            acc = (acc as f64 + p[2]) as f32;
+            acc = (acc as f64 + p[3]) as f32;
+        }
+        for (xv, yv) in x[split..].iter().zip(&y[split..]) {
+            acc = (acc as f64 + *xv as f64 * *yv as f64) as f32;
+        }
+        acc
+    }
+
+    /// `f64` variant of [`dot_f32`]: serial-order adds, unrolled multiplies.
+    pub fn dot_f64(acc0: f64, x: &[f64], y: &[f64]) -> f64 {
+        debug_assert_eq!(x.len(), y.len());
+        let mut acc = acc0;
+        let split = x.len() - x.len() % 4;
+        for (xw, yw) in x[..split].chunks_exact(4).zip(y[..split].chunks_exact(4)) {
+            let p = [xw[0] * yw[0], xw[1] * yw[1], xw[2] * yw[2], xw[3] * yw[3]];
+            acc += p[0];
+            acc += p[1];
+            acc += p[2];
+            acc += p[3];
+        }
+        for (xv, yv) in x[split..].iter().zip(&y[split..]) {
+            acc += xv * yv;
+        }
+        acc
+    }
+
+    /// Serial-order sum with the f32 storage round after every add
+    /// (mirrors `ReduceTo Add` on an `f32` cell).
+    pub fn sum_f32(acc0: f32, x: &[f32]) -> f32 {
+        let mut acc = acc0;
+        for v in x {
+            acc = (acc as f64 + *v as f64) as f32;
+        }
+        acc
+    }
+
+    /// Serial-order sum over `f64` elements.
+    pub fn sum_f64(acc0: f64, x: &[f64]) -> f64 {
+        let mut acc = acc0;
+        for v in x {
+            acc += v;
+        }
+        acc
+    }
+
+    /// `max` fold through the same `f64::max` the interpreter's
+    /// `apply_reduce` uses (NaN handling included).
+    pub fn max_f32(acc0: f32, x: &[f32]) -> f32 {
+        let mut acc = acc0;
+        for v in x {
+            acc = f64::max(acc as f64, *v as f64) as f32;
+        }
+        acc
+    }
+
+    /// `f64` variant of [`max_f32`].
+    pub fn max_f64(acc0: f64, x: &[f64]) -> f64 {
+        let mut acc = acc0;
+        for v in x {
+            acc = f64::max(acc, *v);
+        }
+        acc
+    }
+
+    /// `min` fold through `f64::min`, f32 storage round per step.
+    pub fn min_f32(acc0: f32, x: &[f32]) -> f32 {
+        let mut acc = acc0;
+        for v in x {
+            acc = f64::min(acc as f64, *v as f64) as f32;
+        }
+        acc
+    }
+
+    /// `f64` variant of [`min_f32`].
+    pub fn min_f64(acc0: f64, x: &[f64]) -> f64 {
+        let mut acc = acc0;
+        for v in x {
+            acc = f64::min(acc, *v);
+        }
+        acc
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -12,7 +12,8 @@
 //!   identical per-statement profile when a trace sink is attached.
 
 use ft_conformance::{ops, Workload};
-use ft_runtime::{PerfCounters, Runtime, VmRuntime};
+use ft_ir::prelude::*;
+use ft_runtime::{PerfCounters, Runtime, TensorVal, VmRuntime};
 use proptest::test_runner::TestRng;
 use std::collections::HashMap;
 
@@ -104,4 +105,142 @@ fn vm_profile_matches_interp_on_unscheduled_workloads() {
             );
         }
     }
+}
+
+/// Run interpreter vs fast VM (with a trace sink) and return the fast
+/// VM's `vm.lower` decision spans as `(kind, accepted, detail)`. Outputs
+/// must be bit-identical and every span well-formed.
+fn diff_with_decisions(
+    func: &ft_ir::Func,
+    inputs: &HashMap<String, TensorVal>,
+    ctx: &str,
+) -> Vec<(String, bool, String)> {
+    let sizes = HashMap::new();
+    let ri = Runtime::new()
+        .run(func, inputs, &sizes)
+        .unwrap_or_else(|e| panic!("interp failed on {ctx}: {e:?}"));
+    let sink = ft_trace::TraceSink::new();
+    let mut vm = VmRuntime::new();
+    vm.set_sink(Some(sink.clone()));
+    let rf = vm
+        .run(func, inputs, &sizes)
+        .unwrap_or_else(|e| panic!("fast vm failed on {ctx}: {e:?}"));
+    assert_eq!(ri.outputs, rf.outputs, "fast-mode outputs differ on {ctx}");
+    sink.events()
+        .iter()
+        .filter(|e| e.cat == "vm.lower")
+        .map(|e| {
+            let accepted = e
+                .args
+                .iter()
+                .any(|(k, v)| k == "accepted" && v == "true");
+            let detail_key = if accepted { "how" } else { "reason" };
+            let detail = e
+                .args
+                .iter()
+                .find(|(k, _)| k == detail_key)
+                .unwrap_or_else(|| panic!("span {} missing `{detail_key}` on {ctx}", e.name))
+                .1
+                .clone();
+            assert!(
+                e.args.iter().any(|(k, _)| k == "target"),
+                "span {} missing `target` on {ctx}",
+                e.name
+            );
+            (e.name.clone(), accepted, detail)
+        })
+        .collect()
+}
+
+/// Directed schedules: parallelize then vectorize *every* loop of every
+/// workload (the legality checker keeps what is sound), and diff the fast
+/// VM bit-exactly against the interpreter on the result. This saturates
+/// the vectorize/parallel lowering paths far beyond what the uniform
+/// random traces above reach.
+#[test]
+fn vm_matches_interp_on_directed_vectorize_parallel_schedules() {
+    let mut spans = 0usize;
+    for w in Workload::ALL {
+        let case = w.build(11);
+        let nloops = ops::loops_of(&case.func).len();
+        let mut raw = Vec::new();
+        for i in 0..nloops {
+            raw.push(ops::ScheduleOp::Parallelize { loop_idx: i });
+        }
+        for i in 0..nloops {
+            raw.push(ops::ScheduleOp::Vectorize { loop_idx: i });
+        }
+        let (func, trace) = ops::apply_trace(&case.func, &raw);
+        let ctx = format!("workload {} directed trace {trace:?}", w.name());
+        spans += diff_with_decisions(&func, &case.inputs, &ctx).len();
+    }
+    assert!(spans > 0, "directed schedules produced no lowering attempts");
+}
+
+/// A `vectorize`-marked dot product and a parallel integer histogram:
+/// the corpus must demonstrably engage both the fused SIMD kernels and
+/// the privatized parallel reduction, bit-exactly.
+#[test]
+fn vm_engages_simd_and_privatized_reductions_bit_exactly() {
+    let vec = ForProperty {
+        vectorize: true,
+        ..ForProperty::serial()
+    };
+    let dot = Func::new("dot")
+        .param("x", [257], DataType::F32, AccessType::Input)
+        .param("w", [257], DataType::F32, AccessType::Input)
+        .param("d", [1], DataType::F32, AccessType::Output)
+        .body(for_with(
+            "i",
+            0,
+            257,
+            vec,
+            reduce(
+                "d",
+                [0],
+                ReduceOp::Add,
+                load("x", [var("i")]) * load("w", [var("i")]),
+            ),
+        ));
+    let x = TensorVal::from_f32(&[257], (0..257).map(|v| (v as f32).sin()).collect());
+    let w = TensorVal::from_f32(&[257], (0..257).map(|v| 1.0 / (v as f32 + 0.7)).collect());
+    let inputs: HashMap<String, TensorVal> = [("x".to_string(), x), ("w".to_string(), w)]
+        .into_iter()
+        .collect();
+    let ds = diff_with_decisions(&dot, &inputs, "vectorized dot");
+    assert!(
+        ds.iter()
+            .any(|(k, acc, how)| k == "vm.simd" && *acc && how == "dot"),
+        "dot kernel did not engage: {ds:?}"
+    );
+
+    let hist = Func::new("hist")
+        .param("x", [1024], DataType::I32, AccessType::Input)
+        .param("h", [16], DataType::I64, AccessType::Output)
+        .body(for_with(
+            "i",
+            0,
+            1024,
+            ForProperty::parallel(ParallelScope::OpenMp),
+            Stmt::new(StmtKind::ReduceTo {
+                var: "h".to_string(),
+                indices: vec![Expr::cast(DataType::I64, load("x", [var("i")]).rem(16))],
+                op: ReduceOp::Add,
+                value: Expr::IntConst(1),
+                atomic: true,
+            }),
+        ));
+    let x = TensorVal::from_i32(&[1024], (0..1024).map(|v| (v * 31 + 7) % 113).collect());
+    let inputs: HashMap<String, TensorVal> = [("x".to_string(), x)].into_iter().collect();
+    let ds = diff_with_decisions(&hist, &inputs, "parallel histogram");
+    assert!(
+        ds.iter()
+            .any(|(k, acc, how)| k == "vm.reduce.privatize" && *acc && how == "Add"),
+        "histogram reduction was not privatized: {ds:?}"
+    );
+    assert!(
+        ds.iter()
+            .any(|(k, acc, _)| k == "vm.parallel" && *acc),
+        "histogram region was not parallelized: {ds:?}"
+    );
 }
