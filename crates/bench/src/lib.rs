@@ -461,6 +461,20 @@ pub fn run_grad_capped(
     if let Some(cap) = gpu_capacity {
         config.gpu_mem_capacity = cap;
     }
+    // GAT gradients are excluded from the paper's study (§6.2): the
+    // operator baseline has no backward for the CSR gather. Report a
+    // structured skip instead of panicking so sweeps over `Workload::ALL`
+    // stay total.
+    if prep.workload == Workload::Gat {
+        return CaseResult {
+            wall_ms: 0.0,
+            interp_wall_ms: None,
+            cycles: f64::NAN,
+            counters: PerfCounters::default(),
+            failure: Some("skipped: GAT gradients are excluded (paper §6.2)".to_string()),
+            failed_stage: Some("grad"),
+        };
+    }
     let seed_shape: Vec<usize> = {
         let out = match prep.workload {
             Workload::SubdivNet => {
@@ -475,7 +489,7 @@ pub fn run_grad_capped(
                 let p = prep.sr_p.expect("params");
                 vec![p.pixels(), p.channels]
             }
-            Workload::Gat => panic!("GAT gradients are excluded (paper §6.2)"),
+            Workload::Gat => unreachable!("handled by the structured skip above"),
         };
         out
     };
@@ -506,7 +520,7 @@ pub fn run_grad_capped(
                             .map_err(|e| e.to_string())?;
                         s.backward(&h.img, seed.clone()).map_err(|e| e.to_string())?;
                     }
-                    Workload::Gat => unreachable!(),
+                    Workload::Gat => unreachable!("handled by the structured skip above"),
                 }
                 Ok(())
             })();
@@ -683,6 +697,20 @@ pub fn write_bench_json(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn gat_grad_is_a_structured_skip_not_a_panic() {
+        // Paper §6.2 excludes GAT from the gradient study; the bench must
+        // report that as a skipped record, not crash the whole sweep.
+        let prep = prepare(Workload::Gat, Scale::Small);
+        for system in [System::OpBase, System::FtNaive, System::FtOptimized] {
+            let r = run_grad(&prep, system, Device::Cpu, TapePolicy::Selective);
+            assert_eq!(r.failed_stage, Some("grad"), "{system:?}");
+            let why = r.failure.as_deref().unwrap_or_default();
+            assert!(why.contains("skipped"), "{system:?}: {why}");
+            assert!(r.cycles.is_nan(), "no cycle count for a skipped case");
+        }
+    }
 
     #[test]
     fn baseline_ooms_on_capped_gpu_but_freetensor_fits() {

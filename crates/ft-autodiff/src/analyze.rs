@@ -288,6 +288,35 @@ mod tests {
     }
 
     #[test]
+    fn selective_boundary_at_default_threshold() {
+        // `def_cost == recompute_threshold` recomputes (the comparison is
+        // `<=`); one op more stores. Pinned at the default threshold of 16
+        // so a change to either the default or the comparison direction
+        // fails this test.
+        let default_threshold = crate::GradOptions::default().recompute_threshold;
+        assert_eq!(default_threshold, 16);
+        let params: HashSet<String> = ["x".to_string()].into();
+        for (cost, expected) in [
+            (default_threshold, MaterializeDecision::Recompute),
+            (default_threshold + 1, MaterializeDecision::Store),
+        ] {
+            let facts: HashMap<String, TensorFacts> = [(
+                "t".to_string(),
+                TensorFacts {
+                    needed: true,
+                    store_only: true,
+                    dep_loads: ["x".to_string()].into(),
+                    def_cost: cost,
+                    version_dims: 1,
+                },
+            )]
+            .into();
+            let d = decide(&facts, &params, TapePolicy::Selective, default_threshold);
+            assert_eq!(d["t"], expected, "def_cost {cost}");
+        }
+    }
+
+    #[test]
     fn reduce_written_tensors_are_not_recomputable() {
         let f = Func::new("f")
             .param("x", [8], DataType::F32, AccessType::Input)

@@ -142,9 +142,17 @@ fn rec(
                         "pow with a non-constant exponent".to_string(),
                     ));
                 };
+                // `k - 1` overflows for k == i64::MIN — a degenerate exponent
+                // a user program can still write; fail structurally instead
+                // of panicking in debug builds.
+                let Some(km1) = k.checked_sub(1) else {
+                    return Err(DerivError::Unsupported(format!(
+                        "pow exponent {k} underflows when reduced for the power rule"
+                    )));
+                };
                 let da = adj
                     * Expr::IntConst(k)
-                    * Expr::binary(BinaryOp::Pow, (**a).clone(), Expr::IntConst(k - 1));
+                    * Expr::binary(BinaryOp::Pow, (**a).clone(), Expr::IntConst(km1));
                 rec(a, da, active, out)
             }
             BinaryOp::Mod => Err(DerivError::Unsupported(
@@ -247,6 +255,22 @@ mod tests {
         assert!(pullback(&e, &var("g"), &all_active).is_err());
         let e = Expr::binary(BinaryOp::Pow, load("a", scalar()), load("b", scalar()));
         assert!(pullback(&e, &var("g"), &all_active).is_err());
+    }
+
+    #[test]
+    fn pow_min_int_exponent_errors_instead_of_overflowing() {
+        // `i64::MIN - 1` overflows; the power rule must reject the exponent
+        // structurally rather than panic in debug builds.
+        let e = Expr::binary(
+            BinaryOp::Pow,
+            load("a", scalar()),
+            Expr::IntConst(i64::MIN),
+        );
+        let err = pullback(&e, &var("g"), &all_active).unwrap_err();
+        assert!(
+            matches!(&err, DerivError::Unsupported(m) if m.contains("underflow")),
+            "{err}"
+        );
     }
 
     #[test]

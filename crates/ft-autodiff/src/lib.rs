@@ -28,4 +28,4 @@ pub mod deriv;
 pub mod transform;
 
 pub use analyze::{MaterializeDecision, TapePolicy};
-pub use transform::{grad, grad_with, AdError, GradOptions};
+pub use transform::{grad, grad_with, AdError, AdFault, GradOptions};

@@ -2,7 +2,7 @@
 
 use crate::analyze::{decide, tensor_facts, MaterializeDecision, TapePolicy};
 use crate::deriv::{pullback, DerivError};
-use ft_ir::mutate::{rename_var_stmt, subst_var_stmt};
+use ft_ir::mutate::{rename_var_stmt, subst_var_stmt, uniquify_def_names};
 use ft_ir::{
     builder, AccessType, DataType, Expr, Func, MemType, Param, ReduceOp, Stmt, StmtKind,
 };
@@ -19,6 +19,9 @@ pub struct GradOptions {
     pub recompute_threshold: usize,
     /// Inputs to differentiate with respect to (default: every float input).
     pub wrt: Option<Vec<String>>,
+    /// Deliberate miscompilation for harness validation (never set in
+    /// production): see [`AdFault`].
+    pub fault: Option<AdFault>,
 }
 
 impl Default for GradOptions {
@@ -27,8 +30,20 @@ impl Default for GradOptions {
             policy: TapePolicy::Selective,
             recompute_threshold: 16,
             wrt: None,
+            fault: None,
         }
     }
+}
+
+/// Injectable AD miscompilations, used to validate that the gradient
+/// conformance harness actually catches bugs (the same role
+/// `ScheduleOp::ParallelizeUnchecked` plays for the forward harness).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdFault {
+    /// Backward tape reads ignore the symbolic version subscripts (§5.1):
+    /// every iteration reads tape slot 0 instead of `iter − begin`, so any
+    /// taped tensor under a loop yields wrong gradients.
+    DropTapeVersionBump,
 }
 
 /// Failures of the gradient transformation.
@@ -85,6 +100,12 @@ pub fn grad(func: &Func) -> Result<Func, AdError> {
 /// multiplicative reductions; [`AdError::Deriv`] for non-differentiable
 /// expressions on the value path.
 pub fn grad_with(func: &Func, opts: &GradOptions) -> Result<Func, AdError> {
+    // Everything below keys per-tensor bookkeeping (dtypes, write-site
+    // facts, tape names) by VarDef name, so duplicate names — e.g. the same
+    // parameter cached twice by the schedule, yielding two `Q.cache` defs —
+    // would silently merge distinct tensors and corrupt tape indexing.
+    // Alpha-rename them apart first.
+    let func = &uniquify_def_names(func);
     for p in &func.params {
         if p.atype == AccessType::InOut {
             return Err(AdError::Unsupported(format!(
@@ -105,7 +126,32 @@ pub fn grad_with(func: &Func, opts: &GradOptions) -> Result<Func, AdError> {
 
     // Active tensors: requested inputs, float outputs, and float locals.
     let wrt: Vec<String> = match &opts.wrt {
-        Some(w) => w.clone(),
+        Some(w) => {
+            // Each requested name must be a *float input* parameter: an
+            // unknown name has nothing to differentiate, an output would
+            // collide with its own `.grad` seed parameter, and an integer
+            // input has no gradient.
+            for x in w {
+                let p = func.find_param(x).ok_or_else(|| {
+                    AdError::Unsupported(format!("unknown wrt input `{x}`"))
+                })?;
+                if p.atype != AccessType::Input {
+                    return Err(AdError::Unsupported(format!(
+                        "wrt `{x}` is an {:?} parameter; only inputs can be \
+                         differentiated with respect to",
+                        p.atype
+                    )));
+                }
+                if !p.dtype.is_float() {
+                    return Err(AdError::Unsupported(format!(
+                        "wrt `{x}` has integer dtype {:?}; gradients are \
+                         defined for float inputs only",
+                        p.dtype
+                    )));
+                }
+            }
+            w.clone()
+        }
         None => func
             .params
             .iter()
@@ -168,6 +214,7 @@ pub fn grad_with(func: &Func, opts: &GradOptions) -> Result<Func, AdError> {
         shapes: HashMap::new(),
         tmp: 0,
         size_params: func.size_params.iter().cloned().collect(),
+        fault: opts.fault,
     };
     let fwd = tx.instrument_forward(func.body.clone())?;
     let bwd = tx.backward(&func.body)?;
@@ -229,6 +276,8 @@ struct Grad<'a> {
     shapes: HashMap<String, Vec<Expr>>,
     tmp: usize,
     size_params: HashSet<String>,
+    /// Injected miscompilation, if any (see [`AdFault`]).
+    fault: Option<AdFault>,
 }
 
 /// Decide which `Store`-decided tensors need *per-store* taping.
@@ -568,7 +617,13 @@ impl Grad<'_> {
                 let nvers = self.versions.get(var).copied().unwrap_or(0);
                 let mut idx: Vec<Expr> = self.stack[..nvers]
                     .iter()
-                    .map(|(it, b, _)| const_fold_expr(builder::var(it) - b.clone()))
+                    .map(|(it, b, _)| {
+                        if self.fault == Some(AdFault::DropTapeVersionBump) {
+                            Expr::IntConst(0)
+                        } else {
+                            const_fold_expr(builder::var(it) - b.clone())
+                        }
+                    })
                     .collect();
                 idx.extend(indices.iter().map(|i| self.tape_substitute(i)));
                 Expr::Load {
@@ -634,14 +689,10 @@ impl Grad<'_> {
                 shape,
                 dtype,
                 mtype,
+                body: def_body,
                 ..
             } => {
-                let body = {
-                    let StmtKind::VarDef { body, .. } = &s.kind else {
-                        unreachable!()
-                    };
-                    self.backward(body)?
-                };
+                let body = self.backward(def_body)?;
                 // The backward incarnation of the tensor (fresh, zeroed;
                 // refilled by recomputation when needed).
                 let bwd_name = format!("{name}.b");
@@ -914,4 +965,122 @@ fn refresh_ids(s: &Stmt) -> Stmt {
         k => k.clone(),
     };
     Stmt::new(kind)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_ir::prelude::*;
+
+    /// `y[i] = x[i] * x[i]` with a float input, an integer input (unused on
+    /// the value path), and one output.
+    fn square() -> Func {
+        Func::new("square")
+            .param("x", [4], DataType::F32, AccessType::Input)
+            .param("k", [4], DataType::I32, AccessType::Input)
+            .param("y", [4], DataType::F32, AccessType::Output)
+            .body(for_(
+                "i",
+                0,
+                4,
+                store(
+                    "y",
+                    [var("i")],
+                    load("x", [var("i")]) * load("x", [var("i")]),
+                ),
+            ))
+    }
+
+    fn wrt(names: &[&str]) -> GradOptions {
+        GradOptions {
+            wrt: Some(names.iter().map(|s| s.to_string()).collect()),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn wrt_unknown_name_is_rejected() {
+        let e = grad_with(&square(), &wrt(&["nope"])).unwrap_err();
+        assert!(
+            matches!(&e, AdError::Unsupported(m) if m.contains("unknown wrt")),
+            "{e}"
+        );
+    }
+
+    #[test]
+    fn wrt_output_param_is_rejected() {
+        // Previously accepted: `y` in wrt produced two parameters both named
+        // `y.grad` (the in-out seed and the requested output gradient).
+        let e = grad_with(&square(), &wrt(&["y"])).unwrap_err();
+        assert!(
+            matches!(&e, AdError::Unsupported(m) if m.contains("Output")),
+            "{e}"
+        );
+    }
+
+    #[test]
+    fn wrt_integer_input_is_rejected() {
+        let e = grad_with(&square(), &wrt(&["k"])).unwrap_err();
+        assert!(
+            matches!(&e, AdError::Unsupported(m) if m.contains("integer dtype")),
+            "{e}"
+        );
+    }
+
+    #[test]
+    fn valid_wrt_yields_unique_param_names() {
+        let g = grad_with(&square(), &wrt(&["x"])).unwrap();
+        let mut names: Vec<&str> = g.params.iter().map(|p| p.name.as_str()).collect();
+        let before = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(before, names.len(), "duplicate gradient parameter names");
+    }
+
+    #[test]
+    fn injected_fault_misindexes_tape_reads() {
+        // A taped scalar under a loop: `t = x[i]*x[i]; y[i] = t*t` with
+        // TapePolicy::All. The faulty transform must read `t.tape[0]`
+        // everywhere instead of `t.tape[i]`.
+        let f = Func::new("f")
+            .param("x", [4], DataType::F32, AccessType::Input)
+            .param("y", [4], DataType::F32, AccessType::Output)
+            .body(for_(
+                "i",
+                0,
+                4,
+                var_def(
+                    "t",
+                    scalar(),
+                    DataType::F32,
+                    MemType::CpuStack,
+                    block([
+                        store("t", scalar(), load("x", [var("i")]) * load("x", [var("i")])),
+                        store("y", [var("i")], load("t", scalar()) * load("t", scalar())),
+                    ]),
+                ),
+            ));
+        let sound = grad_with(
+            &f,
+            &GradOptions {
+                policy: TapePolicy::All,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let faulty = grad_with(
+            &f,
+            &GradOptions {
+                policy: TapePolicy::All,
+                fault: Some(AdFault::DropTapeVersionBump),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_ne!(
+            format!("{sound}"),
+            format!("{faulty}"),
+            "the injected fault must change the emitted gradient program"
+        );
+    }
 }

@@ -408,6 +408,77 @@ def f(x: f64[6] in, y: f64[6] out):
 }
 
 #[test]
+fn duplicate_def_names_from_double_caching_gradcheck() {
+    // Regression: the schedule's `cache` op names its staging buffer
+    // `{param}.cache`, so caching the same parameter twice produces two
+    // sibling defs with the same name — here with *different* version
+    // structure (a depth-0 whole-array copy vs a depth-1 per-iteration
+    // scalar). AD bookkeeping keys per-tensor facts by name and used to
+    // merge the two, allocating one tape but indexing it with the other
+    // def's rank (IndexOutOfBounds on `x.cache.tape`); found by the grad
+    // conformance sweep on longformer (repro
+    // `longformer-seed29958-interp-grad-all-t0-opt-then-grad.json`).
+    let f = Func::new("dblcache")
+        .param("x", [4], DataType::F64, AccessType::Input)
+        .param("y", [4], DataType::F64, AccessType::Output)
+        .body(block([
+            var_def(
+                "x.cache",
+                [4],
+                DataType::F64,
+                MemType::CpuStack,
+                block([
+                    for_(
+                        "i",
+                        0,
+                        4,
+                        store("x.cache", [var("i")], load("x", [var("i")])),
+                    ),
+                    for_(
+                        "i",
+                        0,
+                        4,
+                        store(
+                            "y",
+                            [var("i")],
+                            load("x.cache", [var("i")]) * load("x.cache", [var("i")]),
+                        ),
+                    ),
+                ]),
+            ),
+            for_(
+                "j",
+                0,
+                4,
+                var_def(
+                    "x.cache",
+                    scalar(),
+                    DataType::F64,
+                    MemType::CpuStack,
+                    block([
+                        store("x.cache", scalar(), load("x", [var("j")])),
+                        reduce(
+                            "y",
+                            [var("j")],
+                            ReduceOp::Add,
+                            load("x.cache", scalar()) * load("x.cache", scalar()),
+                        ),
+                    ]),
+                ),
+            ),
+        ]));
+    let inputs: Inputs = [("x".to_string(), tensor(&[4], 77))].into_iter().collect();
+    // y[i] = 2·x[i]², so dy/dx must come out 4·x under every tape policy.
+    for policy in [TapePolicy::All, TapePolicy::Selective] {
+        let opts = GradOptions {
+            policy,
+            ..Default::default()
+        };
+        gradcheck(&f, &opts, &inputs, &[], 1e-3);
+    }
+}
+
+#[test]
 fn scalar_reused_across_inner_loop_gradcheck_all_policy() {
     // A scalar temporary declared outside the inner loop that overwrites it
     // each iteration: the end-of-scope snapshot would tape only the final
@@ -513,5 +584,71 @@ fn scalar_reuse_read_outside_storing_nest_is_rejected() {
     assert!(
         err.to_string().contains("read under"),
         "unexpected error: {err}"
+    );
+}
+
+/// A program whose single intermediate has `def_cost` exactly equal to the
+/// default `recompute_threshold` (16): a chain of 16 adds over 17 loads.
+fn boundary_cost_func(n: i64) -> Func {
+    let mut acc = load("a", [var("i")]);
+    for _ in 0..16 {
+        acc = acc + load("a", [var("i")]);
+    }
+    Func::new("boundary")
+        .param("a", [n], DataType::F64, AccessType::Input)
+        .param("y", [n], DataType::F64, AccessType::Output)
+        .body(for_(
+            "i",
+            0,
+            n,
+            var_def(
+                "t",
+                scalar(),
+                DataType::F64,
+                MemType::CpuStack,
+                block([
+                    store("t", scalar(), acc),
+                    store("y", [var("i")], load("t", scalar()) * load("t", scalar())),
+                ]),
+            ),
+        ))
+}
+
+#[test]
+fn selective_boundary_decisions_give_bit_identical_gradients() {
+    // At the default threshold (16) the cost-16 definition is *recomputed*;
+    // one below it is *stored*. The two gradient programs must differ
+    // structurally (tape vs replay) yet produce bit-identical gradients.
+    let f = boundary_cost_func(5);
+    let at = grad_with(&f, &GradOptions::default()).expect("threshold 16 grad");
+    let below = grad_with(
+        &f,
+        &GradOptions {
+            recompute_threshold: 15,
+            ..Default::default()
+        },
+    )
+    .expect("threshold 15 grad");
+    let at_txt = format!("{at}");
+    let below_txt = format!("{below}");
+    assert!(
+        !at_txt.contains("t.tape"),
+        "def_cost == threshold must recompute, found a tape:\n{at_txt}"
+    );
+    assert!(
+        below_txt.contains("t.tape"),
+        "def_cost just above threshold must store:\n{below_txt}"
+    );
+    let mut inputs = [("a".to_string(), tensor(&[5], 11))]
+        .into_iter()
+        .collect::<Inputs>();
+    inputs.insert("y.grad".to_string(), TensorVal::from_f64(&[5], vec![1.0; 5]));
+    let sizes = HashMap::new();
+    let ra = Runtime::new().run(&at, &inputs, &sizes).expect("recompute runs");
+    let rb = Runtime::new().run(&below, &inputs, &sizes).expect("store runs");
+    assert_eq!(
+        ra.output("a.grad"),
+        rb.output("a.grad"),
+        "store vs recompute must be bit-identical"
     );
 }

@@ -2,7 +2,91 @@
 
 use crate::backend::{output_names, run_backend, Backend};
 use crate::workload::Case;
-use ft_ir::Func;
+use ft_ir::{Func, StmtKind};
+use ft_runtime::TensorVal;
+use std::collections::HashMap;
+
+/// Tolerance contract for *gradient* comparisons.
+///
+/// Forward outputs are judged by the flat absolute bound of
+/// [`check_variant`]; gradients must not reuse it. A backward pass is a
+/// chain of `+=` accumulations whose rounding error grows with both the
+/// magnitude of the accumulated value and the nesting depth of the
+/// reduction loops, so a flat absolute epsilon either rejects correct
+/// large-magnitude gradients or accepts wrong small-magnitude ones. The
+/// gradient contract is therefore element-wise
+///
+/// ```text
+/// |got − want| <= scale · (abs + rel · |want|)
+/// ```
+///
+/// with `scale = 1 + reduction_depth(func)` ([`reduction_depth`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GradTol {
+    /// Absolute floor (covers want ≈ 0).
+    pub abs: f64,
+    /// Relative term (covers large accumulated magnitudes).
+    pub rel: f64,
+}
+
+impl Default for GradTol {
+    fn default() -> GradTol {
+        // f32 accumulation over test-scale reductions: ~1e-6 relative noise
+        // per step, two orders of margin.
+        GradTol {
+            abs: 1e-5,
+            rel: 1e-3,
+        }
+    }
+}
+
+/// Maximum number of `For` loops enclosing any `ReduceTo` statement — a
+/// structural proxy for how deeply nested the longest accumulation chain
+/// is. Backward passes turn every forward read into a gradient `+=`, so
+/// grad functions typically have depth ≥ 1; the depth scales [`GradTol`].
+pub fn reduction_depth(func: &Func) -> usize {
+    fn rec(s: &ft_ir::Stmt, depth: usize, max: &mut usize) {
+        match &s.kind {
+            StmtKind::For { body, .. } => rec(body, depth + 1, max),
+            StmtKind::ReduceTo { .. } => *max = (*max).max(depth),
+            _ => {
+                for c in s.children() {
+                    rec(c, depth, max);
+                }
+            }
+        }
+    }
+    let mut max = 0;
+    rec(&func.body, 0, &mut max);
+    max
+}
+
+/// Element-wise check of `got` against `want` under the gradient contract.
+/// Returns `Ok(())` when every element passes, `Err(max_abs_err)` with the
+/// worst absolute error otherwise. NaN on either side fails.
+pub fn grad_close(got: &TensorVal, want: &TensorVal, tol: &GradTol, scale: f64) -> Result<(), f64> {
+    let mut worst = 0.0f64;
+    let mut ok = true;
+    for i in 0..want.numel() {
+        let g = got.get_flat(i).as_f64();
+        let w = want.get_flat(i).as_f64();
+        let d = (g - w).abs();
+        if d.is_nan() {
+            return Err(f64::NAN);
+        }
+        if d > worst {
+            worst = d;
+        }
+        if d > scale * (tol.abs + tol.rel * w.abs()) {
+            ok = false;
+        }
+    }
+    if ok {
+        Ok(())
+    } else {
+        Err(worst)
+    }
+}
 
 /// One observed disagreement between a backend and the oracle (or a backend
 /// failure, which counts as a disagreement).
@@ -99,4 +183,142 @@ pub fn check_variant(
         }
     }
     None
+}
+
+/// Differential check of a *gradient* function across backends.
+///
+/// `inputs` must already contain the seed gradient (`{output}.grad` ones);
+/// `oracle_grads` maps `.grad` output names to the plain-Rust oracle
+/// gradient. Each backend's `.grad` outputs are judged against the oracle
+/// under the [`GradTol`] contract (scaled by the function's reduction
+/// depth); every other output of the grad function — the recomputed forward
+/// outputs and consumed seeds — is judged against the interpreter baseline
+/// under the same contract, so taped-vs-recomputed forward replay is
+/// covered too.
+///
+/// Returns the first divergence found, or `None` when all agree.
+pub fn check_grad_variant(
+    func: &Func,
+    inputs: &HashMap<String, TensorVal>,
+    oracle_grads: &HashMap<String, TensorVal>,
+    backends: &[Backend],
+    tol: &GradTol,
+) -> Option<Divergence> {
+    let scale = (1 + reduction_depth(func)) as f64;
+    let base = match run_backend(Backend::Interp, func, inputs) {
+        Ok(o) => o,
+        Err(e) => {
+            return Some(Divergence {
+                backend: Backend::Interp,
+                output: String::new(),
+                max_abs_err: f64::INFINITY,
+                message: e,
+            })
+        }
+    };
+    for b in backends {
+        let outs = if *b == Backend::Interp {
+            base.clone()
+        } else {
+            match run_backend(*b, func, inputs) {
+                Ok(o) => o,
+                Err(e) => {
+                    return Some(Divergence {
+                        backend: *b,
+                        output: String::new(),
+                        max_abs_err: f64::INFINITY,
+                        message: e,
+                    })
+                }
+            }
+        };
+        for name in output_names(func) {
+            let Some(got) = outs.get(&name) else {
+                return Some(diverge(*b, &name, f64::INFINITY, "gradient output missing"));
+            };
+            let (expect, what) = if let Some(oracle) = oracle_grads.get(&name) {
+                (oracle, "gradient differs from oracle")
+            } else if *b == Backend::Interp {
+                continue;
+            } else {
+                (&base[&name], "gradient-function output differs from interp")
+            };
+            if got.shape() != expect.shape() {
+                return Some(diverge(*b, &name, f64::INFINITY, "shape mismatch"));
+            }
+            if let Err(d) = grad_close(got, expect, tol, scale) {
+                return Some(diverge(*b, &name, d, what));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The gradient contract differs from the forward contract in *both*
+    /// directions: it accepts proportionally-noisy large gradients the old
+    /// flat epsilon rejected, and rejects absolutely-small-but-relatively-
+    /// wrong values the old epsilon let through. This test fails if
+    /// gradient comparison is ever reverted to the forward `d > tol`
+    /// contract.
+    #[test]
+    fn grad_tolerance_is_relative_not_forward_absolute() {
+        let tol = GradTol::default();
+        let forward_tol = crate::Config::default().tol;
+
+        // Large magnitude, 5e-4 relative error: correct accumulation noise.
+        let want = TensorVal::from_f64(&[1], vec![100.0]);
+        let got = TensorVal::from_f64(&[1], vec![100.05]);
+        let abs_err = got.max_abs_diff(&want);
+        assert!(
+            abs_err > forward_tol,
+            "the old absolute contract would have rejected this ({abs_err:.1e} > {forward_tol:.1e})"
+        );
+        assert!(
+            grad_close(&got, &want, &tol, 1.0).is_ok(),
+            "the gradient contract must accept relative noise on large gradients"
+        );
+
+        // Small magnitude, error inside the old epsilon but far outside the
+        // gradient floor: a genuinely wrong near-zero gradient.
+        let want = TensorVal::from_f64(&[1], vec![0.0]);
+        let got = TensorVal::from_f64(&[1], vec![3e-4]);
+        assert!(got.max_abs_diff(&want) < forward_tol, "old contract accepted this");
+        assert!(
+            grad_close(&got, &want, &tol, 1.0).is_err(),
+            "the gradient contract must reject wrong near-zero gradients"
+        );
+
+        // NaN always fails.
+        let got = TensorVal::from_f64(&[1], vec![f64::NAN]);
+        assert!(grad_close(&got, &want, &tol, 1.0).is_err());
+    }
+
+    #[test]
+    fn reduction_depth_counts_enclosing_loops() {
+        use ft_ir::prelude::*;
+        let f = Func::new("f")
+            .param("x", [4], DataType::F32, AccessType::Input)
+            .param("y", [4], DataType::F32, AccessType::Output)
+            .body(for_(
+                "i",
+                0,
+                4,
+                for_(
+                    "j",
+                    0,
+                    4,
+                    reduce("y", [var("i")], ReduceOp::Add, load("x", [var("j")])),
+                ),
+            ));
+        assert_eq!(reduction_depth(&f), 2);
+        let g = Func::new("g")
+            .param("x", [4], DataType::F32, AccessType::Input)
+            .param("y", [4], DataType::F32, AccessType::Output)
+            .body(for_("i", 0, 4, store("y", [var("i")], load("x", [var("i")]))));
+        assert_eq!(reduction_depth(&g), 0, "no ReduceTo, no accumulation depth");
+    }
 }

@@ -17,12 +17,22 @@
 //!    ([`shrink`]) and write a machine-readable JSON repro under
 //!    `results/conformance/` ([`repro`]).
 //!
-//! The entry point is [`run_conformance`]; `tests/conformance.rs` at the
-//! workspace root is the CI driver.
+//! The [`grad`] module extends the same differential discipline to the AD
+//! pipeline (paper §5): every sampled trace is also differentiated — under
+//! both tape policies, sweeping `recompute_threshold` across the def-cost
+//! boundary, in both grad/schedule composition orders — executed on every
+//! backend, and judged against a plain-Rust oracle gradient plus central
+//! finite differences under a reduction-depth-scaled tolerance
+//! ([`diff::GradTol`]).
+//!
+//! The entry points are [`run_conformance`] and [`run_grad_conformance`];
+//! `tests/conformance.rs` and `tests/grad_conformance.rs` at the workspace
+//! root are the CI drivers.
 
 pub mod backend;
 pub mod cjit;
 pub mod diff;
+pub mod grad;
 pub mod json;
 pub mod ops;
 pub mod repro;
@@ -30,7 +40,8 @@ pub mod shrink;
 pub mod workload;
 
 pub use backend::Backend;
-pub use diff::{check_variant, Divergence};
+pub use diff::{check_grad_variant, check_variant, Divergence, GradTol};
+pub use grad::{run_grad_conformance, GradConfig, GradOrder, GradSpec, GradSummary};
 pub use ops::ScheduleOp;
 pub use repro::Repro;
 pub use shrink::minimize;
@@ -190,6 +201,8 @@ pub fn run_conformance(cfg: &Config) -> Summary {
                         tol: cfg.tol,
                         trace: minimized,
                         decision_log,
+                        grad: None,
+                        tol_rel: None,
                     };
                     let path = repro.write(&cfg.out_dir).ok();
                     (Some(d), path)

@@ -7,7 +7,11 @@
 //! reproduced from the artifact alone.
 
 use crate::backend::Backend;
-use crate::diff::{check_variant, Divergence};
+use crate::diff::{check_grad_variant, check_variant, Divergence, GradTol};
+use crate::grad::{
+    build_grad_func, fault_from_name, fault_name, grad_run_inputs, ones_seed, policy_from_name,
+    policy_name, GradOrder, GradSpec,
+};
 use crate::json::JsonVal;
 use crate::ops::{apply_trace, ScheduleOp};
 use crate::workload::Workload;
@@ -35,10 +39,44 @@ pub struct Repro {
     /// primitive attempt, `ft_trace::decision_line` format). Informational:
     /// not needed for replay, defaulted to empty on older repro files.
     pub decision_log: Vec<String>,
+    /// For gradient-sweep repros: how the grad function was built
+    /// (`GradOptions` point + composition order). `None` on forward repros
+    /// and on files from before the gradient sweep existed.
+    pub grad: Option<GradSpec>,
+    /// Relative tolerance term of the gradient contract (`tol` holds the
+    /// absolute term). `None` on forward repros.
+    pub tol_rel: Option<f64>,
 }
 
 fn num(n: u64) -> JsonVal {
     JsonVal::Num(n as f64)
+}
+
+/// `max_abs_err` is infinite on execution-failure divergences, and JSON has
+/// no Infinity/NaN tokens — encode non-finite errors as strings.
+fn err_to_json(v: f64) -> JsonVal {
+    if v.is_finite() {
+        JsonVal::Num(v)
+    } else if v.is_nan() {
+        JsonVal::Str("nan".to_string())
+    } else if v > 0.0 {
+        JsonVal::Str("inf".to_string())
+    } else {
+        JsonVal::Str("-inf".to_string())
+    }
+}
+
+fn err_from_json(v: &JsonVal) -> Option<f64> {
+    match v {
+        JsonVal::Num(n) => Some(*n),
+        JsonVal::Str(s) => match s.as_str() {
+            "inf" => Some(f64::INFINITY),
+            "-inf" => Some(f64::NEG_INFINITY),
+            "nan" => Some(f64::NAN),
+            _ => None,
+        },
+        _ => None,
+    }
 }
 
 fn op_to_json(op: &ScheduleOp) -> JsonVal {
@@ -124,15 +162,55 @@ fn op_from_json(v: &JsonVal) -> Result<ScheduleOp, String> {
     })
 }
 
+fn grad_to_json(g: &GradSpec) -> JsonVal {
+    let mut fields = vec![
+        ("policy".to_string(), JsonVal::Str(policy_name(g.policy).to_string())),
+        ("recompute_threshold".to_string(), num(g.recompute_threshold as u64)),
+        ("order".to_string(), JsonVal::Str(g.order.name().to_string())),
+    ];
+    if let Some(f) = g.fault {
+        fields.push(("fault".to_string(), JsonVal::Str(fault_name(f).to_string())));
+    }
+    JsonVal::Obj(fields)
+}
+
+fn grad_from_json(v: &JsonVal) -> Result<GradSpec, String> {
+    let s = |key: &str| -> Result<&str, String> {
+        v.get(key)
+            .and_then(JsonVal::as_str)
+            .ok_or_else(|| format!("grad object missing `{key}`"))
+    };
+    let policy = policy_from_name(s("policy")?)
+        .ok_or_else(|| format!("unknown tape policy `{}`", s("policy").unwrap()))?;
+    let order = GradOrder::from_name(s("order")?)
+        .ok_or_else(|| format!("unknown grad order `{}`", s("order").unwrap()))?;
+    let recompute_threshold = v
+        .get("recompute_threshold")
+        .and_then(JsonVal::as_u64)
+        .ok_or("grad object missing `recompute_threshold`")? as usize;
+    let fault = match v.get("fault").and_then(JsonVal::as_str) {
+        None => None,
+        Some(name) => {
+            Some(fault_from_name(name).ok_or_else(|| format!("unknown AD fault `{name}`"))?)
+        }
+    };
+    Ok(GradSpec {
+        policy,
+        recompute_threshold,
+        order,
+        fault,
+    })
+}
+
 impl Repro {
     /// Serialize to a JSON document.
     pub fn to_json(&self) -> String {
-        JsonVal::Obj(vec![
+        let mut fields = vec![
             ("workload".to_string(), JsonVal::Str(self.workload.clone())),
             ("input_seed".to_string(), num(self.input_seed)),
             ("backend".to_string(), JsonVal::Str(self.backend.clone())),
             ("output".to_string(), JsonVal::Str(self.output.clone())),
-            ("max_abs_err".to_string(), JsonVal::Num(self.max_abs_err)),
+            ("max_abs_err".to_string(), err_to_json(self.max_abs_err)),
             ("tol".to_string(), JsonVal::Num(self.tol)),
             (
                 "schedule".to_string(),
@@ -147,8 +225,16 @@ impl Repro {
                         .collect(),
                 ),
             ),
-        ])
-        .to_string()
+        ];
+        // Gradient fields are emitted only for gradient repros, so forward
+        // repro files are byte-identical to the pre-gradient format.
+        if let Some(g) = &self.grad {
+            fields.push(("grad".to_string(), grad_to_json(g)));
+        }
+        if let Some(r) = self.tol_rel {
+            fields.push(("tol_rel".to_string(), JsonVal::Num(r)));
+        }
+        JsonVal::Obj(fields).to_string()
     }
 
     /// Parse back from [`Repro::to_json`] output.
@@ -187,15 +273,27 @@ impl Repro {
                     .collect()
             })
             .unwrap_or_default();
+        // Both gradient fields are optional: absent on forward repros and
+        // on files from before the gradient sweep existed.
+        let grad = match v.get("grad") {
+            None => None,
+            Some(g) => Some(grad_from_json(g)?),
+        };
+        let tol_rel = v.get("tol_rel").and_then(JsonVal::as_f64);
         Ok(Repro {
             workload: str_field("workload")?,
             input_seed: num_field("input_seed")? as u64,
             backend: str_field("backend")?,
             output: str_field("output")?,
-            max_abs_err: num_field("max_abs_err")?,
+            max_abs_err: v
+                .get("max_abs_err")
+                .and_then(err_from_json)
+                .ok_or("missing numeric field `max_abs_err`")?,
             tol: num_field("tol")?,
             trace,
             decision_log,
+            grad,
+            tol_rel,
         })
     }
 
@@ -206,28 +304,56 @@ impl Repro {
     /// Propagates directory-creation and write failures.
     pub fn write(&self, dir: &Path) -> io::Result<PathBuf> {
         std::fs::create_dir_all(dir)?;
+        // Gradient repros get the sweep point in the file name so variants
+        // of the same (workload, seed, backend) don't clobber each other.
+        let grad_tag = self
+            .grad
+            .as_ref()
+            .map(|g| {
+                format!(
+                    "-grad-{}-t{}-{}{}",
+                    policy_name(g.policy),
+                    g.recompute_threshold,
+                    g.order.name(),
+                    g.fault.map(|f| format!("-{}", fault_name(f))).unwrap_or_default()
+                )
+            })
+            .unwrap_or_default();
         let path = dir.join(format!(
-            "{}-seed{}-{}.json",
-            self.workload, self.input_seed, self.backend
+            "{}-seed{}-{}{}.json",
+            self.workload, self.input_seed, self.backend, grad_tag
         ));
         std::fs::write(&path, self.to_json() + "\n")?;
         Ok(path)
     }
 
-    /// Rebuild the case, re-apply the trace, and re-run the differential
-    /// check on the recorded backend.
+    /// Rebuild the case, re-apply the trace (and, for gradient repros, the
+    /// recorded differentiation), and re-run the differential check on the
+    /// recorded backend.
     ///
     /// # Errors
     ///
-    /// When the workload or backend name is unknown.
+    /// When the workload or backend name is unknown, or a gradient repro's
+    /// program no longer differentiates.
     pub fn replay(&self) -> Result<Option<Divergence>, String> {
         let w = Workload::from_name(&self.workload)
             .ok_or_else(|| format!("unknown workload `{}`", self.workload))?;
         let b = Backend::from_name(&self.backend)
             .ok_or_else(|| format!("unknown backend `{}`", self.backend))?;
         let case = w.build(self.input_seed);
-        let (func, _) = apply_trace(&case.func, &self.trace);
-        Ok(check_variant(&case, &func, &[b], self.tol))
+        let Some(spec) = &self.grad else {
+            let (func, _) = apply_trace(&case.func, &self.trace);
+            return Ok(check_variant(&case, &func, &[b], self.tol));
+        };
+        let (gfunc, _) = build_grad_func(&case.func, &self.trace, spec).map_err(|e| e.to_string())?;
+        let seed = ones_seed(&case);
+        let inputs = grad_run_inputs(&case, &seed);
+        let oracle_grads = w.oracle_grad(&case.inputs, &seed);
+        let tol = GradTol {
+            abs: self.tol,
+            rel: self.tol_rel.unwrap_or(0.0),
+        };
+        Ok(check_grad_variant(&gfunc, &inputs, &oracle_grads, &[b], &tol))
     }
 }
 
@@ -262,6 +388,23 @@ mod tests {
                 "split((2), 8): applied".to_string(),
                 "parallelize((0), OpenMp): rejected — loop-carried dependence".to_string(),
             ],
+            grad: None,
+            tol_rel: None,
+        }
+    }
+
+    fn grad_sample() -> Repro {
+        use ft_autodiff::{AdFault, TapePolicy};
+        Repro {
+            output: "h.grad".to_string(),
+            grad: Some(GradSpec {
+                policy: TapePolicy::All,
+                recompute_threshold: 17,
+                order: GradOrder::OptThenGrad,
+                fault: Some(AdFault::DropTapeVersionBump),
+            }),
+            tol_rel: Some(1e-3),
+            ..sample()
         }
     }
 
@@ -286,6 +429,60 @@ mod tests {
     fn malformed_json_is_rejected() {
         assert!(Repro::from_json("{}").is_err());
         assert!(Repro::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn grad_fields_roundtrip_and_forward_files_stay_unchanged() {
+        // A gradient repro preserves the full sweep point through JSON.
+        let g = grad_sample();
+        let back = Repro::from_json(&g.to_json()).unwrap();
+        assert_eq!(g, back);
+        // A fault-free spec omits the `fault` key and still roundtrips.
+        let mut no_fault = grad_sample();
+        no_fault.grad.as_mut().unwrap().fault = None;
+        assert!(!no_fault.to_json().contains("\"fault\""));
+        assert_eq!(Repro::from_json(&no_fault.to_json()).unwrap(), no_fault);
+        // Forward repros never mention gradient keys (the file format is
+        // unchanged for pre-gradient consumers), and files from before the
+        // gradient sweep parse with `grad: None`.
+        let f = sample();
+        let json = f.to_json();
+        assert!(!json.contains("\"grad\"") && !json.contains("\"tol_rel\""));
+        assert_eq!(Repro::from_json(&json).unwrap().grad, None);
+        // A malformed grad object is rejected, not silently dropped.
+        let bad = g.to_json().replace("opt-then-grad", "sideways");
+        assert!(Repro::from_json(&bad).is_err());
+    }
+
+    #[test]
+    fn infinite_error_repros_roundtrip() {
+        // Execution-failure divergences record `max_abs_err: inf`; the file
+        // must stay valid JSON and parse back to infinity (found by the
+        // gradient sweep: a backend execution error produced an unparseable
+        // repro).
+        let mut r = sample();
+        r.max_abs_err = f64::INFINITY;
+        let json = r.to_json();
+        let back = Repro::from_json(&json).unwrap();
+        assert_eq!(back.max_abs_err, f64::INFINITY);
+        assert_eq!(back, r);
+        r.max_abs_err = f64::NAN;
+        let back = Repro::from_json(&r.to_json()).unwrap();
+        assert!(back.max_abs_err.is_nan());
+    }
+
+    #[test]
+    fn grad_repro_filename_encodes_the_sweep_point() {
+        let dir = std::env::temp_dir().join(format!("ftconf-gradrepro-{}", std::process::id()));
+        let g = grad_sample();
+        let path = g.write(&dir).unwrap();
+        let name = path.file_name().unwrap().to_string_lossy().to_string();
+        assert!(
+            name.contains("grad-all-t17-opt-then-grad-drop-tape-version-bump"),
+            "{name}"
+        );
+        assert_eq!(Repro::from_json(&std::fs::read_to_string(&path).unwrap()).unwrap(), g);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -7,10 +7,14 @@ use crate::ops::ScheduleOp;
 ///
 /// Two phases, both deterministic:
 ///
-/// 1. **Minimal failing prefix** — scan prefixes shortest-first and keep the
-///    first one that fails. (A linear scan, not a binary search: failure is
-///    not monotone in prefix length, because a later op can rewrite the tree
-///    under an earlier one.)
+/// 1. **Minimal failing prefix** — scan prefixes shortest-first, starting
+///    at the *empty* trace, and keep the first one that fails. A failure
+///    that does not depend on the schedule at all (e.g. a miscompiling
+///    code transform, as the AD fault-injection tests exercise) must
+///    shrink to the empty trace, not to one arbitrary surviving op. (A
+///    linear scan, not a binary search: failure is not monotone in prefix
+///    length, because a later op can rewrite the tree under an earlier
+///    one.)
 /// 2. **Greedy op removal** — try deleting each remaining op (last first,
 ///    so positional loop indices of earlier ops stay meaningful as long as
 ///    possible); keep a deletion whenever the shorter trace still fails.
@@ -23,7 +27,7 @@ where
     F: Fn(&[ScheduleOp]) -> bool,
 {
     let mut cur: Option<Vec<ScheduleOp>> = None;
-    for p in 1..=trace.len() {
+    for p in 0..=trace.len() {
         if fails(&trace[..p]) {
             cur = Some(trace[..p].to_vec());
             break;
@@ -33,7 +37,7 @@ where
         return trace.to_vec();
     };
     let mut i = 0;
-    while i < cur.len() && cur.len() > 1 {
+    while i < cur.len() {
         let at = cur.len() - 1 - i;
         let mut cand = cur.clone();
         cand.remove(at);
@@ -81,9 +85,20 @@ mod tests {
 
     #[test]
     fn prefix_phase_is_shortest_first() {
-        // Every prefix fails; the minimal one is length 1.
+        // Every non-empty prefix fails; the minimal one is length 1.
         let trace = vec![op(9), op(1), op(2)];
         let min = minimize(&trace, |t| !t.is_empty());
         assert_eq!(min, vec![op(9)]);
+    }
+
+    #[test]
+    fn schedule_independent_failure_shrinks_to_the_empty_trace() {
+        // A bug that reproduces with no schedule ops at all (e.g. an
+        // injected AD miscompilation) must minimize to the empty trace —
+        // previously the shrinker never tried it and kept one arbitrary
+        // op.
+        let trace = vec![op(1), op(2), op(3)];
+        let min = minimize(&trace, |_| true);
+        assert!(min.is_empty(), "{min:?}");
     }
 }

@@ -122,6 +122,33 @@ impl Workload {
             input_seed: seed,
         }
     }
+
+    /// Plain-Rust forward oracle over arbitrary `inputs` (same test-scale
+    /// `Params::small()` the [`Workload::build`] case uses). Exists so the
+    /// gradient sweep can finite-difference through the oracle.
+    pub fn oracle_value(&self, inputs: &Inputs) -> TensorVal {
+        match self {
+            Workload::Subdivnet => subdivnet::reference(&subdivnet::Params::small(), inputs),
+            Workload::Longformer => longformer::reference(&longformer::Params::small(), inputs),
+            Workload::Softras => softras::reference(&softras::Params::small(), inputs),
+            Workload::Gat => gat::reference(&gat::Params::small(), inputs),
+        }
+    }
+
+    /// Plain-Rust oracle gradient: `{x}.grad` for every differentiable
+    /// input, given the seed `∂L/∂output`.
+    pub fn oracle_grad(&self, inputs: &Inputs, seed: &TensorVal) -> Inputs {
+        match self {
+            Workload::Subdivnet => {
+                subdivnet::reference_grad(&subdivnet::Params::small(), inputs, seed)
+            }
+            Workload::Longformer => {
+                longformer::reference_grad(&longformer::Params::small(), inputs, seed)
+            }
+            Workload::Softras => softras::reference_grad(&softras::Params::small(), inputs, seed),
+            Workload::Gat => gat::reference_grad(&gat::Params::small(), inputs, seed),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -241,6 +241,57 @@ pub fn rename_var_stmt(s: Stmt, from: &str, to: &str) -> Stmt {
     RenameVar { from, to }.mutate_stmt(s)
 }
 
+/// Alpha-rename `VarDef`s so every definition in `func` has a name distinct
+/// from all other definitions *and* from every parameter.
+///
+/// Shadowing is legal IR — the interpreter and the codegen backends scope
+/// names correctly — but whole-function analyses that key per-tensor facts
+/// by name (notably autodiff's tape materialization) silently merge
+/// distinct tensors when names repeat. The schedule `cache` primitive
+/// produces exactly that: caching the same parameter twice yields two
+/// `VarDef`s both named `{param}.cache`.
+///
+/// The pass is top-down: a colliding definition is renamed together with
+/// its whole subtree (an inner shadowing def of the same name is renamed
+/// identically, preserving resolution, and then gets its own fresh name
+/// when the walk reaches it).
+pub fn uniquify_def_names(func: &crate::Func) -> crate::Func {
+    struct Uniquify {
+        used: std::collections::HashSet<String>,
+    }
+    impl Mutator for Uniquify {
+        fn mutate_stmt(&mut self, s: Stmt) -> Stmt {
+            let s = if let StmtKind::VarDef { name, .. } = &s.kind {
+                if self.used.insert(name.clone()) {
+                    s
+                } else {
+                    let base = name.clone();
+                    let fresh = (1..)
+                        .map(|k| format!("{base}.{k}"))
+                        .find(|c| !self.used.contains(c))
+                        .expect("unbounded candidate space");
+                    self.used.insert(fresh.clone());
+                    rename_var_stmt(s, &base, &fresh)
+                }
+            } else {
+                s
+            };
+            mutate_stmt_walk(self, s)
+        }
+    }
+    let mut m = Uniquify {
+        used: func
+            .params
+            .iter()
+            .map(|p| p.name.clone())
+            .chain(func.size_params.iter().cloned())
+            .collect(),
+    };
+    let mut out = func.clone();
+    out.body = m.mutate_stmt(out.body);
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -273,6 +324,105 @@ mod tests {
             }
             _ => unreachable!(),
         }
+    }
+
+    #[test]
+    fn uniquify_renames_sibling_defs_and_preserves_shadowing() {
+        use crate::func::{Func, Param};
+        use crate::types::{AccessType, DataType, MemType};
+        // Two sibling defs named "Q.cache" (the double-`cache` shape), the
+        // second one containing a *nested* shadowing "Q.cache" as well.
+        let mk = |body: Stmt| {
+            var_def(
+                "Q.cache",
+                [4],
+                DataType::F32,
+                MemType::CpuStack,
+                body,
+            )
+        };
+        let first = mk(store("Q.cache", [0], load("Q", [0])));
+        let second = mk(block([
+            store("Q.cache", [1], load("Q", [1])),
+            mk(store("Q.cache", [2], 0.0f32)),
+        ]));
+        let f = Func {
+            name: "f".to_string(),
+            params: vec![Param {
+                name: "Q".to_string(),
+                shape: vec![Expr::IntConst(4)],
+                dtype: DataType::F32,
+                mtype: MemType::CpuHeap,
+                atype: AccessType::Input,
+            }],
+            size_params: vec![],
+            body: block([first, second]),
+        };
+        let out = uniquify_def_names(&f);
+        // All def names distinct, and none collide with the parameter.
+        let mut defs = Vec::new();
+        out.body.walk(&mut |s| {
+            if let StmtKind::VarDef { name, .. } = &s.kind {
+                defs.push(name.clone());
+            }
+        });
+        assert_eq!(defs.len(), 3);
+        let uniq: std::collections::HashSet<_> = defs.iter().collect();
+        assert_eq!(uniq.len(), 3, "{defs:?}");
+        assert!(!defs.contains(&"Q".to_string()));
+        // Every Store targets the name of its innermost enclosing def:
+        // collect (def under which each store sits → store var) pairs.
+        fn check(s: &Stmt, encl: Option<&str>) {
+            match &s.kind {
+                StmtKind::VarDef { name, body, .. } => check(body, Some(name)),
+                StmtKind::Block(ss) => ss.iter().for_each(|st| check(st, encl)),
+                StmtKind::Store { var, .. } => assert_eq!(Some(var.as_str()), encl),
+                _ => {}
+            }
+        }
+        check(&out.body, None);
+        // Loads of the untouched parameter survive by name.
+        let mut loads_q = 0;
+        out.body.walk(&mut |s| {
+            if let StmtKind::Store { value, .. } = &s.kind {
+                if matches!(value, Expr::Load { var, .. } if var == "Q") {
+                    loads_q += 1;
+                }
+            }
+        });
+        assert_eq!(loads_q, 2);
+    }
+
+    #[test]
+    fn uniquify_is_identity_on_distinct_names() {
+        use crate::func::{Func, Param};
+        use crate::types::{AccessType, DataType, MemType};
+        let f = Func {
+            name: "f".to_string(),
+            params: vec![Param {
+                name: "x".to_string(),
+                shape: vec![Expr::IntConst(2)],
+                dtype: DataType::F32,
+                mtype: MemType::CpuHeap,
+                atype: AccessType::Input,
+            }],
+            size_params: vec![],
+            body: var_def(
+                "a",
+                [2],
+                DataType::F32,
+                MemType::CpuStack,
+                var_def(
+                    "b",
+                    [2],
+                    DataType::F32,
+                    MemType::CpuStack,
+                    store("b", [0], load("a", [0])),
+                ),
+            ),
+        };
+        let out = uniquify_def_names(&f);
+        assert_eq!(out, f);
     }
 
     #[test]

@@ -203,9 +203,11 @@ enum Instr {
 }
 
 /// Marker: the program uses a construct the static compiler cannot type;
-/// the caller falls back to the interpreter.
+/// the caller falls back to the interpreter. Carries a stable machine-
+/// readable reason naming the construct (reported as the `reason` arg of
+/// the `vm.fallback` trace span — no fallback is silent).
 #[derive(Debug, Clone, Copy)]
-pub(crate) struct Unsupported;
+pub(crate) struct Unsupported(pub(crate) &'static str);
 
 /// A parameter binding site.
 #[derive(Debug, Clone)]
@@ -1087,7 +1089,7 @@ impl Compiler {
                 if tt != te {
                     // Arms of different runtime scalar kinds cannot be
                     // statically typed; the whole program falls back.
-                    return Err(Unsupported);
+                    return Err(Unsupported("select.mixed_arm_types"));
                 }
                 self.emit(Instr::Mov { dst, src: re });
                 self.free_to(mark2);
@@ -3456,14 +3458,25 @@ impl VmRuntime {
         });
         let instrumented = self.mode == VmMode::Instrumented;
         let prog = if dtype_mismatch {
-            None
+            Err(Unsupported("input.dtype_mismatch"))
         } else {
-            compile_program(&compiled, instrumented).ok()
+            compile_program(&compiled, instrumented)
         };
-        let Some(prog) = prog else {
-            let mut rt = Runtime::with_config(self.config.clone());
-            rt.set_sink(self.sink.clone());
-            return rt.run(func, inputs, sizes);
+        let prog = match prog {
+            Ok(p) => p,
+            Err(Unsupported(reason)) => {
+                // Structured fallback: name the construct that kept the
+                // program off the VM, then run the interpreter. Never
+                // silent — conformance asserts on this span.
+                if let Some(sink) = &self.sink {
+                    let mut sp = sink.span_on(TRACK_RUNTIME, "vm.fallback", "vm.fallback");
+                    sp.arg("reason", reason);
+                    sp.arg("target", &func.name);
+                }
+                let mut rt = Runtime::with_config(self.config.clone());
+                rt.set_sink(self.sink.clone());
+                return rt.run(func, inputs, sizes);
+            }
         };
         let mut span = self
             .sink
@@ -3830,10 +3843,60 @@ mod tests {
         vm.set_sink(Some(sink.clone()));
         let rv = vm.run(&f, &ins, &szs).expect("vm (fallback) ok");
         assert_eq!(ri.outputs, rv.outputs);
-        let names: Vec<String> = sink.events().into_iter().map(|e| e.name).collect();
+        let events = sink.events();
+        let fb = events
+            .iter()
+            .find(|e| e.name == "vm.fallback")
+            .unwrap_or_else(|| {
+                panic!(
+                    "expected a structured vm.fallback span, got {:?}",
+                    events.iter().map(|e| &e.name).collect::<Vec<_>>()
+                )
+            });
+        assert!(
+            fb.args
+                .iter()
+                .any(|(k, v)| k == "reason" && v == "select.mixed_arm_types"),
+            "fallback span must name the construct, got args {:?}",
+            fb.args
+        );
+        let names: Vec<String> = events.iter().map(|e| e.name.clone()).collect();
         assert!(
             names.iter().any(|n| n == "interp mixsel"),
             "expected interpreter fallback span, got {names:?}"
+        );
+    }
+
+    #[test]
+    fn dtype_mismatch_fallback_names_its_reason() {
+        // Inputs whose dtype differs from the declaration take the
+        // interpreter path with a named reason — not silently.
+        let f = Func::new("mismatch")
+            .param("x", [4], DataType::F32, AccessType::Input)
+            .param("y", [4], DataType::F32, AccessType::Output)
+            .body(for_(
+                "i",
+                0,
+                4,
+                store("y", [var("i")], load("x", [var("i")]) * 2.0f64),
+            ));
+        let x = TensorVal::from_f64(&[4], vec![1.0, 2.0, 3.0, 4.0]);
+        let (ins, szs) = maps(&[("x", x)], &[]);
+        let sink = TraceSink::new();
+        let mut vm = VmRuntime::new();
+        vm.set_sink(Some(sink.clone()));
+        vm.run(&f, &ins, &szs).expect("fallback run ok");
+        let events = sink.events();
+        assert!(
+            events.iter().any(|e| e.name == "vm.fallback"
+                && e.args
+                    .iter()
+                    .any(|(k, v)| k == "reason" && v == "input.dtype_mismatch")),
+            "expected vm.fallback with input.dtype_mismatch, got {:?}",
+            events
+                .iter()
+                .map(|e| (&e.name, &e.args))
+                .collect::<Vec<_>>()
         );
     }
 

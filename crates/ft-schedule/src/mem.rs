@@ -1,7 +1,7 @@
 //! Memory-hierarchy transformations: `cache`, `cache_reduce`, `set_mtype`
 //! (paper Table 1, "Memory Hierarchy Trans."; bound inference per Fig. 14).
 
-use crate::util::replace_by_id;
+use crate::util::{bound_names, fresh_name, replace_by_id};
 use crate::{Schedule, ScheduleError};
 use ft_analysis::bounds::{symbolic_bounds, BoundsCtx, SymBounds};
 use ft_analysis::to_linexpr;
@@ -398,9 +398,16 @@ impl Schedule {
         let dtype = self
             .tensor_dtype(var)
             .ok_or_else(|| ScheduleError::NotFound(format!("tensor `{var}`")))?;
-        let cache_name = format!("{var}.cache");
+        // Fresh names: caching `var` twice with overlapping scopes would
+        // otherwise shadow the first `{var}.cache` def and capture its fill
+        // iterators, silently corrupting the copy (found by the gradient
+        // conformance sweep: double-`cache` of longformer's `Q`).
+        let mut used = bound_names(self.func());
+        let cache_name = fresh_name(&format!("{var}.cache"), &mut used);
         let (offsets, extents) = self.clamped_region(&scope, var, &dims)?;
-        let iters: Vec<String> = (0..dims.len()).map(|d| format!("{var}.c{d}")).collect();
+        let iters: Vec<String> = (0..dims.len())
+            .map(|d| fresh_name(&format!("{var}.c{d}"), &mut used))
+            .collect();
 
         let fill = uses.reads.then(|| {
             build_copy_nest(&iters, &extents, |ivs| {
@@ -510,9 +517,13 @@ impl Schedule {
         let dtype = self
             .tensor_dtype(var)
             .ok_or_else(|| ScheduleError::NotFound(format!("tensor `{var}`")))?;
-        let cache_name = format!("{var}.cache_red");
+        // Fresh names, for the same reason as in `cache_impl`.
+        let mut used = bound_names(self.func());
+        let cache_name = fresh_name(&format!("{var}.cache_red"), &mut used);
         let (offsets, extents) = self.clamped_region(&scope, var, &dims)?;
-        let iters: Vec<String> = (0..dims.len()).map(|d| format!("{var}.r{d}")).collect();
+        let iters: Vec<String> = (0..dims.len())
+            .map(|d| fresh_name(&format!("{var}.r{d}"), &mut used))
+            .collect();
         let init = build_copy_nest(&iters, &extents, |ivs| {
             ft_ir::builder::store(cache_name.clone(), ivs.to_vec(), op.identity(dtype))
         });

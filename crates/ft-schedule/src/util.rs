@@ -141,6 +141,42 @@ pub fn inner_loop_iters(s: &Stmt) -> Vec<String> {
 }
 
 
+/// Every name bound anywhere in `func`: parameters, size parameters, local
+/// tensor definitions, and loop iterators. Primitives that introduce new
+/// bindings (e.g. `cache`) must pick names outside this set — re-applying a
+/// primitive to the same tensor would otherwise emit a second def/iterator
+/// with the first one's name, and the copy emitted by the second application
+/// can end up shadowed by (or capturing) the first.
+pub fn bound_names(func: &ft_ir::Func) -> std::collections::HashSet<String> {
+    let mut used: std::collections::HashSet<String> =
+        func.params.iter().map(|p| p.name.clone()).collect();
+    used.extend(func.size_params.iter().cloned());
+    func.body.walk(&mut |s| match &s.kind {
+        StmtKind::VarDef { name, .. } => {
+            used.insert(name.clone());
+        }
+        StmtKind::For { iter, .. } => {
+            used.insert(iter.clone());
+        }
+        _ => {}
+    });
+    used
+}
+
+/// Pick `base` if unused, else `base.1`, `base.2`, …; reserves the result.
+pub fn fresh_name(base: &str, used: &mut std::collections::HashSet<String>) -> String {
+    let name = if used.contains(base) {
+        (1..)
+            .map(|k| format!("{base}.{k}"))
+            .find(|c| !used.contains(c))
+            .expect("unbounded candidate space")
+    } else {
+        base.to_string()
+    };
+    used.insert(name.clone());
+    name
+}
+
 /// Deep-copy a statement with fresh ids (duplicated sub-trees must not share
 /// identities, or later schedules would resolve and rewrite ambiguously).
 pub fn refresh_ids(s: &Stmt) -> Stmt {

@@ -98,7 +98,12 @@ impl fmt::Display for JsonVal {
             JsonVal::Null => write!(f, "null"),
             JsonVal::Bool(b) => write!(f, "{b}"),
             JsonVal::Num(n) => {
-                if n.fract() == 0.0 && n.abs() < 9.0e15 {
+                if !n.is_finite() {
+                    // JSON has no Infinity/NaN tokens; `null` keeps the
+                    // document parseable (callers needing the distinction
+                    // encode non-finite values as strings).
+                    write!(f, "null")
+                } else if n.fract() == 0.0 && n.abs() < 9.0e15 {
                     write!(f, "{}", *n as i64)
                 } else {
                     write!(f, "{n:e}")
@@ -290,6 +295,17 @@ mod tests {
         let s = v.to_string();
         let back = JsonVal::parse(&s).unwrap();
         assert_eq!(v, back);
+    }
+
+    #[test]
+    fn non_finite_numbers_emit_valid_json() {
+        // A bare `inf`/`NaN` token would make the whole document
+        // unparseable; non-finite numbers degrade to `null`.
+        for v in [f64::INFINITY, f64::NEG_INFINITY, f64::NAN] {
+            let doc = JsonVal::Obj(vec![("err".to_string(), JsonVal::Num(v))]).to_string();
+            let back = JsonVal::parse(&doc).unwrap();
+            assert_eq!(back.get("err"), Some(&JsonVal::Null), "{doc}");
+        }
     }
 
     #[test]

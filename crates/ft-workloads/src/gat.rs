@@ -126,6 +126,70 @@ pub fn reference(p: &Params, inputs: &Inputs) -> TensorVal {
     y
 }
 
+/// Plain-Rust oracle gradients `∂L/∂h`, `∂L/∂el`, `∂L/∂er` given
+/// `seed = ∂L/∂y`.
+///
+/// Per node `i`, with edge scores `s_j = el[i] + er[colidx[j]]` and
+/// `a = softmax(s)` over the CSR row: writing
+/// `b_j = Σ_c seed[i,c]·h[colidx[j],c]` and `ā = Σ_j a_j·b_j`,
+///
+/// * `∂L/∂h[colidx[j],c] += a_j · seed[i,c]`
+/// * `∂s_j = a_j · (b_j − ā)`
+/// * `∂L/∂el[i] += Σ_j ∂s_j`, `∂L/∂er[colidx[j]] += ∂s_j`.
+pub fn reference_grad(p: &Params, inputs: &Inputs, seed: &TensorVal) -> Inputs {
+    let (h, el, er) = (&inputs["h"], &inputs["el"], &inputs["er"]);
+    let (rowptr, colidx) = (&inputs["rowptr"], &inputs["colidx"]);
+    let (n, f) = (p.n_nodes, p.feat_len);
+    let mut dh = vec![0.0f64; n * f];
+    let mut del = vec![0.0f64; n];
+    let mut der = vec![0.0f64; n];
+    for (i, del_i) in del.iter_mut().enumerate() {
+        let lo = rowptr.get_flat(i).as_i64() as usize;
+        let hi = rowptr.get_flat(i + 1).as_i64() as usize;
+        let scores: Vec<f64> = (lo..hi)
+            .map(|e| {
+                let j = colidx.get_flat(e).as_i64() as usize;
+                el.get_flat(i).as_f64() + er.get_flat(j).as_f64()
+            })
+            .collect();
+        let m = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let den: f64 = scores.iter().map(|s| (s - m).exp()).sum();
+        let attn: Vec<f64> = scores.iter().map(|s| (s - m).exp() / den).collect();
+        let b: Vec<f64> = (lo..hi)
+            .map(|e| {
+                let j = colidx.get_flat(e).as_i64() as usize;
+                (0..f)
+                    .map(|c| seed.get_flat(i * f + c).as_f64() * h.get_flat(j * f + c).as_f64())
+                    .sum()
+            })
+            .collect();
+        let abar: f64 = attn.iter().zip(&b).map(|(a, b)| a * b).sum();
+        for (k, e) in (lo..hi).enumerate() {
+            let j = colidx.get_flat(e).as_i64() as usize;
+            for c in 0..f {
+                dh[j * f + c] += attn[k] * seed.get_flat(i * f + c).as_f64();
+            }
+            let ds = attn[k] * (b[k] - abar);
+            *del_i += ds;
+            der[j] += ds;
+        }
+    }
+    let mut m = Inputs::new();
+    m.insert(
+        "h.grad".to_string(),
+        TensorVal::from_f32(&[n, f], dh.into_iter().map(|x| x as f32).collect()),
+    );
+    m.insert(
+        "el.grad".to_string(),
+        TensorVal::from_f32(&[n], del.into_iter().map(|x| x as f32).collect()),
+    );
+    m.insert(
+        "er.grad".to_string(),
+        TensorVal::from_f32(&[n], der.into_iter().map(|x| x as f32).collect()),
+    );
+    m
+}
+
 /// DGL-style implementation: edge gathers, segment softmax, and a weighted
 /// segment sum — dedicated sparse kernels, each materializing edge-sized
 /// intermediates (forward only, as in the paper's evaluation).

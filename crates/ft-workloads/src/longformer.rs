@@ -128,6 +128,64 @@ pub fn reference(p: &Params, inputs: &Inputs) -> TensorVal {
     y
 }
 
+/// Plain-Rust oracle gradients `∂L/∂Q`, `∂L/∂K`, `∂L/∂V` given
+/// `seed = ∂L/∂y`.
+///
+/// Per row `j`, with window scores `s_t = Q[j]·K[t]` and attention
+/// `a = softmax(s)` (the max-shift cancels analytically): writing
+/// `b_t = Σ_c seed[j,c]·V[t,c]` and `ā = Σ_t a_t·b_t`,
+///
+/// * `∂L/∂V[t,c] += a_t · seed[j,c]`
+/// * `∂s_t = a_t · (b_t − ā)` (softmax Jacobian)
+/// * `∂L/∂Q[j,p] += Σ_t ∂s_t · K[t,p]`, `∂L/∂K[t,p] += ∂s_t · Q[j,p]`.
+pub fn reference_grad(p: &Params, inputs: &Inputs, seed: &TensorVal) -> Inputs {
+    let (q, k, v) = (&inputs["Q"], &inputs["K"], &inputs["V"]);
+    let (n, f, w) = (p.seq_len, p.feat_len, p.w as i64);
+    let mut dq = vec![0.0f64; n * f];
+    let mut dk = vec![0.0f64; n * f];
+    let mut dv = vec![0.0f64; n * f];
+    for j in 0..n {
+        let lo = (j as i64 - w).max(0) as usize;
+        let hi = ((j as i64 + w + 1).min(n as i64)) as usize;
+        let scores: Vec<f64> = (lo..hi)
+            .map(|t| {
+                (0..f)
+                    .map(|c| q.get_flat(j * f + c).as_f64() * k.get_flat(t * f + c).as_f64())
+                    .sum()
+            })
+            .collect();
+        let m = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let den: f64 = scores.iter().map(|s| (s - m).exp()).sum();
+        let attn: Vec<f64> = scores.iter().map(|s| (s - m).exp() / den).collect();
+        let b: Vec<f64> = (lo..hi)
+            .map(|t| {
+                (0..f)
+                    .map(|c| seed.get_flat(j * f + c).as_f64() * v.get_flat(t * f + c).as_f64())
+                    .sum()
+            })
+            .collect();
+        let abar: f64 = attn.iter().zip(&b).map(|(a, b)| a * b).sum();
+        for (idx, t) in (lo..hi).enumerate() {
+            for c in 0..f {
+                dv[t * f + c] += attn[idx] * seed.get_flat(j * f + c).as_f64();
+            }
+            let ds = attn[idx] * (b[idx] - abar);
+            for c in 0..f {
+                dq[j * f + c] += ds * k.get_flat(t * f + c).as_f64();
+                dk[t * f + c] += ds * q.get_flat(j * f + c).as_f64();
+            }
+        }
+    }
+    let to_val = |v: Vec<f64>| {
+        TensorVal::from_f32(&[n, f], v.into_iter().map(|x| x as f32).collect())
+    };
+    let mut m = Inputs::new();
+    m.insert("Q.grad".to_string(), to_val(dq));
+    m.insert("K.grad".to_string(), to_val(dk));
+    m.insert("V.grad".to_string(), to_val(dv));
+    m
+}
+
 fn window_mask(p: &Params) -> TensorVal {
     let l = 2 * p.w + 1;
     let mut mask = vec![0.0f32; p.seq_len * l];

@@ -149,6 +149,69 @@ pub fn reference(p: &Params, inputs: &Inputs) -> TensorVal {
     img
 }
 
+/// Plain-Rust oracle gradients `∂L/∂px`, `∂L/∂faces`, `∂L/∂col` given
+/// `seed = ∂L/∂img`.
+///
+/// Per pixel, with scores `s_f = (r² − dist²_f)/σ` and `a = softmax(s)`:
+/// writing `b_f = Σ_c seed[p,c]·col[f,c]` and `ā = Σ_f a_f·b_f`,
+///
+/// * `∂L/∂col[f,c] += a_f · seed[p,c]`
+/// * `∂s_f = a_f · (b_f − ā)`, `∂dist²_f = −∂s_f/σ`
+/// * `∂L/∂px[p,t] += ∂dist²_f · 2(px[p,t] − faces[f,t])` and the negation
+///   for `faces`.
+pub fn reference_grad(p: &Params, inputs: &Inputs, seed: &TensorVal) -> Inputs {
+    let (px, faces, col) = (&inputs["px"], &inputs["faces"], &inputs["col"]);
+    let (pp, ff, ch) = (p.pixels(), p.n_faces, p.channels);
+    let sigma = p.sigma as f64;
+    let mut dpx = vec![0.0f64; pp * 2];
+    let mut dfaces = vec![0.0f64; ff * 2];
+    let mut dcol = vec![0.0f64; ff * ch];
+    for pi in 0..pp {
+        let scores: Vec<f64> = (0..ff)
+            .map(|f| {
+                let mut d = 0.0;
+                for t in 0..2 {
+                    let diff =
+                        px.get_flat(pi * 2 + t).as_f64() - faces.get_flat(f * 2 + t).as_f64();
+                    d += diff * diff;
+                }
+                (p.r2 as f64 - d) / sigma
+            })
+            .collect();
+        let m = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let den: f64 = scores.iter().map(|s| (s - m).exp()).sum();
+        let attn: Vec<f64> = scores.iter().map(|s| (s - m).exp() / den).collect();
+        let b: Vec<f64> = (0..ff)
+            .map(|f| {
+                (0..ch)
+                    .map(|c| seed.get_flat(pi * ch + c).as_f64() * col.get_flat(f * ch + c).as_f64())
+                    .sum()
+            })
+            .collect();
+        let abar: f64 = attn.iter().zip(&b).map(|(a, b)| a * b).sum();
+        for f in 0..ff {
+            for c in 0..ch {
+                dcol[f * ch + c] += attn[f] * seed.get_flat(pi * ch + c).as_f64();
+            }
+            let ds = attn[f] * (b[f] - abar);
+            let dd2 = -ds / sigma;
+            for t in 0..2 {
+                let diff = px.get_flat(pi * 2 + t).as_f64() - faces.get_flat(f * 2 + t).as_f64();
+                dpx[pi * 2 + t] += dd2 * 2.0 * diff;
+                dfaces[f * 2 + t] -= dd2 * 2.0 * diff;
+            }
+        }
+    }
+    let to_val = |shape: &[usize], v: Vec<f64>| {
+        TensorVal::from_f32(shape, v.into_iter().map(|x| x as f32).collect())
+    };
+    let mut m = Inputs::new();
+    m.insert("px.grad".to_string(), to_val(&[pp, 2], dpx));
+    m.insert("faces.grad".to_string(), to_val(&[ff, 2], dfaces));
+    m.insert("col.grad".to_string(), to_val(&[ff, ch], dcol));
+    m
+}
+
 /// Handles to the baseline's leaf tensors.
 pub struct OpbaseHandles {
     /// Face centers handle.

@@ -103,6 +103,43 @@ pub fn reference(p: &Params, inputs: &Inputs) -> TensorVal {
     y
 }
 
+/// Plain-Rust oracle gradient: `∂L/∂e` given `seed = ∂L/∂y`.
+///
+/// `y[i,c] += |e[a,c] − e[b,c]|` with `a = adj[i,j]`, `b = adj[i,(j+1)%3]`,
+/// so each term contributes `±sign(e[a,c] − e[b,c]) · seed[i,c]` to the two
+/// endpoints (`sign(0) = 0`, matching the runtimes and the AD `Abs` rule).
+pub fn reference_grad(p: &Params, inputs: &Inputs, seed: &TensorVal) -> Inputs {
+    let e = &inputs["e"];
+    let adj = &inputs["adj"];
+    let (n, c) = (p.n_faces, p.in_feats);
+    let mut de = vec![0.0f64; n * c];
+    for i in 0..n {
+        for j in 0..3 {
+            let a = adj.get_flat(i * 3 + j).as_i64() as usize;
+            let b = adj.get_flat(i * 3 + (j + 1) % 3).as_i64() as usize;
+            for ch in 0..c {
+                let d = e.get_flat(a * c + ch).as_f64() - e.get_flat(b * c + ch).as_f64();
+                let s = if d > 0.0 {
+                    1.0
+                } else if d < 0.0 {
+                    -1.0
+                } else {
+                    0.0
+                };
+                let g = s * seed.get_flat(i * c + ch).as_f64();
+                de[a * c + ch] += g;
+                de[b * c + ch] -= g;
+            }
+        }
+    }
+    let mut m = Inputs::new();
+    m.insert(
+        "e.grad".to_string(),
+        TensorVal::from_f32(&[n, c], de.into_iter().map(|v| v as f32).collect()),
+    );
+    m
+}
+
 /// Operator-based implementation (paper Fig. 2(c)):
 /// `index_select → reshape → cat(slice, slice) → sub → abs → sum_dim`.
 ///

@@ -120,6 +120,8 @@ fn injected_dependence_bug_is_caught_and_minimized() {
         tol,
         trace: minimized,
         decision_log: Vec::new(),
+        grad: None,
+        tol_rel: None,
     };
     let dir = std::env::temp_dir().join(format!("ftconf-injected-{}", std::process::id()));
     let path = repro.write(&dir).unwrap();
@@ -148,6 +150,8 @@ fn repro_files_replay() {
             ScheduleOp::Parallelize { loop_idx: 0 },
         ],
         decision_log: Vec::new(),
+        grad: None,
+        tol_rel: None,
     };
     let parsed = Repro::from_json(&repro.to_json()).unwrap();
     assert_eq!(parsed.replay().unwrap().map(|d| d.message), None);

@@ -118,3 +118,72 @@ fn threaded_execution_matches_sequential() {
     }
     assert!((acc0[0] - out["acc"].to_f64_vec()[0]).abs() < 1e-3);
 }
+
+#[test]
+fn double_cache_of_the_same_tensor_preserves_semantics() {
+    // Regression: `cache` always named its staging buffer `{var}.cache` and
+    // its fill iterators `{var}.c{d}`. Applying it twice to the same tensor
+    // with the second scope inside the first cache's region produced a
+    // shadowing def whose copy statements resolved against the wrong
+    // buffer, and fill iterators that captured the enclosing fill's — a
+    // silent forward miscompile (found by the gradient conformance sweep on
+    // longformer, repro
+    // `tests/repros/grad/longformer-seed29958-interp-grad-*.json`).
+    let base = freetensor::core::Program::compile(
+        r#"
+def dbl(x: f32[8] in, y: f32[8] out):
+  for i in range(8):
+    for k in range(8):
+      y[i] += x[k] * x[k]
+"#,
+        "dbl",
+    )
+    .unwrap()
+    .func()
+    .clone();
+    let run_dbl = |func: &freetensor::ir::Func| -> Vec<f64> {
+        let x = TensorVal::from_f32(&[8], (0..8).map(|i| (i as f32 * 0.7).sin()).collect());
+        let inputs: HashMap<String, TensorVal> = [("x".to_string(), x)].into_iter().collect();
+        Runtime::new()
+            .run(func, &inputs, &HashMap::new())
+            .unwrap()
+            .output("y")
+            .to_f64_vec()
+    };
+    let y0 = run_dbl(&base);
+    let mut sched = Schedule::new(base);
+    let loops = loops_of(sched.func());
+    let first = sched
+        .cache(loops[1], "x", freetensor::ir::MemType::CpuStack)
+        .expect("first cache applies");
+    // Second cache of `x`: the only remaining reads of `x` are the first
+    // cache's own fill loop, so its scope sits inside the first def.
+    let loops = loops_of(sched.func());
+    let mut second = None;
+    for l in loops {
+        if let Ok(name) = sched.cache(l, "x", freetensor::ir::MemType::CpuStack) {
+            second = Some(name);
+            break;
+        }
+    }
+    let second = second.expect("second cache applies somewhere");
+    assert_ne!(
+        first, second,
+        "re-caching the same tensor must pick a fresh buffer name"
+    );
+    // All defs and loop iterators in the scheduled program are distinct.
+    let mut names: Vec<String> = Vec::new();
+    sched.func().body.walk(&mut |s| match &s.kind {
+        StmtKind::VarDef { name, .. } => names.push(name.clone()),
+        StmtKind::For { iter, .. } => names.push(iter.clone()),
+        _ => {}
+    });
+    let mut deduped = names.clone();
+    deduped.sort();
+    deduped.dedup();
+    assert_eq!(deduped.len(), names.len(), "colliding binders: {names:?}");
+    let y1 = run_dbl(sched.func());
+    for (a, b) in y0.iter().zip(&y1) {
+        assert!((a - b).abs() < 1e-4, "y diverged\n{}", sched.func());
+    }
+}

@@ -244,3 +244,95 @@ fn vm_engages_simd_and_privatized_reductions_bit_exactly() {
         "histogram region was not parallelized: {ds:?}"
     );
 }
+
+/// Directed grad-program schedules: differentiate every workload under both
+/// tape policies, aggressively schedule the resulting *gradient* function,
+/// and diff the fast VM bit-exactly against the interpreter. In fast mode
+/// every backward-pass program must either lower onto the VM or emit a
+/// structured `vm.fallback` span naming the reason — never silently drop to
+/// the interpreter.
+#[test]
+fn vm_matches_interp_on_directed_grad_program_schedules() {
+    use ft_autodiff::TapePolicy;
+    use ft_conformance::grad::{build_grad_func, grad_run_inputs, ones_seed};
+    use ft_conformance::{GradOrder, GradSpec};
+
+    let sizes = HashMap::new();
+    let mut taped_programs = 0usize;
+    let mut lowering_attempts = 0usize;
+    for w in Workload::ALL {
+        let case = w.build(11);
+        for policy in [TapePolicy::All, TapePolicy::Selective] {
+            let spec = GradSpec {
+                policy,
+                recompute_threshold: 16,
+                order: GradOrder::GradThenOpt,
+                fault: None,
+            };
+            // Build once unscheduled to count the gradient function's
+            // loops, then parallelize and vectorize every one of them (the
+            // legality checker keeps what is sound) — this drives tape
+            // loads/stores through the vectorize/parallel lowering paths.
+            let (plain, _) = build_grad_func(&case.func, &[], &spec).expect("grad builds");
+            let nloops = ops::loops_of(&plain).len();
+            let mut raw = Vec::new();
+            for i in 0..nloops {
+                raw.push(ops::ScheduleOp::Parallelize { loop_idx: i });
+            }
+            for i in 0..nloops {
+                raw.push(ops::ScheduleOp::Vectorize { loop_idx: i });
+            }
+            let (func, trace) =
+                build_grad_func(&case.func, &raw, &spec).expect("scheduled grad builds");
+            taped_programs += format!("{func}").contains(".tape") as usize;
+            let seed = ones_seed(&case);
+            let inputs = grad_run_inputs(&case, &seed);
+            let ctx = format!(
+                "grad of {} ({policy:?}, {} sched ops)",
+                w.name(),
+                trace.len()
+            );
+
+            let ri = Runtime::new()
+                .run(&func, &inputs, &sizes)
+                .unwrap_or_else(|e| panic!("interp failed on {ctx}: {e:?}"));
+            let sink = ft_trace::TraceSink::new();
+            let mut vm = VmRuntime::new();
+            vm.set_sink(Some(sink.clone()));
+            let rf = vm
+                .run(&func, &inputs, &sizes)
+                .unwrap_or_else(|e| panic!("fast vm failed on {ctx}: {e:?}"));
+            assert_eq!(ri.outputs, rf.outputs, "fast-mode outputs differ on {ctx}");
+
+            let events = sink.events();
+            let lowered = events.iter().filter(|e| e.cat == "vm.lower").count();
+            let fallbacks: Vec<String> = events
+                .iter()
+                .filter(|e| e.name == "vm.fallback")
+                .map(|e| {
+                    let reason = &e
+                        .args
+                        .iter()
+                        .find(|(k, _)| k == "reason")
+                        .unwrap_or_else(|| panic!("vm.fallback without a reason on {ctx}"))
+                        .1;
+                    assert!(!reason.is_empty(), "empty fallback reason on {ctx}");
+                    reason.clone()
+                })
+                .collect();
+            assert!(
+                lowered > 0 || !fallbacks.is_empty(),
+                "backward pass neither lowered nor named a fallback on {ctx}"
+            );
+            lowering_attempts += lowered;
+        }
+    }
+    assert!(
+        taped_programs > 0,
+        "no gradient program carried a tape — the directed corpus is vacuous"
+    );
+    assert!(
+        lowering_attempts > 0,
+        "no backward-pass statement reached the VM lowering paths"
+    );
+}
