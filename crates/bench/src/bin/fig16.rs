@@ -62,7 +62,9 @@ fn main() {
     println!("# wall ms is measured on the fast-mode bytecode VM for FreeTensor");
     println!("# systems and on native kernels for the operator baseline.");
     println!("# `VM speedup` = instrumented-interpreter wall / fast-VM wall for");
-    println!("# the FreeTensor (optimized) column.");
+    println!("# the FreeTensor (optimized) column. On CPU rows, `compiled` is the");
+    println!("# native compiled engine's wall time (C -> cc -> shared object");
+    println!("# called in-process; compile time amortized by the artifact cache).");
     println!(
         "{:<12} {:<5} {:>24} {:>24} {:>24}",
         "workload",
@@ -85,6 +87,7 @@ fn main() {
             let mut best_baseline = f64::INFINITY;
             let mut ft_cycles = f64::NAN;
             let mut ft_vm_speedup = None;
+            let mut ft_compiled = None;
             for sys in systems {
                 let r = if grad {
                     run_grad_capped(&prep, sys, dev, TapePolicy::Selective, capacity)
@@ -103,6 +106,7 @@ fn main() {
                         System::FtOptimized => {
                             ft_cycles = r.cycles;
                             ft_vm_speedup = r.vm_speedup();
+                            ft_compiled = r.compiled_wall_ms;
                         }
                         _ => best_baseline = best_baseline.min(r.cycles),
                     }
@@ -116,15 +120,18 @@ fn main() {
                 format!("{:.2}x", best_baseline / ft_cycles)
             };
             let vm_col = ft_vm_speedup.map_or_else(|| "-".to_string(), |s| format!("{s:.1}x"));
+            let compiled_col =
+                ft_compiled.map_or_else(|| "-".to_string(), |ms| format!("{ms:.1}ms"));
             println!(
-                "{:<12} {:<5} {:>24} {:>24} {:>24}   speedup vs best other: {:<8} VM speedup: {}",
+                "{:<12} {:<5} {:>24} {:>24} {:>24}   speedup vs best other: {:<8} VM speedup: {:<6} compiled: {}",
                 w.name(),
                 dev.to_string(),
                 cells[0],
                 cells[1],
                 cells[2],
                 speedup,
-                vm_col
+                vm_col,
+                compiled_col
             );
         }
     }

@@ -13,22 +13,30 @@
 //! Criterion benches (`cargo bench`) wrap the same runners at reduced sizes.
 //!
 //! Measurement note (documented substitution): FreeTensor programs report
-//! two time axes. The hardware-independent counters and the modeled cycle
+//! three time axes. The hardware-independent counters and the modeled cycle
 //! time come from the *instrumented interpreter* — the semantic reference,
-//! which both systems charge identically — while the headline wall-clock
+//! which both systems charge identically — the headline wall-clock
 //! (`CaseResult::wall_ms`) is measured on the *fast-mode bytecode VM*
-//! (`ft_runtime::VmRuntime`), the engine a user actually runs on. The
+//! (`ft_runtime::VmRuntime`), and on CPU cases a third axis
+//! (`CaseResult::compiled_wall_ms`) is measured on the *native compiled
+//! engine* (`ft_runtime::CompiledEngine`: C → `cc` → shared object called
+//! in-process, compile time amortized away by the artifact cache). The
 //! baseline operators execute native Rust kernels, so cross-system
 //! wall-clock is still only indicative; the interp-vs-VM wall ratio
-//! ([`CaseResult::vm_speedup`]) is the within-system engine comparison.
+//! ([`CaseResult::vm_speedup`]) and the VM-vs-native ratio
+//! ([`CaseResult::compiled_speedup`]) are the within-system engine
+//! comparisons.
 
 use ft_autodiff::{GradOptions, TapePolicy};
 use ft_autoschedule::Target;
 use ft_ir::Device;
 use ft_opbase::Session;
-use ft_runtime::{DeviceConfig, PerfCounters, Runtime, TensorVal, VmRuntime};
+use ft_runtime::{
+    cc_available, CompiledEngine, DeviceConfig, PerfCounters, Runtime, TensorVal, VmRuntime,
+};
 use ft_trace::JsonVal;
 use ft_workloads::{gat, input_pairs, longformer, softras, subdivnet, Inputs};
+use std::sync::OnceLock;
 use std::time::Instant;
 
 /// Which system executes a workload.
@@ -126,6 +134,13 @@ pub struct CaseResult {
     /// produced `counters` (`None` for the operator baseline, which has no
     /// interpreter axis).
     pub interp_wall_ms: Option<f64>,
+    /// Wall-clock milliseconds of the native compiled engine
+    /// ([`ft_runtime::CompiledEngine`]): C → `cc` → shared object called
+    /// in-process. Compilation is excluded (compile-once/run-many — the
+    /// warm-up run pays it through the artifact cache). `None` on GPU
+    /// cases, the operator baseline, failures, or hosts without a C
+    /// compiler.
+    pub compiled_wall_ms: Option<f64>,
     /// Modeled execution time in cycle units.
     pub cycles: f64,
     /// Full counter set.
@@ -146,6 +161,23 @@ impl CaseResult {
             _ => None,
         }
     }
+
+    /// VM-vs-compiled wall-clock ratio (>1 means native code is faster
+    /// than the fast-mode VM), when both engines ran to completion.
+    pub fn compiled_speedup(&self) -> Option<f64> {
+        match self.compiled_wall_ms {
+            Some(cw) if self.failure.is_none() && cw > 0.0 => Some(self.wall_ms / cw),
+            _ => None,
+        }
+    }
+}
+
+/// The process-wide compiled engine used for the third time axis: one
+/// instance keeps the in-memory kernel memo warm across every case in a
+/// sweep, on top of the on-disk artifact cache.
+fn bench_compiled_engine() -> &'static CompiledEngine {
+    static ENGINE: OnceLock<CompiledEngine> = OnceLock::new();
+    ENGINE.get_or_init(CompiledEngine::new)
 }
 
 /// Workload inputs + compiled programs for one (workload, scale) pair.
@@ -334,18 +366,20 @@ fn run_forward_inner(
                 // as-is (CPU-memory naive run stands in for Julia).
                 base
             };
-            run_ft_both_engines(&prog, &input_pairs(&prep.inputs), config)
+            run_ft_both_engines(&prog, &input_pairs(&prep.inputs), config, device)
         }
     }
 }
 
-/// Run a FreeTensor program on both engines: the instrumented interpreter
-/// for counters + modeled cycles, then the fast-mode bytecode VM for the
-/// headline wall-clock.
+/// Run a FreeTensor program on every engine with a time axis: the
+/// instrumented interpreter for counters + modeled cycles, the fast-mode
+/// bytecode VM for the headline wall-clock, and — on CPU cases with a C
+/// compiler on `PATH` — the native compiled engine for the third axis.
 fn run_ft_both_engines(
     prog: &freetensor_core::Program,
     pairs: &[(&str, TensorVal)],
     config: DeviceConfig,
+    device: Device,
 ) -> CaseResult {
     let rt = Runtime::with_config(config.clone());
     let start = Instant::now();
@@ -368,10 +402,12 @@ fn run_ft_both_engines(
                     vm_result = again;
                 }
             }
+            let compiled_wall_ms = time_compiled(prog, pairs, device);
             match vm_result {
                 Ok(_) => CaseResult {
                     wall_ms,
                     interp_wall_ms: Some(interp_wall_ms),
+                    compiled_wall_ms,
                     cycles: r.counters.modeled_cycles,
                     counters: r.counters,
                     failure: None,
@@ -383,6 +419,7 @@ fn run_ft_both_engines(
                 Err(e) => CaseResult {
                     wall_ms,
                     interp_wall_ms: Some(interp_wall_ms),
+                    compiled_wall_ms,
                     cycles: r.counters.modeled_cycles,
                     counters: r.counters,
                     failure: Some(short_error(&e.to_string())),
@@ -393,12 +430,38 @@ fn run_ft_both_engines(
         Err(e) => CaseResult {
             wall_ms: interp_wall_ms,
             interp_wall_ms: Some(interp_wall_ms),
+            compiled_wall_ms: None,
             cycles: f64::NAN,
             counters: PerfCounters::default(),
             failure: Some(short_error(&e.to_string())),
             failed_stage: Some("run"),
         },
     }
+}
+
+/// Time the native compiled engine on a CPU case: one warm-up run (which
+/// pays compilation through the artifact cache on a cold start), then best
+/// of two timed runs — the same protocol as the VM axis, so the two
+/// numbers are comparable. `None` off-CPU, without a C compiler, or when
+/// the engine fails (the compiled axis is an extra measurement, not a
+/// correctness gate — conformance owns that).
+fn time_compiled(
+    prog: &freetensor_core::Program,
+    pairs: &[(&str, TensorVal)],
+    device: Device,
+) -> Option<f64> {
+    if device != Device::Cpu || !cc_available() {
+        return None;
+    }
+    let engine = bench_compiled_engine();
+    prog.run_compiled(engine, pairs, &[]).ok()?;
+    let mut best = f64::INFINITY;
+    for _ in 0..2 {
+        let start = Instant::now();
+        prog.run_compiled(engine, pairs, &[]).ok()?;
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    Some(best)
 }
 
 fn run_opbase_forward(prep: &Prepared, device: Device, config: DeviceConfig) -> CaseResult {
@@ -432,6 +495,7 @@ fn run_opbase_forward(prep: &Prepared, device: Device, config: DeviceConfig) -> 
     CaseResult {
         wall_ms,
         interp_wall_ms: None,
+        compiled_wall_ms: None,
         cycles: counters.modeled_cycles,
         counters,
         failure,
@@ -469,6 +533,7 @@ pub fn run_grad_capped(
         return CaseResult {
             wall_ms: 0.0,
             interp_wall_ms: None,
+            compiled_wall_ms: None,
             cycles: f64::NAN,
             counters: PerfCounters::default(),
             failure: Some("skipped: GAT gradients are excluded (paper §6.2)".to_string()),
@@ -531,6 +596,7 @@ pub fn run_grad_capped(
             CaseResult {
                 wall_ms,
                 interp_wall_ms: None,
+            compiled_wall_ms: None,
                 cycles: counters.modeled_cycles,
                 counters,
                 failure,
@@ -552,6 +618,7 @@ pub fn run_grad_capped(
                     return CaseResult {
                         wall_ms: grad_start.elapsed().as_secs_f64() * 1e3,
                         interp_wall_ms: None,
+            compiled_wall_ms: None,
                         cycles: f64::NAN,
                         counters: PerfCounters::default(),
                         failure: Some(short_error(&e.to_string())),
@@ -567,7 +634,7 @@ pub fn run_grad_capped(
             let grad_seed_name = format!("{}.grad", prep.output);
             let mut pairs = input_pairs(&prep.inputs);
             pairs.push((&grad_seed_name, seed.clone()));
-            run_ft_both_engines(&prog, &pairs, config)
+            run_ft_both_engines(&prog, &pairs, config, device)
         }
     }
 }
@@ -639,6 +706,14 @@ pub fn json_record(
         (
             "vm_wall_speedup".to_string(),
             r.vm_speedup().map_or(JsonVal::Null, JsonVal::Num),
+        ),
+        (
+            "compiled_wall_ms".to_string(),
+            r.compiled_wall_ms.map_or(JsonVal::Null, JsonVal::Num),
+        ),
+        (
+            "compiled_wall_speedup".to_string(),
+            r.compiled_speedup().map_or(JsonVal::Null, JsonVal::Num),
         ),
         ("cycles".to_string(), num(r.cycles)),
         ("flops".to_string(), JsonVal::Num(r.counters.flops as f64)),
@@ -787,6 +862,23 @@ mod tests {
         let ob = run_forward(&prep, System::OpBase, Device::Cpu);
         assert!(ob.interp_wall_ms.is_none());
         assert!(ob.vm_speedup().is_none());
+        assert!(ob.compiled_wall_ms.is_none());
+    }
+
+    #[test]
+    fn cpu_ft_cases_report_the_compiled_axis() {
+        // The third time axis: on CPU cases with a C compiler available,
+        // FreeTensor rows also carry the native compiled engine's wall
+        // time; GPU cases never do (the compiled engine is CPU-only).
+        let prep = prepare(Workload::SubdivNet, Scale::Small);
+        let cpu = run_forward(&prep, System::FtOptimized, Device::Cpu);
+        assert!(cpu.failure.is_none(), "{:?}", cpu.failure);
+        if cc_available() {
+            assert!(cpu.compiled_wall_ms.is_some(), "no compiled axis on CPU");
+            assert!(cpu.compiled_speedup().is_some());
+        }
+        let gpu = run_forward(&prep, System::FtOptimized, Device::Gpu);
+        assert!(gpu.compiled_wall_ms.is_none(), "compiled axis leaked to GPU");
     }
 
     #[test]

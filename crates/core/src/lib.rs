@@ -30,7 +30,9 @@
 use ft_autodiff::{AdError, GradOptions};
 use ft_autoschedule::Target;
 use ft_ir::Func;
-use ft_runtime::{RunResult, Runtime, RuntimeError, TensorVal, VmRuntime};
+use ft_runtime::{
+    CompiledEngine, ExecutionEngine, RunResult, Runtime, RuntimeError, TensorVal, VmRuntime,
+};
 use ft_trace::TraceSink;
 use std::collections::HashMap;
 
@@ -227,6 +229,54 @@ impl Program {
         }
     }
 
+    /// Execute on any [`ExecutionEngine`] — the one entry point behind
+    /// [`Program::run`]/[`Program::run_vm`]/[`Program::run_compiled`].
+    /// Sink propagation matches [`Program::run`]: if this program carries a
+    /// trace sink and `engine` has none, the run is recorded into the
+    /// program's sink.
+    ///
+    /// # Errors
+    ///
+    /// The engine's [`RuntimeError`] surface.
+    pub fn run_engine<E: ExecutionEngine + Clone>(
+        &self,
+        engine: &E,
+        inputs: &[(&str, TensorVal)],
+        sizes: &[(&str, i64)],
+    ) -> Result<RunResult, RuntimeError> {
+        let inputs: HashMap<String, TensorVal> = inputs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect();
+        let sizes: HashMap<String, i64> = sizes.iter().map(|(k, v)| (k.to_string(), *v)).collect();
+        match &self.sink {
+            Some(s) if engine.sink().is_none() => {
+                let mut e = engine.clone();
+                e.set_sink(Some(s.clone()));
+                e.run(&self.func, &inputs, &sizes)
+            }
+            _ => engine.run(&self.func, &inputs, &sizes),
+        }
+    }
+
+    /// Execute through the native compiled engine: emit C, `cc`-compile to
+    /// a cached shared object, and call it in-process (the paper's actual
+    /// execution model). Compilation happens at most once per distinct
+    /// schedule — repeat runs hit the artifact cache.
+    ///
+    /// # Errors
+    ///
+    /// See [`ft_runtime::CompiledEngine`]; toolchain failures surface as
+    /// [`RuntimeError::Native`].
+    pub fn run_compiled(
+        &self,
+        engine: &CompiledEngine,
+        inputs: &[(&str, TensorVal)],
+        sizes: &[(&str, i64)],
+    ) -> Result<RunResult, RuntimeError> {
+        self.run_engine(engine, inputs, sizes)
+    }
+
     /// Emit C99 + OpenMP source for the current schedule.
     pub fn emit_c(&self) -> String {
         ft_codegen::emit_c_traced(&self.func, self.sink.as_ref())
@@ -352,6 +402,29 @@ mod tests {
             .run_vm(&VmRuntime::new(), &[("x", x)], &[])
             .unwrap();
         assert_eq!(ri.output("y"), rv.output("y"));
+    }
+
+    #[test]
+    fn compiled_engine_matches_interpreter_end_to_end() {
+        if !ft_runtime::cc_available() {
+            eprintln!("cc unavailable; skipping");
+            return;
+        }
+        let p = Program::compile(
+            "def f(x: f32[32] in, y: f32[32] out):\n  for i in range(32):\n    y[i] = x[i] * x[i] + 1\n",
+            "f",
+        )
+        .unwrap();
+        let fast = p.optimize(&Target::cpu());
+        let x = TensorVal::from_f32(&[32], (0..32).map(|v| v as f32 * 0.25).collect());
+        let ri = fast.run(&Runtime::new(), &[("x", x.clone())], &[]).unwrap();
+        let rc = fast
+            .run_compiled(&CompiledEngine::new(), &[("x", x)], &[])
+            .unwrap();
+        // Inputs here are exactly representable and the kernel is one
+        // multiply-add per element, so f32-native arithmetic agrees with
+        // the interpreter's widen-to-f64-then-round to rounding error.
+        assert!(ri.output("y").allclose(rc.output("y"), 1e-6));
     }
 
     #[test]

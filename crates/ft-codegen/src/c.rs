@@ -3,7 +3,7 @@
 use ft_ir::{
     AccessType, BinaryOp, DataType, Expr, Func, MemType, ReduceOp, Stmt, StmtKind, UnaryOp,
 };
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt::Write as _;
 
 /// Static preamble: headers and the tiny support library every generated
@@ -50,9 +50,114 @@ enum CTy {
     Bool,
 }
 
+/// C identifiers every generated translation unit already uses (the
+/// preamble's support library) plus the C99 keywords — IR names must never
+/// mangle onto these.
+const RESERVED: &[&str] = &[
+    "ft_fdiv", "ft_fmod", "ft_sigmoid", "ft_lib_matmul", "ft_entry", "auto", "break", "case", "char",
+    "const", "continue", "default", "do", "double", "else", "enum", "extern", "float", "for",
+    "goto", "if", "inline", "int", "long", "register", "restrict", "return", "short", "signed",
+    "sizeof", "static", "struct", "switch", "typedef", "union", "unsigned", "void", "volatile",
+    "while", "bool", "true", "false", "int32_t", "int64_t", "main",
+];
+
+/// Scope-aware mapping from IR names to *distinct* C identifiers.
+///
+/// `sanitize` alone maps every non-alphanumeric character to `_`, so
+/// distinct IR names like `x.y` and `x_y` collapse onto one C identifier
+/// and silently shadow each other (the same bug class as the
+/// `{var}.cache` def collision fixed in the schedule layer). The mangler
+/// keeps a used-set per translation unit and disambiguates collisions with
+/// a numeric suffix, while a scope stack resolves IR shadowing (nested
+/// `VarDef`s reusing a name) to whichever binding is innermost.
+#[derive(Debug, Default)]
+pub struct Mangler {
+    used: HashSet<String>,
+    scopes: HashMap<String, Vec<String>>,
+}
+
+impl Mangler {
+    /// A mangler with the preamble's support identifiers and C keywords
+    /// pre-reserved.
+    pub fn new() -> Mangler {
+        Mangler {
+            used: RESERVED.iter().map(|s| s.to_string()).collect(),
+            scopes: HashMap::new(),
+        }
+    }
+
+    /// Bind an IR name in the current scope, returning its unique C
+    /// identifier (stable for the lifetime of the translation unit).
+    pub fn bind(&mut self, name: &str) -> String {
+        let base = sanitize(name);
+        let mut ident = base.clone();
+        let mut n = 1usize;
+        while self.used.contains(&ident) {
+            n += 1;
+            ident = format!("{base}_{n}");
+        }
+        self.used.insert(ident.clone());
+        self.scopes
+            .entry(name.to_string())
+            .or_default()
+            .push(ident.clone());
+        ident
+    }
+
+    /// Leave the innermost binding of `name` (its identifier stays
+    /// reserved, so a later re-binding of a colliding name cannot reuse it).
+    pub fn unbind(&mut self, name: &str) {
+        if let Some(stack) = self.scopes.get_mut(name) {
+            stack.pop();
+        }
+    }
+
+    /// The C identifier of the innermost binding of `name`. Falls back to
+    /// plain sanitization for names never bound (callers emitting
+    /// references to externally-declared identifiers).
+    pub fn resolve(&self, name: &str) -> String {
+        self.scopes
+            .get(name)
+            .and_then(|v| v.last().cloned())
+            .unwrap_or_else(|| sanitize(name))
+    }
+}
+
+/// The C identifiers a generated translation unit exposes at its ABI
+/// boundary, in declaration order — what a driver needs to call the emitted
+/// function (or wrap it in a `main`/`dlsym` entry).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CSymbols {
+    /// Identifier of the emitted function.
+    pub func: String,
+    /// One identifier per tensor parameter, in declaration order.
+    pub params: Vec<String>,
+    /// One identifier per size parameter, in declaration order.
+    pub size_params: Vec<String>,
+}
+
+/// The ABI identifiers [`emit_c`] will choose for `func` — computed by the
+/// same mangler in the same order, so drivers stay in sync with the emitted
+/// signature even when parameter names collide after sanitization.
+pub fn c_symbols(func: &Func) -> CSymbols {
+    let mut m = Mangler::new();
+    bind_signature(&mut m, func)
+}
+
+/// Bind the function name and parameters in signature order (shared between
+/// [`emit_c`] and [`c_symbols`] so both sides of the ABI agree).
+fn bind_signature(m: &mut Mangler, func: &Func) -> CSymbols {
+    CSymbols {
+        func: m.bind(&func.name),
+        params: func.params.iter().map(|p| m.bind(&p.name)).collect(),
+        size_params: func.size_params.iter().map(|sp| m.bind(sp)).collect(),
+    }
+}
+
 struct Emitter {
     dtypes: HashMap<String, DataType>,
     shapes: HashMap<String, Vec<Expr>>,
+    names: Mangler,
     out: String,
     indent: usize,
     tmp: usize,
@@ -107,7 +212,7 @@ impl Emitter {
     fn index_expr(&self, var: &str, indices: &[Expr]) -> String {
         let shape = self.shapes.get(var).cloned().unwrap_or_default();
         if indices.is_empty() {
-            return format!("{}[0]", sanitize(var));
+            return format!("{}[0]", self.names.resolve(var));
         }
         let mut s = String::new();
         for (d, idx) in indices.iter().enumerate() {
@@ -118,7 +223,7 @@ impl Emitter {
                 s = format!("({s}) * ({extent}) + ({})", self.expr(idx));
             }
         }
-        format!("{}[{s}]", sanitize(var))
+        format!("{}[{s}]", self.names.resolve(var))
     }
 
     fn expr(&self, e: &Expr) -> String {
@@ -134,7 +239,7 @@ impl Emitter {
                 }
             }
             Expr::BoolConst(v) => format!("{v}"),
-            Expr::Var(n) => sanitize(n),
+            Expr::Var(n) => self.names.resolve(n),
             Expr::Load { var, indices } => self.index_expr(var, indices),
             Expr::Unary { op, a } => {
                 let x = self.expr(a);
@@ -247,32 +352,35 @@ impl Emitter {
                 self.dtypes.insert(name.clone(), *dtype);
                 self.shapes.insert(name.clone(), shape.clone());
                 let ty = ctype(*dtype);
+                // Extents are evaluated in the enclosing scope, before the
+                // new name is bound.
                 let n = self.numel(shape);
                 let const_n: Option<i64> = shape
                     .iter()
                     .map(|e| ft_passes::const_fold_expr(e.clone()).as_int())
                     .try_fold(1i64, |a, b| b.map(|v| a * v));
+                let ident = self.names.bind(name);
                 self.line("{");
                 self.indent += 1;
                 let heap = match (mtype, const_n) {
                     (MemType::CpuStack, Some(n)) if n <= 4096 => {
-                        self.line(&format!("{ty} {}[{n}] = {{0}};", sanitize(name)));
+                        self.line(&format!("{ty} {ident}[{n}] = {{0}};"));
                         false
                     }
                     _ => {
                         self.line(&format!(
-                            "{ty}* {} = ({ty}*)calloc({n}, sizeof({ty}));",
-                            sanitize(name)
+                            "{ty}* {ident} = ({ty}*)calloc({n}, sizeof({ty}));"
                         ));
                         true
                     }
                 };
                 self.stmt(body);
                 if heap {
-                    self.line(&format!("free({});", sanitize(name)));
+                    self.line(&format!("free({ident});"));
                 }
                 self.indent -= 1;
                 self.line("}");
+                self.names.unbind(name);
             }
             StmtKind::For {
                 iter,
@@ -286,16 +394,17 @@ impl Emitter {
                 } else if property.vectorize {
                     self.line("#pragma omp simd");
                 }
-                let i = sanitize(iter);
-                self.line(&format!(
-                    "for (int64_t {i} = {}; {i} < {}; ++{i}) {{",
-                    self.expr(begin),
-                    self.expr(end)
-                ));
+                // Bounds are evaluated in the enclosing scope; the iterator
+                // is only in scope inside the loop.
+                let begin = self.expr(begin);
+                let end = self.expr(end);
+                let i = self.names.bind(iter);
+                self.line(&format!("for (int64_t {i} = {begin}; {i} < {end}; ++{i}) {{"));
                 self.indent += 1;
                 self.stmt(body);
                 self.indent -= 1;
                 self.line("}");
+                self.names.unbind(iter);
             }
             StmtKind::If {
                 cond,
@@ -345,7 +454,8 @@ impl Emitter {
                             self.line("#pragma omp critical");
                         }
                         self.tmp += 1;
-                        let t = format!("ft_r{}", self.tmp);
+                        let raw = format!("ft_r{}", self.tmp);
+                        let t = self.names.bind(&raw);
                         let f = if *op == ReduceOp::Min { "fmin" } else { "fmax" };
                         self.line("{");
                         self.indent += 1;
@@ -353,6 +463,7 @@ impl Emitter {
                         self.line(&format!("{lhs} = {f}({lhs}, {t});"));
                         self.indent -= 1;
                         self.line("}");
+                        self.names.unbind(&raw);
                     }
                 }
             }
@@ -365,9 +476,9 @@ impl Emitter {
                 if kernel == "matmul" {
                     self.line(&format!(
                         "ft_lib_matmul({}, {}, {}, {}, {}, {});",
-                        sanitize(&inputs[0]),
-                        sanitize(&inputs[1]),
-                        sanitize(&outputs[0]),
+                        self.names.resolve(&inputs[0]),
+                        self.names.resolve(&inputs[1]),
+                        self.names.resolve(&outputs[0]),
                         attrs[0],
                         attrs[1],
                         attrs[2]
@@ -395,9 +506,12 @@ fn sanitize(name: &str) -> String {
 /// Emit a complete C translation unit (preamble + one function) for a
 /// CPU-scheduled function.
 pub fn emit_c(func: &Func) -> String {
+    let mut names = Mangler::new();
+    let syms = bind_signature(&mut names, func);
     let mut em = Emitter {
         dtypes: HashMap::new(),
         shapes: HashMap::new(),
+        names,
         out: String::new(),
         indent: 0,
         tmp: 0,
@@ -407,25 +521,20 @@ pub fn emit_c(func: &Func) -> String {
         em.shapes.insert(p.name.clone(), p.shape.clone());
     }
     let mut sig: Vec<String> = Vec::new();
-    for p in &func.params {
+    for (p, ident) in func.params.iter().zip(&syms.params) {
         let c = ctype(p.dtype);
         let qual = if p.atype == AccessType::Input {
             "const "
         } else {
             ""
         };
-        sig.push(format!("{qual}{c}* {}", sanitize(&p.name)));
+        sig.push(format!("{qual}{c}* {ident}"));
     }
-    for sp in &func.size_params {
-        sig.push(format!("int64_t {}", sanitize(sp)));
+    for ident in &syms.size_params {
+        sig.push(format!("int64_t {ident}"));
     }
     let mut out = String::from(PREAMBLE);
-    let _ = writeln!(
-        out,
-        "\nvoid {}({}) {{",
-        sanitize(&func.name),
-        sig.join(", ")
-    );
+    let _ = writeln!(out, "\nvoid {}({}) {{", syms.func, sig.join(", "));
     em.indent = 1;
     em.stmt(&func.body);
     out.push_str(&em.out);
@@ -523,6 +632,68 @@ mod tests {
         let c = emit_c(&f);
         assert!(c.contains("t_cache"), "{c}");
         assert!(!c.contains("t.cache["), "{c}");
+    }
+
+    #[test]
+    fn colliding_param_names_get_distinct_identifiers() {
+        // `x.y` and `x_y` both sanitize to `x_y`; the mangler must keep
+        // them apart and `c_symbols` must agree with the emitted signature.
+        let f = Func::new("f")
+            .param("x.y", [1], DataType::F32, AccessType::Input)
+            .param("x_y", [1], DataType::F32, AccessType::Output)
+            .body(store("x_y", [0], load("x.y", [0]) + 1.0f32));
+        let syms = c_symbols(&f);
+        assert_eq!(syms.params.len(), 2);
+        assert_ne!(syms.params[0], syms.params[1], "{syms:?}");
+        let c = emit_c(&f);
+        let sig = format!(
+            "void {}(const float* {}, float* {})",
+            syms.func, syms.params[0], syms.params[1]
+        );
+        assert!(c.contains(&sig), "expected `{sig}` in:\n{c}");
+        // The store targets the second param, the load reads the first.
+        assert!(
+            c.contains(&format!(
+                "{}[0] = ({}[0] + 1.0);",
+                syms.params[1], syms.params[0]
+            )),
+            "{c}"
+        );
+    }
+
+    #[test]
+    fn local_colliding_with_param_is_suffixed() {
+        // A local IR name `t.` sanitizes to `t_`; so does a sibling `t_`
+        // param — and a local literally named `t` shadows the param. Both
+        // cases must produce distinct identifiers with stores still routed
+        // to the right buffer.
+        let f = Func::new("f")
+            .param("t", [1], DataType::F32, AccessType::Output)
+            .body(var_def(
+                "t",
+                [2],
+                DataType::F32,
+                MemType::CpuStack,
+                store("t", [0], load("t", [1])),
+            ));
+        let c = emit_c(&f);
+        assert!(c.contains("float t_2[2] = {0};"), "{c}");
+        // Inside the VarDef, `t` resolves to the inner binding.
+        assert!(c.contains("t_2[0] = t_2[1];"), "{c}");
+    }
+
+    #[test]
+    fn reserved_names_are_avoided() {
+        // A function literally named `main` must not clash with a driver's
+        // `main`, and a param named like a preamble helper must be renamed.
+        let f = Func::new("main")
+            .param("ft_fdiv", [1], DataType::F32, AccessType::Output)
+            .body(store("ft_fdiv", [0], 1.0f32));
+        let syms = c_symbols(&f);
+        assert_ne!(syms.func, "main");
+        assert_ne!(syms.params[0], "ft_fdiv");
+        let c = emit_c(&f);
+        assert!(c.contains(&format!("void {}(", syms.func)), "{c}");
     }
 
     #[test]

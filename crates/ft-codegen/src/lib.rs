@@ -18,7 +18,7 @@
 pub mod c;
 pub mod cuda;
 
-pub use c::emit_c;
+pub use c::{c_symbols, emit_c, CSymbols, Mangler};
 pub use cuda::emit_cuda;
 
 use ft_ir::Func;

@@ -1,8 +1,14 @@
 //! The execution backends a variant is pushed through.
+//!
+//! Every backend is driven through the common
+//! [`ExecutionEngine`](ft_runtime::ExecutionEngine) trait — the harness no
+//! longer special-cases how each one is invoked, only which one to
+//! construct.
 
 use ft_ir::{AccessType, Func};
-use ft_runtime::{run_threaded, run_vm, Runtime, TensorVal};
+use ft_runtime::{CompiledEngine, ExecutionEngine, Runtime, TensorVal, ThreadedEngine, VmRuntime};
 use std::collections::HashMap;
+use std::sync::OnceLock;
 
 /// Worker threads used by the thread-parallel backend.
 pub const THREADS: usize = 4;
@@ -12,14 +18,27 @@ pub const THREADS: usize = 4;
 pub enum Backend {
     /// Sequential instrumented interpreter ([`Runtime::run`]).
     Interp,
-    /// Real-thread parallel runtime ([`run_threaded`]).
+    /// Real-thread parallel runtime ([`ThreadedEngine`]).
     Threaded,
-    /// C codegen, compiled with the system compiler and executed.
+    /// C codegen, compiled with the system compiler and executed as a child
+    /// process (stdout protocol).
     Codegen,
-    /// Fast-mode bytecode VM ([`run_vm`]) — the wall-clock engine, with an
+    /// Fast-mode bytecode VM ([`VmRuntime`]) — a wall-clock engine, with an
     /// automatic interpreter fallback for statically untypable programs.
     Vm,
+    /// Native compiled engine ([`CompiledEngine`]): C → `cc` → shared
+    /// object, loaded and called in-process through the artifact cache.
+    Compiled,
 }
+
+/// All backend variants, in sweep order.
+const ALL: [Backend; 5] = [
+    Backend::Interp,
+    Backend::Threaded,
+    Backend::Codegen,
+    Backend::Vm,
+    Backend::Compiled,
+];
 
 impl Backend {
     /// Stable lower-case name (used in repro files).
@@ -29,24 +48,43 @@ impl Backend {
             Backend::Threaded => "threaded",
             Backend::Codegen => "codegen",
             Backend::Vm => "vm",
+            Backend::Compiled => "compiled",
         }
     }
 
     /// Inverse of [`Backend::name`].
     pub fn from_name(name: &str) -> Option<Backend> {
-        [Backend::Interp, Backend::Threaded, Backend::Codegen, Backend::Vm]
-            .into_iter()
-            .find(|b| b.name() == name)
+        ALL.into_iter().find(|b| b.name() == name)
     }
 
-    /// All backends usable in this environment: the codegen backend is
-    /// included only when a C compiler is on `PATH`.
+    /// All backends usable in this environment: the two compiler-based
+    /// backends are included only when a C compiler is on `PATH`.
     pub fn available() -> Vec<Backend> {
         let mut v = vec![Backend::Interp, Backend::Threaded, Backend::Vm];
         if crate::cjit::cc_available() {
             v.push(Backend::Codegen);
+            v.push(Backend::Compiled);
         }
         v
+    }
+}
+
+/// The process-wide compiled engine: sharing one instance lets every
+/// variant in a sweep reuse the in-memory kernel memo on top of the on-disk
+/// artifact cache.
+pub fn shared_compiled_engine() -> &'static CompiledEngine {
+    static ENGINE: OnceLock<CompiledEngine> = OnceLock::new();
+    ENGINE.get_or_init(CompiledEngine::new)
+}
+
+/// Construct the engine behind a backend.
+pub fn engine_for(backend: Backend) -> Box<dyn ExecutionEngine> {
+    match backend {
+        Backend::Interp => Box::new(Runtime::new()),
+        Backend::Threaded => Box::new(ThreadedEngine::new(THREADS)),
+        Backend::Codegen => Box::new(crate::cjit::CjitEngine),
+        Backend::Vm => Box::new(VmRuntime::new()),
+        Backend::Compiled => Box::new(shared_compiled_engine().clone()),
     }
 }
 
@@ -64,21 +102,16 @@ pub fn output_names(func: &Func) -> Vec<String> {
 /// # Errors
 ///
 /// A human-readable description of whatever failed — runtime error, C
-/// compilation failure, or malformed child output. Errors are treated as
-/// divergences by the differential checker.
+/// compilation failure, child timeout, or malformed child output. Errors
+/// are treated as divergences by the differential checker.
 pub fn run_backend(
     backend: Backend,
     func: &Func,
     inputs: &HashMap<String, TensorVal>,
 ) -> Result<HashMap<String, TensorVal>, String> {
-    match backend {
-        Backend::Interp => Runtime::new()
-            .run(func, inputs, &HashMap::new())
-            .map(|r| r.outputs)
-            .map_err(|e| format!("interp: {e:?}")),
-        Backend::Threaded => run_threaded(func, inputs, &HashMap::new(), THREADS)
-            .map_err(|e| format!("threaded: {e:?}")),
-        Backend::Codegen => crate::cjit::run_c(func, inputs, &HashMap::new()),
-        Backend::Vm => run_vm(func, inputs, &HashMap::new()).map_err(|e| format!("vm: {e:?}")),
-    }
+    let engine = engine_for(backend);
+    engine
+        .run(func, inputs, &HashMap::new())
+        .map(|r| r.outputs)
+        .map_err(|e| format!("{}: {e}", engine.name()))
 }

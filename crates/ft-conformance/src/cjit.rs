@@ -7,36 +7,65 @@
 //! no I/O protocol beyond printing its outputs.
 
 use ft_ir::{AccessType, DataType, Expr, Func};
-use ft_runtime::TensorVal;
+use ft_runtime::{
+    output_with_timeout, ExecutionEngine, PerfCounters, RunResult, RuntimeError, TensorVal,
+};
+use ft_trace::TraceSink;
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::process::Command;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::OnceLock;
+use std::time::Duration;
 
 /// Whether a C compiler (`cc`) is available on `PATH`.
-pub fn cc_available() -> bool {
-    static AVAILABLE: OnceLock<bool> = OnceLock::new();
-    *AVAILABLE.get_or_init(|| {
-        Command::new("cc")
-            .arg("--version")
-            .output()
-            .map(|o| o.status.success())
-            .unwrap_or(false)
-    })
+pub use ft_runtime::cc_available;
+
+/// Deadline for one `cc` invocation.
+const CC_TIMEOUT: Duration = Duration::from_secs(120);
+/// Deadline for one run of the generated binary. A miscompiled infinite
+/// loop must not hang a 128-variant sweep; the child is killed and the
+/// variant reports a structured `child_timeout` error instead.
+const RUN_TIMEOUT: Duration = Duration::from_secs(60);
+
+fn child_timeout_err(what: &str, timeout: Duration) -> String {
+    format!(
+        "child_timeout: `{what}` exceeded {} ms and was killed",
+        timeout.as_millis()
+    )
 }
 
-/// Same identifier mangling as `ft_codegen::c`.
-fn sanitize(name: &str) -> String {
-    let mut s: String = name
-        .chars()
-        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
-        .collect();
-    if s.chars().next().is_some_and(|c| c.is_ascii_digit()) {
-        s.insert(0, '_');
+/// The process-based codegen backend behind the common
+/// [`ExecutionEngine`] trait: compile to a standalone binary, run it as a
+/// child, parse its printed outputs. Slower and more isolated than
+/// `ft_runtime::CompiledEngine` — useful precisely because a miscompile
+/// can only take down the child, not the harness.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CjitEngine;
+
+impl ExecutionEngine for CjitEngine {
+    fn name(&self) -> &'static str {
+        "codegen"
     }
-    s
+
+    fn run(
+        &self,
+        func: &Func,
+        inputs: &HashMap<String, TensorVal>,
+        sizes: &HashMap<String, i64>,
+    ) -> Result<RunResult, RuntimeError> {
+        let outputs = run_c(func, inputs, sizes).map_err(RuntimeError::Native)?;
+        Ok(RunResult {
+            outputs,
+            counters: PerfCounters::default(),
+        })
+    }
+
+    fn set_sink(&mut self, _sink: Option<TraceSink>) {}
+
+    fn sink(&self) -> Option<&TraceSink> {
+        None
+    }
 }
 
 fn ctype(dt: DataType) -> &'static str {
@@ -65,7 +94,11 @@ fn eval_extent(e: &Expr, sizes: &HashMap<String, i64>) -> Result<i64, String> {
                 Add => x + y,
                 Sub => x - y,
                 Mul => x * y,
+                // A zero size-parameter must surface as a shrinkable error,
+                // not a div_euclid panic that aborts the whole harness.
+                Div if y == 0 => return Err("division by zero in shape extent".to_string()),
                 Div => x.div_euclid(y),
+                Mod if y == 0 => return Err("division by zero in shape extent".to_string()),
                 Mod => x.rem_euclid(y),
                 Min => x.min(y),
                 Max => x.max(y),
@@ -101,23 +134,26 @@ pub fn run_c(
     if !cc_available() {
         return Err("no C compiler on PATH".to_string());
     }
-    // Resolve every parameter's concrete shape.
-    let mut shapes: Vec<(String, Vec<usize>, DataType, AccessType)> = Vec::new();
-    for p in &func.params {
+    // The emitter disambiguates colliding names (`x.y` vs `x_y`) with
+    // suffixes; `c_symbols` re-runs the same mangler so the driver's array
+    // declarations line up with the emitted signature, param by param.
+    let syms = ft_codegen::c_symbols(func);
+    // Resolve every parameter's concrete shape, carrying its C identifier.
+    let mut shapes: Vec<(String, String, Vec<usize>, DataType, AccessType)> = Vec::new();
+    for (p, ident) in func.params.iter().zip(&syms.params) {
         let sh: Vec<usize> = p
             .shape
             .iter()
             .map(|e| eval_extent(e, sizes).map(|v| v.max(0) as usize))
             .collect::<Result<_, _>>()?;
-        shapes.push((p.name.clone(), sh, p.dtype, p.atype));
+        shapes.push((p.name.clone(), ident.clone(), sh, p.dtype, p.atype));
     }
 
     // Generate the translation unit: emitted kernel + main() driver.
     let mut src = ft_codegen::emit_c(func);
     src.push_str("\n#include <stdio.h>\n\nint main(void) {\n");
-    for (name, shape, dtype, atype) in &shapes {
+    for (name, c, shape, dtype, atype) in &shapes {
         let n = shape.iter().product::<usize>().max(1);
-        let c = sanitize(name);
         match atype {
             AccessType::Input | AccessType::InOut => {
                 let t = inputs
@@ -143,7 +179,7 @@ pub fn run_c(
             }
         }
     }
-    let mut args: Vec<String> = shapes.iter().map(|(n, ..)| sanitize(n)).collect();
+    let mut args: Vec<String> = shapes.iter().map(|(_, c, ..)| c.clone()).collect();
     for sp in &func.size_params {
         let v = sizes
             .get(sp)
@@ -151,14 +187,16 @@ pub fn run_c(
             .ok_or_else(|| format!("unresolved size `{sp}`"))?;
         args.push(format!("(int64_t){v}"));
     }
-    let _ = writeln!(src, "    {}({});", sanitize(&func.name), args.join(", "));
-    for (name, shape, dtype, atype) in &shapes {
+    let _ = writeln!(src, "    {}({});", syms.func, args.join(", "));
+    for (i, (_, c, shape, dtype, atype)) in shapes.iter().enumerate() {
         if !matches!(atype, AccessType::Output | AccessType::InOut) {
             continue;
         }
         let n = shape.iter().product::<usize>().max(1);
-        let c = sanitize(name);
-        let _ = writeln!(src, "    printf(\"OUT %s %d\\n\", \"{name}\", {n});");
+        // Key the output protocol by parameter *position*, not name: two
+        // IR names may print identically after C string escaping, while the
+        // index is always unambiguous.
+        let _ = writeln!(src, "    printf(\"OUT %d %d\\n\", {i}, {n});");
         if dtype.is_float() {
             let _ = writeln!(
                 src,
@@ -194,18 +232,24 @@ pub fn run_c(
     let mut compiled = false;
     let mut last_err = String::new();
     for extra in [&["-fopenmp"][..], &[][..]] {
-        let out = Command::new("cc")
-            .arg("-O1")
-            .args(extra)
-            .arg(&src_path)
-            .arg("-o")
-            .arg(&bin_path)
-            .arg("-lm")
-            .output()
-            .map_err(|e| {
-                cleanup();
-                format!("spawn cc: {e}")
-            })?;
+        let out = output_with_timeout(
+            Command::new("cc")
+                .arg("-O1")
+                .args(extra)
+                .arg(&src_path)
+                .arg("-o")
+                .arg(&bin_path)
+                .arg("-lm"),
+            CC_TIMEOUT,
+        )
+        .map_err(|e| {
+            cleanup();
+            format!("spawn cc: {e}")
+        })?;
+        if out.timed_out {
+            cleanup();
+            return Err(child_timeout_err("cc", CC_TIMEOUT));
+        }
         if out.status.success() {
             compiled = true;
             break;
@@ -216,16 +260,19 @@ pub fn run_c(
         cleanup();
         return Err(format!("cc failed:\n{last_err}"));
     }
-    let out = Command::new(&bin_path).output().map_err(|e| {
+    let out = output_with_timeout(&mut Command::new(&bin_path), RUN_TIMEOUT).map_err(|e| {
         cleanup();
         format!("run generated binary: {e}")
     })?;
     cleanup();
+    if out.timed_out {
+        return Err(child_timeout_err(&bin_path.display().to_string(), RUN_TIMEOUT));
+    }
     if !out.status.success() {
         return Err(format!("generated binary exited with {:?}", out.status));
     }
 
-    // Parse the "OUT name n" / value-per-line protocol.
+    // Parse the "OUT <param-index> <n>" / value-per-line protocol.
     let stdout = String::from_utf8_lossy(&out.stdout);
     let mut lines = stdout.lines();
     let mut outputs = HashMap::new();
@@ -234,13 +281,17 @@ pub fn run_c(
         if parts.next() != Some("OUT") {
             return Err(format!("unexpected output line `{header}`"));
         }
-        let name = parts
+        let idx: usize = parts
             .next()
-            .ok_or_else(|| "missing output name".to_string())?;
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| "missing output index".to_string())?;
         let n: usize = parts
             .next()
             .and_then(|s| s.parse().ok())
             .ok_or_else(|| "missing output count".to_string())?;
+        let (name, _, shape, ..) = shapes
+            .get(idx)
+            .ok_or_else(|| format!("output index {idx} out of range"))?;
         let mut data = Vec::with_capacity(n);
         for _ in 0..n {
             let line = lines
@@ -252,12 +303,7 @@ pub fn run_c(
                     .map_err(|e| format!("bad value `{line}` for `{name}`: {e}"))?,
             );
         }
-        let shape = shapes
-            .iter()
-            .find(|(p, ..)| p == name)
-            .map(|(_, s, ..)| s.clone())
-            .ok_or_else(|| format!("unknown output `{name}`"))?;
-        outputs.insert(name.to_string(), TensorVal::from_f64(&shape, data));
+        outputs.insert(name.clone(), TensorVal::from_f64(shape, data));
     }
     Ok(outputs)
 }
@@ -287,5 +333,48 @@ mod tests {
             [("x".to_string(), x)].into_iter().collect();
         let out = run_c(&f, &inputs, &HashMap::new()).unwrap();
         assert_eq!(out["y"].to_f64_vec(), vec![2.0, -5.0, 6.5, 0.0]);
+    }
+
+    #[test]
+    fn zero_size_divisor_is_an_error_not_a_panic() {
+        let sizes = HashMap::from([("n".to_string(), 4i64), ("z".to_string(), 0i64)]);
+        let e = eval_extent(&(var("n") / var("z")), &sizes).unwrap_err();
+        assert!(e.contains("division by zero"), "{e}");
+        let e = eval_extent(&(var("n") % var("z")), &sizes).unwrap_err();
+        assert!(e.contains("division by zero"), "{e}");
+    }
+
+    #[test]
+    fn colliding_param_names_do_not_shadow() {
+        if !cc_available() {
+            eprintln!("skipping: no C compiler");
+            return;
+        }
+        // `x.y` and `x_y` sanitize to the same C identifier; before the
+        // mangler the driver declared two `static float x_y[...]` arrays
+        // and the kernel read whichever shadowed. Each must round-trip its
+        // own values.
+        let f = Func::new("pick")
+            .param("x.y", [2], DataType::F32, AccessType::Input)
+            .param("x_y", [2], DataType::F32, AccessType::Input)
+            .param("o", [2], DataType::F32, AccessType::Output)
+            .body(for_(
+                "i",
+                0,
+                2,
+                store(
+                    "o",
+                    [var("i")],
+                    load("x.y", [var("i")]) - load("x_y", [var("i")]),
+                ),
+            ));
+        let inputs: HashMap<String, TensorVal> = [
+            ("x.y".to_string(), TensorVal::from_f32(&[2], vec![10.0, 20.0])),
+            ("x_y".to_string(), TensorVal::from_f32(&[2], vec![1.0, 2.0])),
+        ]
+        .into_iter()
+        .collect();
+        let out = run_c(&f, &inputs, &HashMap::new()).unwrap();
+        assert_eq!(out["o"].to_f64_vec(), vec![9.0, 18.0]);
     }
 }

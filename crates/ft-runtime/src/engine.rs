@@ -1,0 +1,193 @@
+//! A common interface over the execution engines.
+//!
+//! The interpreter, the threaded mode, the bytecode VM, and the native
+//! compiled engine all answer the same question — "run this lowered `Func`
+//! on these tensors" — but grew separate entry points, so every harness
+//! (bench, conformance, examples) special-cased each backend. The
+//! [`ExecutionEngine`] trait is the single seam: one `run` signature
+//! returning the interpreter's [`RunResult`], plus trace-sink plumbing so
+//! drivers can wire provenance uniformly.
+
+use crate::bytecode::VmRuntime;
+use crate::counters::PerfCounters;
+use crate::error::RuntimeError;
+use crate::interp::{RunResult, Runtime};
+use crate::threaded::run_threaded_traced;
+use crate::value::TensorVal;
+use ft_ir::Func;
+use ft_trace::TraceSink;
+use std::collections::HashMap;
+
+/// An execution backend for lowered functions.
+///
+/// Engines differ in *how* they execute (tree-walking, bytecode, real
+/// threads, compiled native code) and in what instrumentation they can
+/// report — counters are zero for engines that do not model the device —
+/// but all satisfy the interpreter's parameter semantics: inputs are
+/// read-only, `InOut` params are copied in and returned, `Output` params
+/// are zero-initialized.
+pub trait ExecutionEngine {
+    /// Short stable identifier (`"interp"`, `"threaded"`, `"vm"`,
+    /// `"compiled"`), used in reports and trace spans.
+    fn name(&self) -> &'static str;
+
+    /// Execute `func` with the given input tensors and size parameters.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError`] for missing/ill-shaped inputs plus whatever failure
+    /// modes the backend adds (e.g. [`RuntimeError::Native`] for the
+    /// compiled engine's toolchain errors).
+    fn run(
+        &self,
+        func: &Func,
+        inputs: &HashMap<String, TensorVal>,
+        sizes: &HashMap<String, i64>,
+    ) -> Result<RunResult, RuntimeError>;
+
+    /// Install (or remove) a trace sink.
+    fn set_sink(&mut self, sink: Option<TraceSink>);
+
+    /// The installed trace sink, if any.
+    fn sink(&self) -> Option<&TraceSink>;
+}
+
+impl ExecutionEngine for Runtime {
+    fn name(&self) -> &'static str {
+        "interp"
+    }
+
+    fn run(
+        &self,
+        func: &Func,
+        inputs: &HashMap<String, TensorVal>,
+        sizes: &HashMap<String, i64>,
+    ) -> Result<RunResult, RuntimeError> {
+        Runtime::run(self, func, inputs, sizes)
+    }
+
+    fn set_sink(&mut self, sink: Option<TraceSink>) {
+        Runtime::set_sink(self, sink)
+    }
+
+    fn sink(&self) -> Option<&TraceSink> {
+        Runtime::sink(self)
+    }
+}
+
+impl ExecutionEngine for VmRuntime {
+    fn name(&self) -> &'static str {
+        "vm"
+    }
+
+    fn run(
+        &self,
+        func: &Func,
+        inputs: &HashMap<String, TensorVal>,
+        sizes: &HashMap<String, i64>,
+    ) -> Result<RunResult, RuntimeError> {
+        VmRuntime::run(self, func, inputs, sizes)
+    }
+
+    fn set_sink(&mut self, sink: Option<TraceSink>) {
+        VmRuntime::set_sink(self, sink)
+    }
+
+    fn sink(&self) -> Option<&TraceSink> {
+        VmRuntime::sink(self)
+    }
+}
+
+/// The thread-parallel mode behind the common trait: `OpenMp` loops run on
+/// real threads from the persistent worker pool. Counters are not modeled
+/// (they come back zero), matching `run_threaded`'s contract.
+#[derive(Debug, Clone)]
+pub struct ThreadedEngine {
+    /// Worker thread count for parallel loops.
+    pub threads: usize,
+    sink: Option<TraceSink>,
+}
+
+impl ThreadedEngine {
+    /// An engine running parallel loops on `threads` workers.
+    pub fn new(threads: usize) -> ThreadedEngine {
+        ThreadedEngine {
+            threads: threads.max(1),
+            sink: None,
+        }
+    }
+}
+
+impl ExecutionEngine for ThreadedEngine {
+    fn name(&self) -> &'static str {
+        "threaded"
+    }
+
+    fn run(
+        &self,
+        func: &Func,
+        inputs: &HashMap<String, TensorVal>,
+        sizes: &HashMap<String, i64>,
+    ) -> Result<RunResult, RuntimeError> {
+        let outputs = run_threaded_traced(func, inputs, sizes, self.threads, self.sink.as_ref())?;
+        Ok(RunResult {
+            outputs,
+            counters: PerfCounters::default(),
+        })
+    }
+
+    fn set_sink(&mut self, sink: Option<TraceSink>) {
+        self.sink = sink;
+    }
+
+    fn sink(&self) -> Option<&TraceSink> {
+        self.sink.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_ir::prelude::*;
+    use ft_ir::{AccessType, DataType};
+
+    fn axpy() -> Func {
+        Func::new("axpy")
+            .param("x", [var("n")], DataType::F32, AccessType::Input)
+            .param("y", [var("n")], DataType::F32, AccessType::InOut)
+            .size_param("n")
+            .body(for_(
+                "i",
+                0,
+                var("n"),
+                store(
+                    "y",
+                    [var("i")],
+                    load("y", [var("i")]) + load("x", [var("i")]) * 2.0f32,
+                ),
+            ))
+    }
+
+    #[test]
+    fn engines_agree_through_the_trait() {
+        let f = axpy();
+        let mut inputs = HashMap::new();
+        inputs.insert("x".to_string(), TensorVal::from_f32(&[4], vec![1.0; 4]));
+        inputs.insert("y".to_string(), TensorVal::from_f32(&[4], vec![0.5; 4]));
+        let sizes = HashMap::from([("n".to_string(), 4i64)]);
+        let engines: Vec<Box<dyn ExecutionEngine>> = vec![
+            Box::new(Runtime::new()),
+            Box::new(VmRuntime::new()),
+            Box::new(ThreadedEngine::new(2)),
+        ];
+        for e in &engines {
+            let r = e.run(&f, &inputs, &sizes).expect("runs");
+            assert_eq!(
+                r.output("y").to_f64_vec(),
+                vec![2.5; 4],
+                "engine {}",
+                e.name()
+            );
+        }
+    }
+}

@@ -46,6 +46,17 @@ pub enum RuntimeError {
     },
     /// Division (or remainder) by zero.
     DivisionByZero,
+    /// The native compiled engine failed to emit, compile, load, or call
+    /// the generated shared object (carries the toolchain/loader message).
+    Native(String),
+    /// A spawned child process (compiler or generated binary) exceeded its
+    /// deadline and was killed.
+    ChildTimeout {
+        /// What was running (e.g. `"cc"` or the binary path).
+        what: String,
+        /// The deadline that was exceeded, in milliseconds.
+        timeout_ms: u64,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -77,6 +88,10 @@ impl fmt::Display for RuntimeError {
                 "index {index:?} out of bounds for `{name}` of shape {shape:?}"
             ),
             RuntimeError::DivisionByZero => write!(f, "division by zero"),
+            RuntimeError::Native(msg) => write!(f, "native engine: {msg}"),
+            RuntimeError::ChildTimeout { what, timeout_ms } => {
+                write!(f, "child_timeout: `{what}` exceeded {timeout_ms} ms and was killed")
+            }
         }
     }
 }

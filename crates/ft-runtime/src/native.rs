@@ -1,0 +1,577 @@
+//! The native compiled execution engine.
+//!
+//! This is the paper's actual execution model (§4.3): emit C for the
+//! lowered function with `ft-codegen`, compile it with the host `cc` into a
+//! shared object, `dlopen` it, and call it in-process on the caller's
+//! tensor buffers — no interpreter dispatch, no child-process
+//! stdout-parsing protocol. Compilation cost is paid once per distinct
+//! (source, flags) pair: artifacts live in a content-addressed on-disk
+//! cache (`target/ft-cache/<hash>.{c,so}`), and loaded objects are
+//! additionally memoized in-process, so repeat traffic — autoschedule
+//! search loops, conformance sweeps, warm benchmarks — spawns zero
+//! compiler processes.
+//!
+//! Cache key: FNV-1a over the complete emitted translation unit (which
+//! already embodies the program *and* its schedule — scheduling rewrites
+//! the IR that `emit_c` prints), the compiler flag string, and an ABI
+//! version bumped whenever the entry-point convention changes.
+//!
+//! Numerics: generated C computes `float` expressions in single precision,
+//! while the interpreter widens to `f64` and rounds on store, so results
+//! agree to rounding error, not bit-for-bit — the conformance harness
+//! compares this backend under its usual tolerances. `-ffp-contract=off`
+//! keeps the compiler from fusing multiply-adds so the difference stays
+//! bounded by that rounding story.
+
+use crate::counters::PerfCounters;
+use crate::engine::ExecutionEngine;
+use crate::error::RuntimeError;
+use crate::interp::RunResult;
+use crate::process::output_with_timeout;
+use crate::value::TensorVal;
+use ft_codegen::{c_symbols, emit_c};
+use ft_ir::{AccessType, BinaryOp, DataType, Expr, Func};
+use ft_trace::{Decision, TraceSink, Verdict, TRACK_RUNTIME};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::ffi::c_void;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+/// Bump when the generated entry-point convention changes, so stale cached
+/// `.so` files from older layouts can never be loaded.
+const ABI_VERSION: u32 = 1;
+
+/// Entry-point signature of every generated shared object:
+/// `void ft_entry(void **params, const int64_t *sizes)` with tensor
+/// parameters in declaration order followed by size parameters in
+/// declaration order.
+type EntryFn = unsafe extern "C" fn(*mut *mut c_void, *const i64);
+
+/// Whether a host C compiler is available (memoized per process).
+pub fn cc_available() -> bool {
+    static AVAILABLE: OnceLock<bool> = OnceLock::new();
+    *AVAILABLE.get_or_init(|| {
+        Command::new("cc")
+            .arg("--version")
+            .output()
+            .map(|o| o.status.success())
+            .unwrap_or(false)
+    })
+}
+
+/// A loaded kernel: the shared object plus its resolved entry point. The
+/// library handle is held for as long as the function pointer may be
+/// called.
+struct LoadedKernel {
+    entry: EntryFn,
+    _lib: libloading::Library,
+}
+
+/// Shared state behind [`CompiledEngine`] clones: the in-process memo of
+/// loaded kernels.
+#[derive(Default)]
+struct EngineState {
+    loaded: Mutex<HashMap<u64, Arc<LoadedKernel>>>,
+}
+
+/// The compiled execution engine. Cheap to clone (clones share the loaded
+/// kernel memo); construction does not touch the filesystem — everything
+/// is lazy until the first [`ExecutionEngine::run`].
+#[derive(Clone)]
+pub struct CompiledEngine {
+    cache_dir: PathBuf,
+    cc_timeout: Duration,
+    sink: Option<TraceSink>,
+    state: Arc<EngineState>,
+}
+
+impl std::fmt::Debug for CompiledEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompiledEngine")
+            .field("cache_dir", &self.cache_dir)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for CompiledEngine {
+    fn default() -> CompiledEngine {
+        CompiledEngine::new()
+    }
+}
+
+/// Resolve the artifact cache directory: `FT_CACHE_DIR` wins, otherwise
+/// the nearest ancestor `target/` directory (so unit tests running from
+/// crate subdirectories share the workspace cache), otherwise a temp-dir
+/// fallback.
+fn default_cache_dir() -> PathBuf {
+    if let Ok(d) = std::env::var("FT_CACHE_DIR") {
+        if !d.is_empty() {
+            return PathBuf::from(d);
+        }
+    }
+    if let Ok(mut dir) = std::env::current_dir() {
+        loop {
+            let t = dir.join("target");
+            if t.is_dir() {
+                return t.join("ft-cache");
+            }
+            if !dir.pop() {
+                break;
+            }
+        }
+    }
+    std::env::temp_dir().join("ft-cache")
+}
+
+/// 64-bit FNV-1a — stable across processes and Rust versions, unlike
+/// `DefaultHasher`, so on-disk keys survive toolchain bumps.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn ctype(dt: DataType) -> &'static str {
+    match dt {
+        DataType::F32 => "float",
+        DataType::F64 => "double",
+        DataType::I32 => "int32_t",
+        DataType::I64 => "int64_t",
+        DataType::Bool => "bool",
+    }
+}
+
+/// Evaluate a parameter-shape extent over the supplied size parameters.
+fn eval_extent(e: &Expr, sizes: &HashMap<String, i64>) -> Result<i64, RuntimeError> {
+    match e {
+        Expr::IntConst(v) => Ok(*v),
+        Expr::Var(n) => sizes
+            .get(n)
+            .copied()
+            .ok_or_else(|| RuntimeError::UnresolvedSize(n.clone())),
+        Expr::Binary { op, a, b } => {
+            let x = eval_extent(a, sizes)?;
+            let y = eval_extent(b, sizes)?;
+            match op {
+                BinaryOp::Add => Ok(x + y),
+                BinaryOp::Sub => Ok(x - y),
+                BinaryOp::Mul => Ok(x * y),
+                BinaryOp::Div => {
+                    if y == 0 {
+                        Err(RuntimeError::DivisionByZero)
+                    } else {
+                        Ok(x.div_euclid(y))
+                    }
+                }
+                BinaryOp::Mod => {
+                    if y == 0 {
+                        Err(RuntimeError::DivisionByZero)
+                    } else {
+                        Ok(x.rem_euclid(y))
+                    }
+                }
+                BinaryOp::Min => Ok(x.min(y)),
+                BinaryOp::Max => Ok(x.max(y)),
+                _ => Err(RuntimeError::Native(format!(
+                    "unsupported extent operator {op:?}"
+                ))),
+            }
+        }
+        _ => Err(RuntimeError::Native(format!(
+            "unsupported extent expression {e:?}"
+        ))),
+    }
+}
+
+/// Copy `t` into a tensor of `dtype` (element-wise converting).
+fn convert(t: &TensorVal, dtype: DataType) -> TensorVal {
+    let mut out = TensorVal::zeros(dtype, t.shape());
+    for i in 0..t.numel() {
+        out.set_flat(i, t.get_flat(i));
+    }
+    out
+}
+
+impl CompiledEngine {
+    /// An engine using the default cache directory (see module docs) and a
+    /// 60 s compiler deadline.
+    pub fn new() -> CompiledEngine {
+        CompiledEngine {
+            cache_dir: default_cache_dir(),
+            cc_timeout: Duration::from_secs(60),
+            sink: None,
+            state: Arc::new(EngineState::default()),
+        }
+    }
+
+    /// An engine with an explicit artifact cache directory.
+    pub fn with_cache_dir(dir: impl Into<PathBuf>) -> CompiledEngine {
+        CompiledEngine {
+            cache_dir: dir.into(),
+            ..CompiledEngine::new()
+        }
+    }
+
+    /// The artifact cache directory this engine reads and writes.
+    pub fn cache_dir(&self) -> &Path {
+        &self.cache_dir
+    }
+
+    /// The complete translation unit handed to `cc`: the emitted function
+    /// plus the fixed-ABI `ft_entry` wrapper that unpacks the untyped
+    /// parameter array and calls it.
+    fn source_for(&self, func: &Func) -> String {
+        let mut src = emit_c(func);
+        let syms = c_symbols(func);
+        src.push_str("\nvoid ft_entry(void **params, const int64_t *sizes) {\n");
+        let mut call_args: Vec<String> = Vec::new();
+        for (i, p) in func.params.iter().enumerate() {
+            let c = ctype(p.dtype);
+            let qual = if p.atype == AccessType::Input { "const " } else { "" };
+            call_args.push(format!("({qual}{c}*)params[{i}]"));
+        }
+        for i in 0..func.size_params.len() {
+            call_args.push(format!("sizes[{i}]"));
+        }
+        src.push_str(&format!("    {}({});\n}}\n", syms.func, call_args.join(", ")));
+        src
+    }
+
+    fn note_cache(&self, hash: u64, hit: bool) {
+        if let Some(sink) = &self.sink {
+            sink.decision(Decision {
+                pass: None,
+                primitive: "compiled.cache".to_string(),
+                args: format!("({hash:016x})"),
+                verdict: Verdict::Applied,
+                reason: Some(if hit { "hit" } else { "miss" }.to_string()),
+                deps: Vec::new(),
+                ts_us: sink.now_us(),
+            });
+        }
+    }
+
+    /// Compile `src` into `so_path`, writing the source next to it for
+    /// inspection. Tries OpenMP first (the emitter's pragmas are only
+    /// honored with `-fopenmp`); falls back to a serial build on
+    /// toolchains without libgomp.
+    fn compile(&self, src: &str, hash: u64, so_path: &Path) -> Result<(), RuntimeError> {
+        std::fs::create_dir_all(&self.cache_dir)
+            .map_err(|e| RuntimeError::Native(format!("create {}: {e}", self.cache_dir.display())))?;
+        let c_path = self.cache_dir.join(format!("{hash:016x}.c"));
+        std::fs::write(&c_path, src)
+            .map_err(|e| RuntimeError::Native(format!("write {}: {e}", c_path.display())))?;
+        // Build into a process-unique temp name and rename into place so a
+        // concurrent builder of the same key never observes a partial .so.
+        let tmp = self
+            .cache_dir
+            .join(format!("{hash:016x}.so.tmp.{}", std::process::id()));
+        let mut last_err = String::new();
+        for flags in [CC_FLAGS, CC_FLAGS_SERIAL] {
+            let mut cmd = Command::new("cc");
+            cmd.args(flags.split_whitespace())
+                .arg(&c_path)
+                .arg("-o")
+                .arg(&tmp)
+                .arg("-lm");
+            let mut span = self.sink.as_ref().map(|s| {
+                let mut sp = s.span("compiled.cc", "compiled.cc");
+                sp.arg("hash", format!("{hash:016x}"));
+                sp.arg("flags", flags);
+                sp
+            });
+            let out = output_with_timeout(&mut cmd, self.cc_timeout)
+                .map_err(|e| RuntimeError::Native(format!("spawn cc: {e}")))?;
+            if let Some(sp) = span.as_mut() {
+                sp.arg("ok", out.success());
+            }
+            if out.timed_out {
+                let _ = std::fs::remove_file(&tmp);
+                return Err(RuntimeError::ChildTimeout {
+                    what: "cc".to_string(),
+                    timeout_ms: self.cc_timeout.as_millis() as u64,
+                });
+            }
+            if out.success() {
+                std::fs::rename(&tmp, so_path)
+                    .map_err(|e| RuntimeError::Native(format!("rename artifact: {e}")))?;
+                return Ok(());
+            }
+            last_err = String::from_utf8_lossy(&out.stderr).into_owned();
+        }
+        let _ = std::fs::remove_file(&tmp);
+        Err(RuntimeError::Native(format!("cc failed:\n{last_err}")))
+    }
+
+    /// Emit + (cache-aware) compile + load the kernel for `func`.
+    fn kernel_for(&self, func: &Func) -> Result<Arc<LoadedKernel>, RuntimeError> {
+        let src = self.source_for(func);
+        let mut key = src.clone().into_bytes();
+        key.push(0);
+        key.extend_from_slice(CC_FLAGS.as_bytes());
+        key.push(0);
+        key.extend_from_slice(&ABI_VERSION.to_le_bytes());
+        let hash = fnv1a(&key);
+        if let Some(k) = self.state.loaded.lock().get(&hash) {
+            self.note_cache(hash, true);
+            return Ok(Arc::clone(k));
+        }
+        let so_path = self.cache_dir.join(format!("{hash:016x}.so"));
+        if so_path.is_file() {
+            self.note_cache(hash, true);
+        } else {
+            self.note_cache(hash, false);
+            self.compile(&src, hash, &so_path)?;
+        }
+        // SAFETY: the object was produced by our own emitter + cc (or is a
+        // cache entry keyed by the full source), and ft_entry's type is
+        // fixed by ABI_VERSION which participates in the key.
+        let lib = unsafe { libloading::Library::new(&so_path) }
+            .map_err(|e| RuntimeError::Native(format!("load {}: {e}", so_path.display())))?;
+        let entry = unsafe { lib.get::<EntryFn>(b"ft_entry\0") }
+            .map_err(|e| RuntimeError::Native(format!("resolve ft_entry: {e}")))?;
+        let kernel = Arc::new(LoadedKernel {
+            entry: *entry,
+            _lib: lib,
+        });
+        self.state.loaded.lock().insert(hash, Arc::clone(&kernel));
+        Ok(kernel)
+    }
+}
+
+const CC_FLAGS: &str = "-O2 -fPIC -shared -ffp-contract=off -fopenmp";
+const CC_FLAGS_SERIAL: &str = "-O2 -fPIC -shared -ffp-contract=off";
+
+impl ExecutionEngine for CompiledEngine {
+    fn name(&self) -> &'static str {
+        "compiled"
+    }
+
+    fn run(
+        &self,
+        func: &Func,
+        inputs: &HashMap<String, TensorVal>,
+        sizes: &HashMap<String, i64>,
+    ) -> Result<RunResult, RuntimeError> {
+        let kernel = self.kernel_for(func)?;
+        let mut span = self
+            .sink
+            .as_ref()
+            .map(|s| s.span_on(TRACK_RUNTIME, "runtime", &format!("compiled {}", func.name)));
+        let size_vals: Vec<i64> = func
+            .size_params
+            .iter()
+            .map(|sp| {
+                sizes
+                    .get(sp)
+                    .copied()
+                    .ok_or_else(|| RuntimeError::UnresolvedSize(sp.clone()))
+            })
+            .collect::<Result<_, _>>()?;
+        // Bind parameters with the interpreter's semantics: Input borrowed
+        // read-only, InOut copied in (and returned), Output zeroed. The
+        // kernel reads Input buffers through const pointers; owned InOut/
+        // Output tensors keep their storage alive across the call.
+        enum Bound<'a> {
+            Borrowed(&'a TensorVal),
+            Owned(TensorVal),
+        }
+        let mut bound: Vec<Bound<'_>> = Vec::with_capacity(func.params.len());
+        for p in &func.params {
+            let shape: Vec<usize> = p
+                .shape
+                .iter()
+                .map(|e| {
+                    let v = eval_extent(e, sizes)?;
+                    usize::try_from(v).map_err(|_| RuntimeError::UnresolvedSize(p.name.clone()))
+                })
+                .collect::<Result<_, _>>()?;
+            let b = match p.atype {
+                AccessType::Input | AccessType::InOut => {
+                    let t = inputs
+                        .get(&p.name)
+                        .ok_or_else(|| RuntimeError::MissingInput(p.name.clone()))?;
+                    if t.shape() != shape.as_slice() {
+                        return Err(RuntimeError::ShapeMismatch {
+                            name: p.name.clone(),
+                            expected: shape,
+                            actual: t.shape().to_vec(),
+                        });
+                    }
+                    if p.atype == AccessType::InOut {
+                        // Converting copy when the caller's dtype differs
+                        // from the declaration (the kernel indexes with the
+                        // declared element size).
+                        Bound::Owned(convert(t, p.dtype))
+                    } else if t.dtype() != p.dtype {
+                        Bound::Owned(convert(t, p.dtype))
+                    } else {
+                        Bound::Borrowed(t)
+                    }
+                }
+                // Output and Cache params are zero-initialized scratch; only
+                // Output (and InOut) are returned.
+                AccessType::Output | AccessType::Cache => {
+                    Bound::Owned(TensorVal::zeros(p.dtype, &shape))
+                }
+            };
+            bound.push(b);
+        }
+        let mut ptrs: Vec<*mut c_void> = bound
+            .iter_mut()
+            .map(|b| match b {
+                // The generated signature takes `const T*` for Input
+                // params, so handing out a mut-cast of a shared borrow is
+                // never written through.
+                Bound::Borrowed(t) => t.as_ptr_untyped() as *mut c_void,
+                Bound::Owned(t) => t.as_mut_ptr_untyped(),
+            })
+            .collect();
+        // SAFETY: pointer array length and element types match the
+        // generated ft_entry (same Func produced both); buffers outlive
+        // the call; size values are passed by const pointer.
+        unsafe { (kernel.entry)(ptrs.as_mut_ptr(), size_vals.as_ptr()) };
+        let mut outputs = HashMap::new();
+        for (p, b) in func.params.iter().zip(bound) {
+            if !matches!(p.atype, AccessType::Output | AccessType::InOut) {
+                continue;
+            }
+            let t = match b {
+                Bound::Owned(t) => t,
+                Bound::Borrowed(_) => unreachable!("outputs are always owned"),
+            };
+            // The interpreter preserves the *caller's* dtype for InOut
+            // tensors (it binds by clone); convert back when they differ.
+            let t = match inputs.get(&p.name) {
+                Some(orig) if p.atype == AccessType::InOut && orig.dtype() != t.dtype() => {
+                    convert(&t, orig.dtype())
+                }
+                _ => t,
+            };
+            outputs.insert(p.name.clone(), t);
+        }
+        if let Some(sp) = span.as_mut() {
+            sp.arg("params", func.params.len());
+        }
+        Ok(RunResult {
+            outputs,
+            counters: PerfCounters::default(),
+        })
+    }
+
+    fn set_sink(&mut self, sink: Option<TraceSink>) {
+        self.sink = sink;
+    }
+
+    fn sink(&self) -> Option<&TraceSink> {
+        self.sink.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_ir::prelude::*;
+
+    fn tmp_cache(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "ft-native-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn axpy() -> Func {
+        Func::new("axpy")
+            .param("x", [var("n")], DataType::F32, AccessType::Input)
+            .param("y", [var("n")], DataType::F32, AccessType::InOut)
+            .size_param("n")
+            .body(for_(
+                "i",
+                0,
+                var("n"),
+                store(
+                    "y",
+                    [var("i")],
+                    load("y", [var("i")]) + load("x", [var("i")]) * 2.0f32,
+                ),
+            ))
+    }
+
+    #[test]
+    fn compiles_and_runs_in_process() {
+        if !cc_available() {
+            eprintln!("cc unavailable; skipping");
+            return;
+        }
+        let eng = CompiledEngine::with_cache_dir(tmp_cache("run"));
+        let mut inputs = HashMap::new();
+        inputs.insert("x".to_string(), TensorVal::from_f32(&[5], vec![1.0; 5]));
+        inputs.insert("y".to_string(), TensorVal::from_f32(&[5], vec![0.5; 5]));
+        let sizes = HashMap::from([("n".to_string(), 5i64)]);
+        let r = eng.run(&axpy(), &inputs, &sizes).expect("runs");
+        assert_eq!(r.output("y").to_f64_vec(), vec![2.5; 5]);
+        // Input buffer untouched.
+        assert_eq!(inputs["x"].to_f64_vec(), vec![1.0; 5]);
+    }
+
+    #[test]
+    fn second_run_hits_the_cache() {
+        if !cc_available() {
+            eprintln!("cc unavailable; skipping");
+            return;
+        }
+        let dir = tmp_cache("hit");
+        let sink = TraceSink::new();
+        let mut eng = CompiledEngine::with_cache_dir(&dir);
+        eng.set_sink(Some(sink.clone()));
+        let mut inputs = HashMap::new();
+        inputs.insert("x".to_string(), TensorVal::from_f32(&[3], vec![1.0; 3]));
+        inputs.insert("y".to_string(), TensorVal::from_f32(&[3], vec![0.0; 3]));
+        let sizes = HashMap::from([("n".to_string(), 3i64)]);
+        eng.run(&axpy(), &inputs, &sizes).expect("cold run");
+        eng.run(&axpy(), &inputs, &sizes).expect("warm run");
+        // A *fresh* engine (empty in-memory memo) against the same dir
+        // must also hit via the on-disk artifact.
+        let mut eng2 = CompiledEngine::with_cache_dir(&dir);
+        eng2.set_sink(Some(sink.clone()));
+        eng2.run(&axpy(), &inputs, &sizes).expect("disk-warm run");
+        let reasons: Vec<String> = sink
+            .decisions()
+            .iter()
+            .filter(|d| d.primitive == "compiled.cache")
+            .map(|d| d.reason.clone().unwrap_or_default())
+            .collect();
+        assert_eq!(reasons, ["miss", "hit", "hit"], "{reasons:?}");
+    }
+
+    #[test]
+    fn zero_size_divisor_is_an_error_not_a_panic() {
+        let e = eval_extent(
+            &(var("n") / var("z")),
+            &HashMap::from([("n".to_string(), 4i64), ("z".to_string(), 0i64)]),
+        );
+        assert_eq!(e, Err(RuntimeError::DivisionByZero));
+    }
+
+    #[test]
+    fn output_params_are_zero_initialized() {
+        if !cc_available() {
+            eprintln!("cc unavailable; skipping");
+            return;
+        }
+        let f = Func::new("fill_one")
+            .param("o", [4], DataType::F64, AccessType::Output)
+            .body(store("o", [1], 7.0f64));
+        let eng = CompiledEngine::with_cache_dir(tmp_cache("zero"));
+        let r = eng.run(&f, &HashMap::new(), &HashMap::new()).expect("runs");
+        assert_eq!(r.output("o").to_f64_vec(), vec![0.0, 7.0, 0.0, 0.0]);
+    }
+}

@@ -224,6 +224,30 @@ impl TensorVal {
         }
     }
 
+    /// Untyped pointer to the backing storage (for handing buffers to
+    /// native code). Row-major, densely packed; `bool` is one byte per
+    /// element holding 0/1, matching C99 `_Bool`.
+    pub(crate) fn as_ptr_untyped(&self) -> *const std::ffi::c_void {
+        match &self.data {
+            Data::F32(v) => v.as_ptr() as *const _,
+            Data::F64(v) => v.as_ptr() as *const _,
+            Data::I32(v) => v.as_ptr() as *const _,
+            Data::I64(v) => v.as_ptr() as *const _,
+            Data::Bool(v) => v.as_ptr() as *const _,
+        }
+    }
+
+    /// Mutable untyped pointer to the backing storage.
+    pub(crate) fn as_mut_ptr_untyped(&mut self) -> *mut std::ffi::c_void {
+        match &mut self.data {
+            Data::F32(v) => v.as_mut_ptr() as *mut _,
+            Data::F64(v) => v.as_mut_ptr() as *mut _,
+            Data::I32(v) => v.as_mut_ptr() as *mut _,
+            Data::I64(v) => v.as_mut_ptr() as *mut _,
+            Data::Bool(v) => v.as_mut_ptr() as *mut _,
+        }
+    }
+
     /// Row-major flat offset of a multi-index.
     ///
     /// # Panics

@@ -1,0 +1,159 @@
+//! Native compiled engine integration tests.
+//!
+//! * `compiled_matches_interpreter_*` — pins [`CompiledEngine`] against the
+//!   instrumented interpreter on all four paper workloads under sampled,
+//!   legality-checked schedule traces, forward and gradient (the same
+//!   differential discipline as the conformance sweep, focused on the
+//!   newest backend).
+//! * `warm_artifact_cache_spawns_no_compiler` — the compile-once/run-many
+//!   contract: a second engine over the same artifact-cache directory must
+//!   serve the kernel from disk with *zero* `cc` spawns, verified through
+//!   the trace decision log (`compiled.cache` decisions, `compiled.cc`
+//!   spans).
+
+use ft_conformance::grad::{build_grad_func, grad_run_inputs, ones_seed, GradSpec};
+use ft_conformance::ops::{apply_trace, sample_trace};
+use ft_conformance::{check_grad_variant, check_variant, Backend, GradTol, Workload};
+use ft_runtime::{cc_available, CompiledEngine, ExecutionEngine};
+use proptest::test_runner::TestRng;
+use std::collections::HashMap;
+
+/// Forward tolerance — same contract as `Config::default().tol`.
+const TOL: f64 = 5e-4;
+
+fn variant_seed(w: Workload, k: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in w.name().as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^ k.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+#[test]
+fn compiled_matches_interpreter_on_all_workloads_under_sampled_traces() {
+    if !cc_available() {
+        eprintln!("skipping: no C compiler on PATH");
+        return;
+    }
+    let backends = [Backend::Interp, Backend::Compiled];
+    for w in Workload::ALL {
+        for k in 0..4u64 {
+            let seed = variant_seed(w, k);
+            let case = w.build(seed & 0xFFFF);
+            let mut rng = TestRng::from_seed_u64(seed);
+            let raw = sample_trace(&mut rng, 5);
+            let (func, trace) = apply_trace(&case.func, &raw);
+            if let Some(d) = check_variant(&case, &func, &backends, TOL) {
+                panic!(
+                    "{} sample {k} under trace {trace:?}: {}",
+                    w.name(),
+                    d.message
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn compiled_grad_matches_interpreter_under_sampled_traces() {
+    if !cc_available() {
+        eprintln!("skipping: no C compiler on PATH");
+        return;
+    }
+    let backends = [Backend::Interp, Backend::Compiled];
+    let tol = GradTol::default();
+    let mut checked = 0usize;
+    for w in Workload::ALL {
+        for k in 0..2u64 {
+            let seed = variant_seed(w, 0x6AD ^ k);
+            let case = w.build(seed & 0xFFFF);
+            let mut rng = TestRng::from_seed_u64(seed);
+            let raw = sample_trace(&mut rng, 4);
+            // Outside the differentiable fragment = structured skip, same
+            // as the grad conformance sweep.
+            let Ok((gfunc, trace)) = build_grad_func(&case.func, &raw, &GradSpec::default())
+            else {
+                continue;
+            };
+            let seed_grad = ones_seed(&case);
+            let inputs = grad_run_inputs(&case, &seed_grad);
+            let oracle_grads = w.oracle_grad(&case.inputs, &seed_grad);
+            if let Some(d) = check_grad_variant(&gfunc, &inputs, &oracle_grads, &backends, &tol)
+            {
+                panic!(
+                    "{} grad sample {k} under trace {trace:?}: {}",
+                    w.name(),
+                    d.message
+                );
+            }
+            checked += 1;
+        }
+    }
+    assert!(
+        checked >= 4,
+        "grad differential is vacuous: only {checked} variants were differentiable"
+    );
+}
+
+#[test]
+fn warm_artifact_cache_spawns_no_compiler() {
+    if !cc_available() {
+        eprintln!("skipping: no C compiler on PATH");
+        return;
+    }
+    let dir = std::env::temp_dir().join(format!("ft-warm-cache-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let case = Workload::Subdivnet.build(3);
+    let cc_spans = |s: &ft_trace::TraceSink| {
+        s.events()
+            .into_iter()
+            .filter(|e| e.cat == "compiled.cc")
+            .count()
+    };
+
+    // Cold start: fresh directory, fresh engine — must compile exactly here.
+    let cold_sink = ft_trace::TraceSink::new();
+    let mut cold = CompiledEngine::with_cache_dir(&dir);
+    cold.set_sink(Some(cold_sink.clone()));
+    cold.run(&case.func, &case.inputs, &HashMap::new())
+        .expect("cold run");
+    assert!(cc_spans(&cold_sink) >= 1, "cold run never invoked cc");
+    assert!(
+        cold_sink
+            .decisions()
+            .iter()
+            .any(|d| d.primitive == "compiled.cache" && d.reason.as_deref() == Some("miss")),
+        "cold run recorded no cache miss"
+    );
+
+    // Warm start: a *new* engine (empty in-memory memo) over the same
+    // directory — the on-disk artifact must satisfy it without cc.
+    let warm_sink = ft_trace::TraceSink::new();
+    let mut warm = CompiledEngine::with_cache_dir(&dir);
+    warm.set_sink(Some(warm_sink.clone()));
+    let r = warm
+        .run(&case.func, &case.inputs, &HashMap::new())
+        .expect("warm run");
+    assert_eq!(
+        cc_spans(&warm_sink),
+        0,
+        "warm run spawned the compiler despite a populated artifact cache"
+    );
+    let cache_decisions: Vec<_> = warm_sink
+        .decisions()
+        .into_iter()
+        .filter(|d| d.primitive == "compiled.cache")
+        .collect();
+    assert!(!cache_decisions.is_empty(), "warm run traced no cache lookup");
+    assert!(
+        cache_decisions
+            .iter()
+            .all(|d| d.reason.as_deref() == Some("hit")),
+        "warm run was not a pure cache hit: {cache_decisions:?}"
+    );
+    // The disk-served kernel still computes the right answer.
+    let diff = r.output(&case.oracle_output).max_abs_diff(&case.oracle);
+    assert!(diff < TOL, "warm kernel diverged from oracle by {diff}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,210 @@
+//! Offline vendored shim exposing the subset of the `libloading` API this
+//! workspace uses: open a shared object, resolve typed symbols from it, and
+//! close it on drop. Implemented directly over the platform loader
+//! (`dlopen`/`dlsym`/`dlclose`); on glibc ≥ 2.34 these live in libc proper,
+//! so no extra link flags are needed.
+//!
+//! Only the pieces `ft-runtime`'s compiled execution engine relies on are
+//! provided; the surface mirrors upstream `libloading` so a future switch to
+//! the real crate is a `Cargo.toml` edit.
+
+#![cfg(unix)]
+
+use std::ffi::{c_char, c_int, c_void, CStr, CString};
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::Deref;
+use std::path::Path;
+
+extern "C" {
+    fn dlopen(filename: *const c_char, flags: c_int) -> *mut c_void;
+    fn dlsym(handle: *mut c_void, symbol: *const c_char) -> *mut c_void;
+    fn dlclose(handle: *mut c_void) -> c_int;
+    fn dlerror() -> *mut c_char;
+}
+
+/// Resolve all symbols at load time so missing symbols fail `Library::new`
+/// instead of the first call.
+const RTLD_NOW: c_int = 2;
+/// Keep the object's symbols out of the global namespace: distinct cached
+/// kernels may all define the same entry-point name.
+const RTLD_LOCAL: c_int = 0;
+
+/// A loading/resolution failure, carrying the loader's `dlerror` message.
+#[derive(Debug, Clone)]
+pub struct Error {
+    message: String,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Consume and return the current `dlerror` message, if any.
+fn take_dlerror(context: &str) -> Error {
+    // dlerror returns a pointer into loader-internal storage and clears the
+    // error; it is only meaningful immediately after a failed dl* call.
+    let msg = unsafe {
+        let p = dlerror();
+        if p.is_null() {
+            None
+        } else {
+            Some(CStr::from_ptr(p).to_string_lossy().into_owned())
+        }
+    };
+    Error {
+        message: match msg {
+            Some(m) => format!("{context}: {m}"),
+            None => format!("{context}: unknown loader error"),
+        },
+    }
+}
+
+/// An open shared object. Closed (`dlclose`) on drop; symbols resolved from
+/// it borrow the library, so they cannot outlive it.
+pub struct Library {
+    handle: *mut c_void,
+}
+
+// A dlopen handle is process-global state; the loader serializes access.
+unsafe impl Send for Library {}
+unsafe impl Sync for Library {}
+
+impl fmt::Debug for Library {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Library({:p})", self.handle)
+    }
+}
+
+impl Library {
+    /// Open the shared object at `path`.
+    ///
+    /// # Safety
+    ///
+    /// Loading a library runs its initializers; the caller must trust the
+    /// object being loaded.
+    ///
+    /// # Errors
+    ///
+    /// Returns the loader's `dlerror` message when the object cannot be
+    /// opened.
+    pub unsafe fn new(path: impl AsRef<Path>) -> Result<Library, Error> {
+        let path = path.as_ref();
+        let cpath = CString::new(path.as_os_str().as_encoded_bytes()).map_err(|_| Error {
+            message: format!("path contains NUL: {}", path.display()),
+        })?;
+        // Clear any stale error so a subsequent dlerror is ours.
+        let _ = dlerror();
+        let handle = dlopen(cpath.as_ptr(), RTLD_NOW | RTLD_LOCAL);
+        if handle.is_null() {
+            return Err(take_dlerror(&format!("dlopen {}", path.display())));
+        }
+        Ok(Library { handle })
+    }
+
+    /// Resolve a symbol as a value of type `T` (typically an `extern "C"`
+    /// function pointer). `symbol` may include a trailing NUL byte, matching
+    /// upstream `libloading`'s byte-string convention.
+    ///
+    /// # Safety
+    ///
+    /// `T` must faithfully describe the symbol's actual type; calling
+    /// through a mistyped pointer is undefined behavior.
+    ///
+    /// # Errors
+    ///
+    /// Returns the loader's `dlerror` message when the symbol is absent.
+    pub unsafe fn get<T>(&self, symbol: &[u8]) -> Result<Symbol<'_, T>, Error> {
+        assert_eq!(
+            std::mem::size_of::<T>(),
+            std::mem::size_of::<*mut c_void>(),
+            "Symbol<T> requires T to be pointer-sized"
+        );
+        let trimmed = symbol.strip_suffix(b"\0").unwrap_or(symbol);
+        let csym = CString::new(trimmed).map_err(|_| Error {
+            message: "symbol contains interior NUL".to_string(),
+        })?;
+        let _ = dlerror();
+        let ptr = dlsym(self.handle, csym.as_ptr());
+        if ptr.is_null() {
+            return Err(take_dlerror(&format!(
+                "dlsym {}",
+                String::from_utf8_lossy(trimmed)
+            )));
+        }
+        Ok(Symbol {
+            ptr,
+            _lib: PhantomData,
+            _ty: PhantomData,
+        })
+    }
+}
+
+impl Drop for Library {
+    fn drop(&mut self) {
+        unsafe {
+            let _ = dlclose(self.handle);
+        }
+    }
+}
+
+/// A typed symbol resolved from a [`Library`]. Dereferences to `T` (an
+/// `extern "C"` fn pointer), so `(sym)(args…)` calls straight through.
+pub struct Symbol<'lib, T> {
+    ptr: *mut c_void,
+    _lib: PhantomData<&'lib Library>,
+    _ty: PhantomData<T>,
+}
+
+unsafe impl<T: Send> Send for Symbol<'_, T> {}
+unsafe impl<T: Sync> Sync for Symbol<'_, T> {}
+
+impl<T> Deref for Symbol<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // `size_of::<T>() == size_of::<*mut c_void>()` was asserted at
+        // resolution time; reinterpret the stored pointer as the fn pointer.
+        unsafe { &*std::ptr::addr_of!(self.ptr).cast::<T>() }
+    }
+}
+
+impl<T> fmt::Debug for Symbol<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Symbol({:p})", self.ptr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn missing_library_reports_loader_error() {
+        let err = unsafe { Library::new("/nonexistent/ft-shim-test.so") }.unwrap_err();
+        assert!(err.to_string().contains("dlopen"), "{err}");
+    }
+
+    #[test]
+    fn open_libm_and_resolve_cos() {
+        // libm ships on every supported host; `cos` has a stable ABI.
+        let candidates = ["libm.so.6", "libm.so"];
+        let lib = candidates
+            .iter()
+            .find_map(|c| unsafe { Library::new(c) }.ok());
+        let Some(lib) = lib else {
+            eprintln!("no libm variant found; skipping");
+            return;
+        };
+        let cos: Symbol<'_, unsafe extern "C" fn(f64) -> f64> =
+            unsafe { lib.get(b"cos\0") }.expect("cos resolves");
+        let v = unsafe { cos(0.0) };
+        assert!((v - 1.0).abs() < 1e-12);
+        let missing = unsafe { lib.get::<unsafe extern "C" fn()>(b"ft_no_such_symbol\0") };
+        assert!(missing.is_err());
+    }
+}
