@@ -3,6 +3,7 @@
 //! ```text
 //! bench_check <baseline.json> <current.json> [--threshold 2.0]
 //!             [--det-threshold 1.10] [--strict-wall]
+//!             [--metrics METRICS.json [--expect-warm] [--min-hit-rate 0.99]]
 //! ```
 //!
 //! Two independent checks, with different teeth:
@@ -23,8 +24,21 @@
 //!    (used on the committed full-scale results, where the VM's SIMD and
 //!    privatized-reduction lowering is expected to win outright).
 //!
+//! A third, optional check reads a `fig16 --metrics` telemetry snapshot
+//! (`--metrics METRICS.json`):
+//!
+//! 3. **Warm-cache gates** — with `--expect-warm`, the run is asserted to
+//!    have executed against a fully populated artifact cache:
+//!    `compiled.cc.spawned` must be exactly 0 (every kernel served without
+//!    a compiler spawn) and the `compiled.cache` hit rate
+//!    (`hit / (hit + miss)`) must reach `--min-hit-rate` (default 0.99).
+//!    Both are **blocking** — this replaces the old trace-decision-log
+//!    grep as the warm-cache source of truth. Without `--expect-warm` the
+//!    counters are printed informationally.
+//!
 //! Exits 0 when clean, 1 on any blocking finding, 2 on usage/IO errors.
 
+use ft_metrics::MetricsSnapshot;
 use ft_trace::JsonVal;
 use std::process::ExitCode;
 
@@ -82,7 +96,10 @@ fn main() -> ExitCode {
             !a.starts_with("--")
                 && !matches!(
                     args[1..].get(i.wrapping_sub(1)).map(String::as_str),
-                    Some("--threshold") | Some("--det-threshold")
+                    Some("--threshold")
+                        | Some("--det-threshold")
+                        | Some("--metrics")
+                        | Some("--min-hit-rate")
                 )
         })
         .map(|(_, a)| a)
@@ -90,7 +107,8 @@ fn main() -> ExitCode {
     let [baseline_path, current_path] = positional[..] else {
         eprintln!(
             "usage: bench_check <baseline.json> <current.json> \
-             [--threshold X] [--det-threshold Y] [--strict-wall]"
+             [--threshold X] [--det-threshold Y] [--strict-wall] \
+             [--metrics METRICS.json [--expect-warm] [--min-hit-rate R]]"
         );
         return ExitCode::from(2);
     };
@@ -104,6 +122,12 @@ fn main() -> ExitCode {
     let wall_threshold = opt("--threshold", 2.0);
     let det_threshold = opt("--det-threshold", 1.10);
     let strict_wall = args.iter().any(|a| a == "--strict-wall");
+    let metrics_path: Option<&String> = args
+        .iter()
+        .position(|a| a == "--metrics")
+        .and_then(|i| args.get(i + 1));
+    let expect_warm = args.iter().any(|a| a == "--expect-warm");
+    let min_hit_rate = opt("--min-hit-rate", 0.99);
 
     let (baseline, current) = match (load(baseline_path), load(current_path)) {
         (Ok(b), Ok(c)) => (b, c),
@@ -193,6 +217,61 @@ fn main() -> ExitCode {
                     "ok         {ck}: ft-optimized wall {ow:.3}ms <= ft-naive {nw:.3}ms"
                 );
             }
+        }
+    }
+
+    // --- Check 3: runtime-telemetry warm-cache gates. ---
+    if let Some(path) = metrics_path {
+        let snap = match std::fs::read_to_string(path)
+            .map_err(|e| format!("{path}: {e}"))
+            .and_then(|t| MetricsSnapshot::from_json(&t).map_err(|e| format!("{path}: {e}")))
+        {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let spawned = snap.counter("compiled.cc.spawned");
+        let hit = snap.counter("compiled.cache.hit");
+        let miss = snap.counter("compiled.cache.miss");
+        let lookups = hit + miss;
+        let hit_rate = if lookups == 0 {
+            f64::NAN
+        } else {
+            hit as f64 / lookups as f64
+        };
+        if expect_warm {
+            if spawned != 0 {
+                blocking += 1;
+                println!(
+                    "BLOCKING   metrics: warm run spawned the compiler {spawned} time(s) \
+                     (compiled.cc.spawned must be 0)"
+                );
+            } else {
+                println!("ok         metrics: compiled.cc.spawned = 0 (no compiler spawns)");
+            }
+            if lookups == 0 {
+                blocking += 1;
+                println!(
+                    "BLOCKING   metrics: no compiled.cache lookups recorded — the compiled \
+                     engine never ran, so the warm-cache gate is vacuous"
+                );
+            } else if hit_rate < min_hit_rate {
+                blocking += 1;
+                println!(
+                    "BLOCKING   metrics: cache hit rate {hit_rate:.3} ({hit}/{lookups}) \
+                     below --min-hit-rate {min_hit_rate}"
+                );
+            } else {
+                println!(
+                    "ok         metrics: cache hit rate {hit_rate:.3} ({hit}/{lookups})"
+                );
+            }
+        } else {
+            println!(
+                "info       metrics: compiled.cc.spawned {spawned}, cache {hit} hit / {miss} miss"
+            );
         }
     }
 

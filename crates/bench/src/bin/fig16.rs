@@ -6,10 +6,17 @@
 //! Each run also writes the machine-readable `results/BENCH.json`
 //! (override with `--json PATH`, suppress with `--no-json`); a plain run
 //! followed by a `--grad` run accumulates both record kinds in one file.
+//!
+//! `--metrics [PATH]` additionally exports the process-wide runtime
+//! telemetry registry (engine run/kernel histograms, compile counts,
+//! `compiled.cache` hit/miss, pool stats) as a `ft-metrics` JSON snapshot,
+//! default `results/METRICS.json`. On a warm artifact cache the snapshot
+//! must show `compiled.cc.spawned == 0` — `bench_check --metrics
+//! --expect-warm` gates on exactly that.
 
 use bench::{
-    fmt_cycles, json_record, prepare, run_forward_capped, run_forward_traced, run_grad_capped,
-    write_bench_json, Scale, System, Workload,
+    bench_metrics, fmt_cycles, json_record, prepare, run_forward_capped, run_forward_traced,
+    run_grad_capped, write_bench_json, Scale, System, Workload,
 };
 use ft_autodiff::TapePolicy;
 use ft_ir::Device;
@@ -37,6 +44,14 @@ fn main() {
         .position(|a| a == "--trace")
         .and_then(|i| args.get(i + 1))
         .map(|p| p.into());
+    // Optional metrics export (`--metrics [PATH]`): the shared telemetry
+    // registry, frozen after the sweep.
+    let metrics_path: Option<std::path::PathBuf> =
+        args.iter().position(|a| a == "--metrics").map(|i| {
+            args.get(i + 1)
+                .filter(|p| !p.starts_with("--"))
+                .map_or_else(|| "results/METRICS.json".into(), |p| p.into())
+        });
     let json_path: Option<std::path::PathBuf> = if args.iter().any(|a| a == "--no-json") {
         None
     } else {
@@ -153,6 +168,10 @@ fn main() {
         if let Some(dir) = path.parent() {
             let _ = std::fs::create_dir_all(dir);
         }
+        // Stamp the cumulative bench metrics into the trace as Chrome "C"
+        // counter events, so the exported artifact carries the registry
+        // state alongside the lowering spans.
+        sink.metrics_sample(&bench_metrics().snapshot());
         ft_trace::write_chrome_trace(&sink, &path).expect("write trace");
         let lower: Vec<_> = sink
             .events()
@@ -175,6 +194,23 @@ fn main() {
         assert!(
             simd_accepted > 0,
             "optimized CPU runs produced no accepted vm.simd spans"
+        );
+    }
+    if let Some(path) = metrics_path {
+        let snap = bench_metrics().snapshot();
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        std::fs::write(&path, snap.to_json()).expect("write metrics");
+        eprintln!(
+            "wrote {} (cc spawned {}, cache {} hit / {} miss, {} compiled runs)",
+            path.display(),
+            snap.counter("compiled.cc.spawned"),
+            snap.counter("compiled.cache.hit"),
+            snap.counter("compiled.cache.miss"),
+            snap.histograms
+                .get("engine.compiled.run_us")
+                .map_or(0, |h| h.count),
         );
     }
 }

@@ -30,9 +30,11 @@
 use ft_autodiff::{GradOptions, TapePolicy};
 use ft_autoschedule::Target;
 use ft_ir::Device;
+use ft_metrics::Metrics;
 use ft_opbase::Session;
 use ft_runtime::{
-    cc_available, CompiledEngine, DeviceConfig, PerfCounters, Runtime, TensorVal, VmRuntime,
+    cc_available, CompiledEngine, DeviceConfig, ExecutionEngine, PerfCounters, Runtime,
+    TensorVal, VmRuntime,
 };
 use ft_trace::JsonVal;
 use ft_workloads::{gat, input_pairs, longformer, softras, subdivnet, Inputs};
@@ -172,12 +174,26 @@ impl CaseResult {
     }
 }
 
+/// The process-wide metrics registry shared by every engine a bench sweep
+/// touches (interpreter, VM, compiled). One registry per process means a
+/// `fig16 --metrics` run exports the whole sweep's telemetry — engine run
+/// histograms, compile counts, cache hit/miss, pool stats — as one
+/// `results/METRICS.json` document.
+pub fn bench_metrics() -> &'static Metrics {
+    static METRICS: OnceLock<Metrics> = OnceLock::new();
+    METRICS.get_or_init(Metrics::new)
+}
+
 /// The process-wide compiled engine used for the third time axis: one
 /// instance keeps the in-memory kernel memo warm across every case in a
 /// sweep, on top of the on-disk artifact cache.
 fn bench_compiled_engine() -> &'static CompiledEngine {
     static ENGINE: OnceLock<CompiledEngine> = OnceLock::new();
-    ENGINE.get_or_init(CompiledEngine::new)
+    ENGINE.get_or_init(|| {
+        let mut e = CompiledEngine::new();
+        e.set_metrics(Some(bench_metrics().clone()));
+        e
+    })
 }
 
 /// Workload inputs + compiled programs for one (workload, scale) pair.
@@ -381,13 +397,15 @@ fn run_ft_both_engines(
     config: DeviceConfig,
     device: Device,
 ) -> CaseResult {
-    let rt = Runtime::with_config(config.clone());
+    let mut rt = Runtime::with_config(config.clone());
+    rt.set_metrics(Some(bench_metrics().clone()));
     let start = Instant::now();
     let result = prog.run(&rt, pairs, &[]);
     let interp_wall_ms = start.elapsed().as_secs_f64() * 1e3;
     match result {
         Ok(r) => {
-            let vm = VmRuntime::with_config(config);
+            let mut vm = VmRuntime::with_config(config);
+            vm.set_metrics(Some(bench_metrics().clone()));
             // One warm-up run, then best of two timed runs: a single cold
             // run folds one-off noise (page faults, pool spin-up, bytecode
             // compile jitter) into the headline number and can invert

@@ -32,6 +32,12 @@ static inline void ft_lib_matmul(const float* A, const float* B, float* C,
 }
 "#;
 
+/// Extra headers a *profiled* translation unit needs (`clock_gettime`).
+/// Appended to [`PREAMBLE`] by [`emit_c_profiled`] only, so the unprofiled
+/// source — and therefore its artifact-cache key — is byte-identical to
+/// what [`emit_c`] always produced.
+pub const PROF_PREAMBLE: &str = "#include <time.h>\n";
+
 fn ctype(dt: DataType) -> &'static str {
     match dt {
         DataType::F32 => "float",
@@ -54,7 +60,8 @@ enum CTy {
 /// preamble's support library) plus the C99 keywords — IR names must never
 /// mangle onto these.
 const RESERVED: &[&str] = &[
-    "ft_fdiv", "ft_fmod", "ft_sigmoid", "ft_lib_matmul", "ft_entry", "auto", "break", "case", "char",
+    "ft_fdiv", "ft_fmod", "ft_sigmoid", "ft_lib_matmul", "ft_entry", "__ft_prof", "__ft_t0",
+    "__ft_t1", "auto", "break", "case", "char",
     "const", "continue", "default", "do", "double", "else", "enum", "extern", "float", "for",
     "goto", "if", "inline", "int", "long", "register", "restrict", "return", "short", "signed",
     "sizeof", "static", "struct", "switch", "typedef", "union", "unsigned", "void", "volatile",
@@ -154,6 +161,21 @@ fn bind_signature(m: &mut Mangler, func: &Func) -> CSymbols {
     }
 }
 
+/// One per-loop-nest timing slot in a profiled translation unit.
+///
+/// Slot `k` of the `uint64_t *__ft_prof` array passed to the profiled
+/// function accumulates the wall nanoseconds spent in this outermost loop
+/// nest. `stmt`/`desc` use the same identity and label scheme as the
+/// interpreter's profile nodes (`for {iter}` with the For's [`ft_ir::StmtId`]),
+/// so compiled attribution is directly comparable to interpreted attribution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfSite {
+    /// Stable id of the profiled (outermost) For statement.
+    pub stmt: ft_ir::StmtId,
+    /// Interpreter-compatible label, e.g. `for i`.
+    pub desc: String,
+}
+
 struct Emitter {
     dtypes: HashMap<String, DataType>,
     shapes: HashMap<String, Vec<Expr>>,
@@ -161,6 +183,10 @@ struct Emitter {
     out: String,
     indent: usize,
     tmp: usize,
+    /// `Some` when emitting a profiled unit: the sites allocated so far.
+    prof: Option<Vec<ProfSite>>,
+    /// For-nesting depth; only depth-0 loops get a profiling site.
+    loop_depth: usize,
 }
 
 impl Emitter {
@@ -389,6 +415,26 @@ impl Emitter {
                 property,
                 body,
             } => {
+                // Outermost loop nests in a profiled unit are bracketed with
+                // clock_gettime pairs accumulating into their __ft_prof slot.
+                let site = if self.loop_depth == 0 {
+                    if let Some(sites) = &mut self.prof {
+                        let k = sites.len();
+                        sites.push(ProfSite {
+                            stmt: s.id,
+                            desc: format!("for {iter}"),
+                        });
+                        self.line("{");
+                        self.indent += 1;
+                        self.line("struct timespec __ft_t0, __ft_t1;");
+                        self.line("clock_gettime(CLOCK_MONOTONIC, &__ft_t0);");
+                        Some(k)
+                    } else {
+                        None
+                    }
+                } else {
+                    None
+                };
                 if property.parallel.is_parallel() {
                     self.line("#pragma omp parallel for");
                 } else if property.vectorize {
@@ -401,10 +447,22 @@ impl Emitter {
                 let i = self.names.bind(iter);
                 self.line(&format!("for (int64_t {i} = {begin}; {i} < {end}; ++{i}) {{"));
                 self.indent += 1;
+                self.loop_depth += 1;
                 self.stmt(body);
+                self.loop_depth -= 1;
                 self.indent -= 1;
                 self.line("}");
                 self.names.unbind(iter);
+                if let Some(k) = site {
+                    self.line("clock_gettime(CLOCK_MONOTONIC, &__ft_t1);");
+                    self.line(&format!(
+                        "if (__ft_prof) __ft_prof[{k}] += \
+                         (uint64_t)(__ft_t1.tv_sec - __ft_t0.tv_sec) * 1000000000u \
+                         + (uint64_t)__ft_t1.tv_nsec - (uint64_t)__ft_t0.tv_nsec;"
+                    ));
+                    self.indent -= 1;
+                    self.line("}");
+                }
             }
             StmtKind::If {
                 cond,
@@ -506,6 +564,20 @@ fn sanitize(name: &str) -> String {
 /// Emit a complete C translation unit (preamble + one function) for a
 /// CPU-scheduled function.
 pub fn emit_c(func: &Func) -> String {
+    emit_unit(func, false).0
+}
+
+/// Emit a *profiled* translation unit: the function gains a trailing
+/// `uint64_t *__ft_prof` parameter and every outermost loop nest is
+/// bracketed with `clock_gettime(CLOCK_MONOTONIC)` pairs accumulating wall
+/// nanoseconds into its slot. Passing a NULL `__ft_prof` skips recording,
+/// so one profiled artifact serves both timed and untimed calls. Returns
+/// the source and the site table (slot `k` ↔ `sites[k]`).
+pub fn emit_c_profiled(func: &Func) -> (String, Vec<ProfSite>) {
+    emit_unit(func, true)
+}
+
+fn emit_unit(func: &Func, profile: bool) -> (String, Vec<ProfSite>) {
     let mut names = Mangler::new();
     let syms = bind_signature(&mut names, func);
     let mut em = Emitter {
@@ -515,6 +587,8 @@ pub fn emit_c(func: &Func) -> String {
         out: String::new(),
         indent: 0,
         tmp: 0,
+        prof: profile.then(Vec::new),
+        loop_depth: 0,
     };
     for p in &func.params {
         em.dtypes.insert(p.name.clone(), p.dtype);
@@ -533,13 +607,19 @@ pub fn emit_c(func: &Func) -> String {
     for ident in &syms.size_params {
         sig.push(format!("int64_t {ident}"));
     }
+    if profile {
+        sig.push("uint64_t *__ft_prof".to_string());
+    }
     let mut out = String::from(PREAMBLE);
+    if profile {
+        out.push_str(PROF_PREAMBLE);
+    }
     let _ = writeln!(out, "\nvoid {}({}) {{", syms.func, sig.join(", "));
     em.indent = 1;
     em.stmt(&func.body);
     out.push_str(&em.out);
     out.push_str("}\n");
-    out
+    (out, em.prof.unwrap_or_default())
 }
 
 #[cfg(test)]
@@ -694,6 +774,63 @@ mod tests {
         assert_ne!(syms.params[0], "ft_fdiv");
         let c = emit_c(&f);
         assert!(c.contains(&format!("void {}(", syms.func)), "{c}");
+    }
+
+    #[test]
+    fn profiled_unit_brackets_outermost_loops_only() {
+        // Two top-level nests, one with an inner loop: exactly two sites,
+        // labelled like the interpreter's profile nodes, and the inner loop
+        // is not bracketed.
+        let inner = for_("j", 0, var("n"), store("y", [var("j")], 1.0f32));
+        let f = Func::new("two_nests")
+            .param("y", [var("n")], DataType::F32, AccessType::Output)
+            .size_param("n")
+            .body(Stmt::new(StmtKind::Block(vec![
+                for_("i", 0, var("n"), inner),
+                for_("k", 0, var("n"), store("y", [var("k")], 2.0f32)),
+            ])));
+        let (c, sites) = emit_c_profiled(&f);
+        assert_eq!(sites.len(), 2, "{sites:?}");
+        assert_eq!(sites[0].desc, "for i");
+        assert_eq!(sites[1].desc, "for k");
+        assert!(c.contains("uint64_t *__ft_prof"), "{c}");
+        assert!(c.contains("#include <time.h>"), "{c}");
+        assert!(c.contains("if (__ft_prof) __ft_prof[0] +="), "{c}");
+        assert!(c.contains("if (__ft_prof) __ft_prof[1] +="), "{c}");
+        assert_eq!(c.matches("clock_gettime").count(), 4, "{c}");
+        // The unprofiled emission is untouched by the profiling machinery.
+        let plain = emit_c(&f);
+        assert!(!plain.contains("__ft_prof"), "{plain}");
+        assert!(!plain.contains("clock_gettime"), "{plain}");
+    }
+
+    #[test]
+    fn profiled_c_compiles_if_cc_available() {
+        use std::io::Write as _;
+        use std::process::{Command, Stdio};
+        let (c, _) = emit_c_profiled(&sample());
+        let Ok(mut child) = Command::new("cc")
+            .args(["-fsyntax-only", "-fopenmp", "-xc", "-"])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::null())
+            .stderr(Stdio::piped())
+            .spawn()
+        else {
+            eprintln!("cc unavailable; skipping compile check");
+            return;
+        };
+        child
+            .stdin
+            .as_mut()
+            .expect("piped stdin")
+            .write_all(c.as_bytes())
+            .expect("write source");
+        let out = child.wait_with_output().expect("cc runs");
+        assert!(
+            out.status.success(),
+            "cc rejected the profiled C:\n{}\n--- source ---\n{c}",
+            String::from_utf8_lossy(&out.stderr)
+        );
     }
 
     #[test]

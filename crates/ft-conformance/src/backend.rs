@@ -115,3 +115,21 @@ pub fn run_backend(
         .map(|r| r.outputs)
         .map_err(|e| format!("{}: {e}", engine.name()))
 }
+
+/// Re-run `func` on `backend` with a fresh metrics registry installed and
+/// return the frozen telemetry of exactly that run (run/kernel wall
+/// histograms, cache and compile counters, pool stats). The run's outputs
+/// are discarded and failures are tolerated — a failing run still produces
+/// the telemetry that led up to the failure, which is precisely what a
+/// miscompile repro wants to carry.
+pub fn run_backend_telemetry(
+    backend: Backend,
+    func: &Func,
+    inputs: &HashMap<String, TensorVal>,
+) -> ft_metrics::MetricsSnapshot {
+    let mut engine = engine_for(backend);
+    let metrics = ft_metrics::Metrics::new();
+    engine.set_metrics(Some(metrics.clone()));
+    let _ = engine.run(func, inputs, &HashMap::new());
+    metrics.snapshot()
+}

@@ -484,6 +484,11 @@ pub fn run_grad_conformance(cfg: &GradConfig) -> GradSummary {
                                 &cfg.tol,
                             )
                             .expect("minimized trace must still fail");
+                            // Telemetry of the diverging backward run
+                            // rides along in the repro.
+                            let metrics = crate::backend::run_backend_telemetry(
+                                d.backend, &f, &inputs,
+                            );
                             let repro = Repro {
                                 workload: w.name().to_string(),
                                 input_seed,
@@ -495,6 +500,7 @@ pub fn run_grad_conformance(cfg: &GradConfig) -> GradSummary {
                                 decision_log,
                                 grad: Some(spec),
                                 tol_rel: Some(cfg.tol.rel),
+                                metrics: Some(metrics),
                             };
                             let path = repro.write(&cfg.out_dir).ok();
                             (Some(d), path)

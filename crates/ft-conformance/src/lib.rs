@@ -39,7 +39,7 @@ pub mod repro;
 pub mod shrink;
 pub mod workload;
 
-pub use backend::Backend;
+pub use backend::{run_backend_telemetry, Backend};
 pub use diff::{check_grad_variant, check_variant, Divergence, GradTol};
 pub use grad::{run_grad_conformance, GradConfig, GradOrder, GradSpec, GradSummary};
 pub use ops::ScheduleOp;
@@ -192,6 +192,10 @@ pub fn run_conformance(cfg: &Config) -> Summary {
                         .collect();
                     let d = check_variant(&case, &f, &cfg.backends, cfg.tol)
                         .expect("minimized trace must still fail");
+                    // One more run of the diverging backend with a fresh
+                    // metrics registry, so the repro carries the runtime
+                    // telemetry of the failure.
+                    let metrics = backend::run_backend_telemetry(d.backend, &f, &case.inputs);
                     let repro = Repro {
                         workload: w.name().to_string(),
                         input_seed,
@@ -203,6 +207,7 @@ pub fn run_conformance(cfg: &Config) -> Summary {
                         decision_log,
                         grad: None,
                         tol_rel: None,
+                        metrics: Some(metrics),
                     };
                     let path = repro.write(&cfg.out_dir).ok();
                     (Some(d), path)

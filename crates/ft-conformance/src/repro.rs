@@ -46,6 +46,12 @@ pub struct Repro {
     /// Relative tolerance term of the gradient contract (`tol` holds the
     /// absolute term). `None` on forward repros.
     pub tol_rel: Option<f64>,
+    /// Runtime telemetry of the diverging backend's minimized run (an
+    /// `ft-metrics` snapshot: engine wall histograms, compile/cache
+    /// counters, pool stats), so a miscompile report carries the runtime
+    /// conditions that produced it. Informational: not needed for replay,
+    /// `None` on files from before telemetry existed.
+    pub metrics: Option<ft_metrics::MetricsSnapshot>,
 }
 
 fn num(n: u64) -> JsonVal {
@@ -234,6 +240,16 @@ impl Repro {
         if let Some(r) = self.tol_rel {
             fields.push(("tol_rel".to_string(), JsonVal::Num(r)));
         }
+        // The telemetry snapshot is emitted only when present, so files
+        // from metric-less sweeps are byte-identical to the old format.
+        // The snapshot serializes itself; re-parse into this module's
+        // value type to embed it as a structured object rather than an
+        // opaque string.
+        if let Some(m) = &self.metrics {
+            if let Ok(v) = JsonVal::parse(&m.to_json()) {
+                fields.push(("metrics".to_string(), v));
+            }
+        }
         JsonVal::Obj(fields).to_string()
     }
 
@@ -280,6 +296,15 @@ impl Repro {
             Some(g) => Some(grad_from_json(g)?),
         };
         let tol_rel = v.get("tol_rel").and_then(JsonVal::as_f64);
+        // Optional telemetry block: absent on pre-metrics files, rejected
+        // (not silently dropped) when present but malformed.
+        let metrics = match v.get("metrics") {
+            None => None,
+            Some(m) => Some(
+                ft_metrics::MetricsSnapshot::from_json(&m.to_string())
+                    .map_err(|e| format!("bad `metrics` block: {e}"))?,
+            ),
+        };
         Ok(Repro {
             workload: str_field("workload")?,
             input_seed: num_field("input_seed")? as u64,
@@ -294,6 +319,7 @@ impl Repro {
             decision_log,
             grad,
             tol_rel,
+            metrics,
         })
     }
 
@@ -390,6 +416,7 @@ mod tests {
             ],
             grad: None,
             tol_rel: None,
+            metrics: None,
         }
     }
 
@@ -483,6 +510,34 @@ mod tests {
         );
         assert_eq!(Repro::from_json(&std::fs::read_to_string(&path).unwrap()).unwrap(), g);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn metrics_block_roundtrips_and_is_optional() {
+        // A metric-less repro never mentions the key, so pre-telemetry
+        // consumers see an unchanged format.
+        let plain = sample();
+        assert!(!plain.to_json().contains("\"metrics\""));
+        assert_eq!(Repro::from_json(&plain.to_json()).unwrap().metrics, None);
+        // A repro carrying telemetry round-trips it exactly.
+        let m = ft_metrics::Metrics::new();
+        m.counter("compiled.cache.hit").add(2);
+        m.counter("compiled.cc.spawned").inc();
+        m.gauge("compiled.cache.size_bytes").set(4096);
+        m.histogram("engine.compiled.run_us").record(137);
+        let mut with = sample();
+        with.metrics = Some(m.snapshot());
+        let back = Repro::from_json(&with.to_json()).unwrap();
+        assert_eq!(back, with);
+        let snap = back.metrics.unwrap();
+        assert_eq!(snap.counter("compiled.cc.spawned"), 1);
+        assert_eq!(snap.histograms["engine.compiled.run_us"].count, 1);
+        // A malformed telemetry block is rejected, not silently dropped
+        // (a counter is a u64; -1 is not).
+        let bad = with
+            .to_json()
+            .replace("\"compiled.cc.spawned\": 1", "\"compiled.cc.spawned\": -1");
+        assert!(Repro::from_json(&bad).is_err());
     }
 
     #[test]

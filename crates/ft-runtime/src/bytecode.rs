@@ -65,6 +65,7 @@ use crate::interp::{RunResult, Runtime};
 use crate::pool::{grain_for, WorkerPool};
 use crate::value::{lanes, Scalar, TensorVal};
 use ft_ir::{AccessType, BinaryOp, DataType, Device, Func, MemType, ParallelScope, ReduceOp, UnaryOp};
+use ft_metrics::Metrics;
 use ft_trace::{ProfileNode, RunProfile, StmtCounters, TraceSink, TRACK_RUNTIME};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -2120,6 +2121,43 @@ struct VmState<'a> {
     /// slots that stay worker-private (region locals and privatized
     /// reduction targets).
     shared: Option<(&'a SharedSlots, &'a [bool])>,
+    /// Fast-mode dispatch tallies, present only when the owning
+    /// [`VmRuntime`] has a metrics registry. Coordinator-thread only:
+    /// worker states inside a fork-join region run untallied, so the
+    /// counts are independent of worker count.
+    tally: Option<VmTally>,
+}
+
+/// Per-run dispatch bookkeeping harvested into the metrics registry after
+/// execution. Plain integers on the coordinator thread — no atomics on the
+/// dispatch hot path.
+#[derive(Debug)]
+struct VmTally {
+    /// Dispatch counts per fused [`VecKernel`] kind, indexed as
+    /// [`VEC_KERNEL_NAMES`].
+    vec: [u64; VEC_KERNEL_NAMES.len()],
+    /// Parallel-region sites scheduled on the worker pool.
+    par_pool: u64,
+    /// Parallel-region sites that took the serial fallback (tiny trip
+    /// count, nested region, or unavailable privatization).
+    par_serial: u64,
+    /// Wall time of each fused-kernel dispatch, in nanoseconds.
+    kernel_ns: ft_metrics::Histogram,
+}
+
+/// Metric-name suffixes of the fused vectorized kernels, in
+/// [`VmTally::vec`] index order.
+const VEC_KERNEL_NAMES: [&str; 5] = ["fill", "copy", "axpy", "dot", "hreduce"];
+
+/// The [`VmTally::vec`] slot a kernel dispatch is counted in.
+fn vec_tally_idx(k: &VecKernel) -> usize {
+    match k {
+        VecKernel::Fill { .. } => 0,
+        VecKernel::Copy { .. } => 1,
+        VecKernel::Axpy { .. } => 2,
+        VecKernel::Dot { .. } => 3,
+        VecKernel::HReduce { .. } => 4,
+    }
 }
 
 #[inline(always)]
@@ -2925,6 +2963,7 @@ impl VmState<'_> {
         let b = self.ri(site.s);
         let e = self.ri(site.end);
         if b < e {
+            let t0 = self.tally.as_ref().map(|_| std::time::Instant::now());
             let trip = (e - b) as usize;
             match &site.kernel {
                 VecKernel::Fill { dst, src, sty } => self.vec_fill(trip, dst, *src, *sty)?,
@@ -2934,6 +2973,13 @@ impl VmState<'_> {
                 }
                 VecKernel::Dot { dst, x, y } => self.vec_dot(trip, dst, x, y)?,
                 VecKernel::HReduce { dst, x, op } => self.vec_hreduce(trip, dst, x, *op)?,
+            }
+            if let Some(t) = self.tally.as_mut() {
+                t.vec[vec_tally_idx(&site.kernel)] += 1;
+                if let Some(t0) = t0 {
+                    t.kernel_ns
+                        .record(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+                }
             }
         }
         // The loop counter lands on `end`, exactly as the serial loop
@@ -3274,12 +3320,18 @@ impl VmState<'_> {
         let work = (trip as u64).saturating_mul(u64::from(site.cost.max(1)));
         let priv_ok = site.privatized.iter().all(|&(t, _)| self.tensors[t].is_some());
         if workers <= 1 || work < PAR_THRESHOLD || !priv_ok || self.shared.is_some() {
+            if let Some(t) = self.tally.as_mut() {
+                t.par_serial += 1;
+            }
             for i in b..e {
                 self.wi(site.s, i);
                 self.exec_code(&site.code, prog, inputs)?;
             }
             self.wi(site.s, e);
             return Ok(());
+        }
+        if let Some(t) = self.tally.as_mut() {
+            t.par_pool += 1;
         }
         let grain = grain_for(trip as i64, workers, u64::from(site.cost.max(1)));
         // Per-chunk private accumulators start from the identity, cloned
@@ -3331,6 +3383,7 @@ impl VmState<'_> {
                 loop_stack: Vec::new(),
                 live,
                 shared: Some((&shared, mask)),
+                tally: None,
             };
             for i in lo..hi {
                 ws.wi(site.s, i);
@@ -3383,6 +3436,7 @@ pub struct VmRuntime {
     pub config: DeviceConfig,
     mode: VmMode,
     sink: Option<TraceSink>,
+    metrics: Option<Metrics>,
 }
 
 
@@ -3432,6 +3486,22 @@ impl VmRuntime {
         self.sink.as_ref()
     }
 
+    /// Install (or remove) a metrics registry. When present, every run
+    /// records an `engine.vm.run_us` wall histogram, fast-mode fused-kernel
+    /// dispatch counters (`vm.kernel.*`) with an `engine.vm.kernel_ns`
+    /// dispatch-wall histogram, parallel-region scheduling counters
+    /// (`vm.par.{pool,serial}`), worker-pool claim counters, and an
+    /// `engine.vm.fallback` counter for runs delegated to the interpreter
+    /// (those record interpreter metrics instead).
+    pub fn set_metrics(&mut self, metrics: Option<Metrics>) {
+        self.metrics = metrics;
+    }
+
+    /// The installed metrics registry, if any.
+    pub fn metrics(&self) -> Option<&Metrics> {
+        self.metrics.as_ref()
+    }
+
     /// Execute `func`, falling back to the interpreter for programs the
     /// static compiler cannot type (or whose supplied inputs' dtypes differ
     /// from the declarations).
@@ -3446,6 +3516,8 @@ impl VmRuntime {
         inputs: &HashMap<String, TensorVal>,
         sizes: &HashMap<String, i64>,
     ) -> Result<RunResult, RuntimeError> {
+        let t0 = self.metrics.as_ref().map(|_| std::time::Instant::now());
+        let pool_before = self.metrics.as_ref().map(|_| WorkerPool::global().stats());
         let compiled = crate::compiled::compile(func)?;
         // The interpreter binds inputs by clone whatever their dtype; the
         // VM compiles loads against the declared dtype, so mismatched
@@ -3475,6 +3547,10 @@ impl VmRuntime {
                 }
                 let mut rt = Runtime::with_config(self.config.clone());
                 rt.set_sink(self.sink.clone());
+                if let Some(m) = &self.metrics {
+                    m.counter("engine.vm.fallback").inc();
+                    rt.set_metrics(self.metrics.clone());
+                }
                 return rt.run(func, inputs, sizes);
             }
         };
@@ -3510,6 +3586,12 @@ impl VmRuntime {
             loop_stack: Vec::new(),
             live: [0, 0],
             shared: None,
+            tally: self.metrics.as_ref().map(|m| VmTally {
+                vec: [0; VEC_KERNEL_NAMES.len()],
+                par_pool: 0,
+                par_serial: 0,
+                kernel_ns: m.histogram("engine.vm.kernel_ns"),
+            }),
         };
         for (name, slot) in &prog.size_slots {
             let v = *sizes
@@ -3517,7 +3599,32 @@ impl VmRuntime {
                 .ok_or_else(|| RuntimeError::UnresolvedSize(name.clone()))?;
             st.regs[*slot] = v as u64;
         }
-        st.exec(&prog, inputs)?;
+        let exec_r = st.exec(&prog, inputs);
+        if let Some(m) = &self.metrics {
+            if let Some(t0) = t0 {
+                m.histogram("engine.vm.run_us").record_duration_us(t0.elapsed());
+            }
+            if exec_r.is_err() {
+                m.counter("engine.vm.errors").inc();
+            }
+            if let Some(t) = st.tally.take() {
+                for (i, name) in VEC_KERNEL_NAMES.iter().enumerate() {
+                    if t.vec[i] > 0 {
+                        m.counter(&format!("vm.kernel.{name}")).add(t.vec[i]);
+                    }
+                }
+                if t.par_pool > 0 {
+                    m.counter("vm.par.pool").add(t.par_pool);
+                }
+                if t.par_serial > 0 {
+                    m.counter("vm.par.serial").add(t.par_serial);
+                }
+            }
+            if let Some(before) = &pool_before {
+                crate::engine::record_pool_delta(m, before);
+            }
+        }
+        exec_r?;
         let mut outputs = HashMap::new();
         for p in &prog.params {
             if matches!(p.atype, AccessType::Output | AccessType::InOut) {

@@ -409,6 +409,8 @@ pub(crate) struct ExecCtx<'a> {
     pub prof: Option<Vec<StmtCounters>>,
     /// Index of the bucket currently being charged (node 0 = function root).
     pub prof_cur: usize,
+    /// When metrics are installed: wall time of each library-kernel call.
+    pub kernel_us: Option<ft_metrics::Histogram>,
 }
 
 impl ExecCtx<'_> {
@@ -746,7 +748,11 @@ impl ExecCtx<'_> {
                     self.prof_cur = *prof;
                     p[*prof].trips += 1;
                 }
+                let t0 = self.kernel_us.as_ref().map(|_| std::time::Instant::now());
                 let r = crate::libkernel::dispatch_slots(self, kernel, inputs, outputs, attrs);
+                if let (Some(h), Some(t0)) = (&self.kernel_us, t0) {
+                    h.record_duration_us(t0.elapsed());
+                }
                 self.prof_cur = saved_prof;
                 r
             }

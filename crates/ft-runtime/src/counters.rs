@@ -149,9 +149,12 @@ pub struct PerfCounters {
 
 impl PerfCounters {
     /// Record an allocation on a device; returns the new live size.
+    /// Saturating: a pathological allocation stream pins at `u64::MAX`
+    /// instead of wrapping (a wrapped `live_bytes` would also corrupt the
+    /// peak tracking below it).
     pub fn alloc(&mut self, device: &str, bytes: u64) -> u64 {
         let live = self.live_bytes.entry(device.to_string()).or_insert(0);
-        *live += bytes;
+        *live = live.saturating_add(bytes);
         let live_now = *live;
         let peak = self.peak_bytes.entry(device.to_string()).or_insert(0);
         if live_now > *peak {
@@ -167,18 +170,23 @@ impl PerfCounters {
         }
     }
 
-    /// Merge another counter set into this one (used by threaded execution).
+    /// Merge another counter set into this one (used by threaded execution
+    /// and long accumulation loops). Saturating on every `u64` field: near
+    /// the top of the range a sum pins at `u64::MAX` instead of wrapping to
+    /// a small number — a wrapped total would silently pass "counters look
+    /// plausible" checks while being off by 2^64.
     pub fn merge(&mut self, other: &PerfCounters) {
-        self.kernel_launches += other.kernel_launches;
-        self.flops += other.flops;
-        self.int_ops += other.int_ops;
-        self.dram_bytes += other.dram_bytes;
-        self.l2_bytes += other.l2_bytes;
-        self.scratch_bytes += other.scratch_bytes;
-        self.heap_bytes += other.heap_bytes;
+        self.kernel_launches = self.kernel_launches.saturating_add(other.kernel_launches);
+        self.flops = self.flops.saturating_add(other.flops);
+        self.int_ops = self.int_ops.saturating_add(other.int_ops);
+        self.dram_bytes = self.dram_bytes.saturating_add(other.dram_bytes);
+        self.l2_bytes = self.l2_bytes.saturating_add(other.l2_bytes);
+        self.scratch_bytes = self.scratch_bytes.saturating_add(other.scratch_bytes);
+        self.heap_bytes = self.heap_bytes.saturating_add(other.heap_bytes);
         self.modeled_cycles += other.modeled_cycles;
         for (k, v) in &other.live_bytes {
-            *self.live_bytes.entry(k.clone()).or_insert(0) += v;
+            let live = self.live_bytes.entry(k.clone()).or_insert(0);
+            *live = live.saturating_add(*v);
         }
         for (k, v) in &other.peak_bytes {
             let p = self.peak_bytes.entry(k.clone()).or_insert(0);
@@ -279,6 +287,31 @@ mod tests {
         p.alloc("gpu", 10);
         assert_eq!(p.peak_bytes["gpu"], 150);
         assert_eq!(p.live_bytes["gpu"], 40);
+    }
+
+    #[test]
+    fn merge_and_alloc_saturate_instead_of_wrapping() {
+        let mut a = PerfCounters {
+            flops: u64::MAX - 1,
+            heap_bytes: u64::MAX,
+            ..Default::default()
+        };
+        a.alloc("cpu", u64::MAX - 8);
+        let mut b = PerfCounters {
+            flops: 5,
+            heap_bytes: 1,
+            ..Default::default()
+        };
+        b.alloc("cpu", 64);
+        a.merge(&b);
+        assert_eq!(a.flops, u64::MAX);
+        assert_eq!(a.heap_bytes, u64::MAX);
+        assert_eq!(a.live_bytes["cpu"], u64::MAX);
+        // alloc near the top also pins rather than wrapping.
+        let mut p = PerfCounters::default();
+        p.alloc("gpu", u64::MAX - 1);
+        assert_eq!(p.alloc("gpu", 100), u64::MAX);
+        assert_eq!(p.peak_bytes["gpu"], u64::MAX);
     }
 
     #[test]

@@ -12,11 +12,31 @@ use crate::bytecode::VmRuntime;
 use crate::counters::PerfCounters;
 use crate::error::RuntimeError;
 use crate::interp::{RunResult, Runtime};
+use crate::pool::{PoolStatsSnapshot, WorkerPool};
 use crate::threaded::run_threaded_traced;
 use crate::value::TensorVal;
 use ft_ir::Func;
+use ft_metrics::Metrics;
 use ft_trace::TraceSink;
 use std::collections::HashMap;
+
+/// Publish the worker-pool statistics accumulated since `before` into `m`:
+/// `pool.regions[.inline]`, `pool.chunks.{submitter,helper}` counters, the
+/// monotone `pool.queue.peak_depth` gauge, and the last run's
+/// `pool.claim.imbalance_pct` gauge. Shared by every engine that schedules
+/// regions on [`WorkerPool::global`].
+pub(crate) fn record_pool_delta(m: &Metrics, before: &PoolStatsSnapshot) {
+    let d = WorkerPool::global().stats().delta_since(before);
+    m.counter("pool.regions").add(d.regions);
+    m.counter("pool.regions.inline").add(d.inline_regions);
+    m.counter("pool.chunks.submitter").add(d.chunks_submitter);
+    m.counter("pool.chunks.helper").add(d.chunks_helper);
+    m.gauge("pool.queue.peak_depth")
+        .fetch_max(d.queue_peak as i64);
+    if let Some(p) = d.imbalance_pct() {
+        m.gauge("pool.claim.imbalance_pct").set(p as i64);
+    }
+}
 
 /// An execution backend for lowered functions.
 ///
@@ -50,6 +70,20 @@ pub trait ExecutionEngine {
 
     /// The installed trace sink, if any.
     fn sink(&self) -> Option<&TraceSink>;
+
+    /// Install (or remove) a metrics registry. Engines record per-run wall
+    /// histograms (`engine.<name>.run_us`), error counters, and whatever
+    /// backend-specific telemetry they own (cache counters, kernel dispatch
+    /// counts, pool claims). The default does nothing, for backends without
+    /// instrumentation.
+    fn set_metrics(&mut self, metrics: Option<Metrics>) {
+        let _ = metrics;
+    }
+
+    /// The installed metrics registry, if any.
+    fn metrics(&self) -> Option<&Metrics> {
+        None
+    }
 }
 
 impl ExecutionEngine for Runtime {
@@ -72,6 +106,14 @@ impl ExecutionEngine for Runtime {
 
     fn sink(&self) -> Option<&TraceSink> {
         Runtime::sink(self)
+    }
+
+    fn set_metrics(&mut self, metrics: Option<Metrics>) {
+        Runtime::set_metrics(self, metrics)
+    }
+
+    fn metrics(&self) -> Option<&Metrics> {
+        Runtime::metrics(self)
     }
 }
 
@@ -96,6 +138,14 @@ impl ExecutionEngine for VmRuntime {
     fn sink(&self) -> Option<&TraceSink> {
         VmRuntime::sink(self)
     }
+
+    fn set_metrics(&mut self, metrics: Option<Metrics>) {
+        VmRuntime::set_metrics(self, metrics)
+    }
+
+    fn metrics(&self) -> Option<&Metrics> {
+        VmRuntime::metrics(self)
+    }
 }
 
 /// The thread-parallel mode behind the common trait: `OpenMp` loops run on
@@ -106,6 +156,7 @@ pub struct ThreadedEngine {
     /// Worker thread count for parallel loops.
     pub threads: usize,
     sink: Option<TraceSink>,
+    metrics: Option<Metrics>,
 }
 
 impl ThreadedEngine {
@@ -114,6 +165,7 @@ impl ThreadedEngine {
         ThreadedEngine {
             threads: threads.max(1),
             sink: None,
+            metrics: None,
         }
     }
 }
@@ -129,9 +181,21 @@ impl ExecutionEngine for ThreadedEngine {
         inputs: &HashMap<String, TensorVal>,
         sizes: &HashMap<String, i64>,
     ) -> Result<RunResult, RuntimeError> {
-        let outputs = run_threaded_traced(func, inputs, sizes, self.threads, self.sink.as_ref())?;
+        let t0 = self.metrics.as_ref().map(|_| std::time::Instant::now());
+        let pool_before = self.metrics.as_ref().map(|_| WorkerPool::global().stats());
+        let r = run_threaded_traced(func, inputs, sizes, self.threads, self.sink.as_ref());
+        if let (Some(m), Some(t0)) = (&self.metrics, t0) {
+            m.histogram("engine.threaded.run_us")
+                .record_duration_us(t0.elapsed());
+            if let Some(before) = &pool_before {
+                record_pool_delta(m, before);
+            }
+            if r.is_err() {
+                m.counter("engine.threaded.errors").inc();
+            }
+        }
         Ok(RunResult {
-            outputs,
+            outputs: r?,
             counters: PerfCounters::default(),
         })
     }
@@ -142,6 +206,14 @@ impl ExecutionEngine for ThreadedEngine {
 
     fn sink(&self) -> Option<&TraceSink> {
         self.sink.as_ref()
+    }
+
+    fn set_metrics(&mut self, metrics: Option<Metrics>) {
+        self.metrics = metrics;
+    }
+
+    fn metrics(&self) -> Option<&Metrics> {
+        self.metrics.as_ref()
     }
 }
 

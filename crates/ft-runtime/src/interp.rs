@@ -5,6 +5,7 @@ use crate::device::DeviceConfig;
 use crate::error::RuntimeError;
 use crate::value::{Scalar, TensorVal};
 use ft_ir::{AccessType, BinaryOp, Func, ReduceOp, UnaryOp};
+use ft_metrics::Metrics;
 use ft_trace::{RunProfile, StmtCounters, TraceSink, TRACK_RUNTIME};
 use std::collections::HashMap;
 
@@ -36,6 +37,7 @@ pub struct Runtime {
     /// Modeled platform parameters.
     pub config: DeviceConfig,
     sink: Option<TraceSink>,
+    metrics: Option<Metrics>,
 }
 
 impl Runtime {
@@ -46,14 +48,17 @@ impl Runtime {
 
     /// A runtime with an explicit device model.
     pub fn with_config(config: DeviceConfig) -> Runtime {
-        Runtime { config, sink: None }
+        Runtime {
+            config,
+            ..Runtime::default()
+        }
     }
 
     /// A runtime that reports spans and per-statement profiles into `sink`.
     pub fn with_sink(sink: TraceSink) -> Runtime {
         Runtime {
-            config: DeviceConfig::default(),
             sink: Some(sink),
+            ..Runtime::default()
         }
     }
 
@@ -69,6 +74,18 @@ impl Runtime {
         self.sink.as_ref()
     }
 
+    /// Install (or remove) a metrics registry. When present, every run
+    /// records `engine.interp.run_us` and per-library-kernel
+    /// `engine.interp.kernel_us` wall histograms plus an error counter.
+    pub fn set_metrics(&mut self, metrics: Option<Metrics>) {
+        self.metrics = metrics;
+    }
+
+    /// The installed metrics registry, if any.
+    pub fn metrics(&self) -> Option<&Metrics> {
+        self.metrics.as_ref()
+    }
+
     /// Execute `func` with the given input tensors and size parameters.
     ///
     /// # Errors
@@ -76,6 +93,23 @@ impl Runtime {
     /// Returns [`RuntimeError`] for missing/ill-shaped inputs, out-of-bounds
     /// accesses, unknown kernels, or device out-of-memory conditions.
     pub fn run(
+        &self,
+        func: &Func,
+        inputs: &HashMap<String, TensorVal>,
+        sizes: &HashMap<String, i64>,
+    ) -> Result<RunResult, RuntimeError> {
+        let t0 = self.metrics.as_ref().map(|_| std::time::Instant::now());
+        let r = self.run_inner(func, inputs, sizes);
+        if let (Some(m), Some(t0)) = (&self.metrics, t0) {
+            m.histogram("engine.interp.run_us").record_duration_us(t0.elapsed());
+            if r.is_err() {
+                m.counter("engine.interp.errors").inc();
+            }
+        }
+        r
+    }
+
+    fn run_inner(
         &self,
         func: &Func,
         inputs: &HashMap<String, TensorVal>,
@@ -100,6 +134,10 @@ impl Runtime {
                 .is_some()
                 .then(|| vec![StmtCounters::default(); compiled.prof_nodes.len()]),
             prof_cur: 0,
+            kernel_us: self
+                .metrics
+                .as_ref()
+                .map(|m| m.histogram("engine.interp.kernel_us")),
         };
         for (name, slot) in &compiled.size_slots {
             let v = *sizes

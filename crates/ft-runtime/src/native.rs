@@ -29,26 +29,30 @@ use crate::error::RuntimeError;
 use crate::interp::RunResult;
 use crate::process::output_with_timeout;
 use crate::value::TensorVal;
-use ft_codegen::{c_symbols, emit_c};
+use ft_codegen::{c_symbols, emit_c, emit_c_profiled, ProfSite};
 use ft_ir::{AccessType, BinaryOp, DataType, Expr, Func};
-use ft_trace::{Decision, TraceSink, Verdict, TRACK_RUNTIME};
+use ft_metrics::Metrics;
+use ft_trace::{Decision, ProfileNode, RunProfile, StmtCounters, TraceSink, Verdict, TRACK_RUNTIME};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::ffi::c_void;
 use std::path::{Path, PathBuf};
 use std::process::Command;
 use std::sync::{Arc, OnceLock};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Bump when the generated entry-point convention changes, so stale cached
-/// `.so` files from older layouts can never be loaded.
-const ABI_VERSION: u32 = 1;
+/// `.so` files from older layouts can never be loaded. v2: `ft_entry` gained
+/// a trailing `uint64_t *prof` parameter (NULL when profiling is off).
+const ABI_VERSION: u32 = 2;
 
 /// Entry-point signature of every generated shared object:
-/// `void ft_entry(void **params, const int64_t *sizes)` with tensor
-/// parameters in declaration order followed by size parameters in
-/// declaration order.
-type EntryFn = unsafe extern "C" fn(*mut *mut c_void, *const i64);
+/// `void ft_entry(void **params, const int64_t *sizes, uint64_t *prof)`
+/// with tensor parameters in declaration order followed by size parameters
+/// in declaration order. `prof` is only read by profiled builds (slot `k`
+/// accumulates wall nanoseconds for outermost loop nest `k`); unprofiled
+/// builds ignore it and callers pass NULL.
+type EntryFn = unsafe extern "C" fn(*mut *mut c_void, *const i64, *mut u64);
 
 /// Whether a host C compiler is available (memoized per process).
 pub fn cc_available() -> bool {
@@ -67,6 +71,9 @@ pub fn cc_available() -> bool {
 /// called.
 struct LoadedKernel {
     entry: EntryFn,
+    /// Profiling site table of a profiled build (slot `k` of the prof array
+    /// maps to `sites[k]`); empty for unprofiled builds.
+    sites: Vec<ProfSite>,
     _lib: libloading::Library,
 }
 
@@ -85,6 +92,10 @@ pub struct CompiledEngine {
     cache_dir: PathBuf,
     cc_timeout: Duration,
     sink: Option<TraceSink>,
+    metrics: Option<Metrics>,
+    /// Emit per-loop-nest timing hooks into generated C and publish a
+    /// [`RunProfile`] per run. Defaults from the `FT_PROFILE` env var.
+    profile: bool,
     state: Arc<EngineState>,
 }
 
@@ -124,6 +135,25 @@ fn default_cache_dir() -> PathBuf {
         }
     }
     std::env::temp_dir().join("ft-cache")
+}
+
+/// Whether the `FT_PROFILE` env var asks for per-loop-nest profiling
+/// (set, non-empty, and not `"0"`).
+fn profile_env_enabled() -> bool {
+    std::env::var("FT_PROFILE").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Total bytes of all regular files in the artifact cache directory.
+fn cache_size_bytes(dir: &Path) -> u64 {
+    std::fs::read_dir(dir)
+        .map(|rd| {
+            rd.flatten()
+                .filter_map(|e| e.metadata().ok())
+                .filter(|m| m.is_file())
+                .map(|m| m.len())
+                .sum()
+        })
+        .unwrap_or(0)
 }
 
 /// 64-bit FNV-1a — stable across processes and Rust versions, unlike
@@ -206,6 +236,8 @@ impl CompiledEngine {
             cache_dir: default_cache_dir(),
             cc_timeout: Duration::from_secs(60),
             sink: None,
+            metrics: None,
+            profile: profile_env_enabled(),
             state: Arc::new(EngineState::default()),
         }
     }
@@ -218,6 +250,19 @@ impl CompiledEngine {
         }
     }
 
+    /// Enable or disable per-loop-nest profiling (overrides `FT_PROFILE`).
+    /// Profiled and unprofiled builds emit different sources, so they cache
+    /// under different keys and never collide.
+    pub fn with_profiling(mut self, on: bool) -> CompiledEngine {
+        self.profile = on;
+        self
+    }
+
+    /// Whether this engine emits profiled kernels.
+    pub fn profiling(&self) -> bool {
+        self.profile
+    }
+
     /// The artifact cache directory this engine reads and writes.
     pub fn cache_dir(&self) -> &Path {
         &self.cache_dir
@@ -225,11 +270,17 @@ impl CompiledEngine {
 
     /// The complete translation unit handed to `cc`: the emitted function
     /// plus the fixed-ABI `ft_entry` wrapper that unpacks the untyped
-    /// parameter array and calls it.
-    fn source_for(&self, func: &Func) -> String {
-        let mut src = emit_c(func);
+    /// parameter array and calls it. Profiled units thread the prof array
+    /// through to the emitted function; unprofiled units discard it, so the
+    /// entry signature is the same across both.
+    fn source_for(&self, func: &Func) -> (String, Vec<ProfSite>) {
+        let (mut src, sites) = if self.profile {
+            emit_c_profiled(func)
+        } else {
+            (emit_c(func), Vec::new())
+        };
         let syms = c_symbols(func);
-        src.push_str("\nvoid ft_entry(void **params, const int64_t *sizes) {\n");
+        src.push_str("\nvoid ft_entry(void **params, const int64_t *sizes, uint64_t *prof) {\n");
         let mut call_args: Vec<String> = Vec::new();
         for (i, p) in func.params.iter().enumerate() {
             let c = ctype(p.dtype);
@@ -239,11 +290,24 @@ impl CompiledEngine {
         for i in 0..func.size_params.len() {
             call_args.push(format!("sizes[{i}]"));
         }
+        if self.profile {
+            call_args.push("prof".to_string());
+        } else {
+            src.push_str("    (void)prof;\n");
+        }
         src.push_str(&format!("    {}({});\n}}\n", syms.func, call_args.join(", ")));
-        src
+        (src, sites)
     }
 
     fn note_cache(&self, hash: u64, hit: bool) {
+        if let Some(m) = &self.metrics {
+            m.counter(if hit {
+                "compiled.cache.hit"
+            } else {
+                "compiled.cache.miss"
+            })
+            .inc();
+        }
         if let Some(sink) = &self.sink {
             sink.decision(Decision {
                 pass: None,
@@ -262,6 +326,7 @@ impl CompiledEngine {
     /// honored with `-fopenmp`); falls back to a serial build on
     /// toolchains without libgomp.
     fn compile(&self, src: &str, hash: u64, so_path: &Path) -> Result<(), RuntimeError> {
+        let t0 = Instant::now();
         std::fs::create_dir_all(&self.cache_dir)
             .map_err(|e| RuntimeError::Native(format!("create {}: {e}", self.cache_dir.display())))?;
         let c_path = self.cache_dir.join(format!("{hash:016x}.c"));
@@ -286,6 +351,9 @@ impl CompiledEngine {
                 sp.arg("flags", flags);
                 sp
             });
+            if let Some(m) = &self.metrics {
+                m.counter("compiled.cc.spawned").inc();
+            }
             let out = output_with_timeout(&mut cmd, self.cc_timeout)
                 .map_err(|e| RuntimeError::Native(format!("spawn cc: {e}")))?;
             if let Some(sp) = span.as_mut() {
@@ -301,6 +369,13 @@ impl CompiledEngine {
             if out.success() {
                 std::fs::rename(&tmp, so_path)
                     .map_err(|e| RuntimeError::Native(format!("rename artifact: {e}")))?;
+                if let Some(m) = &self.metrics {
+                    m.histogram("compiled.compile_us")
+                        .record_duration_us(t0.elapsed());
+                    m.counter("compiled.cache.publish").inc();
+                    m.gauge("compiled.cache.size_bytes")
+                        .set(cache_size_bytes(&self.cache_dir) as i64);
+                }
                 return Ok(());
             }
             last_err = String::from_utf8_lossy(&out.stderr).into_owned();
@@ -311,7 +386,7 @@ impl CompiledEngine {
 
     /// Emit + (cache-aware) compile + load the kernel for `func`.
     fn kernel_for(&self, func: &Func) -> Result<Arc<LoadedKernel>, RuntimeError> {
-        let src = self.source_for(func);
+        let (src, sites) = self.source_for(func);
         let mut key = src.clone().into_bytes();
         key.push(0);
         key.extend_from_slice(CC_FLAGS.as_bytes());
@@ -338,6 +413,7 @@ impl CompiledEngine {
             .map_err(|e| RuntimeError::Native(format!("resolve ft_entry: {e}")))?;
         let kernel = Arc::new(LoadedKernel {
             entry: *entry,
+            sites,
             _lib: lib,
         });
         self.state.loaded.lock().insert(hash, Arc::clone(&kernel));
@@ -354,6 +430,42 @@ impl ExecutionEngine for CompiledEngine {
     }
 
     fn run(
+        &self,
+        func: &Func,
+        inputs: &HashMap<String, TensorVal>,
+        sizes: &HashMap<String, i64>,
+    ) -> Result<RunResult, RuntimeError> {
+        let t0 = self.metrics.as_ref().map(|_| Instant::now());
+        let r = self.run_inner(func, inputs, sizes);
+        if let (Some(m), Some(t0)) = (&self.metrics, t0) {
+            m.histogram("engine.compiled.run_us")
+                .record_duration_us(t0.elapsed());
+            if r.is_err() {
+                m.counter("engine.compiled.errors").inc();
+            }
+        }
+        r
+    }
+
+    fn set_sink(&mut self, sink: Option<TraceSink>) {
+        self.sink = sink;
+    }
+
+    fn sink(&self) -> Option<&TraceSink> {
+        self.sink.as_ref()
+    }
+
+    fn set_metrics(&mut self, metrics: Option<Metrics>) {
+        self.metrics = metrics;
+    }
+
+    fn metrics(&self) -> Option<&Metrics> {
+        self.metrics.as_ref()
+    }
+}
+
+impl CompiledEngine {
+    fn run_inner(
         &self,
         func: &Func,
         inputs: &HashMap<String, TensorVal>,
@@ -433,10 +545,25 @@ impl ExecutionEngine for CompiledEngine {
                 Bound::Owned(t) => t.as_mut_ptr_untyped(),
             })
             .collect();
+        let mut prof_buf: Vec<u64> = vec![0; kernel.sites.len()];
+        let prof_ptr = if prof_buf.is_empty() {
+            std::ptr::null_mut()
+        } else {
+            prof_buf.as_mut_ptr()
+        };
+        let call_t0 = Instant::now();
         // SAFETY: pointer array length and element types match the
         // generated ft_entry (same Func produced both); buffers outlive
-        // the call; size values are passed by const pointer.
-        unsafe { (kernel.entry)(ptrs.as_mut_ptr(), size_vals.as_ptr()) };
+        // the call; size values are passed by const pointer; prof_ptr is
+        // NULL or points at sites.len() slots, matching the profiled build.
+        unsafe { (kernel.entry)(ptrs.as_mut_ptr(), size_vals.as_ptr(), prof_ptr) };
+        let call_ns = call_t0.elapsed().as_nanos() as u64;
+        if let Some(m) = &self.metrics {
+            m.histogram("engine.compiled.kernel_us").record(call_ns / 1000);
+        }
+        if !kernel.sites.is_empty() {
+            self.publish_profile(func, &kernel.sites, &prof_buf, call_ns);
+        }
         let mut outputs = HashMap::new();
         for (p, b) in func.params.iter().zip(bound) {
             if !matches!(p.atype, AccessType::Output | AccessType::InOut) {
@@ -465,12 +592,45 @@ impl ExecutionEngine for CompiledEngine {
         })
     }
 
-    fn set_sink(&mut self, sink: Option<TraceSink>) {
-        self.sink = sink;
-    }
-
-    fn sink(&self) -> Option<&TraceSink> {
-        self.sink.as_ref()
+    /// Publish the per-loop-nest timings of a profiled run as a
+    /// [`RunProfile`], mirroring the interpreter's attribution shape: node 0
+    /// is the function root, one child per outermost loop nest, wall
+    /// nanoseconds carried in the (exclusive) `cycles` field. The root gets
+    /// the out-of-loop remainder, so `totals()` equals the entry-call wall
+    /// time. Site times are also summed into the `compiled.prof.site_ns`
+    /// counter for metrics-only consumers.
+    fn publish_profile(&self, func: &Func, sites: &[ProfSite], times_ns: &[u64], call_ns: u64) {
+        let in_loops: u64 = times_ns.iter().sum();
+        if let Some(m) = &self.metrics {
+            m.counter("compiled.prof.site_ns").add(in_loops);
+            m.counter("compiled.prof.call_ns").add(call_ns);
+        }
+        let Some(sink) = &self.sink else { return };
+        let mut nodes = vec![ProfileNode {
+            stmt: None,
+            desc: func.name.clone(),
+            parent: None,
+            counters: StmtCounters {
+                cycles: call_ns.saturating_sub(in_loops) as f64,
+                ..StmtCounters::default()
+            },
+        }];
+        for (site, &ns) in sites.iter().zip(times_ns) {
+            nodes.push(ProfileNode {
+                stmt: Some(site.stmt),
+                desc: site.desc.clone(),
+                parent: Some(0),
+                counters: StmtCounters {
+                    trips: 1,
+                    cycles: ns as f64,
+                    ..StmtCounters::default()
+                },
+            });
+        }
+        sink.profile(RunProfile {
+            func: func.name.clone(),
+            nodes,
+        });
     }
 }
 
@@ -550,6 +710,108 @@ mod tests {
             .map(|d| d.reason.clone().unwrap_or_default())
             .collect();
         assert_eq!(reasons, ["miss", "hit", "hit"], "{reasons:?}");
+    }
+
+    #[test]
+    fn cache_traffic_is_counted_in_metrics() {
+        if !cc_available() {
+            eprintln!("cc unavailable; skipping");
+            return;
+        }
+        let dir = tmp_cache("metrics");
+        let m = Metrics::new();
+        let mut eng = CompiledEngine::with_cache_dir(&dir);
+        eng.set_metrics(Some(m.clone()));
+        let mut inputs = HashMap::new();
+        inputs.insert("x".to_string(), TensorVal::from_f32(&[3], vec![1.0; 3]));
+        inputs.insert("y".to_string(), TensorVal::from_f32(&[3], vec![0.0; 3]));
+        let sizes = HashMap::from([("n".to_string(), 3i64)]);
+        eng.run(&axpy(), &inputs, &sizes).expect("cold run");
+        eng.run(&axpy(), &inputs, &sizes).expect("warm run");
+        let s = m.snapshot();
+        assert_eq!(s.counter("compiled.cache.miss"), 1, "{s:?}");
+        assert_eq!(s.counter("compiled.cache.hit"), 1, "{s:?}");
+        assert_eq!(s.counter("compiled.cache.publish"), 1, "{s:?}");
+        // One cc invocation compiled the artifact (a serial-fallback retry
+        // would make it 2; either way the warm run adds none).
+        let spawned = s.counter("compiled.cc.spawned");
+        assert!((1..=2).contains(&spawned), "{s:?}");
+        assert!(s.gauge("compiled.cache.size_bytes") > 0, "{s:?}");
+        assert_eq!(
+            s.histograms.get("engine.compiled.run_us").map(|h| h.count),
+            Some(2),
+            "{s:?}"
+        );
+        // Warm runs through a fresh engine spawn no compiler.
+        let mut eng2 = CompiledEngine::with_cache_dir(&dir);
+        eng2.set_metrics(Some(m.clone()));
+        eng2.run(&axpy(), &inputs, &sizes).expect("disk-warm run");
+        let s2 = m.snapshot();
+        assert_eq!(s2.counter("compiled.cc.spawned"), spawned, "{s2:?}");
+        assert_eq!(s2.counter("compiled.cache.hit"), 2, "{s2:?}");
+    }
+
+    #[test]
+    fn profiled_run_attributes_wall_time_to_loop_nests() {
+        if !cc_available() {
+            eprintln!("cc unavailable; skipping");
+            return;
+        }
+        let sink = TraceSink::new();
+        let m = Metrics::new();
+        let mut eng =
+            CompiledEngine::with_cache_dir(tmp_cache("prof")).with_profiling(true);
+        eng.set_sink(Some(sink.clone()));
+        eng.set_metrics(Some(m.clone()));
+        let n = 1i64 << 16;
+        let mut inputs = HashMap::new();
+        inputs.insert(
+            "x".to_string(),
+            TensorVal::from_f32(&[n as usize], vec![1.0; n as usize]),
+        );
+        inputs.insert(
+            "y".to_string(),
+            TensorVal::from_f32(&[n as usize], vec![0.0; n as usize]),
+        );
+        let sizes = HashMap::from([("n".to_string(), n)]);
+        let r = eng.run(&axpy(), &inputs, &sizes).expect("profiled run");
+        assert_eq!(r.output("y").to_f64_vec()[0], 2.0);
+        let profiles = sink.profiles();
+        assert_eq!(profiles.len(), 1, "{profiles:?}");
+        let p = &profiles[0];
+        assert_eq!(p.func, "axpy");
+        assert_eq!(p.nodes.len(), 2, "{:?}", p.nodes);
+        assert_eq!(p.nodes[1].desc, "for i");
+        assert_eq!(p.nodes[1].parent, Some(0));
+        assert!(p.nodes[1].stmt.is_some());
+        // The loop did real work, so its measured time is non-zero and the
+        // attribution sums to the entry-call wall time recorded in metrics.
+        assert!(p.nodes[1].counters.cycles > 0.0, "{:?}", p.nodes);
+        let s = m.snapshot();
+        assert!(s.counter("compiled.prof.site_ns") > 0, "{s:?}");
+        assert!(
+            s.counter("compiled.prof.site_ns") <= s.counter("compiled.prof.call_ns"),
+            "{s:?}"
+        );
+        assert_eq!(
+            p.totals().cycles as u64,
+            s.counter("compiled.prof.call_ns"),
+            "{s:?}"
+        );
+    }
+
+    #[test]
+    fn profiled_and_unprofiled_builds_cache_separately() {
+        let plain = CompiledEngine::with_cache_dir(tmp_cache("keys"));
+        let prof = plain.clone().with_profiling(true);
+        let f = axpy();
+        let (src_plain, sites_plain) = plain.source_for(&f);
+        let (src_prof, sites_prof) = prof.source_for(&f);
+        assert_ne!(src_plain, src_prof);
+        assert!(sites_plain.is_empty());
+        assert_eq!(sites_prof.len(), 1);
+        assert!(src_prof.contains("__ft_prof"), "{src_prof}");
+        assert!(!src_plain.contains("__ft_prof"), "{src_plain}");
     }
 
     #[test]

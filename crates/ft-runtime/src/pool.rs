@@ -29,6 +29,7 @@
 //! outlives the caller's frame.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 /// A chunk-range task: invoked as `task(lo, hi)` for each claimed chunk.
@@ -61,6 +62,65 @@ struct Job {
     done: Condvar,
     /// First panic payload raised by any chunk.
     panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    /// The owning pool's lifetime stats, bumped at each chunk claim.
+    stats: Arc<PoolStats>,
+}
+
+/// Monotone lifetime statistics of a pool, kept as relaxed atomics so the
+/// claim hot path costs one uncontended `fetch_add`. Engines sample
+/// [`WorkerPool::stats`] before and after a run and publish the delta.
+#[derive(Debug, Default)]
+struct PoolStats {
+    /// Regions distributed to the queue.
+    regions: AtomicU64,
+    /// Regions run inline (nested, single-worker, or single-chunk).
+    inline_regions: AtomicU64,
+    /// Chunks claimed by submitting threads (back end of the grid).
+    chunks_submitter: AtomicU64,
+    /// Chunks claimed by background helpers (front end of the grid).
+    chunks_helper: AtomicU64,
+    /// Peak queue depth ever observed at publish time.
+    queue_peak: AtomicU64,
+}
+
+/// A point-in-time copy of a pool's lifetime statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStatsSnapshot {
+    /// Regions distributed to the queue.
+    pub regions: u64,
+    /// Regions run inline without touching the queue.
+    pub inline_regions: u64,
+    /// Chunks claimed by submitting threads.
+    pub chunks_submitter: u64,
+    /// Chunks claimed by background helpers.
+    pub chunks_helper: u64,
+    /// Peak queue depth observed at publish time (monotone).
+    pub queue_peak: u64,
+}
+
+impl PoolStatsSnapshot {
+    /// Counters accumulated since `earlier` (the monotone peak is kept).
+    pub fn delta_since(&self, earlier: &PoolStatsSnapshot) -> PoolStatsSnapshot {
+        PoolStatsSnapshot {
+            regions: self.regions.saturating_sub(earlier.regions),
+            inline_regions: self.inline_regions.saturating_sub(earlier.inline_regions),
+            chunks_submitter: self.chunks_submitter.saturating_sub(earlier.chunks_submitter),
+            chunks_helper: self.chunks_helper.saturating_sub(earlier.chunks_helper),
+            queue_peak: self.queue_peak,
+        }
+    }
+
+    /// Submitter/helper claim imbalance in percent: `0` when both ends
+    /// drained the same number of chunks, `100` when one end did all the
+    /// work. `None` when no chunks were claimed.
+    pub fn imbalance_pct(&self) -> Option<u64> {
+        let total = self.chunks_submitter + self.chunks_helper;
+        if total == 0 {
+            return None;
+        }
+        let diff = self.chunks_submitter.abs_diff(self.chunks_helper);
+        Some(diff * 100 / total)
+    }
 }
 
 impl Job {
@@ -74,6 +134,11 @@ impl Job {
         let (front, back) = *r;
         if front >= back {
             return None;
+        }
+        if from_back {
+            self.stats.chunks_submitter.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.stats.chunks_helper.fetch_add(1, Ordering::Relaxed);
         }
         if from_back {
             // Grid-aligned start of the chunk containing `back - 1`.
@@ -128,6 +193,7 @@ struct PoolShared {
     /// should join it.
     queue: Mutex<Vec<Arc<Job>>>,
     available: Condvar,
+    stats: Arc<PoolStats>,
 }
 
 thread_local! {
@@ -154,6 +220,7 @@ impl WorkerPool {
         let shared = Arc::new(PoolShared {
             queue: Mutex::new(Vec::new()),
             available: Condvar::new(),
+            stats: Arc::new(PoolStats::default()),
         });
         for i in 0..background {
             let sh = Arc::clone(&shared);
@@ -185,6 +252,20 @@ impl WorkerPool {
         self.background
     }
 
+    /// A point-in-time copy of the pool's monotone lifetime statistics.
+    /// Sample before and after a run and use
+    /// [`PoolStatsSnapshot::delta_since`] to attribute claims to the run.
+    pub fn stats(&self) -> PoolStatsSnapshot {
+        let s = &self.shared.stats;
+        PoolStatsSnapshot {
+            regions: s.regions.load(Ordering::Relaxed),
+            inline_regions: s.inline_regions.load(Ordering::Relaxed),
+            chunks_submitter: s.chunks_submitter.load(Ordering::Relaxed),
+            chunks_helper: s.chunks_helper.load(Ordering::Relaxed),
+            queue_peak: s.queue_peak.load(Ordering::Relaxed),
+        }
+    }
+
     /// Run `task` over `[begin, end)` with dynamic chunks of `grain`
     /// iterations, using at most `max_workers` concurrent workers (the
     /// submitting thread counts as one). Returns the first panic payload
@@ -212,6 +293,10 @@ impl WorkerPool {
         // Nested region (submitted from inside another region's chunk), or
         // no helpers: run inline on this thread.
         if helpers == 0 || IN_REGION.with(|f| f.get()) {
+            self.shared
+                .stats
+                .inline_regions
+                .fetch_add(1, Ordering::Relaxed);
             return catch_unwind(AssertUnwindSafe(|| task(begin, end)));
         }
         let job = Arc::new(Job {
@@ -227,6 +312,7 @@ impl WorkerPool {
             pending: Mutex::new(helpers),
             done: Condvar::new(),
             panic: Mutex::new(None),
+            stats: Arc::clone(&self.shared.stats),
         });
         // The submitting thread runs its *first* chunk — the one at the back
         // of the range (see [`Job::range`]) — before the job is published to
@@ -238,11 +324,16 @@ impl WorkerPool {
         IN_REGION.with(|f| f.set(true));
         let published = job.work_one(true);
         if published {
+            self.shared.stats.regions.fetch_add(1, Ordering::Relaxed);
             {
                 let mut q = self.shared.queue.lock().expect("pool queue poisoned");
                 for _ in 0..helpers {
                     q.push(Arc::clone(&job));
                 }
+                self.shared
+                    .stats
+                    .queue_peak
+                    .fetch_max(q.len() as u64, Ordering::Relaxed);
             }
             self.shared.available.notify_all();
             job.work(true);
@@ -576,6 +667,42 @@ mod tests {
         assert_eq!(grain_for(0, 8, 10), 1);
         // Deterministic: same inputs, same grain.
         assert_eq!(grain_for(12345, 7, 99), grain_for(12345, 7, 99));
+    }
+
+    #[test]
+    fn stats_attribute_chunks_and_regions() {
+        let pool = WorkerPool::new(2);
+        let before = pool.stats();
+        // 100 iterations in grain-4 chunks: 25 chunks split between the
+        // submitter (back end) and helpers (front end).
+        assert_eq!(sum_region(&pool, 100, 4, 3), 100 * 99 / 2);
+        let d = pool.stats().delta_since(&before);
+        assert_eq!(d.regions + d.inline_regions, 1);
+        assert_eq!(d.chunks_submitter + d.chunks_helper, 25);
+        assert!(d.imbalance_pct().is_some());
+        // An inline region (max_workers == 1) claims no chunks.
+        let before = pool.stats();
+        assert_eq!(sum_region(&pool, 10, 1, 1), 45);
+        let d = pool.stats().delta_since(&before);
+        assert_eq!((d.regions, d.inline_regions), (0, 1));
+        assert_eq!(d.chunks_submitter + d.chunks_helper, 0);
+    }
+
+    #[test]
+    fn imbalance_pct_edges() {
+        let even = PoolStatsSnapshot {
+            chunks_submitter: 8,
+            chunks_helper: 8,
+            ..PoolStatsSnapshot::default()
+        };
+        assert_eq!(even.imbalance_pct(), Some(0));
+        let lopsided = PoolStatsSnapshot {
+            chunks_submitter: 10,
+            chunks_helper: 0,
+            ..PoolStatsSnapshot::default()
+        };
+        assert_eq!(lopsided.imbalance_pct(), Some(100));
+        assert_eq!(PoolStatsSnapshot::default().imbalance_pct(), None);
     }
 
     #[test]

@@ -20,8 +20,8 @@ fn main() -> ExitCode {
             }
             Ok(text) => match ft_trace::validate_chrome_trace(&text) {
                 Ok(stats) => println!(
-                    "{path}: OK — {} events ({} spans on {} tracks, {} instants)",
-                    stats.events, stats.spans, stats.tracks, stats.instants
+                    "{path}: OK — {} events ({} spans on {} tracks, {} instants, {} counters)",
+                    stats.events, stats.spans, stats.tracks, stats.instants, stats.counters
                 ),
                 Err(e) => {
                     eprintln!("{path}: INVALID — {e}");

@@ -2,21 +2,27 @@
 //!
 //! The emitted JSON follows the Trace Event Format's "JSON Object Format":
 //! a top-level object with a `traceEvents` array of `"X"` (complete),
-//! `"i"` (instant) and `"M"` (metadata) events. The files load directly in
-//! Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing`.
+//! `"i"` (instant), `"C"` (counter) and `"M"` (metadata) events. The files
+//! load directly in Perfetto (<https://ui.perfetto.dev>) or
+//! `chrome://tracing`.
 //!
 //! Layout:
 //!
 //! * track 1 (`tid` 1): compilation spans — frontend, passes, schedule,
 //!   autoschedule, codegen — plus schedule decisions as instant events;
 //! * track 2: runtime-execution spans (wall-clock);
+//! * track 3: metrics counter samples (`"C"` events, one series per metric
+//!   name — cache traffic, pool activity, kernel dispatch counts);
 //! * tracks 100+: one per recorded [`RunProfile`], rendering the
 //!   per-statement breakdown as a flame graph in *modeled cycles* (1 cycle
 //!   is drawn as 1 µs); a parent's bar covers its children, and the
 //!   uncovered tail is the statement's own exclusive time.
 
 use crate::json::JsonVal;
-use crate::{Decision, RunProfile, SpanEvent, TraceSink, TRACK_COMPILE, TRACK_PROFILE_BASE};
+use crate::{
+    CounterSample, Decision, RunProfile, SpanEvent, TraceSink, TRACK_COMPILE, TRACK_COUNTERS,
+    TRACK_PROFILE_BASE,
+};
 use std::collections::{BTreeMap, HashMap};
 use std::path::Path;
 
@@ -100,6 +106,21 @@ fn decision_event(d: &Decision) -> JsonVal {
     ])
 }
 
+/// A metrics sample as a Chrome `"C"` (counter) event: the event name is
+/// the metric name (each distinct name renders as its own counter track in
+/// Perfetto), the series value rides in `args.value`.
+fn counter_event(c: &CounterSample) -> JsonVal {
+    obj(vec![
+        ("name", JsonVal::Str(c.name.clone())),
+        ("cat", JsonVal::Str("metrics".to_string())),
+        ("ph", JsonVal::Str("C".to_string())),
+        ("ts", num(c.ts_us)),
+        ("pid", num(1)),
+        ("tid", num(TRACK_COUNTERS)),
+        ("args", obj(vec![("value", JsonVal::Num(c.value))])),
+    ])
+}
+
 /// Render one profile as a flame graph on `track`. Durations are modeled
 /// cycles drawn as microseconds; a node's bar is its *inclusive* time, so
 /// children are always contained in their parent.
@@ -166,6 +187,7 @@ pub fn chrome_trace(sink: &TraceSink) -> String {
     let events = sink.events();
     let decisions = sink.decisions();
     let profiles = sink.profiles();
+    let counters = sink.counter_samples();
 
     let mut out: Vec<JsonVal> = Vec::new();
     out.push(meta_event(
@@ -176,6 +198,9 @@ pub fn chrome_trace(sink: &TraceSink) -> String {
     let mut track_names: BTreeMap<u64, String> = BTreeMap::new();
     track_names.insert(TRACK_COMPILE, "compile".to_string());
     track_names.insert(crate::TRACK_RUNTIME, "runtime".to_string());
+    if !counters.is_empty() {
+        track_names.insert(TRACK_COUNTERS, "metrics".to_string());
+    }
     for ev in &events {
         track_names
             .entry(ev.track)
@@ -199,6 +224,9 @@ pub fn chrome_trace(sink: &TraceSink) -> String {
     }
     for d in &decisions {
         out.push(decision_event(d));
+    }
+    for c in &counters {
+        out.push(counter_event(c));
     }
     for (r, p) in profiles.iter().enumerate() {
         profile_events(p, TRACK_PROFILE_BASE + r as u64, &mut out);
@@ -235,14 +263,17 @@ pub struct TraceStats {
     pub spans: usize,
     /// `"i"` instant events.
     pub instants: usize,
+    /// `"C"` counter events.
+    pub counters: usize,
     /// Distinct `(pid, tid)` tracks carrying spans.
     pub tracks: usize,
 }
 
 /// Validate that `text` is well-formed Chrome trace-event JSON: a
 /// `traceEvents` array whose events all carry `ph`/`name`/`pid`/`tid`,
-/// whose `"X"` events have non-negative numeric `ts`/`dur`, and whose spans
-/// nest properly (no partial overlap) within each track.
+/// whose `"X"` events have non-negative numeric `ts`/`dur`, whose `"C"`
+/// counter events have a numeric `ts` and an all-numeric `args` series,
+/// and whose spans nest properly (no partial overlap) within each track.
 ///
 /// # Errors
 ///
@@ -257,6 +288,7 @@ pub fn validate_chrome_trace(text: &str) -> Result<TraceStats, String> {
     let mut spans_by_track: HashMap<(u64, u64), Vec<(u64, u64)>> = HashMap::new();
     let mut n_spans = 0usize;
     let mut n_instants = 0usize;
+    let mut n_counters = 0usize;
     for (i, ev) in events.iter().enumerate() {
         let ph = ev
             .get("ph")
@@ -298,6 +330,26 @@ pub fn validate_chrome_trace(text: &str) -> Result<TraceStats, String> {
                     .ok_or(format!("event {i}: `i` event missing numeric `ts`"))?;
                 n_instants += 1;
             }
+            "C" => {
+                ev.get("ts")
+                    .and_then(JsonVal::as_f64)
+                    .ok_or(format!("event {i}: `C` event missing numeric `ts`"))?;
+                let args = ev
+                    .get("args")
+                    .and_then(JsonVal::as_obj)
+                    .ok_or(format!("event {i}: `C` event missing object `args`"))?;
+                if args.is_empty() {
+                    return Err(format!("event {i}: `C` event has an empty series"));
+                }
+                for (k, v) in args {
+                    if v.as_f64().is_none() {
+                        return Err(format!(
+                            "event {i}: `C` event series `{k}` is not numeric"
+                        ));
+                    }
+                }
+                n_counters += 1;
+            }
             "M" => {}
             other => return Err(format!("event {i}: unknown phase `{other}`")),
         }
@@ -331,6 +383,7 @@ pub fn validate_chrome_trace(text: &str) -> Result<TraceStats, String> {
         events: events.len(),
         spans: n_spans,
         instants: n_instants,
+        counters: n_counters,
         tracks: spans_by_track.len(),
     })
 }
@@ -421,6 +474,55 @@ mod tests {
         assert_eq!(deps[0].get("var").unwrap().as_str(), Some("y"));
         assert_eq!(deps[0].get("kind").unwrap().as_str(), Some("Raw"));
         assert_eq!(deps[0].get("source").unwrap().as_u64(), Some(5));
+    }
+
+    #[test]
+    fn metrics_snapshots_export_as_counter_tracks() {
+        let sink = sink_with_everything();
+        let m = ft_metrics::Metrics::new();
+        m.counter("compiled.cache.hit").add(3);
+        m.gauge("pool.queue.peak_depth").set(7);
+        m.histogram("engine.interp.run_us").record(100);
+        sink.metrics_sample(&m.snapshot());
+        sink.counter("custom.series", 1.5);
+        let text = chrome_trace(&sink);
+        let stats = validate_chrome_trace(&text).unwrap();
+        // counter + gauge + histogram count/sum + the manual sample.
+        assert_eq!(stats.counters, 5, "{text}");
+        let root = JsonVal::parse(&text).unwrap();
+        let evs = root.get("traceEvents").unwrap().as_arr().unwrap();
+        let hit = evs
+            .iter()
+            .find(|e| {
+                e.get("ph").and_then(JsonVal::as_str) == Some("C")
+                    && e.get("name").and_then(JsonVal::as_str) == Some("compiled.cache.hit")
+            })
+            .expect("cache-hit counter event");
+        assert_eq!(
+            hit.get("args").unwrap().get("value").unwrap().as_f64(),
+            Some(3.0)
+        );
+        assert_eq!(hit.get("tid").unwrap().as_u64(), Some(crate::TRACK_COUNTERS));
+        // The counters track is named in metadata.
+        assert!(text.contains("\"metrics\""), "{text}");
+    }
+
+    #[test]
+    fn validator_rejects_malformed_counter_events() {
+        let no_args = r#"{"traceEvents": [
+            {"name":"c","ph":"C","ts":0,"pid":1,"tid":3}
+        ]}"#;
+        assert!(validate_chrome_trace(no_args).unwrap_err().contains("args"));
+        let non_numeric = r#"{"traceEvents": [
+            {"name":"c","ph":"C","ts":0,"pid":1,"tid":3,"args":{"value":"x"}}
+        ]}"#;
+        assert!(
+            validate_chrome_trace(non_numeric)
+                .unwrap_err()
+                .contains("not numeric"),
+            "{:?}",
+            validate_chrome_trace(non_numeric)
+        );
     }
 
     #[test]

@@ -59,6 +59,14 @@ impl JsonVal {
         }
     }
 
+    /// Object fields in insertion order, if this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, JsonVal)]> {
+        match self {
+            JsonVal::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
     /// Parse a JSON document.
     ///
     /// # Errors

@@ -44,8 +44,26 @@ pub use report::{decision_line, provenance_report};
 pub const TRACK_COMPILE: u64 = 1;
 /// Track that runtime-execution spans land on.
 pub const TRACK_RUNTIME: u64 = 2;
+/// Track that metrics counter samples (`"C"` events) land on.
+pub const TRACK_COUNTERS: u64 = 3;
 /// First track used for per-statement profile rendering (one per run).
 pub const TRACK_PROFILE_BASE: u64 = 100;
+
+/// One sampled value of a named runtime metric, exported as a Chrome
+/// trace-event `"C"` (counter) event so Perfetto renders the series as a
+/// counter track. Samples usually come from [`TraceSink::metrics_sample`]
+/// freezing an `ft_metrics` registry at a meaningful moment (after a
+/// benchmark repetition, at the end of a run).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterSample {
+    /// Metric name, e.g. `"compiled.cache.hit"`.
+    pub name: String,
+    /// Sampled value (counters and histogram counts are exact in `f64`
+    /// far beyond any realistic magnitude).
+    pub value: f64,
+    /// Timestamp, microseconds since the sink's epoch.
+    pub ts_us: u64,
+}
 
 /// One completed timed span.
 #[derive(Debug, Clone, PartialEq)]
@@ -127,15 +145,17 @@ pub struct StmtCounters {
 }
 
 impl StmtCounters {
-    /// Accumulate another delta into this one.
+    /// Accumulate another delta into this one. Saturating: long-lived
+    /// aggregation (profiles merged across many runs) pins at `u64::MAX`
+    /// instead of wrapping to a small, plausible-looking value.
     pub fn add(&mut self, other: &StmtCounters) {
-        self.trips += other.trips;
-        self.flops += other.flops;
-        self.int_ops += other.int_ops;
-        self.dram_bytes += other.dram_bytes;
-        self.l2_bytes += other.l2_bytes;
-        self.scratch_bytes += other.scratch_bytes;
-        self.heap_bytes += other.heap_bytes;
+        self.trips = self.trips.saturating_add(other.trips);
+        self.flops = self.flops.saturating_add(other.flops);
+        self.int_ops = self.int_ops.saturating_add(other.int_ops);
+        self.dram_bytes = self.dram_bytes.saturating_add(other.dram_bytes);
+        self.l2_bytes = self.l2_bytes.saturating_add(other.l2_bytes);
+        self.scratch_bytes = self.scratch_bytes.saturating_add(other.scratch_bytes);
+        self.heap_bytes = self.heap_bytes.saturating_add(other.heap_bytes);
         self.cycles += other.cycles;
     }
 }
@@ -180,6 +200,7 @@ struct TraceData {
     events: Vec<SpanEvent>,
     decisions: Vec<Decision>,
     profiles: Vec<RunProfile>,
+    counters: Vec<CounterSample>,
 }
 
 /// Handle to a trace buffer. Cloning is cheap (it shares the buffer); all
@@ -255,6 +276,52 @@ impl TraceSink {
         self.inner.lock().profiles.push(p);
     }
 
+    /// Record one counter sample (a point on a Chrome counter track).
+    pub fn counter(&self, name: &str, value: f64) {
+        let s = CounterSample {
+            name: name.to_string(),
+            value,
+            ts_us: self.now_us(),
+        };
+        self.inner.lock().counters.push(s);
+    }
+
+    /// Sample every instrument of a frozen metrics snapshot onto the
+    /// counter track, stamped "now": counters and gauges by value,
+    /// histograms as `<name>.count` / `<name>.sum`. Call at meaningful
+    /// boundaries (end of a run, end of a benchmark repetition) to chart
+    /// cache traffic, pool activity, and kernel counts over trace time.
+    pub fn metrics_sample(&self, snap: &ft_metrics::MetricsSnapshot) {
+        let ts_us = self.now_us();
+        let mut d = self.inner.lock();
+        for (name, &v) in &snap.counters {
+            d.counters.push(CounterSample {
+                name: name.clone(),
+                value: v as f64,
+                ts_us,
+            });
+        }
+        for (name, &v) in &snap.gauges {
+            d.counters.push(CounterSample {
+                name: name.clone(),
+                value: v as f64,
+                ts_us,
+            });
+        }
+        for (name, h) in &snap.histograms {
+            d.counters.push(CounterSample {
+                name: format!("{name}.count"),
+                value: h.count as f64,
+                ts_us,
+            });
+            d.counters.push(CounterSample {
+                name: format!("{name}.sum"),
+                value: h.sum as f64,
+                ts_us,
+            });
+        }
+    }
+
     /// Snapshot of the recorded spans.
     pub fn events(&self) -> Vec<SpanEvent> {
         self.inner.lock().events.clone()
@@ -268,6 +335,11 @@ impl TraceSink {
     /// Snapshot of the recorded runtime profiles.
     pub fn profiles(&self) -> Vec<RunProfile> {
         self.inner.lock().profiles.clone()
+    }
+
+    /// Snapshot of the recorded counter samples.
+    pub fn counter_samples(&self) -> Vec<CounterSample> {
+        self.inner.lock().counters.clone()
     }
 }
 

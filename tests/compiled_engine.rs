@@ -8,12 +8,14 @@
 //! * `warm_artifact_cache_spawns_no_compiler` — the compile-once/run-many
 //!   contract: a second engine over the same artifact-cache directory must
 //!   serve the kernel from disk with *zero* `cc` spawns, verified through
-//!   the trace decision log (`compiled.cache` decisions, `compiled.cc`
-//!   spans).
+//!   the `compiled.cc.spawned` / `compiled.cache.{hit,miss}` metrics
+//!   counters (structurally, through the METRICS.json snapshot format —
+//!   the same counters `bench_check --expect-warm` gates on in CI).
 
 use ft_conformance::grad::{build_grad_func, grad_run_inputs, ones_seed, GradSpec};
 use ft_conformance::ops::{apply_trace, sample_trace};
 use ft_conformance::{check_grad_variant, check_variant, Backend, GradTol, Workload};
+use ft_metrics::{Metrics, MetricsSnapshot};
 use ft_runtime::{cc_available, CompiledEngine, ExecutionEngine};
 use proptest::test_runner::TestRng;
 use std::collections::HashMap;
@@ -105,52 +107,67 @@ fn warm_artifact_cache_spawns_no_compiler() {
     let dir = std::env::temp_dir().join(format!("ft-warm-cache-test-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     let case = Workload::Subdivnet.build(3);
-    let cc_spans = |s: &ft_trace::TraceSink| {
-        s.events()
-            .into_iter()
-            .filter(|e| e.cat == "compiled.cc")
-            .count()
+    // Both runs are judged through the METRICS.json snapshot format — the
+    // same structural path `bench_check --expect-warm` gates on in CI —
+    // so this test pins the counters *and* their export.
+    let frozen = |m: &Metrics| {
+        MetricsSnapshot::from_json(&m.snapshot().to_json()).expect("snapshot roundtrips")
     };
 
     // Cold start: fresh directory, fresh engine — must compile exactly here.
-    let cold_sink = ft_trace::TraceSink::new();
+    let cold_metrics = Metrics::new();
     let mut cold = CompiledEngine::with_cache_dir(&dir);
-    cold.set_sink(Some(cold_sink.clone()));
+    cold.set_metrics(Some(cold_metrics.clone()));
     cold.run(&case.func, &case.inputs, &HashMap::new())
         .expect("cold run");
-    assert!(cc_spans(&cold_sink) >= 1, "cold run never invoked cc");
+    let snap = frozen(&cold_metrics);
     assert!(
-        cold_sink
-            .decisions()
-            .iter()
-            .any(|d| d.primitive == "compiled.cache" && d.reason.as_deref() == Some("miss")),
+        snap.counter("compiled.cc.spawned") >= 1,
+        "cold run never invoked cc"
+    );
+    assert!(
+        snap.counter("compiled.cache.miss") >= 1,
         "cold run recorded no cache miss"
+    );
+    assert_eq!(
+        snap.counter("compiled.cache.publish"),
+        snap.counter("compiled.cache.miss"),
+        "every miss must publish an artifact"
+    );
+    assert!(
+        snap.gauge("compiled.cache.size_bytes") > 0,
+        "published artifact cache reports zero size"
     );
 
     // Warm start: a *new* engine (empty in-memory memo) over the same
     // directory — the on-disk artifact must satisfy it without cc.
-    let warm_sink = ft_trace::TraceSink::new();
+    let warm_metrics = Metrics::new();
     let mut warm = CompiledEngine::with_cache_dir(&dir);
-    warm.set_sink(Some(warm_sink.clone()));
+    warm.set_metrics(Some(warm_metrics.clone()));
     let r = warm
         .run(&case.func, &case.inputs, &HashMap::new())
         .expect("warm run");
+    let snap = frozen(&warm_metrics);
     assert_eq!(
-        cc_spans(&warm_sink),
+        snap.counter("compiled.cc.spawned"),
         0,
         "warm run spawned the compiler despite a populated artifact cache"
     );
-    let cache_decisions: Vec<_> = warm_sink
-        .decisions()
-        .into_iter()
-        .filter(|d| d.primitive == "compiled.cache")
-        .collect();
-    assert!(!cache_decisions.is_empty(), "warm run traced no cache lookup");
     assert!(
-        cache_decisions
-            .iter()
-            .all(|d| d.reason.as_deref() == Some("hit")),
-        "warm run was not a pure cache hit: {cache_decisions:?}"
+        snap.counter("compiled.cache.hit") >= 1,
+        "warm run recorded no cache lookup"
+    );
+    assert_eq!(
+        snap.counter("compiled.cache.miss"),
+        0,
+        "warm run was not a pure cache hit"
+    );
+    assert_eq!(
+        snap.histograms
+            .get("engine.compiled.run_us")
+            .map_or(0, |h| h.count),
+        1,
+        "warm run recorded no run-wall sample"
     );
     // The disk-served kernel still computes the right answer.
     let diff = r.output(&case.oracle_output).max_abs_diff(&case.oracle);

@@ -122,6 +122,11 @@ fn injected_dependence_bug_is_caught_and_minimized() {
         decision_log: Vec::new(),
         grad: None,
         tol_rel: None,
+        metrics: Some(ft_conformance::run_backend_telemetry(
+            d.backend,
+            &f,
+            &case.inputs,
+        )),
     };
     let dir = std::env::temp_dir().join(format!("ftconf-injected-{}", std::process::id()));
     let path = repro.write(&dir).unwrap();
@@ -152,6 +157,7 @@ fn repro_files_replay() {
         decision_log: Vec::new(),
         grad: None,
         tol_rel: None,
+        metrics: None,
     };
     let parsed = Repro::from_json(&repro.to_json()).unwrap();
     assert_eq!(parsed.replay().unwrap().map(|d| d.message), None);

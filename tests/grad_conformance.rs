@@ -101,6 +101,11 @@ fn injected_ad_fault_is_caught_shrunk_and_replays() {
         decision_log: Vec::new(),
         grad: Some(spec),
         tol_rel: Some(tol.rel),
+        metrics: Some(ft_conformance::run_backend_telemetry(
+            d.backend,
+            &f,
+            &inputs,
+        )),
     };
     // JSON roundtrip, then replay from the parsed artifact alone: the
     // interpreter is deterministic, so the replay reproduces the exact
