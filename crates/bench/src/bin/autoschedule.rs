@@ -1,0 +1,282 @@
+//! `ft-autoschedule` — search-based auto-scheduling over the paper's four
+//! workloads (the Ansor-style counterpart to the rule-based §4.3 passes).
+//!
+//! ```text
+//! ft-autoschedule --search [--workload W|all] [--scale small|full]
+//!                 [--budget N] [--seed N] [--workers N] [--out DIR]
+//!                 [--warm-start] [--require-win] [--metrics [PATH]]
+//! ft-autoschedule --replay [--workload W|all] [--scale small|full]
+//!                 [--out DIR]
+//! ```
+//!
+//! `--search` runs the evolutionary trace search (`ft_autoschedule::search`)
+//! for each selected workload on CPU: candidates are scored by running the
+//! instrumented interpreter on the workload's real inputs (deterministic
+//! `modeled_cycles`, `dram_bytes` tiebreak), and the best trace is persisted
+//! as `DIR/<workload>-cpu-<scale>.json` plus a `.history.json` with the
+//! per-generation progress. `--warm-start` seeds the mutation payoff table
+//! from an existing saved schedule. `--require-win` exits non-zero unless
+//! every searched schedule strictly beats the rule-based warm-start score —
+//! the CI smoke gate.
+//!
+//! `--replay` re-applies every committed schedule and verifies the replayed
+//! deterministic score equals the recorded one (exit non-zero on any
+//! mismatch or missing file): the committed JSONs stay honest.
+
+use bench::{
+    bench_metrics, fmt_cycles, prepare, replay_program, search_schedule, Scale, Workload,
+};
+use ft_ir::Device;
+use ft_runtime::{Runtime, ScheduleScore};
+use ft_trace::JsonVal;
+use ft_workloads::input_pairs;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn opt_val<'a>(args: &'a [String], name: &str) -> Option<&'a String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let replay = args.iter().any(|a| a == "--replay");
+    let budget: usize = opt_val(&args, "--budget")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(256);
+    let seed: u64 = opt_val(&args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2022);
+    let workers: usize = opt_val(&args, "--workers")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, |n| n.get().min(8))
+        });
+    let scale = match opt_val(&args, "--scale").map(String::as_str) {
+        Some("small") => Scale::Small,
+        _ => Scale::Full,
+    };
+    let out_dir: PathBuf = opt_val(&args, "--out")
+        .map_or_else(bench::schedules_dir, PathBuf::from);
+    let warm_start = args.iter().any(|a| a == "--warm-start");
+    let require_win = args.iter().any(|a| a == "--require-win");
+    let metrics_path: Option<PathBuf> = args.iter().position(|a| a == "--metrics").map(|i| {
+        args.get(i + 1)
+            .filter(|p| !p.starts_with("--"))
+            .map_or_else(|| "results/METRICS-search.json".into(), |p| p.into())
+    });
+    let workloads: Vec<Workload> = match opt_val(&args, "--workload").map(String::as_str) {
+        None | Some("all") => Workload::ALL.to_vec(),
+        Some(key) => match Workload::from_key(key) {
+            Some(w) => vec![w],
+            None => {
+                eprintln!(
+                    "unknown workload `{key}` (expected one of \
+                     subdivnet/longformer/softras/gat/all)"
+                );
+                return ExitCode::from(2);
+            }
+        },
+    };
+
+    let code = if replay {
+        replay_all(&workloads, scale, &out_dir)
+    } else {
+        search_all(
+            &workloads,
+            scale,
+            budget,
+            seed,
+            workers,
+            &out_dir,
+            warm_start,
+            require_win,
+        )
+    };
+    if let Some(path) = metrics_path {
+        let snap = bench_metrics().snapshot();
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        std::fs::write(&path, snap.to_json()).expect("write metrics");
+        eprintln!(
+            "wrote {} (evaluations {}, memo hits {}, illegal rejected {})",
+            path.display(),
+            snap.counter("search.evaluations"),
+            snap.counter("search.memo.hit"),
+            snap.counter("search.illegal_rejected"),
+        );
+    }
+    code
+}
+
+#[allow(clippy::too_many_arguments)]
+fn search_all(
+    workloads: &[Workload],
+    scale: Scale,
+    budget: usize,
+    seed: u64,
+    workers: usize,
+    out_dir: &std::path::Path,
+    warm_start: bool,
+    require_win: bool,
+) -> ExitCode {
+    println!(
+        "# search-based auto-scheduling: budget {budget} evaluations, seed {seed}, \
+         {workers} worker(s), scale {}",
+        scale.key()
+    );
+    println!(
+        "{:<12} {:>14} {:>14} {:>8} {:>8} {:>6} {:>10}",
+        "workload", "rule cycles", "searched", "gain", "evals", "memo", "search ms"
+    );
+    let mut losses = 0usize;
+    for &w in workloads {
+        let prep = prepare(w, scale);
+        let warm_payoff = if warm_start {
+            bench::load_saved_schedule(w, scale).map(|s| s.payoff)
+        } else {
+            None
+        };
+        let config = ft_autoschedule::search::SearchConfig {
+            budget,
+            seed,
+            workers,
+            warm_payoff,
+            ..ft_autoschedule::search::SearchConfig::default()
+        };
+        let (saved, outcome) = search_schedule(&prep, &config, None, Some(bench_metrics()));
+        let win = outcome.best_score < outcome.rule_score;
+        if !win {
+            losses += 1;
+        }
+        let gain = if saved.searched_cycles > 0.0 {
+            format!("{:.2}x", saved.rule_cycles / saved.searched_cycles)
+        } else {
+            "-".to_string()
+        };
+        println!(
+            "{:<12} {:>14} {:>14} {:>8} {:>8} {:>6} {:>10.0}{}",
+            w.name(),
+            fmt_cycles(saved.rule_cycles),
+            fmt_cycles(saved.searched_cycles),
+            gain,
+            outcome.evaluations,
+            outcome.memo_hits,
+            saved.search_wall_ms,
+            if win { "" } else { "   NO WIN" }
+        );
+        if let Err(e) = std::fs::create_dir_all(out_dir) {
+            eprintln!("cannot create {}: {e}", out_dir.display());
+            return ExitCode::from(2);
+        }
+        let path = out_dir.join(ft_autoschedule::search::SavedSchedule::file_name(
+            &saved.workload,
+            &saved.device,
+            &saved.scale,
+        ));
+        std::fs::write(&path, format!("{}\n", saved.to_json())).expect("write schedule");
+        let hist_path = path.with_extension("history.json");
+        std::fs::write(&hist_path, format!("{}\n", history_json(&outcome)))
+            .expect("write history");
+        eprintln!("wrote {} and {}", path.display(), hist_path.display());
+    }
+    if require_win && losses > 0 {
+        eprintln!("FAIL: {losses} workload(s) did not beat the rule-based schedule");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn history_json(outcome: &ft_autoschedule::search::SearchOutcome) -> JsonVal {
+    JsonVal::Obj(vec![
+        (
+            "generations".to_string(),
+            JsonVal::Arr(
+                outcome
+                    .history
+                    .iter()
+                    .map(|g| {
+                        JsonVal::Obj(vec![
+                            ("generation".to_string(), JsonVal::Num(g.generation as f64)),
+                            ("evaluations".to_string(), JsonVal::Num(g.evaluations as f64)),
+                            ("memo_hits".to_string(), JsonVal::Num(g.memo_hits as f64)),
+                            ("best_cycles".to_string(), JsonVal::Num(g.best_cycles)),
+                            ("best_dram".to_string(), JsonVal::Num(g.best_dram as f64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "illegal_rejected".to_string(),
+            JsonVal::Num(outcome.illegal_rejected as f64),
+        ),
+        ("payoff".to_string(), outcome.payoff.to_json()),
+    ])
+}
+
+fn replay_all(workloads: &[Workload], scale: Scale, out_dir: &std::path::Path) -> ExitCode {
+    println!(
+        "# replaying committed schedules from {} (scale {})",
+        out_dir.display(),
+        scale.key()
+    );
+    let mut failures = 0usize;
+    for &w in workloads {
+        let path = out_dir.join(ft_autoschedule::search::SavedSchedule::file_name(
+            w.schedule_key(),
+            "cpu",
+            scale.key(),
+        ));
+        let saved = match std::fs::read_to_string(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|t| ft_autoschedule::search::SavedSchedule::from_json(&t))
+        {
+            Ok(s) => s,
+            Err(e) => {
+                println!("MISSING    {}: {e}", path.display());
+                failures += 1;
+                continue;
+            }
+        };
+        let prep = prepare(w, scale);
+        let prog = replay_program(&prep.naive, Device::Cpu, &saved.trace);
+        let inputs: HashMap<String, ft_runtime::TensorVal> = input_pairs(&prep.inputs)
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect();
+        let r = match Runtime::new().run(prog.func(), &inputs, &HashMap::new()) {
+            Ok(r) => r,
+            Err(e) => {
+                println!("FAIL       {}: replay run failed: {e}", w.name());
+                failures += 1;
+                continue;
+            }
+        };
+        let replayed = r.counters.score();
+        let recorded = ScheduleScore::new(saved.searched_cycles, saved.searched_dram);
+        if replayed == recorded {
+            println!(
+                "ok         {}: {} cycles, {} ops replayed deterministically",
+                w.name(),
+                fmt_cycles(r.counters.modeled_cycles),
+                saved.trace.len()
+            );
+        } else {
+            println!(
+                "MISMATCH   {}: replayed {} cycles vs recorded {}",
+                w.name(),
+                fmt_cycles(r.counters.modeled_cycles),
+                fmt_cycles(saved.searched_cycles)
+            );
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        eprintln!("FAIL: {failures} schedule(s) missing or diverged");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -24,10 +24,18 @@
 //!    (used on the committed full-scale results, where the VM's SIMD and
 //!    privatized-reduction lowering is expected to win outright).
 //!
-//! A third, optional check reads a `fig16 --metrics` telemetry snapshot
+//! 3. **Searched schedules** — within the *current* file, every
+//!    `ft-searched` row (a committed `results/schedules/` trace replayed by
+//!    `fig16`) must beat its `ft-optimized` counterpart on the
+//!    deterministic `cycles` metric, and a *failed* `ft-searched` row is
+//!    itself **blocking**: a committed schedule that no longer replays is a
+//!    broken artifact, not a skippable case. Rows are only checked when
+//!    present — repos without committed schedules pass vacuously.
+//!
+//! A fourth, optional check reads a `fig16 --metrics` telemetry snapshot
 //! (`--metrics METRICS.json`):
 //!
-//! 3. **Warm-cache gates** — with `--expect-warm`, the run is asserted to
+//! 4. **Warm-cache gates** — with `--expect-warm`, the run is asserted to
 //!    have executed against a fully populated artifact cache:
 //!    `compiled.cc.spawned` must be exactly 0 (every kernel served without
 //!    a compiler spawn) and the `compiled.cache` hit rate
@@ -220,7 +228,45 @@ fn main() -> ExitCode {
         }
     }
 
-    // --- Check 3: runtime-telemetry warm-cache gates. ---
+    // --- Check 3: ft-searched must pay off over ft-optimized. ---
+    let mut searched_checked = 0usize;
+    for cur in &current {
+        if field(cur, "system").as_deref() != Some("ft-searched") {
+            continue;
+        }
+        let Some(ck) = case_key(cur) else { continue };
+        if failed(cur) {
+            // A committed schedule that fails to replay is a broken
+            // artifact: blocking, unlike ordinary failed rows.
+            blocking += 1;
+            let why = field(cur, "failure").unwrap_or_default();
+            println!("BLOCKING   {ck}: ft-searched row failed ({why})");
+            continue;
+        }
+        let Some(opt) = current.iter().find(|r| {
+            field(r, "system").as_deref() == Some("ft-optimized")
+                && case_key(r).as_deref() == Some(&ck)
+                && !failed(r)
+        }) else {
+            continue;
+        };
+        searched_checked += 1;
+        if let (Some(oc), Some(sc)) = (num(opt, "cycles"), num(cur, "cycles")) {
+            if sc > oc {
+                blocking += 1;
+                println!(
+                    "BLOCKING   {ck}: ft-searched cycles {sc:.0} > ft-optimized {oc:.0} \
+                     (search does not pay off)"
+                );
+            } else {
+                println!(
+                    "ok         {ck}: ft-searched cycles {sc:.0} <= ft-optimized {oc:.0}"
+                );
+            }
+        }
+    }
+
+    // --- Check 4: runtime-telemetry warm-cache gates. ---
     if let Some(path) = metrics_path {
         let snap = match std::fs::read_to_string(path)
             .map_err(|e| format!("{path}: {e}"))
@@ -276,7 +322,8 @@ fn main() -> ExitCode {
     }
 
     println!(
-        "{compared} baseline rows compared, {inversions_checked} optimized/naive pairs checked: \
+        "{compared} baseline rows compared, {inversions_checked} optimized/naive pairs and \
+         {searched_checked} searched/optimized pairs checked: \
          {blocking} blocking, {advisories} advisory"
     );
     if blocking > 0 {

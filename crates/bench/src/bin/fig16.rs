@@ -15,8 +15,8 @@
 //! --expect-warm` gates on exactly that.
 
 use bench::{
-    bench_metrics, fmt_cycles, json_record, prepare, run_forward_capped, run_forward_traced,
-    run_grad_capped, write_bench_json, Scale, System, Workload,
+    bench_metrics, fmt_cycles, json_record, load_saved_schedule, prepare, run_forward_capped,
+    run_forward_traced, run_grad_capped, write_bench_json, Scale, System, Workload,
 };
 use ft_autodiff::TapePolicy;
 use ft_ir::Device;
@@ -148,6 +148,28 @@ fn main() {
                 vm_col,
                 compiled_col
             );
+            // Search-found schedules ride along as a fourth system on CPU
+            // forward rows, whenever a committed `results/schedules/` trace
+            // exists for this (workload, scale) — replayed, not re-searched.
+            if !grad && dev == Device::Cpu && load_saved_schedule(w, scale).is_some() {
+                let r = run_forward_capped(&prep, System::FtSearched, dev, capacity);
+                let vs_rule = if r.failure.is_none() && ft_cycles.is_finite() && r.cycles > 0.0 {
+                    format!("{:.2}x vs rule-based", ft_cycles / r.cycles)
+                } else {
+                    r.failure.clone().unwrap_or_else(|| "-".to_string())
+                };
+                println!(
+                    "{:<12} {:<5} {:>74}   searched: {} ({:.1}ms) {} [search {:.0}ms]",
+                    "",
+                    "",
+                    "",
+                    fmt_cycles(r.cycles),
+                    r.wall_ms,
+                    vs_rule,
+                    r.search_wall_ms.unwrap_or(0.0)
+                );
+                records.push(json_record(w, System::FtSearched, dev, kind, scale, &r));
+            }
         }
     }
     if let Some(path) = json_path {

@@ -28,16 +28,20 @@
 //! comparisons.
 
 use ft_autodiff::{GradOptions, TapePolicy};
+use ft_autoschedule::search::{prepare_candidate, SavedSchedule, SearchConfig, SearchOutcome};
 use ft_autoschedule::Target;
-use ft_ir::Device;
+use ft_ir::{Device, Func};
 use ft_metrics::Metrics;
 use ft_opbase::Session;
 use ft_runtime::{
     cc_available, CompiledEngine, DeviceConfig, ExecutionEngine, PerfCounters, Runtime,
     TensorVal, VmRuntime,
 };
+use ft_schedule::trace::ScheduleOp;
 use ft_trace::JsonVal;
 use ft_workloads::{gat, input_pairs, longformer, softras, subdivnet, Inputs};
+use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::OnceLock;
 use std::time::Instant;
 
@@ -50,6 +54,9 @@ pub enum System {
     FtNaive,
     /// FreeTensor program after rule-based auto-scheduling.
     FtOptimized,
+    /// FreeTensor program replaying a search-found schedule trace
+    /// (`ft-autoschedule --search`), loaded from `results/schedules/`.
+    FtSearched,
 }
 
 impl System {
@@ -59,6 +66,7 @@ impl System {
             System::OpBase => "operator-based",
             System::FtNaive => "fine-grained (naive)",
             System::FtOptimized => "FreeTensor",
+            System::FtSearched => "FreeTensor (searched)",
         }
     }
 
@@ -68,6 +76,7 @@ impl System {
             System::OpBase => "opbase",
             System::FtNaive => "ft-naive",
             System::FtOptimized => "ft-optimized",
+            System::FtSearched => "ft-searched",
         }
     }
 }
@@ -102,6 +111,22 @@ impl Workload {
             Workload::SoftRas => "SoftRas",
             Workload::Gat => "GAT",
         }
+    }
+
+    /// Lowercase key used in `results/schedules/` file names and the
+    /// `ft-autoschedule` CLI.
+    pub fn schedule_key(self) -> &'static str {
+        match self {
+            Workload::SubdivNet => "subdivnet",
+            Workload::Longformer => "longformer",
+            Workload::SoftRas => "softras",
+            Workload::Gat => "gat",
+        }
+    }
+
+    /// Parse a [`Workload::schedule_key`] back into a workload.
+    pub fn from_key(key: &str) -> Option<Workload> {
+        Workload::ALL.into_iter().find(|w| w.schedule_key() == key)
     }
 }
 
@@ -143,6 +168,10 @@ pub struct CaseResult {
     /// cases, the operator baseline, failures, or hosts without a C
     /// compiler.
     pub compiled_wall_ms: Option<f64>,
+    /// Wall-clock milliseconds the *search* that produced this schedule
+    /// spent, carried over from the replayed [`SavedSchedule`] — the
+    /// tuning cost axis. `None` for every non-searched system.
+    pub search_wall_ms: Option<f64>,
     /// Modeled execution time in cycle units.
     pub cycles: f64,
     /// Full counter set.
@@ -200,6 +229,9 @@ fn bench_compiled_engine() -> &'static CompiledEngine {
 pub struct Prepared {
     /// The workload.
     pub workload: Workload,
+    /// The scale these inputs were built at (selects the saved-schedule
+    /// shape class for [`System::FtSearched`]).
+    pub scale: Scale,
     /// Inputs by name.
     pub inputs: Inputs,
     /// Unscheduled FreeTensor program.
@@ -229,6 +261,7 @@ pub fn prepare(workload: Workload, scale: Scale) -> Prepared {
             };
             Prepared {
                 workload,
+                scale,
                 inputs: subdivnet::inputs(&p, seed),
                 naive: subdivnet::program(&p),
                 output: "y",
@@ -253,6 +286,7 @@ pub fn prepare(workload: Workload, scale: Scale) -> Prepared {
             };
             Prepared {
                 workload,
+                scale,
                 inputs: longformer::inputs(&p, seed),
                 naive: longformer::program(&p),
                 output: "y",
@@ -275,6 +309,7 @@ pub fn prepare(workload: Workload, scale: Scale) -> Prepared {
             };
             Prepared {
                 workload,
+                scale,
                 inputs: softras::inputs(&p, seed),
                 naive: softras::program(&p),
                 output: "img",
@@ -295,6 +330,7 @@ pub fn prepare(workload: Workload, scale: Scale) -> Prepared {
             };
             Prepared {
                 workload,
+                scale,
                 inputs: gat::inputs(&p, seed),
                 naive: gat::program(&p),
                 output: "y",
@@ -384,7 +420,146 @@ fn run_forward_inner(
             };
             run_ft_both_engines(&prog, &input_pairs(&prep.inputs), config, device)
         }
+        System::FtSearched => run_searched_forward(prep, device, config, sink),
     }
+}
+
+/// A structured non-run: the case could not start (no saved schedule, wrong
+/// device), reported the same way grad exclusions are.
+fn schedule_skip(reason: String) -> CaseResult {
+    CaseResult {
+        wall_ms: 0.0,
+        interp_wall_ms: None,
+        compiled_wall_ms: None,
+        search_wall_ms: None,
+        cycles: f64::NAN,
+        counters: PerfCounters::default(),
+        failure: Some(reason),
+        failed_stage: Some("schedule"),
+    }
+}
+
+/// Replay the saved best-of-search schedule for `(prep.workload,
+/// prep.scale)` on `device`, through the same engines every other
+/// FreeTensor system is measured on. Missing schedule files and non-CPU
+/// devices report a structured `schedule`-stage failure rather than
+/// panicking, so sweeps stay total.
+fn run_searched_forward(
+    prep: &Prepared,
+    device: Device,
+    config: DeviceConfig,
+    sink: Option<&ft_trace::TraceSink>,
+) -> CaseResult {
+    if device != Device::Cpu {
+        return schedule_skip("skipped: searched schedules are CPU-only".to_string());
+    }
+    let saved = match load_saved_schedule(prep.workload, prep.scale) {
+        Some(s) => s,
+        None => {
+            return schedule_skip(format!(
+                "no saved schedule ({})",
+                saved_schedule_path(prep.workload, prep.scale).display()
+            ))
+        }
+    };
+    let mut prog = replay_program(&prep.naive, device, &saved.trace);
+    if let Some(s) = sink {
+        prog.set_sink(Some(s.clone()));
+    }
+    let mut r = run_ft_both_engines(&prog, &input_pairs(&prep.inputs), config, device);
+    r.search_wall_ms = Some(saved.search_wall_ms);
+    r
+}
+
+/// Directory the searched schedules live in: `results/schedules/` relative
+/// to the working directory, overridable with `FT_SCHEDULES_DIR` (the
+/// workspace tests point it at a temp dir).
+pub fn schedules_dir() -> PathBuf {
+    std::env::var_os("FT_SCHEDULES_DIR")
+        .map_or_else(|| PathBuf::from("results/schedules"), PathBuf::from)
+}
+
+/// Path of the saved schedule for a (workload, scale) pair on CPU.
+pub fn saved_schedule_path(workload: Workload, scale: Scale) -> PathBuf {
+    schedules_dir().join(SavedSchedule::file_name(
+        workload.schedule_key(),
+        "cpu",
+        scale.key(),
+    ))
+}
+
+/// Load the committed best-of-search schedule for a (workload, scale)
+/// pair, if one exists. Malformed files are reported to stderr and treated
+/// as absent (the bench degrades to a structured skip, not a crash).
+pub fn load_saved_schedule(workload: Workload, scale: Scale) -> Option<SavedSchedule> {
+    let path = saved_schedule_path(workload, scale);
+    let text = std::fs::read_to_string(&path).ok()?;
+    match SavedSchedule::from_json(&text) {
+        Ok(s) => Some(s),
+        Err(e) => {
+            eprintln!("ignoring malformed schedule {}: {e}", path.display());
+            None
+        }
+    }
+}
+
+/// Build the runnable program for a schedule trace, exactly the way the
+/// search scored it (`prepare_candidate`: param placement → trace →
+/// simplify) — no further transformation, so the replayed counters equal
+/// the recorded ones.
+pub fn replay_program(
+    base: &freetensor_core::Program,
+    device: Device,
+    trace: &[ScheduleOp],
+) -> freetensor_core::Program {
+    let (func, _) = prepare_candidate(base.func(), device, trace);
+    freetensor_core::Program::from_schedule(ft_schedule::Schedule::new(func))
+}
+
+/// Run the evolutionary schedule search for a prepared workload on CPU:
+/// the evaluator executes candidates on the instrumented interpreter over
+/// the workload's real inputs, and the result is packaged as the
+/// [`SavedSchedule`] the bench replay path consumes. Returns the saved
+/// schedule and the raw [`SearchOutcome`] (history, payoff, stats).
+pub fn search_schedule(
+    prep: &Prepared,
+    config: &SearchConfig,
+    sink: Option<&ft_trace::TraceSink>,
+    metrics: Option<&Metrics>,
+) -> (SavedSchedule, SearchOutcome) {
+    let inputs: HashMap<String, TensorVal> = input_pairs(&prep.inputs)
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect();
+    let sizes: HashMap<String, i64> = HashMap::new();
+    let evaluator = move |f: &Func| -> Option<PerfCounters> {
+        Runtime::new().run(f, &inputs, &sizes).ok().map(|r| r.counters)
+    };
+    let start = Instant::now();
+    let outcome = ft_autoschedule::search::search(
+        prep.naive.func(),
+        &Target::cpu(),
+        config,
+        &evaluator,
+        sink,
+        metrics,
+    );
+    let search_wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let saved = SavedSchedule {
+        workload: prep.workload.schedule_key().to_string(),
+        device: "cpu".to_string(),
+        scale: prep.scale.key().to_string(),
+        seed: config.seed,
+        budget: config.budget as u64,
+        search_wall_ms,
+        searched_cycles: outcome.best_counters.modeled_cycles,
+        searched_dram: outcome.best_counters.dram_bytes,
+        rule_cycles: outcome.rule_score.cycles(),
+        rule_dram: outcome.rule_score.dram_bytes,
+        trace: outcome.best_trace.clone(),
+        payoff: outcome.payoff.clone(),
+    };
+    (saved, outcome)
 }
 
 /// Run a FreeTensor program on every engine with a time axis: the
@@ -426,6 +601,7 @@ fn run_ft_both_engines(
                     wall_ms,
                     interp_wall_ms: Some(interp_wall_ms),
                     compiled_wall_ms,
+                    search_wall_ms: None,
                     cycles: r.counters.modeled_cycles,
                     counters: r.counters,
                     failure: None,
@@ -438,6 +614,7 @@ fn run_ft_both_engines(
                     wall_ms,
                     interp_wall_ms: Some(interp_wall_ms),
                     compiled_wall_ms,
+                    search_wall_ms: None,
                     cycles: r.counters.modeled_cycles,
                     counters: r.counters,
                     failure: Some(short_error(&e.to_string())),
@@ -449,6 +626,7 @@ fn run_ft_both_engines(
             wall_ms: interp_wall_ms,
             interp_wall_ms: Some(interp_wall_ms),
             compiled_wall_ms: None,
+            search_wall_ms: None,
             cycles: f64::NAN,
             counters: PerfCounters::default(),
             failure: Some(short_error(&e.to_string())),
@@ -514,6 +692,7 @@ fn run_opbase_forward(prep: &Prepared, device: Device, config: DeviceConfig) -> 
         wall_ms,
         interp_wall_ms: None,
         compiled_wall_ms: None,
+        search_wall_ms: None,
         cycles: counters.modeled_cycles,
         counters,
         failure,
@@ -552,6 +731,7 @@ pub fn run_grad_capped(
             wall_ms: 0.0,
             interp_wall_ms: None,
             compiled_wall_ms: None,
+            search_wall_ms: None,
             cycles: f64::NAN,
             counters: PerfCounters::default(),
             failure: Some("skipped: GAT gradients are excluded (paper §6.2)".to_string()),
@@ -580,6 +760,12 @@ pub fn run_grad_capped(
         &seed_shape,
         vec![1.0; seed_shape.iter().product::<usize>()],
     );
+    // Searched schedules are tuned (and legality-checked) against the
+    // forward program; replaying a forward trace on the differentiated IR
+    // would be positional nonsense. Report a structured skip.
+    if system == System::FtSearched {
+        return schedule_skip("skipped: searched schedules cover forward only".to_string());
+    }
     match system {
         System::OpBase => {
             let s = Session::new(device, config);
@@ -614,7 +800,8 @@ pub fn run_grad_capped(
             CaseResult {
                 wall_ms,
                 interp_wall_ms: None,
-            compiled_wall_ms: None,
+                compiled_wall_ms: None,
+                search_wall_ms: None,
                 cycles: counters.modeled_cycles,
                 counters,
                 failure,
@@ -636,7 +823,8 @@ pub fn run_grad_capped(
                     return CaseResult {
                         wall_ms: grad_start.elapsed().as_secs_f64() * 1e3,
                         interp_wall_ms: None,
-            compiled_wall_ms: None,
+                        compiled_wall_ms: None,
+                        search_wall_ms: None,
                         cycles: f64::NAN,
                         counters: PerfCounters::default(),
                         failure: Some(short_error(&e.to_string())),
@@ -654,6 +842,7 @@ pub fn run_grad_capped(
             pairs.push((&grad_seed_name, seed.clone()));
             run_ft_both_engines(&prog, &pairs, config, device)
         }
+        System::FtSearched => unreachable!("handled by the structured skip above"),
     }
 }
 
@@ -732,6 +921,10 @@ pub fn json_record(
         (
             "compiled_wall_speedup".to_string(),
             r.compiled_speedup().map_or(JsonVal::Null, JsonVal::Num),
+        ),
+        (
+            "search_wall_ms".to_string(),
+            r.search_wall_ms.map_or(JsonVal::Null, JsonVal::Num),
         ),
         ("cycles".to_string(), num(r.cycles)),
         ("flops".to_string(), JsonVal::Num(r.counters.flops as f64)),
@@ -973,6 +1166,59 @@ mod tests {
         let events = sink.events();
         assert!(events.iter().any(|e| e.name == "opbase forward"));
         ft_trace::validate_chrome_trace(&ft_trace::chrome_trace(&sink)).unwrap();
+    }
+
+    #[test]
+    fn searched_system_without_a_schedule_is_a_structured_skip() {
+        // `FT_SCHEDULES_DIR` is unset and the test cwd has no
+        // results/schedules for the small GAT shape class, so the searched
+        // system must degrade to a schedule-stage skip, not a panic — and
+        // never run at all on GPU.
+        let prep = prepare(Workload::Gat, Scale::Small);
+        let gpu = run_forward(&prep, System::FtSearched, Device::Gpu);
+        assert_eq!(gpu.failed_stage, Some("schedule"));
+        assert!(gpu.failure.as_deref().unwrap_or_default().contains("CPU-only"));
+        // (GAT grads are excluded before the schedule skip can fire, so use
+        // a workload that reaches the searched-grad guard.)
+        let prep = prepare(Workload::SubdivNet, Scale::Small);
+        let grad = run_grad(&prep, System::FtSearched, Device::Cpu, TapePolicy::Selective);
+        assert_eq!(grad.failed_stage, Some("schedule"));
+        assert!(grad.cycles.is_nan());
+    }
+
+    #[test]
+    fn searched_schedule_roundtrips_through_search_save_and_replay() {
+        // The full tentpole loop at toy scale: search a few evaluations on
+        // small GAT, persist the winner, replay it through the bench path,
+        // and require the replayed deterministic score to equal the
+        // recorded one (the memoized score was produced by the very same
+        // prepare → interpret pipeline).
+        let prep = prepare(Workload::Gat, Scale::Small);
+        let config = SearchConfig {
+            budget: 12,
+            seed: 2022,
+            workers: 2,
+            ..SearchConfig::default()
+        };
+        let (saved, outcome) = search_schedule(&prep, &config, None, None);
+        assert!(outcome.evaluations <= 12);
+        assert!(saved.searched_cycles <= saved.rule_cycles * (1.0 + 1e-6));
+        let back = SavedSchedule::from_json(&saved.to_json()).unwrap();
+        assert_eq!(saved, back);
+        let prog = replay_program(&prep.naive, Device::Cpu, &back.trace);
+        let r = run_ft_both_engines(
+            &prog,
+            &input_pairs(&prep.inputs),
+            DeviceConfig::default(),
+            Device::Cpu,
+        );
+        assert!(r.failure.is_none(), "{:?}", r.failure);
+        assert!(
+            r.counters.score_eq(&outcome.best_counters),
+            "replayed counters diverged: {} vs recorded {}",
+            r.counters.modeled_cycles,
+            saved.searched_cycles
+        );
     }
 
     #[test]

@@ -1,0 +1,163 @@
+//! End-to-end properties of search-based auto-scheduling against the real
+//! bench workloads: determinism across runs and worker pools, a directed
+//! quality bar on small SubdivNet, honest committed artifacts, and metrics
+//! export coverage.
+
+use bench::{prepare, replay_program, search_schedule, Scale, Workload};
+use ft_autoschedule::search::{SavedSchedule, SearchConfig};
+use ft_ir::Device;
+use ft_metrics::Metrics;
+use ft_runtime::{Runtime, ScheduleScore, TensorVal};
+use ft_schedule::trace::ScheduleOp;
+use ft_workloads::input_pairs;
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+/// The committed schedule store, independent of the test cwd.
+fn schedules_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results/schedules")
+}
+
+fn interp_score(prep: &bench::Prepared, trace: &[ScheduleOp]) -> Option<ScheduleScore> {
+    let prog = replay_program(&prep.naive, Device::Cpu, trace);
+    let inputs: HashMap<String, TensorVal> = input_pairs(&prep.inputs)
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect();
+    Runtime::new()
+        .run(prog.func(), &inputs, &HashMap::new())
+        .ok()
+        .map(|r| r.counters.score())
+}
+
+#[test]
+fn search_is_deterministic_across_runs_and_worker_pools() {
+    // Same seed and budget must give bit-identical outcomes no matter how
+    // many evaluation workers run — the persisted JSON differs only in the
+    // wall-clock field.
+    let prep = prepare(Workload::Gat, Scale::Small);
+    let run = |workers: usize| {
+        let config = SearchConfig {
+            budget: 10,
+            seed: 41,
+            workers,
+            ..SearchConfig::default()
+        };
+        search_schedule(&prep, &config, None, None)
+    };
+    let (mut a_saved, a_out) = run(1);
+    let (mut b_saved, b_out) = run(1);
+    let (mut c_saved, c_out) = run(4);
+    assert_eq!(a_out.best_trace, b_out.best_trace);
+    assert_eq!(a_out.best_score, b_out.best_score);
+    assert_eq!(a_out.history, b_out.history);
+    assert_eq!(a_out.best_trace, c_out.best_trace, "worker count changed the result");
+    assert_eq!(a_out.best_score, c_out.best_score);
+    assert_eq!(a_out.history, c_out.history);
+    for s in [&mut a_saved, &mut b_saved, &mut c_saved] {
+        s.search_wall_ms = 0.0;
+    }
+    assert_eq!(a_saved.to_json(), b_saved.to_json());
+    assert_eq!(a_saved.to_json(), c_saved.to_json());
+}
+
+#[test]
+fn search_beats_a_known_good_hand_schedule_on_small_subdivnet() {
+    // A schedule a performance engineer would write by hand: parallelize
+    // the outermost face loop and promote the first local buffer. The
+    // search must discover something at least as good within a small
+    // budget — and the hand schedule itself must be a real improvement,
+    // or the bar would be vacuous.
+    let prep = prepare(Workload::SubdivNet, Scale::Small);
+    let naive = interp_score(&prep, &[]).expect("naive run");
+    let hand = vec![
+        ScheduleOp::Parallelize { loop_idx: 0 },
+        ScheduleOp::SetMtype { def_idx: 0 },
+    ];
+    let hand_score = interp_score(&prep, &hand).expect("hand-schedule run");
+    assert!(hand_score < naive, "hand schedule is not an improvement");
+    let config = SearchConfig {
+        budget: 48,
+        seed: 2022,
+        workers: 2,
+        ..SearchConfig::default()
+    };
+    let (_, outcome) = search_schedule(&prep, &config, None, None);
+    assert!(
+        outcome.best_score <= hand_score,
+        "search ({:?}) lost to the hand schedule ({hand_score:?})",
+        outcome.best_score
+    );
+}
+
+#[test]
+fn committed_schedules_replay_to_their_recorded_scores() {
+    // Every schedule committed under results/schedules/ must (a) replay
+    // from its trace to exactly the recorded deterministic score and
+    // (b) document a genuine win over the rule-based warm start. A file
+    // that drifts from either is a stale artifact and must fail CI.
+    let dir = schedules_dir();
+    let mut found = 0usize;
+    for w in Workload::ALL {
+        for scale in [Scale::Small, Scale::Full] {
+            let path = dir.join(SavedSchedule::file_name(
+                w.schedule_key(),
+                "cpu",
+                scale.key(),
+            ));
+            let Ok(text) = std::fs::read_to_string(&path) else {
+                continue;
+            };
+            found += 1;
+            let saved = SavedSchedule::from_json(&text)
+                .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+            assert!(
+                saved.searched_cycles < saved.rule_cycles,
+                "{}: committed schedule does not beat rule-based",
+                path.display()
+            );
+            let prep = prepare(w, scale);
+            let replayed = interp_score(&prep, &saved.trace)
+                .unwrap_or_else(|| panic!("{}: replay failed", path.display()));
+            let recorded = ScheduleScore::new(saved.searched_cycles, saved.searched_dram);
+            assert_eq!(
+                replayed,
+                recorded,
+                "{}: replayed score diverged from the recorded one",
+                path.display()
+            );
+        }
+    }
+    assert!(
+        found > 0,
+        "no committed schedules found under {} — the searched system has nothing to replay",
+        dir.display()
+    );
+}
+
+#[test]
+fn search_exports_its_counters_through_the_standard_registry() {
+    // The driver's `--metrics` export must carry the search telemetry: the
+    // same registry every engine reports into.
+    let prep = prepare(Workload::Gat, Scale::Small);
+    let metrics = Metrics::new();
+    let config = SearchConfig {
+        budget: 6,
+        seed: 2022,
+        ..SearchConfig::default()
+    };
+    let (_, outcome) = search_schedule(&prep, &config, None, Some(&metrics));
+    let snap = metrics.snapshot();
+    assert_eq!(snap.counter("search.evaluations"), outcome.evaluations);
+    assert_eq!(snap.counter("search.memo.hit"), outcome.memo_hits);
+    assert_eq!(
+        snap.counter("search.illegal_rejected"),
+        outcome.illegal_rejected
+    );
+    assert!(snap.counter("search.generations") >= 1);
+    assert!(snap.gauges.contains_key("search.best_cycles"));
+    // And the snapshot round-trips through JSON with the gauges intact,
+    // which is what the artifact upload consumes.
+    let back = ft_metrics::MetricsSnapshot::from_json(&snap.to_json()).unwrap();
+    assert_eq!(back.counter("search.evaluations"), outcome.evaluations);
+}

@@ -16,6 +16,12 @@
 //! 6. [`auto_unroll`] — unroll very short loops.
 //!
 //! [`auto_schedule`] runs all six in the paper's order for a target device.
+//!
+//! The [`search`] module is the alternative strategy: evolutionary search
+//! over schedule traces scored by the deterministic cost model, warm-started
+//! from (and required to beat) the rule-based result.
+
+pub mod search;
 
 use ft_ir::{Device, Func, MemType, ParallelScope, Stmt, StmtId, StmtKind};
 use ft_schedule::Schedule;

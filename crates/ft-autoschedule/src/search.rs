@@ -1,0 +1,948 @@
+//! Search-based auto-scheduling: evolutionary search over [`ScheduleOp`]
+//! traces, scored by the deterministic cost model.
+//!
+//! Where the rule-based [`auto_schedule`](crate::auto_schedule) commits to
+//! one fixed pass order, this module *searches* the legal-schedule space the
+//! way Ansor/TensorIR-class autotuners do — but with two properties those
+//! systems don't have for free:
+//!
+//! 1. **Legality is a rejection, not a crash.** Every candidate trace is
+//!    applied through `ft-schedule`'s dependence-checked primitives
+//!    ([`ft_schedule::trace::apply_trace`]); an illegal mutation is simply
+//!    a no-op in the trace, so the neighborhood generator never needs its
+//!    own legality model.
+//! 2. **Scoring is deterministic.** Candidates are ranked by the
+//!    instrumented cost model's `modeled_cycles` (with `dram_bytes` as
+//!    tiebreak), quantized into a total order by
+//!    [`ft_runtime::ScheduleScore`] — so the same seed and budget produce
+//!    the identical best trace on any machine, at any worker count, and the
+//!    result can be gated in CI without wall-clock noise.
+//!
+//! The engine is workload-agnostic: the caller supplies an *evaluator*
+//! closure that runs a scheduled function on real inputs and returns its
+//! [`PerfCounters`] (the bench crate's driver runs the instrumented VM).
+//! Candidate programs are memoized on [`canonical_key`] — the printed,
+//! simplified function — so two traces that produce the same program are
+//! never evaluated twice.
+
+use crate::Target;
+use ft_ir::{Device, Func, MemType};
+use ft_metrics::Metrics;
+use ft_runtime::{PerfCounters, ScheduleScore};
+use ft_schedule::trace::{
+    apply_trace, canonical_key, loops_of, op_from_json, op_to_json, vardefs_of, ScheduleOp,
+};
+use ft_schedule::Schedule;
+use ft_trace::{JsonVal, TraceSink};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// Knobs of one search run. Everything that affects the outcome is in here
+/// (plus the base function and target): two runs with equal configs are
+/// bit-identical.
+#[derive(Debug, Clone)]
+pub struct SearchConfig {
+    /// Maximum evaluator invocations (memo hits are free).
+    pub budget: usize,
+    /// RNG seed; the single source of randomness.
+    pub seed: u64,
+    /// Survivors kept between generations.
+    pub population: usize,
+    /// Candidates proposed per generation.
+    pub generation_size: usize,
+    /// Hard cap on trace length (crossover and append respect it).
+    pub max_trace_len: usize,
+    /// Evaluation worker threads. **Does not affect the result**, only
+    /// wall-clock: candidates are generated and ranked sequentially, and
+    /// parallel evaluation writes into per-candidate slots.
+    pub workers: usize,
+    /// Warm-start per-op payoff statistics from a previous run
+    /// ([`SavedSchedule::payoff`]); `None` starts uniform.
+    pub warm_payoff: Option<PayoffTable>,
+}
+
+impl Default for SearchConfig {
+    fn default() -> SearchConfig {
+        SearchConfig {
+            budget: 256,
+            seed: 2022,
+            population: 8,
+            generation_size: 16,
+            max_trace_len: 24,
+            workers: 1,
+            warm_payoff: None,
+        }
+    }
+}
+
+/// Per-op-kind win/trial statistics, Laplace-smoothed into mutation weights.
+///
+/// Every proposed candidate credits the op kinds its mutation introduced
+/// ("trials"); kinds whose candidates improved on their parent also count a
+/// "win". The neighborhood generator multiplies each kind's base weight by
+/// `(wins + 1) / (trials + 2)`, so kinds that keep paying off get sampled
+/// more and kinds that never help decay toward (but never reach) zero —
+/// the table is a prior, not a filter. Tables persist in
+/// [`SavedSchedule`] JSON so later runs warm-start from earlier evidence.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PayoffTable {
+    entries: BTreeMap<String, (u64, u64)>,
+}
+
+impl PayoffTable {
+    /// `(wins, trials)` recorded for an op kind.
+    pub fn get(&self, op: &str) -> (u64, u64) {
+        self.entries.get(op).copied().unwrap_or((0, 0))
+    }
+
+    /// Record one trial (and, when the child beat its parent, one win).
+    pub fn credit(&mut self, op: &str, improved: bool) {
+        let e = self.entries.entry(op.to_string()).or_insert((0, 0));
+        e.1 += 1;
+        if improved {
+            e.0 += 1;
+        }
+    }
+
+    /// Smoothed sampling weight of an op kind in 1/1024 units, scaled by
+    /// its base weight. Integer arithmetic keeps sampling deterministic.
+    fn weight_millis(&self, op: &str, base: u64) -> u64 {
+        let (wins, trials) = self.get(op);
+        // Laplace smoothing: an untried op weighs base * 512/1024.
+        (base * 1024 * (wins + 1) / (trials + 2)).max(1)
+    }
+
+    /// Iterate entries in deterministic (name) order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64, u64)> {
+        self.entries.iter().map(|(k, (w, t))| (k.as_str(), *w, *t))
+    }
+
+    /// Serialize as `{"op": [wins, trials], ...}`.
+    pub fn to_json(&self) -> JsonVal {
+        JsonVal::Obj(
+            self.entries
+                .iter()
+                .map(|(k, (w, t))| {
+                    (
+                        k.clone(),
+                        JsonVal::Arr(vec![JsonVal::Num(*w as f64), JsonVal::Num(*t as f64)]),
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    /// Parse [`PayoffTable::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first malformed entry.
+    pub fn from_json(v: &JsonVal) -> Result<PayoffTable, String> {
+        let JsonVal::Obj(fields) = v else {
+            return Err("payoff table is not an object".to_string());
+        };
+        let mut entries = BTreeMap::new();
+        for (k, v) in fields {
+            let arr = v.as_arr().ok_or_else(|| format!("payoff `{k}` not an array"))?;
+            let n = |i: usize| -> Result<u64, String> {
+                arr.get(i)
+                    .and_then(JsonVal::as_u64)
+                    .ok_or_else(|| format!("payoff `{k}` missing element {i}"))
+            };
+            entries.insert(k.clone(), (n(0)?, n(1)?));
+        }
+        Ok(PayoffTable { entries })
+    }
+}
+
+/// Summary of one generation, for the search history artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenStat {
+    /// Generation number (0 = warm-start seeds).
+    pub generation: u64,
+    /// Cumulative evaluator invocations after this generation.
+    pub evaluations: u64,
+    /// Cumulative memoization hits after this generation.
+    pub memo_hits: u64,
+    /// Best modeled cycles seen so far.
+    pub best_cycles: f64,
+    /// `dram_bytes` of the best candidate so far.
+    pub best_dram: u64,
+}
+
+/// Everything a search run produced.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// Best trace found (accepted ops only — replays deterministically).
+    pub best_trace: Vec<ScheduleOp>,
+    /// Its score.
+    pub best_score: ScheduleScore,
+    /// Its full counters (from the evaluation that discovered it).
+    pub best_counters: PerfCounters,
+    /// The rule-mirroring warm-start trace ([`rule_trace`]).
+    pub rule_trace: Vec<ScheduleOp>,
+    /// The warm-start trace's score (what search has to beat).
+    pub rule_score: ScheduleScore,
+    /// Evaluator invocations actually spent (≤ budget).
+    pub evaluations: u64,
+    /// Candidates answered from the memo table.
+    pub memo_hits: u64,
+    /// Ops rejected by the legality checks across all candidates.
+    pub illegal_rejected: u64,
+    /// Generations run (excluding the seed generation).
+    pub generations: u64,
+    /// Per-generation progress.
+    pub history: Vec<GenStat>,
+    /// Final payoff statistics (persist for warm starts).
+    pub payoff: PayoffTable,
+}
+
+/// A prepared candidate: the trace applied and simplified, exactly the way
+/// `Program::optimize` prepares the rule-based schedule — so scores
+/// recorded here reproduce on the bench replay path.
+struct Prepared {
+    func: Func,
+    key: u64,
+    accepted: Vec<ScheduleOp>,
+    rejected: u64,
+}
+
+/// Apply `trace` to `base` for `device` and simplify, mirroring
+/// `freetensor_core::Program::optimize` (param placement → schedule →
+/// simplify). Public because the bench replay path must build candidate
+/// programs identically to how the search scored them.
+pub fn prepare_candidate(base: &Func, device: Device, trace: &[ScheduleOp]) -> (Func, Vec<ScheduleOp>) {
+    let mut f = base.clone();
+    for p in &mut f.params {
+        p.mtype = MemType::default_for(device);
+    }
+    let (scheduled, accepted) = apply_trace(&f, trace);
+    (ft_passes::simplify(&scheduled), accepted)
+}
+
+fn prepare(base: &Func, device: Device, trace: &[ScheduleOp]) -> Prepared {
+    let (func, accepted) = prepare_candidate(base, device, trace);
+    let key = canonical_key(&func);
+    let rejected = (trace.len() - accepted.len()) as u64;
+    Prepared {
+        func,
+        key,
+        accepted,
+        rejected,
+    }
+}
+
+/// Deterministic chunked parallel map: output order is input order and the
+/// result is independent of thread scheduling (each worker owns a disjoint
+/// contiguous slice of the output).
+fn par_map<T: Sync, R: Send>(items: &[T], workers: usize, f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    if workers <= 1 || items.len() <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let chunk = items.len().div_ceil(workers);
+    let mut out: Vec<Option<R>> = Vec::new();
+    out.resize_with(items.len(), || None);
+    std::thread::scope(|s| {
+        for (inp, outp) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            s.spawn(|| {
+                for (i, o) in inp.iter().zip(outp.iter_mut()) {
+                    *o = Some(f(i));
+                }
+            });
+        }
+    });
+    out.into_iter().map(|r| r.expect("par_map slot filled")).collect()
+}
+
+/// Mirror the six rule-based passes in the positional trace vocabulary:
+/// greedy, deterministic, and cheap (no evaluator calls). The result seeds
+/// the search population so generation 0 already contains a rule-class
+/// schedule; search then has to *improve* on it.
+///
+/// CPU-only, like the search itself (the trace vocabulary's `parallelize`
+/// is OpenMP).
+pub fn rule_trace(base: &Func, target: &Target) -> Vec<ScheduleOp> {
+    let mut f = base.clone();
+    for p in &mut f.params {
+        p.mtype = MemType::default_for(target.device);
+    }
+    let mut sched = Schedule::new(f);
+    let mut trace: Vec<ScheduleOp> = Vec::new();
+    let try_op = |sched: &mut Schedule, trace: &mut Vec<ScheduleOp>, op: ScheduleOp| -> bool {
+        let ok = op.apply(sched).is_ok();
+        if ok {
+            trace.push(op);
+        }
+        ok
+    };
+    // Pass 1 (auto_fuse): fuse sibling loops to a fixpoint. Positional
+    // pairs are legality-gated, so trying all pairs is safe.
+    'fuse: for _ in 0..16 {
+        let n = loops_of(sched.func()).len();
+        for i in 0..n.saturating_sub(1) {
+            for j in (i + 1)..n {
+                if try_op(
+                    &mut sched,
+                    &mut trace,
+                    ScheduleOp::Fuse {
+                        first_idx: i,
+                        second_idx: j,
+                    },
+                ) {
+                    continue 'fuse;
+                }
+            }
+        }
+        break;
+    }
+    // Pass 2 (auto_use_lib): offer every loop to the library matcher.
+    for i in 0..loops_of(sched.func()).len() {
+        try_op(&mut sched, &mut trace, ScheduleOp::AsLib { loop_idx: i });
+    }
+    // Pass 3 (auto_parallelize, CPU): outermost loops onto OpenMP threads.
+    {
+        let loops = loops_of(sched.func());
+        for (i, id) in loops.iter().enumerate() {
+            if !crate::has_loop_parent(sched.func(), *id) {
+                try_op(&mut sched, &mut trace, ScheduleOp::Parallelize { loop_idx: i });
+            }
+        }
+    }
+    // Pass 4 (auto_vectorize): innermost nested serial loops.
+    {
+        let loops = loops_of(sched.func());
+        for (i, id) in loops.iter().enumerate() {
+            if crate::is_innermost(sched.func(), *id)
+                && crate::has_loop_parent(sched.func(), *id)
+                && crate::loop_extent_const(sched.func(), *id).is_none_or(|e| e >= 4)
+            {
+                try_op(&mut sched, &mut trace, ScheduleOp::Vectorize { loop_idx: i });
+            }
+        }
+    }
+    // Pass 5 (auto_mem_type): promote small locals to the stack.
+    for d in 0..vardefs_of(sched.func()).len() {
+        try_op(&mut sched, &mut trace, ScheduleOp::SetMtype { def_idx: d });
+    }
+    // Pass 6 (auto_unroll): unroll very short innermost loops.
+    {
+        let loops = loops_of(sched.func());
+        for (i, id) in loops.iter().enumerate() {
+            if crate::is_innermost(sched.func(), *id)
+                && crate::loop_extent_const(sched.func(), *id)
+                    .is_some_and(|e| e <= target.unroll_trip)
+            {
+                try_op(&mut sched, &mut trace, ScheduleOp::Unroll { loop_idx: i });
+            }
+        }
+    }
+    trace
+}
+
+/// Op kinds the neighborhood generator samples, with base weights.
+/// (`parallelize_unchecked` is fault injection and is never proposed.)
+const OP_KINDS: &[(&str, u64)] = &[
+    ("split", 3),
+    ("merge", 1),
+    ("reorder", 1),
+    ("fuse", 2),
+    ("parallelize", 3),
+    ("vectorize", 2),
+    ("unroll", 1),
+    ("cache", 2),
+    ("separate_tail", 1),
+    ("set_mtype", 2),
+    ("as_lib", 1),
+];
+
+/// Positional index space (taken modulo the live loop/def/param count at
+/// application time, matching the conformance sampler).
+const IDX_SPACE: usize = 64;
+
+fn random_op(rng: &mut StdRng, payoff: &PayoffTable) -> ScheduleOp {
+    let weights: Vec<u64> = OP_KINDS
+        .iter()
+        .map(|(k, base)| payoff.weight_millis(k, *base))
+        .collect();
+    let total: u64 = weights.iter().sum();
+    let mut roll = rng.gen_range(0..total);
+    let mut idx = 0;
+    for (i, w) in weights.iter().enumerate() {
+        if roll < *w {
+            idx = i;
+            break;
+        }
+        roll -= *w;
+    }
+    let l = rng.gen_range(0..IDX_SPACE);
+    match OP_KINDS[idx].0 {
+        "split" => ScheduleOp::Split {
+            loop_idx: l,
+            factor: [2i64, 3, 4, 8][rng.gen_range(0..4usize)],
+        },
+        "merge" => ScheduleOp::Merge { loop_idx: l },
+        "reorder" => ScheduleOp::Reorder { loop_idx: l },
+        "fuse" => ScheduleOp::Fuse {
+            first_idx: l,
+            second_idx: rng.gen_range(0..IDX_SPACE),
+        },
+        "parallelize" => ScheduleOp::Parallelize { loop_idx: l },
+        "vectorize" => ScheduleOp::Vectorize { loop_idx: l },
+        "unroll" => ScheduleOp::Unroll { loop_idx: l },
+        "cache" => ScheduleOp::Cache {
+            loop_idx: l,
+            param_idx: rng.gen_range(0..8usize),
+        },
+        "separate_tail" => ScheduleOp::SeparateTail { loop_idx: l },
+        "set_mtype" => ScheduleOp::SetMtype {
+            def_idx: rng.gen_range(0..8usize),
+        },
+        _ => ScheduleOp::AsLib { loop_idx: l },
+    }
+}
+
+/// One member of the population.
+#[derive(Debug, Clone)]
+struct Indiv {
+    key: u64,
+    trace: Vec<ScheduleOp>,
+    score: ScheduleScore,
+}
+
+/// A proposed candidate: the trace, the op kinds its mutation introduced
+/// (for payoff credit), and the parent score it must beat to count a win.
+struct Proposal {
+    trace: Vec<ScheduleOp>,
+    credited: Vec<&'static str>,
+    parent_score: ScheduleScore,
+}
+
+/// Tournament selection: the better of two uniform draws.
+fn select<'a>(rng: &mut StdRng, pop: &'a [Indiv]) -> &'a Indiv {
+    let a = &pop[rng.gen_range(0..pop.len())];
+    let b = &pop[rng.gen_range(0..pop.len())];
+    if a.score <= b.score {
+        a
+    } else {
+        b
+    }
+}
+
+fn propose(rng: &mut StdRng, pop: &[Indiv], payoff: &PayoffTable, max_len: usize) -> Proposal {
+    let parent = select(rng, pop);
+    let mut trace = parent.trace.clone();
+    // Kinds: mutate 3, append 3, truncate 2, crossover 2.
+    let roll = rng.gen_range(0..10u32);
+    let mut credited = Vec::new();
+    if roll < 3 && !trace.is_empty() {
+        // Mutate: replace one op with a fresh draw.
+        let pos = rng.gen_range(0..trace.len());
+        let op = random_op(rng, payoff);
+        credited.push(op_kind_name(&op));
+        trace[pos] = op;
+    } else if roll < 6 || trace.is_empty() {
+        // Append/insert a fresh op.
+        let op = random_op(rng, payoff);
+        credited.push(op_kind_name(&op));
+        let pos = rng.gen_range(0..=trace.len());
+        trace.insert(pos, op);
+        trace.truncate(max_len);
+    } else if roll < 8 {
+        // Truncate: drop one op.
+        let pos = rng.gen_range(0..trace.len());
+        trace.remove(pos);
+    } else {
+        // Crossover: parent prefix + other parent's suffix.
+        let other = select(rng, pop);
+        let a = rng.gen_range(0..=trace.len());
+        let b = rng.gen_range(0..=other.trace.len());
+        trace.truncate(a);
+        trace.extend_from_slice(&other.trace[b..]);
+        trace.truncate(max_len);
+    }
+    Proposal {
+        trace,
+        credited,
+        parent_score: parent.score,
+    }
+}
+
+/// The static name of an op's kind (identical to [`ScheduleOp::op_name`]
+/// but returning the `OP_KINDS` interned str for payoff credit).
+fn op_kind_name(op: &ScheduleOp) -> &'static str {
+    OP_KINDS
+        .iter()
+        .map(|(k, _)| *k)
+        .find(|k| *k == op.op_name())
+        .unwrap_or("split")
+}
+
+/// Score of a failed (or budget-starved) candidate: ranks strictly last.
+fn worst_score() -> ScheduleScore {
+    ScheduleScore::new(f64::INFINITY, u64::MAX)
+}
+
+/// Run the evolutionary search. See the module docs for the model; the
+/// short version:
+///
+/// - generation 0 evaluates the empty trace and [`rule_trace`];
+/// - each generation proposes [`SearchConfig::generation_size`] candidates
+///   by payoff-weighted mutate/append/truncate/crossover, prepares them in
+///   parallel, answers duplicates from the memo table, evaluates the rest
+///   in parallel (never exceeding [`SearchConfig::budget`] evaluator
+///   calls), then updates population/payoff/best sequentially in proposal
+///   order — which is what makes the outcome worker-count-invariant;
+/// - the search stops when the budget is spent.
+///
+/// `evaluator` returns `None` for candidates that fail to run; they rank
+/// strictly last and can never become the best.
+pub fn search(
+    base: &Func,
+    target: &Target,
+    config: &SearchConfig,
+    evaluator: &(dyn Fn(&Func) -> Option<PerfCounters> + Sync),
+    sink: Option<&TraceSink>,
+    metrics: Option<&Metrics>,
+) -> SearchOutcome {
+    assert_eq!(
+        target.device,
+        Device::Cpu,
+        "trace search is CPU-only (the trace vocabulary parallelizes onto OpenMP)"
+    );
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut payoff = config.warm_payoff.clone().unwrap_or_default();
+    let mut memo: BTreeMap<u64, ScheduleScore> = BTreeMap::new();
+    let mut best: Option<(Vec<ScheduleOp>, ScheduleScore, PerfCounters)> = None;
+    let mut pop: Vec<Indiv> = Vec::new();
+    let mut evals: u64 = 0;
+    let mut memo_hits: u64 = 0;
+    let mut illegal: u64 = 0;
+    let mut history: Vec<GenStat> = Vec::new();
+    let budget = config.budget as u64;
+    let workers = config.workers.max(1);
+
+    // One batch: prepare in parallel, dedupe against the memo, evaluate
+    // misses in parallel, then fold results sequentially in batch order.
+    let run_batch = |traces: &[Vec<ScheduleOp>],
+                         evals: &mut u64,
+                         memo_hits: &mut u64,
+                         illegal: &mut u64,
+                         memo: &mut BTreeMap<u64, ScheduleScore>,
+                         best: &mut Option<(Vec<ScheduleOp>, ScheduleScore, PerfCounters)>|
+     -> Vec<(u64, Vec<ScheduleOp>, ScheduleScore)> {
+        let prepared: Vec<Prepared> =
+            par_map(traces, workers, |t| prepare(base, target.device, t));
+        // Sequential dedup: first occurrence of each unseen key becomes a
+        // miss, capped by the remaining budget (deterministically: later
+        // candidates in the batch are the ones starved).
+        let mut miss_idx: Vec<usize> = Vec::new();
+        let mut batch_new: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+        for (i, p) in prepared.iter().enumerate() {
+            *illegal += p.rejected;
+            if memo.contains_key(&p.key) || batch_new.contains(&p.key) {
+                *memo_hits += 1;
+            } else if (*evals + miss_idx.len() as u64) < budget {
+                batch_new.insert(p.key);
+                miss_idx.push(i);
+            }
+        }
+        let miss_funcs: Vec<&Func> = miss_idx.iter().map(|&i| &prepared[i].func).collect();
+        let fresh: Vec<Option<PerfCounters>> =
+            par_map(&miss_funcs, workers, |f| evaluator(f));
+        for (&i, counters) in miss_idx.iter().zip(fresh) {
+            *evals += 1;
+            let score = counters
+                .as_ref()
+                .map_or_else(worst_score, PerfCounters::score);
+            memo.insert(prepared[i].key, score);
+            if let Some(c) = counters {
+                let better = best.as_ref().is_none_or(|(_, bs, _)| score < *bs);
+                if better {
+                    *best = Some((prepared[i].accepted.clone(), score, c));
+                }
+            }
+        }
+        prepared
+            .into_iter()
+            .map(|p| {
+                let score = memo.get(&p.key).copied().unwrap_or_else(worst_score);
+                (p.key, p.accepted, score)
+            })
+            .collect()
+    };
+
+    // Generation 0: warm-start seeds (empty trace + rule-mirroring trace).
+    let rtrace = rule_trace(base, target);
+    let seeds = vec![Vec::new(), rtrace.clone()];
+    let mut span0 = sink.map(|s| s.span("search", "generation"));
+    let seeded = run_batch(
+        &seeds, &mut evals, &mut memo_hits, &mut illegal, &mut memo, &mut best,
+    );
+    let rule_score = seeded[1].2;
+    for (key, trace, score) in seeded {
+        pop.push(Indiv { key, trace, score });
+    }
+    if let Some(s) = &mut span0 {
+        s.arg("gen", 0);
+        s.arg("evaluations", evals);
+    }
+    drop(span0);
+    if let Some(m) = metrics {
+        m.gauge("search.best_cycles")
+            .set(best.as_ref().map_or(i64::MAX, |(_, s, _)| s.cycles() as i64));
+    }
+    history.push(GenStat {
+        generation: 0,
+        evaluations: evals,
+        memo_hits,
+        best_cycles: best.as_ref().map_or(f64::INFINITY, |(_, s, _)| s.cycles()),
+        best_dram: best.as_ref().map_or(u64::MAX, |(_, s, _)| s.dram_bytes),
+    });
+
+    let mut generations: u64 = 0;
+    while evals < budget && !pop.is_empty() {
+        generations += 1;
+        let mut span = sink.map(|s| s.span("search", "generation"));
+        // Propose sequentially (single RNG stream → deterministic).
+        let proposals: Vec<Proposal> = (0..config.generation_size)
+            .map(|_| propose(&mut rng, &pop, &payoff, config.max_trace_len))
+            .collect();
+        let traces: Vec<Vec<ScheduleOp>> = proposals.iter().map(|p| p.trace.clone()).collect();
+        let evals_before = evals;
+        let scored = run_batch(
+            &traces, &mut evals, &mut memo_hits, &mut illegal, &mut memo, &mut best,
+        );
+        // Sequential fold in proposal order: payoff credit + population.
+        for (prop, (key, accepted, score)) in proposals.iter().zip(scored) {
+            let improved = score < prop.parent_score;
+            for kind in &prop.credited {
+                payoff.credit(kind, improved);
+            }
+            pop.push(Indiv {
+                key,
+                trace: accepted,
+                score,
+            });
+        }
+        // Survivor selection: best-first, deduped by canonical key so the
+        // population can't collapse into copies of one schedule.
+        pop.sort_by(|a, b| a.score.cmp(&b.score).then(a.key.cmp(&b.key)));
+        pop.dedup_by_key(|i| i.key);
+        pop.truncate(config.population.max(1));
+        if let Some(s) = &mut span {
+            s.arg("gen", generations);
+            s.arg("evaluations", evals - evals_before);
+            s.arg(
+                "best_cycles",
+                best.as_ref().map_or(f64::INFINITY, |(_, sc, _)| sc.cycles()),
+            );
+        }
+        if let Some(m) = metrics {
+            m.gauge("search.best_cycles")
+                .set(best.as_ref().map_or(i64::MAX, |(_, s, _)| s.cycles() as i64));
+            m.counter("search.generations").inc();
+        }
+        history.push(GenStat {
+            generation: generations,
+            evaluations: evals,
+            memo_hits,
+            best_cycles: best.as_ref().map_or(f64::INFINITY, |(_, s, _)| s.cycles()),
+            best_dram: best.as_ref().map_or(u64::MAX, |(_, s, _)| s.dram_bytes),
+        });
+    }
+
+    if let Some(m) = metrics {
+        m.counter("search.evaluations").add(evals);
+        m.counter("search.memo.hit").add(memo_hits);
+        m.counter("search.illegal_rejected").add(illegal);
+    }
+    let (best_trace, best_score, best_counters) = best.unwrap_or_else(|| {
+        // Every evaluation failed (evaluator returned None throughout):
+        // surface the rule trace with a worst score rather than panicking.
+        (rtrace.clone(), worst_score(), PerfCounters::default())
+    });
+    SearchOutcome {
+        best_trace,
+        best_score,
+        best_counters,
+        rule_trace: rtrace,
+        rule_score,
+        evaluations: evals,
+        memo_hits,
+        illegal_rejected: illegal,
+        generations,
+        history,
+        payoff,
+    }
+}
+
+/// A persisted best-of-search schedule: everything needed to replay the
+/// searched schedule deterministically and to verify the win that justified
+/// committing it. Stored as one JSON file per (workload, device,
+/// shape-class) under `results/schedules/`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SavedSchedule {
+    /// Workload name (bench naming: `subdivnet`, `longformer`, ...).
+    pub workload: String,
+    /// Device name (`cpu`).
+    pub device: String,
+    /// Shape class (bench scale key: `full` or `small`).
+    pub scale: String,
+    /// Search seed that produced this trace.
+    pub seed: u64,
+    /// Evaluation budget of the producing run.
+    pub budget: u64,
+    /// Wall-clock milliseconds the producing search spent (the cost of the
+    /// tuning, reported alongside the replayed benefit).
+    pub search_wall_ms: f64,
+    /// Searched schedule's deterministic score.
+    pub searched_cycles: f64,
+    /// Searched schedule's DRAM traffic.
+    pub searched_dram: u64,
+    /// Rule-based (warm-start) score the search had to beat.
+    pub rule_cycles: f64,
+    /// Rule-based DRAM traffic.
+    pub rule_dram: u64,
+    /// The winning trace (accepted ops only).
+    pub trace: Vec<ScheduleOp>,
+    /// Final payoff table, for warm-starting future searches.
+    pub payoff: PayoffTable,
+}
+
+impl SavedSchedule {
+    /// Canonical file name under `results/schedules/`.
+    pub fn file_name(workload: &str, device: &str, scale: &str) -> String {
+        format!("{workload}-{device}-{scale}.json")
+    }
+
+    /// Serialize as a JSON document.
+    pub fn to_json(&self) -> String {
+        JsonVal::Obj(vec![
+            ("workload".to_string(), JsonVal::Str(self.workload.clone())),
+            ("device".to_string(), JsonVal::Str(self.device.clone())),
+            ("scale".to_string(), JsonVal::Str(self.scale.clone())),
+            ("seed".to_string(), JsonVal::Num(self.seed as f64)),
+            ("budget".to_string(), JsonVal::Num(self.budget as f64)),
+            ("search_wall_ms".to_string(), JsonVal::Num(self.search_wall_ms)),
+            ("searched_cycles".to_string(), JsonVal::Num(self.searched_cycles)),
+            ("searched_dram".to_string(), JsonVal::Num(self.searched_dram as f64)),
+            ("rule_cycles".to_string(), JsonVal::Num(self.rule_cycles)),
+            ("rule_dram".to_string(), JsonVal::Num(self.rule_dram as f64)),
+            (
+                "trace".to_string(),
+                JsonVal::Arr(self.trace.iter().map(op_to_json).collect()),
+            ),
+            ("payoff".to_string(), self.payoff.to_json()),
+        ])
+        .to_string()
+    }
+
+    /// Parse [`SavedSchedule::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first malformed or missing field.
+    pub fn from_json(s: &str) -> Result<SavedSchedule, String> {
+        let v = JsonVal::parse(s)?;
+        let str_field = |key: &str| -> Result<String, String> {
+            v.get(key)
+                .and_then(JsonVal::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing string field `{key}`"))
+        };
+        let num_field = |key: &str| -> Result<f64, String> {
+            v.get(key)
+                .and_then(JsonVal::as_f64)
+                .ok_or_else(|| format!("missing numeric field `{key}`"))
+        };
+        let trace = v
+            .get("trace")
+            .and_then(JsonVal::as_arr)
+            .ok_or("missing `trace` array")?
+            .iter()
+            .map(op_from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        let payoff = match v.get("payoff") {
+            Some(p) => PayoffTable::from_json(p)?,
+            None => PayoffTable::default(),
+        };
+        Ok(SavedSchedule {
+            workload: str_field("workload")?,
+            device: str_field("device")?,
+            scale: str_field("scale")?,
+            seed: num_field("seed")? as u64,
+            budget: num_field("budget")? as u64,
+            // Absent in schedules saved before the wall-clock axis existed.
+            search_wall_ms: v
+                .get("search_wall_ms")
+                .and_then(JsonVal::as_f64)
+                .unwrap_or(0.0),
+            searched_cycles: num_field("searched_cycles")?,
+            searched_dram: num_field("searched_dram")? as u64,
+            rule_cycles: num_field("rule_cycles")?,
+            rule_dram: num_field("rule_dram")? as u64,
+            trace,
+            payoff,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ft_ir::prelude::*;
+    use ft_runtime::{Runtime, TensorVal};
+    use std::collections::HashMap;
+
+    /// A SubdivNet-shaped toy: two fusable elementwise loops over a
+    /// parallelizable index.
+    fn toy() -> Func {
+        Func::new("toy")
+            .param("x", [256], DataType::F32, AccessType::Input)
+            .param("t", [256], DataType::F32, AccessType::Output)
+            .param("y", [256], DataType::F32, AccessType::Output)
+            .body(block([
+                for_("i", 0, 256, store("t", [var("i")], load("x", [var("i")]) * 2.0f32)),
+                for_("j", 0, 256, store("y", [var("j")], load("t", [var("j")]) + 1.0f32)),
+            ]))
+    }
+
+    fn toy_inputs() -> HashMap<String, TensorVal> {
+        [(
+            "x".to_string(),
+            TensorVal::from_f32(&[256], (0..256).map(|v| (v as f32).sin()).collect()),
+        )]
+        .into_iter()
+        .collect()
+    }
+
+    fn toy_eval(f: &Func) -> Option<PerfCounters> {
+        Runtime::new()
+            .run(f, &toy_inputs(), &HashMap::new())
+            .ok()
+            .map(|r| r.counters)
+    }
+
+    #[test]
+    fn rule_trace_mirrors_the_rule_passes() {
+        let f = toy();
+        let t = Target::cpu();
+        let trace = rule_trace(&f, &t);
+        assert!(!trace.is_empty());
+        // The trace must at least fuse the two loops and parallelize.
+        assert!(trace.iter().any(|o| matches!(o, ScheduleOp::Fuse { .. })));
+        assert!(trace.iter().any(|o| matches!(o, ScheduleOp::Parallelize { .. })));
+        // And its schedule must actually beat the unscheduled program.
+        let (scheduled, _) = prepare_candidate(&f, Device::Cpu, &trace);
+        let base_score = toy_eval(&f).unwrap().score();
+        let rule_score = toy_eval(&scheduled).unwrap().score();
+        assert!(rule_score < base_score, "{rule_score:?} vs {base_score:?}");
+    }
+
+    #[test]
+    fn search_is_deterministic_across_runs_and_worker_counts() {
+        let f = toy();
+        let t = Target::cpu();
+        let run = |workers: usize| {
+            let config = SearchConfig {
+                budget: 24,
+                seed: 7,
+                workers,
+                ..SearchConfig::default()
+            };
+            search(&f, &t, &config, &toy_eval, None, None)
+        };
+        let a = run(1);
+        let b = run(1);
+        let c = run(4);
+        assert_eq!(a.best_trace, b.best_trace);
+        assert_eq!(a.best_score, b.best_score);
+        assert_eq!(a.evaluations, b.evaluations);
+        assert_eq!(a.best_trace, c.best_trace, "worker count changed the result");
+        assert_eq!(a.best_score, c.best_score);
+        assert_eq!(a.memo_hits, c.memo_hits);
+        assert_eq!(a.history, c.history);
+    }
+
+    #[test]
+    fn search_beats_or_matches_rule_trace_and_respects_budget() {
+        let f = toy();
+        let t = Target::cpu();
+        let metrics = Metrics::new();
+        let config = SearchConfig {
+            budget: 32,
+            seed: 2022,
+            ..SearchConfig::default()
+        };
+        let out = search(&f, &t, &config, &toy_eval, None, Some(&metrics));
+        assert!(out.best_score <= out.rule_score);
+        assert!(out.evaluations <= 32);
+        // The winner must replay to the same score it was recorded with.
+        let (replayed, _) = prepare_candidate(&f, Device::Cpu, &out.best_trace);
+        let rc = toy_eval(&replayed).unwrap();
+        assert!(rc.score_eq(&out.best_counters), "replay diverged");
+        assert_eq!(rc.score(), out.best_score);
+        // Metrics surfaced through the standard registry.
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter("search.evaluations"), out.evaluations);
+        assert_eq!(snap.counter("search.memo.hit"), out.memo_hits);
+        assert!(snap.counter("search.illegal_rejected") == out.illegal_rejected);
+        assert!(snap.gauges.contains_key("search.best_cycles"));
+    }
+
+    #[test]
+    fn saved_schedule_roundtrips() {
+        let mut payoff = PayoffTable::default();
+        payoff.credit("split", true);
+        payoff.credit("split", false);
+        payoff.credit("parallelize", true);
+        let s = SavedSchedule {
+            workload: "subdivnet".to_string(),
+            device: "cpu".to_string(),
+            scale: "small".to_string(),
+            seed: 2022,
+            budget: 256,
+            search_wall_ms: 321.5,
+            searched_cycles: 12345.5,
+            searched_dram: 1 << 20,
+            rule_cycles: 23456.0,
+            rule_dram: 1 << 21,
+            trace: vec![
+                ScheduleOp::Fuse {
+                    first_idx: 0,
+                    second_idx: 1,
+                },
+                ScheduleOp::Parallelize { loop_idx: 0 },
+                ScheduleOp::SetMtype { def_idx: 0 },
+            ],
+            payoff,
+        };
+        let back = SavedSchedule::from_json(&s.to_json()).unwrap();
+        assert_eq!(s, back);
+        assert_eq!(
+            SavedSchedule::file_name("subdivnet", "cpu", "small"),
+            "subdivnet-cpu-small.json"
+        );
+        assert!(SavedSchedule::from_json("{}").is_err());
+    }
+
+    #[test]
+    fn payoff_table_shifts_weights_toward_winners() {
+        let mut p = PayoffTable::default();
+        let base = p.weight_millis("split", 3);
+        for _ in 0..10 {
+            p.credit("split", true);
+        }
+        assert!(p.weight_millis("split", 3) > base);
+        for _ in 0..20 {
+            p.credit("merge", false);
+        }
+        assert!(p.weight_millis("merge", 1) < PayoffTable::default().weight_millis("merge", 1));
+        // Weights never hit zero: every kind stays reachable.
+        assert!(p.weight_millis("merge", 1) >= 1);
+        // Round-trips through JSON.
+        let back = PayoffTable::from_json(&p.to_json()).unwrap();
+        assert_eq!(p, back);
+    }
+}

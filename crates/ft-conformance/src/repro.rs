@@ -13,7 +13,7 @@ use crate::grad::{
     policy_name, GradOrder, GradSpec,
 };
 use crate::json::JsonVal;
-use crate::ops::{apply_trace, ScheduleOp};
+use crate::ops::{apply_trace, op_from_json, op_to_json, ScheduleOp};
 use crate::workload::Workload;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -83,89 +83,6 @@ fn err_from_json(v: &JsonVal) -> Option<f64> {
         },
         _ => None,
     }
-}
-
-fn op_to_json(op: &ScheduleOp) -> JsonVal {
-    let mut fields = vec![("op".to_string(), JsonVal::Str(op.op_name().to_string()))];
-    match *op {
-        ScheduleOp::Split { loop_idx, factor } => {
-            fields.push(("loop".to_string(), num(loop_idx as u64)));
-            fields.push(("factor".to_string(), num(factor as u64)));
-        }
-        ScheduleOp::Fuse {
-            first_idx,
-            second_idx,
-        } => {
-            fields.push(("first".to_string(), num(first_idx as u64)));
-            fields.push(("second".to_string(), num(second_idx as u64)));
-        }
-        ScheduleOp::Cache {
-            loop_idx,
-            param_idx,
-        } => {
-            fields.push(("loop".to_string(), num(loop_idx as u64)));
-            fields.push(("param".to_string(), num(param_idx as u64)));
-        }
-        ScheduleOp::Merge { loop_idx }
-        | ScheduleOp::Reorder { loop_idx }
-        | ScheduleOp::Parallelize { loop_idx }
-        | ScheduleOp::Vectorize { loop_idx }
-        | ScheduleOp::Unroll { loop_idx }
-        | ScheduleOp::SeparateTail { loop_idx }
-        | ScheduleOp::ParallelizeUnchecked { loop_idx } => {
-            fields.push(("loop".to_string(), num(loop_idx as u64)));
-        }
-    }
-    JsonVal::Obj(fields)
-}
-
-fn op_from_json(v: &JsonVal) -> Result<ScheduleOp, String> {
-    let name = v
-        .get("op")
-        .and_then(JsonVal::as_str)
-        .ok_or("op object missing `op` field")?;
-    let field = |key: &str| -> Result<usize, String> {
-        v.get(key)
-            .and_then(JsonVal::as_u64)
-            .map(|n| n as usize)
-            .ok_or_else(|| format!("op `{name}` missing `{key}`"))
-    };
-    Ok(match name {
-        "split" => ScheduleOp::Split {
-            loop_idx: field("loop")?,
-            factor: field("factor")? as i64,
-        },
-        "merge" => ScheduleOp::Merge {
-            loop_idx: field("loop")?,
-        },
-        "reorder" => ScheduleOp::Reorder {
-            loop_idx: field("loop")?,
-        },
-        "fuse" => ScheduleOp::Fuse {
-            first_idx: field("first")?,
-            second_idx: field("second")?,
-        },
-        "parallelize" => ScheduleOp::Parallelize {
-            loop_idx: field("loop")?,
-        },
-        "vectorize" => ScheduleOp::Vectorize {
-            loop_idx: field("loop")?,
-        },
-        "unroll" => ScheduleOp::Unroll {
-            loop_idx: field("loop")?,
-        },
-        "cache" => ScheduleOp::Cache {
-            loop_idx: field("loop")?,
-            param_idx: field("param")?,
-        },
-        "separate_tail" => ScheduleOp::SeparateTail {
-            loop_idx: field("loop")?,
-        },
-        "parallelize_unchecked" => ScheduleOp::ParallelizeUnchecked {
-            loop_idx: field("loop")?,
-        },
-        other => return Err(format!("unknown op `{other}`")),
-    })
 }
 
 fn grad_to_json(g: &GradSpec) -> JsonVal {

@@ -47,7 +47,7 @@ pub mod threaded;
 pub mod value;
 
 pub use bytecode::{run_vm, VmMode, VmRuntime};
-pub use counters::{CacheGeometryError, CacheSim, PerfCounters};
+pub use counters::{CacheGeometryError, CacheSim, PerfCounters, ScheduleScore, SCORE_REL_EPS};
 pub use device::DeviceConfig;
 pub use engine::{ExecutionEngine, ThreadedEngine};
 pub use error::RuntimeError;

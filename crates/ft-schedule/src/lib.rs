@@ -41,6 +41,7 @@ pub mod loops;
 pub mod mem;
 pub mod others;
 pub mod parallel;
+pub mod trace;
 pub mod util;
 
 use ft_analysis::FoundDep;
