@@ -1,0 +1,81 @@
+//! Microbenchmark: fresh-allocation vs arena-planned compiled execution.
+//!
+//! `fresh` is the classic path — every `run` converts inputs, zero-fills
+//! outputs, and lets the kernel allocate its temporaries. `arena` drives
+//! the same kernel through a reused `RunContext`: temporaries live at
+//! static offsets in a preallocated arena, input/output staging buffers
+//! persist across calls, and each result is recycled back into the
+//! context, so the steady state performs zero tensor heap allocations
+//! (`mem.arena.alloc_calls` stays flat — asserted below). The four paper
+//! workloads at Criterion scale, on the native compiled engine.
+
+use bench::{prepare, Scale, Workload};
+use criterion::{criterion_group, criterion_main, Criterion};
+use ft_metrics::Metrics;
+use ft_runtime::{cc_available, CompiledEngine, ExecutionEngine, RunContext, TensorVal};
+use ft_workloads::input_pairs;
+use std::collections::HashMap;
+use std::time::Duration;
+
+fn bench_arena_reuse(c: &mut Criterion) {
+    if !cc_available() {
+        eprintln!("skipping arena_reuse: no C compiler on PATH");
+        return;
+    }
+    let engine = CompiledEngine::new();
+    let sizes: HashMap<String, i64> = HashMap::new();
+    let mut group = c.benchmark_group("arena_reuse");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    for w in Workload::ALL {
+        let prep = prepare(w, Scale::Small);
+        let prog = prep.naive.optimize(&ft_autoschedule::Target::cpu());
+        let inputs: HashMap<String, TensorVal> = input_pairs(&prep.inputs)
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect();
+        // One cold run pays compilation through the artifact cache so both
+        // variants below measure pure execution.
+        engine
+            .run(prog.func(), &inputs, &sizes)
+            .unwrap_or_else(|e| panic!("{} cold run failed: {e}", w.name()));
+        group.bench_function(format!("{}/fresh", w.schedule_key()), |b| {
+            b.iter(|| engine.run(prog.func(), &inputs, &sizes).unwrap())
+        });
+        // Warm the context outside the timed region, then assert the timed
+        // region really is allocation-free before handing it to Criterion.
+        let mut engine_m = engine.clone();
+        let m = Metrics::new();
+        engine_m.set_metrics(Some(m.clone()));
+        let mut ctx = RunContext::new();
+        let r = engine_m
+            .run_with(prog.func(), &inputs, &sizes, &mut ctx)
+            .unwrap();
+        ctx.recycle(r);
+        let before = m.snapshot().counter("mem.arena.alloc_calls");
+        let r = engine_m
+            .run_with(prog.func(), &inputs, &sizes, &mut ctx)
+            .unwrap();
+        ctx.recycle(r);
+        let after = m.snapshot().counter("mem.arena.alloc_calls");
+        assert_eq!(
+            after - before,
+            0,
+            "{}: warm arena run still allocated",
+            w.name()
+        );
+        group.bench_function(format!("{}/arena", w.schedule_key()), |b| {
+            b.iter(|| {
+                let r = engine_m
+                    .run_with(prog.func(), &inputs, &sizes, &mut ctx)
+                    .unwrap();
+                ctx.recycle(r);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_arena_reuse);
+criterion_main!(benches);

@@ -32,17 +32,32 @@
 //!    broken artifact, not a skippable case. Rows are only checked when
 //!    present — repos without committed schedules pass vacuously.
 //!
-//! A fourth, optional check reads a `fig16 --metrics` telemetry snapshot
+//! 4. **Memory plans** — every current row carrying both peak-bytes
+//!    fields must satisfy `peak_live_bytes_planned <=
+//!    peak_live_bytes_naive` (the liveness packing can never *lose* to
+//!    stack-discipline allocation; equality means nothing was reusable),
+//!    and whenever `naive_alloc_bytes` — the pre-planner regime's per-run
+//!    allocation traffic, one fresh zeroed buffer per def incarnation per
+//!    loop iteration — exceeds the stack peak, the planned peak must beat
+//!    it *strictly* (the arena's reuse claim with teeth).
+//!    **Blocking**. The planned peak is also a deterministic metric in
+//!    check 1: any growth over the committed baseline blocks (rows whose
+//!    baseline predates the field are skipped).
+//!
+//! An optional check reads a `fig16 --metrics` telemetry snapshot
 //! (`--metrics METRICS.json`):
 //!
-//! 4. **Warm-cache gates** — with `--expect-warm`, the run is asserted to
+//! 5. **Warm-cache gates** — with `--expect-warm`, the run is asserted to
 //!    have executed against a fully populated artifact cache:
 //!    `compiled.cc.spawned` must be exactly 0 (every kernel served without
 //!    a compiler spawn) and the `compiled.cache` hit rate
 //!    (`hit / (hit + miss)`) must reach `--min-hit-rate` (default 0.99).
-//!    Both are **blocking** — this replaces the old trace-decision-log
-//!    grep as the warm-cache source of truth. Without `--expect-warm` the
-//!    counters are printed informationally.
+//!    The arena steady state is gated the same way:
+//!    `mem.arena.warm_probe_runs` must be non-zero (the warm `RunContext`
+//!    loop actually ran) and `mem.arena.warm_alloc_calls` must be exactly
+//!    0 (after the first iteration, repeated runs through a reused context
+//!    perform zero tensor heap allocations). All four are **blocking**.
+//!    Without `--expect-warm` the counters are printed informationally.
 //!
 //! Exits 0 when clean, 1 on any blocking finding, 2 on usage/IO errors.
 
@@ -173,6 +188,21 @@ fn main() -> ExitCode {
                 );
             }
         }
+        // The planned arena peak is deterministic (a pure function of the
+        // schedule), so *any* growth over the committed baseline blocks.
+        // Baselines written before the field existed skip silently.
+        if let (Some(bv), Some(cv)) = (
+            num(base, "peak_live_bytes_planned"),
+            num(cur, "peak_live_bytes_planned"),
+        ) {
+            if cv > bv {
+                blocking += 1;
+                println!(
+                    "BLOCKING   {k}: planned peak {cv:.0}B vs baseline {bv:.0}B \
+                     (memory plan regressed)"
+                );
+            }
+        }
         if let (Some(bw), Some(cw)) = (num(base, "wall_ms"), num(cur, "wall_ms")) {
             if cw > wall_threshold * bw {
                 advisories += 1;
@@ -266,7 +296,40 @@ fn main() -> ExitCode {
         }
     }
 
-    // --- Check 4: runtime-telemetry warm-cache gates. ---
+    // --- Check 4: memory plans must never exceed naive allocation. ---
+    let mut plans_checked = 0usize;
+    for cur in &current {
+        let (Some(n), Some(p)) = (
+            num(cur, "peak_live_bytes_naive"),
+            num(cur, "peak_live_bytes_planned"),
+        ) else {
+            continue;
+        };
+        plans_checked += 1;
+        let Some(k) = key(cur) else { continue };
+        if p > n {
+            blocking += 1;
+            println!(
+                "BLOCKING   {k}: planned peak {p:.0}B > naive {n:.0}B \
+                 (liveness packing must never lose)"
+            );
+        }
+        // Against the pre-planner regime (a fresh zeroed buffer per def
+        // incarnation, per loop iteration) the win must be strict whenever
+        // loop reallocation actually inflated that regime past the stack
+        // peak — equality there means the arena reused nothing.
+        if let Some(a) = num(cur, "naive_alloc_bytes") {
+            if a > n && p >= a {
+                blocking += 1;
+                println!(
+                    "BLOCKING   {k}: planned peak {p:.0}B >= per-run naive \
+                     allocation {a:.0}B (arena reuse claim is vacuous)"
+                );
+            }
+        }
+    }
+
+    // --- Check 5: runtime-telemetry warm-cache gates. ---
     if let Some(path) = metrics_path {
         let snap = match std::fs::read_to_string(path)
             .map_err(|e| format!("{path}: {e}"))
@@ -314,16 +377,38 @@ fn main() -> ExitCode {
                     "ok         metrics: cache hit rate {hit_rate:.3} ({hit}/{lookups})"
                 );
             }
+            let warm_allocs = snap.counter("mem.arena.warm_alloc_calls");
+            let probes = snap.counter("mem.arena.warm_probe_runs");
+            if probes == 0 {
+                blocking += 1;
+                println!(
+                    "BLOCKING   metrics: no warm arena probes recorded — the reused-RunContext \
+                     loop never ran, so the zero-allocation gate is vacuous"
+                );
+            } else if warm_allocs != 0 {
+                blocking += 1;
+                println!(
+                    "BLOCKING   metrics: warm RunContext iterations performed {warm_allocs} \
+                     arena/staging allocation(s) (mem.arena.warm_alloc_calls must be 0)"
+                );
+            } else {
+                println!(
+                    "ok         metrics: {probes} warm arena probe(s), 0 allocations in steady state"
+                );
+            }
         } else {
             println!(
-                "info       metrics: compiled.cc.spawned {spawned}, cache {hit} hit / {miss} miss"
+                "info       metrics: compiled.cc.spawned {spawned}, cache {hit} hit / {miss} miss, \
+                 arena warm allocs {} over {} probe(s)",
+                snap.counter("mem.arena.warm_alloc_calls"),
+                snap.counter("mem.arena.warm_probe_runs"),
             );
         }
     }
 
     println!(
-        "{compared} baseline rows compared, {inversions_checked} optimized/naive pairs and \
-         {searched_checked} searched/optimized pairs checked: \
+        "{compared} baseline rows compared, {inversions_checked} optimized/naive pairs, \
+         {searched_checked} searched/optimized pairs and {plans_checked} memory plans checked: \
          {blocking} blocking, {advisories} advisory"
     );
     if blocking > 0 {

@@ -15,8 +15,9 @@
 //! --expect-warm` gates on exactly that.
 
 use bench::{
-    bench_metrics, fmt_cycles, json_record, load_saved_schedule, prepare, run_forward_capped,
-    run_forward_traced, run_grad_capped, write_bench_json, Scale, System, Workload,
+    bench_metrics, fmt_bytes, fmt_cycles, json_record, load_saved_schedule, prepare,
+    run_forward_capped, run_forward_traced, run_grad_capped, write_bench_json, Scale, System,
+    Workload,
 };
 use ft_autodiff::TapePolicy;
 use ft_ir::Device;
@@ -80,6 +81,9 @@ fn main() {
     println!("# the FreeTensor (optimized) column. On CPU rows, `compiled` is the");
     println!("# native compiled engine's wall time (C -> cc -> shared object");
     println!("# called in-process; compile time amortized by the artifact cache).");
+    println!("# `arena peak` = planned/naive peak temporary bytes of the optimized");
+    println!("# schedule under the static memory plan (liveness-packed arena vs");
+    println!("# stack-discipline allocation).");
     println!(
         "{:<12} {:<5} {:>24} {:>24} {:>24}",
         "workload",
@@ -103,6 +107,7 @@ fn main() {
             let mut ft_cycles = f64::NAN;
             let mut ft_vm_speedup = None;
             let mut ft_compiled = None;
+            let mut ft_peaks = None;
             for sys in systems {
                 let r = if grad {
                     run_grad_capped(&prep, sys, dev, TapePolicy::Selective, capacity)
@@ -122,6 +127,7 @@ fn main() {
                             ft_cycles = r.cycles;
                             ft_vm_speedup = r.vm_speedup();
                             ft_compiled = r.compiled_wall_ms;
+                            ft_peaks = r.peak_planned_bytes.zip(r.peak_naive_bytes);
                         }
                         _ => best_baseline = best_baseline.min(r.cycles),
                     }
@@ -137,8 +143,12 @@ fn main() {
             let vm_col = ft_vm_speedup.map_or_else(|| "-".to_string(), |s| format!("{s:.1}x"));
             let compiled_col =
                 ft_compiled.map_or_else(|| "-".to_string(), |ms| format!("{ms:.1}ms"));
+            let arena_col = ft_peaks.map_or_else(
+                || "-".to_string(),
+                |(p, n)| format!("{}/{}", fmt_bytes(p), fmt_bytes(n)),
+            );
             println!(
-                "{:<12} {:<5} {:>24} {:>24} {:>24}   speedup vs best other: {:<8} VM speedup: {:<6} compiled: {}",
+                "{:<12} {:<5} {:>24} {:>24} {:>24}   speedup vs best other: {:<8} VM speedup: {:<6} compiled: {:<8} arena peak: {}",
                 w.name(),
                 dev.to_string(),
                 cells[0],
@@ -146,7 +156,8 @@ fn main() {
                 cells[2],
                 speedup,
                 vm_col,
-                compiled_col
+                compiled_col,
+                arena_col
             );
             // Search-found schedules ride along as a fourth system on CPU
             // forward rows, whenever a committed `results/schedules/` trace
@@ -225,7 +236,8 @@ fn main() {
         }
         std::fs::write(&path, snap.to_json()).expect("write metrics");
         eprintln!(
-            "wrote {} (cc spawned {}, cache {} hit / {} miss, {} compiled runs)",
+            "wrote {} (cc spawned {}, cache {} hit / {} miss, {} compiled runs, \
+             arena warm allocs {} over {} probe(s))",
             path.display(),
             snap.counter("compiled.cc.spawned"),
             snap.counter("compiled.cache.hit"),
@@ -233,6 +245,8 @@ fn main() {
             snap.histograms
                 .get("engine.compiled.run_us")
                 .map_or(0, |h| h.count),
+            snap.counter("mem.arena.warm_alloc_calls"),
+            snap.counter("mem.arena.warm_probe_runs"),
         );
     }
 }

@@ -34,8 +34,8 @@ use ft_ir::{Device, Func};
 use ft_metrics::Metrics;
 use ft_opbase::Session;
 use ft_runtime::{
-    cc_available, CompiledEngine, DeviceConfig, ExecutionEngine, PerfCounters, Runtime,
-    TensorVal, VmRuntime,
+    cc_available, CompiledEngine, DeviceConfig, ExecutionEngine, PerfCounters, RunContext,
+    Runtime, TensorVal, VmRuntime,
 };
 use ft_schedule::trace::ScheduleOp;
 use ft_trace::JsonVal;
@@ -181,6 +181,28 @@ pub struct CaseResult {
     /// Pipeline stage a failure occurred in (`"grad"`, `"run"`, `"vm"`),
     /// `None` when the case ran.
     pub failed_stage: Option<&'static str>,
+    /// Peak temporary (`VarDef`) bytes live at once under naive
+    /// stack-discipline allocation — what every engine allocated before the
+    /// static memory planner (`None` for the operator baseline, which has
+    /// no IR to plan).
+    pub peak_naive_bytes: Option<u64>,
+    /// Peak arena bytes under the liveness-packed memory plan
+    /// (`ft_analysis::MemPlan`). Deterministic for a given schedule, and
+    /// never legitimately above `peak_naive_bytes` — `bench_check` blocks
+    /// on both that and regressions against the committed baseline.
+    pub peak_planned_bytes: Option<u64>,
+    /// Arena/staging allocation calls observed during two *warm* compiled
+    /// runs through a reused `RunContext` (after one cold run). The memory
+    /// planner's steady-state claim is that this is 0 — `bench_check
+    /// --expect-warm` gates on the aggregated `mem.arena.warm_alloc_calls`
+    /// counter. `None` off-CPU, without a C compiler, or on failures.
+    pub warm_alloc_calls: Option<u64>,
+    /// Total temporary bytes the pre-planner regime heap-allocated per run:
+    /// every `VarDef` incarnation counted once per enclosing-loop iteration
+    /// (the fresh-zeroed-buffer-per-entry behaviour the arena replaced).
+    /// `bench_check` requires the planned peak to beat this strictly
+    /// whenever loop reallocation made it exceed the stack peak.
+    pub naive_alloc_bytes: Option<u64>,
 }
 
 impl CaseResult {
@@ -436,6 +458,10 @@ fn schedule_skip(reason: String) -> CaseResult {
         counters: PerfCounters::default(),
         failure: Some(reason),
         failed_stage: Some("schedule"),
+        peak_naive_bytes: None,
+        peak_planned_bytes: None,
+        warm_alloc_calls: None,
+        naive_alloc_bytes: None,
     }
 }
 
@@ -572,6 +598,13 @@ fn run_ft_both_engines(
     config: DeviceConfig,
     device: Device,
 ) -> CaseResult {
+    // The static memory plan is a pure function of the schedule (bench
+    // programs have constant shapes), so the peak-bytes axis is computed
+    // once here rather than measured per engine.
+    let plan = ft_analysis::MemPlan::plan(prog.func(), &HashMap::new());
+    let peak_naive_bytes = Some(plan.naive_peak_bytes);
+    let peak_planned_bytes = Some(plan.planned_peak_bytes);
+    let naive_alloc_bytes = Some(plan.naive_alloc_bytes);
     let mut rt = Runtime::with_config(config.clone());
     rt.set_metrics(Some(bench_metrics().clone()));
     let start = Instant::now();
@@ -596,6 +629,7 @@ fn run_ft_both_engines(
                 }
             }
             let compiled_wall_ms = time_compiled(prog, pairs, device);
+            let warm_alloc_calls = warm_arena_probe(prog, pairs, device);
             match vm_result {
                 Ok(_) => CaseResult {
                     wall_ms,
@@ -606,6 +640,10 @@ fn run_ft_both_engines(
                     counters: r.counters,
                     failure: None,
                     failed_stage: None,
+                    peak_naive_bytes,
+                    peak_planned_bytes,
+                    warm_alloc_calls,
+                    naive_alloc_bytes,
                 },
                 // The VM mirrors interpreter semantics, so a run that
                 // passed on the interpreter failing here is a real engine
@@ -619,6 +657,10 @@ fn run_ft_both_engines(
                     counters: r.counters,
                     failure: Some(short_error(&e.to_string())),
                     failed_stage: Some("vm"),
+                    peak_naive_bytes,
+                    peak_planned_bytes,
+                    warm_alloc_calls,
+                    naive_alloc_bytes,
                 },
             }
         }
@@ -631,8 +673,53 @@ fn run_ft_both_engines(
             counters: PerfCounters::default(),
             failure: Some(short_error(&e.to_string())),
             failed_stage: Some("run"),
+            peak_naive_bytes,
+            peak_planned_bytes,
+            warm_alloc_calls: None,
+            naive_alloc_bytes,
         },
     }
+}
+
+/// Drive the native compiled engine through a reusable [`RunContext`]: one
+/// cold `run_with` populates the arena, the staging buffers, and (through
+/// the artifact cache) the kernel; then two warm iterations re-run with
+/// every output recycled back into the context. Returns the number of
+/// arena/staging allocation calls observed during the *warm* iterations —
+/// 0 is the memory planner's steady-state claim. The observation is also
+/// aggregated into the process registry as `mem.arena.warm_alloc_calls`
+/// (+ `mem.arena.warm_probe_runs`), which `bench_check --expect-warm`
+/// gates on. `None` off-CPU, without a C compiler, or when any run fails.
+fn warm_arena_probe(
+    prog: &freetensor_core::Program,
+    pairs: &[(&str, TensorVal)],
+    device: Device,
+) -> Option<u64> {
+    if device != Device::Cpu || !cc_available() {
+        return None;
+    }
+    // A clone shares the kernel memo (no recompilation) but carries its own
+    // metrics slot, so the probe's counters don't mix with the sweep's.
+    let mut engine = bench_compiled_engine().clone();
+    let m = Metrics::new();
+    engine.set_metrics(Some(m.clone()));
+    let inputs: HashMap<String, TensorVal> = pairs
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.clone()))
+        .collect();
+    let sizes = HashMap::new();
+    let mut ctx = RunContext::new();
+    let cold = engine.run_with(prog.func(), &inputs, &sizes, &mut ctx).ok()?;
+    ctx.recycle(cold);
+    let before = m.snapshot().counter("mem.arena.alloc_calls");
+    for _ in 0..2 {
+        let r = engine.run_with(prog.func(), &inputs, &sizes, &mut ctx).ok()?;
+        ctx.recycle(r);
+    }
+    let warm = m.snapshot().counter("mem.arena.alloc_calls") - before;
+    bench_metrics().counter("mem.arena.warm_alloc_calls").add(warm);
+    bench_metrics().counter("mem.arena.warm_probe_runs").inc();
+    Some(warm)
 }
 
 /// Time the native compiled engine on a CPU case: one warm-up run (which
@@ -697,6 +784,10 @@ fn run_opbase_forward(prep: &Prepared, device: Device, config: DeviceConfig) -> 
         counters,
         failure,
         failed_stage,
+        peak_naive_bytes: None,
+        peak_planned_bytes: None,
+        warm_alloc_calls: None,
+        naive_alloc_bytes: None,
     }
 }
 
@@ -736,6 +827,10 @@ pub fn run_grad_capped(
             counters: PerfCounters::default(),
             failure: Some("skipped: GAT gradients are excluded (paper §6.2)".to_string()),
             failed_stage: Some("grad"),
+            peak_naive_bytes: None,
+            peak_planned_bytes: None,
+            warm_alloc_calls: None,
+            naive_alloc_bytes: None,
         };
     }
     let seed_shape: Vec<usize> = {
@@ -806,6 +901,10 @@ pub fn run_grad_capped(
                 counters,
                 failure,
                 failed_stage,
+                peak_naive_bytes: None,
+                peak_planned_bytes: None,
+                warm_alloc_calls: None,
+                naive_alloc_bytes: None,
             }
         }
         System::FtNaive | System::FtOptimized => {
@@ -829,6 +928,10 @@ pub fn run_grad_capped(
                         counters: PerfCounters::default(),
                         failure: Some(short_error(&e.to_string())),
                         failed_stage: Some("grad"),
+                        peak_naive_bytes: None,
+                        peak_planned_bytes: None,
+                        warm_alloc_calls: None,
+                        naive_alloc_bytes: None,
                     };
                 }
             };
@@ -927,6 +1030,26 @@ pub fn json_record(
             r.search_wall_ms.map_or(JsonVal::Null, JsonVal::Num),
         ),
         ("cycles".to_string(), num(r.cycles)),
+        (
+            "peak_live_bytes_naive".to_string(),
+            r.peak_naive_bytes
+                .map_or(JsonVal::Null, |b| JsonVal::Num(b as f64)),
+        ),
+        (
+            "peak_live_bytes_planned".to_string(),
+            r.peak_planned_bytes
+                .map_or(JsonVal::Null, |b| JsonVal::Num(b as f64)),
+        ),
+        (
+            "warm_alloc_calls".to_string(),
+            r.warm_alloc_calls
+                .map_or(JsonVal::Null, |c| JsonVal::Num(c as f64)),
+        ),
+        (
+            "naive_alloc_bytes".to_string(),
+            r.naive_alloc_bytes
+                .map_or(JsonVal::Null, |b| JsonVal::Num(b as f64)),
+        ),
         ("flops".to_string(), JsonVal::Num(r.counters.flops as f64)),
         (
             "dram_bytes".to_string(),

@@ -19,14 +19,21 @@
 //!   loop-carried (per carrier loop) or loop-independent, with the
 //!   stack-scope projection of paper Fig. 12(d) and the commutative-reduction
 //!   exemption of Fig. 12(c), plus the order-violation queries that back
-//!   every legality check in `ft-schedule`.
+//!   every legality check in `ft-schedule`;
+//! * [`memplan`] — static memory planning: per-`VarDef` live ranges in
+//!   program pre-order (loop-carried defs widened to their enclosing loop),
+//!   interference, and deterministic best-fit arena packing, plus a
+//!   write-before-read proof that lets engines elide the scope-entry
+//!   zero-fill.
 
 pub mod access;
 pub mod affine;
 pub mod bounds;
 pub mod deps;
+pub mod memplan;
 
 pub use access::{collect_accesses, Access, AccessKind, LoopCtx};
+pub use memplan::{MemPlan, PlanClass, PlanEntry, ARENA_ALIGN};
 pub use affine::{cond_to_constraints, linexpr_to_expr, to_linexpr};
 pub use bounds::{const_bounds, symbolic_bounds, BoundsCtx, SymBounds};
 pub use deps::{

@@ -61,7 +61,7 @@ enum CTy {
 /// mangle onto these.
 const RESERVED: &[&str] = &[
     "ft_fdiv", "ft_fmod", "ft_sigmoid", "ft_lib_matmul", "ft_entry", "__ft_prof", "__ft_t0",
-    "__ft_t1", "auto", "break", "case", "char",
+    "__ft_t1", "__ft_arena", "__ft_arena_base", "__ft_arena_owned", "auto", "break", "case", "char",
     "const", "continue", "default", "do", "double", "else", "enum", "extern", "float", "for",
     "goto", "if", "inline", "int", "long", "register", "restrict", "return", "short", "signed",
     "sizeof", "static", "struct", "switch", "typedef", "union", "unsigned", "void", "volatile",
@@ -176,6 +176,22 @@ pub struct ProfSite {
     pub desc: String,
 }
 
+/// Arena placement of one planned `VarDef`, precomputed from a
+/// [`ft_analysis::MemPlan`] and consumed by the emitter in def pre-order.
+#[derive(Debug, Clone)]
+struct ArenaSlot {
+    /// IR name of the def this slot was planned for; a mismatch (emitter
+    /// and planner walking different trees) falls back to `calloc`.
+    name: String,
+    /// Byte offset inside the arena.
+    offset: u64,
+    /// Class size in bytes — the `memset` extent when zeroing is required.
+    bytes: u64,
+    /// Whether liveness failed to prove write-before-read, so the buffer
+    /// must be zero-filled on (re-)entry.
+    must_zero: bool,
+}
+
 struct Emitter {
     dtypes: HashMap<String, DataType>,
     shapes: HashMap<String, Vec<Expr>>,
@@ -187,6 +203,15 @@ struct Emitter {
     prof: Option<Vec<ProfSite>>,
     /// For-nesting depth; only depth-0 loops get a profiling site.
     loop_depth: usize,
+    /// Arena placements indexed by def pre-order number (the planner's
+    /// `def_idx`); empty when emitting without a memory plan.
+    arena: Vec<Option<ArenaSlot>>,
+    /// Pre-order counter of `VarDef`s encountered so far.
+    def_idx: usize,
+    /// Number of enclosing parallel (`omp parallel for`) loops. Defs inside
+    /// a parallel body must stay thread-private (`calloc` per iteration);
+    /// a shared arena offset would race across the team.
+    parallel_depth: usize,
 }
 
 impl Emitter {
@@ -385,20 +410,36 @@ impl Emitter {
                     .iter()
                     .map(|e| ft_passes::const_fold_expr(e.clone()).as_int())
                     .try_fold(1i64, |a, b| b.map(|v| a * v));
+                let slot = self.arena.get(self.def_idx).cloned().flatten();
+                self.def_idx += 1;
                 let ident = self.names.bind(name);
                 self.line("{");
                 self.indent += 1;
                 let heap = match (mtype, const_n) {
+                    // Small constant-extent stack defs beat any arena: no
+                    // pointer chase, no shared cache lines.
                     (MemType::CpuStack, Some(n)) if n <= 4096 => {
                         self.line(&format!("{ty} {ident}[{n}] = {{0}};"));
                         false
                     }
-                    _ => {
-                        self.line(&format!(
-                            "{ty}* {ident} = ({ty}*)calloc({n}, sizeof({ty}));"
-                        ));
-                        true
-                    }
+                    _ => match slot {
+                        Some(a) if a.name == *name && self.parallel_depth == 0 => {
+                            self.line(&format!(
+                                "{ty}* {ident} = ({ty}*)(__ft_arena_base + {});",
+                                a.offset
+                            ));
+                            if a.must_zero {
+                                self.line(&format!("memset({ident}, 0, {});", a.bytes));
+                            }
+                            false
+                        }
+                        _ => {
+                            self.line(&format!(
+                                "{ty}* {ident} = ({ty}*)calloc({n}, sizeof({ty}));"
+                            ));
+                            true
+                        }
+                    },
                 };
                 self.stmt(body);
                 if heap {
@@ -448,7 +489,13 @@ impl Emitter {
                 self.line(&format!("for (int64_t {i} = {begin}; {i} < {end}; ++{i}) {{"));
                 self.indent += 1;
                 self.loop_depth += 1;
+                if property.parallel.is_parallel() {
+                    self.parallel_depth += 1;
+                }
                 self.stmt(body);
+                if property.parallel.is_parallel() {
+                    self.parallel_depth -= 1;
+                }
                 self.loop_depth -= 1;
                 self.indent -= 1;
                 self.line("}");
@@ -564,7 +611,7 @@ fn sanitize(name: &str) -> String {
 /// Emit a complete C translation unit (preamble + one function) for a
 /// CPU-scheduled function.
 pub fn emit_c(func: &Func) -> String {
-    emit_unit(func, false).0
+    emit_unit(func, None, false).0
 }
 
 /// Emit a *profiled* translation unit: the function gains a trailing
@@ -574,12 +621,54 @@ pub fn emit_c(func: &Func) -> String {
 /// so one profiled artifact serves both timed and untimed calls. Returns
 /// the source and the site table (slot `k` ↔ `sites[k]`).
 pub fn emit_c_profiled(func: &Func) -> (String, Vec<ProfSite>) {
-    emit_unit(func, true)
+    emit_unit(func, None, true)
 }
 
-fn emit_unit(func: &Func, profile: bool) -> (String, Vec<ProfSite>) {
+/// Emit a translation unit with *planned* `VarDef` storage: the function
+/// gains a trailing `unsigned char* __ft_arena` parameter (before
+/// `__ft_prof` when `profile` is set) and every def the plan placed becomes
+/// a pointer at a static offset into that arena — one allocation for the
+/// whole call instead of one `calloc` per def entry, zero-filled via
+/// `memset` only where the plan's liveness analysis could not prove
+/// write-before-read. Callers passing a NULL arena get a function-local
+/// `malloc`/`free` of the planned peak, so the kernel stays self-contained.
+/// Small constant-extent `CpuStack` defs keep their stack-array emission;
+/// defs the plan could not size fall back to `calloc` as before.
+///
+/// The plan must have been computed for this exact `func` (same `VarDef`
+/// pre-order); a per-def name mismatch degrades that def to `calloc` rather
+/// than aliasing the wrong storage.
+pub fn emit_c_planned(
+    func: &Func,
+    plan: &ft_analysis::MemPlan,
+    profile: bool,
+) -> (String, Vec<ProfSite>) {
+    emit_unit(func, Some(plan), profile)
+}
+
+fn emit_unit(
+    func: &Func,
+    plan: Option<&ft_analysis::MemPlan>,
+    profile: bool,
+) -> (String, Vec<ProfSite>) {
     let mut names = Mangler::new();
     let syms = bind_signature(&mut names, func);
+    let arena: Vec<Option<ArenaSlot>> = plan.map_or_else(Vec::new, |pl| {
+        let n_defs = pl.entries.iter().map(|e| e.def_idx + 1).max().unwrap_or(0);
+        let mut v = vec![None; n_defs];
+        for e in &pl.entries {
+            if let (Some(offset), Some(bytes)) = (e.offset, e.bytes) {
+                v[e.def_idx] = Some(ArenaSlot {
+                    name: e.name.clone(),
+                    offset,
+                    bytes,
+                    must_zero: e.must_zero,
+                });
+            }
+        }
+        v
+    });
+    let any_planned = arena.iter().any(Option::is_some);
     let mut em = Emitter {
         dtypes: HashMap::new(),
         shapes: HashMap::new(),
@@ -589,6 +678,9 @@ fn emit_unit(func: &Func, profile: bool) -> (String, Vec<ProfSite>) {
         tmp: 0,
         prof: profile.then(Vec::new),
         loop_depth: 0,
+        arena,
+        def_idx: 0,
+        parallel_depth: 0,
     };
     for p in &func.params {
         em.dtypes.insert(p.name.clone(), p.dtype);
@@ -607,6 +699,9 @@ fn emit_unit(func: &Func, profile: bool) -> (String, Vec<ProfSite>) {
     for ident in &syms.size_params {
         sig.push(format!("int64_t {ident}"));
     }
+    if plan.is_some() {
+        sig.push("unsigned char* __ft_arena".to_string());
+    }
     if profile {
         sig.push("uint64_t *__ft_prof".to_string());
     }
@@ -615,9 +710,26 @@ fn emit_unit(func: &Func, profile: bool) -> (String, Vec<ProfSite>) {
         out.push_str(PROF_PREAMBLE);
     }
     let _ = writeln!(out, "\nvoid {}({}) {{", syms.func, sig.join(", "));
+    if any_planned {
+        // A NULL arena means the caller did not preallocate: own a
+        // planned-peak-sized block for the duration of the call.
+        let peak = plan.map_or(0, |pl| pl.planned_peak_bytes);
+        out.push_str("    unsigned char* __ft_arena_base = __ft_arena;\n");
+        out.push_str("    int __ft_arena_owned = 0;\n");
+        let _ = writeln!(
+            out,
+            "    if (!__ft_arena_base) {{ __ft_arena_base = \
+             (unsigned char*)malloc({peak}); __ft_arena_owned = 1; }}"
+        );
+    } else if plan.is_some() {
+        out.push_str("    (void)__ft_arena;\n");
+    }
     em.indent = 1;
     em.stmt(&func.body);
     out.push_str(&em.out);
+    if any_planned {
+        out.push_str("    if (__ft_arena_owned) free(__ft_arena_base);\n");
+    }
     out.push_str("}\n");
     (out, em.prof.unwrap_or_default())
 }
@@ -802,6 +914,46 @@ mod tests {
         let plain = emit_c(&f);
         assert!(!plain.contains("__ft_prof"), "{plain}");
         assert!(!plain.contains("clock_gettime"), "{plain}");
+    }
+
+    #[test]
+    fn planned_unit_places_defs_in_the_arena() {
+        // A heap-sized local (CpuHeap, so the stack path does not claim it)
+        // written before read: the planned unit must address it at a static
+        // arena offset with no memset, no calloc, and a NULL-arena malloc
+        // fallback sized to the planned peak.
+        let f = Func::new("f")
+            .param("x", [var("n")], DataType::F32, AccessType::Input)
+            .param("y", [var("n")], DataType::F32, AccessType::Output)
+            .size_param("n")
+            .body(var_def(
+                "t",
+                [var("n")],
+                DataType::F32,
+                MemType::CpuHeap,
+                block([
+                    for_("i", 0, var("n"), store("t", [var("i")], load("x", [var("i")]))),
+                    for_("i", 0, var("n"), store("y", [var("i")], load("t", [var("i")]))),
+                ]),
+            ));
+        let sizes = HashMap::from([("n".to_string(), 256i64)]);
+        let plan = ft_analysis::MemPlan::plan(&f, &sizes);
+        assert!(plan.planned_peak_bytes > 0, "{plan:?}");
+        let (c, sites) = emit_c_planned(&f, &plan, false);
+        assert!(sites.is_empty());
+        assert!(c.contains("unsigned char* __ft_arena"), "{c}");
+        assert!(c.contains("float* t = (float*)(__ft_arena_base + 0);"), "{c}");
+        assert!(!c.contains("calloc"), "{c}");
+        assert!(
+            c.contains(&format!("malloc({})", plan.planned_peak_bytes)),
+            "{c}"
+        );
+        assert!(c.contains("if (__ft_arena_owned) free(__ft_arena_base);"), "{c}");
+        // Write-before-read was proven, so no memset for `t`.
+        assert!(!c.contains("memset(t"), "{c}");
+        // The unplanned emission is byte-identical to what emit_c always
+        // produced: no arena symbols anywhere.
+        assert!(!emit_c(&f).contains("__ft_arena"));
     }
 
     #[test]

@@ -18,7 +18,7 @@
 pub mod c;
 pub mod cuda;
 
-pub use c::{c_symbols, emit_c, emit_c_profiled, CSymbols, Mangler, ProfSite};
+pub use c::{c_symbols, emit_c, emit_c_planned, emit_c_profiled, CSymbols, Mangler, ProfSite};
 pub use cuda::emit_cuda;
 
 use ft_ir::Func;

@@ -6,7 +6,9 @@
 //! construct.
 
 use ft_ir::{AccessType, Func};
-use ft_runtime::{CompiledEngine, ExecutionEngine, Runtime, TensorVal, ThreadedEngine, VmRuntime};
+use ft_runtime::{
+    CompiledEngine, ExecutionEngine, RunContext, Runtime, TensorVal, ThreadedEngine, VmRuntime,
+};
 use std::collections::HashMap;
 use std::sync::OnceLock;
 
@@ -114,6 +116,35 @@ pub fn run_backend(
         .run(func, inputs, &HashMap::new())
         .map(|r| r.outputs)
         .map_err(|e| format!("{}: {e}", engine.name()))
+}
+
+/// Execute `func` on `backend` through the *arena-planned* path: the engine
+/// runs with a reusable [`RunContext`] (memory-planned buffer pools, staging
+/// reuse), and the codegen backend emits through `emit_c_planned`. The
+/// context is warmed with one recycled run first, so the returned outputs
+/// come from the buffer-*reuse* steady state — the riskiest path, where a
+/// stale or mis-packed buffer would surface.
+///
+/// # Errors
+///
+/// As [`run_backend`].
+pub fn run_backend_planned(
+    backend: Backend,
+    func: &Func,
+    inputs: &HashMap<String, TensorVal>,
+) -> Result<HashMap<String, TensorVal>, String> {
+    if backend == Backend::Codegen {
+        return crate::cjit::run_c_planned(func, inputs, &HashMap::new());
+    }
+    let engine = engine_for(backend);
+    let mut ctx = RunContext::new();
+    if let Ok(warm) = engine.run_with(func, inputs, &HashMap::new(), &mut ctx) {
+        ctx.recycle(warm);
+    }
+    engine
+        .run_with(func, inputs, &HashMap::new(), &mut ctx)
+        .map(|r| r.outputs)
+        .map_err(|e| format!("{} (planned): {e}", engine.name()))
 }
 
 /// Re-run `func` on `backend` with a fresh metrics registry installed and

@@ -131,6 +131,28 @@ pub fn run_c(
     inputs: &HashMap<String, TensorVal>,
     sizes: &HashMap<String, i64>,
 ) -> Result<HashMap<String, TensorVal>, String> {
+    run_c_impl(func, inputs, sizes, false)
+}
+
+/// As [`run_c`], but emit the kernel through the memory planner
+/// ([`ft_codegen::emit_c_planned`]): planned `VarDef`s live at static
+/// offsets in one arena allocation instead of per-def `calloc`s. The driver
+/// passes a NULL arena, exercising the kernel's own malloc-fallback path —
+/// the same code shape the in-process compiled engine runs cold.
+pub fn run_c_planned(
+    func: &Func,
+    inputs: &HashMap<String, TensorVal>,
+    sizes: &HashMap<String, i64>,
+) -> Result<HashMap<String, TensorVal>, String> {
+    run_c_impl(func, inputs, sizes, true)
+}
+
+fn run_c_impl(
+    func: &Func,
+    inputs: &HashMap<String, TensorVal>,
+    sizes: &HashMap<String, i64>,
+    planned: bool,
+) -> Result<HashMap<String, TensorVal>, String> {
     if !cc_available() {
         return Err("no C compiler on PATH".to_string());
     }
@@ -150,7 +172,12 @@ pub fn run_c(
     }
 
     // Generate the translation unit: emitted kernel + main() driver.
-    let mut src = ft_codegen::emit_c(func);
+    let mut src = if planned {
+        let plan = ft_analysis::MemPlan::plan(func, sizes);
+        ft_codegen::emit_c_planned(func, &plan, false).0
+    } else {
+        ft_codegen::emit_c(func)
+    };
     src.push_str("\n#include <stdio.h>\n\nint main(void) {\n");
     for (name, c, shape, dtype, atype) in &shapes {
         let n = shape.iter().product::<usize>().max(1);
@@ -186,6 +213,11 @@ pub fn run_c(
             .copied()
             .ok_or_else(|| format!("unresolved size `{sp}`"))?;
         args.push(format!("(int64_t){v}"));
+    }
+    if planned {
+        // Planned signatures take the arena pointer last; NULL selects the
+        // kernel's internal malloc fallback.
+        args.push("(unsigned char*)0".to_string());
     }
     let _ = writeln!(src, "    {}({});", syms.func, args.join(", "));
     for (i, (_, c, shape, dtype, atype)) in shapes.iter().enumerate() {

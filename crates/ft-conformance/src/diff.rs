@@ -1,6 +1,6 @@
 //! Differential comparison of one scheduled variant across backends.
 
-use crate::backend::{output_names, run_backend, Backend};
+use crate::backend::{output_names, run_backend, run_backend_planned, Backend};
 use crate::workload::Case;
 use ft_ir::{Func, StmtKind};
 use ft_runtime::TensorVal;
@@ -115,12 +115,62 @@ fn diverge(backend: Backend, output: &str, err: f64, what: &str) -> Divergence {
     }
 }
 
+/// Re-run `func` on `b` through the arena-planned path
+/// ([`run_backend_planned`]: memory-planned pools, warmed `RunContext`,
+/// planned C emission) and compare every output against the
+/// fresh-allocation outputs `plain` under `close` (`Ok` = agree, `Err` =
+/// worst element-wise error). The planner only moves buffers; it must never
+/// change what is computed, so deterministic backends are held to exact
+/// equality — callers relax `close` only for the threaded backend, whose
+/// lock-ordered reductions are not run-to-run reproducible to the bit.
+fn check_planned_path(
+    b: Backend,
+    func: &Func,
+    inputs: &HashMap<String, TensorVal>,
+    plain: &HashMap<String, TensorVal>,
+    close: impl Fn(&TensorVal, &TensorVal) -> Result<(), f64>,
+) -> Option<Divergence> {
+    let planned = match run_backend_planned(b, func, inputs) {
+        Ok(o) => o,
+        Err(e) => {
+            return Some(Divergence {
+                backend: b,
+                output: String::new(),
+                max_abs_err: f64::INFINITY,
+                message: e,
+            })
+        }
+    };
+    for name in output_names(func) {
+        let Some(got) = planned.get(&name) else {
+            return Some(diverge(b, &name, f64::INFINITY, "planned run lost output"));
+        };
+        let want = &plain[&name];
+        if got.shape() != want.shape() {
+            return Some(diverge(b, &name, f64::INFINITY, "planned run shape mismatch"));
+        }
+        if let Err(d) = close(got, want) {
+            return Some(diverge(
+                b,
+                &name,
+                d,
+                "arena-planned run differs from fresh-allocation run",
+            ));
+        }
+    }
+    None
+}
+
 /// Run `func` through every backend in `backends` and compare:
 ///
 /// * each backend's main output against the plain-Rust oracle
 ///   (`case.oracle`), element-wise within `tol`;
 /// * each non-interpreter backend's *other* outputs against the
-///   interpreter's, so secondary outputs are covered too.
+///   interpreter's, so secondary outputs are covered too;
+/// * each backend's *arena-planned* run (memory-planned pools through a
+///   warmed `RunContext`, planned C emission) against its fresh-allocation
+///   run — bit-identical on deterministic backends, within `tol` on the
+///   threaded backend ([`check_planned_path`]).
 ///
 /// Returns the first divergence found, or `None` when all agree.
 pub fn check_variant(
@@ -181,6 +231,17 @@ pub fn check_variant(
                 return Some(diverge(*b, &name, d, "values differ from oracle"));
             }
         }
+        let bound = if *b == Backend::Threaded { tol } else { 0.0 };
+        if let Some(d) = check_planned_path(*b, func, &case.inputs, &outs, |g, w| {
+            let d = g.max_abs_diff(w);
+            if d.is_nan() || d > bound {
+                Err(d)
+            } else {
+                Ok(())
+            }
+        }) {
+            return Some(d);
+        }
     }
     None
 }
@@ -194,7 +255,8 @@ pub fn check_variant(
 /// depth); every other output of the grad function — the recomputed forward
 /// outputs and consumed seeds — is judged against the interpreter baseline
 /// under the same contract, so taped-vs-recomputed forward replay is
-/// covered too.
+/// covered too. Each backend's arena-planned run is additionally diffed
+/// against its fresh-allocation run, exactly as in [`check_variant`].
 ///
 /// Returns the first divergence found, or `None` when all agree.
 pub fn check_grad_variant(
@@ -249,6 +311,20 @@ pub fn check_grad_variant(
             if let Err(d) = grad_close(got, expect, tol, scale) {
                 return Some(diverge(*b, &name, d, what));
             }
+        }
+        if let Some(d) = check_planned_path(*b, func, inputs, &outs, |g, w| {
+            if *b == Backend::Threaded {
+                grad_close(g, w, tol, scale)
+            } else {
+                let d = g.max_abs_diff(w);
+                if d.is_nan() || d > 0.0 {
+                    Err(d)
+                } else {
+                    Ok(())
+                }
+            }
+        }) {
+            return Some(d);
         }
     }
     None

@@ -39,7 +39,7 @@ pub mod repro;
 pub mod shrink;
 pub mod workload;
 
-pub use backend::{run_backend_telemetry, Backend};
+pub use backend::{run_backend_planned, run_backend_telemetry, Backend};
 pub use diff::{check_grad_variant, check_variant, Divergence, GradTol};
 pub use grad::{run_grad_conformance, GradConfig, GradOrder, GradSpec, GradSummary};
 pub use ops::ScheduleOp;

@@ -2052,6 +2052,120 @@ impl VTensor {
             Buf::B(d) => d[off] = v.as_bool(),
         }
     }
+
+    /// Reset every element to zero in place.
+    fn fill_zero(&mut self) {
+        match &mut self.buf {
+            Buf::F32(v) => v.fill(0.0),
+            Buf::F64(v) => v.fill(0.0),
+            Buf::I32(v) => v.fill(0),
+            Buf::I64(v) => v.fill(0),
+            Buf::B(v) => v.fill(false),
+        }
+    }
+
+    /// Retarget this buffer at `(dtype, shape, mtype)` without zeroing,
+    /// reusing the storage when the dtype matches. Returns `None` on a
+    /// dtype mismatch, otherwise `Some(grew)` — whether the resize had to
+    /// allocate beyond the old capacity. Stale elements survive; callers
+    /// need a write-before-read proof or a [`fill_zero`](Self::fill_zero).
+    fn reuse_for(&mut self, dtype: DataType, shape: &[usize], mtype: MemType) -> Option<bool> {
+        if self.dtype != dtype {
+            return None;
+        }
+        let numel: usize = shape.iter().product();
+        fn fit<T: Default + Clone>(v: &mut Vec<T>, n: usize) -> bool {
+            let grew = n > v.capacity();
+            v.resize(n, T::default());
+            grew
+        }
+        let grew = match &mut self.buf {
+            Buf::F32(v) => fit(v, numel),
+            Buf::F64(v) => fit(v, numel),
+            Buf::I32(v) => fit(v, numel),
+            Buf::I64(v) => fit(v, numel),
+            Buf::B(v) => fit(v, numel),
+        };
+        self.shape.clear();
+        self.shape.extend_from_slice(shape);
+        self.numel = numel;
+        self.mtype = mtype;
+        self.base = 0;
+        self.bytes = (numel * dtype.size_bytes()) as u64;
+        Some(grew)
+    }
+}
+
+/// Class-keyed free-lists of [`VTensor`] buffers, held across runs by a
+/// [`crate::arena::RunContext`]. Only the coordinator state touches the
+/// pool — fork-join workers allocate their privates directly.
+#[derive(Debug)]
+pub(crate) struct VmPool {
+    plan_hash: u64,
+    n_params: usize,
+    /// Per def index (slot − n_params): `(class, must_zero)`.
+    defs: Vec<Option<(usize, bool)>>,
+    free: Vec<Vec<VTensor>>,
+    pub(crate) stats: crate::arena::ArenaStats,
+}
+
+impl VmPool {
+    pub(crate) fn new(plan: &ft_analysis::MemPlan) -> VmPool {
+        VmPool {
+            plan_hash: plan.plan_hash(),
+            n_params: plan.n_params,
+            defs: plan
+                .entries
+                .iter()
+                .map(|e| e.class.map(|c| (c, e.must_zero)))
+                .collect(),
+            free: (0..plan.classes.len()).map(|_| Vec::new()).collect(),
+            stats: crate::arena::ArenaStats::default(),
+        }
+    }
+
+    pub(crate) fn plan_hash(&self) -> u64 {
+        self.plan_hash
+    }
+
+    fn class_of(&self, slot: usize) -> Option<(usize, bool)> {
+        self.defs.get(slot.checked_sub(self.n_params)?).copied()?
+    }
+
+    /// A buffer for the def occupying tensor slot `slot`; pool hits skip
+    /// the zero-fill when write-before-read is proven by the plan.
+    fn take(&mut self, slot: usize, dtype: DataType, shape: &[usize], mtype: MemType) -> VTensor {
+        if let Some((class, must_zero)) = self.class_of(slot) {
+            while let Some(mut vt) = self.free[class].pop() {
+                match vt.reuse_for(dtype, shape, mtype) {
+                    Some(grew) => {
+                        if must_zero {
+                            vt.fill_zero();
+                        }
+                        if grew {
+                            self.stats.miss(0);
+                        } else {
+                            self.stats.hit();
+                        }
+                        return vt;
+                    }
+                    None => continue, // dtype mismatch: drop, try next
+                }
+            }
+            let vt = VTensor::zeros(dtype, shape, mtype);
+            self.stats.miss(vt.bytes);
+            return vt;
+        }
+        self.stats.miss(0);
+        VTensor::zeros(dtype, shape, mtype)
+    }
+
+    /// Return a scope-exited def's buffer to its class free-list.
+    fn put(&mut self, slot: usize, vt: VTensor) {
+        if let Some((class, _)) = self.class_of(slot) {
+            self.free[class].push(vt);
+        }
+    }
 }
 
 /// Raw shared view of the coordinator's tensor slots for fork-join regions.
@@ -2126,6 +2240,10 @@ struct VmState<'a> {
     /// worker states inside a fork-join region run untallied, so the
     /// counts are independent of worker count.
     tally: Option<VmTally>,
+    /// Plan-driven buffer pool for `Alloc`/`Free` storage. Coordinator
+    /// only — fork-join worker states run with `None`; accounting
+    /// (instrumented counters and fast-mode live bytes) is unchanged.
+    arena: Option<VmPool>,
 }
 
 /// Per-run dispatch bookkeeping harvested into the metrics registry after
@@ -2396,8 +2514,8 @@ impl VmState<'_> {
         Ok(())
     }
 
-    fn account_free(&mut self, t: usize) {
-        if let Some(vt) = self.slot_mut(t).take() {
+    fn account_free(&mut self, t: usize) -> Option<VTensor> {
+        self.slot_mut(t).take().inspect(|vt| {
             let device = vt.mtype.device();
             if self.instrumented {
                 self.counters.free(&device.to_string(), vt.bytes);
@@ -2405,7 +2523,7 @@ impl VmState<'_> {
                 let di = dev_index(device);
                 self.live[di] = self.live[di].saturating_sub(vt.bytes);
             }
-        }
+        })
     }
 
     fn oob(&self, t: usize, index: Vec<i64>) -> RuntimeError {
@@ -2847,10 +2965,20 @@ impl VmState<'_> {
                         })?;
                         sh.push(u);
                     }
-                    let vt = VTensor::zeros(*dtype, &sh, *mtype);
+                    let vt = match self.arena.as_mut() {
+                        Some(pool) => pool.take(ti, *dtype, &sh, *mtype),
+                        None => VTensor::zeros(*dtype, &sh, *mtype),
+                    };
                     self.account_alloc(ti, vt)?;
                 }
-                Instr::Free { t } => self.account_free(*t as usize),
+                Instr::Free { t } => {
+                    let ti = *t as usize;
+                    if let Some(vt) = self.account_free(ti) {
+                        if let Some(pool) = self.arena.as_mut() {
+                            pool.put(ti, vt);
+                        }
+                    }
+                }
                 Instr::BindParam { p, shape, ndim } => {
                     let site = &prog.params[*p as usize];
                     let ti = site.slot;
@@ -3384,6 +3512,7 @@ impl VmState<'_> {
                 live,
                 shared: Some((&shared, mask)),
                 tally: None,
+                arena: None,
             };
             for i in lo..hi {
                 ws.wi(site.s, i);
@@ -3516,6 +3645,16 @@ impl VmRuntime {
         inputs: &HashMap<String, TensorVal>,
         sizes: &HashMap<String, i64>,
     ) -> Result<RunResult, RuntimeError> {
+        self.run_inner(func, inputs, sizes, None)
+    }
+
+    pub(crate) fn run_inner(
+        &self,
+        func: &Func,
+        inputs: &HashMap<String, TensorVal>,
+        sizes: &HashMap<String, i64>,
+        mut rctx: Option<&mut crate::arena::RunContext>,
+    ) -> Result<RunResult, RuntimeError> {
         let t0 = self.metrics.as_ref().map(|_| std::time::Instant::now());
         let pool_before = self.metrics.as_ref().map(|_| WorkerPool::global().stats());
         let compiled = crate::compiled::compile(func)?;
@@ -3551,9 +3690,29 @@ impl VmRuntime {
                     m.counter("engine.vm.fallback").inc();
                     rt.set_metrics(self.metrics.clone());
                 }
-                return rt.run(func, inputs, sizes);
+                return rt.run_timed(func, inputs, sizes, rctx);
             }
         };
+        // With a cross-run context: plan VarDef storage and pool `Alloc`
+        // buffers by interference class, keyed by the plan hash. Plain
+        // `run` keeps the allocation-free fast path untouched.
+        let mut pool: Option<VmPool> = None;
+        if let Some(c) = rctx.as_deref_mut() {
+            let plan = ft_analysis::MemPlan::plan(func, sizes);
+            crate::arena::publish_plan(
+                self.sink.as_ref(),
+                self.metrics.as_ref(),
+                &func.name,
+                &plan,
+            );
+            if crate::arena::plan_matches_names(&plan, &prog.tensor_names) {
+                let hash = plan.plan_hash();
+                pool = Some(match c.vm_pool.take() {
+                    Some(p) if p.plan_hash() == hash => p,
+                    _ => VmPool::new(&plan),
+                });
+            }
+        }
         let mut span = self
             .sink
             .as_ref()
@@ -3592,6 +3751,7 @@ impl VmRuntime {
                 par_serial: 0,
                 kernel_ns: m.histogram("engine.vm.kernel_ns"),
             }),
+            arena: pool,
         };
         for (name, slot) in &prog.size_slots {
             let v = *sizes
@@ -3622,6 +3782,16 @@ impl VmRuntime {
             }
             if let Some(before) = &pool_before {
                 crate::engine::record_pool_delta(m, before);
+            }
+        }
+        // Recover the buffer pool (even on error) so the context keeps its
+        // free-lists, and flush its allocation counters.
+        if let Some(mut p) = st.arena.take() {
+            if let Some(m) = &self.metrics {
+                crate::arena::flush_stats(m, &mut p.stats);
+            }
+            if let Some(c) = rctx {
+                c.vm_pool = Some(p);
             }
         }
         exec_r?;

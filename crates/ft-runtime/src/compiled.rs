@@ -411,6 +411,10 @@ pub(crate) struct ExecCtx<'a> {
     pub prof_cur: usize,
     /// When metrics are installed: wall time of each library-kernel call.
     pub kernel_us: Option<ft_metrics::Histogram>,
+    /// Plan-driven buffer pool for `VarDef` storage. Reuses scope-exited
+    /// buffers of the same interference class (skipping the zero-fill when
+    /// the plan proved write-before-read); modeled accounting is unchanged.
+    pub arena: Option<crate::arena::TensorPool>,
 }
 
 impl ExecCtx<'_> {
@@ -476,11 +480,12 @@ impl ExecCtx<'_> {
         Ok(())
     }
 
-    fn dealloc(&mut self, t: usize) {
-        if let Some(e) = self.tensors[t].take() {
+    fn dealloc(&mut self, t: usize) -> Option<TensorVal> {
+        self.tensors[t].take().map(|e| {
             self.counters
                 .free(&e.mtype.device().to_string(), e.val.size_bytes() as u64);
-        }
+            e.val
+        })
     }
 
     #[inline]
@@ -638,9 +643,17 @@ impl ExecCtx<'_> {
                             .map_err(|_| RuntimeError::UnresolvedSize(self.names[*t].clone()))
                     })
                     .collect::<Result<_, _>>()?;
-                self.alloc(*t, TensorVal::zeros(*dtype, &sh), *mtype)?;
+                let val = match self.arena.as_mut() {
+                    Some(pool) => pool.take_slot(*t, *dtype, &sh),
+                    None => TensorVal::zeros(*dtype, &sh),
+                };
+                self.alloc(*t, val, *mtype)?;
                 let r = self.exec(body);
-                self.dealloc(*t);
+                if let Some(val) = self.dealloc(*t) {
+                    if let Some(pool) = self.arena.as_mut() {
+                        pool.put_slot(*t, val);
+                    }
+                }
                 r
             }
             CStmt::For {

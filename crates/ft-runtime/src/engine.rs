@@ -8,12 +8,13 @@
 //! returning the interpreter's [`RunResult`], plus trace-sink plumbing so
 //! drivers can wire provenance uniformly.
 
+use crate::arena::RunContext;
 use crate::bytecode::VmRuntime;
 use crate::counters::PerfCounters;
 use crate::error::RuntimeError;
 use crate::interp::{RunResult, Runtime};
 use crate::pool::{PoolStatsSnapshot, WorkerPool};
-use crate::threaded::run_threaded_traced;
+use crate::threaded::{run_threaded_pooled, run_threaded_traced};
 use crate::value::TensorVal;
 use ft_ir::Func;
 use ft_metrics::Metrics;
@@ -65,6 +66,25 @@ pub trait ExecutionEngine {
         sizes: &HashMap<String, i64>,
     ) -> Result<RunResult, RuntimeError>;
 
+    /// As [`run`](ExecutionEngine::run), with a reusable [`RunContext`]:
+    /// the engine plans `VarDef` storage (`ft_analysis::MemPlan`), draws
+    /// temporary buffers from the context's arena pools, and keeps staging
+    /// buffers alive across calls — so a compile-once/run-many loop reaches
+    /// zero tensor heap allocations in steady state (observable via the
+    /// `mem.arena.*` metrics). Results are bit-identical to `run`. Feed
+    /// each result back with [`RunContext::recycle`] to return output
+    /// buffers to the context. The default ignores the context.
+    fn run_with(
+        &self,
+        func: &Func,
+        inputs: &HashMap<String, TensorVal>,
+        sizes: &HashMap<String, i64>,
+        ctx: &mut RunContext,
+    ) -> Result<RunResult, RuntimeError> {
+        let _ = ctx;
+        self.run(func, inputs, sizes)
+    }
+
     /// Install (or remove) a trace sink.
     fn set_sink(&mut self, sink: Option<TraceSink>);
 
@@ -100,6 +120,16 @@ impl ExecutionEngine for Runtime {
         Runtime::run(self, func, inputs, sizes)
     }
 
+    fn run_with(
+        &self,
+        func: &Func,
+        inputs: &HashMap<String, TensorVal>,
+        sizes: &HashMap<String, i64>,
+        ctx: &mut RunContext,
+    ) -> Result<RunResult, RuntimeError> {
+        self.run_timed(func, inputs, sizes, Some(ctx))
+    }
+
     fn set_sink(&mut self, sink: Option<TraceSink>) {
         Runtime::set_sink(self, sink)
     }
@@ -129,6 +159,16 @@ impl ExecutionEngine for VmRuntime {
         sizes: &HashMap<String, i64>,
     ) -> Result<RunResult, RuntimeError> {
         VmRuntime::run(self, func, inputs, sizes)
+    }
+
+    fn run_with(
+        &self,
+        func: &Func,
+        inputs: &HashMap<String, TensorVal>,
+        sizes: &HashMap<String, i64>,
+        ctx: &mut RunContext,
+    ) -> Result<RunResult, RuntimeError> {
+        self.run_inner(func, inputs, sizes, Some(ctx))
     }
 
     fn set_sink(&mut self, sink: Option<TraceSink>) {
@@ -190,6 +230,43 @@ impl ExecutionEngine for ThreadedEngine {
             if let Some(before) = &pool_before {
                 record_pool_delta(m, before);
             }
+            if r.is_err() {
+                m.counter("engine.threaded.errors").inc();
+            }
+        }
+        Ok(RunResult {
+            outputs: r?,
+            counters: PerfCounters::default(),
+        })
+    }
+
+    fn run_with(
+        &self,
+        func: &Func,
+        inputs: &HashMap<String, TensorVal>,
+        sizes: &HashMap<String, i64>,
+        ctx: &mut RunContext,
+    ) -> Result<RunResult, RuntimeError> {
+        let plan = ft_analysis::MemPlan::plan(func, sizes);
+        crate::arena::publish_plan(self.sink.as_ref(), self.metrics.as_ref(), &func.name, &plan);
+        let pool = ctx.threaded_pool_for(&plan);
+        let t0 = self.metrics.as_ref().map(|_| std::time::Instant::now());
+        let pool_before = self.metrics.as_ref().map(|_| WorkerPool::global().stats());
+        let r = run_threaded_pooled(
+            func,
+            inputs,
+            sizes,
+            self.threads,
+            self.sink.as_ref(),
+            Some(pool.clone()),
+        );
+        if let (Some(m), Some(t0)) = (&self.metrics, t0) {
+            m.histogram("engine.threaded.run_us")
+                .record_duration_us(t0.elapsed());
+            if let Some(before) = &pool_before {
+                record_pool_delta(m, before);
+            }
+            crate::arena::flush_stats(m, &mut pool.lock().stats);
             if r.is_err() {
                 m.counter("engine.threaded.errors").inc();
             }

@@ -98,8 +98,18 @@ impl Runtime {
         inputs: &HashMap<String, TensorVal>,
         sizes: &HashMap<String, i64>,
     ) -> Result<RunResult, RuntimeError> {
+        self.run_timed(func, inputs, sizes, None)
+    }
+
+    pub(crate) fn run_timed(
+        &self,
+        func: &Func,
+        inputs: &HashMap<String, TensorVal>,
+        sizes: &HashMap<String, i64>,
+        rctx: Option<&mut crate::arena::RunContext>,
+    ) -> Result<RunResult, RuntimeError> {
         let t0 = self.metrics.as_ref().map(|_| std::time::Instant::now());
-        let r = self.run_inner(func, inputs, sizes);
+        let r = self.run_inner(func, inputs, sizes, rctx);
         if let (Some(m), Some(t0)) = (&self.metrics, t0) {
             m.histogram("engine.interp.run_us").record_duration_us(t0.elapsed());
             if r.is_err() {
@@ -114,12 +124,35 @@ impl Runtime {
         func: &Func,
         inputs: &HashMap<String, TensorVal>,
         sizes: &HashMap<String, i64>,
+        mut rctx: Option<&mut crate::arena::RunContext>,
     ) -> Result<RunResult, RuntimeError> {
         let mut span = self
             .sink
             .as_ref()
             .map(|s| s.span_on(TRACK_RUNTIME, "runtime", &format!("interp {}", func.name)));
         let compiled = crate::compiled::compile(func)?;
+        // Plan VarDef storage: loop-local defs reuse one buffer across
+        // iterations within this run (skipping the re-zero where liveness
+        // proves write-before-read), and a caller-provided RunContext keeps
+        // the pool alive across runs.
+        let plan = ft_analysis::MemPlan::plan(func, sizes);
+        crate::arena::publish_plan(
+            self.sink.as_ref(),
+            self.metrics.as_ref(),
+            &func.name,
+            &plan,
+        );
+        let pool = if crate::arena::plan_matches_names(&plan, &compiled.tensor_names) {
+            match rctx.as_deref_mut() {
+                Some(c) => {
+                    c.tensor_pool_for(&plan);
+                    c.tensor_pool.take()
+                }
+                None => Some(crate::arena::TensorPool::new(&plan)),
+            }
+        } else {
+            None
+        };
         let mut ctx = crate::compiled::ExecCtx {
             config: &self.config,
             tensors: (0..compiled.n_tensors).map(|_| None).collect(),
@@ -138,52 +171,20 @@ impl Runtime {
                 .metrics
                 .as_ref()
                 .map(|m| m.histogram("engine.interp.kernel_us")),
+            arena: pool,
         };
-        for (name, slot) in &compiled.size_slots {
-            let v = *sizes
-                .get(name)
-                .ok_or_else(|| RuntimeError::UnresolvedSize(name.clone()))?;
-            ctx.scalars[*slot] = v;
-        }
-        // Bind parameters.
-        for (slot, shape, dtype, mtype, atype) in &compiled.params {
-            let shape: Vec<usize> = shape
-                .iter()
-                .map(|e| {
-                    let v = ctx.eval(e)?.as_i64();
-                    usize::try_from(v).map_err(|_| {
-                        RuntimeError::UnresolvedSize(compiled.tensor_names[*slot].clone())
-                    })
-                })
-                .collect::<Result<_, _>>()?;
-            let name = &compiled.tensor_names[*slot];
-            let val = match atype {
-                AccessType::Input | AccessType::InOut => {
-                    let t = inputs
-                        .get(name)
-                        .ok_or_else(|| RuntimeError::MissingInput(name.clone()))?;
-                    if t.shape() != shape.as_slice() {
-                        return Err(RuntimeError::ShapeMismatch {
-                            name: name.clone(),
-                            expected: shape.clone(),
-                            actual: t.shape().to_vec(),
-                        });
-                    }
-                    t.clone()
-                }
-                _ => TensorVal::zeros(*dtype, &shape),
-            };
-            ctx.alloc(*slot, val, *mtype)?;
-        }
-        ctx.exec(&compiled.body)?;
-        let mut outputs = HashMap::new();
-        for (slot, _, _, _, atype) in &compiled.params {
-            if matches!(atype, AccessType::Output | AccessType::InOut) {
-                let name = compiled.tensor_names[*slot].clone();
-                let entry = ctx.tensors[*slot].take().expect("params stay live");
-                outputs.insert(name, entry.val);
+        let r = bind_and_exec(&compiled, &mut ctx, inputs, sizes);
+        // Recover the pool (even on error) so a cross-run context keeps its
+        // buffers, and flush its allocation counters.
+        if let Some(mut pool) = ctx.arena.take() {
+            if let Some(m) = &self.metrics {
+                crate::arena::flush_stats(m, &mut pool.stats);
+            }
+            if let Some(c) = rctx {
+                c.tensor_pool = Some(pool);
             }
         }
+        let outputs = r?;
         if let (Some(sink), Some(buckets)) = (&self.sink, ctx.prof.take()) {
             let mut nodes = compiled.prof_nodes.clone();
             for (n, c) in nodes.iter_mut().zip(buckets) {
@@ -204,6 +205,65 @@ impl Runtime {
         })
     }
 }
+
+/// Bind sizes and parameters, execute the body, and extract outputs — the
+/// fallible core of [`Runtime::run`], separated so the caller can recover
+/// the arena pool from the [`ExecCtx`](crate::compiled::ExecCtx) whether or
+/// not execution succeeded.
+fn bind_and_exec(
+    compiled: &crate::compiled::Compiled,
+    ctx: &mut crate::compiled::ExecCtx<'_>,
+    inputs: &HashMap<String, TensorVal>,
+    sizes: &HashMap<String, i64>,
+) -> Result<HashMap<String, TensorVal>, RuntimeError> {
+    for (name, slot) in &compiled.size_slots {
+        let v = *sizes
+            .get(name)
+            .ok_or_else(|| RuntimeError::UnresolvedSize(name.clone()))?;
+        ctx.scalars[*slot] = v;
+    }
+    // Bind parameters.
+    for (slot, shape, dtype, mtype, atype) in &compiled.params {
+        let shape: Vec<usize> = shape
+            .iter()
+            .map(|e| {
+                let v = ctx.eval(e)?.as_i64();
+                usize::try_from(v).map_err(|_| {
+                    RuntimeError::UnresolvedSize(compiled.tensor_names[*slot].clone())
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        let name = &compiled.tensor_names[*slot];
+        let val = match atype {
+            AccessType::Input | AccessType::InOut => {
+                let t = inputs
+                    .get(name)
+                    .ok_or_else(|| RuntimeError::MissingInput(name.clone()))?;
+                if t.shape() != shape.as_slice() {
+                    return Err(RuntimeError::ShapeMismatch {
+                        name: name.clone(),
+                        expected: shape.clone(),
+                        actual: t.shape().to_vec(),
+                    });
+                }
+                t.clone()
+            }
+            _ => TensorVal::zeros(*dtype, &shape),
+        };
+        ctx.alloc(*slot, val, *mtype)?;
+    }
+    ctx.exec(&compiled.body)?;
+    let mut outputs = HashMap::new();
+    for (slot, _, _, _, atype) in &compiled.params {
+        if matches!(atype, AccessType::Output | AccessType::InOut) {
+            let name = compiled.tensor_names[*slot].clone();
+            let entry = ctx.tensors[*slot].take().expect("params stay live");
+            outputs.insert(name, entry.val);
+        }
+    }
+    Ok(outputs)
+}
+
 /// Apply a reduction operator to `old` and `v`.
 pub fn apply_reduce(op: ReduceOp, old: Scalar, v: Scalar) -> Scalar {
     let float = matches!(old, Scalar::Float(_)) || matches!(v, Scalar::Float(_));
@@ -573,6 +633,46 @@ mod tests {
             ));
         let r = run(&f, &[], &[]);
         assert_eq!(r.output("y").to_f64_vec(), vec![1.0; 3]);
+    }
+
+    #[test]
+    fn conditionally_written_vardef_is_still_zeroed_per_reentry() {
+        // The zero-elision analysis may skip the per-iteration zero-fill
+        // only when the def is provably written before read on *every*
+        // path. Here the first write is conditional (`i == 0` only), so the
+        // pooled buffer must be re-zeroed on each re-entry — otherwise
+        // iterations 1 and 2 would read iteration 0's stale 5.0.
+        let f = Func::new("f")
+            .param("y", [3], DataType::F32, AccessType::Output)
+            .body(for_(
+                "i",
+                0,
+                3,
+                var_def(
+                    "t",
+                    ft_ir::builder::scalar(),
+                    DataType::F32,
+                    MemType::CpuHeap,
+                    block([
+                        if_(var("i").eq(0), store("t", scalar(), 5.0f32)),
+                        store("y", [var("i")], load("t", scalar())),
+                    ]),
+                ),
+            ));
+        let want = vec![5.0, 0.0, 0.0];
+        let r = run(&f, &[], &[]);
+        assert_eq!(r.output("y").to_f64_vec(), want);
+        // And through a reused RunContext, where iteration-to-iteration AND
+        // run-to-run reuse both hand back dirty buffers.
+        let rt = Runtime::new();
+        let mut ctx = crate::arena::RunContext::new();
+        for _ in 0..2 {
+            let r = rt
+                .run_timed(&f, &HashMap::new(), &HashMap::new(), Some(&mut ctx))
+                .unwrap();
+            assert_eq!(r.output("y").to_f64_vec(), want);
+            ctx.recycle(r);
+        }
     }
 
     #[test]

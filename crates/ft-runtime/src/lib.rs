@@ -32,6 +32,7 @@
 //! content-addressed shared-object cache, and calls it in-process —
 //! the paper's actual execution model (§4.3).
 
+pub mod arena;
 pub mod bytecode;
 pub(crate) mod compiled;
 pub mod counters;
@@ -46,6 +47,7 @@ pub mod process;
 pub mod threaded;
 pub mod value;
 
+pub use arena::{ArenaStats, RunContext};
 pub use bytecode::{run_vm, VmMode, VmRuntime};
 pub use counters::{CacheGeometryError, CacheSim, PerfCounters, ScheduleScore, SCORE_REL_EPS};
 pub use device::DeviceConfig;

@@ -29,7 +29,9 @@ use crate::error::RuntimeError;
 use crate::interp::RunResult;
 use crate::process::output_with_timeout;
 use crate::value::TensorVal;
-use ft_codegen::{c_symbols, emit_c, emit_c_profiled, ProfSite};
+use crate::arena::RunContext;
+use ft_analysis::MemPlan;
+use ft_codegen::{c_symbols, emit_c_planned, ProfSite};
 use ft_ir::{AccessType, BinaryOp, DataType, Expr, Func};
 use ft_metrics::Metrics;
 use ft_trace::{Decision, ProfileNode, RunProfile, StmtCounters, TraceSink, Verdict, TRACK_RUNTIME};
@@ -44,15 +46,19 @@ use std::time::{Duration, Instant};
 /// Bump when the generated entry-point convention changes, so stale cached
 /// `.so` files from older layouts can never be loaded. v2: `ft_entry` gained
 /// a trailing `uint64_t *prof` parameter (NULL when profiling is off).
-const ABI_VERSION: u32 = 2;
+/// v3: an `unsigned char *arena` parameter between `sizes` and `prof` — the
+/// preallocated backing block for memory-planned `VarDef`s (NULL makes the
+/// kernel malloc/free its own).
+const ABI_VERSION: u32 = 3;
 
 /// Entry-point signature of every generated shared object:
-/// `void ft_entry(void **params, const int64_t *sizes, uint64_t *prof)`
-/// with tensor parameters in declaration order followed by size parameters
-/// in declaration order. `prof` is only read by profiled builds (slot `k`
+/// `void ft_entry(void **params, const int64_t *sizes, unsigned char *arena,
+/// uint64_t *prof)` with tensor parameters in declaration order followed by
+/// size parameters in declaration order. `arena` backs planned local defs
+/// (NULL = kernel-owned). `prof` is only read by profiled builds (slot `k`
 /// accumulates wall nanoseconds for outermost loop nest `k`); unprofiled
 /// builds ignore it and callers pass NULL.
-type EntryFn = unsafe extern "C" fn(*mut *mut c_void, *const i64, *mut u64);
+type EntryFn = unsafe extern "C" fn(*mut *mut c_void, *const i64, *mut c_void, *mut u64);
 
 /// Whether a host C compiler is available (memoized per process).
 pub fn cc_available() -> bool {
@@ -268,19 +274,21 @@ impl CompiledEngine {
         &self.cache_dir
     }
 
-    /// The complete translation unit handed to `cc`: the emitted function
-    /// plus the fixed-ABI `ft_entry` wrapper that unpacks the untyped
-    /// parameter array and calls it. Profiled units thread the prof array
-    /// through to the emitted function; unprofiled units discard it, so the
-    /// entry signature is the same across both.
-    fn source_for(&self, func: &Func) -> (String, Vec<ProfSite>) {
-        let (mut src, sites) = if self.profile {
-            emit_c_profiled(func)
-        } else {
-            (emit_c(func), Vec::new())
-        };
+    /// The complete translation unit handed to `cc`: the memory-planned
+    /// emitted function plus the fixed-ABI `ft_entry` wrapper that unpacks
+    /// the untyped parameter array and calls it. The plan is computed with
+    /// the run's concrete sizes, so arena offsets are compile-time constants
+    /// — distinct size bindings emit (and cache) distinct kernels. Profiled
+    /// units thread the prof array through to the emitted function;
+    /// unprofiled units discard it, so the entry signature is the same
+    /// across both.
+    fn source_for(&self, func: &Func, plan: &MemPlan) -> (String, Vec<ProfSite>) {
+        let (mut src, sites) = emit_c_planned(func, plan, self.profile);
         let syms = c_symbols(func);
-        src.push_str("\nvoid ft_entry(void **params, const int64_t *sizes, uint64_t *prof) {\n");
+        src.push_str(
+            "\nvoid ft_entry(void **params, const int64_t *sizes, \
+             unsigned char *arena, uint64_t *prof) {\n",
+        );
         let mut call_args: Vec<String> = Vec::new();
         for (i, p) in func.params.iter().enumerate() {
             let c = ctype(p.dtype);
@@ -290,6 +298,7 @@ impl CompiledEngine {
         for i in 0..func.size_params.len() {
             call_args.push(format!("sizes[{i}]"));
         }
+        call_args.push("arena".to_string());
         if self.profile {
             call_args.push("prof".to_string());
         } else {
@@ -384,14 +393,17 @@ impl CompiledEngine {
         Err(RuntimeError::Native(format!("cc failed:\n{last_err}")))
     }
 
-    /// Emit + (cache-aware) compile + load the kernel for `func`.
-    fn kernel_for(&self, func: &Func) -> Result<Arc<LoadedKernel>, RuntimeError> {
-        let (src, sites) = self.source_for(func);
+    /// Emit + (cache-aware) compile + load the kernel for `func` under
+    /// `plan`. The plan hash participates in the cache key (belt and
+    /// braces — planned offsets are already baked into the source).
+    fn kernel_for(&self, func: &Func, plan: &MemPlan) -> Result<Arc<LoadedKernel>, RuntimeError> {
+        let (src, sites) = self.source_for(func, plan);
         let mut key = src.clone().into_bytes();
         key.push(0);
         key.extend_from_slice(CC_FLAGS.as_bytes());
         key.push(0);
         key.extend_from_slice(&ABI_VERSION.to_le_bytes());
+        key.extend_from_slice(&plan.plan_hash().to_le_bytes());
         let hash = fnv1a(&key);
         if let Some(k) = self.state.loaded.lock().get(&hash) {
             self.note_cache(hash, true);
@@ -436,7 +448,26 @@ impl ExecutionEngine for CompiledEngine {
         sizes: &HashMap<String, i64>,
     ) -> Result<RunResult, RuntimeError> {
         let t0 = self.metrics.as_ref().map(|_| Instant::now());
-        let r = self.run_inner(func, inputs, sizes);
+        let r = self.run_inner(func, inputs, sizes, None);
+        if let (Some(m), Some(t0)) = (&self.metrics, t0) {
+            m.histogram("engine.compiled.run_us")
+                .record_duration_us(t0.elapsed());
+            if r.is_err() {
+                m.counter("engine.compiled.errors").inc();
+            }
+        }
+        r
+    }
+
+    fn run_with(
+        &self,
+        func: &Func,
+        inputs: &HashMap<String, TensorVal>,
+        sizes: &HashMap<String, i64>,
+        ctx: &mut RunContext,
+    ) -> Result<RunResult, RuntimeError> {
+        let t0 = self.metrics.as_ref().map(|_| Instant::now());
+        let r = self.run_inner(func, inputs, sizes, Some(ctx));
         if let (Some(m), Some(t0)) = (&self.metrics, t0) {
             m.histogram("engine.compiled.run_us")
                 .record_duration_us(t0.elapsed());
@@ -470,8 +501,11 @@ impl CompiledEngine {
         func: &Func,
         inputs: &HashMap<String, TensorVal>,
         sizes: &HashMap<String, i64>,
+        mut rctx: Option<&mut RunContext>,
     ) -> Result<RunResult, RuntimeError> {
-        let kernel = self.kernel_for(func)?;
+        let plan = MemPlan::plan(func, sizes);
+        crate::arena::publish_plan(self.sink.as_ref(), self.metrics.as_ref(), &func.name, &plan);
+        let kernel = self.kernel_for(func, &plan)?;
         let mut span = self
             .sink
             .as_ref()
@@ -516,13 +550,24 @@ impl CompiledEngine {
                             actual: t.shape().to_vec(),
                         });
                     }
-                    if p.atype == AccessType::InOut {
-                        // Converting copy when the caller's dtype differs
-                        // from the declaration (the kernel indexes with the
-                        // declared element size).
-                        Bound::Owned(convert(t, p.dtype))
-                    } else if t.dtype() != p.dtype {
-                        Bound::Owned(convert(t, p.dtype))
+                    if p.atype == AccessType::InOut || t.dtype() != p.dtype {
+                        // Owned copy, converting when the caller's dtype
+                        // differs from the declaration (the kernel indexes
+                        // with the declared element size). A RunContext
+                        // serves the copy from its staging buffers.
+                        let owned = match rctx.as_deref_mut() {
+                            Some(c) if t.dtype() == p.dtype => c.staged_copy(&p.name, t),
+                            Some(c) => {
+                                let mut out =
+                                    c.staged_zeros(&p.name, p.dtype, t.shape(), false);
+                                for i in 0..t.numel() {
+                                    out.set_flat(i, t.get_flat(i));
+                                }
+                                out
+                            }
+                            None => convert(t, p.dtype),
+                        };
+                        Bound::Owned(owned)
                     } else {
                         Bound::Borrowed(t)
                     }
@@ -530,7 +575,11 @@ impl CompiledEngine {
                 // Output and Cache params are zero-initialized scratch; only
                 // Output (and InOut) are returned.
                 AccessType::Output | AccessType::Cache => {
-                    Bound::Owned(TensorVal::zeros(p.dtype, &shape))
+                    let owned = match rctx.as_deref_mut() {
+                        Some(c) => c.staged_zeros(&p.name, p.dtype, &shape, true),
+                        None => TensorVal::zeros(p.dtype, &shape),
+                    };
+                    Bound::Owned(owned)
                 }
             };
             bound.push(b);
@@ -551,12 +600,20 @@ impl CompiledEngine {
         } else {
             prof_buf.as_mut_ptr()
         };
+        // A RunContext preallocates the plan's arena once and hands the
+        // same block to every call; without one the kernel mallocs its own.
+        let arena_ptr: *mut c_void = match rctx.as_deref_mut() {
+            Some(c) => c.native_arena_for(&plan).ptr() as *mut c_void,
+            None => std::ptr::null_mut(),
+        };
         let call_t0 = Instant::now();
         // SAFETY: pointer array length and element types match the
         // generated ft_entry (same Func produced both); buffers outlive
-        // the call; size values are passed by const pointer; prof_ptr is
-        // NULL or points at sites.len() slots, matching the profiled build.
-        unsafe { (kernel.entry)(ptrs.as_mut_ptr(), size_vals.as_ptr(), prof_ptr) };
+        // the call; size values are passed by const pointer; arena_ptr is
+        // NULL or points at planned_peak_bytes of storage for the plan the
+        // kernel was emitted from; prof_ptr is NULL or points at
+        // sites.len() slots, matching the profiled build.
+        unsafe { (kernel.entry)(ptrs.as_mut_ptr(), size_vals.as_ptr(), arena_ptr, prof_ptr) };
         let call_ns = call_t0.elapsed().as_nanos() as u64;
         if let Some(m) = &self.metrics {
             m.histogram("engine.compiled.kernel_us").record(call_ns / 1000);
@@ -585,6 +642,9 @@ impl CompiledEngine {
         }
         if let Some(sp) = span.as_mut() {
             sp.arg("params", func.params.len());
+        }
+        if let (Some(m), Some(c)) = (&self.metrics, rctx) {
+            crate::arena::flush_stats(m, &mut c.stats);
         }
         Ok(RunResult {
             outputs,
@@ -805,13 +865,80 @@ mod tests {
         let plain = CompiledEngine::with_cache_dir(tmp_cache("keys"));
         let prof = plain.clone().with_profiling(true);
         let f = axpy();
-        let (src_plain, sites_plain) = plain.source_for(&f);
-        let (src_prof, sites_prof) = prof.source_for(&f);
+        let plan = MemPlan::plan(&f, &HashMap::from([("n".to_string(), 8i64)]));
+        let (src_plain, sites_plain) = plain.source_for(&f, &plan);
+        let (src_prof, sites_prof) = prof.source_for(&f, &plan);
         assert_ne!(src_plain, src_prof);
         assert!(sites_plain.is_empty());
         assert_eq!(sites_prof.len(), 1);
         assert!(src_prof.contains("__ft_prof"), "{src_prof}");
         assert!(!src_plain.contains("__ft_prof"), "{src_plain}");
+    }
+
+    /// A compile-once/run-many loop with a [`RunContext`]: after the first
+    /// iteration primes the arena and staging buffers, re-runs perform zero
+    /// tensor heap allocations — the `mem.arena.alloc_calls` counter stays
+    /// flat while `mem.arena.reuse_hits` climbs — and results stay correct.
+    #[test]
+    fn warm_run_context_reaches_zero_allocations() {
+        if !cc_available() {
+            eprintln!("cc unavailable; skipping");
+            return;
+        }
+        let f = Func::new("smooth")
+            .param("x", [var("n")], DataType::F32, AccessType::Input)
+            .param("y", [var("n")], DataType::F32, AccessType::Output)
+            .size_param("n")
+            .body(var_def(
+                "t",
+                [var("n")],
+                DataType::F32,
+                MemType::CpuHeap,
+                block([
+                    for_(
+                        "i",
+                        0,
+                        var("n"),
+                        store("t", [var("i")], load("x", [var("i")]) * 2.0f32),
+                    ),
+                    for_(
+                        "i",
+                        0,
+                        var("n"),
+                        store("y", [var("i")], load("t", [var("i")]) + 1.0f32),
+                    ),
+                ]),
+            ));
+        let m = Metrics::new();
+        let mut eng = CompiledEngine::with_cache_dir(tmp_cache("warm"));
+        eng.set_metrics(Some(m.clone()));
+        let n = 256usize;
+        let inputs = HashMap::from([(
+            "x".to_string(),
+            TensorVal::from_f32(&[n], vec![1.0; n]),
+        )]);
+        let sizes = HashMap::from([("n".to_string(), n as i64)]);
+        let mut ctx = crate::arena::RunContext::new();
+        let r1 = eng.run_with(&f, &inputs, &sizes, &mut ctx).expect("cold");
+        assert_eq!(r1.output("y").to_f64_vec(), vec![3.0; n]);
+        ctx.recycle(r1);
+        let cold = m.snapshot();
+        assert!(cold.counter("mem.arena.alloc_calls") > 0, "{cold:?}");
+        for _ in 0..3 {
+            let r = eng.run_with(&f, &inputs, &sizes, &mut ctx).expect("warm");
+            assert_eq!(r.output("y").to_f64_vec(), vec![3.0; n]);
+            ctx.recycle(r);
+        }
+        let warm = m.snapshot();
+        assert_eq!(
+            warm.counter("mem.arena.alloc_calls"),
+            cold.counter("mem.arena.alloc_calls"),
+            "warm iterations must not allocate: {warm:?}"
+        );
+        assert!(
+            warm.counter("mem.arena.reuse_hits") > cold.counter("mem.arena.reuse_hits"),
+            "{warm:?}"
+        );
     }
 
     #[test]

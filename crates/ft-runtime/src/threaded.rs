@@ -116,6 +116,20 @@ impl Shared {
     #[inline(always)]
     fn check_overlap(&self, _off: usize, _who: WorkerId, _name: &str) {}
 
+    /// Wrap a pooled backing vector (already sized to the shape's element
+    /// count) instead of allocating fresh zeroed storage.
+    fn from_vec(dtype: DataType, shape: &[usize], v: Vec<f64>) -> Shared {
+        debug_assert_eq!(v.len(), shape.iter().product::<usize>());
+        Shared {
+            data: Arc::new(SharedVec(std::cell::UnsafeCell::new(v))),
+            shape: shape.to_vec(),
+            dtype,
+            lock: Arc::new(Mutex::new(())),
+            #[cfg(debug_assertions)]
+            writes: Arc::new(Mutex::new(HashMap::new())),
+        }
+    }
+
     fn from_tensor(t: &TensorVal) -> Shared {
         let s = Shared::new(t.dtype(), t.shape());
         let v = unsafe { &mut *s.data.0.get() };
@@ -289,6 +303,10 @@ struct TCtx {
     who: WorkerId,
     /// Wall-clock span reporting for fork-join regions; `None` = untraced.
     sink: Option<TraceSink>,
+    /// Scope-exit buffer recycling for `VarDef` storage, keyed by statement
+    /// id. Only the serial coordinator draws from it — worker clones clear
+    /// it, so loop-local defs inside parallel bodies stay fresh-per-chunk.
+    pool: Option<Arc<Mutex<crate::arena::ThreadedBufPool>>>,
 }
 
 impl TCtx {
@@ -416,14 +434,25 @@ impl TCtx {
                     .iter()
                     .map(|e| Ok(self.eval(e)? as usize))
                     .collect::<Result<_, RuntimeError>>()?;
-                let prev = self.tensors.insert(name.clone(), Shared::new(*dtype, &sh));
-                let r = self.exec(body);
-                match prev {
-                    Some(p) => {
-                        self.tensors.insert(name.clone(), p);
+                let shared = match &self.pool {
+                    Some(pool) => {
+                        let n: usize = sh.iter().product();
+                        Shared::from_vec(*dtype, &sh, pool.lock().take(s.id, n))
                     }
-                    None => {
-                        self.tensors.remove(name);
+                    None => Shared::new(*dtype, &sh),
+                };
+                let prev = self.tensors.insert(name.clone(), shared);
+                let r = self.exec(body);
+                let retired = match prev {
+                    Some(p) => self.tensors.insert(name.clone(), p),
+                    None => self.tensors.remove(name),
+                };
+                // Reclaim the def's storage for the next entry of this
+                // scope; a surviving clone (worker still holding it) just
+                // drops normally.
+                if let (Some(pool), Some(sh)) = (&self.pool, retired) {
+                    if let Ok(cell) = Arc::try_unwrap(sh.data) {
+                        pool.lock().put(s.id, cell.0.into_inner());
                     }
                 }
                 r
@@ -501,6 +530,10 @@ impl TCtx {
                     #[cfg(debug_assertions)]
                     let chunk_ids = std::sync::atomic::AtomicU64::new(0);
                     let run_chunk = |mut local: TCtx, lo: i64, hi: i64| {
+                        // Workers never share the recycling pool: loop-local
+                        // defs in parallel bodies must be chunk-private, and
+                        // contending on the pool mutex would serialize them.
+                        local.pool = None;
                         #[cfg(debug_assertions)]
                         {
                             local.who = (
@@ -657,6 +690,22 @@ pub fn run_threaded_traced(
     threads: usize,
     sink: Option<&TraceSink>,
 ) -> Result<HashMap<String, TensorVal>, RuntimeError> {
+    run_threaded_pooled(func, inputs, sizes, threads, sink, None)
+}
+
+/// [`run_threaded_traced`] with an optional `VarDef` buffer pool: the serial
+/// coordinator draws loop-local storage from `pool` and returns it on scope
+/// exit, so repeated runs (and repeated scope entries within one run) reuse
+/// the same allocations. Workers inside parallel regions never touch the
+/// pool. Results are bit-identical to the unpooled path.
+pub(crate) fn run_threaded_pooled(
+    func: &Func,
+    inputs: &HashMap<String, TensorVal>,
+    sizes: &HashMap<String, i64>,
+    threads: usize,
+    sink: Option<&TraceSink>,
+    pool: Option<Arc<Mutex<crate::arena::ThreadedBufPool>>>,
+) -> Result<HashMap<String, TensorVal>, RuntimeError> {
     let _span = sink.map(|s| {
         let mut sp = s.span_on(
             TRACK_RUNTIME,
@@ -672,6 +721,7 @@ pub fn run_threaded_traced(
         threads: threads.max(1),
         who: (0, 0),
         sink: sink.cloned(),
+        pool,
     };
     for sp in &func.size_params {
         if !ctx.scalars.contains_key(sp) {

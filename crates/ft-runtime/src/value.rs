@@ -159,6 +159,73 @@ impl TensorVal {
         }
     }
 
+    /// Reset every element to zero in place (no reallocation).
+    pub fn fill_zero(&mut self) {
+        match &mut self.data {
+            Data::F32(v) => v.fill(0.0),
+            Data::F64(v) => v.fill(0.0),
+            Data::I32(v) => v.fill(0),
+            Data::I64(v) => v.fill(0),
+            Data::Bool(v) => v.fill(false),
+        }
+    }
+
+    /// Retarget this buffer at `(dtype, shape)` without zeroing, reusing the
+    /// existing storage when possible. Returns `None` when the dtypes differ
+    /// (the buffer cannot be reused), otherwise `Some(grew)` where `grew`
+    /// reports whether the resize had to allocate beyond the old capacity.
+    /// Shrinks keep capacity; stale elements are left as-is — callers must
+    /// either [`fill_zero`](Self::fill_zero) or hold a write-before-read
+    /// proof for every element.
+    pub(crate) fn reuse_for(&mut self, dtype: DataType, shape: &[usize]) -> Option<bool> {
+        if self.dtype != dtype {
+            return None;
+        }
+        let n: usize = shape.iter().product();
+        fn fit<T: Default + Clone>(v: &mut Vec<T>, n: usize) -> bool {
+            let grew = n > v.capacity();
+            v.resize(n, T::default());
+            grew
+        }
+        let grew = match &mut self.data {
+            Data::F32(v) => fit(v, n),
+            Data::F64(v) => fit(v, n),
+            Data::I32(v) => fit(v, n),
+            Data::I64(v) => fit(v, n),
+            Data::Bool(v) => fit(v, n),
+        };
+        self.shape.clear();
+        self.shape.extend_from_slice(shape);
+        Some(grew)
+    }
+
+    /// Overwrite this buffer with a copy of `src` (dtype, shape and data),
+    /// reusing the existing storage when the dtypes match. Returns `None`
+    /// on a dtype mismatch, otherwise `Some(grew)` as in
+    /// [`reuse_for`](Self::reuse_for).
+    pub(crate) fn copy_from(&mut self, src: &TensorVal) -> Option<bool> {
+        if self.dtype != src.dtype {
+            return None;
+        }
+        fn refill<T: Clone>(dst: &mut Vec<T>, src: &[T]) -> bool {
+            let grew = src.len() > dst.capacity();
+            dst.clear();
+            dst.extend_from_slice(src);
+            grew
+        }
+        let grew = match (&mut self.data, &src.data) {
+            (Data::F32(d), Data::F32(s)) => refill(d, s),
+            (Data::F64(d), Data::F64(s)) => refill(d, s),
+            (Data::I32(d), Data::I32(s)) => refill(d, s),
+            (Data::I64(d), Data::I64(s)) => refill(d, s),
+            (Data::Bool(d), Data::Bool(s)) => refill(d, s),
+            _ => unreachable!("dtype checked above"),
+        };
+        self.shape.clear();
+        self.shape.extend_from_slice(&src.shape);
+        Some(grew)
+    }
+
     /// Element type.
     pub fn dtype(&self) -> DataType {
         self.dtype
