@@ -52,12 +52,12 @@ fn bench_arena_reuse(c: &mut Criterion) {
         let r = engine_m
             .run_with(prog.func(), &inputs, &sizes, &mut ctx)
             .unwrap();
-        ctx.recycle(r);
+        ctx.recycle(r).unwrap();
         let before = m.snapshot().counter("mem.arena.alloc_calls");
         let r = engine_m
             .run_with(prog.func(), &inputs, &sizes, &mut ctx)
             .unwrap();
-        ctx.recycle(r);
+        ctx.recycle(r).unwrap();
         let after = m.snapshot().counter("mem.arena.alloc_calls");
         assert_eq!(
             after - before,
@@ -70,7 +70,7 @@ fn bench_arena_reuse(c: &mut Criterion) {
                 let r = engine_m
                     .run_with(prog.func(), &inputs, &sizes, &mut ctx)
                     .unwrap();
-                ctx.recycle(r);
+                ctx.recycle(r).unwrap();
             })
         });
     }

@@ -1,0 +1,412 @@
+//! Closed-loop load generator for the `ft-serve` front door.
+//!
+//! ```text
+//! serve_load [--workload subdivnet] [--small|--full] [--stampede 64]
+//!            [--warm-iters 256] [--clients 4] [--workers N]
+//!            [--json results/SERVE.json] [--gate] [--min-hit-rate 0.99]
+//!            [--max-p99-us 2000000] [--max-build-spawns 2]
+//! ```
+//!
+//! Three phases against one [`ft_serve::Server`] on a **fresh** artifact
+//! cache directory, all sharing one metrics registry:
+//!
+//! 1. **Stampede** — `--stampede` identical requests submitted at once
+//!    from round-robin clients. The compile must be paid exactly once:
+//!    the singleflight + file lock collapses every concurrent miss onto
+//!    one `cc` invocation (`compiled.cc.spawned` = the spawns of a single
+//!    build; 1 with OpenMP, 2 where the serial fallback re-compiles), and
+//!    `compiled.cache.publish == 1`.
+//! 2. **Warm closed loop** — `--clients` threads each issue digest-mode
+//!    requests back-to-back (a client submits its next request only after
+//!    the previous reply arrives — closed loop). Reports requests/sec and
+//!    p50/p99 latency from the `serve.latency_us` histogram. Zero `cc`
+//!    spawns are expected: the key is warm.
+//! 3. **Warm arena probe** — two more serial digest requests; the delta
+//!    of `mem.arena.alloc_calls` across them is published as
+//!    `mem.arena.warm_alloc_calls` (+ `mem.arena.warm_probe_runs`), the
+//!    same steady-state claim `bench_check --expect-warm` gates: a warm
+//!    request through a recycled context performs **zero** tensor heap
+//!    allocations.
+//!
+//! Writes a machine-readable summary (including the full metrics
+//! snapshot) to `--json` (default `results/SERVE.json`). With `--gate`
+//! the process exits non-zero when any serving invariant fails:
+//! warm-phase `cc` spawns ≠ 0, cache hit rate < `--min-hit-rate`,
+//! warm-probe allocations ≠ 0, stampede spawns > `--max-build-spawns`,
+//! any request error, or p99 latency above `--max-p99-us`. CI runs this
+//! as the blocking `serve-smoke` job.
+
+use bench::{prepare, Scale, Workload};
+use ft_autoschedule::Target;
+use ft_metrics::{Metrics, MetricsSnapshot};
+use ft_serve::{Request, ServeConfig, Server};
+use std::collections::HashMap;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn opt_num(args: &[String], name: &str, default: u64) -> u64 {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn opt_f64(args: &[String], name: &str, default: f64) -> f64 {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let workload = args
+        .iter()
+        .position(|a| a == "--workload")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|k| Workload::from_key(k))
+        .unwrap_or(Workload::SubdivNet);
+    let scale = if args.iter().any(|a| a == "--full") {
+        Scale::Full
+    } else {
+        Scale::Small
+    };
+    let stampede = opt_num(&args, "--stampede", 64) as usize;
+    let warm_iters = opt_num(&args, "--warm-iters", 256) as usize;
+    let clients = (opt_num(&args, "--clients", 4) as usize).max(1);
+    let workers = opt_num(
+        &args,
+        "--workers",
+        std::thread::available_parallelism()
+            .map(|n| n.get() as u64)
+            .unwrap_or(1),
+    ) as usize;
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .map_or_else(|| "results/SERVE.json".to_string(), |p| p.clone());
+    let gate = args.iter().any(|a| a == "--gate");
+    let min_hit_rate = opt_f64(&args, "--min-hit-rate", 0.99);
+    let max_p99_us = opt_num(&args, "--max-p99-us", 2_000_000);
+    let max_build_spawns = opt_num(&args, "--max-build-spawns", 2);
+
+    if !ft_runtime::cc_available() {
+        eprintln!("error: no C compiler on this host — the serving path needs `cc`");
+        return ExitCode::from(2);
+    }
+
+    // Fresh cache dir: the stampede must pay (and dedup) a real compile.
+    let cache_dir = std::env::temp_dir().join(format!(
+        "ft-serve-load-{}-{}",
+        std::process::id(),
+        workload.schedule_key()
+    ));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
+    let prep = prepare(workload, scale);
+    let optimized = prep.naive.optimize(&Target::cpu());
+    let func = Arc::new(optimized.func().clone());
+    let inputs = prep.inputs.clone();
+    let sizes: HashMap<String, i64> = HashMap::new();
+
+    let metrics = Metrics::new();
+    let server = Arc::new(Server::new(
+        ServeConfig {
+            workers: workers.max(1),
+            queue_cap: (stampede + clients).max(256),
+            mem_budget_bytes: None,
+            ctx_pool_per_key: workers.max(1) + 1,
+            cache_dir: Some(cache_dir.clone()),
+        },
+        metrics.clone(),
+    ));
+    let req = || Request::new(func.clone(), inputs.clone(), sizes.clone()).digest();
+
+    println!(
+        "# serve_load: {} ({}), {} workers, {} clients, fresh cache {}",
+        workload.name(),
+        scale.key(),
+        workers.max(1),
+        clients,
+        cache_dir.display()
+    );
+
+    // --- Phase 1: stampede of identical requests on a cold cache. ---
+    let t0 = Instant::now();
+    let mut pending = Vec::with_capacity(stampede);
+    for i in 0..stampede {
+        let client = format!("client-{}", i % clients);
+        match server.submit(&client, req()) {
+            Ok(rx) => pending.push(rx),
+            Err(e) => {
+                eprintln!("error: stampede submit rejected: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let mut stampede_errors = 0usize;
+    let mut digest0 = None;
+    for rx in pending {
+        match rx.recv() {
+            Ok(Ok(resp)) => {
+                let d = resp.digest().expect("digest-mode response");
+                match digest0 {
+                    None => digest0 = Some(d),
+                    Some(d0) if d0 != d => {
+                        eprintln!("error: stampede responses disagree: {d0:#x} vs {d:#x}");
+                        return ExitCode::from(2);
+                    }
+                    Some(_) => {}
+                }
+            }
+            Ok(Err(e)) => {
+                stampede_errors += 1;
+                eprintln!("warn: stampede request failed: {e}");
+            }
+            Err(e) => {
+                stampede_errors += 1;
+                eprintln!("warn: stampede reply channel dropped: {e}");
+            }
+        }
+    }
+    let stampede_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let after_stampede = metrics.snapshot();
+    let stampede_spawned = after_stampede.counter("compiled.cc.spawned");
+    let stampede_publish = after_stampede.counter("compiled.cache.publish");
+    let dedup_hits = after_stampede.counter("serve.inflight_dedup_hits");
+    println!(
+        "stampede: {stampede} identical requests in {stampede_wall_ms:.1}ms — \
+         cc spawned {stampede_spawned}, cache publish {stampede_publish}, \
+         {dedup_hits} in-flight dedup hits, {stampede_errors} errors"
+    );
+
+    // --- Phase 2: warm closed loop across client threads. ---
+    let per_client = warm_iters.div_ceil(clients);
+    let warm_total = per_client * clients;
+    let t1 = Instant::now();
+    let warm_errors: usize = std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for c in 0..clients {
+            let server = Arc::clone(&server);
+            let req = &req;
+            handles.push(s.spawn(move || {
+                let client = format!("client-{c}");
+                let mut errors = 0usize;
+                for _ in 0..per_client {
+                    if server.call(&client, req()).is_err() {
+                        errors += 1;
+                    }
+                }
+                errors
+            }));
+        }
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+    let warm_wall_s = t1.elapsed().as_secs_f64();
+    let after_warm = metrics.snapshot();
+    let warm_spawned = after_warm.counter("compiled.cc.spawned") - stampede_spawned;
+    let rps = warm_total as f64 / warm_wall_s;
+    let warm_lat = after_warm
+        .histograms
+        .get("serve.latency_us")
+        .cloned()
+        .map(|h| {
+            after_stampede
+                .histograms
+                .get("serve.latency_us")
+                .map_or_else(|| h.clone(), |base| h.diff(base))
+        })
+        .unwrap_or_else(ft_metrics::HistogramSnapshot::empty);
+    let p50_us = warm_lat.quantile(0.50);
+    let p99_us = warm_lat.quantile(0.99);
+    println!(
+        "warm: {warm_total} requests over {clients} closed-loop clients in {:.2}s — \
+         {rps:.0} req/s, p50 {p50_us}us, p99 {p99_us}us, cc spawned {warm_spawned}, \
+         {warm_errors} errors",
+        warm_wall_s
+    );
+
+    // --- Phase 3: warm arena probe (steady-state zero-allocation claim). ---
+    let before_probe = metrics.snapshot().counter("mem.arena.alloc_calls");
+    let mut probe_errors = 0usize;
+    for _ in 0..2 {
+        if server.call("probe", req()).is_err() {
+            probe_errors += 1;
+        }
+    }
+    let warm_allocs = metrics.snapshot().counter("mem.arena.alloc_calls") - before_probe;
+    metrics.counter("mem.arena.warm_alloc_calls").add(warm_allocs);
+    metrics.counter("mem.arena.warm_probe_runs").inc();
+    println!("probe: 2 warm digest requests, {warm_allocs} arena/staging allocation(s)");
+
+    let snap = metrics.snapshot();
+    let hit = snap.counter("compiled.cache.hit");
+    let miss = snap.counter("compiled.cache.miss");
+    let hit_rate = if hit + miss == 0 {
+        f64::NAN
+    } else {
+        hit as f64 / (hit + miss) as f64
+    };
+    println!(
+        "cache: {hit} hit / {miss} miss (rate {hit_rate:.4}); \
+         serve.requests {}, serve.warm {}, serve.cold {}",
+        snap.counter("serve.requests"),
+        snap.counter("serve.warm"),
+        snap.counter("serve.cold"),
+    );
+
+    // --- Gates (always evaluated; only `--gate` makes them fatal). ---
+    let total_errors = stampede_errors + warm_errors + probe_errors;
+    let mut failures: Vec<String> = Vec::new();
+    if stampede_spawned == 0 || stampede_spawned > max_build_spawns {
+        failures.push(format!(
+            "stampede spawned the compiler {stampede_spawned} time(s); expected \
+             1..={max_build_spawns} (one deduplicated build)"
+        ));
+    }
+    if stampede_publish != 1 {
+        failures.push(format!(
+            "stampede published {stampede_publish} artifacts; expected exactly 1"
+        ));
+    }
+    if warm_spawned != 0 {
+        failures.push(format!(
+            "warm phase spawned the compiler {warm_spawned} time(s); expected 0"
+        ));
+    }
+    if hit_rate.is_nan() || hit_rate < min_hit_rate {
+        failures.push(format!(
+            "cache hit rate {hit_rate:.4} below {min_hit_rate}"
+        ));
+    }
+    if warm_allocs != 0 {
+        failures.push(format!(
+            "warm probe performed {warm_allocs} arena/staging allocation(s); expected 0"
+        ));
+    }
+    if p99_us > max_p99_us {
+        failures.push(format!("warm p99 {p99_us}us above bound {max_p99_us}us"));
+    }
+    if total_errors != 0 {
+        failures.push(format!("{total_errors} request(s) errored"));
+    }
+
+    write_json(
+        &json_path,
+        &SummaryRow {
+            workload: workload.schedule_key(),
+            scale: scale.key(),
+            workers: workers.max(1),
+            clients,
+            stampede_requests: stampede,
+            stampede_wall_ms,
+            stampede_cc_spawned: stampede_spawned,
+            stampede_cache_publish: stampede_publish,
+            inflight_dedup_hits: dedup_hits,
+            warm_requests: warm_total,
+            warm_wall_s,
+            requests_per_sec: rps,
+            p50_us,
+            p99_us,
+            warm_cc_spawned: warm_spawned,
+            cache_hit: hit,
+            cache_miss: miss,
+            cache_hit_rate: hit_rate,
+            warm_probe_runs: snap.counter("mem.arena.warm_probe_runs"),
+            warm_alloc_calls: snap.counter("mem.arena.warm_alloc_calls"),
+            errors: total_errors,
+            gate_failures: &failures,
+        },
+        &snap,
+    );
+    println!("wrote {json_path}");
+
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    for f in &failures {
+        println!("{}   serve: {f}", if gate { "BLOCKING" } else { "ADVISORY" });
+    }
+    if gate && !failures.is_empty() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+struct SummaryRow<'a> {
+    workload: &'a str,
+    scale: &'a str,
+    workers: usize,
+    clients: usize,
+    stampede_requests: usize,
+    stampede_wall_ms: f64,
+    stampede_cc_spawned: u64,
+    stampede_cache_publish: u64,
+    inflight_dedup_hits: u64,
+    warm_requests: usize,
+    warm_wall_s: f64,
+    requests_per_sec: f64,
+    p50_us: u64,
+    p99_us: u64,
+    warm_cc_spawned: u64,
+    cache_hit: u64,
+    cache_miss: u64,
+    cache_hit_rate: f64,
+    warm_probe_runs: u64,
+    warm_alloc_calls: u64,
+    errors: usize,
+    gate_failures: &'a [String],
+}
+
+fn write_json(path: &str, r: &SummaryRow<'_>, snap: &MetricsSnapshot) {
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    let failures = r
+        .gate_failures
+        .iter()
+        .map(|f| format!("\"{}\"", f.replace('\\', "\\\\").replace('"', "\\\"")))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let doc = format!(
+        "{{\n  \"schema\": \"serve_load/v1\",\n  \"workload\": \"{}\",\n  \"scale\": \"{}\",\n\
+         \x20 \"workers\": {},\n  \"clients\": {},\n  \"stampede\": {{\n    \"requests\": {},\n\
+         \x20   \"wall_ms\": {:.3},\n    \"cc_spawned\": {},\n    \"cache_publish\": {},\n\
+         \x20   \"inflight_dedup_hits\": {}\n  }},\n  \"warm\": {{\n    \"requests\": {},\n\
+         \x20   \"wall_s\": {:.4},\n    \"requests_per_sec\": {:.1},\n    \"p50_us\": {},\n\
+         \x20   \"p99_us\": {},\n    \"cc_spawned\": {}\n  }},\n  \"cache\": {{\n\
+         \x20   \"hit\": {},\n    \"miss\": {},\n    \"hit_rate\": {:.6}\n  }},\n\
+         \x20 \"arena\": {{\n    \"warm_probe_runs\": {},\n    \"warm_alloc_calls\": {}\n  }},\n\
+         \x20 \"errors\": {},\n  \"gate_failures\": [{}],\n  \"metrics\": {}\n}}\n",
+        r.workload,
+        r.scale,
+        r.workers,
+        r.clients,
+        r.stampede_requests,
+        r.stampede_wall_ms,
+        r.stampede_cc_spawned,
+        r.stampede_cache_publish,
+        r.inflight_dedup_hits,
+        r.warm_requests,
+        r.warm_wall_s,
+        r.requests_per_sec,
+        r.p50_us,
+        r.p99_us,
+        r.warm_cc_spawned,
+        r.cache_hit,
+        r.cache_miss,
+        r.cache_hit_rate,
+        r.warm_probe_runs,
+        r.warm_alloc_calls,
+        r.errors,
+        failures,
+        snap.to_json(),
+    );
+    std::fs::write(path, doc).unwrap_or_else(|e| {
+        eprintln!("error: cannot write {path}: {e}");
+        std::process::exit(2);
+    });
+}

@@ -710,11 +710,11 @@ fn warm_arena_probe(
     let sizes = HashMap::new();
     let mut ctx = RunContext::new();
     let cold = engine.run_with(prog.func(), &inputs, &sizes, &mut ctx).ok()?;
-    ctx.recycle(cold);
+    ctx.recycle(cold).expect("recycle cold outputs");
     let before = m.snapshot().counter("mem.arena.alloc_calls");
     for _ in 0..2 {
         let r = engine.run_with(prog.func(), &inputs, &sizes, &mut ctx).ok()?;
-        ctx.recycle(r);
+        ctx.recycle(r).expect("recycle warm outputs");
     }
     let warm = m.snapshot().counter("mem.arena.alloc_calls") - before;
     bench_metrics().counter("mem.arena.warm_alloc_calls").add(warm);

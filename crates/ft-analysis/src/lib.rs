@@ -33,7 +33,7 @@ pub mod deps;
 pub mod memplan;
 
 pub use access::{collect_accesses, Access, AccessKind, LoopCtx};
-pub use memplan::{MemPlan, PlanClass, PlanEntry, ARENA_ALIGN};
+pub use memplan::{eval_extent, MemPlan, PlanClass, PlanEntry, ARENA_ALIGN};
 pub use affine::{cond_to_constraints, linexpr_to_expr, to_linexpr};
 pub use bounds::{const_bounds, symbolic_bounds, BoundsCtx, SymBounds};
 pub use deps::{

@@ -139,7 +139,7 @@ pub fn run_backend_planned(
     let engine = engine_for(backend);
     let mut ctx = RunContext::new();
     if let Ok(warm) = engine.run_with(func, inputs, &HashMap::new(), &mut ctx) {
-        ctx.recycle(warm);
+        ctx.recycle(warm).expect("recycle into bound context");
     }
     engine
         .run_with(func, inputs, &HashMap::new(), &mut ctx)

@@ -22,10 +22,11 @@
 //! `mem.plan` runtime span plus a decision-log entry with the
 //! planned-vs-naive peak bytes.
 
+use crate::error::RuntimeError;
 use crate::interp::RunResult;
 use crate::value::TensorVal;
 use ft_analysis::{MemPlan, ARENA_ALIGN};
-use ft_ir::{DataType, StmtId};
+use ft_ir::{AccessType, DataType, Func, StmtId};
 use ft_metrics::Metrics;
 use ft_trace::{Decision, TraceSink, Verdict, TRACK_RUNTIME};
 use parking_lot::Mutex;
@@ -49,6 +50,9 @@ pub struct ArenaStats {
     pub bytes_held: u64,
     /// High-water mark of `bytes_held`.
     pub bytes_peak: u64,
+    /// Times a poisoned context (a run errored mid-way) was reset to a
+    /// clean slate before its next run.
+    pub poison_resets: u64,
 }
 
 impl ArenaStats {
@@ -67,6 +71,7 @@ impl ArenaStats {
         self.alloc_calls += other.alloc_calls;
         self.reuse_hits += other.reuse_hits;
         self.bytes_peak = self.bytes_peak.max(other.bytes_peak);
+        self.poison_resets += other.poison_resets;
     }
 }
 
@@ -75,9 +80,11 @@ impl ArenaStats {
 pub(crate) fn flush_stats(m: &Metrics, stats: &mut ArenaStats) {
     m.counter("mem.arena.alloc_calls").add(stats.alloc_calls);
     m.counter("mem.arena.reuse_hits").add(stats.reuse_hits);
+    m.counter("mem.arena.poison_resets").add(stats.poison_resets);
     m.gauge("mem.arena.bytes_peak").fetch_max(stats.bytes_peak as i64);
     stats.alloc_calls = 0;
     stats.reuse_hits = 0;
+    stats.poison_resets = 0;
 }
 
 /// Record the planner's verdict: a `mem.plan` span on the runtime track,
@@ -335,6 +342,75 @@ impl NativeArena {
     }
 }
 
+/// What a [`RunContext`] is committed to after its first planned run: the
+/// memory-plan hash, a signature of the parameter shapes/sizes, and the
+/// expected output set — the facts every later run and recycle must match.
+#[derive(Debug, Clone)]
+struct CtxBinding {
+    func_name: String,
+    plan_hash: u64,
+    shape_sig: u64,
+    /// Output/InOut parameter names with their resolved shapes, for the
+    /// recycle-time signature check. `None` shape = unresolvable extent
+    /// (symbolic with a missing size), which skips the shape comparison.
+    outputs: Vec<(String, Option<Vec<usize>>)>,
+}
+
+/// FNV-1a signature of a run's parameter/shape binding: function name,
+/// every parameter's (name, dtype, access, resolved shape) and every size
+/// parameter's value. Two runs with equal signatures bind buffers of
+/// identical names and byte sizes.
+fn shape_sig(func: &Func, sizes: &HashMap<String, i64>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    eat(func.name.as_bytes());
+    for p in &func.params {
+        eat(b"|p");
+        eat(p.name.as_bytes());
+        eat(&[p.dtype as u8, p.atype as u8]);
+        for e in &p.shape {
+            match ft_analysis::eval_extent(e, sizes) {
+                Some(v) => eat(&v.to_le_bytes()),
+                None => eat(format!("{e:?}").as_bytes()),
+            }
+        }
+    }
+    let mut sp: Vec<&String> = func.size_params.iter().collect();
+    sp.sort();
+    for s in sp {
+        eat(b"|s");
+        eat(s.as_bytes());
+        if let Some(v) = sizes.get(s) {
+            eat(&v.to_le_bytes());
+        }
+    }
+    h
+}
+
+/// The bound program's output signature: every Output/InOut parameter with
+/// its resolved shape.
+fn output_sig(func: &Func, sizes: &HashMap<String, i64>) -> Vec<(String, Option<Vec<usize>>)> {
+    func.params
+        .iter()
+        .filter(|p| matches!(p.atype, AccessType::Output | AccessType::InOut))
+        .map(|p| {
+            let shape: Option<Vec<usize>> = p
+                .shape
+                .iter()
+                .map(|e| {
+                    ft_analysis::eval_extent(e, sizes).and_then(|v| usize::try_from(v).ok())
+                })
+                .collect();
+            (p.name.clone(), shape)
+        })
+        .collect()
+}
+
 /// Reusable cross-run state for [`ExecutionEngine::run_with`]
 /// (`crate::engine::ExecutionEngine::run_with`): per-engine buffer pools
 /// keyed by the memory-plan hash, plus named staging buffers that keep
@@ -345,6 +421,18 @@ impl NativeArena {
 /// each keeps its own pool slot. Feed finished results back with
 /// [`recycle`](RunContext::recycle) so output buffers return to the
 /// staging area instead of being dropped.
+///
+/// A context *binds* to the first program it runs (memory-plan hash +
+/// parameter shape signature). Running it against a different program or
+/// different shapes is a [`RuntimeError::ContextMismatch`], and recycling
+/// a result whose outputs do not match the bound program's output set is a
+/// [`RuntimeError::RecycleMismatch`] — both guard the serving path, where
+/// contexts are pooled per program key and a crossed wire would seed one
+/// program's staging buffers with another's. [`reset`](RunContext::reset)
+/// repurposes a context intentionally. A run that fails mid-way *poisons*
+/// the context (pools may have lost or half-written buffers); the next
+/// `run_with` detects the poison and resets to a clean slate instead of
+/// reusing suspect storage, counted as `mem.arena.poison_resets`.
 #[derive(Debug, Default)]
 pub struct RunContext {
     pub(crate) tensor_pool: Option<TensorPool>,
@@ -354,6 +442,8 @@ pub struct RunContext {
     pub(crate) staging: HashMap<String, TensorVal>,
     /// Staging-layer stats (pools carry their own).
     pub(crate) stats: ArenaStats,
+    binding: Option<CtxBinding>,
+    poisoned: bool,
 }
 
 impl RunContext {
@@ -364,17 +454,136 @@ impl RunContext {
 
     /// Hand a finished run's outputs back to the context so their buffers
     /// are reused by the next run instead of freed.
-    pub fn recycle(&mut self, result: RunResult) {
-        self.recycle_outputs(result.outputs);
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::RecycleMismatch`] when the outputs do not belong to
+    /// the program this context is bound to (nothing is recycled then).
+    pub fn recycle(&mut self, result: RunResult) -> Result<(), RuntimeError> {
+        self.recycle_outputs(result.outputs)
     }
 
     /// As [`recycle`](RunContext::recycle), for a bare output map.
-    pub fn recycle_outputs(&mut self, outputs: HashMap<String, TensorVal>) {
+    ///
+    /// # Errors
+    ///
+    /// As [`recycle`](RunContext::recycle).
+    pub fn recycle_outputs(
+        &mut self,
+        outputs: HashMap<String, TensorVal>,
+    ) -> Result<(), RuntimeError> {
+        if let Some(b) = &self.binding {
+            for (name, t) in &outputs {
+                let expected = b.outputs.iter().find(|(n, _)| n == name);
+                match expected {
+                    Some((_, Some(shape))) if shape == t.shape() => {}
+                    // Unresolvable declared shape: accept (the run-time
+                    // binding guard already vouched for the size set).
+                    Some((_, None)) => {}
+                    Some((_, Some(shape))) => {
+                        return Err(RuntimeError::RecycleMismatch {
+                            bound_func: b.func_name.clone(),
+                            output: name.clone(),
+                            expected_shape: Some(shape.clone()),
+                            actual_shape: t.shape().to_vec(),
+                        });
+                    }
+                    None => {
+                        return Err(RuntimeError::RecycleMismatch {
+                            bound_func: b.func_name.clone(),
+                            output: name.clone(),
+                            expected_shape: None,
+                            actual_shape: t.shape().to_vec(),
+                        });
+                    }
+                }
+            }
+        }
         for (name, t) in outputs {
             self.stats.bytes_held += t.size_bytes() as u64;
             self.staging.insert(name, t);
         }
         self.stats.bytes_peak = self.stats.bytes_peak.max(self.stats.bytes_held);
+        Ok(())
+    }
+
+    /// Drop all pooled storage, staging buffers, and the program binding,
+    /// returning the context to its freshly-constructed state (stats
+    /// survive — they are observability, not state).
+    pub fn reset(&mut self) {
+        self.tensor_pool = None;
+        self.vm_pool = None;
+        self.threaded_pool = None;
+        self.native_arena = None;
+        self.staging.clear();
+        self.stats.bytes_held = 0;
+        self.binding = None;
+        self.poisoned = false;
+    }
+
+    /// Mark the context suspect: a run using it failed mid-way, so pooled
+    /// buffers may be lost or half-written. The next `run_with` resets it
+    /// to a clean slate before reuse.
+    pub fn poison(&mut self) {
+        self.poisoned = true;
+    }
+
+    /// Whether the context is awaiting a poison reset.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// The function name this context is bound to, if any.
+    pub fn bound_func(&self) -> Option<&str> {
+        self.binding.as_ref().map(|b| b.func_name.as_str())
+    }
+
+    /// Poison the context for errors that indict the run, not the binding
+    /// handshake (a `ContextMismatch` leaves the context perfectly good
+    /// for its own program).
+    pub(crate) fn poison_on(&mut self, e: &RuntimeError) {
+        if !matches!(e, RuntimeError::ContextMismatch { .. }) {
+            self.poison();
+        }
+    }
+
+    /// Admission check run by every engine before drawing on the context:
+    /// heal a poisoned context (full reset, counted), then bind to
+    /// `(func, sizes, plan)` or verify the existing binding matches.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::ContextMismatch`] when bound to a different
+    /// program/plan/shape set.
+    pub(crate) fn ensure_bound(
+        &mut self,
+        func: &Func,
+        sizes: &HashMap<String, i64>,
+        plan: &MemPlan,
+    ) -> Result<(), RuntimeError> {
+        if self.poisoned {
+            self.reset();
+            self.stats.poison_resets += 1;
+        }
+        let sig = shape_sig(func, sizes);
+        match &self.binding {
+            None => {
+                self.binding = Some(CtxBinding {
+                    func_name: func.name.clone(),
+                    plan_hash: plan.plan_hash(),
+                    shape_sig: sig,
+                    outputs: output_sig(func, sizes),
+                });
+                Ok(())
+            }
+            Some(b) if b.plan_hash == plan.plan_hash() && b.shape_sig == sig => Ok(()),
+            Some(b) => Err(RuntimeError::ContextMismatch {
+                bound_func: b.func_name.clone(),
+                bound_plan_hash: b.plan_hash,
+                requested_func: func.name.clone(),
+                requested_plan_hash: plan.plan_hash(),
+            }),
+        }
     }
 
     /// The interpreter's pool for `plan`, rebuilt when the plan hash

@@ -3699,6 +3699,7 @@ impl VmRuntime {
         let mut pool: Option<VmPool> = None;
         if let Some(c) = rctx.as_deref_mut() {
             let plan = ft_analysis::MemPlan::plan(func, sizes);
+            c.ensure_bound(func, sizes, &plan)?;
             crate::arena::publish_plan(
                 self.sink.as_ref(),
                 self.metrics.as_ref(),
@@ -3790,9 +3791,12 @@ impl VmRuntime {
             if let Some(m) = &self.metrics {
                 crate::arena::flush_stats(m, &mut p.stats);
             }
-            if let Some(c) = rctx {
+            if let Some(c) = rctx.as_deref_mut() {
                 c.vm_pool = Some(p);
             }
+        }
+        if let (Err(e), Some(c)) = (&exec_r, rctx) {
+            c.poison_on(e);
         }
         exec_r?;
         let mut outputs = HashMap::new();

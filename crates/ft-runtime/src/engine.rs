@@ -248,6 +248,7 @@ impl ExecutionEngine for ThreadedEngine {
         ctx: &mut RunContext,
     ) -> Result<RunResult, RuntimeError> {
         let plan = ft_analysis::MemPlan::plan(func, sizes);
+        ctx.ensure_bound(func, sizes, &plan)?;
         crate::arena::publish_plan(self.sink.as_ref(), self.metrics.as_ref(), &func.name, &plan);
         let pool = ctx.threaded_pool_for(&plan);
         let t0 = self.metrics.as_ref().map(|_| std::time::Instant::now());
@@ -270,6 +271,9 @@ impl ExecutionEngine for ThreadedEngine {
             if r.is_err() {
                 m.counter("engine.threaded.errors").inc();
             }
+        }
+        if let Err(e) = &r {
+            ctx.poison_on(e);
         }
         Ok(RunResult {
             outputs: r?,

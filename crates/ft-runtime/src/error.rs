@@ -57,6 +57,36 @@ pub enum RuntimeError {
         /// The deadline that was exceeded, in milliseconds.
         timeout_ms: u64,
     },
+    /// A reusable `RunContext` bound to one (program, plan, shapes) was
+    /// handed to `run_with` for a different one. Contexts carry buffer
+    /// pools packed for a specific memory plan and staging buffers sized
+    /// for specific shapes; silently rebuilding them hid real bugs in
+    /// serving paths, so the mismatch is now an error. Call
+    /// `RunContext::reset` to intentionally repurpose a context.
+    ContextMismatch {
+        /// Function the context is bound to.
+        bound_func: String,
+        /// Plan hash the context is bound to.
+        bound_plan_hash: u64,
+        /// Function of the rejected run.
+        requested_func: String,
+        /// Plan hash of the rejected run.
+        requested_plan_hash: u64,
+    },
+    /// A finished run's outputs were recycled into a `RunContext` bound to
+    /// a program with a different output signature (name/shape set), which
+    /// would seed the staging pools with foreign buffers.
+    RecycleMismatch {
+        /// Function the context is bound to.
+        bound_func: String,
+        /// The offending output tensor.
+        output: String,
+        /// The bound program's shape for that output (`None` = the bound
+        /// program has no such output).
+        expected_shape: Option<Vec<usize>>,
+        /// The recycled tensor's shape.
+        actual_shape: Vec<usize>,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -92,6 +122,35 @@ impl fmt::Display for RuntimeError {
             RuntimeError::ChildTimeout { what, timeout_ms } => {
                 write!(f, "child_timeout: `{what}` exceeded {timeout_ms} ms and was killed")
             }
+            RuntimeError::ContextMismatch {
+                bound_func,
+                bound_plan_hash,
+                requested_func,
+                requested_plan_hash,
+            } => write!(
+                f,
+                "context_mismatch: RunContext is bound to `{bound_func}` \
+                 (plan {bound_plan_hash:016x}) but was asked to run \
+                 `{requested_func}` (plan {requested_plan_hash:016x}); \
+                 call RunContext::reset to repurpose it"
+            ),
+            RuntimeError::RecycleMismatch {
+                bound_func,
+                output,
+                expected_shape,
+                actual_shape,
+            } => match expected_shape {
+                Some(exp) => write!(
+                    f,
+                    "recycle_mismatch: output `{output}` of shape {actual_shape:?} does not \
+                     match shape {exp:?} of the context's bound program `{bound_func}`"
+                ),
+                None => write!(
+                    f,
+                    "recycle_mismatch: the context's bound program `{bound_func}` has no \
+                     output `{output}` (recycled tensor shape {actual_shape:?})"
+                ),
+            },
         }
     }
 }

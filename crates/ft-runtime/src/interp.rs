@@ -106,10 +106,13 @@ impl Runtime {
         func: &Func,
         inputs: &HashMap<String, TensorVal>,
         sizes: &HashMap<String, i64>,
-        rctx: Option<&mut crate::arena::RunContext>,
+        mut rctx: Option<&mut crate::arena::RunContext>,
     ) -> Result<RunResult, RuntimeError> {
         let t0 = self.metrics.as_ref().map(|_| std::time::Instant::now());
-        let r = self.run_inner(func, inputs, sizes, rctx);
+        let r = self.run_inner(func, inputs, sizes, rctx.as_deref_mut());
+        if let (Err(e), Some(c)) = (&r, rctx) {
+            c.poison_on(e);
+        }
         if let (Some(m), Some(t0)) = (&self.metrics, t0) {
             m.histogram("engine.interp.run_us").record_duration_us(t0.elapsed());
             if r.is_err() {
@@ -136,6 +139,9 @@ impl Runtime {
         // proves write-before-read), and a caller-provided RunContext keeps
         // the pool alive across runs.
         let plan = ft_analysis::MemPlan::plan(func, sizes);
+        if let Some(c) = rctx.as_deref_mut() {
+            c.ensure_bound(func, sizes, &plan)?;
+        }
         crate::arena::publish_plan(
             self.sink.as_ref(),
             self.metrics.as_ref(),
@@ -671,7 +677,7 @@ mod tests {
                 .run_timed(&f, &HashMap::new(), &HashMap::new(), Some(&mut ctx))
                 .unwrap();
             assert_eq!(r.output("y").to_f64_vec(), want);
-            ctx.recycle(r);
+            ctx.recycle(r).unwrap();
         }
     }
 
@@ -751,5 +757,122 @@ mod tests {
         let inputs: HashMap<String, TensorVal> = [("x".to_string(), x)].into_iter().collect();
         let err = Runtime::new().run(&f, &inputs, &HashMap::new());
         assert!(matches!(err, Err(RuntimeError::ShapeMismatch { .. })));
+    }
+
+    fn fill(name: &str, n: i64, v: f32) -> Func {
+        Func::new(name)
+            .param("y", [n], DataType::F32, AccessType::Output)
+            .body(for_("i", 0, n, store("y", [var("i")], v)))
+    }
+
+    #[test]
+    fn context_binds_to_first_program_and_rejects_others() {
+        let a = fill("a", 8, 1.0);
+        let b = fill("b", 16, 2.0);
+        let rt = Runtime::new();
+        let mut ctx = crate::arena::RunContext::new();
+        let none: HashMap<String, TensorVal> = HashMap::new();
+        let nosz: HashMap<String, i64> = HashMap::new();
+        rt.run_timed(&a, &none, &nosz, Some(&mut ctx)).unwrap();
+        assert_eq!(ctx.bound_func(), Some("a"));
+        let err = rt
+            .run_timed(&b, &none, &nosz, Some(&mut ctx))
+            .unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                RuntimeError::ContextMismatch { bound_func, requested_func, .. }
+                    if bound_func == "a" && requested_func == "b"
+            ),
+            "want ContextMismatch(a, b), got {err}"
+        );
+        // The mismatch does not poison the context — its own program still runs.
+        assert!(!ctx.is_poisoned());
+        rt.run_timed(&a, &none, &nosz, Some(&mut ctx)).unwrap();
+        // reset() repurposes it intentionally.
+        ctx.reset();
+        let r = rt.run_timed(&b, &none, &nosz, Some(&mut ctx)).unwrap();
+        assert_eq!(r.output("y").to_f64_vec(), vec![2.0; 16]);
+        assert_eq!(ctx.bound_func(), Some("b"));
+    }
+
+    #[test]
+    fn same_program_different_sizes_is_a_mismatch() {
+        let f = Func::new("scale")
+            .param("y", [var("n")], DataType::F32, AccessType::Output)
+            .size_param("n")
+            .body(for_("i", 0, var("n"), store("y", [var("i")], 1.0f32)));
+        let rt = Runtime::new();
+        let mut ctx = crate::arena::RunContext::new();
+        let none: HashMap<String, TensorVal> = HashMap::new();
+        let s8: HashMap<String, i64> = [("n".to_string(), 8)].into_iter().collect();
+        let s9: HashMap<String, i64> = [("n".to_string(), 9)].into_iter().collect();
+        rt.run_timed(&f, &none, &s8, Some(&mut ctx)).unwrap();
+        // Same plan hash is possible for size-independent plans, but the
+        // shape signature still differs — staging buffers are sized for n=8.
+        let err = rt.run_timed(&f, &none, &s9, Some(&mut ctx));
+        assert!(matches!(err, Err(RuntimeError::ContextMismatch { .. })));
+        rt.run_timed(&f, &none, &s8, Some(&mut ctx)).unwrap();
+    }
+
+    #[test]
+    fn recycle_rejects_outputs_of_a_foreign_program() {
+        let a = fill("a", 8, 1.0);
+        let b = fill("b", 16, 2.0);
+        let rt = Runtime::new();
+        let mut ctx = crate::arena::RunContext::new();
+        let none: HashMap<String, TensorVal> = HashMap::new();
+        let nosz: HashMap<String, i64> = HashMap::new();
+        let ra = rt.run_timed(&a, &none, &nosz, Some(&mut ctx)).unwrap();
+        let rb = rt.run(&b, &none, &nosz).unwrap();
+        // b's `y` is [16]; the context is bound to a's `y` of [8].
+        let err = ctx.recycle(rb).unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                RuntimeError::RecycleMismatch { bound_func, output, expected_shape, actual_shape }
+                    if bound_func == "a"
+                        && output == "y"
+                        && *expected_shape == Some(vec![8])
+                        && *actual_shape == vec![16]
+            ),
+            "want RecycleMismatch, got {err}"
+        );
+        // The bound program's own outputs recycle fine.
+        ctx.recycle(ra).unwrap();
+    }
+
+    #[test]
+    fn errored_run_poisons_the_context_and_the_next_run_resets_it() {
+        // x / (i - 2) divides by zero at i == 2, killing the run mid-way.
+        let bad = Func::new("bad")
+            .param("x", [8], DataType::I64, AccessType::Input)
+            .param("y", [8], DataType::I64, AccessType::Output)
+            .body(for_(
+                "i",
+                0,
+                8,
+                store("y", [var("i")], load("x", [var("i")]) / (var("i") - 2)),
+            ));
+        let x = TensorVal::from_i64(&[8], (1..9).collect());
+        let inputs: HashMap<String, TensorVal> = [("x".to_string(), x)].into_iter().collect();
+        let rt = Runtime::new();
+        let mut ctx = crate::arena::RunContext::new();
+        let err = rt
+            .run_timed(&bad, &inputs, &HashMap::new(), Some(&mut ctx))
+            .unwrap_err();
+        assert_eq!(err, RuntimeError::DivisionByZero);
+        assert!(ctx.is_poisoned());
+        // The next run — even of a *different* program — heals the context
+        // with a counted full reset instead of reusing suspect storage.
+        let good = fill("good", 4, 3.0);
+        let none: HashMap<String, TensorVal> = HashMap::new();
+        let nosz: HashMap<String, i64> = HashMap::new();
+        let r = rt.run_timed(&good, &none, &nosz, Some(&mut ctx)).unwrap();
+        assert_eq!(r.output("y").to_f64_vec(), vec![3.0; 4]);
+        assert!(!ctx.is_poisoned());
+        assert_eq!(ctx.bound_func(), Some("good"));
+        assert_eq!(ctx.stats.poison_resets, 1);
+        ctx.recycle(r).unwrap();
     }
 }

@@ -173,6 +173,55 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
+/// One in-flight compilation of a cache key. The first requester (the
+/// *leader*) compiles; everyone else parks on the condvar and re-checks the
+/// on-disk artifact once the leader finishes.
+#[derive(Default)]
+struct Flight {
+    done: std::sync::Mutex<bool>,
+    cv: std::sync::Condvar,
+}
+
+/// Process-wide singleflight table: at most one thread per cache key is
+/// compiling at any moment, regardless of how many `CompiledEngine` values
+/// (each with its own in-memory memo) exist. Entries live only while a
+/// compile is in flight.
+fn flights() -> &'static Mutex<HashMap<u64, Arc<Flight>>> {
+    static FLIGHTS: OnceLock<Mutex<HashMap<u64, Arc<Flight>>>> = OnceLock::new();
+    FLIGHTS.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Take an exclusive advisory lock on `file`, blocking until granted. The
+/// lock is released when the file handle is dropped (and by the kernel if
+/// the process dies — unlike a lock *file*, it cannot leak and wedge the
+/// cache). This is the cross-process leg of compile deduplication; the
+/// in-process leg is [`flights`].
+#[cfg(unix)]
+fn lock_exclusive(file: &std::fs::File) -> std::io::Result<()> {
+    use std::os::unix::io::AsRawFd;
+    extern "C" {
+        fn flock(fd: i32, operation: i32) -> i32;
+    }
+    const LOCK_EX: i32 = 2;
+    loop {
+        if unsafe { flock(file.as_raw_fd(), LOCK_EX) } == 0 {
+            return Ok(());
+        }
+        let e = std::io::Error::last_os_error();
+        if e.kind() != std::io::ErrorKind::Interrupted {
+            return Err(e);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+fn lock_exclusive(_file: &std::fs::File) -> std::io::Result<()> {
+    // No advisory locking: in-process singleflight still dedups, and the
+    // tmp+rename publish keeps concurrent processes correct (they may
+    // redundantly compile, never corrupt).
+    Ok(())
+}
+
 fn ctype(dt: DataType) -> &'static str {
     match dt {
         DataType::F32 => "float",
@@ -330,6 +379,27 @@ impl CompiledEngine {
         }
     }
 
+    /// Leader-side build: take the cross-process file lock for `hash`,
+    /// re-check whether another process published the artifact while we
+    /// waited, and compile only if not. Returns whether a compile actually
+    /// ran (false = lost the cross-process race, which is a cache hit).
+    fn build_locked(&self, src: &str, hash: u64, so_path: &Path) -> Result<bool, RuntimeError> {
+        std::fs::create_dir_all(&self.cache_dir).map_err(|e| {
+            RuntimeError::Native(format!("create {}: {e}", self.cache_dir.display()))
+        })?;
+        let lock_path = self.cache_dir.join(format!("{hash:016x}.lock"));
+        let lock = std::fs::File::create(&lock_path)
+            .map_err(|e| RuntimeError::Native(format!("create {}: {e}", lock_path.display())))?;
+        lock_exclusive(&lock)
+            .map_err(|e| RuntimeError::Native(format!("lock {}: {e}", lock_path.display())))?;
+        if so_path.is_file() {
+            return Ok(false);
+        }
+        self.compile(src, hash, so_path)?;
+        Ok(true)
+        // `lock` drops here, releasing the flock.
+    }
+
     /// Compile `src` into `so_path`, writing the source next to it for
     /// inspection. Tries OpenMP first (the emitter's pragmas are only
     /// honored with `-fopenmp`); falls back to a serial build on
@@ -410,11 +480,52 @@ impl CompiledEngine {
             return Ok(Arc::clone(k));
         }
         let so_path = self.cache_dir.join(format!("{hash:016x}.so"));
-        if so_path.is_file() {
-            self.note_cache(hash, true);
-        } else {
-            self.note_cache(hash, false);
-            self.compile(&src, hash, &so_path)?;
+        // Miss in the in-memory memo: settle who compiles. Any number of
+        // engines/threads/processes may want this key at once; exactly one
+        // `cc` must be spawned (the thundering-herd bug this replaces spawned
+        // one per engine). Leaders compile under a per-key singleflight entry
+        // plus a cross-process file lock; followers park, then re-check the
+        // published artifact — and take over as leader if their leader failed.
+        loop {
+            if so_path.is_file() {
+                self.note_cache(hash, true);
+                break;
+            }
+            let (flight, leader) = {
+                let mut map = flights().lock();
+                match map.get(&hash) {
+                    Some(f) => (Arc::clone(f), false),
+                    None => {
+                        let f = Arc::new(Flight::default());
+                        map.insert(hash, Arc::clone(&f));
+                        (f, true)
+                    }
+                }
+            };
+            if leader {
+                let r = self.build_locked(&src, hash, &so_path);
+                *flight.done.lock().unwrap() = true;
+                flight.cv.notify_all();
+                flights().lock().remove(&hash);
+                match r {
+                    Ok(compiled) => {
+                        self.note_cache(hash, !compiled);
+                        break;
+                    }
+                    Err(e) => return Err(e),
+                }
+            } else {
+                if let Some(m) = &self.metrics {
+                    m.counter("compiled.singleflight.wait").inc();
+                }
+                let mut done = flight.done.lock().unwrap();
+                while !*done {
+                    done = flight.cv.wait(done).unwrap();
+                }
+                // Loop: the artifact is normally on disk now; if the leader
+                // errored instead, the next iteration elects a new leader
+                // (each waiter leads at most once before erroring itself).
+            }
         }
         // SAFETY: the object was produced by our own emitter + cc (or is a
         // cache entry keyed by the full source), and ft_entry's type is
@@ -467,7 +578,10 @@ impl ExecutionEngine for CompiledEngine {
         ctx: &mut RunContext,
     ) -> Result<RunResult, RuntimeError> {
         let t0 = self.metrics.as_ref().map(|_| Instant::now());
-        let r = self.run_inner(func, inputs, sizes, Some(ctx));
+        let r = self.run_inner(func, inputs, sizes, Some(&mut *ctx));
+        if let Err(e) = &r {
+            ctx.poison_on(e);
+        }
         if let (Some(m), Some(t0)) = (&self.metrics, t0) {
             m.histogram("engine.compiled.run_us")
                 .record_duration_us(t0.elapsed());
@@ -504,6 +618,9 @@ impl CompiledEngine {
         mut rctx: Option<&mut RunContext>,
     ) -> Result<RunResult, RuntimeError> {
         let plan = MemPlan::plan(func, sizes);
+        if let Some(c) = rctx.as_deref_mut() {
+            c.ensure_bound(func, sizes, &plan)?;
+        }
         crate::arena::publish_plan(self.sink.as_ref(), self.metrics.as_ref(), &func.name, &plan);
         let kernel = self.kernel_for(func, &plan)?;
         let mut span = self
@@ -921,13 +1038,13 @@ mod tests {
         let mut ctx = crate::arena::RunContext::new();
         let r1 = eng.run_with(&f, &inputs, &sizes, &mut ctx).expect("cold");
         assert_eq!(r1.output("y").to_f64_vec(), vec![3.0; n]);
-        ctx.recycle(r1);
+        ctx.recycle(r1).unwrap();
         let cold = m.snapshot();
         assert!(cold.counter("mem.arena.alloc_calls") > 0, "{cold:?}");
         for _ in 0..3 {
             let r = eng.run_with(&f, &inputs, &sizes, &mut ctx).expect("warm");
             assert_eq!(r.output("y").to_f64_vec(), vec![3.0; n]);
-            ctx.recycle(r);
+            ctx.recycle(r).unwrap();
         }
         let warm = m.snapshot();
         assert_eq!(
@@ -962,5 +1079,56 @@ mod tests {
         let eng = CompiledEngine::with_cache_dir(tmp_cache("zero"));
         let r = eng.run(&f, &HashMap::new(), &HashMap::new()).expect("runs");
         assert_eq!(r.output("o").to_f64_vec(), vec![0.0, 7.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn concurrent_identical_requests_compile_once() {
+        // The thundering-herd regression: 8 engines (each with an empty
+        // in-memory memo, as 8 serving threads would have) racing the same
+        // kernel against a fresh cache dir must spawn `cc` for exactly one
+        // build, not eight. First measure how many spawns *one* cold build
+        // takes on this toolchain (1, or 2 when OpenMP is unavailable and
+        // the serial fallback kicks in), then require the stampede to match.
+        if !cc_available() {
+            eprintln!("cc unavailable; skipping");
+            return;
+        }
+        let mut inputs = HashMap::new();
+        inputs.insert("x".to_string(), TensorVal::from_f32(&[16], vec![1.0; 16]));
+        inputs.insert("y".to_string(), TensorVal::from_f32(&[16], vec![0.0; 16]));
+        let sizes = HashMap::from([("n".to_string(), 16i64)]);
+
+        let m1 = Metrics::new();
+        let mut solo = CompiledEngine::with_cache_dir(tmp_cache("herd-solo"));
+        solo.set_metrics(Some(m1.clone()));
+        solo.run(&axpy(), &inputs, &sizes).expect("solo cold run");
+        let per_build = m1.snapshot().counter("compiled.cc.spawned");
+        assert!((1..=2).contains(&per_build), "{per_build}");
+
+        let dir = tmp_cache("herd");
+        let m = Metrics::new();
+        let barrier = std::sync::Barrier::new(8);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let mut eng = CompiledEngine::with_cache_dir(&dir);
+                    eng.set_metrics(Some(m.clone()));
+                    let (inputs, sizes, barrier) = (&inputs, &sizes, &barrier);
+                    s.spawn(move || {
+                        barrier.wait();
+                        eng.run(&axpy(), inputs, sizes).expect("stampede run")
+                    })
+                })
+                .collect();
+            let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            for r in &results {
+                assert_eq!(r.output("y").to_f64_vec(), vec![2.0; 16]);
+            }
+        });
+        let s = m.snapshot();
+        assert_eq!(s.counter("compiled.cc.spawned"), per_build, "{s:?}");
+        assert_eq!(s.counter("compiled.cache.publish"), 1, "{s:?}");
+        assert_eq!(s.counter("compiled.cache.miss"), 1, "{s:?}");
+        assert_eq!(s.counter("compiled.cache.hit"), 7, "{s:?}");
     }
 }

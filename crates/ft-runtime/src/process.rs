@@ -64,13 +64,28 @@ pub fn output_with_timeout(
     let t_err = std::thread::spawn(move || drain(err_pipe));
     let deadline = Instant::now() + timeout;
     let (status, timed_out) = loop {
-        if let Some(status) = child.try_wait()? {
-            break (status, false);
+        match child.try_wait() {
+            Ok(Some(status)) => break (status, false),
+            Ok(None) => {}
+            Err(e) => {
+                // Never leak the child on an errored wait path: without the
+                // kill+reap it would run on as an orphan and linger as a
+                // zombie after exiting — under concurrent spawns those pile
+                // up until the PID table fills.
+                let _ = child.kill();
+                let _ = child.wait();
+                return Err(e);
+            }
         }
         if Instant::now() >= deadline {
             let _ = child.kill();
-            let status = child.wait()?;
-            break (status, true);
+            match child.wait() {
+                Ok(status) => break (status, true),
+                Err(e) => {
+                    let _ = child.wait();
+                    return Err(e);
+                }
+            }
         }
         std::thread::sleep(Duration::from_millis(5));
     };
@@ -135,5 +150,68 @@ mod tests {
         .expect("spawns");
         assert!(out.success());
         assert_eq!(out.stdout.len(), 1_000_000);
+    }
+
+    /// PIDs of our direct children currently in zombie (unreaped) state.
+    #[cfg(target_os = "linux")]
+    fn zombie_children() -> Vec<u32> {
+        let me = std::process::id();
+        let mut zs = Vec::new();
+        let Ok(rd) = std::fs::read_dir("/proc") else { return zs };
+        for e in rd.flatten() {
+            let Some(pid) = e.file_name().to_str().and_then(|s| s.parse::<u32>().ok()) else {
+                continue;
+            };
+            let Ok(stat) = std::fs::read_to_string(format!("/proc/{pid}/stat")) else {
+                continue;
+            };
+            // stat: `pid (comm) state ppid ...` — comm may hold spaces, so
+            // parse from the last ')'.
+            let Some(rest) = stat.rsplit_once(')').map(|(_, r)| r) else { continue };
+            let mut fields = rest.split_whitespace();
+            let state = fields.next().unwrap_or("");
+            let ppid: u32 = fields.next().and_then(|p| p.parse().ok()).unwrap_or(0);
+            if state == "Z" && ppid == me {
+                zs.push(pid);
+            }
+        }
+        zs
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn overlapping_timeouts_leave_no_zombies() {
+        // 8 children all blow their deadline at once; every kill path must
+        // also reap. A leaked wait would leave `Z` entries under our PID
+        // for the rest of the process lifetime.
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    s.spawn(|| {
+                        let out = output_with_timeout(
+                            Command::new("sleep").arg("60"),
+                            Duration::from_millis(100),
+                        )
+                        .expect("spawns");
+                        assert!(out.timed_out);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+        // Tolerate transient zombies from concurrently-running tests (a
+        // child is briefly `Z` between its exit and the harness's wait);
+        // only a *persistent* zombie is a leak.
+        let mut last = Vec::new();
+        for _ in 0..50 {
+            last = zombie_children();
+            if last.is_empty() {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        panic!("leaked zombie children: {last:?}");
     }
 }

@@ -14,5 +14,6 @@ pub use ft_libop as libop;
 pub use ft_opbase as opbase;
 pub use ft_runtime as runtime;
 pub use ft_schedule as schedule;
+pub use ft_serve as serve;
 pub use ft_trace as trace;
 pub use ft_workloads as workloads;
